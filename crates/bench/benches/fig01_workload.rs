@@ -1,0 +1,24 @@
+//! Fig 1 as a Criterion bench: synthetic XSEDE-like trace generation and
+//! bucketization throughput (real wall time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kacc_bench::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01/workload");
+    g.sample_size(10).warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("generate-100k", |b| {
+        b.iter(|| workload::generate(100_000, std::hint::black_box(42)))
+    });
+    g.bench_function("histogram-100k", |b| {
+        b.iter_batched(
+            || workload::generate(100_000, 42),
+            |jobs| workload::histogram(&jobs),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

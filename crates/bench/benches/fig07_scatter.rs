@@ -1,0 +1,46 @@
+//! Fig 7 as a Criterion bench: Scatter algorithm latencies. The
+//! reported time is *simulated* latency (deterministic), surfaced
+//! through `iter_custom`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::scatter_ns;
+use kacc_bench::size_label;
+use kacc_collectives::ScatterAlgo;
+use kacc_model::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for arch in [ArchProfile::knl(), ArchProfile::broadwell()] {
+        let p = arch.default_procs;
+        let mut g = c.benchmark_group(format!("fig07/{}", arch.name));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+        for eta in [64 << 10, 1 << 20] {
+            for (label, algo) in [
+                ("parallel-read", ScatterAlgo::ParallelRead),
+                ("sequential-write", ScatterAlgo::SequentialWrite),
+                ("throttled-4", ScatterAlgo::ThrottledRead { k: 4 }),
+                ("throttled-8", ScatterAlgo::ThrottledRead { k: 8 }),
+            ] {
+                let ns = scatter_ns(&arch, p, eta, algo);
+                g.bench_function(format!("{label}/{}", size_label(eta)), |b| {
+                    b.iter_custom(|iters| {
+                        {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    }
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

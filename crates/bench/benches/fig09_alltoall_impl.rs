@@ -1,0 +1,58 @@
+//! Fig 9 as a Criterion bench: pairwise Alltoall over two-copy shared
+//! memory vs pt2pt CMA vs the native CMA collective (simulated time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::{alltoall_ns, library_ns, Coll};
+use kacc_bench::size_label;
+use kacc_collectives::AlltoallAlgo;
+use kacc_model::ArchProfile;
+use kacc_mpi::Library;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let arch = ArchProfile::knl();
+    let p = arch.default_procs;
+    let mut g = c.benchmark_group("fig09/KNL");
+    g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+    for eta in [16 << 10, 256 << 10] {
+        let shm = library_ns(&arch, p, eta, Coll::Alltoall, Library::IntelMpi);
+        g.bench_function(format!("shmem/{}", size_label(eta)), |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(shm * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+        let pt = library_ns(&arch, p, eta, Coll::Alltoall, Library::Mvapich2);
+        g.bench_function(format!("cma-pt2pt/{}", size_label(eta)), |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(pt * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+        let coll = alltoall_ns(&arch, p, eta, AlltoallAlgo::Pairwise);
+        g.bench_function(format!("cma-coll/{}", size_label(eta)), |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(coll * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

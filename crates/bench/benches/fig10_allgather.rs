@@ -1,0 +1,48 @@
+//! Fig 10 as a Criterion bench: Allgather algorithms (simulated time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::allgather_ns;
+use kacc_bench::size_label;
+use kacc_collectives::AllgatherAlgo;
+use kacc_model::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for arch in [ArchProfile::knl(), ArchProfile::broadwell()] {
+        let p = arch.default_procs;
+        let mut g = c.benchmark_group(format!("fig10/{}", arch.name));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+        let mut algos = vec![
+            ("ring-source-read", AllgatherAlgo::RingSourceRead),
+            ("ring-neighbor-1", AllgatherAlgo::RingNeighbor { j: 1 }),
+            ("bruck", AllgatherAlgo::Bruck),
+        ];
+        if p.is_power_of_two() {
+            algos.push(("recursive-doubling", AllgatherAlgo::RecursiveDoubling));
+        }
+        if arch.sockets > 1 {
+            algos.push(("ring-neighbor-5", AllgatherAlgo::RingNeighbor { j: 5 }));
+        }
+        for eta in [16 << 10, 256 << 10] {
+            for (label, algo) in &algos {
+                let ns = allgather_ns(&arch, p, eta, *algo);
+                g.bench_function(format!("{label}/{}", size_label(eta)), |b| {
+                    b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figs 11–12 as Criterion benches: Broadcast algorithms and the model
+//! validation gap (simulated time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::bcast_ns;
+use kacc_bench::size_label;
+use kacc_collectives::BcastAlgo;
+use kacc_model::{predict, ArchProfile};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let arch = ArchProfile::knl();
+    let p = arch.default_procs;
+    {
+        let mut g = c.benchmark_group("fig11/KNL");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+        for eta in [64 << 10, 1 << 20] {
+            for (label, algo) in [
+                ("direct-read", BcastAlgo::DirectRead),
+                ("direct-write", BcastAlgo::DirectWrite),
+                ("knomial-5", BcastAlgo::KNomial { radix: 5 }),
+                ("scatter-allgather", BcastAlgo::ScatterAllgather),
+            ] {
+                let ns = bcast_ns(&arch, p, eta, algo);
+                g.bench_function(format!("{label}/{}", size_label(eta)), |b| {
+                    b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+    // Fig 12: report modeled values alongside the simulated ones so the
+    // criterion report shows the validation gap.
+    let params = arch.nominal_model();
+    let mut g = c.benchmark_group("fig12/KNL-validation");
+    g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+    let eta = 1 << 20;
+    let actual = bcast_ns(&arch, p, eta, BcastAlgo::DirectRead);
+    g.bench_function("actual/direct-read/1M", |b| {
+        b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(actual * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+    });
+    let modeled = predict::bcast_direct_read(&params, p, eta);
+    g.bench_function("modeled/direct-read/1M", |b| {
+        b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(modeled * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

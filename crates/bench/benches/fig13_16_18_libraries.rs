@@ -1,0 +1,42 @@
+//! Figs 13–16 and 18 as Criterion benches: every collective under every
+//! library persona (simulated time). Tables VI–VII are the ratios of
+//! these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::{library_ns, Coll};
+use kacc_bench::size_label;
+use kacc_model::ArchProfile;
+use kacc_mpi::Library;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let arch = ArchProfile::knl();
+    let p = arch.default_procs;
+    for coll in Coll::all() {
+        let mut g = c.benchmark_group(format!("libraries/KNL/{}", coll.label()));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+        let heavy = coll == Coll::Alltoall || coll == Coll::Allgather;
+        let eta = if heavy { 64 << 10 } else { 1 << 20 };
+        for lib in
+            [Library::Kacc, Library::Mvapich2, Library::IntelMpi, Library::OpenMpi]
+        {
+            let ns = library_ns(&arch, p, eta, coll, lib);
+            g.bench_function(format!("{}/{}", lib.label(), size_label(eta)), |b| {
+                b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

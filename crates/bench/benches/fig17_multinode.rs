@@ -1,0 +1,62 @@
+//! Fig 17 as a Criterion bench: multi-node Gather, single-level vs
+//! two-level (simulated time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_model::ArchProfile;
+use kacc_netsim::{cluster_gather, MultiNodeStrategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let arch = ArchProfile::knl();
+    let fabric = arch.default_fabric();
+    let rpn = 64;
+    let eta = 64 << 10;
+    let mut g = c.benchmark_group("fig17/gather-64K");
+    g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+    for nodes in [2usize, 4, 8] {
+        let single = cluster_gather(
+            &arch,
+            nodes,
+            rpn,
+            fabric.clone(),
+            eta,
+            MultiNodeStrategy::SingleLevel,
+        )
+        .end_ns as f64;
+        g.bench_function(format!("single-level/{nodes}nodes"), |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(single * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+        let two = cluster_gather(
+            &arch,
+            nodes,
+            rpn,
+            fabric.clone(),
+            eta,
+            MultiNodeStrategy::TwoLevel { k: 4 },
+        )
+        .end_ns as f64;
+        g.bench_function(format!("two-level/{nodes}nodes"), |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(two * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

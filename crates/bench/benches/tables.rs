@@ -1,0 +1,66 @@
+//! Tables III–IV as Criterion benches: the parameter-extraction pipeline
+//! (simulated probe latencies surfaced per step), plus Table VI/VII-style
+//! speedup points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::{library_ns, Coll};
+use kacc_machine::SimProbe;
+use kacc_model::extract::{CmaProbe, ProbeSpec};
+use kacc_model::ArchProfile;
+use kacc_mpi::Library;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Table III: the four step-isolating probes (simulated time).
+    let arch = ArchProfile::knl();
+    let mut probe = SimProbe::new(arch.clone());
+    let s = arch.page_size;
+    let mut g = c.benchmark_group("table3/KNL");
+    g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+    for (label, spec) in [
+        ("t1-syscall", ProbeSpec::syscall()),
+        ("t2-access-check", ProbeSpec::access_check()),
+        ("t3-lock-pin-100p", ProbeSpec::lock_pin(100, s, 1)),
+        ("t4-copy-100p", ProbeSpec::full(100, s, 1)),
+    ] {
+        let ns = probe.probe(spec);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+    }
+    g.finish();
+
+    // Table VI headline point: large-message Gather, ours vs MVAPICH2.
+    let p = arch.default_procs;
+    let eta = 1 << 20;
+    let mut g = c.benchmark_group("table6/KNL/gather-1M");
+    g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(200));
+    for lib in [Library::Kacc, Library::Mvapich2] {
+        let ns = library_ns(&arch, p, eta, Coll::Gather, lib);
+        g.bench_function(lib.label(), |b| {
+            b.iter_custom(|iters| {
+                        // Report exact simulated time; the capped sleep
+                        // gives criterion's wall-clock warm-up a
+                        // heartbeat so iteration counts stay sane.
+                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                        std::thread::sleep(d.min(Duration::from_millis(25)));
+                        d
+                    })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerate the paper's tables and figures from the simulator.
+//!
+//! ```text
+//! repro all                # every artifact, full scale (minutes)
+//! repro fig7 fig8          # specific artifacts
+//! repro --quick all        # reduced sweeps/team sizes (smoke run)
+//! repro --csv out/ fig7    # also write CSV files
+//! repro --list             # list artifact names
+//! ```
+
+use kacc_bench::figs::registry;
+use kacc_bench::{size_label, Chart};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut list_only = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--list" => list_only = true,
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--csv DIR] [--list] <artifact...|all>\n\
+                     artifacts: {}",
+                    registry().iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let reg = registry();
+    if list_only {
+        for (name, _) in &reg {
+            println!("{name}");
+        }
+        return;
+    }
+    if wanted.is_empty() {
+        eprintln!("nothing to do; try `repro all` or `repro --list`");
+        std::process::exit(2);
+    }
+    let run_all = wanted.iter().any(|w| w == "all");
+    for w in &wanted {
+        if w != "all" && !reg.iter().any(|(n, _)| n == w) {
+            eprintln!("unknown artifact '{w}' (see repro --list)");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    let started = std::time::Instant::now();
+    for (name, f) in &reg {
+        if !run_all && !wanted.iter().any(|w| w == name) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let charts = f(quick);
+        for chart in &charts {
+            print!("{}", render(chart));
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}.csv", chart.id);
+                let mut file = std::fs::File::create(&path).expect("create csv");
+                file.write_all(chart.to_csv(|x| xfmt(chart, x)).as_bytes())
+                    .expect("write csv");
+            }
+        }
+        eprintln!("[{name}: {} chart(s) in {:.1}s]", charts.len(), t0.elapsed().as_secs_f64());
+        println!();
+    }
+    eprintln!("[total: {:.1}s{}]", started.elapsed().as_secs_f64(), if quick { ", --quick" } else { "" });
+}
+
+fn xfmt(chart: &Chart, x: usize) -> String {
+    if chart.xlabel.contains("Size") {
+        size_label(x)
+    } else {
+        x.to_string()
+    }
+}
+
+fn render(chart: &Chart) -> String {
+    chart.to_text(|x| xfmt(chart, x))
+}

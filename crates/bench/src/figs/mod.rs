@@ -1,0 +1,77 @@
+//! One module per evaluation artifact group; every public function
+//! regenerates a paper table/figure and returns [`Chart`]s.
+//!
+//! * [`micro`] — Fig 1 (workload), Figs 2–6 and Tables III–IV
+//!   (contention microbenchmarks and model extraction), Table V.
+//! * [`algos`] — Figs 7–12 (algorithm comparisons and model validation).
+//! * [`libs`] — Figs 13–18 and Tables VI–VII (library comparisons and
+//!   multi-node scaling).
+
+pub mod algos;
+pub mod libs;
+pub mod micro;
+
+use crate::render::Chart;
+
+/// A regenerable artifact: takes `quick` and returns its chart panels.
+pub type ArtifactFn = fn(bool) -> Vec<Chart>;
+
+/// Named registry of every regenerable artifact, in paper order.
+pub fn registry() -> Vec<(&'static str, ArtifactFn)> {
+    vec![
+        ("fig1", micro::fig01 as ArtifactFn),
+        ("fig2", micro::fig02),
+        ("fig3", micro::fig03),
+        ("fig4", micro::fig04),
+        ("table3", micro::table3),
+        ("table4", micro::table4),
+        ("fig5", micro::fig05),
+        ("fig6", micro::fig06),
+        ("fig7", algos::fig07),
+        ("fig8", algos::fig08),
+        ("fig9", algos::fig09),
+        ("fig10", algos::fig10),
+        ("fig11", algos::fig11),
+        ("fig12", algos::fig12),
+        ("table5", micro::table5),
+        ("table6", libs::table6),
+        ("table7", libs::table7),
+        ("fig13", libs::fig13),
+        ("fig14", libs::fig14),
+        ("fig15", libs::fig15),
+        ("fig16", libs::fig16),
+        ("fig17", libs::fig17),
+        ("fig18", libs::fig18),
+    ]
+}
+
+/// Paper platforms with their full-subscription process counts,
+/// shrunk under `quick` for smoke testing.
+pub(crate) fn platforms(quick: bool) -> Vec<(kacc_model::ArchProfile, usize)> {
+    kacc_model::ArchProfile::all()
+        .into_iter()
+        .map(|a| {
+            let p = if quick { a.default_procs.min(24) } else { a.default_procs };
+            (a, p)
+        })
+        .collect()
+}
+
+/// Paper throttle-factor sets per architecture (Figs 7–8 legends).
+pub(crate) fn throttles(arch: &kacc_model::ArchProfile, p: usize) -> Vec<usize> {
+    let ks: &[usize] = match arch.name.as_str() {
+        "KNL" => &[2, 4, 8, 16],
+        "Broadwell" => &[2, 4, 7, 14],
+        _ => &[2, 4, 10, 20],
+    };
+    ks.iter().copied().filter(|&k| k < p).collect()
+}
+
+/// Message sweep, shortened under `quick`.
+pub(crate) fn sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4 << 10, 64 << 10, 1 << 20]
+    } else {
+        crate::size_sweep()
+    }
+}

@@ -1,0 +1,303 @@
+//! Simulated-latency measurement helpers shared by every figure.
+
+use kacc_collectives::{
+    allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,
+    GatherAlgo, ScatterAlgo, Tuner,
+};
+use kacc_comm::{smcoll, Comm, CommExt, RemoteToken, Tag};
+use kacc_machine::{run_team_phantom, RankStats, SimComm};
+use kacc_model::ArchProfile;
+use kacc_mpi::baseline::{self, Library};
+
+/// Run `f` on a simulated team and return the collective latency in
+/// nanoseconds: ranks synchronize, run `f`, and the slowest rank's
+/// elapsed virtual time is reported (the standard `MPI_Barrier` +
+/// max-time measurement loop of collective benchmarks).
+pub fn timed_team<F>(arch: &ArchProfile, p: usize, f: F) -> f64
+where
+    F: Fn(&mut SimComm) + Send + Sync + 'static,
+{
+    let (_, durs) = run_team_phantom(arch, p, move |comm| {
+        smcoll::sm_barrier(comm).expect("barrier");
+        let t0 = comm.time_ns();
+        f(comm);
+        comm.time_ns() - t0
+    });
+    durs.into_iter().max().expect("nonempty team") as f64
+}
+
+/// Scatter latency (root 0), ns.
+pub fn scatter_ns(arch: &ArchProfile, p: usize, eta: usize, algo: ScatterAlgo) -> f64 {
+    timed_team(arch, p, move |comm| {
+        let me = comm.rank();
+        let sb = (me == 0).then(|| comm.alloc(p * eta));
+        let rb = comm.alloc(eta);
+        scatter(comm, algo, sb, Some(rb), eta, 0).expect("scatter");
+    })
+}
+
+/// Gather latency (root 0), ns.
+pub fn gather_ns(arch: &ArchProfile, p: usize, eta: usize, algo: GatherAlgo) -> f64 {
+    timed_team(arch, p, move |comm| {
+        let me = comm.rank();
+        let sb = comm.alloc(eta);
+        let rb = (me == 0).then(|| comm.alloc(p * eta));
+        gather(comm, algo, Some(sb), rb, eta, 0).expect("gather");
+    })
+}
+
+/// Allgather latency, ns.
+pub fn allgather_ns(arch: &ArchProfile, p: usize, eta: usize, algo: AllgatherAlgo) -> f64 {
+    timed_team(arch, p, move |comm| {
+        let sb = comm.alloc(eta);
+        let rb = comm.alloc(p * eta);
+        allgather(comm, algo, Some(sb), rb, eta).expect("allgather");
+    })
+}
+
+/// Alltoall latency, ns.
+pub fn alltoall_ns(arch: &ArchProfile, p: usize, eta: usize, algo: AlltoallAlgo) -> f64 {
+    timed_team(arch, p, move |comm| {
+        let sb = comm.alloc(p * eta);
+        let rb = comm.alloc(p * eta);
+        alltoall(comm, algo, Some(sb), rb, eta).expect("alltoall");
+    })
+}
+
+/// Bcast latency (root 0), ns.
+pub fn bcast_ns(arch: &ArchProfile, p: usize, eta: usize, algo: BcastAlgo) -> f64 {
+    timed_team(arch, p, move |comm| {
+        let buf = comm.alloc(eta);
+        bcast(comm, algo, buf, eta, 0).expect("bcast");
+    })
+}
+
+/// Which collective a library persona runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coll {
+    /// MPI_Bcast.
+    Bcast,
+    /// MPI_Scatter.
+    Scatter,
+    /// MPI_Gather.
+    Gather,
+    /// MPI_Allgather.
+    Allgather,
+    /// MPI_Alltoall.
+    Alltoall,
+}
+
+impl Coll {
+    /// All five evaluated collectives, in Table VI order.
+    pub fn all() -> [Coll; 5] {
+        [Coll::Bcast, Coll::Scatter, Coll::Gather, Coll::Allgather, Coll::Alltoall]
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Coll::Bcast => "Bcast",
+            Coll::Scatter => "Scatter",
+            Coll::Gather => "Gather",
+            Coll::Allgather => "Allgather",
+            Coll::Alltoall => "Alltoall",
+        }
+    }
+}
+
+/// Latency of `coll` under a library persona, ns.
+pub fn library_ns(arch: &ArchProfile, p: usize, eta: usize, coll: Coll, lib: Library) -> f64 {
+    let tuner_arch = arch.clone();
+    timed_team(arch, p, move |comm| {
+        let tuner = Tuner::new(&tuner_arch);
+        let me = comm.rank();
+        match coll {
+            Coll::Bcast => {
+                let buf = comm.alloc(eta);
+                baseline::bcast(comm, lib, &tuner, buf, eta, 0).expect("bcast");
+            }
+            Coll::Scatter => {
+                let sb = (me == 0).then(|| comm.alloc(p * eta));
+                let rb = comm.alloc(eta);
+                baseline::scatter(comm, lib, &tuner, sb, Some(rb), eta, 0)
+                    .expect("scatter");
+            }
+            Coll::Gather => {
+                let sb = comm.alloc(eta);
+                let rb = (me == 0).then(|| comm.alloc(p * eta));
+                baseline::gather(comm, lib, &tuner, Some(sb), rb, eta, 0).expect("gather");
+            }
+            Coll::Allgather => {
+                let sb = comm.alloc(eta);
+                let rb = comm.alloc(p * eta);
+                baseline::allgather(comm, lib, &tuner, Some(sb), rb, eta)
+                    .expect("allgather");
+            }
+            Coll::Alltoall => {
+                let sb = comm.alloc(p * eta);
+                let rb = comm.alloc(p * eta);
+                baseline::alltoall(comm, lib, &tuner, Some(sb), rb, eta)
+                    .expect("alltoall");
+            }
+        }
+    })
+}
+
+/// Per-reader latency of the One-to-all access pattern: `readers` ranks
+/// concurrently read `eta` bytes from rank 0 (same buffer region or
+/// per-reader regions), ns (mean over readers). The Fig 2(b)/(c) and
+/// Fig 3 microbenchmark.
+pub fn one_to_all_read_ns(
+    arch: &ArchProfile,
+    readers: usize,
+    eta: usize,
+    same_region: bool,
+) -> f64 {
+    let (_, durs) = run_team_phantom(arch, readers + 1, move |comm| {
+        if comm.rank() == 0 {
+            let len = if same_region { eta } else { eta * readers };
+            let buf = comm.alloc(len);
+            let tok = comm.expose(buf).expect("expose");
+            for r in 1..=readers {
+                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).expect("send");
+            }
+            for r in 1..=readers {
+                comm.wait_notify(r, Tag::user(2)).expect("done");
+            }
+            0u64
+        } else {
+            let raw = comm.ctrl_recv(0, Tag::user(1)).expect("token");
+            let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
+            let dst = comm.alloc(eta);
+            let off = if same_region { 0 } else { (comm.rank() - 1) * eta };
+            let t0 = comm.time_ns();
+            comm.cma_read(tok, off, dst, 0, eta).expect("read");
+            let d = comm.time_ns() - t0;
+            comm.notify(0, Tag::user(2)).expect("notify");
+            d
+        }
+    });
+    let sum: u64 = durs.iter().skip(1).sum();
+    sum as f64 / readers as f64
+}
+
+/// Per-reader latency of the All-to-all access pattern: `pairs`
+/// disjoint (reader, source) pairs, ns (mean). Fig 2(a).
+pub fn pairs_read_ns(arch: &ArchProfile, pairs: usize, eta: usize) -> f64 {
+    let (_, durs) = run_team_phantom(arch, 2 * pairs, move |comm| {
+        let me = comm.rank();
+        if me % 2 == 0 {
+            let buf = comm.alloc(eta);
+            let tok = comm.expose(buf).expect("expose");
+            comm.ctrl_send(me + 1, Tag::user(1), &tok.to_bytes()).expect("send");
+            comm.wait_notify(me + 1, Tag::user(2)).expect("done");
+            0u64
+        } else {
+            let raw = comm.ctrl_recv(me - 1, Tag::user(1)).expect("token");
+            let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
+            let dst = comm.alloc(eta);
+            let t0 = comm.time_ns();
+            comm.cma_read(tok, 0, dst, 0, eta).expect("read");
+            let d = comm.time_ns() - t0;
+            comm.notify(me - 1, Tag::user(2)).expect("notify");
+            d
+        }
+    });
+    let sum: u64 = durs.iter().skip(1).step_by(2).sum();
+    sum as f64 / pairs as f64
+}
+
+/// Aggregate step breakdown of `readers` concurrent reads of `pages`
+/// pages each from rank 0 (per-reader mean), the Fig 4 experiment.
+pub fn breakdown(arch: &ArchProfile, readers: usize, pages: usize) -> RankStats {
+    let eta = pages * arch.page_size;
+    let (run, _) = run_team_phantom(arch, readers + 1, move |comm| {
+        if comm.rank() == 0 {
+            let buf = comm.alloc(eta * readers);
+            let tok = comm.expose(buf).expect("expose");
+            for r in 1..=readers {
+                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).expect("send");
+            }
+            for r in 1..=readers {
+                comm.wait_notify(r, Tag::user(2)).expect("done");
+            }
+        } else {
+            let raw = comm.ctrl_recv(0, Tag::user(1)).expect("token");
+            let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
+            let dst = comm.alloc(eta);
+            comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta).expect("read");
+            comm.notify(0, Tag::user(2)).expect("notify");
+        }
+    });
+    let mut total = RankStats::default();
+    for s in run.stats.iter().skip(1) {
+        total.merge(s);
+    }
+    RankStats {
+        syscall_ns: total.syscall_ns / readers as f64,
+        check_ns: total.check_ns / readers as f64,
+        lock_ns: total.lock_ns / readers as f64,
+        pin_ns: total.pin_ns / readers as f64,
+        copy_ns: total.copy_ns / readers as f64,
+        cma_ops: total.cma_ops / readers as u64,
+        bytes_read: total.bytes_read / readers as u64,
+        bytes_written: total.bytes_written / readers as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_team_reports_positive_latency() {
+        let arch = ArchProfile::broadwell();
+        let t = scatter_ns(&arch, 8, 64 << 10, ScatterAlgo::SequentialWrite);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn one_to_all_contention_visible() {
+        let arch = ArchProfile::knl();
+        let t1 = one_to_all_read_ns(&arch, 1, 256 << 10, false);
+        let t16 = one_to_all_read_ns(&arch, 16, 256 << 10, false);
+        assert!(t16 > 3.0 * t1, "t16 {t16} vs t1 {t1}");
+        // Same-region reads contend at least as much.
+        let t16s = one_to_all_read_ns(&arch, 16, 256 << 10, true);
+        assert!(t16s > 3.0 * t1);
+    }
+
+    #[test]
+    fn pairs_scale_flat() {
+        let arch = ArchProfile::knl();
+        let t1 = pairs_read_ns(&arch, 1, 64 << 10);
+        let t8 = pairs_read_ns(&arch, 8, 64 << 10);
+        assert!(t8 < 2.5 * t1, "t8 {t8} vs t1 {t1}");
+    }
+
+    #[test]
+    fn breakdown_is_lock_dominated_under_contention() {
+        // Fig 4's message: with concurrency, lock time dominates.
+        let arch = ArchProfile::broadwell();
+        let solo = breakdown(&arch, 1, 128);
+        let packed = breakdown(&arch, 27, 128);
+        assert!(packed.lock_ns > solo.lock_ns * 5.0);
+        assert!(
+            packed.lock_ns > packed.copy_ns,
+            "lock {} should dominate copy {}",
+            packed.lock_ns,
+            packed.copy_ns
+        );
+    }
+
+    #[test]
+    fn library_dispatch_runs_all_collectives() {
+        let arch = ArchProfile::broadwell();
+        for coll in Coll::all() {
+            let t = library_ns(&arch, 6, 32 << 10, coll, Library::Kacc);
+            assert!(t > 0.0, "{coll:?}");
+        }
+        let t = library_ns(&arch, 6, 32 << 10, Coll::Gather, Library::IntelMpi);
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Chart/table data structures and text/CSV rendering.
+
+use std::fmt::Write as _;
+
+/// One line/series of an experiment: a label plus `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, value)` points; x is a size in bytes, a reader count, etc.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Build from parallel slices.
+    pub fn new(label: impl Into<String>, xs: &[usize], ys: &[f64]) -> Series {
+        assert_eq!(xs.len(), ys.len());
+        Series { label: label.into(), points: xs.iter().copied().zip(ys.iter().copied()).collect() }
+    }
+
+    /// Value at a given x, if present.
+    pub fn at(&self, x: usize) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+}
+
+/// One regenerated table/figure panel.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Identifier, e.g. "fig7a".
+    pub id: String,
+    /// Paper-style caption.
+    pub title: String,
+    /// X-axis meaning ("Message Size (Bytes)", "Concurrent Readers").
+    pub xlabel: String,
+    /// Y-axis meaning ("Latency (us)", "Relative Throughput").
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form observations recorded alongside the data.
+    pub notes: Vec<String>,
+}
+
+impl Chart {
+    /// New empty chart.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Chart {
+        Chart {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// All x values appearing in any series, sorted and deduplicated.
+    pub fn xs(&self) -> Vec<usize> {
+        let mut xs: Vec<usize> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    }
+
+    /// Render as an aligned text table (x rows, series columns).
+    pub fn to_text(&self, xfmt: impl Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "   [{} vs {}]", self.ylabel, self.xlabel);
+        let xs = self.xs();
+        let headers: Vec<String> =
+            self.series.iter().map(|s| s.label.clone()).collect();
+        let wide = headers.iter().map(|h| h.len().max(12)).collect::<Vec<_>>();
+        let _ = write!(out, "{:>10}", self.xlabel_short());
+        for (h, w) in headers.iter().zip(&wide) {
+            let _ = write!(out, " {h:>w$}", w = w);
+        }
+        let _ = writeln!(out);
+        for x in xs {
+            let _ = write!(out, "{:>10}", xfmt(x));
+            for (s, w) in self.series.iter().zip(&wide) {
+                match s.at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {:>w$}", format_value(y), w = w);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>w$}", "-", w = w);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "   note: {n}");
+        }
+        out
+    }
+
+    /// Render as CSV (header row, then one row per x).
+    pub fn to_csv(&self, xfmt: impl Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.label.replace(',', ";"));
+        }
+        let _ = writeln!(out);
+        for x in self.xs() {
+            let _ = write!(out, "{}", xfmt(x));
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => {
+                        let _ = write!(out, ",");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    fn xlabel_short(&self) -> String {
+        self.xlabel.split(' ').next().unwrap_or("x").to_string()
+    }
+}
+
+fn format_value(y: f64) -> String {
+    if y == 0.0 {
+        "0".into()
+    } else if y.abs() >= 1000.0 {
+        format!("{y:.0}")
+    } else if y.abs() >= 10.0 {
+        format!("{y:.1}")
+    } else {
+        format!("{y:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        let mut c = Chart::new("figX", "Test", "Message Size (Bytes)", "Latency (us)");
+        c.series.push(Series::new("alpha", &[1024, 2048], &[1.5, 3.0]));
+        c.series.push(Series::new("beta", &[1024, 4096], &[2.0, 8.0]));
+        c.notes.push("beta misses 2048".into());
+        c
+    }
+
+    #[test]
+    fn xs_are_union_of_series() {
+        assert_eq!(chart().xs(), vec![1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn text_render_contains_all_cells() {
+        let txt = chart().to_text(|x| x.to_string());
+        assert!(txt.contains("figX"));
+        assert!(txt.contains("alpha"));
+        assert!(txt.contains("1.500"));
+        assert!(txt.contains("note: beta"));
+        // Missing point renders as '-'.
+        assert!(txt.lines().any(|l| l.contains("2048") && l.contains('-')));
+    }
+
+    #[test]
+    fn csv_render_is_parseable() {
+        let csv = chart().to_csv(|x| x.to_string());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Message Size (Bytes),alpha,beta");
+        assert_eq!(lines[1], "1024,1.5,2");
+        assert_eq!(lines[2], "2048,3,");
+    }
+
+    #[test]
+    fn value_formatting_scales() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(12345.6), "12346");
+        assert_eq!(format_value(42.25), "42.2");
+        assert_eq!(format_value(1.23456), "1.235");
+    }
+}

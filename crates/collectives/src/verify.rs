@@ -1,0 +1,132 @@
+//! Deterministic data patterns for validating collective results.
+//!
+//! Every test, example and experiment fills buffers with these patterns
+//! so that "the collective completed" always also means "every byte
+//! landed where MPI semantics say it must".
+
+/// Pattern byte for (owner rank, byte index): used by Allgather, Bcast,
+/// Gather and Scatter payloads.
+pub fn pat2(rank: usize, i: usize) -> u8 {
+    let x = (rank as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    ((x >> 32) ^ x) as u8
+}
+
+/// Pattern byte for (source rank, destination rank, byte index): used by
+/// Alltoall payloads.
+pub fn pat3(src: usize, dst: usize, i: usize) -> u8 {
+    pat2(src.wrapping_mul(1009).wrapping_add(dst), i)
+}
+
+/// The root's scatter send buffer: block `j` carries `pat2(j, ·)`.
+pub fn scatter_sendbuf(p: usize, count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; p * count];
+    for j in 0..p {
+        for i in 0..count {
+            out[j * count + i] = pat2(j, i);
+        }
+    }
+    out
+}
+
+/// What rank `r` must hold after a scatter of `count` bytes.
+pub fn scatter_expected(r: usize, count: usize) -> Vec<u8> {
+    (0..count).map(|i| pat2(r, i)).collect()
+}
+
+/// Rank `r`'s gather/allgather contribution.
+pub fn contribution(r: usize, count: usize) -> Vec<u8> {
+    (0..count).map(|i| pat2(r, i)).collect()
+}
+
+/// What the gather root (or any allgather rank) must hold.
+pub fn gather_expected(p: usize, count: usize) -> Vec<u8> {
+    scatter_sendbuf(p, count)
+}
+
+/// Rank `s`'s alltoall send buffer: block `j` carries `pat3(s, j, ·)`.
+pub fn alltoall_sendbuf(s: usize, p: usize, count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; p * count];
+    for j in 0..p {
+        for i in 0..count {
+            out[j * count + i] = pat3(s, j, i);
+        }
+    }
+    out
+}
+
+/// What rank `r` must hold after an alltoall: block `s` from source `s`.
+pub fn alltoall_expected(r: usize, p: usize, count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; p * count];
+    for s in 0..p {
+        for i in 0..count {
+            out[s * count + i] = pat3(s, r, i);
+        }
+    }
+    out
+}
+
+/// Find the first mismatch between observed and expected, formatted for
+/// a panic message. Returns `None` when equal.
+pub fn diff(observed: &[u8], expected: &[u8]) -> Option<String> {
+    if observed.len() != expected.len() {
+        return Some(format!(
+            "length mismatch: observed {} vs expected {}",
+            observed.len(),
+            expected.len()
+        ));
+    }
+    observed.iter().zip(expected).position(|(a, b)| a != b).map(|at| {
+        format!(
+            "first mismatch at byte {at}: observed {:#04x}, expected {:#04x}",
+            observed[at], expected[at]
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_distinguish_ranks_and_offsets() {
+        assert_ne!(pat2(0, 0), pat2(1, 0));
+        assert_ne!(pat2(0, 0), pat2(0, 1));
+        assert_ne!(pat3(1, 2, 0), pat3(2, 1, 0));
+    }
+
+    #[test]
+    fn scatter_roundtrip_consistency() {
+        let p = 5;
+        let count = 7;
+        let sb = scatter_sendbuf(p, count);
+        for r in 0..p {
+            assert_eq!(&sb[r * count..(r + 1) * count], scatter_expected(r, count));
+        }
+    }
+
+    #[test]
+    fn alltoall_matrices_are_transposes() {
+        let p = 4;
+        let count = 3;
+        for r in 0..p {
+            let expect = alltoall_expected(r, p, count);
+            for s in 0..p {
+                let sb = alltoall_sendbuf(s, p, count);
+                assert_eq!(
+                    &expect[s * count..(s + 1) * count],
+                    &sb[r * count..(r + 1) * count]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_reports_first_mismatch() {
+        assert_eq!(diff(&[1, 2, 3], &[1, 2, 3]), None);
+        let d = diff(&[1, 9, 3], &[1, 2, 3]).unwrap();
+        assert!(d.contains("byte 1"));
+        assert!(diff(&[1], &[1, 2]).unwrap().contains("length"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Reduce / Allreduce correctness and shape over the simulated machine.
+
+use kacc_collectives::reduce::{
+    allreduce, expected_u64, reduce, reduce_scatter_block, AllreduceAlgo, Dtype,
+    ReduceAlgo, ReduceOp,
+};
+use kacc_collectives::BcastAlgo;
+use kacc_comm::{Comm, CommExt};
+use kacc_machine::run_team;
+use kacc_model::ArchProfile;
+
+fn value_of(rank: usize, lane: usize) -> u64 {
+    (rank as u64).wrapping_mul(0x9E37_79B9).wrapping_add(lane as u64 * 31)
+}
+
+fn fill(rank: usize, lanes: usize) -> Vec<u8> {
+    (0..lanes).flat_map(|l| value_of(rank, l).to_le_bytes()).collect()
+}
+
+fn check_reduce(p: usize, lanes: usize, root: usize, op: ReduceOp, algo: ReduceAlgo) {
+    let count = lanes * 8;
+    let (run, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+        let me = comm.rank();
+        let sb = comm.alloc_with(&fill(me, lanes));
+        let rb = (me == root).then(|| comm.alloc(count));
+        reduce(comm, algo, sb, rb, count, Dtype::U64, op, root).unwrap();
+        rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+    });
+    let got: Vec<u64> = results[root]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(
+        got,
+        expected_u64(p, lanes, op, value_of),
+        "{algo:?} {op:?} p={p} lanes={lanes} root={root}"
+    );
+    assert_eq!(run.mail_pending, 0);
+}
+
+#[test]
+fn reduce_all_algorithms_ops_and_shapes() {
+    for p in [2usize, 3, 7, 8, 13] {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            for algo in [
+                ReduceAlgo::SequentialRead,
+                ReduceAlgo::KNomialTree { radix: 2 },
+                ReduceAlgo::KNomialTree { radix: 4 },
+            ] {
+                check_reduce(p, 257, 0, op, algo);
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_nonzero_root_and_single_rank() {
+    check_reduce(6, 100, 4, ReduceOp::Sum, ReduceAlgo::KNomialTree { radix: 3 });
+    check_reduce(1, 10, 0, ReduceOp::Max, ReduceAlgo::SequentialRead);
+}
+
+#[test]
+fn reduce_rejects_misaligned_count() {
+    let (_, results) = run_team(&ArchProfile::broadwell(), 2, |comm| {
+        let sb = comm.alloc(10); // not a multiple of 8
+        let rb = comm.alloc(10);
+        reduce(
+            comm,
+            ReduceAlgo::SequentialRead,
+            sb,
+            Some(rb),
+            10,
+            Dtype::U64,
+            ReduceOp::Sum,
+            0,
+        )
+        .is_err()
+    });
+    assert!(results.iter().all(|&e| e));
+}
+
+#[test]
+fn reduce_f64_sums_match() {
+    let p = 5;
+    let lanes = 64;
+    let (_, results) = run_team(&ArchProfile::knl(), p, move |comm| {
+        let me = comm.rank();
+        let data: Vec<u8> =
+            (0..lanes).flat_map(|l| ((me * 10 + l) as f64 * 0.5).to_le_bytes()).collect();
+        let sb = comm.alloc_with(&data);
+        let rb = (me == 0).then(|| comm.alloc(lanes * 8));
+        reduce(
+            comm,
+            ReduceAlgo::KNomialTree { radix: 2 },
+            sb,
+            rb,
+            lanes * 8,
+            Dtype::F64,
+            ReduceOp::Sum,
+            0,
+        )
+        .unwrap();
+        rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+    });
+    for (l, chunk) in results[0].chunks_exact(8).enumerate() {
+        let got = f64::from_le_bytes(chunk.try_into().unwrap());
+        let expect: f64 = (0..p).map(|r| (r * 10 + l) as f64 * 0.5).sum();
+        assert!((got - expect).abs() < 1e-9, "lane {l}: {got} vs {expect}");
+    }
+}
+
+#[test]
+fn allreduce_delivers_everywhere() {
+    let p = 9;
+    let lanes = 123;
+    let count = lanes * 8;
+    let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+        let me = comm.rank();
+        let sb = comm.alloc_with(&fill(me, lanes));
+        let rb = comm.alloc(count);
+        allreduce(
+            comm,
+            AllreduceAlgo::ReduceBcast {
+                reduce: ReduceAlgo::KNomialTree { radix: 3 },
+                bcast: BcastAlgo::KNomial { radix: 3 },
+            },
+            sb,
+            rb,
+            count,
+            Dtype::U64,
+            ReduceOp::Sum,
+        )
+        .unwrap();
+        comm.read_all(rb).unwrap()
+    });
+    let expect: Vec<u8> = expected_u64(p, lanes, ReduceOp::Sum, value_of)
+        .into_iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    for (r, got) in results.iter().enumerate() {
+        assert_eq!(got, &expect, "rank {r}");
+    }
+}
+
+#[test]
+fn reduce_scatter_block_folds_correct_chunks() {
+    let p = 7;
+    let lanes = 40; // per destination block
+    let count = lanes * 8;
+    let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+        let me = comm.rank();
+        // Block j of rank me carries value_of(me, j·lanes + l).
+        let data: Vec<u8> = (0..p * lanes)
+            .flat_map(|i| value_of(me, i).to_le_bytes())
+            .collect();
+        let sb = comm.alloc_with(&data);
+        let rb = comm.alloc(count);
+        reduce_scatter_block(comm, sb, rb, count, Dtype::U64, ReduceOp::Sum).unwrap();
+        comm.read_all(rb).unwrap()
+    });
+    for (me, got) in results.iter().enumerate() {
+        let got: Vec<u64> =
+            got.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let expect: Vec<u64> = (0..lanes)
+            .map(|l| {
+                (0..p)
+                    .map(|r| value_of(r, me * lanes + l))
+                    .fold(0u64, |a, v| a.wrapping_add(v))
+            })
+            .collect();
+        assert_eq!(got, expect, "rank {me}");
+    }
+}
+
+#[test]
+fn rabenseifner_allreduce_matches_reduce_bcast() {
+    let p = 9;
+    let lanes = 200;
+    let count = lanes * 8;
+    let go = move |algo: AllreduceAlgo| {
+        let (run, results) = run_team(&ArchProfile::knl(), p, move |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&fill(me, lanes));
+            let rb = comm.alloc(count);
+            allreduce(comm, algo, sb, rb, count, Dtype::U64, ReduceOp::Sum).unwrap();
+            comm.read_all(rb).unwrap()
+        });
+        (run.end_ns, results)
+    };
+    let (_, a) = go(AllreduceAlgo::ReduceScatterAllgather);
+    let (_, b) = go(AllreduceAlgo::ReduceBcast {
+        reduce: ReduceAlgo::KNomialTree { radix: 2 },
+        bcast: BcastAlgo::KNomial { radix: 2 },
+    });
+    let expect: Vec<u8> = expected_u64(p, lanes, ReduceOp::Sum, value_of)
+        .into_iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    for r in 0..p {
+        assert_eq!(a[r], expect, "rabenseifner rank {r}");
+        assert_eq!(b[r], expect, "reduce+bcast rank {r}");
+    }
+}
+
+#[test]
+fn rabenseifner_wins_large_messages() {
+    // The textbook result: reduce-scatter + allgather moves ~2η per
+    // rank, beating tree reduce + bcast (~2·log-depth·η) at scale.
+    let arch = ArchProfile::knl();
+    let p = 32;
+    let count = 1 << 20;
+    let latency = |algo: AllreduceAlgo| {
+        let (run, _) = run_team(&arch, p, move |comm| {
+            let sb = comm.alloc(count);
+            let rb = comm.alloc(count);
+            allreduce(comm, algo, sb, rb, count, Dtype::U64, ReduceOp::Sum).unwrap();
+        });
+        run.end_ns
+    };
+    let rab = latency(AllreduceAlgo::ReduceScatterAllgather);
+    let tree = latency(AllreduceAlgo::ReduceBcast {
+        reduce: ReduceAlgo::KNomialTree { radix: 4 },
+        bcast: BcastAlgo::KNomial { radix: 4 },
+    });
+    assert!(rab < tree, "rabenseifner {rab} should beat reduce+bcast {tree}");
+}
+
+#[test]
+fn tree_reduce_beats_sequential_at_scale() {
+    // The point of the extension: parallel combining wins once the
+    // message is large enough that the root's serial fold dominates.
+    let arch = ArchProfile::knl();
+    let p = 32;
+    let count = 512 * 1024;
+    let latency = |algo: ReduceAlgo| {
+        let (run, _) = run_team(&arch, p, move |comm| {
+            let sb = comm.alloc(count);
+            let rb = (comm.rank() == 0).then(|| comm.alloc(count));
+            reduce(comm, algo, sb, rb, count, Dtype::U64, ReduceOp::Sum, 0).unwrap();
+        });
+        run.end_ns
+    };
+    let seq = latency(ReduceAlgo::SequentialRead);
+    let tree = latency(ReduceAlgo::KNomialTree { radix: 4 });
+    assert!(tree < seq, "tree {tree} should beat sequential {seq}");
+}

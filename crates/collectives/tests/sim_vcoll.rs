@@ -1,0 +1,199 @@
+//! Variable-count collectives (MPI_Scatterv / MPI_Gatherv) over the
+//! simulated machine.
+
+use kacc_collectives::verify::{contribution, diff};
+use kacc_collectives::{gatherv, scatterv, GatherAlgo, ScatterAlgo};
+use kacc_comm::{Comm, CommExt};
+use kacc_machine::run_team;
+use kacc_model::ArchProfile;
+
+/// Rank r contributes/receives `base + 37·r` bytes (rank 2 gets zero to
+/// exercise empty slices).
+fn counts(p: usize, base: usize) -> Vec<usize> {
+    (0..p).map(|r| if r == 2 && p > 2 { 0 } else { base + 37 * r }).collect()
+}
+
+fn packed(counts: &[usize]) -> Vec<u8> {
+    counts
+        .iter()
+        .enumerate()
+        .flat_map(|(r, &len)| contribution(r, len))
+        .collect()
+}
+
+#[test]
+fn scatterv_delivers_ragged_slices() {
+    for algo in [
+        ScatterAlgo::ParallelRead,
+        ScatterAlgo::SequentialWrite,
+        ScatterAlgo::ThrottledRead { k: 2 },
+    ] {
+        for p in [2usize, 6, 9] {
+            let cts = counts(p, 1000);
+            let root = p - 1;
+            let cts2 = cts.clone();
+            let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+                let me = comm.rank();
+                let sb = (me == root).then(|| comm.alloc_with(&packed(&cts2)));
+                let rb = comm.alloc(cts2[me].max(1));
+                scatterv(comm, algo, sb, Some(rb), &cts2, None, root).unwrap();
+                let mut out = vec![0u8; cts2[me]];
+                comm.read_local(rb, 0, &mut out).unwrap();
+                out
+            });
+            for (r, got) in results.iter().enumerate() {
+                if let Some(d) = diff(got, &contribution(r, cts[r])) {
+                    panic!("{algo:?} p={p} rank {r}: {d}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gatherv_assembles_ragged_slices() {
+    for algo in [
+        GatherAlgo::ParallelWrite,
+        GatherAlgo::SequentialRead,
+        GatherAlgo::ThrottledWrite { k: 3 },
+    ] {
+        for p in [2usize, 7] {
+            let cts = counts(p, 800);
+            let cts2 = cts.clone();
+            let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+                let me = comm.rank();
+                let sb = comm.alloc_with(&contribution(me, cts2[me]));
+                let total: usize = cts2.iter().sum();
+                let rb = (me == 0).then(|| comm.alloc(total));
+                gatherv(comm, algo, Some(sb), rb, &cts2, None, 0).unwrap();
+                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+            });
+            if let Some(d) = diff(&results[0], &packed(&cts)) {
+                panic!("{algo:?} p={p}: {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gatherv_with_explicit_displacements_and_gaps() {
+    // Slices placed with 16-byte guard gaps between them; the gaps must
+    // stay untouched.
+    let p = 5;
+    let cts: Vec<usize> = (0..p).map(|r| 100 + r * 10).collect();
+    let displs: Vec<usize> = {
+        let mut at = 0;
+        cts.iter()
+            .map(|&c| {
+                let here = at;
+                at += c + 16;
+                here
+            })
+            .collect()
+    };
+    let total = displs.last().unwrap() + cts.last().unwrap() + 16;
+    let cts2 = cts.clone();
+    let displs2 = displs.clone();
+    let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+        let me = comm.rank();
+        let sb = comm.alloc_with(&contribution(me, cts2[me]));
+        let rb = (me == 0).then(|| comm.alloc(total));
+        gatherv(
+            comm,
+            GatherAlgo::ThrottledWrite { k: 2 },
+            Some(sb),
+            rb,
+            &cts2,
+            Some(&displs2),
+            0,
+        )
+        .unwrap();
+        rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+    });
+    let got = &results[0];
+    for r in 0..p {
+        let slice = &got[displs[r]..displs[r] + cts[r]];
+        assert!(diff(slice, &contribution(r, cts[r])).is_none(), "slice {r}");
+        // Guard gap after each slice stays zeroed.
+        let gap = &got[displs[r] + cts[r]..displs[r] + cts[r] + 16];
+        assert!(gap.iter().all(|&b| b == 0), "gap after slice {r} corrupted");
+    }
+}
+
+#[test]
+fn zero_count_ranks_may_omit_buffers() {
+    // A rank with a zero-sized slice passes no buffer at all; every
+    // algorithm (including the sequential ones, which expose buffers on
+    // the non-root side) must tolerate it.
+    let p = 5;
+    let cts: Vec<usize> = (0..p).map(|r| if r == 3 { 0 } else { 500 }).collect();
+    for salgo in [
+        ScatterAlgo::ParallelRead,
+        ScatterAlgo::SequentialWrite,
+        ScatterAlgo::ThrottledRead { k: 2 },
+    ] {
+        let cts2 = cts.clone();
+        let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+            let me = comm.rank();
+            let sb = (me == 0).then(|| comm.alloc_with(&packed(&cts2)));
+            let rb = (cts2[me] > 0 || me == 0).then(|| comm.alloc(cts2[me].max(1)));
+            scatterv(comm, salgo, sb, rb, &cts2, None, 0).unwrap();
+            rb.map(|b| {
+                let mut out = vec![0u8; cts2[me]];
+                comm.read_local(b, 0, &mut out).unwrap();
+                out
+            })
+            .unwrap_or_default()
+        });
+        for (r, got) in results.iter().enumerate() {
+            assert!(diff(got, &contribution(r, cts[r])).is_none(), "{salgo:?} rank {r}");
+        }
+    }
+    for galgo in [
+        GatherAlgo::ParallelWrite,
+        GatherAlgo::SequentialRead,
+        GatherAlgo::ThrottledWrite { k: 2 },
+    ] {
+        let cts2 = cts.clone();
+        let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
+            let me = comm.rank();
+            let sb = (cts2[me] > 0).then(|| comm.alloc_with(&contribution(me, cts2[me])));
+            let total: usize = cts2.iter().sum();
+            let rb = (me == 0).then(|| comm.alloc(total));
+            gatherv(comm, galgo, sb, rb, &cts2, None, 0).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        });
+        assert!(diff(&results[0], &packed(&cts)).is_none(), "{galgo:?}");
+    }
+}
+
+#[test]
+fn vcoll_rejects_bad_metadata() {
+    let (_, results) = run_team(&ArchProfile::broadwell(), 3, |comm| {
+        let sb = comm.alloc(100);
+        let rb = comm.alloc(100);
+        // counts of the wrong length must fail identically everywhere.
+        let bad = scatterv(
+            comm,
+            ScatterAlgo::ParallelRead,
+            Some(sb),
+            Some(rb),
+            &[10, 20],
+            None,
+            0,
+        )
+        .is_err();
+        let bad2 = gatherv(
+            comm,
+            GatherAlgo::ParallelWrite,
+            Some(sb),
+            Some(rb),
+            &[10, 20, 30],
+            Some(&[0, 10]),
+            0,
+        )
+        .is_err();
+        bad && bad2
+    });
+    assert!(results.iter().all(|&b| b));
+}

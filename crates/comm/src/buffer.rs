@@ -1,0 +1,74 @@
+//! Buffer handles and remote-access tokens.
+
+/// Handle to a data buffer owned by one endpoint.
+///
+/// Handles are endpoint-scoped: a `BufId` minted by rank 3's endpoint means
+/// nothing to rank 5. To grant peers single-copy access, call
+/// [`crate::Comm::expose`] and ship the resulting [`RemoteToken`] over the
+/// control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub u64);
+
+/// Capability for single-copy access to a peer's exposed buffer.
+///
+/// This is the abstract analogue of the `(pid, address)` pair a real CMA
+/// transfer needs: `rank` identifies the owning process and `token` its
+/// registered region. Tokens serialize to a fixed 16-byte wire format so
+/// collectives can broadcast/gather them with the small-message plane —
+/// exactly the "exchange buffer addresses through shared memory" step the
+/// paper describes in §III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteToken {
+    /// Rank owning the exposed buffer.
+    pub rank: u64,
+    /// Transport-specific region identifier (simulator buffer id, or the
+    /// remote virtual address on the native transport).
+    pub token: u64,
+}
+
+impl RemoteToken {
+    /// Wire size of a serialized token.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Serialize to the 16-byte wire format (little-endian).
+    pub fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.rank.to_le_bytes());
+        out[8..].copy_from_slice(&self.token.to_le_bytes());
+        out
+    }
+
+    /// Deserialize from the wire format. Returns `None` on short input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<RemoteToken> {
+        if bytes.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let rank = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let token = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        Some(RemoteToken { rank, token })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrips() {
+        let t = RemoteToken { rank: 0xDEAD_BEEF, token: u64::MAX - 7 };
+        assert_eq!(RemoteToken::from_bytes(&t.to_bytes()), Some(t));
+    }
+
+    #[test]
+    fn token_rejects_short_input() {
+        assert_eq!(RemoteToken::from_bytes(&[0u8; 15]), None);
+    }
+
+    #[test]
+    fn token_wire_format_is_little_endian() {
+        let t = RemoteToken { rank: 1, token: 2 };
+        let b = t.to_bytes();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[8], 2);
+    }
+}

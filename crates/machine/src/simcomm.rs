@@ -1,0 +1,553 @@
+//! `SimComm`: the [`Comm`] endpoint backed by the simulated machine.
+
+use crate::fluid::FlowId;
+use crate::state::MachineState;
+use kacc_comm::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
+use kacc_sim_core::{Ctx, Poll};
+
+/// Direction of a kernel-assisted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmaDir {
+    /// `process_vm_readv`: data flows remote → local.
+    Read,
+    /// `process_vm_writev`: data flows local → remote.
+    Write,
+}
+
+/// One rank's endpoint into the simulated machine.
+pub struct SimComm {
+    ctx: Ctx<MachineState>,
+    rank: usize,
+    nranks: usize,
+    topo: Topology,
+    /// Node hosting each rank.
+    nodes: Vec<usize>,
+    /// This rank's node.
+    node: usize,
+    /// This rank's local rank within the node (drives socket mapping).
+    local: usize,
+    // Cached cost constants (immutable for the run).
+    t_syscall: u64,
+    t_permcheck: u64,
+    sm_msg_ns: f64,
+    sm_byte_ns: f64,
+    bw_core: f64,
+    inter_socket_bw_penalty: f64,
+    page_size: usize,
+    pin_batch_pages: usize,
+    net_alpha_ns: f64,
+    net_bw: f64,
+    /// Capacity weight of a cross-socket copy (bw_total / bw_qpi).
+    qpi_weight: f64,
+}
+
+impl SimComm {
+    /// Build the endpoint for `rank`. Called by the team harness; the
+    /// ctx's tid must equal the rank.
+    pub fn new(ctx: Ctx<MachineState>, rank: usize) -> SimComm {
+        assert_eq!(ctx.tid(), rank, "rank threads must be spawned in rank order");
+        let (nranks, topo, nodes, local, a, fabric) = ctx.with_state(|s, _| {
+            (
+                s.nranks,
+                s.topo,
+                s.node_of.clone(),
+                s.local_rank(rank),
+                s.arch.clone(),
+                s.net.as_ref().map(|n| n.params.clone()),
+            )
+        });
+        SimComm {
+            node: nodes[rank],
+            nodes,
+            local,
+            ctx,
+            rank,
+            nranks,
+            topo,
+            t_syscall: a.t_syscall_ns as u64,
+            t_permcheck: a.t_permcheck_ns as u64,
+            sm_msg_ns: a.sm_msg_ns,
+            sm_byte_ns: a.sm_byte_ns,
+            bw_core: a.bw_core,
+            inter_socket_bw_penalty: a.inter_socket_bw_penalty,
+            page_size: a.page_size,
+            pin_batch_pages: a.pin_batch_pages,
+            net_alpha_ns: fabric.as_ref().map_or(0.0, |f| f.alpha_ns),
+            net_bw: fabric.as_ref().map_or(f64::INFINITY, |f| f.bw_link),
+            qpi_weight: (a.bw_total / a.bw_qpi).max(1.0),
+        }
+    }
+
+    /// Underlying simulation context (used by higher-level harnesses).
+    pub fn ctx(&self) -> &Ctx<MachineState> {
+        &self.ctx
+    }
+
+    fn check_local(&self, buf: BufId, off: usize, len: usize) -> Result<()> {
+        let cap = self.buf_len(buf)?;
+        if off.checked_add(len).is_none_or(|end| end > cap) {
+            return Err(CommError::OutOfRange { buf: buf.0, off, len, cap });
+        }
+        Ok(())
+    }
+
+    /// Local rank of `rank` within its node.
+    fn local_of(&self, rank: usize) -> usize {
+        rank % (self.nranks / self.nodes.iter().max().map_or(1, |m| m + 1))
+    }
+
+    /// Per-flow bandwidth ceiling for an intra-node transfer touching
+    /// `peer` (same node as us).
+    fn peak_bw(&self, peer: usize) -> f64 {
+        if self.topo.same_socket(self.local, self.local_of(peer)) {
+            self.bw_core
+        } else {
+            self.bw_core / self.inter_socket_bw_penalty
+        }
+    }
+
+    /// Run a pinning request through `target`'s page-lock server;
+    /// returns the (lock, pin) wall-time attribution.
+    fn lock_flow(&self, target: usize, pages: usize) -> (f64, f64) {
+        if pages == 0 {
+            return (0.0, 0.0);
+        }
+        let tid = self.ctx.tid();
+        let socket = self.topo.socket_of(self.local);
+        let id: FlowId = self.ctx.poll("pin:add", move |s, _w, now| {
+            s.locks[target].update(now);
+            Poll::Ready(s.locks[target].add(tid, socket, pages))
+        });
+        self.ctx.poll("pin:wait", move |s, w, now| {
+            s.locks[target].update(now);
+            if s.locks[target].is_done(id) {
+                let (attr, wakes) = s.locks[target].remove(id, now);
+                for (t, at) in wakes {
+                    w.wake_at(t, at);
+                }
+                Poll::Ready(attr)
+            } else {
+                Poll::Wait { wake_at: Some(s.locks[target].eta(id, now)) }
+            }
+        })
+    }
+
+    /// Run a flow through a fluid server selected by `pick`; returns
+    /// wall time. Used for memory copies and NIC link occupancy.
+    fn flow_via<F>(&self, bytes: usize, peak: f64, pick: F) -> u64
+    where
+        F: Fn(&mut MachineState) -> &mut crate::fluid::MemSys + Clone + 'static,
+    {
+        self.flow_via_weighted(bytes, peak, 1.0, pick)
+    }
+
+    fn flow_via_weighted<F>(&self, bytes: usize, peak: f64, weight: f64, pick: F) -> u64
+    where
+        F: Fn(&mut MachineState) -> &mut crate::fluid::MemSys + Clone + 'static,
+    {
+        if bytes == 0 {
+            return 0;
+        }
+        let tid = self.ctx.tid();
+        let start = self.ctx.now();
+        let pick_add = pick.clone();
+        let id: FlowId = self.ctx.poll("flow:add", move |s, _w, now| {
+            let srv = pick_add(s);
+            srv.update(now);
+            Poll::Ready(srv.add_weighted(tid, bytes, peak, weight))
+        });
+        self.ctx.poll("flow:wait", move |s, w, now| {
+            let srv = pick(s);
+            srv.update(now);
+            if srv.is_done(id) {
+                for (t, at) in srv.remove(id, now) {
+                    w.wake_at(t, at);
+                }
+                Poll::Ready(())
+            } else {
+                Poll::Wait { wake_at: Some(srv.eta(id, now)) }
+            }
+        });
+        self.ctx.now() - start
+    }
+
+    /// Run a copy through this rank's node memory system; cross-socket
+    /// copies consume extra capacity (DRAM + interconnect).
+    fn copy_flow_routed(&self, bytes: usize, peak: f64, inter_socket: bool) -> u64 {
+        let node = self.node;
+        let weight = if inter_socket { self.qpi_weight } else { 1.0 };
+        self.flow_via_weighted(bytes, peak, weight, move |s| &mut s.mems[node])
+    }
+
+    /// Run an intra-socket copy through this rank's node memory system.
+    fn copy_flow(&self, bytes: usize, peak: f64) -> u64 {
+        self.copy_flow_routed(bytes, peak, false)
+    }
+
+    /// Kernel-assisted transfer with separately controllable pin extent
+    /// and copy extent — the Table III probe surface. `remote_len` bytes
+    /// of the remote buffer are pinned; `copy_len` bytes actually move
+    /// (`copy_len ≤ remote_len`). The public [`Comm::cma_read`] /
+    /// [`Comm::cma_write`] use `copy_len == remote_len == len`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cma_transfer(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        local: BufId,
+        local_off: usize,
+        remote_len: usize,
+        copy_len: usize,
+        dir: CmaDir,
+    ) -> Result<()> {
+        assert!(copy_len <= remote_len, "cannot copy more than is pinned");
+        let peer = token.rank as usize;
+        let me = self.rank;
+
+        // 1. Syscall entry/exit.
+        self.ctx.advance(self.t_syscall);
+        let t_sys = self.t_syscall as f64;
+        self.ctx.with_state(move |s, _| {
+            s.stats[me].syscall_ns += t_sys;
+            s.stats[me].cma_ops += 1;
+        });
+
+        if peer >= self.nranks {
+            return Err(CommError::BadRank(peer));
+        }
+        if self.nodes[peer] != self.node {
+            return Err(CommError::Protocol(format!(
+                "kernel-assisted transfer to rank {peer} crosses nodes ({} -> {})",
+                self.node, self.nodes[peer]
+            )));
+        }
+        // An empty remote iovec returns after the syscall, touching
+        // nothing — exactly how the probe isolates T₁.
+        if remote_len == 0 {
+            return Ok(());
+        }
+
+        // 2. Permission / capability check against the remote process.
+        self.ctx.advance(self.t_permcheck);
+        let t_chk = self.t_permcheck as f64;
+        self.ctx.with_state(move |s, _| s.stats[me].check_ns += t_chk);
+
+        let exposed_len = self.ctx.with_state(|s, _| {
+            let h = &s.heaps[peer];
+            if h.is_exposed(token.token) {
+                h.len_of(token.token)
+            } else {
+                None
+            }
+        });
+        let Some(rcap) = exposed_len else {
+            return Err(CommError::PermissionDenied);
+        };
+        if remote_off.checked_add(remote_len).is_none_or(|end| end > rcap) {
+            return Err(CommError::OutOfRange {
+                buf: token.token,
+                off: remote_off,
+                len: remote_len,
+                cap: rcap,
+            });
+        }
+        self.check_local(local, local_off, copy_len)?;
+
+        // 3. Pin + copy in batches, like the real CMA implementation:
+        // get_user_pages on a batch, copy it, move to the next batch.
+        let pages_total = remote_len.div_ceil(self.page_size);
+        let batch = self.pin_batch_pages.max(1);
+        let peak = self.peak_bw(peer);
+        let inter_socket = !self.topo.same_socket(self.local, self.local_of(peer));
+        let mut page_at = 0usize;
+        let mut copied = 0usize;
+        while page_at < pages_total {
+            let pages_now = batch.min(pages_total - page_at);
+            let (lock_ns, pin_ns) = self.lock_flow(peer, pages_now);
+            self.ctx.with_state(move |s, _| {
+                s.stats[me].lock_ns += lock_ns;
+                s.stats[me].pin_ns += pin_ns;
+            });
+            // Bytes of the copy extent covered by this batch.
+            let batch_end_byte = ((page_at + pages_now) * self.page_size).min(remote_len);
+            let copy_now = batch_end_byte.min(copy_len).saturating_sub(copied);
+            if copy_now > 0 {
+                let wall = self.copy_flow_routed(copy_now, peak, inter_socket) as f64;
+                self.ctx.with_state(move |s, _| s.stats[me].copy_ns += wall);
+                copied += copy_now;
+            }
+            page_at += pages_now;
+        }
+
+        // 4. Move the actual bytes (correctness plane). Phantom buffers
+        // carry no data, so the copy is skipped — timing was already
+        // charged above.
+        if copy_len > 0 {
+            self.ctx.with_state(|s, _| {
+                match dir {
+                    CmaDir::Read => {
+                        if !s.heaps[peer].is_phantom(token.token)
+                            && !s.heaps[me].is_phantom(local.0)
+                        {
+                            let src = s.heaps[peer]
+                                .extract(token.token, remote_off, copy_len)
+                                .unwrap();
+                            s.heaps[me].write(local.0, local_off, &src);
+                        }
+                        s.stats[me].bytes_read += copy_len as u64;
+                    }
+                    CmaDir::Write => {
+                        if !s.heaps[peer].is_phantom(token.token)
+                            && !s.heaps[me].is_phantom(local.0)
+                        {
+                            let src =
+                                s.heaps[me].extract(local.0, local_off, copy_len).unwrap();
+                            s.heaps[peer].write(token.token, remote_off, &src);
+                        }
+                        s.stats[me].bytes_written += copy_len as u64;
+                    }
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Comm for SimComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.nranks
+    }
+
+    fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        self.nodes.get(rank).copied().unwrap_or(0)
+    }
+
+    fn alloc(&mut self, len: usize) -> BufId {
+        let me = self.rank;
+        BufId(self.ctx.with_state(move |s, _| s.heaps[me].alloc(len)))
+    }
+
+    fn free(&mut self, buf: BufId) -> Result<()> {
+        let me = self.rank;
+        if self.ctx.with_state(move |s, _| s.heaps[me].free(buf.0)) {
+            Ok(())
+        } else {
+            Err(CommError::InvalidBuffer(buf.0))
+        }
+    }
+
+    fn buf_len(&self, buf: BufId) -> Result<usize> {
+        let me = self.rank;
+        self.ctx
+            .with_state(move |s, _| s.heaps[me].len_of(buf.0))
+            .ok_or(CommError::InvalidBuffer(buf.0))
+    }
+
+    fn write_local(&mut self, buf: BufId, off: usize, data: &[u8]) -> Result<()> {
+        self.check_local(buf, off, data.len())?;
+        let me = self.rank;
+        let data = data.to_vec();
+        self.ctx.with_state(move |s, _| {
+            s.heaps[me].write(buf.0, off, &data);
+        });
+        Ok(())
+    }
+
+    fn read_local(&self, buf: BufId, off: usize, out: &mut [u8]) -> Result<()> {
+        self.check_local(buf, off, out.len())?;
+        let me = self.rank;
+        let len = out.len();
+        let data = self
+            .ctx
+            .with_state(move |s, _| s.heaps[me].extract(buf.0, off, len).unwrap());
+        out.copy_from_slice(&data);
+        Ok(())
+    }
+
+    fn copy_local(
+        &mut self,
+        src: BufId,
+        src_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.check_local(src, src_off, len)?;
+        self.check_local(dst, dst_off, len)?;
+        // memcpy consumes memory bandwidth like any other copy.
+        self.copy_flow(len, self.bw_core);
+        let me = self.rank;
+        self.ctx.with_state(move |s, _| {
+            if !s.heaps[me].is_phantom(src.0) && !s.heaps[me].is_phantom(dst.0) {
+                let data = s.heaps[me].extract(src.0, src_off, len).unwrap();
+                s.heaps[me].write(dst.0, dst_off, &data);
+            }
+        });
+        Ok(())
+    }
+
+    fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
+        let me = self.rank;
+        if self.ctx.with_state(move |s, _| s.heaps[me].expose(buf.0)) {
+            Ok(RemoteToken { rank: me as u64, token: buf.0 })
+        } else {
+            Err(CommError::InvalidBuffer(buf.0))
+        }
+    }
+
+    fn cma_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.cma_transfer(token, remote_off, dst, dst_off, len, len, CmaDir::Read)
+    }
+
+    fn cma_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.cma_transfer(token, remote_off, src, src_off, len, len, CmaDir::Write)
+    }
+
+    fn ctrl_send(&mut self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        if to >= self.nranks {
+            return Err(CommError::BadRank(to));
+        }
+        let start = self.ctx.now();
+        // Sender-side occupancy: enqueue bookkeeping plus the copy of the
+        // payload into the shared slot (or NIC doorbell + inline copy).
+        let occupancy =
+            (0.3 * self.sm_msg_ns + 0.5 * data.len() as f64 * self.sm_byte_ns) as u64;
+        self.ctx.advance(occupancy);
+        let latency = if self.nodes[to] == self.node {
+            self.sm_msg_ns + data.len() as f64 * self.sm_byte_ns
+        } else {
+            self.net_alpha_ns + data.len() as f64 / self.net_bw
+        };
+        let arrival = start + latency as u64;
+        let me = self.rank;
+        let payload = data.to_vec();
+        self.ctx.poll("ctrl:send", move |s, w, _now| {
+            s.mail.deposit(w, to, me, tag.0 as u64, arrival, payload.clone());
+            Poll::Ready(())
+        });
+        Ok(())
+    }
+
+    fn ctrl_recv(&mut self, from: usize, tag: Tag) -> Result<Vec<u8>> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        let me = self.rank;
+        let tid = self.ctx.tid();
+        Ok(self.ctx.poll("ctrl:recv", move |s, _w, now| {
+            s.mail.take(tid, me, from, tag.0 as u64, now)
+        }))
+    }
+
+    fn shm_send_data(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        src: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if to >= self.nranks {
+            return Err(CommError::BadRank(to));
+        }
+        self.check_local(src, off, len)?;
+        let cross_node = self.nodes[to] != self.node;
+        if cross_node {
+            // Wire occupancy on this node's egress link (fluid-shared
+            // with concurrent outbound transfers).
+            let node = self.node;
+            self.flow_via(len, self.net_bw, move |s| {
+                &mut s.net.as_mut().expect("fabric present").egress[node]
+            });
+        } else {
+            // First copy: local buffer → shared staging.
+            self.copy_flow(len, self.bw_core);
+        }
+        let me = self.rank;
+        let payload = {
+            let mut out = vec![0u8; len];
+            self.read_local(src, off, &mut out)?;
+            out
+        };
+        let arrival = self.ctx.now()
+            + if cross_node { self.net_alpha_ns as u64 } else { self.sm_msg_ns as u64 };
+        // Tag shifted into a distinct namespace so bulk data never
+        // collides with control messages of the same tag.
+        let key = (1u64 << 32) | tag.0 as u64;
+        self.ctx.poll("shm:post", move |s, w, _now| {
+            s.mail.deposit(w, to, me, key, arrival, payload.clone());
+            Poll::Ready(())
+        });
+        Ok(())
+    }
+
+    fn shm_recv_data(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        self.check_local(dst, off, len)?;
+        let me = self.rank;
+        let tid = self.ctx.tid();
+        let key = (1u64 << 32) | tag.0 as u64;
+        let payload = self
+            .ctx
+            .poll("shm:wait", move |s, _w, now| s.mail.take(tid, me, from, key, now));
+        if payload.len() != len {
+            return Err(CommError::Truncated { wanted: len, got: payload.len() });
+        }
+        if self.nodes[from] != self.node {
+            // Wire occupancy on this node's ingress link.
+            let node = self.node;
+            self.flow_via(len, self.net_bw, move |s| {
+                &mut s.net.as_mut().expect("fabric present").ingress[node]
+            });
+        } else {
+            // Second copy: shared staging → local buffer. The peer for
+            // socket purposes is the sender.
+            let peak = self.peak_bw(from);
+            let inter = !self.topo.same_socket(self.local, self.local_of(from));
+            self.copy_flow_routed(len, peak, inter);
+        }
+        self.write_local(dst, off, &payload)?;
+        Ok(())
+    }
+
+    fn time_ns(&self) -> u64 {
+        self.ctx.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // SimComm is exercised end-to-end through the team harness; see
+    // `crate::team` and the integration tests.
+}

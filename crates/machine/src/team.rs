@@ -1,0 +1,365 @@
+//! Team harness: run one closure per simulated rank and collect results.
+
+use crate::simcomm::SimComm;
+use crate::state::{MachineState, RankStats};
+use kacc_model::{ArchProfile, FabricParams};
+use kacc_sim_core::{Sim, TraceEvent};
+use std::sync::{Arc, Mutex};
+
+/// Timing and accounting from a completed team run.
+#[derive(Debug, Clone)]
+pub struct TeamRun {
+    /// Virtual time when the last rank finished, ns.
+    pub end_ns: u64,
+    /// Per-rank finish times, ns.
+    pub finish_ns: Vec<u64>,
+    /// Per-rank step accounting.
+    pub stats: Vec<RankStats>,
+    /// Peak concurrent flows each node's memory system saw.
+    pub mem_peak_concurrency: Vec<usize>,
+    /// Peak concurrency each page-lock server saw, indexed by rank.
+    pub lock_peak_concurrency: Vec<usize>,
+    /// Undelivered control messages left behind (should be 0 for clean
+    /// protocols).
+    pub mail_pending: usize,
+}
+
+impl TeamRun {
+    /// Aggregate step accounting across all ranks.
+    pub fn total_stats(&self) -> RankStats {
+        let mut total = RankStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// Run `f` on every rank of a simulated `nranks`-process node and return
+/// the timing report plus each rank's return value (indexed by rank).
+///
+/// The closure runs inside the deterministic simulator: any `Comm` call
+/// advances virtual time according to the machine model. Wall-clock
+/// determinism holds for a fixed (arch, nranks, f).
+pub fn run_team<R, F>(arch: &ArchProfile, nranks: usize, f: F) -> (TeamRun, Vec<R>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    run_machine(MachineState::new(arch.clone(), nranks), f)
+}
+
+/// [`run_team`] with phantom (length-only) buffers: identical virtual
+/// timing, no data plane — the memory-safe choice for large measurement
+/// sweeps where correctness is covered elsewhere.
+pub fn run_team_phantom<R, F>(arch: &ArchProfile, nranks: usize, f: F) -> (TeamRun, Vec<R>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    run_machine(MachineState::cluster_opts(arch.clone(), 1, nranks, None, true), f)
+}
+
+/// [`run_team`] with the scheduler trace enabled: additionally returns
+/// every dispatch event (export with
+/// `kacc_sim_core::trace_to_chrome_json` for a Perfetto timeline).
+pub fn run_team_traced<R, F>(
+    arch: &ArchProfile,
+    nranks: usize,
+    f: F,
+) -> (TeamRun, Vec<R>, Vec<TraceEvent>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    run_machine_opts(MachineState::new(arch.clone(), nranks), true, f)
+}
+
+/// Run `f` on every rank of a simulated cluster of `nodes` identical
+/// nodes with `ranks_per_node` processes each (see
+/// [`MachineState::cluster`] for the rank placement).
+pub fn run_cluster<R, F>(
+    arch: &ArchProfile,
+    nodes: usize,
+    ranks_per_node: usize,
+    fabric: FabricParams,
+    f: F,
+) -> (TeamRun, Vec<R>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    run_machine(MachineState::cluster(arch.clone(), nodes, ranks_per_node, Some(fabric)), f)
+}
+
+fn run_machine<R, F>(state: MachineState, f: F) -> (TeamRun, Vec<R>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let (run, results, _) = run_machine_opts(state, false, f);
+    (run, results)
+}
+
+fn run_machine_opts<R, F>(
+    state: MachineState,
+    trace: bool,
+    f: F,
+) -> (TeamRun, Vec<R>, Vec<TraceEvent>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let nranks = state.nranks;
+    let mut sim = Sim::new(state);
+    if trace {
+        sim.enable_trace();
+    }
+    let f = Arc::new(f);
+    let results: Arc<Mutex<Vec<Option<R>>>> =
+        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    for rank in 0..nranks {
+        let f = Arc::clone(&f);
+        let results = Arc::clone(&results);
+        sim.spawn(move |ctx| {
+            let mut comm = SimComm::new(ctx, rank);
+            let r = f(&mut comm);
+            results.lock().unwrap()[rank] = Some(r);
+        });
+    }
+    let report = sim.run();
+    let trace = report.trace;
+    let st = report.state;
+    let run = TeamRun {
+        end_ns: report.end_time,
+        finish_ns: report.finish_times.clone(),
+        stats: st.stats.clone(),
+        mem_peak_concurrency: st.mems.iter().map(|m| m.peak_concurrency).collect(),
+        lock_peak_concurrency: st.locks.iter().map(|l| l.peak_concurrency).collect(),
+        mail_pending: st.mail.pending(),
+    };
+    let results = Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("rank closures done"))
+        .into_inner()
+        .unwrap();
+    (
+        run,
+        results.into_iter().map(|r| r.expect("every rank returned")).collect(),
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kacc_comm::{Comm, CommExt, Tag};
+
+    #[test]
+    fn two_rank_cma_read_moves_data_and_time() {
+        let arch = ArchProfile::broadwell();
+        let (run, results) = run_team(&arch, 2, |comm| {
+            if comm.rank() == 0 {
+                // Expose a 2-page buffer of 0xAB and send the token.
+                let buf = comm.alloc(8192);
+                comm.write_local(buf, 0, &[0xAB; 8192]).unwrap();
+                let tok = comm.expose(buf).unwrap();
+                comm.ctrl_send(1, Tag::user(1), &tok.to_bytes()).unwrap();
+                // Wait for the reader's completion notification.
+                comm.wait_notify(1, Tag::user(2)).unwrap();
+                Vec::new()
+            } else {
+                let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
+                let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
+                let dst = comm.alloc(8192);
+                comm.cma_read(tok, 0, dst, 0, 8192).unwrap();
+                comm.notify(0, Tag::user(2)).unwrap();
+                comm.read_all(dst).unwrap()
+            }
+        });
+        assert_eq!(results[1], vec![0xAB; 8192]);
+        assert_eq!(run.mail_pending, 0);
+        // Cost sanity: at least syscall + check + 2 pages + copy.
+        let a = &arch;
+        let floor = (a.t_syscall_ns
+            + a.t_permcheck_ns
+            + 2.0 * a.l_ns()
+            + 8192.0 * a.beta_ns_per_byte()) as u64;
+        assert!(run.end_ns >= floor, "end {} < floor {}", run.end_ns, floor);
+        let s = &run.stats[1];
+        assert!(s.lock_ns > 0.0 && s.pin_ns > 0.0 && s.copy_ns > 0.0);
+        assert_eq!(s.bytes_read, 8192);
+    }
+
+    #[test]
+    fn contention_inflates_one_to_all_reads() {
+        // One-to-all: many ranks read *different* offsets of rank 0's
+        // buffer concurrently — the Fig 2(c) pattern. Compare against a
+        // single reader: per-reader latency must inflate superlinearly.
+        let arch = ArchProfile::knl();
+        let eta = 64 * 1024;
+        let latency = |readers: usize| {
+            let (_, durs) = run_team(&arch, readers + 1, move |comm| {
+                if comm.rank() == 0 {
+                    let buf = comm.alloc(eta * readers);
+                    let tok = comm.expose(buf).unwrap();
+                    for r in 1..=readers {
+                        comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).unwrap();
+                    }
+                    for r in 1..=readers {
+                        comm.wait_notify(r, Tag::user(2)).unwrap();
+                    }
+                    0u64
+                } else {
+                    let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
+                    let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
+                    let dst = comm.alloc(eta);
+                    let t0 = comm.time_ns();
+                    comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta).unwrap();
+                    let d = comm.time_ns() - t0;
+                    comm.notify(0, Tag::user(2)).unwrap();
+                    d
+                }
+            });
+            *durs.iter().skip(1).max().unwrap()
+        };
+        let t1 = latency(1);
+        let t8 = latency(8);
+        let t32 = latency(32);
+        assert!(t8 > 2 * t1, "8 readers should contend: {t8} vs {t1}");
+        assert!(t32 > 2 * t8, "32 readers superlinear: {t32} vs {t8}");
+    }
+
+    #[test]
+    fn all_to_all_pattern_scales_without_lock_contention() {
+        // Fig 2(a): distinct (reader, source) pairs — per-op latency
+        // should stay nearly flat as pairs are added (only the shared
+        // memory bandwidth saturates). Use a small message so bandwidth
+        // sharing stays mild.
+        let arch = ArchProfile::knl();
+        let eta = 16 * 1024;
+        let latency = |pairs: usize| {
+            let p = 2 * pairs;
+            let (_, durs) = run_team(&arch, p, move |comm| {
+                let me = comm.rank();
+                if me % 2 == 0 {
+                    // Source: expose and wait.
+                    let buf = comm.alloc(eta);
+                    let tok = comm.expose(buf).unwrap();
+                    comm.ctrl_send(me + 1, Tag::user(1), &tok.to_bytes()).unwrap();
+                    comm.wait_notify(me + 1, Tag::user(2)).unwrap();
+                    0u64
+                } else {
+                    let raw = comm.ctrl_recv(me - 1, Tag::user(1)).unwrap();
+                    let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
+                    let dst = comm.alloc(eta);
+                    let t0 = comm.time_ns();
+                    comm.cma_read(tok, 0, dst, 0, eta).unwrap();
+                    let d = comm.time_ns() - t0;
+                    comm.notify(me - 1, Tag::user(2)).unwrap();
+                    d
+                }
+            });
+            durs.iter().skip(1).step_by(2).copied().max().unwrap()
+        };
+        let t1 = latency(1);
+        let t4 = latency(4);
+        assert!(
+            (t4 as f64) < 2.0 * t1 as f64,
+            "independent pairs should not contend much: {t4} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let arch = ArchProfile::power8();
+        let go = || {
+            run_team(&arch, 16, |comm| {
+                let me = comm.rank();
+                let p = comm.size();
+                let buf = comm.alloc(4096);
+                comm.write_local(buf, 0, &[me as u8; 4096]).unwrap();
+                let tok = comm.expose(buf).unwrap();
+                let toks = kacc_comm::smcoll::sm_allgather(comm, &tok.to_bytes()).unwrap();
+                let dst = comm.alloc(4096);
+                let peer = (me + 1) % p;
+                let t = kacc_comm::RemoteToken::from_bytes(&toks[peer]).unwrap();
+                comm.cma_read(t, 0, dst, 0, 4096).unwrap();
+                (comm.time_ns(), comm.read_all(dst).unwrap()[0])
+            })
+        };
+        let (r1, v1) = go();
+        let (r2, v2) = go();
+        assert_eq!(v1, v2);
+        assert_eq!(r1.end_ns, r2.end_ns);
+        assert_eq!(r1.finish_ns, r2.finish_ns);
+        // Data correctness: everyone read its ring neighbor's fill.
+        for (me, (_, byte)) in v1.iter().enumerate() {
+            assert_eq!(*byte as usize, (me + 1) % 16);
+        }
+    }
+
+    #[test]
+    fn traced_run_captures_timeline() {
+        let arch = ArchProfile::broadwell();
+        let (run, _, trace) = run_team_traced(&arch, 3, |comm| {
+            let b = comm.alloc(8192);
+            let tok = comm.expose(b).unwrap();
+            let toks = kacc_comm::smcoll::sm_allgather(comm, &tok.to_bytes()).unwrap();
+            let peer = (comm.rank() + 1) % 3;
+            let t = kacc_comm::RemoteToken::from_bytes(&toks[peer]).unwrap();
+            let dst = comm.alloc(8192);
+            comm.cma_read(t, 0, dst, 0, 8192).unwrap();
+        });
+        assert!(run.end_ns > 0);
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+        // The pin/copy phases of the CMA path must appear.
+        assert!(trace.iter().any(|e| e.label == "pin:wait"));
+        assert!(trace.iter().any(|e| e.label == "flow:wait"));
+        let json = kacc_sim_core::trace_to_chrome_json(&trace);
+        assert!(json.contains("pin:wait"));
+    }
+
+    #[test]
+    fn permission_denied_without_expose() {
+        let (_, results) = run_team(&ArchProfile::broadwell(), 2, |comm| {
+            if comm.rank() == 0 {
+                let buf = comm.alloc(4096);
+                // NOT exposed; ship a forged token anyway.
+                let forged = kacc_comm::RemoteToken { rank: 0, token: buf.0 };
+                comm.ctrl_send(1, Tag::user(1), &forged.to_bytes()).unwrap();
+                comm.wait_notify(1, Tag::user(2)).unwrap();
+                true
+            } else {
+                let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
+                let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
+                let dst = comm.alloc(4096);
+                let err = comm.cma_read(tok, 0, dst, 0, 4096).unwrap_err();
+                comm.notify(0, Tag::user(2)).unwrap();
+                err == kacc_comm::CommError::PermissionDenied
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn out_of_range_cma_is_rejected() {
+        let (_, results) = run_team(&ArchProfile::broadwell(), 2, |comm| {
+            if comm.rank() == 0 {
+                let buf = comm.alloc(4096);
+                let tok = comm.expose(buf).unwrap();
+                comm.ctrl_send(1, Tag::user(1), &tok.to_bytes()).unwrap();
+                comm.wait_notify(1, Tag::user(2)).unwrap();
+                true
+            } else {
+                let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
+                let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
+                let dst = comm.alloc(8192);
+                let err = comm.cma_read(tok, 4000, dst, 0, 8192).unwrap_err();
+                comm.notify(0, Tag::user(2)).unwrap();
+                matches!(err, kacc_comm::CommError::OutOfRange { .. })
+            }
+        });
+        assert!(results[1]);
+    }
+}

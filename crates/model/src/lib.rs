@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Analytical cost model for kernel-assisted collectives (paper §II).
+//!
+//! The paper models a kernel-assisted transfer of η bytes as
+//!
+//! ```text
+//! T = α + η·β + l·γ_c·⌈η/s⌉
+//! ```
+//!
+//! where α is the per-message startup (syscall + permission check), β the
+//! per-byte copy time, `l` the uncontended per-page lock+pin time, `s` the
+//! page size, and γ_c the contention factor with `c` concurrent
+//! readers/writers of the same source process (γ₁ = 1).
+//!
+//! This crate contains:
+//!
+//! * [`arch`] — full architecture profiles (Table V hardware, Table IV
+//!   model parameters, and the mechanistic simulator knobs from which the
+//!   analytic parameters are extracted),
+//! * [`gamma`] — γ(c) models and the Fig 5 NLLS fitting pipeline,
+//! * [`params`] — the Table II parameter bundle used by predictions,
+//! * [`predict`] — closed-form latency predictions for every collective
+//!   algorithm in §IV–V,
+//! * [`extract`] — the Table III protocol that recovers α, β, l from
+//!   step-isolating `process_vm_readv` probes.
+
+pub mod arch;
+pub mod extract;
+pub mod gamma;
+pub mod params;
+pub mod predict;
+
+pub use arch::{ArchProfile, FabricParams};
+pub use gamma::GammaModel;
+pub use params::ModelParams;

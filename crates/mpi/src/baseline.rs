@@ -1,0 +1,335 @@
+//! Baseline library personas — the comparison targets of §VII.
+//!
+//! Each persona reflects how a production MPI library realizes
+//! large-message intra-node collectives:
+//!
+//! * **MVAPICH2-like** — collectives composed from point-to-point
+//!   transfers; large messages use the CMA rendezvous protocol
+//!   (RTS/CTS + single-copy read), small messages go eager.
+//! * **Intel-MPI-like** — two-copy shared-memory transfers throughout
+//!   (its CMA support is limited to pt2pt in the paper's setups).
+//! * **Open-MPI-like** — kernel-assisted *one-copy* collectives in the
+//!   style of Ma et al. \[10\]: direct parallel reads/writes with no
+//!   contention management (the paper's related-work comparison point).
+//! * **Kacc** — this repository's contention-aware designs, selected by
+//!   the model-driven [`Tuner`].
+//!
+//! All personas run over the same `Comm`, so measured differences come
+//! from algorithm and protocol choices alone — the apples-to-apples
+//! setting the paper's Figs 13–18 need.
+
+use crate::pt2pt::Protocol;
+use crate::ptcoll;
+use kacc_collectives::{
+    allgather as kacc_allgather, alltoall as kacc_alltoall, bcast as kacc_bcast,
+    gather as kacc_gather, scatter as kacc_scatter, AllgatherAlgo,
+    BcastAlgo, GatherAlgo, ScatterAlgo, Tuner,
+};
+use kacc_comm::{BufId, Comm, Result};
+
+/// Which library persona executes the collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Library {
+    /// This repository's contention-aware, tuner-selected designs.
+    Kacc,
+    /// Point-to-point based with CMA rendezvous for large messages.
+    Mvapich2,
+    /// Two-copy shared-memory transfers.
+    IntelMpi,
+    /// Kernel-assisted one-copy collectives without contention control.
+    OpenMpi,
+}
+
+impl Library {
+    /// Display name used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Library::Kacc => "KACC (proposed)",
+            Library::Mvapich2 => "MVAPICH2-like",
+            Library::IntelMpi => "IntelMPI-like",
+            Library::OpenMpi => "OpenMPI-like",
+        }
+    }
+
+    /// Everything except the proposed design.
+    pub fn baselines() -> [Library; 3] {
+        [Library::Mvapich2, Library::IntelMpi, Library::OpenMpi]
+    }
+
+    /// Rendezvous threshold the pt2pt personas use (the paper cites
+    /// ~16 KiB as where kernel-assisted pt2pt starts paying off).
+    pub const RNDV_THRESHOLD: usize = 16 * 1024;
+
+    fn pt_proto(self, len: usize) -> Protocol {
+        match self {
+            Library::Mvapich2 => Protocol::for_len(len, Self::RNDV_THRESHOLD),
+            Library::IntelMpi => {
+                if len < 4096 {
+                    Protocol::Eager
+                } else {
+                    Protocol::ShmCopy
+                }
+            }
+            Library::OpenMpi | Library::Kacc => {
+                Protocol::for_len(len, Self::RNDV_THRESHOLD)
+            }
+        }
+    }
+}
+
+/// Scatter under a persona. `tuner` is consulted only by
+/// [`Library::Kacc`].
+pub fn scatter<C: Comm + ?Sized>(
+    comm: &mut C,
+    lib: Library,
+    tuner: &Tuner,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    count: usize,
+    root: usize,
+) -> Result<()> {
+    let p = comm.size();
+    match lib {
+        Library::Kacc => {
+            let algo = tuner.scatter(p, count);
+            kacc_scatter(comm, algo, sendbuf, recvbuf, count, root)
+        }
+        Library::OpenMpi => {
+            // One-copy parallel reads, no throttling (Ma et al. style).
+            kacc_scatter(comm, ScatterAlgo::ParallelRead, sendbuf, recvbuf, count, root)
+        }
+        Library::Mvapich2 | Library::IntelMpi => {
+            let rb = match recvbuf {
+                Some(rb) => rb,
+                // pt2pt trees cannot leave the root's slice in place.
+                None => {
+                    let tmp = comm.alloc(count);
+                    let r = ptcoll::scatter(
+                        comm,
+                        sendbuf,
+                        tmp,
+                        count,
+                        root,
+                        lib.pt_proto(count),
+                    );
+                    comm.free(tmp)?;
+                    return r;
+                }
+            };
+            ptcoll::scatter(comm, sendbuf, rb, count, root, lib.pt_proto(count))
+        }
+    }
+}
+
+/// Gather under a persona.
+pub fn gather<C: Comm + ?Sized>(
+    comm: &mut C,
+    lib: Library,
+    tuner: &Tuner,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    count: usize,
+    root: usize,
+) -> Result<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    match lib {
+        Library::Kacc => {
+            let algo = tuner.gather(p, count);
+            kacc_gather(comm, algo, sendbuf, recvbuf, count, root)
+        }
+        Library::OpenMpi => {
+            kacc_gather(comm, GatherAlgo::ParallelWrite, sendbuf, recvbuf, count, root)
+        }
+        Library::Mvapich2 | Library::IntelMpi => {
+            let sb = match sendbuf {
+                Some(sb) => sb,
+                None => {
+                    // MPI_IN_PLACE at the root: stage the root's block.
+                    let rb = recvbuf.expect("root gather has recvbuf");
+                    let tmp = comm.alloc(count);
+                    comm.copy_local(rb, me * count, tmp, 0, count)?;
+                    let r =
+                        ptcoll::gather(comm, tmp, recvbuf, count, root, lib.pt_proto(count));
+                    comm.free(tmp)?;
+                    return r;
+                }
+            };
+            ptcoll::gather(comm, sb, recvbuf, count, root, lib.pt_proto(count))
+        }
+    }
+}
+
+/// Broadcast under a persona.
+pub fn bcast<C: Comm + ?Sized>(
+    comm: &mut C,
+    lib: Library,
+    tuner: &Tuner,
+    buf: BufId,
+    count: usize,
+    root: usize,
+) -> Result<()> {
+    let p = comm.size();
+    match lib {
+        Library::Kacc => {
+            let algo = tuner.bcast(p, count);
+            kacc_bcast(comm, algo, buf, count, root)
+        }
+        Library::OpenMpi => kacc_bcast(comm, BcastAlgo::DirectRead, buf, count, root),
+        Library::Mvapich2 | Library::IntelMpi => {
+            ptcoll::bcast(comm, buf, count, root, lib.pt_proto(count))
+        }
+    }
+}
+
+/// Allgather under a persona.
+pub fn allgather<C: Comm + ?Sized>(
+    comm: &mut C,
+    lib: Library,
+    tuner: &Tuner,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    match lib {
+        Library::Kacc => {
+            let algo = tuner.allgather(p, count);
+            kacc_allgather(comm, algo, sendbuf, recvbuf, count)
+        }
+        Library::OpenMpi => {
+            // Neighbor-exchange kernel-assisted ring (Ma et al. style).
+            kacc_allgather(comm, AllgatherAlgo::RingNeighbor { j: 1 }, sendbuf, recvbuf, count)
+        }
+        Library::Mvapich2 | Library::IntelMpi => {
+            let sb = match sendbuf {
+                Some(sb) => sb,
+                None => {
+                    let tmp = comm.alloc(count);
+                    comm.copy_local(recvbuf, me * count, tmp, 0, count)?;
+                    let r =
+                        ptcoll::allgather(comm, tmp, recvbuf, count, lib.pt_proto(count));
+                    comm.free(tmp)?;
+                    return r;
+                }
+            };
+            ptcoll::allgather(comm, sb, recvbuf, count, lib.pt_proto(count))
+        }
+    }
+}
+
+/// Alltoall under a persona.
+pub fn alltoall<C: Comm + ?Sized>(
+    comm: &mut C,
+    lib: Library,
+    tuner: &Tuner,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<()> {
+    let p = comm.size();
+    match lib {
+        Library::Kacc => {
+            let algo = tuner.alltoall(p, count);
+            kacc_alltoall(comm, algo, sendbuf, recvbuf, count)
+        }
+        Library::OpenMpi | Library::Mvapich2 | Library::IntelMpi => {
+            let sb = match sendbuf {
+                Some(sb) => sb,
+                None => {
+                    let tmp = comm.alloc(p * count);
+                    comm.copy_local(recvbuf, 0, tmp, 0, p * count)?;
+                    let r = ptcoll::alltoall(comm, tmp, recvbuf, count, lib.pt_proto(count));
+                    comm.free(tmp)?;
+                    return r;
+                }
+            };
+            ptcoll::alltoall(comm, sb, recvbuf, count, lib.pt_proto(count))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kacc_collectives::verify::{contribution, diff, gather_expected};
+    use kacc_comm::CommExt;
+    use kacc_machine::run_team;
+    use kacc_model::ArchProfile;
+
+    const LIBS: [Library; 4] =
+        [Library::Kacc, Library::Mvapich2, Library::IntelMpi, Library::OpenMpi];
+
+    #[test]
+    fn every_library_gathers_correctly() {
+        let arch = ArchProfile::broadwell();
+        for lib in LIBS {
+            for count in [512usize, 40_000] {
+                let tuner_arch = arch.clone();
+                let (_, results) = run_team(&arch, 8, move |comm| {
+                    let tuner = Tuner::new(&tuner_arch);
+                    let me = comm.rank();
+                    let sb = comm.alloc_with(&contribution(me, count));
+                    let rb = (me == 0).then(|| comm.alloc(8 * count));
+                    gather(comm, lib, &tuner, Some(sb), rb, count, 0).unwrap();
+                    rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+                });
+                if let Some(d) = diff(&results[0], &gather_expected(8, count)) {
+                    panic!("{lib:?} count={count}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_library_bcasts_correctly() {
+        let arch = ArchProfile::broadwell();
+        for lib in LIBS {
+            let (_, results) = run_team(&arch, 7, move |comm| {
+                let tuner = Tuner::new(&ArchProfile::broadwell());
+                let buf = if comm.rank() == 2 {
+                    comm.alloc_with(&contribution(2, 30_000))
+                } else {
+                    comm.alloc(30_000)
+                };
+                bcast(comm, lib, &tuner, buf, 30_000, 2).unwrap();
+                comm.read_all(buf).unwrap()
+            });
+            for got in &results {
+                assert!(diff(got, &contribution(2, 30_000)).is_none(), "{lib:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_design_beats_baselines_on_large_gather() {
+        // Table VI's headline: the contention-aware design wins
+        // large-message Gather on every architecture.
+        for arch in [ArchProfile::knl(), ArchProfile::broadwell()] {
+            let p = arch.default_procs.min(32);
+            let count = 1 << 20;
+            let mut lat = std::collections::HashMap::new();
+            for lib in LIBS {
+                let tuner_arch = arch.clone();
+                let (run, _) = run_team(&arch, p, move |comm| {
+                    let tuner = Tuner::new(&tuner_arch);
+                    let me = comm.rank();
+                    let sb = comm.alloc(count);
+                    let rb = (me == 0).then(|| comm.alloc(p * count));
+                    gather(comm, lib, &tuner, Some(sb), rb, count, 0).unwrap();
+                });
+                lat.insert(lib, run.end_ns);
+            }
+            for lib in Library::baselines() {
+                assert!(
+                    lat[&Library::Kacc] < lat[&lib],
+                    "{}: kacc {} !< {lib:?} {}",
+                    arch.name,
+                    lat[&Library::Kacc],
+                    lat[&lib]
+                );
+            }
+        }
+    }
+}

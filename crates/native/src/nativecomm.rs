@@ -1,0 +1,501 @@
+//! [`Comm`] over forked processes with real kernel-assisted copies.
+
+use crate::ring::{ring_bytes, SpscRing};
+use crate::shm::ShmRegion;
+use kacc_comm::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
+use nix::sys::uio::{process_vm_readv, process_vm_writev, RemoteIoVec};
+use nix::unistd::Pid;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{IoSlice, IoSliceMut};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Payload capacity of each directed ring (power of two).
+pub const RING_CAP: usize = 256 * 1024;
+/// Bulk fragments pushed through the rings by the two-copy path.
+const BULK_CHUNK: usize = 32 * 1024;
+/// Bulk frames set this tag bit so they never collide with control
+/// messages of the same user tag.
+const BULK_BIT: u32 = 0x8000_0000;
+/// Per-rank error-message slot size.
+const ERR_SLOT: usize = 256;
+/// Shared u64 result slots available to team closures.
+pub const RESULT_SLOTS: usize = 4096;
+
+/// Offsets of the shared control structures for a `p`-rank team.
+#[derive(Debug, Clone)]
+pub struct SharedLayout {
+    p: usize,
+    barrier_count: usize,
+    barrier_gen: usize,
+    pids: usize,
+    errors: usize,
+    results: usize,
+    rings: usize,
+}
+
+impl SharedLayout {
+    /// Compute the layout for `p` ranks.
+    pub fn new(p: usize) -> SharedLayout {
+        let mut at = 0usize;
+        let mut take = |n: usize| {
+            let here = at;
+            at += n.div_ceil(64) * 64; // cache-line align every section
+            here
+        };
+        let barrier_count = take(8);
+        let barrier_gen = take(8);
+        let pids = take(8 * p);
+        let errors = take(ERR_SLOT * p);
+        let results = take(8 * RESULT_SLOTS);
+        let rings = take(ring_bytes(RING_CAP) * p * p);
+        let _total = at;
+        SharedLayout { p, barrier_count, barrier_gen, pids, errors, results, rings }
+    }
+
+    fn total(&self) -> usize {
+        self.rings + ring_bytes(RING_CAP) * self.p * self.p
+    }
+
+    fn ring_off(&self, to: usize, from: usize) -> usize {
+        self.rings + (to * self.p + from) * ring_bytes(RING_CAP)
+    }
+
+    /// Shared result slot `i` (survives the children; the team runner
+    /// collects them after the join).
+    pub fn result_slot<'a>(&self, shm: &'a ShmRegion, i: usize) -> &'a AtomicU64 {
+        assert!(i < RESULT_SLOTS, "result slot {i} out of range");
+        // SAFETY: aligned, in-bounds, shared atomics.
+        unsafe { &*(shm.at(self.results + i * 8, 8) as *const AtomicU64) }
+    }
+
+    /// Record an error message for `rank` (truncated to the slot).
+    pub fn write_error(&self, shm: &ShmRegion, rank: usize, msg: &str) {
+        let bytes = msg.as_bytes();
+        let n = bytes.len().min(ERR_SLOT - 1);
+        // SAFETY: slot is in-bounds; only `rank` writes its slot.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                shm.at(self.errors + rank * ERR_SLOT, n),
+                n,
+            );
+        }
+    }
+
+    /// Read back `rank`'s error message.
+    pub fn read_error(&self, shm: &ShmRegion, rank: usize) -> String {
+        let mut buf = vec![0u8; ERR_SLOT];
+        // SAFETY: in-bounds read of the slot.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                shm.at(self.errors + rank * ERR_SLOT, ERR_SLOT),
+                buf.as_mut_ptr(),
+                ERR_SLOT,
+            );
+        }
+        let end = buf.iter().position(|&b| b == 0).unwrap_or(0);
+        String::from_utf8_lossy(&buf[..end]).into_owned()
+    }
+}
+
+/// Total shared bytes needed for a `p`-rank team.
+pub fn layout_bytes(p: usize) -> usize {
+    SharedLayout::new(p).total()
+}
+
+/// One forked process's endpoint. Buffers live in *private* memory —
+/// peers reach them only through `process_vm_readv`/`writev`, exactly
+/// like an MPI rank's heap.
+pub struct NativeComm {
+    shm: Arc<ShmRegion>,
+    layout: SharedLayout,
+    rank: usize,
+    p: usize,
+    /// Ring (me ← from), one per peer.
+    rx: Vec<SpscRing>,
+    /// Ring (to ← me), one per peer.
+    tx: Vec<SpscRing>,
+    /// Messages pulled off the rings but not yet matched.
+    pending: HashMap<(usize, u32), VecDeque<Vec<u8>>>,
+    bufs: HashMap<u64, Box<[u8]>>,
+    exposed: HashSet<u64>,
+    next_buf: u64,
+    start: Instant,
+    topo: Topology,
+}
+
+impl NativeComm {
+    /// Attach rank `rank` of `p` to the shared control region, register
+    /// our pid, and synchronize with the whole team.
+    pub fn attach(
+        shm: Arc<ShmRegion>,
+        layout: SharedLayout,
+        rank: usize,
+        p: usize,
+    ) -> NativeComm {
+        assert_eq!(layout.p, p);
+        // SAFETY: ring areas are disjoint, zeroed, and correctly sized;
+        // each directed ring has exactly one producer and one consumer.
+        let rx = (0..p)
+            .map(|from| unsafe {
+                SpscRing::attach(shm.at(layout.ring_off(rank, from), 0), RING_CAP)
+            })
+            .collect();
+        let tx = (0..p)
+            .map(|to| unsafe {
+                SpscRing::attach(shm.at(layout.ring_off(to, rank), 0), RING_CAP)
+            })
+            .collect();
+        let comm = NativeComm {
+            rank,
+            p,
+            rx,
+            tx,
+            pending: HashMap::new(),
+            bufs: HashMap::new(),
+            exposed: HashSet::new(),
+            next_buf: 1,
+            start: Instant::now(),
+            topo: Topology {
+                sockets: 1,
+                cores_per_socket: p.max(1),
+                threads_per_core: 1,
+                page_size: page_size(),
+            },
+            shm,
+            layout,
+        };
+        comm.pid_slot(rank).store(std::process::id() as i64, Ordering::SeqCst);
+        // Wait for the whole team's pids before anyone communicates.
+        for r in 0..p {
+            while comm.pid_slot(r).load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        comm.barrier_wait();
+        comm
+    }
+
+    fn pid_slot(&self, rank: usize) -> &AtomicI64 {
+        // SAFETY: aligned, in-bounds, shared atomics.
+        unsafe { &*(self.shm.at(self.layout.pids + rank * 8, 8) as *const AtomicI64) }
+    }
+
+    fn barrier_count(&self) -> &AtomicU64 {
+        // SAFETY: as above.
+        unsafe { &*(self.shm.at(self.layout.barrier_count, 8) as *const AtomicU64) }
+    }
+
+    fn barrier_gen(&self) -> &AtomicU64 {
+        // SAFETY: as above.
+        unsafe { &*(self.shm.at(self.layout.barrier_gen, 8) as *const AtomicU64) }
+    }
+
+    /// Sense-reversing spin barrier over the shared counters.
+    pub fn barrier_wait(&self) {
+        let generation = self.barrier_gen().load(Ordering::Acquire);
+        if self.barrier_count().fetch_add(1, Ordering::AcqRel) + 1 == self.p as u64 {
+            self.barrier_count().store(0, Ordering::Release);
+            self.barrier_gen().fetch_add(1, Ordering::AcqRel);
+        } else {
+            while self.barrier_gen().load(Ordering::Acquire) == generation {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Shared u64 result slot `i` (< [`RESULT_SLOTS`]), for reporting
+    /// measurements back to the parent across the fork boundary.
+    pub fn result_slot(&self, i: usize) -> &AtomicU64 {
+        self.layout.result_slot(&self.shm, i)
+    }
+
+    /// Peer pid for kernel-assisted calls.
+    pub fn pid_of(&self, rank: usize) -> Pid {
+        Pid::from_raw(self.pid_slot(rank).load(Ordering::SeqCst) as i32)
+    }
+
+    fn buf(&self, id: BufId) -> Result<&[u8]> {
+        self.bufs
+            .get(&id.0)
+            .map(|b| b.as_ref())
+            .ok_or(CommError::InvalidBuffer(id.0))
+    }
+
+    fn check(&self, buf: BufId, off: usize, len: usize) -> Result<()> {
+        let cap = self.buf(buf)?.len();
+        if off.checked_add(len).is_none_or(|end| end > cap) {
+            return Err(CommError::OutOfRange { buf: buf.0, off, len, cap });
+        }
+        Ok(())
+    }
+
+    /// Drain `from`'s ring into the pending map until a `(from, key)`
+    /// message exists, then return it.
+    fn recv_keyed(&mut self, from: usize, key: u32) -> Vec<u8> {
+        loop {
+            if let Some(q) = self.pending.get_mut(&(from, key)) {
+                if let Some(msg) = q.pop_front() {
+                    return msg;
+                }
+            }
+            match self.rx[from].try_pop() {
+                Some((tag, payload)) => {
+                    self.pending.entry((from, tag)).or_default().push_back(payload);
+                }
+                None => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+fn page_size() -> usize {
+    // SAFETY: simple sysconf query.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    if sz > 0 {
+        sz as usize
+    } else {
+        4096
+    }
+}
+
+fn errno_of(e: nix::errno::Errno) -> CommError {
+    match e {
+        nix::errno::Errno::EPERM => CommError::PermissionDenied,
+        other => CommError::Os(other as i32),
+    }
+}
+
+impl Comm for NativeComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.p
+    }
+
+    fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    fn alloc(&mut self, len: usize) -> BufId {
+        let id = self.next_buf;
+        self.next_buf += 1;
+        self.bufs.insert(id, vec![0u8; len].into_boxed_slice());
+        BufId(id)
+    }
+
+    fn free(&mut self, buf: BufId) -> Result<()> {
+        self.exposed.remove(&buf.0);
+        self.bufs
+            .remove(&buf.0)
+            .map(|_| ())
+            .ok_or(CommError::InvalidBuffer(buf.0))
+    }
+
+    fn buf_len(&self, buf: BufId) -> Result<usize> {
+        Ok(self.buf(buf)?.len())
+    }
+
+    fn write_local(&mut self, buf: BufId, off: usize, data: &[u8]) -> Result<()> {
+        self.check(buf, off, data.len())?;
+        self.bufs.get_mut(&buf.0).unwrap()[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_local(&self, buf: BufId, off: usize, out: &mut [u8]) -> Result<()> {
+        self.check(buf, off, out.len())?;
+        out.copy_from_slice(&self.buf(buf)?[off..off + out.len()]);
+        Ok(())
+    }
+
+    fn copy_local(
+        &mut self,
+        src: BufId,
+        src_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.check(src, src_off, len)?;
+        self.check(dst, dst_off, len)?;
+        if src == dst {
+            let b = self.bufs.get_mut(&src.0).unwrap();
+            b.copy_within(src_off..src_off + len, dst_off);
+        } else {
+            let data = self.buf(src)?[src_off..src_off + len].to_vec();
+            self.bufs.get_mut(&dst.0).unwrap()[dst_off..dst_off + len]
+                .copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
+        let addr = self.buf(buf)?.as_ptr() as u64;
+        self.exposed.insert(buf.0);
+        Ok(RemoteToken { rank: self.rank as u64, token: addr })
+    }
+
+    fn cma_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        let peer = token.rank as usize;
+        if peer >= self.p {
+            return Err(CommError::BadRank(peer));
+        }
+        self.check(dst, dst_off, len)?;
+        let pid = self.pid_of(peer);
+        let local = &mut self.bufs.get_mut(&dst.0).unwrap()[dst_off..dst_off + len];
+        let mut moved = 0usize;
+        while moved < len {
+            let n = process_vm_readv(
+                pid,
+                &mut [IoSliceMut::new(&mut local[moved..])],
+                &[RemoteIoVec {
+                    base: token.token as usize + remote_off + moved,
+                    len: len - moved,
+                }],
+            )
+            .map_err(errno_of)?;
+            if n == 0 {
+                return Err(CommError::Truncated { wanted: len, got: moved });
+            }
+            moved += n;
+        }
+        Ok(())
+    }
+
+    fn cma_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        let peer = token.rank as usize;
+        if peer >= self.p {
+            return Err(CommError::BadRank(peer));
+        }
+        self.check(src, src_off, len)?;
+        let pid = self.pid_of(peer);
+        let local = &self.buf(src)?[src_off..src_off + len];
+        let mut moved = 0usize;
+        while moved < len {
+            let n = process_vm_writev(
+                pid,
+                &[IoSlice::new(&local[moved..])],
+                &[RemoteIoVec {
+                    base: token.token as usize + remote_off + moved,
+                    len: len - moved,
+                }],
+            )
+            .map_err(errno_of)?;
+            if n == 0 {
+                return Err(CommError::Truncated { wanted: len, got: moved });
+            }
+            moved += n;
+        }
+        Ok(())
+    }
+
+    fn ctrl_send(&mut self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        if to >= self.p {
+            return Err(CommError::BadRank(to));
+        }
+        if tag.0 & BULK_BIT != 0 {
+            return Err(CommError::Protocol("tag collides with bulk channel".into()));
+        }
+        self.tx[to].push(tag.0, data);
+        Ok(())
+    }
+
+    fn ctrl_recv(&mut self, from: usize, tag: Tag) -> Result<Vec<u8>> {
+        if from >= self.p {
+            return Err(CommError::BadRank(from));
+        }
+        Ok(self.recv_keyed(from, tag.0))
+    }
+
+    /// Two-copy bulk send. Deviation from the abstract contract: when a
+    /// transfer exceeds the ring capacity ([`RING_CAP`]) and the
+    /// receiver is not draining, the sender blocks on ring backpressure.
+    /// No protocol in this workspace sends bidirectional bulk shm
+    /// traffic on the native transport, so this cannot deadlock here,
+    /// but new exchange patterns over `NativeComm` should prefer CMA
+    /// (which never blocks on a peer's progress).
+    fn shm_send_data(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        src: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if to >= self.p {
+            return Err(CommError::BadRank(to));
+        }
+        self.check(src, off, len)?;
+        // Two-copy path: fragment through the shared ring (first copy
+        // here, second at the receiver).
+        let key = tag.0 | BULK_BIT;
+        let mut at = 0usize;
+        let data = self.buf(src)?;
+        while at < len || (len == 0 && at == 0) {
+            let n = BULK_CHUNK.min(len - at);
+            self.tx[to].push(key, &data[off + at..off + at + n]);
+            at += n.max(1);
+            if len == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn shm_recv_data(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if from >= self.p {
+            return Err(CommError::BadRank(from));
+        }
+        self.check(dst, off, len)?;
+        let key = tag.0 | BULK_BIT;
+        let mut at = 0usize;
+        loop {
+            let chunk = self.recv_keyed(from, key);
+            if at + chunk.len() > len {
+                return Err(CommError::Truncated { wanted: len, got: at + chunk.len() });
+            }
+            self.bufs.get_mut(&dst.0).unwrap()[off + at..off + at + chunk.len()]
+                .copy_from_slice(&chunk);
+            at += chunk.len();
+            if at >= len {
+                return Ok(());
+            }
+            if chunk.is_empty() {
+                return Err(CommError::Truncated { wanted: len, got: at });
+            }
+        }
+    }
+
+    fn time_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,192 @@
+//! Calibrate the *real* machine's CMA parameters, the closest runnable
+//! analogue of the paper's Table III/IV methodology.
+//!
+//! Modern kernels short-circuit `process_vm_readv` when either iovec is
+//! empty, so the paper's liovcnt/riovcnt step-isolation trick no longer
+//! pins pages without copying. Instead we recover the parameters from
+//! full transfers:
+//!
+//! * α from minimal (1-byte) transfers,
+//! * the combined per-page slope `l + s·β` from a linear fit of latency
+//!   over page count on *cold* (first-touch) pages,
+//! * β from the marginal cost of re-reading *warm* pages (locks cheap,
+//!   copy dominant),
+//! * γ(c) from `c` forked readers hammering the same source process.
+//!
+//! Wall-clock numbers on shared machines are noisy; this module reports
+//! medians over repeated trials and is surfaced by the
+//! `calibrate_native` example, not used for the figure regeneration
+//! (which runs on the calibrated simulator).
+
+use crate::team::{run_forked_collect, TeamError};
+use kacc_comm::{Comm, CommExt, CommError, RemoteToken, Tag};
+use std::sync::atomic::Ordering;
+
+/// Parameters recovered from the running machine.
+#[derive(Debug, Clone)]
+pub struct NativeCalibration {
+    /// Startup cost per call (syscall + permission check), ns.
+    pub alpha_ns: f64,
+    /// Per-byte copy cost on warm pages, ns/byte.
+    pub beta_ns_per_byte: f64,
+    /// Combined first-touch per-page cost `l + s·β`, ns/page.
+    pub page_slope_ns: f64,
+    /// Lock+pin share of the page slope (`slope − s·β`), ns/page.
+    pub l_ns: f64,
+    /// Page size, bytes.
+    pub page_size: usize,
+}
+
+impl NativeCalibration {
+    /// Bandwidth in GB/s implied by β.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        1.0 / self.beta_ns_per_byte
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// One timed cross-process read of `pages` pages; the child allocates a
+/// fresh buffer per trial so pages are cold unless `warm`.
+fn timed_read(pages: usize, page_size: usize, warm: bool, trials: usize) -> Result<Vec<f64>, TeamError> {
+    let raw = run_forked_collect(2, trials, move |comm| {
+        let bytes = (pages * page_size).max(1);
+        if comm.rank() == 0 {
+            for t in 0..trials {
+                let b = comm.alloc_with(&vec![0xA5u8; bytes]);
+                let tok = comm.expose(b)?;
+                comm.ctrl_send(1, Tag::user(1), &tok.to_bytes())?;
+                comm.wait_notify(1, Tag::user(2))?;
+                if t + 1 < trials {
+                    comm.free(b)?;
+                }
+            }
+            Ok(())
+        } else {
+            let dst = comm.alloc(bytes);
+            for t in 0..trials {
+                let raw = comm.ctrl_recv(0, Tag::user(1))?;
+                let tok = RemoteToken::from_bytes(&raw)
+                    .ok_or(CommError::Protocol("bad token".into()))?;
+                if warm {
+                    // Touch once so the timed read hits pinned-warm pages.
+                    comm.cma_read(tok, 0, dst, 0, bytes)?;
+                }
+                let t0 = comm.time_ns();
+                comm.cma_read(tok, 0, dst, 0, bytes)?;
+                let dt = comm.time_ns() - t0;
+                comm.result_slot(t).store(dt.max(1), Ordering::SeqCst);
+                comm.notify(0, Tag::user(2))?;
+            }
+            Ok(())
+        }
+    })?;
+    Ok(raw.into_iter().map(|s| s as f64).collect())
+}
+
+/// Run the calibration (≈ a second of wall time with the defaults).
+pub fn calibrate_native(trials: usize) -> Result<NativeCalibration, TeamError> {
+    let page_size = {
+        // SAFETY: plain sysconf.
+        let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+        if sz > 0 {
+            sz as usize
+        } else {
+            4096
+        }
+    };
+    let trials = trials.max(3);
+
+    // α: minimal transfers (1 byte → 1 page + copy of 1 byte ≈ α + l).
+    let alpha = median(timed_read(0, page_size, true, trials)?);
+
+    // β: warm large transfers — marginal cost per byte.
+    let warm_small = median(timed_read(64, page_size, true, trials)?);
+    let warm_large = median(timed_read(512, page_size, true, trials)?);
+    let beta = ((warm_large - warm_small) / ((512 - 64) * page_size) as f64).max(1e-4);
+
+    // Cold slope: first-touch reads include lock+pin per page.
+    let cold_small = median(timed_read(64, page_size, false, trials)?);
+    let cold_large = median(timed_read(512, page_size, false, trials)?);
+    let slope = ((cold_large - cold_small) / (512 - 64) as f64).max(0.0);
+
+    let l = (slope - beta * page_size as f64).max(0.0);
+    Ok(NativeCalibration {
+        alpha_ns: alpha,
+        beta_ns_per_byte: beta,
+        page_slope_ns: slope,
+        l_ns: l,
+        page_size,
+    })
+}
+
+/// Measure the real machine's contention inflation: median per-reader
+/// latency of `readers` concurrent same-source reads over the latency of
+/// a single reader. On a box with fewer cores than readers this
+/// under-reports true contention (readers time-slice instead of
+/// spinning on the lock) — it exists to exercise the code path and give
+/// a lower bound.
+pub fn measure_native_gamma(
+    readers: usize,
+    pages: usize,
+    trials: usize,
+) -> Result<f64, TeamError> {
+    let page_size = 4096usize;
+    let solo = median(one_to_all(1, pages, page_size, trials)?);
+    let packed = median(one_to_all(readers, pages, page_size, trials)?);
+    Ok(packed / solo.max(1.0))
+}
+
+fn one_to_all(
+    readers: usize,
+    pages: usize,
+    page_size: usize,
+    trials: usize,
+) -> Result<Vec<f64>, TeamError> {
+    let raw = run_forked_collect(readers + 1, trials * readers, move |comm| {
+        let bytes = pages * page_size;
+        if comm.rank() == 0 {
+            for _ in 0..trials {
+                let b = comm.alloc(bytes * readers);
+                let tok = comm.expose(b)?;
+                for r in 1..=readers {
+                    comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())?;
+                }
+                for r in 1..=readers {
+                    comm.wait_notify(r, Tag::user(2))?;
+                }
+                comm.free(b)?;
+            }
+            Ok(())
+        } else {
+            let me = comm.rank();
+            let dst = comm.alloc(bytes);
+            for t in 0..trials {
+                let raw = comm.ctrl_recv(0, Tag::user(1))?;
+                let tok = RemoteToken::from_bytes(&raw)
+                    .ok_or(CommError::Protocol("bad token".into()))?;
+                let t0 = comm.time_ns();
+                comm.cma_read(tok, (me - 1) * bytes, dst, 0, bytes)?;
+                let dt = comm.time_ns() - t0;
+                comm.result_slot(t * readers + (me - 1)).store(dt.max(1), Ordering::SeqCst);
+                comm.notify(0, Tag::user(2))?;
+            }
+            Ok(())
+        }
+    })?;
+    Ok(raw.into_iter().map(|s| s as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 3.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end check of the collective algorithms over *real*
+//! `process_vm_readv`/`process_vm_writev` between forked processes.
+//!
+//! Everything runs inside a single `#[test]` so the process only forks
+//! while this test binary has no other test threads mid-allocation.
+
+use kacc_collectives::verify::{
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
+    scatter_expected, scatter_sendbuf,
+};
+use kacc_collectives::{
+    allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,
+    GatherAlgo, ScatterAlgo,
+};
+use kacc_comm::{Comm, CommExt, CommError};
+use kacc_native::{cma_available, run_forked};
+
+fn proto_err(msg: String) -> CommError {
+    CommError::Protocol(msg)
+}
+
+#[test]
+fn real_cma_collectives_end_to_end() {
+    if !cma_available() {
+        eprintln!("skipping: cross-process CMA unavailable (ptrace scope?)");
+        return;
+    }
+    let p = 6;
+    let count = 24_000; // page-misaligned, multi-page
+
+    // Scatter: every algorithm against real syscalls.
+    for algo in [
+        ScatterAlgo::ParallelRead,
+        ScatterAlgo::SequentialWrite,
+        ScatterAlgo::ThrottledRead { k: 2 },
+    ] {
+        run_forked(p, |comm| {
+            let me = comm.rank();
+            let sb = (me == 1).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            scatter(comm, algo, sb, Some(rb), count, 1)?;
+            let got = comm.read_all(rb)?;
+            if let Some(d) = diff(&got, &scatter_expected(me, count)) {
+                return Err(proto_err(format!("{algo:?}: {d}")));
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("scatter {algo:?} failed: {e}"));
+    }
+
+    // Gather.
+    for algo in [
+        GatherAlgo::ParallelWrite,
+        GatherAlgo::SequentialRead,
+        GatherAlgo::ThrottledWrite { k: 3 },
+    ] {
+        run_forked(p, |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == 0).then(|| comm.alloc(p * count));
+            gather(comm, algo, Some(sb), rb, count, 0)?;
+            if let Some(rb) = rb {
+                let got = comm.read_all(rb)?;
+                if let Some(d) = diff(&got, &gather_expected(p, count)) {
+                    return Err(proto_err(format!("{algo:?}: {d}")));
+                }
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("gather {algo:?} failed: {e}"));
+    }
+
+    // Allgather.
+    for algo in [
+        AllgatherAlgo::RingNeighbor { j: 1 },
+        AllgatherAlgo::RingSourceRead,
+        AllgatherAlgo::RingSourceWrite,
+        AllgatherAlgo::RecursiveDoubling,
+        AllgatherAlgo::Bruck,
+    ] {
+        run_forked(p, |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = comm.alloc(p * count);
+            allgather(comm, algo, Some(sb), rb, count)?;
+            let got = comm.read_all(rb)?;
+            if let Some(d) = diff(&got, &gather_expected(p, count)) {
+                return Err(proto_err(format!("{algo:?} rank {me}: {d}")));
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("allgather {algo:?} failed: {e}"));
+    }
+
+    // Alltoall (smaller blocks: p·p·count bytes total traffic).
+    for algo in [AlltoallAlgo::Pairwise, AlltoallAlgo::Bruck] {
+        run_forked(p, |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&alltoall_sendbuf(me, p, 8_000));
+            let rb = comm.alloc(p * 8_000);
+            alltoall(comm, algo, Some(sb), rb, 8_000)?;
+            let got = comm.read_all(rb)?;
+            if let Some(d) = diff(&got, &alltoall_expected(me, p, 8_000)) {
+                return Err(proto_err(format!("{algo:?} rank {me}: {d}")));
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("alltoall {algo:?} failed: {e}"));
+    }
+
+    // Bcast.
+    for algo in [
+        BcastAlgo::DirectRead,
+        BcastAlgo::DirectWrite,
+        BcastAlgo::KNomial { radix: 3 },
+        BcastAlgo::ScatterAllgather,
+    ] {
+        run_forked(p, |comm| {
+            let me = comm.rank();
+            let buf = if me == 0 {
+                comm.alloc_with(&contribution(0, count))
+            } else {
+                comm.alloc(count)
+            };
+            bcast(comm, algo, buf, count, 0)?;
+            let got = comm.read_all(buf)?;
+            if let Some(d) = diff(&got, &contribution(0, count)) {
+                return Err(proto_err(format!("{algo:?} rank {me}: {d}")));
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("bcast {algo:?} failed: {e}"));
+    }
+
+    // Failure propagation: a rank that errors is reported by rank id.
+    let err = run_forked(3, |comm| {
+        if comm.rank() == 2 {
+            Err(proto_err("deliberate failure".into()))
+        } else {
+            Ok(())
+        }
+    })
+    .unwrap_err();
+    match err {
+        kacc_native::TeamError::RankFailures(fails) => {
+            assert_eq!(fails.len(), 1);
+            assert_eq!(fails[0].0, 2);
+            assert!(fails[0].1.contains("deliberate failure"));
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}

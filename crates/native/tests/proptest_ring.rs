@@ -1,0 +1,63 @@
+//! Property-based tests for the SPSC shared-memory ring: arbitrary frame
+//! sequences survive unchanged, in order, across thread boundaries.
+
+use kacc_native::ring::{ring_bytes, SpscRing};
+use kacc_native::shm::ShmRegion;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn frames_never_lost_or_reordered(
+        frames in proptest::collection::vec(
+            (0u32..1000, proptest::collection::vec(any::<u8>(), 0..200)),
+            0..64,
+        ),
+        cap_pow in 8u32..12,
+    ) {
+        let cap = 1usize << cap_pow;
+        // Skip frame sets containing oversized frames for this capacity.
+        prop_assume!(frames.iter().all(|(_, p)| p.len() + 16 <= cap));
+        let shm = ShmRegion::new(ring_bytes(cap)).unwrap();
+        // SAFETY: fresh zeroed region; single producer and single
+        // consumer below.
+        let tx = unsafe { SpscRing::attach(shm.as_ptr(), cap) };
+        let rx = unsafe { SpscRing::attach(shm.as_ptr(), cap) };
+
+        let expected = frames.clone();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for (tag, payload) in &frames {
+                    tx.push(*tag, payload);
+                }
+            });
+            for (tag, payload) in &expected {
+                let (got_tag, got_payload) = rx.pop();
+                assert_eq!(got_tag, *tag);
+                assert_eq!(&got_payload, payload);
+            }
+            producer.join().unwrap();
+        });
+        prop_assert!(rx.try_pop().is_none(), "ring must drain completely");
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_fifo(
+        payload_lens in proptest::collection::vec(0usize..100, 1..200),
+    ) {
+        // Single-threaded interleaving with a tiny ring: every push is
+        // followed by a pop, so wrap-around happens constantly.
+        let cap = 256;
+        prop_assume!(payload_lens.iter().all(|&l| l + 16 <= cap));
+        let shm = ShmRegion::new(ring_bytes(cap)).unwrap();
+        let ring = unsafe { SpscRing::attach(shm.as_ptr(), cap) };
+        for (i, &len) in payload_lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..len).map(|b| (b ^ i) as u8).collect();
+            ring.push(i as u32, &payload);
+            let (tag, got) = ring.pop();
+            prop_assert_eq!(tag, i as u32);
+            prop_assert_eq!(got, payload);
+        }
+    }
+}

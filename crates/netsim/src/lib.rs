@@ -1,0 +1,311 @@
+#![warn(missing_docs)]
+
+//! Multi-node cluster experiments over the simulated fabric (§VII-G).
+//!
+//! The heavy lifting lives in `kacc-machine` (per-node memory systems and
+//! page-lock servers joined by per-NIC fluid link servers) — this crate
+//! supplies the cluster-level experiment surface:
+//!
+//! * [`cluster_gather`] / [`cluster_scatter`] — run a rooted collective
+//!   across nodes either **single-level** (one flat binomial tree over
+//!   point-to-point transfers, the strategy libraries default to when
+//!   intra-node gathers are slow) or **two-level** (contention-aware
+//!   kernel-assisted intra-node phase + leader exchange, the paper's
+//!   design), and report the latency;
+//! * shape checks that reproduce Fig 17's observation: the two-level
+//!   design wins, and its advantage *grows* with node count.
+
+use kacc_collectives::hierarchical::{hier_gather, hier_gather_pipelined, hier_scatter};
+use kacc_comm::{BufId, Comm, Result};
+use kacc_machine::{run_cluster, TeamRun};
+use kacc_model::{ArchProfile, FabricParams};
+use kacc_mpi::{ptcoll, Protocol};
+
+/// Strategy for a multi-node rooted collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiNodeStrategy {
+    /// One flat (direct) pt2pt exchange with the global root, oblivious
+    /// to node boundaries — the large-message default of production
+    /// libraries when intra-node gathers are slow (§VII-G).
+    SingleLevel,
+    /// Two-level: contention-aware kernel-assisted intra-node phase with
+    /// the given throttle factor, then leader-to-root bulk transfers.
+    TwoLevel {
+        /// Intra-node throttle factor.
+        k: usize,
+    },
+    /// Two-level with wave pipelining: leaders ship each completed
+    /// throttle wave immediately, overlapping intra- and inter-node
+    /// transfers (§VII-G's suggested refinement).
+    TwoLevelPipelined {
+        /// Intra-node throttle factor (also the wave width).
+        k: usize,
+    },
+}
+
+/// The pt2pt protocol single-level trees use for a message of `len`.
+fn single_level_proto(len: usize) -> Protocol {
+    Protocol::for_len(len, 16 * 1024)
+}
+
+/// Gather `count` bytes per rank to global rank 0 across a cluster.
+/// Returns the simulated latency in nanoseconds.
+pub fn cluster_gather(
+    arch: &ArchProfile,
+    nodes: usize,
+    ranks_per_node: usize,
+    fabric: FabricParams,
+    count: usize,
+    strategy: MultiNodeStrategy,
+) -> TeamRun {
+    let (run, _) = run_cluster(arch, nodes, ranks_per_node, fabric, move |comm| {
+        gather_body(comm, count, strategy).unwrap()
+    });
+    run
+}
+
+fn gather_body<C: Comm + ?Sized>(
+    comm: &mut C,
+    count: usize,
+    strategy: MultiNodeStrategy,
+) -> Result<()> {
+    let me = comm.rank();
+    let p = comm.size();
+    let sb = comm.alloc(count);
+    let rb: Option<BufId> = (me == 0).then(|| comm.alloc(p * count));
+    match strategy {
+        MultiNodeStrategy::SingleLevel => {
+            ptcoll::gather_direct(comm, sb, rb, count, 0, single_level_proto(count))
+        }
+        MultiNodeStrategy::TwoLevel { k } => {
+            hier_gather(comm, Some(sb), rb, count, 0, k)
+        }
+        MultiNodeStrategy::TwoLevelPipelined { k } => {
+            hier_gather_pipelined(comm, Some(sb), rb, count, 0, k)
+        }
+    }
+}
+
+/// Scatter `count` bytes per rank from global rank 0 across a cluster.
+pub fn cluster_scatter(
+    arch: &ArchProfile,
+    nodes: usize,
+    ranks_per_node: usize,
+    fabric: FabricParams,
+    count: usize,
+    strategy: MultiNodeStrategy,
+) -> TeamRun {
+    let (run, _) = run_cluster(arch, nodes, ranks_per_node, fabric, move |comm| {
+        scatter_body(comm, count, strategy).unwrap()
+    });
+    run
+}
+
+fn scatter_body<C: Comm + ?Sized>(
+    comm: &mut C,
+    count: usize,
+    strategy: MultiNodeStrategy,
+) -> Result<()> {
+    let me = comm.rank();
+    let p = comm.size();
+    let sb: Option<BufId> = (me == 0).then(|| comm.alloc(p * count));
+    let rb = comm.alloc(count);
+    match strategy {
+        MultiNodeStrategy::SingleLevel => {
+            ptcoll::scatter_direct(comm, sb, rb, count, 0, single_level_proto(count))
+        }
+        MultiNodeStrategy::TwoLevel { k } | MultiNodeStrategy::TwoLevelPipelined { k } => {
+            hier_scatter(comm, sb, Some(rb), count, 0, k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kacc_collectives::verify::{contribution, diff, gather_expected, scatter_sendbuf};
+    use kacc_comm::CommExt;
+
+    fn mini_arch() -> ArchProfile {
+        let mut a = ArchProfile::knl();
+        a.cores_per_socket = 16;
+        a
+    }
+
+    #[test]
+    fn cluster_placement_is_block_distributed() {
+        let (_, nodes) = run_cluster(&mini_arch(), 3, 4, FabricParams::ib_edr(), |comm| {
+            (0..comm.size()).map(|r| comm.node_of(r)).collect::<Vec<_>>()
+        });
+        for per_rank in &nodes {
+            assert_eq!(per_rank, &vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn cma_across_nodes_is_rejected() {
+        let (_, results) = run_cluster(&mini_arch(), 2, 2, FabricParams::ib_edr(), |comm| {
+            if comm.rank() == 0 {
+                let b = comm.alloc(64);
+                let tok = comm.expose(b).unwrap();
+                comm.ctrl_send(2, kacc_comm::Tag::user(1), &tok.to_bytes()).unwrap();
+                comm.wait_notify(2, kacc_comm::Tag::user(2)).unwrap();
+                true
+            } else if comm.rank() == 2 {
+                let raw = comm.ctrl_recv(0, kacc_comm::Tag::user(1)).unwrap();
+                let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
+                let dst = comm.alloc(64);
+                let err = comm.cma_read(tok, 0, dst, 0, 64);
+                comm.notify(0, kacc_comm::Tag::user(2)).unwrap();
+                err.is_err()
+            } else {
+                true
+            }
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn hier_gather_is_correct_across_nodes() {
+        let count = 3000;
+        let (run, results) =
+            run_cluster(&mini_arch(), 2, 4, FabricParams::ib_edr(), move |comm| {
+                let me = comm.rank();
+                let p = comm.size();
+                let sb = comm.alloc_with(&contribution(me, count));
+                let rb = (me == 0).then(|| comm.alloc(p * count));
+                hier_gather(comm, Some(sb), rb, count, 0, 2).unwrap();
+                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+            });
+        if let Some(d) = diff(&results[0], &gather_expected(8, count)) {
+            panic!("hier gather: {d}");
+        }
+        assert_eq!(run.mail_pending, 0);
+    }
+
+    #[test]
+    fn hier_scatter_is_correct_across_nodes() {
+        let count = 2000;
+        let p = 9;
+        let (_, results) =
+            run_cluster(&mini_arch(), 3, 3, FabricParams::ib_edr(), move |comm| {
+                let me = comm.rank();
+                let sb = (me == 0).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+                let rb = comm.alloc(count);
+                hier_scatter(comm, sb, Some(rb), count, 0, 2).unwrap();
+                comm.read_all(rb).unwrap()
+            });
+        for (r, got) in results.iter().enumerate() {
+            if let Some(d) =
+                diff(got, &kacc_collectives::verify::scatter_expected(r, count))
+            {
+                panic!("hier scatter rank {r}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_gather_is_correct_across_nodes() {
+        let count = 1500;
+        let (_, results) =
+            run_cluster(&mini_arch(), 2, 3, FabricParams::ib_edr(), move |comm| {
+                let me = comm.rank();
+                let p = comm.size();
+                let sb = comm.alloc_with(&contribution(me, count));
+                let rb = (me == 0).then(|| comm.alloc(p * count));
+                ptcoll::gather_direct(comm, sb, rb, count, 0, single_level_proto(count))
+                    .unwrap();
+                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+            });
+        if let Some(d) = diff(&results[0], &gather_expected(6, count)) {
+            panic!("single-level gather: {d}");
+        }
+    }
+
+    #[test]
+    fn pipelined_hier_gather_is_correct_and_faster() {
+        let count = 48 * 1024;
+        let rpn = 8;
+        // Correctness with data verification.
+        let (_, results) =
+            run_cluster(&mini_arch(), 2, rpn, FabricParams::ib_edr(), move |comm| {
+                let me = comm.rank();
+                let p = comm.size();
+                let sb = comm.alloc_with(&contribution(me, 512));
+                let rb = (me == 0).then(|| comm.alloc(p * 512));
+                kacc_collectives::hierarchical::hier_gather_pipelined(
+                    comm,
+                    Some(sb),
+                    rb,
+                    512,
+                    0,
+                    3,
+                )
+                .unwrap();
+                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+            });
+        if let Some(d) = diff(&results[0], &gather_expected(2 * rpn, 512)) {
+            panic!("pipelined hier gather: {d}");
+        }
+        // Overlap should not be slower than the barriered two-level.
+        let arch = ArchProfile::knl();
+        let plain = cluster_gather(
+            &arch,
+            4,
+            16,
+            FabricParams::omni_path(),
+            count,
+            MultiNodeStrategy::TwoLevel { k: 4 },
+        )
+        .end_ns;
+        let pipe = cluster_gather(
+            &arch,
+            4,
+            16,
+            FabricParams::omni_path(),
+            count,
+            MultiNodeStrategy::TwoLevelPipelined { k: 4 },
+        )
+        .end_ns;
+        assert!(
+            pipe <= plain,
+            "pipelining should overlap transfers: {pipe} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn two_level_gather_beats_single_level_and_scales() {
+        // Fig 17's shape: two-level wins, and the improvement factor
+        // grows with node count.
+        let arch = ArchProfile::knl();
+        let count = 32 * 1024;
+        let rpn = 16;
+        let mut improvements = Vec::new();
+        for nodes in [2usize, 4, 8] {
+            let single = cluster_gather(
+                &arch,
+                nodes,
+                rpn,
+                FabricParams::omni_path(),
+                count,
+                MultiNodeStrategy::SingleLevel,
+            )
+            .end_ns;
+            let two = cluster_gather(
+                &arch,
+                nodes,
+                rpn,
+                FabricParams::omni_path(),
+                count,
+                MultiNodeStrategy::TwoLevel { k: 4 },
+            )
+            .end_ns;
+            assert!(two < single, "{nodes} nodes: two-level {two} !< single {single}");
+            improvements.push(single as f64 / two as f64);
+        }
+        assert!(
+            improvements.windows(2).all(|w| w[1] > w[0]),
+            "improvement should grow with node count: {improvements:?}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Linear least squares via normal equations.
+
+use crate::matrix::Matrix;
+
+/// Solve `min_x ||A x - b||₂` through the normal equations
+/// `(AᵀA) x = Aᵀ b`. Adequate for the small, well-conditioned design
+/// matrices produced by the model-extraction experiments. Returns `None`
+/// if `AᵀA` is singular (rank-deficient design).
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), b.len(), "observation count mismatch");
+    let at = a.transpose();
+    let ata = at.matmul(a);
+    let atb = at.matmul(&Matrix::col_vec(b));
+    let x = ata.solve(&atb)?;
+    Some(x.as_slice().to_vec())
+}
+
+/// Fit `y ≈ m·x + c`, returning `(m, c)`.
+pub fn fit_line(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    assert_eq!(x.len(), y.len());
+    let mut a = Matrix::zeros(x.len(), 2);
+    for (i, &xi) in x.iter().enumerate() {
+        a[(i, 0)] = xi;
+        a[(i, 1)] = 1.0;
+    }
+    let sol = lstsq(&a, y)?;
+    Some((sol[0], sol[1]))
+}
+
+/// Coefficient of determination R² for predictions vs observations.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len());
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 =
+        observed.iter().zip(predicted).map(|(y, f)| (y - f).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_coefficients() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 2.0).collect();
+        let (m, c) = fit_line(&x, &y).unwrap();
+        assert!((m - 3.0).abs() < 1e-10);
+        assert!((c + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_recovers_coefficients_approximately() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 0.5 * v + 7.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let (m, c) = fit_line(&x, &y).unwrap();
+        assert!((m - 0.5).abs() < 0.01);
+        assert!((c - 7.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn quadratic_design_matrix() {
+        // y = 2x² + 3x + 1 fitted with columns [x², x, 1].
+        let xs: Vec<f64> = (1..20).map(|i| i as f64 / 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x * x + 3.0 * x + 1.0).collect();
+        let mut a = Matrix::zeros(xs.len(), 3);
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = x * x;
+            a[(i, 1)] = x;
+            a[(i, 2)] = 1.0;
+        }
+        let sol = lstsq(&a, &ys).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-8);
+        assert!((sol[1] - 3.0).abs() < 1e-8);
+        assert!((sol[2] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rank_deficient_design_returns_none() {
+        // Two identical columns.
+        let mut a = Matrix::zeros(5, 2);
+        for i in 0..5 {
+            a[(i, 0)] = i as f64;
+            a[(i, 1)] = i as f64;
+        }
+        let y = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        assert!(lstsq(&a, &y).is_none());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_flat() {
+        assert!((r_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        let r = r_squared(&[1.0, 2.0, 3.0], &[2.0, 2.0, 2.0]);
+        assert!(r <= 0.0 + 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! Small dense row-major matrices with partially pivoted LU solves.
+//!
+//! Sized for the fitting problems in this workspace (a handful of
+//! parameters, hundreds of observations); no attempt is made at blocked
+//! or SIMD kernels.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major nested slice.
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        }
+    }
+
+    /// Build a column vector.
+    pub fn col_vec(v: &[f64]) -> Matrix {
+        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matmul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self + scale * rhs` (same shape).
+    pub fn add_scaled(&self, rhs: &Matrix, scale: f64) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data =
+            self.data.iter().zip(&rhs.data).map(|(a, b)| a + scale * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Solve `self * x = b` for a square system via LU with partial
+    /// pivoting. Returns `None` if the matrix is singular to working
+    /// precision.
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.rows, self.rows, "rhs shape mismatch");
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut x = b.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivot.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, lu[(r, col)].abs()))
+                .max_by(|a, b| a.1.total_cmp(&b.1))?;
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let (a, b2) = (lu[(col, j)], lu[(pivot_row, j)]);
+                    lu[(col, j)] = b2;
+                    lu[(pivot_row, j)] = a;
+                }
+                for j in 0..x.cols {
+                    let (a, b2) = (x[(col, j)], x[(pivot_row, j)]);
+                    x[(col, j)] = b2;
+                    x[(pivot_row, j)] = a;
+                }
+                perm.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            for r in col + 1..n {
+                let f = lu[(r, col)] / lu[(col, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                lu[(r, col)] = 0.0;
+                for j in col + 1..n {
+                    lu[(r, j)] -= f * lu[(col, j)];
+                }
+                for j in 0..x.cols {
+                    x[(r, j)] -= f * x[(col, j)];
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            for j in 0..x.cols {
+                let mut acc = x[(col, j)];
+                for k in col + 1..n {
+                    acc -= lu[(col, k)] * x[(k, j)];
+                }
+                x[(col, j)] = acc / lu[(col, col)];
+            }
+        }
+        Some(x)
+    }
+
+    /// Flat view of the underlying data (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Maximum absolute entry (for convergence checks).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let i = Matrix::identity(3);
+        let b = Matrix::col_vec(&[1.0, -2.0, 3.5]);
+        assert_eq!(i.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [5; 10] => x = [1; 3]
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::col_vec(&[5.0, 10.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Matrix::col_vec(&[2.0, 7.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 7.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let b = Matrix::col_vec(&[1.0, 2.0]);
+        assert!(a.solve(&b).is_none());
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn solve_random_systems_reconstruct_rhs() {
+        // Deterministic pseudo-random fill; verify A*x ≈ b.
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for n in 1..8 {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = next();
+                }
+                a[(i, i)] += 2.0; // keep well-conditioned
+            }
+            let b = Matrix::col_vec(&(0..n).map(|_| next()).collect::<Vec<_>>());
+            let x = a.solve(&b).unwrap();
+            let r = a.matmul(&x).add_scaled(&b, -1.0);
+            assert!(r.max_abs() < 1e-10, "residual too large for n={n}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Levenberg–Marquardt nonlinear least squares.
+//!
+//! Implements the damped Gauss–Newton iteration of Marquardt (1963) — the
+//! same "NLLS algorithm \[22\]" the paper uses to fit its contention factor
+//! γ in Fig 5. The Jacobian is computed by central finite differences, so
+//! models only need to expose `f(x, params) -> y`.
+
+use crate::matrix::Matrix;
+
+/// Failure modes of the fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NllsError {
+    /// Observation arrays disagreed in length or were empty.
+    BadInput(String),
+    /// The damped normal equations stayed singular even at maximum λ.
+    Singular,
+    /// The iteration hit `max_iter` without satisfying the tolerances.
+    DidNotConverge,
+}
+
+impl std::fmt::Display for NllsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NllsError::BadInput(m) => write!(f, "bad NLLS input: {m}"),
+            NllsError::Singular => write!(f, "normal equations singular"),
+            NllsError::DidNotConverge => write!(f, "NLLS did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for NllsError {}
+
+/// Tuning knobs for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy)]
+pub struct LmOptions {
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Stop when the relative reduction of the squared residual falls
+    /// below this.
+    pub ftol: f64,
+    /// Stop when the largest parameter step falls below this.
+    pub xtol: f64,
+    /// Initial damping factor λ.
+    pub lambda0: f64,
+    /// Multiplicative λ adjustment.
+    pub lambda_scale: f64,
+    /// Relative step for finite-difference Jacobians.
+    pub fd_step: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> LmOptions {
+        LmOptions {
+            max_iter: 200,
+            ftol: 1e-12,
+            xtol: 1e-12,
+            lambda0: 1e-3,
+            lambda_scale: 10.0,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+/// Converged fit result.
+#[derive(Debug, Clone)]
+pub struct LmReport {
+    /// Fitted parameters.
+    pub params: Vec<f64>,
+    /// Final sum of squared residuals.
+    pub ssr: f64,
+    /// Outer iterations used.
+    pub iterations: usize,
+}
+
+fn residuals<F: Fn(f64, &[f64]) -> f64>(
+    model: &F,
+    xs: &[f64],
+    ys: &[f64],
+    params: &[f64],
+) -> Vec<f64> {
+    xs.iter().zip(ys).map(|(&x, &y)| y - model(x, params)).collect()
+}
+
+fn ssr(res: &[f64]) -> f64 {
+    res.iter().map(|r| r * r).sum()
+}
+
+/// Fit `params` so that `model(x_i, params) ≈ y_i` in the least-squares
+/// sense, starting from `initial`.
+pub fn levenberg_marquardt<F: Fn(f64, &[f64]) -> f64>(
+    model: F,
+    xs: &[f64],
+    ys: &[f64],
+    initial: &[f64],
+    opts: LmOptions,
+) -> Result<LmReport, NllsError> {
+    if xs.len() != ys.len() {
+        return Err(NllsError::BadInput(format!(
+            "{} x values but {} y values",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < initial.len() {
+        return Err(NllsError::BadInput(format!(
+            "{} observations cannot constrain {} parameters",
+            xs.len(),
+            initial.len()
+        )));
+    }
+    if initial.is_empty() {
+        return Err(NllsError::BadInput("no parameters to fit".into()));
+    }
+
+    let npar = initial.len();
+    let mut params = initial.to_vec();
+    let mut res = residuals(&model, xs, ys, &params);
+    let mut current_ssr = ssr(&res);
+    let mut lambda = opts.lambda0;
+
+    for iter in 1..=opts.max_iter {
+        // Jacobian of the residual vector, J[i][j] = d r_i / d p_j, by
+        // central differences.
+        let mut jac = Matrix::zeros(xs.len(), npar);
+        for j in 0..npar {
+            let h = opts.fd_step * params[j].abs().max(1e-8);
+            let mut plus = params.clone();
+            plus[j] += h;
+            let mut minus = params.clone();
+            minus[j] -= h;
+            for (i, &x) in xs.iter().enumerate() {
+                let rp = ys[i] - model(x, &plus);
+                let rm = ys[i] - model(x, &minus);
+                jac[(i, j)] = (rp - rm) / (2.0 * h);
+            }
+        }
+
+        // Normal equations with Marquardt damping on the diagonal:
+        // (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀ r.
+        let jt = jac.transpose();
+        let jtj = jt.matmul(&jac);
+        let jtr = jt.matmul(&Matrix::col_vec(&res));
+
+        let mut improved = false;
+        let mut lambda_tries = 0usize;
+        while lambda_tries < 32 {
+            let mut damped = jtj.clone();
+            for d in 0..npar {
+                let diag = jtj[(d, d)];
+                damped[(d, d)] = diag + lambda * diag.max(1e-12);
+            }
+            let Some(delta) = damped.solve(&jtr) else {
+                lambda *= opts.lambda_scale;
+                lambda_tries += 1;
+                continue;
+            };
+            let trial: Vec<f64> =
+                params.iter().enumerate().map(|(j, p)| p - delta[(j, 0)]).collect();
+            let trial_res = residuals(&model, xs, ys, &trial);
+            let trial_ssr = ssr(&trial_res);
+            if trial_ssr.is_finite() && trial_ssr < current_ssr {
+                let rel_drop = (current_ssr - trial_ssr) / current_ssr.max(1e-300);
+                let step = delta.max_abs();
+                params = trial;
+                res = trial_res;
+                current_ssr = trial_ssr;
+                lambda = (lambda / opts.lambda_scale).max(1e-12);
+                improved = true;
+                if rel_drop < opts.ftol || step < opts.xtol {
+                    return Ok(LmReport { params, ssr: current_ssr, iterations: iter });
+                }
+                break;
+            }
+            lambda *= opts.lambda_scale;
+            lambda_tries += 1;
+        }
+
+        if !improved {
+            // λ escalated to its ceiling without finding a descent step:
+            // treat the current point as converged if the residual is
+            // already tiny, otherwise report.
+            if current_ssr < 1e-20 {
+                return Ok(LmReport { params, ssr: current_ssr, iterations: iter });
+            }
+            return if lambda_tries >= 32 && current_ssr.is_finite() {
+                Ok(LmReport { params, ssr: current_ssr, iterations: iter })
+            } else {
+                Err(NllsError::Singular)
+            };
+        }
+    }
+
+    Err(NllsError::DidNotConverge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exponential_decay() {
+        // y = a * exp(-b x), a=5, b=0.3.
+        let model = |x: f64, p: &[f64]| p[0] * (-p[1] * x).exp();
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 5.0 * (-0.3 * x).exp()).collect();
+        let fit =
+            levenberg_marquardt(model, &xs, &ys, &[1.0, 1.0], LmOptions::default()).unwrap();
+        assert!((fit.params[0] - 5.0).abs() < 1e-6, "a = {}", fit.params[0]);
+        assert!((fit.params[1] - 0.3).abs() < 1e-6, "b = {}", fit.params[1]);
+    }
+
+    #[test]
+    fn fits_paper_style_gamma_curve() {
+        // γ(c) = a c² + b c — the reconstructed Table IV functional form.
+        let model = |c: f64, p: &[f64]| p[0] * c * c + p[1] * c;
+        let cs: Vec<f64> = (1..=64).map(|c| c as f64).collect();
+        let ys: Vec<f64> = cs.iter().map(|&c| 0.1 * c * c + 1.6 * c).collect();
+        let fit =
+            levenberg_marquardt(model, &cs, &ys, &[0.01, 0.5], LmOptions::default()).unwrap();
+        assert!((fit.params[0] - 0.1).abs() < 1e-8);
+        assert!((fit.params[1] - 1.6).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fits_under_noise() {
+        let model = |x: f64, p: &[f64]| p[0] * x * x + p[1] * x;
+        let xs: Vec<f64> = (1..=80).map(|c| c as f64).collect();
+        // Deterministic +-1% multiplicative noise.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                (0.05 * x * x + 0.8 * x) * if i % 2 == 0 { 1.01 } else { 0.99 }
+            })
+            .collect();
+        let fit =
+            levenberg_marquardt(model, &xs, &ys, &[1.0, 1.0], LmOptions::default()).unwrap();
+        assert!((fit.params[0] - 0.05).abs() < 0.005);
+        assert!((fit.params[1] - 0.8).abs() < 0.2);
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let model = |x: f64, p: &[f64]| p[0] * x;
+        let err = levenberg_marquardt(model, &[1.0, 2.0], &[1.0], &[1.0], LmOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, NllsError::BadInput(_)));
+    }
+
+    #[test]
+    fn rejects_underdetermined_problem() {
+        let model = |x: f64, p: &[f64]| p[0] * x + p[1];
+        let err = levenberg_marquardt(model, &[1.0], &[1.0], &[1.0, 1.0], LmOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, NllsError::BadInput(_)));
+    }
+
+    #[test]
+    fn converges_from_poor_start() {
+        let model = |x: f64, p: &[f64]| p[0] * x * x + p[1] * x;
+        let xs: Vec<f64> = (1..=32).map(|c| c as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&c| 0.04 * c * c + 0.4 * c).collect();
+        let fit = levenberg_marquardt(model, &xs, &ys, &[100.0, -50.0], LmOptions::default())
+            .unwrap();
+        assert!((fit.params[0] - 0.04).abs() < 1e-6);
+        assert!((fit.params[1] - 0.4).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Polynomial models over `f64`.
+
+use crate::lls::lstsq;
+use crate::matrix::Matrix;
+
+/// Polynomial with coefficients in ascending degree order:
+/// `coeffs[k]` multiplies `x^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Build from ascending-degree coefficients. Trailing zeros are kept
+    /// (degree is structural, not numerical).
+    pub fn new(coeffs: Vec<f64>) -> Polynomial {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Coefficients, ascending degree.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Structural degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluate with Horner's scheme.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Least-squares fit of a degree-`degree` polynomial to `(x, y)`
+    /// pairs. Returns `None` when the design matrix is rank-deficient
+    /// (e.g. fewer distinct x values than coefficients).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Option<Polynomial> {
+        assert_eq!(xs.len(), ys.len());
+        if xs.len() < degree + 1 {
+            return None;
+        }
+        let mut a = Matrix::zeros(xs.len(), degree + 1);
+        for (i, &x) in xs.iter().enumerate() {
+            let mut pow = 1.0;
+            for j in 0..=degree {
+                a[(i, j)] = pow;
+                pow *= x;
+            }
+        }
+        lstsq(&a, ys).map(Polynomial::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_matches_naive() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5, 3.0]);
+        for x in [-2.0f64, -0.5, 0.0, 1.0, 2.5] {
+            let naive: f64 =
+                p.coeffs().iter().enumerate().map(|(k, c)| c * x.powi(k as i32)).sum();
+            assert!((p.eval(x) - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_recovers_exact_cubic() {
+        let truth = Polynomial::new(vec![2.0, -1.0, 0.25, 0.125]);
+        let xs: Vec<f64> = (-10..=10).map(|i| i as f64 / 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let fit = Polynomial::fit(&xs, &ys, 3).unwrap();
+        for (a, b) in fit.coeffs().iter().zip(truth.coeffs()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fit_underdetermined_returns_none() {
+        assert!(Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 3).is_none());
+    }
+
+    #[test]
+    fn fit_duplicate_xs_is_rank_deficient() {
+        let xs = vec![2.0; 10];
+        let ys = vec![4.0; 10];
+        assert!(Polynomial::fit(&xs, &ys, 2).is_none());
+    }
+}

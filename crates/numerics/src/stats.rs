@@ -1,0 +1,102 @@
+//! Descriptive statistics used by the bench harness and model fits.
+
+/// Arithmetic mean. Returns `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean of positive values. Returns `None` if the input is
+/// empty or contains non-positive values. Used for speedup aggregation.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// Population standard deviation. Returns `None` for empty input.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some((xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Linear-interpolated percentile, `q` in [0, 100]. Returns `None` for
+/// empty input.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Max / min ratio, used for "up to Nx improvement" summaries.
+pub fn max_speedup(baseline: &[f64], ours: &[f64]) -> Option<f64> {
+    assert_eq!(baseline.len(), ours.len());
+    baseline
+        .iter()
+        .zip(ours)
+        .filter(|(_, &o)| o > 0.0)
+        .map(|(&b, &o)| b / o)
+        .max_by(|a, b| a.total_cmp(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((stddev(&xs).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 10.0, 100.0]).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(geomean(&[1.0, -1.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert!((median(&xs).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), Some(5.0));
+    }
+
+    #[test]
+    fn speedup_picks_best_point() {
+        let base = [100.0, 50.0, 10.0];
+        let ours = [2.0, 25.0, 10.0];
+        assert_eq!(max_speedup(&base, &ours), Some(50.0));
+    }
+}

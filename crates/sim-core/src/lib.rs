@@ -1,0 +1,629 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation kernel with cooperative rank
+//! threads.
+//!
+//! Simulated processes are ordinary blocking Rust closures, each running on
+//! its own OS thread. The kernel enforces that **exactly one thread runs at
+//! a time** and hands control between threads according to a virtual-time
+//! event heap with a global sequence-number tie-break, so every run over
+//! the same program is bit-for-bit deterministic regardless of host
+//! scheduling.
+//!
+//! The kernel is generic over a user state type `S` (the simulated
+//! machine). Threads interact with `S` and with virtual time through
+//! [`Ctx::poll`]: a closure that atomically inspects/mutates the shared
+//! state and either completes or blocks with an optional timer. On every
+//! wake-up — timer expiry or an explicit [`Waker::wake_at`] from another
+//! thread — the closure re-evaluates, which makes stale-event races
+//! impossible by construction: a wake that arrives too early simply
+//! re-blocks.
+//!
+//! This "re-check on wake" protocol is what lets `kacc-machine` implement
+//! fluid processor-sharing servers (the page-lock server, the memory
+//! system) whose completion times shift whenever flows join or leave.
+
+pub mod mailbox;
+
+pub use mailbox::Mailboxes;
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// One scheduler transition, recorded when tracing is enabled: thread
+/// `tid` received the floor at virtual time `at` to resume the operation
+/// it was parked on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the dispatch.
+    pub at: SimTime,
+    /// Thread that received the floor.
+    pub tid: usize,
+    /// Label of the operation the thread was parked on.
+    pub label: &'static str,
+}
+
+/// Render a dispatch trace as Chrome trace-event JSON (open in
+/// `chrome://tracing` or Perfetto): each dispatch becomes an instant
+/// event on its thread's track, with virtual nanoseconds mapped to
+/// microsecond timestamps.
+pub fn trace_to_chrome_json(trace: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
+            e.label,
+            e.at as f64 / 1000.0,
+            e.tid
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Result of one evaluation of a [`Ctx::poll`] closure.
+pub enum Poll<T> {
+    /// The operation completed with this value.
+    Ready(T),
+    /// Block. If `wake_at` is `Some(t)`, schedule a self-wake at virtual
+    /// time `t` (clamped to now); otherwise wait for an external
+    /// [`Waker::wake_at`].
+    Wait {
+        /// Optional timer for the blocking thread.
+        wake_at: Option<SimTime>,
+    },
+}
+
+/// Handle other threads' wake-ups from inside a poll closure.
+///
+/// Any state change that can move another thread's completion time
+/// *earlier* must push a fresh wake for it; wakes that turn out premature
+/// are harmless (the woken closure re-blocks).
+pub struct Waker {
+    pending: Vec<(usize, SimTime)>,
+}
+
+impl Waker {
+    /// Schedule thread `tid` to re-evaluate its poll closure at virtual
+    /// time `at` (clamped to the current time if in the past).
+    pub fn wake_at(&mut self, tid: usize, at: SimTime) {
+        self.pending.push((tid, at));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadPhase {
+    /// Not yet given the floor for the first time.
+    Starting,
+    /// Currently holds the floor.
+    Running,
+    /// Parked inside a poll.
+    Parked,
+    /// User closure returned.
+    Finished,
+}
+
+struct ThreadSlot {
+    phase: ThreadPhase,
+    /// Wake-token epoch; events carry the epoch they were issued for and
+    /// are discarded if the thread has re-parked since.
+    epoch: u64,
+    /// Floor-transfer flag, protected by the kernel mutex.
+    go: bool,
+    /// What the thread is blocked on (for deadlock dumps).
+    label: &'static str,
+    finish_time: Option<SimTime>,
+}
+
+struct KernelState<S> {
+    now: SimTime,
+    seq: u64,
+    /// Min-heap of (time, seq, tid, epoch).
+    events: BinaryHeap<Reverse<(SimTime, u64, usize, u64)>>,
+    threads: Vec<ThreadSlot>,
+    live: usize,
+    user: S,
+    panic_msg: Option<String>,
+    all_done: bool,
+    /// Dispatch trace, when enabled.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+struct Kernel<S> {
+    state: Mutex<KernelState<S>>,
+    /// One condvar per thread plus one (last) for `run()`.
+    cvs: Vec<Condvar>,
+}
+
+impl<S> Kernel<S> {
+    /// Push an event, bumping the global sequence counter.
+    fn push_event(st: &mut KernelState<S>, at: SimTime, tid: usize, epoch: u64) {
+        let t = at.max(st.now);
+        st.seq += 1;
+        let seq = st.seq;
+        st.events.push(Reverse((t, seq, tid, epoch)));
+    }
+
+    /// Pick the next runnable thread, advance the clock, and transfer the
+    /// floor. Must be called by a thread that no longer holds the floor.
+    fn dispatch(&self, st: &mut KernelState<S>) {
+        loop {
+            let Some(&Reverse((t, _seq, tid, epoch))) = st.events.peek() else {
+                // No events: either everything finished, or deadlock.
+                if st.live == 0 {
+                    st.all_done = true;
+                    self.cvs[st.threads.len()].notify_all();
+                    return;
+                }
+                let dump: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.phase != ThreadPhase::Finished)
+                    .map(|(i, s)| format!("  thread {i}: {:?} on '{}'", s.phase, s.label))
+                    .collect();
+                st.panic_msg = Some(format!(
+                    "simulation deadlock at t={}ns: {} live thread(s) blocked with no pending events\n{}",
+                    st.now,
+                    st.live,
+                    dump.join("\n")
+                ));
+                st.all_done = true;
+                self.cvs[st.threads.len()].notify_all();
+                // Wake everyone so parked threads can observe the abort.
+                for cv in &self.cvs {
+                    cv.notify_all();
+                }
+                return;
+            };
+            st.events.pop();
+            let slot = &mut st.threads[tid];
+            // Discard stale wakes (thread re-parked or finished since).
+            if slot.phase == ThreadPhase::Finished || slot.epoch != epoch {
+                continue;
+            }
+            debug_assert!(t >= st.now, "event heap went backwards");
+            st.now = t;
+            slot.go = true;
+            let label = slot.label;
+            if let Some(trace) = st.trace.as_mut() {
+                trace.push(TraceEvent { at: t, tid, label });
+            }
+            self.cvs[tid].notify_one();
+            return;
+        }
+    }
+
+}
+
+/// Per-thread context handed to simulated-process closures.
+pub struct Ctx<S: Send + 'static> {
+    kernel: Arc<Kernel<S>>,
+    tid: usize,
+}
+
+impl<S: Send + 'static> Clone for Ctx<S> {
+    fn clone(&self) -> Self {
+        Ctx { kernel: Arc::clone(&self.kernel), tid: self.tid }
+    }
+}
+
+impl<S: Send + 'static> Ctx<S> {
+    /// Index of this simulated thread (spawn order).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    /// Charge `dt` nanoseconds of virtual time to this thread.
+    pub fn advance(&self, dt: SimTime) {
+        let mut deadline = None;
+        self.poll("advance", move |_s, _w, now| {
+            let d = *deadline.get_or_insert(now + dt);
+            if now >= d {
+                Poll::Ready(())
+            } else {
+                Poll::Wait { wake_at: Some(d) }
+            }
+        })
+    }
+
+    /// Run `f` atomically against the shared state. Non-blocking: `f`
+    /// executes exactly once while this thread holds the floor.
+    pub fn with_state<T>(&self, f: impl FnOnce(&mut S, SimTime) -> T) -> T {
+        let mut guard = self.kernel.state.lock();
+        let st = &mut *guard;
+        f(&mut st.user, st.now)
+    }
+
+    /// The core blocking primitive; see the module docs. `label` appears
+    /// in deadlock dumps.
+    pub fn poll<T>(
+        &self,
+        label: &'static str,
+        mut f: impl FnMut(&mut S, &mut Waker, SimTime) -> Poll<T>,
+    ) -> T {
+        let kernel = &*self.kernel;
+        let mut guard = kernel.state.lock();
+        loop {
+            if guard.panic_msg.is_some() {
+                let msg = guard.panic_msg.clone().unwrap();
+                drop(guard);
+                panic!("simulation aborted: {msg}");
+            }
+            let mut waker = Waker { pending: Vec::new() };
+            let now = guard.now;
+            let st = &mut *guard;
+            let outcome = f(&mut st.user, &mut waker, now);
+            // Apply wakes requested for other threads: bump-free — they
+            // target the *current* epoch of each thread.
+            for (tid, at) in waker.pending {
+                let epoch = st.threads[tid].epoch;
+                Kernel::push_event(st, at, tid, epoch);
+            }
+            match outcome {
+                Poll::Ready(v) => return v,
+                Poll::Wait { wake_at } => {
+                    let tid = self.tid;
+                    st.threads[tid].epoch += 1;
+                    st.threads[tid].phase = ThreadPhase::Parked;
+                    st.threads[tid].label = label;
+                    let epoch = st.threads[tid].epoch;
+                    if let Some(at) = wake_at {
+                        Kernel::push_event(st, at, tid, epoch);
+                    }
+                    kernel.dispatch(st);
+                    // Park until handed the floor again.
+                    while !guard.threads[self.tid].go {
+                        if guard.panic_msg.is_some() {
+                            let msg = guard.panic_msg.clone().unwrap();
+                            drop(guard);
+                            panic!("simulation aborted: {msg}");
+                        }
+                        kernel.cvs[self.tid].wait(&mut guard);
+                    }
+                    guard.threads[self.tid].go = false;
+                    guard.threads[self.tid].phase = ThreadPhase::Running;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a completed simulation.
+pub struct RunReport<S> {
+    /// Final shared state.
+    pub state: S,
+    /// Virtual time when the last thread finished.
+    pub end_time: SimTime,
+    /// Per-thread finish times, indexed by tid.
+    pub finish_times: Vec<SimTime>,
+    /// Dispatch trace, when enabled with [`Sim::enable_trace`].
+    pub trace: Vec<TraceEvent>,
+}
+
+/// A simulation under construction: create, spawn threads, run.
+pub struct Sim<S: Send + 'static> {
+    state: Option<S>,
+    pending: Vec<Box<dyn FnOnce(Ctx<S>) + Send + 'static>>,
+    trace: bool,
+}
+
+impl<S: Send + 'static> Sim<S> {
+    /// Create a simulation owning the shared machine state.
+    pub fn new(state: S) -> Sim<S> {
+        Sim { state: Some(state), pending: Vec::new(), trace: false }
+    }
+
+    /// Record every scheduler dispatch into [`RunReport::trace`]
+    /// (observability/debugging; costs memory proportional to events).
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// Register a simulated thread. Threads receive the floor in spawn
+    /// order at t=0. Returns the thread's tid.
+    pub fn spawn(&mut self, f: impl FnOnce(Ctx<S>) + Send + 'static) -> usize {
+        let tid = self.pending.len();
+        self.pending.push(Box::new(f));
+        tid
+    }
+
+    /// Run the simulation to completion, returning the final state and
+    /// timing report. Panics (with the failing thread's message) if any
+    /// simulated thread panicked or the simulation deadlocked.
+    pub fn run(mut self) -> RunReport<S> {
+        let n = self.pending.len();
+        let kernel = Arc::new(Kernel {
+            state: Mutex::new(KernelState {
+                now: 0,
+                seq: 0,
+                events: BinaryHeap::new(),
+                threads: (0..n)
+                    .map(|_| ThreadSlot {
+                        phase: ThreadPhase::Starting,
+                        epoch: 0,
+                        go: false,
+                        label: "start",
+                        finish_time: None,
+                    })
+                    .collect(),
+                live: n,
+                user: self.state.take().expect("run called once"),
+                panic_msg: None,
+                all_done: false,
+                trace: self.trace.then(Vec::new),
+            }),
+            cvs: (0..=n).map(|_| Condvar::new()).collect(),
+        });
+
+        // Seed start events in spawn order and hand the floor to the
+        // first thread (it will pick up the go-flag when it parks).
+        {
+            let mut st = kernel.state.lock();
+            for tid in 0..n {
+                let st = &mut *st;
+                Kernel::push_event(st, 0, tid, 0);
+            }
+            let st = &mut *st;
+            kernel.dispatch(st);
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (tid, f) in self.pending.drain(..).enumerate() {
+            let kernel = Arc::clone(&kernel);
+            handles.push(std::thread::spawn(move || {
+                // Acquire the floor for the first time.
+                {
+                    let mut guard = kernel.state.lock();
+                    while !guard.threads[tid].go {
+                        if guard.panic_msg.is_some() {
+                            return;
+                        }
+                        kernel.cvs[tid].wait(&mut guard);
+                    }
+                    guard.threads[tid].go = false;
+                    guard.threads[tid].phase = ThreadPhase::Running;
+                }
+                let ctx = Ctx { kernel: Arc::clone(&kernel), tid };
+                let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+                let mut guard = kernel.state.lock();
+                let st = &mut *guard;
+                st.threads[tid].phase = ThreadPhase::Finished;
+                st.threads[tid].finish_time = Some(st.now);
+                st.live -= 1;
+                if let Err(p) = result {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic".to_string());
+                    if st.panic_msg.is_none() {
+                        st.panic_msg =
+                            Some(format!("simulated thread {tid} panicked: {msg}"));
+                    }
+                    st.all_done = true;
+                    kernel.cvs[st.threads.len()].notify_all();
+                    for cv in kernel.cvs.iter() {
+                        cv.notify_all();
+                    }
+                    return;
+                }
+                kernel.dispatch(st);
+            }));
+        }
+
+        // Wait for completion.
+        {
+            let mut guard = kernel.state.lock();
+            while !guard.all_done {
+                kernel.cvs[n].wait(&mut guard);
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let k = Arc::try_unwrap(kernel).ok().expect("all ctxs dropped at join");
+        let st = k.state.into_inner();
+        if let Some(msg) = st.panic_msg {
+            panic!("{msg}");
+        }
+        RunReport {
+            end_time: st.now,
+            finish_times: st
+                .threads
+                .iter()
+                .map(|t| t.finish_time.expect("finished thread has time"))
+                .collect(),
+            trace: st.trace.unwrap_or_default(),
+            state: st.user,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_advances_time() {
+        let mut sim = Sim::new(());
+        sim.spawn(|ctx| {
+            assert_eq!(ctx.now(), 0);
+            ctx.advance(100);
+            assert_eq!(ctx.now(), 100);
+            ctx.advance(0);
+            assert_eq!(ctx.now(), 100);
+        });
+        let r = sim.run();
+        assert_eq!(r.end_time, 100);
+        assert_eq!(r.finish_times, vec![100]);
+    }
+
+    #[test]
+    fn threads_interleave_deterministically() {
+        let mut sim = Sim::new(Vec::<(usize, SimTime)>::new());
+        for tid in 0..4 {
+            sim.spawn(move |ctx| {
+                for step in 0..3u64 {
+                    ctx.advance(10 + tid as u64);
+                    ctx.with_state(|log, now| log.push((tid, now)));
+                    let _ = step;
+                }
+            });
+        }
+        let a = sim.run().state;
+        // Re-run: identical log.
+        let mut sim = Sim::new(Vec::new());
+        for tid in 0..4 {
+            sim.spawn(move |ctx| {
+                for _ in 0..3 {
+                    ctx.advance(10 + tid as u64);
+                    ctx.with_state(|log, now| log.push((tid, now)));
+                }
+            });
+        }
+        let b = sim.run().state;
+        assert_eq!(a, b);
+        // Events at equal times resolve in seq order: thread 0's first
+        // advance (t=10) precedes thread 1's (t=11), etc.
+        assert_eq!(a[0], (0, 10));
+    }
+
+    #[test]
+    fn poll_sees_external_wakes() {
+        // Thread 1 waits on a flag; thread 0 sets it at t=50.
+        let mut sim = Sim::new((false, 0usize));
+        let waiter = 1usize;
+        sim.spawn(move |ctx| {
+            ctx.advance(50);
+            ctx.with_state(|s, _| s.0 = true);
+            // Wake the waiter "now".
+            ctx.poll("signal", move |_, w, now| {
+                w.wake_at(waiter, now);
+                Poll::Ready(())
+            });
+        });
+        sim.spawn(|ctx| {
+            ctx.poll("wait flag", |s: &mut (bool, usize), _w, _now| {
+                if s.0 {
+                    Poll::Ready(())
+                } else {
+                    s.1 += 1;
+                    Poll::Wait { wake_at: None }
+                }
+            });
+            assert_eq!(ctx.now(), 50);
+        });
+        let r = sim.run();
+        assert_eq!(r.end_time, 50);
+        // The waiter's closure ran once to block and once to complete.
+        assert_eq!(r.state.1, 1);
+    }
+
+    #[test]
+    fn premature_wakes_reblock() {
+        let mut sim = Sim::new(());
+        let sleeper = 0usize;
+        sim.spawn(|ctx| {
+            ctx.advance(1000);
+            assert_eq!(ctx.now(), 1000);
+        });
+        sim.spawn(move |ctx| {
+            // Fire spurious wakes at the sleeper long before its deadline.
+            for t in [10u64, 20, 30] {
+                ctx.poll("spur", move |_, w, now| {
+                    w.wake_at(sleeper, now.max(t));
+                    Poll::Ready(())
+                });
+                ctx.advance(5);
+            }
+        });
+        let r = sim.run();
+        assert_eq!(r.finish_times[0], 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim = Sim::new(());
+        sim.spawn(|ctx| {
+            ctx.poll::<()>("forever", |_, _, _| Poll::Wait { wake_at: None });
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "thread 0 panicked: boom")]
+    fn thread_panics_propagate() {
+        let mut sim = Sim::new(());
+        sim.spawn(|_ctx| panic!("boom"));
+        sim.spawn(|ctx| ctx.advance(10));
+        sim.run();
+    }
+
+    #[test]
+    fn trace_records_dispatches_in_time_order() {
+        let mut sim = Sim::new(());
+        sim.enable_trace();
+        sim.spawn(|ctx| {
+            ctx.advance(10);
+            ctx.advance(20);
+        });
+        sim.spawn(|ctx| ctx.advance(15));
+        let r = sim.run();
+        assert!(!r.trace.is_empty());
+        assert!(r.trace.windows(2).all(|w| w[0].at <= w[1].at));
+        // Both threads appear, with the advance label.
+        assert!(r.trace.iter().any(|e| e.tid == 0 && e.label == "advance"));
+        assert!(r.trace.iter().any(|e| e.tid == 1));
+        // Untraced runs stay empty.
+        let mut sim = Sim::new(());
+        sim.spawn(|ctx| ctx.advance(1));
+        assert!(sim.run().trace.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let trace = vec![
+            TraceEvent { at: 1000, tid: 0, label: "advance" },
+            TraceEvent { at: 2500, tid: 3, label: "pin:wait" },
+        ];
+        let json = trace_to_chrome_json(&trace);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ts\":1"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("pin:wait"));
+        assert_eq!(trace_to_chrome_json(&[]), "[]");
+    }
+
+    #[test]
+    fn many_threads_scale() {
+        let mut sim = Sim::new(0u64);
+        for _ in 0..128 {
+            sim.spawn(|ctx| {
+                for _ in 0..10 {
+                    ctx.advance(7);
+                }
+                ctx.with_state(|count, _| *count += 1);
+            });
+        }
+        let r = sim.run();
+        assert_eq!(r.state, 128);
+        assert_eq!(r.end_time, 70);
+    }
+}

@@ -1,0 +1,186 @@
+//! Reusable virtual-time mailboxes for simulated machines.
+//!
+//! A [`Mailboxes`] value lives inside the simulation's shared state `S`.
+//! Senders deposit messages with an *arrival time* (send time + modeled
+//! latency); receivers block until a matching message has arrived in
+//! virtual time. Matching is FIFO per `(to, from, tag)` key, mirroring
+//! MPI-style ordered channels.
+//!
+//! Use from a [`crate::Ctx::poll`] closure:
+//!
+//! ```ignore
+//! // send (non-blocking):
+//! ctx.poll("send", |s, w, now| {
+//!     s.mail.deposit(w, to, from, tag, now + latency, payload.clone());
+//!     Poll::Ready(())
+//! });
+//! // receive (blocking):
+//! let msg = ctx.poll("recv", |s, w, now| s.mail.take(ctx.tid(), to, from, tag, now));
+//! ```
+
+use crate::{Poll, SimTime, Waker};
+use std::collections::{HashMap, VecDeque};
+
+type Key = (usize, usize, u64); // (to, from, tag)
+
+/// FIFO virtual-time mailboxes keyed by `(to, from, tag)`.
+#[derive(Debug, Default)]
+pub struct Mailboxes {
+    queues: HashMap<Key, VecDeque<(SimTime, Vec<u8>)>>,
+    waiters: HashMap<Key, usize>,
+    /// Total messages ever deposited (observability/testing).
+    pub deposited: u64,
+    /// Total messages ever delivered.
+    pub delivered: u64,
+}
+
+impl Mailboxes {
+    /// Create an empty mailbox set.
+    pub fn new() -> Mailboxes {
+        Mailboxes::default()
+    }
+
+    /// Deposit a message arriving at `arrival`. If a receiver is already
+    /// parked on the key, schedule its wake at the arrival time.
+    pub fn deposit(
+        &mut self,
+        waker: &mut Waker,
+        to: usize,
+        from: usize,
+        tag: u64,
+        arrival: SimTime,
+        payload: Vec<u8>,
+    ) {
+        let key = (to, from, tag);
+        self.queues.entry(key).or_default().push_back((arrival, payload));
+        self.deposited += 1;
+        if let Some(&tid) = self.waiters.get(&key) {
+            waker.wake_at(tid, arrival);
+        }
+    }
+
+    /// Poll-step for a receiver thread `tid`: returns `Ready(payload)`
+    /// once the head message for the key has arrived, otherwise blocks
+    /// (with a timer if the head message is in flight).
+    ///
+    /// Panics if two threads wait on the same key simultaneously — that
+    /// would make matching nondeterministic, and no kacc protocol does it.
+    pub fn take(
+        &mut self,
+        tid: usize,
+        to: usize,
+        from: usize,
+        tag: u64,
+        now: SimTime,
+    ) -> Poll<Vec<u8>> {
+        let key = (to, from, tag);
+        // Peek the head's arrival without cloning the payload (bulk
+        // messages can be megabytes).
+        match self.queues.get_mut(&key).and_then(|q| q.front().map(|(a, _)| *a)) {
+            Some(arrival) if arrival <= now => {
+                let (_, payload) =
+                    self.queues.get_mut(&key).unwrap().pop_front().unwrap();
+                self.waiters.remove(&key);
+                self.delivered += 1;
+                Poll::Ready(payload)
+            }
+            Some(arrival) => {
+                self.register(key, tid);
+                Poll::Wait { wake_at: Some(arrival) }
+            }
+            None => {
+                self.register(key, tid);
+                Poll::Wait { wake_at: None }
+            }
+        }
+    }
+
+    fn register(&mut self, key: Key, tid: usize) {
+        if let Some(&prev) = self.waiters.get(&key) {
+            assert_eq!(
+                prev, tid,
+                "two threads ({prev} and {tid}) waiting on mailbox {key:?}"
+            );
+        } else {
+            self.waiters.insert(key, tid);
+        }
+    }
+
+    /// Number of undelivered messages across all queues (leak checking).
+    pub fn pending(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    #[test]
+    fn message_latency_is_respected() {
+        let mut sim = Sim::new(Mailboxes::new());
+        // Sender: deposits at t=10 with 25ns latency.
+        sim.spawn(|ctx| {
+            ctx.advance(10);
+            ctx.poll("send", |m: &mut Mailboxes, w, now| {
+                m.deposit(w, 1, 0, 7, now + 25, b"hi".to_vec());
+                Poll::Ready(())
+            });
+        });
+        sim.spawn(|ctx| {
+            let tid = ctx.tid();
+            let msg = ctx.poll("recv", move |m: &mut Mailboxes, _w, now| {
+                m.take(tid, 1, 0, 7, now)
+            });
+            assert_eq!(msg, b"hi");
+            assert_eq!(ctx.now(), 35);
+        });
+        let r = sim.run();
+        assert_eq!(r.state.pending(), 0);
+        assert_eq!(r.state.delivered, 1);
+    }
+
+    #[test]
+    fn late_receiver_gets_message_immediately() {
+        let mut sim = Sim::new(Mailboxes::new());
+        sim.spawn(|ctx| {
+            ctx.poll("send", |m: &mut Mailboxes, w, now| {
+                m.deposit(w, 1, 0, 0, now + 5, vec![42]);
+                Poll::Ready(())
+            });
+        });
+        sim.spawn(|ctx| {
+            ctx.advance(1000);
+            let tid = ctx.tid();
+            let msg =
+                ctx.poll("recv", move |m: &mut Mailboxes, _w, now| m.take(tid, 1, 0, 0, now));
+            assert_eq!(msg, vec![42]);
+            assert_eq!(ctx.now(), 1000, "no extra wait when message already arrived");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn fifo_order_per_key() {
+        let mut sim = Sim::new(Mailboxes::new());
+        sim.spawn(|ctx| {
+            for i in 0..5u8 {
+                ctx.poll("send", move |m: &mut Mailboxes, w, now| {
+                    m.deposit(w, 1, 0, 3, now + 10, vec![i]);
+                    Poll::Ready(())
+                });
+                ctx.advance(1);
+            }
+        });
+        sim.spawn(|ctx| {
+            let tid = ctx.tid();
+            for i in 0..5u8 {
+                let msg = ctx
+                    .poll("recv", move |m: &mut Mailboxes, _w, now| m.take(tid, 1, 0, 3, now));
+                assert_eq!(msg, vec![i]);
+            }
+        });
+        sim.run();
+    }
+}

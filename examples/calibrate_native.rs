@@ -1,0 +1,47 @@
+//! Calibrate the *real* host machine the way the paper characterizes its
+//! testbeds: recover α, β and the per-page cost from genuine
+//! `process_vm_readv` calls between forked processes, and probe the
+//! contention inflation with concurrent same-source readers.
+//!
+//! ```text
+//! cargo run --release --example calibrate_native [trials]
+//! ```
+//!
+//! Numbers from shared/virtualized machines are noisy and a box with
+//! fewer cores than readers under-reports contention; the calibrated
+//! simulator remains the instrument for figure regeneration.
+
+use kacc::native::{calibrate_native, cma_available, measure_native_gamma};
+
+fn main() {
+    if !cma_available() {
+        eprintln!("cross-process CMA unavailable (ptrace scope?); cannot calibrate");
+        return;
+    }
+    let trials: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(9);
+
+    println!("calibrating this machine's kernel-assisted copy path ({trials} trials)\n");
+    match calibrate_native(trials) {
+        Ok(cal) => {
+            println!("  page size     : {} B", cal.page_size);
+            println!("  alpha         : {:.2} us  (paper Table IV: 0.75-1.43 us)", cal.alpha_ns / 1e3);
+            println!("  beta          : {:.2} GB/s (paper Table IV: 3.1-3.7 GB/s)", cal.bandwidth_gbps());
+            println!("  page slope    : {:.3} us/page (cold, = l + s*beta)", cal.page_slope_ns / 1e3);
+            println!("  l (lock+pin)  : {:.3} us/page (paper Table IV: 0.11-0.53 us)", cal.l_ns / 1e3);
+        }
+        Err(e) => {
+            eprintln!("calibration failed: {e}");
+            return;
+        }
+    }
+
+    println!("\ncontention probe (one-to-all, 64 pages):");
+    for readers in [2usize, 4, 8] {
+        match measure_native_gamma(readers, 64, trials) {
+            Ok(g) => println!("  {readers} readers: per-reader inflation {g:.2}x"),
+            Err(e) => eprintln!("  {readers} readers: failed: {e}"),
+        }
+    }
+    println!("\n(on boxes with fewer cores than readers this is a lower bound;\n the simulator's emergent gamma is the calibrated reference)");
+}

@@ -1,0 +1,64 @@
+//! Characterize a machine the way the paper does (§II): run the Table
+//! III step-isolation probes against the simulator, measure the
+//! contention factor γ under increasing concurrency, and fit it with
+//! Levenberg–Marquardt. Finally, ask the model-driven tuner what it
+//! would pick for each collective.
+//!
+//! ```text
+//! cargo run --release --example contention_model [knl|broadwell|power8]
+//! ```
+
+use kacc::collectives::Tuner;
+use kacc::machine::SimProbe;
+use kacc::model::extract::{extract_params, measure_gamma};
+use kacc::model::gamma::fit_gamma;
+use kacc::model::{ArchProfile, GammaModel};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "knl".into());
+    let arch = ArchProfile::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown architecture '{name}' (try knl, broadwell, power8)");
+        std::process::exit(2);
+    });
+    println!("== characterizing {} ==", arch.name);
+
+    // Table III: T1..T4 with degenerate iovec counts.
+    let mut probe = SimProbe::new(arch.clone());
+    let ex = extract_params(&mut probe, 200);
+    println!("\nstep isolation (200 pages):");
+    println!("  T1 syscall          {:>9.2} us", ex.t1_ns / 1e3);
+    println!("  T2 + access check   {:>9.2} us", ex.t2_ns / 1e3);
+    println!("  T3 + lock/pin       {:>9.2} us", ex.t3_ns / 1e3);
+    println!("  T4 + copy           {:>9.2} us", ex.t4_ns / 1e3);
+    println!("\nderived model parameters (paper Table IV analogues):");
+    println!("  alpha = {:.2} us", ex.alpha_ns / 1e3);
+    println!("  beta  = {:.2} GB/s", ex.bandwidth_gbps());
+    println!("  l     = {:.3} us/page (s = {} B)", ex.l_ns / 1e3, arch.page_size);
+
+    // Fig 5: gamma measurement + NLLS fit.
+    let readers: Vec<usize> =
+        [2usize, 4, 8, 16, 32, 64].into_iter().filter(|&r| r < arch.default_procs).collect();
+    let points = measure_gamma(&mut probe, &readers, &[10, 50, 100]);
+    println!("\ncontention factor (averaged over 10/50/100-page probes):");
+    for pt in &points {
+        println!("  c = {:>3}: gamma = {:>8.2}", pt.c, pt.gamma);
+    }
+    let fit = fit_gamma(&points).expect("gamma fit");
+    if let GammaModel::Quadratic { a, b } = fit.model {
+        println!("  NLLS best fit: gamma(c) = {a:.4} c^2 + {b:.4} c  (ssr {:.2})", fit.ssr);
+    }
+
+    // What the tuner concludes.
+    let tuner = Tuner::new(&arch);
+    let p = arch.default_procs;
+    println!("\ntuner selections for p = {p}:");
+    for eta in [4 << 10, 64 << 10, 1 << 20, 4 << 20] {
+        println!(
+            "  {:>7} B: scatter {:?}, bcast {:?}, allgather {:?}",
+            eta,
+            tuner.scatter(p, eta),
+            tuner.bcast(p, eta),
+            tuner.allgather(p, eta),
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The §VII-G scaling study: gather across a simulated KNL cluster with
+//! a single-level direct algorithm vs the two-level contention-aware
+//! design, sweeping node counts.
+//!
+//! ```text
+//! cargo run --release --example multinode_gather [ranks_per_node] [bytes]
+//! ```
+
+use kacc::model::ArchProfile;
+use kacc::netsim::{cluster_gather, MultiNodeStrategy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rpn: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64 << 10);
+    let arch = ArchProfile::knl();
+    let fabric = arch.default_fabric();
+    println!(
+        "MPI_Gather of {count} B/rank, {rpn} ranks/node over {} ({} B/ns, {} ns startup)\n",
+        fabric.name, fabric.bw_link, fabric.alpha_ns
+    );
+    println!(
+        "{:>6} {:>8} {:>18} {:>18} {:>16} {:>12}",
+        "nodes", "ranks", "single-level (us)", "two-level (us)", "pipelined (us)", "improvement"
+    );
+    for nodes in [2usize, 4, 8] {
+        let single = cluster_gather(
+            &arch,
+            nodes,
+            rpn,
+            fabric.clone(),
+            count,
+            MultiNodeStrategy::SingleLevel,
+        )
+        .end_ns as f64
+            / 1e3;
+        let two = cluster_gather(
+            &arch,
+            nodes,
+            rpn,
+            fabric.clone(),
+            count,
+            MultiNodeStrategy::TwoLevel { k: 4 },
+        )
+        .end_ns as f64
+            / 1e3;
+        let piped = cluster_gather(
+            &arch,
+            nodes,
+            rpn,
+            fabric.clone(),
+            count,
+            MultiNodeStrategy::TwoLevelPipelined { k: 4 },
+        )
+        .end_ns as f64
+            / 1e3;
+        println!(
+            "{nodes:>6} {:>8} {single:>18.1} {two:>18.1} {piped:>16.1} {:>11.2}x",
+            nodes * rpn,
+            single / piped
+        );
+    }
+    println!(
+        "\nthe two-level design leans on the cheap contention-aware intra-node\n\
+         gather (throttled CMA writes) and ships one bulk message per node."
+    );
+}

@@ -1,0 +1,149 @@
+//! Differential testing across transports: the same collective code must
+//! produce byte-identical MPI semantics on the deterministic simulator
+//! and on the thread-backed real-concurrency transport (and, where the
+//! kernel permits, on real forked processes — covered in
+//! `crates/native/tests/forked_cma.rs`).
+
+use kacc::collectives::verify::{
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
+    scatter_expected, scatter_sendbuf,
+};
+use kacc::collectives::{
+    allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,
+    GatherAlgo, ScatterAlgo,
+};
+use kacc::comm::{Comm, CommExt};
+use kacc::machine::run_team;
+use kacc::model::ArchProfile;
+use kacc::native::run_threads;
+
+fn arch() -> ArchProfile {
+    ArchProfile::broadwell()
+}
+
+#[test]
+fn scatter_agrees_across_transports() {
+    let p = 7;
+    let count = 5000;
+    let root = 3;
+    for algo in [
+        ScatterAlgo::ParallelRead,
+        ScatterAlgo::SequentialWrite,
+        ScatterAlgo::ThrottledRead { k: 2 },
+    ] {
+        let run = move |comm: &mut dyn Comm| {
+            let me = comm.rank();
+            let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            scatter(comm, algo, sb, Some(rb), count, root).unwrap();
+            comm.read_all(rb).unwrap()
+        };
+        let (_, sim) = run_team(&arch(), p, move |c| run(c));
+        let thr = run_threads(p, move |c| run(c));
+        for r in 0..p {
+            assert_eq!(sim[r], thr[r], "{algo:?} transports disagree at rank {r}");
+            assert!(diff(&sim[r], &scatter_expected(r, count)).is_none());
+        }
+    }
+}
+
+#[test]
+fn gather_agrees_across_transports() {
+    let p = 6;
+    let count = 3210;
+    for algo in [
+        GatherAlgo::ParallelWrite,
+        GatherAlgo::SequentialRead,
+        GatherAlgo::ThrottledWrite { k: 3 },
+    ] {
+        let run = move |comm: &mut dyn Comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == 0).then(|| comm.alloc(p * count));
+            gather(comm, algo, Some(sb), rb, count, 0).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        };
+        let (_, sim) = run_team(&arch(), p, move |c| run(c));
+        let thr = run_threads(p, move |c| run(c));
+        assert_eq!(sim[0], thr[0], "{algo:?}");
+        assert!(diff(&sim[0], &gather_expected(p, count)).is_none());
+    }
+}
+
+#[test]
+fn allgather_agrees_across_transports() {
+    let p = 8;
+    let count = 1777;
+    for algo in [
+        AllgatherAlgo::RingNeighbor { j: 1 },
+        AllgatherAlgo::RingSourceRead,
+        AllgatherAlgo::RingSourceWrite,
+        AllgatherAlgo::RecursiveDoubling,
+        AllgatherAlgo::Bruck,
+    ] {
+        let run = move |comm: &mut dyn Comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = comm.alloc(p * count);
+            allgather(comm, algo, Some(sb), rb, count).unwrap();
+            comm.read_all(rb).unwrap()
+        };
+        let (_, sim) = run_team(&arch(), p, move |c| run(c));
+        let thr = run_threads(p, move |c| run(c));
+        for r in 0..p {
+            assert_eq!(sim[r], thr[r], "{algo:?} rank {r}");
+            assert!(diff(&sim[r], &gather_expected(p, count)).is_none());
+        }
+    }
+}
+
+#[test]
+fn alltoall_agrees_across_transports() {
+    let p = 5;
+    let count = 900;
+    for algo in [AlltoallAlgo::Pairwise, AlltoallAlgo::Bruck] {
+        let run = move |comm: &mut dyn Comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+            let rb = comm.alloc(p * count);
+            alltoall(comm, algo, Some(sb), rb, count).unwrap();
+            comm.read_all(rb).unwrap()
+        };
+        let (_, sim) = run_team(&arch(), p, move |c| run(c));
+        let thr = run_threads(p, move |c| run(c));
+        for r in 0..p {
+            assert_eq!(sim[r], thr[r], "{algo:?} rank {r}");
+            assert!(diff(&sim[r], &alltoall_expected(r, p, count)).is_none());
+        }
+    }
+}
+
+#[test]
+fn bcast_agrees_across_transports() {
+    let p = 9;
+    let count = 4321;
+    let root = 4;
+    for algo in [
+        BcastAlgo::DirectRead,
+        BcastAlgo::DirectWrite,
+        BcastAlgo::KNomial { radix: 3 },
+        BcastAlgo::ScatterAllgather,
+    ] {
+        let run = move |comm: &mut dyn Comm| {
+            let me = comm.rank();
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count))
+            } else {
+                comm.alloc(count)
+            };
+            bcast(comm, algo, buf, count, root).unwrap();
+            comm.read_all(buf).unwrap()
+        };
+        let (_, sim) = run_team(&arch(), p, move |c| run(c));
+        let thr = run_threads(p, move |c| run(c));
+        for r in 0..p {
+            assert_eq!(sim[r], thr[r], "{algo:?} rank {r}");
+            assert!(diff(&sim[r], &contribution(root, count)).is_none());
+        }
+    }
+}

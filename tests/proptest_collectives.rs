@@ -1,0 +1,243 @@
+//! Property-based tests: MPI semantics hold for arbitrary process
+//! counts, message sizes, roots, and algorithm choices; auxiliary
+//! invariants (determinism, phantom-timing equivalence) hold throughout.
+
+use kacc::collectives::verify::{
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
+    scatter_expected, scatter_sendbuf,
+};
+use kacc::collectives::reduce::expected_u64;
+use kacc::collectives::{
+    allgather, alltoall, bcast, gather, reduce, scatter, AllgatherAlgo, AlltoallAlgo,
+    BcastAlgo, Dtype, GatherAlgo, ReduceAlgo, ReduceOp, ScatterAlgo,
+};
+use kacc::comm::{Comm, CommExt};
+use kacc::machine::{run_team, run_team_phantom};
+use kacc::model::ArchProfile;
+use proptest::prelude::*;
+
+fn small_arch() -> ArchProfile {
+    let mut a = ArchProfile::broadwell();
+    a.cores_per_socket = 4;
+    a
+}
+
+fn scatter_algo() -> impl Strategy<Value = ScatterAlgo> {
+    prop_oneof![
+        Just(ScatterAlgo::ParallelRead),
+        Just(ScatterAlgo::SequentialWrite),
+        (1usize..10).prop_map(|k| ScatterAlgo::ThrottledRead { k }),
+    ]
+}
+
+fn gather_algo() -> impl Strategy<Value = GatherAlgo> {
+    prop_oneof![
+        Just(GatherAlgo::ParallelWrite),
+        Just(GatherAlgo::SequentialRead),
+        (1usize..10).prop_map(|k| GatherAlgo::ThrottledWrite { k }),
+    ]
+}
+
+fn bcast_algo() -> impl Strategy<Value = BcastAlgo> {
+    prop_oneof![
+        Just(BcastAlgo::DirectRead),
+        Just(BcastAlgo::DirectWrite),
+        (2usize..8).prop_map(|radix| BcastAlgo::KNomial { radix }),
+        Just(BcastAlgo::ScatterAllgather),
+    ]
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scatter_delivers_for_any_shape(
+        p in 1usize..10,
+        count in 0usize..6000,
+        root_seed in 0usize..100,
+        algo in scatter_algo(),
+    ) {
+        let root = root_seed % p;
+        let (_, results) = run_team(&small_arch(), p, move |comm| {
+            let me = comm.rank();
+            let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            scatter(comm, algo, sb, Some(rb), count, root).unwrap();
+            comm.read_all(rb).unwrap()
+        });
+        for (r, got) in results.iter().enumerate() {
+            prop_assert!(diff(got, &scatter_expected(r, count)).is_none(),
+                "{algo:?} p={p} count={count} root={root} rank {r}");
+        }
+    }
+
+    #[test]
+    fn gather_delivers_for_any_shape(
+        p in 1usize..10,
+        count in 0usize..6000,
+        root_seed in 0usize..100,
+        algo in gather_algo(),
+    ) {
+        let root = root_seed % p;
+        let (_, results) = run_team(&small_arch(), p, move |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == root).then(|| comm.alloc(p * count));
+            gather(comm, algo, Some(sb), rb, count, root).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        });
+        prop_assert!(diff(&results[root], &gather_expected(p, count)).is_none(),
+            "{algo:?} p={p} count={count} root={root}");
+    }
+
+    #[test]
+    fn allgather_delivers_for_any_shape(
+        p in 2usize..10,
+        count in 0usize..4000,
+        pick in 0usize..5,
+        stride_seed in 0usize..64,
+    ) {
+        let algo = match pick {
+            0 => {
+                let coprime: Vec<usize> =
+                    (1..p).filter(|&j| gcd(j, p) == 1).collect();
+                AllgatherAlgo::RingNeighbor { j: coprime[stride_seed % coprime.len()] }
+            }
+            1 => AllgatherAlgo::RingSourceRead,
+            2 => AllgatherAlgo::RingSourceWrite,
+            3 => AllgatherAlgo::RecursiveDoubling,
+            _ => AllgatherAlgo::Bruck,
+        };
+        let (_, results) = run_team(&small_arch(), p, move |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = comm.alloc(p * count);
+            allgather(comm, algo, Some(sb), rb, count).unwrap();
+            comm.read_all(rb).unwrap()
+        });
+        let expected = gather_expected(p, count);
+        for (r, got) in results.iter().enumerate() {
+            prop_assert!(diff(got, &expected).is_none(), "{algo:?} p={p} rank {r}");
+        }
+    }
+
+    #[test]
+    fn alltoall_delivers_for_any_shape(
+        p in 1usize..9,
+        count in 0usize..3000,
+        bruck in proptest::bool::ANY,
+        in_place in proptest::bool::ANY,
+    ) {
+        let algo = if bruck { AlltoallAlgo::Bruck } else { AlltoallAlgo::Pairwise };
+        let (_, results) = run_team(&small_arch(), p, move |comm| {
+            let me = comm.rank();
+            if in_place {
+                let rb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+                alltoall(comm, algo, None, rb, count).unwrap();
+                comm.read_all(rb).unwrap()
+            } else {
+                let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+                let rb = comm.alloc(p * count);
+                alltoall(comm, algo, Some(sb), rb, count).unwrap();
+                comm.read_all(rb).unwrap()
+            }
+        });
+        for (r, got) in results.iter().enumerate() {
+            prop_assert!(diff(got, &alltoall_expected(r, p, count)).is_none(),
+                "{algo:?} p={p} count={count} in_place={in_place} rank {r}");
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_for_any_shape(
+        p in 1usize..12,
+        count in 0usize..6000,
+        root_seed in 0usize..100,
+        algo in bcast_algo(),
+    ) {
+        let root = root_seed % p;
+        let (_, results) = run_team(&small_arch(), p, move |comm| {
+            let me = comm.rank();
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count))
+            } else {
+                comm.alloc(count)
+            };
+            bcast(comm, algo, buf, count, root).unwrap();
+            comm.read_all(buf).unwrap()
+        });
+        let expected = contribution(root, count);
+        for (r, got) in results.iter().enumerate() {
+            prop_assert!(diff(got, &expected).is_none(),
+                "{algo:?} p={p} count={count} root={root} rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_reference_fold(
+        p in 1usize..10,
+        lanes in 1usize..400,
+        root_seed in 0usize..100,
+        radix in 2usize..6,
+        op_pick in 0usize..3,
+        tree in proptest::bool::ANY,
+    ) {
+        let root = root_seed % p;
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_pick];
+        let algo = if tree {
+            ReduceAlgo::KNomialTree { radix }
+        } else {
+            ReduceAlgo::SequentialRead
+        };
+        let value_of =
+            |r: usize, l: usize| (r as u64).wrapping_mul(0xABCD_EF01).wrapping_add(l as u64);
+        let (_, results) = run_team(&small_arch(), p, move |comm| {
+            let me = comm.rank();
+            let data: Vec<u8> =
+                (0..lanes).flat_map(|l| value_of(me, l).to_le_bytes()).collect();
+            let sb = comm.alloc_with(&data);
+            let rb = (me == root).then(|| comm.alloc(lanes * 8));
+            reduce(comm, algo, sb, rb, lanes * 8, Dtype::U64, op, root).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        });
+        let got: Vec<u64> = results[root]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        prop_assert_eq!(got, expected_u64(p, lanes, op, value_of),
+            "{:?} {:?} p={} root={}", algo, op, p, root);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_phantom_timing_matches(
+        p in 2usize..8,
+        count in 1usize..30_000,
+        algo in bcast_algo(),
+    ) {
+        let go = |phantom: bool| {
+            let body = move |comm: &mut kacc::machine::SimComm| {
+                let buf = comm.alloc(count);
+                bcast(comm, algo, buf, count, 0).unwrap();
+                comm.time_ns()
+            };
+            if phantom {
+                run_team_phantom(&small_arch(), p, body).0.end_ns
+            } else {
+                run_team(&small_arch(), p, body).0.end_ns
+            }
+        };
+        let a = go(false);
+        let b = go(false);
+        prop_assert_eq!(a, b, "same-config runs must be bit-identical");
+        let ph = go(true);
+        prop_assert_eq!(a, ph, "phantom buffers must not change virtual timing");
+    }
+}
