@@ -8,16 +8,20 @@ use kacc_comm::{smcoll, Comm};
 use kacc_model::ArchProfile;
 use std::time::Duration;
 
-fn custom(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, label: &str, ns: f64) {
+fn custom(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    ns: f64,
+) {
     g.bench_function(label, |b| {
         b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+            // Report exact simulated time; the capped sleep
+            // gives criterion's wall-clock warm-up a
+            // heartbeat so iteration counts stay sane.
+            let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+            std::thread::sleep(d.min(Duration::from_millis(25)));
+            d
+        })
     });
 }
 
@@ -53,8 +57,7 @@ fn bench(c: &mut Criterion) {
             }
             // The barrier-cost skeleton above isolates synchronization
             // overhead; add the actual data movement once.
-            scatter(comm, ScatterAlgo::ThrottledRead { k }, sb, Some(rb), eta, 0)
-                .unwrap();
+            scatter(comm, ScatterAlgo::ThrottledRead { k }, sb, Some(rb), eta, 0).unwrap();
         });
         custom(&mut g, "barrier-per-wave", barriered);
         g.finish();
@@ -119,14 +122,8 @@ fn bench(c: &mut Criterion) {
         let pt2pt = timed_team(&arch, p, move |comm| {
             let sb = comm.alloc(64 << 10);
             let rb = comm.alloc(p * (64 << 10));
-            kacc_mpi::ptcoll::allgather(
-                comm,
-                sb,
-                rb,
-                64 << 10,
-                kacc_mpi::Protocol::RendezvousCma,
-            )
-            .unwrap();
+            kacc_mpi::ptcoll::allgather(comm, sb, rb, 64 << 10, kacc_mpi::Protocol::RendezvousCma)
+                .unwrap();
         });
         custom(&mut g, "pt2pt-rts-cts", pt2pt);
         g.finish();

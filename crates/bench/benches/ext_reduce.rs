@@ -13,8 +13,8 @@ fn bench(c: &mut Criterion) {
     let p = arch.default_procs;
     let mut g = c.benchmark_group("ext_reduce/KNL");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     for eta in [64 << 10, 1 << 20] {
         for (label, algo) in [
             ("sequential-read", ReduceAlgo::SequentialRead),
@@ -25,18 +25,17 @@ fn bench(c: &mut Criterion) {
             let ns = timed_team(&arch, p, move |comm| {
                 let sb = comm.alloc(eta);
                 let rb = (comm.rank() == 0).then(|| comm.alloc(eta));
-                reduce(comm, algo, sb, rb, eta, Dtype::U64, ReduceOp::Sum, 0)
-                    .expect("reduce");
+                reduce(comm, algo, sb, rb, eta, Dtype::U64, ReduceOp::Sum, 0).expect("reduce");
             });
             g.bench_function(format!("{label}/{}", kacc_bench::size_label(eta)), |b| {
                 b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                    // Report exact simulated time; the capped sleep
+                    // gives criterion's wall-clock warm-up a
+                    // heartbeat so iteration counts stay sane.
+                    let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                    std::thread::sleep(d.min(Duration::from_millis(25)));
+                    d
+                })
             });
         }
     }

@@ -6,7 +6,8 @@ use kacc_bench::workload;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig01/workload");
-    g.sample_size(10).warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500));
     g.bench_function("generate-100k", |b| {
         b.iter(|| workload::generate(100_000, std::hint::black_box(42)))
     });

@@ -18,55 +18,55 @@ fn bench(c: &mut Criterion) {
             let ns = pairs_read_ns(&knl, readers, eta);
             g.bench_function(format!("all-to-all/{readers}r"), |b| {
                 b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                    // Report exact simulated time; the capped sleep
+                    // gives criterion's wall-clock warm-up a
+                    // heartbeat so iteration counts stay sane.
+                    let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                    std::thread::sleep(d.min(Duration::from_millis(25)));
+                    d
+                })
             });
             let ns = one_to_all_read_ns(&knl, readers, eta, true);
             g.bench_function(format!("one-to-all-same/{readers}r"), |b| {
                 b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                    // Report exact simulated time; the capped sleep
+                    // gives criterion's wall-clock warm-up a
+                    // heartbeat so iteration counts stay sane.
+                    let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                    std::thread::sleep(d.min(Duration::from_millis(25)));
+                    d
+                })
             });
             let ns = one_to_all_read_ns(&knl, readers, eta, false);
             g.bench_function(format!("one-to-all-diff/{readers}r"), |b| {
                 b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                    // Report exact simulated time; the capped sleep
+                    // gives criterion's wall-clock warm-up a
+                    // heartbeat so iteration counts stay sane.
+                    let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                    std::thread::sleep(d.min(Duration::from_millis(25)));
+                    d
+                })
             });
         }
         g.finish();
     }
     let mut g = c.benchmark_group("fig03/one-to-all-256K");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     for arch in ArchProfile::all() {
         for readers in [1usize, 16] {
             let ns = one_to_all_read_ns(&arch, readers, eta, false);
             g.bench_function(format!("{}/{readers}r", arch.name), |b| {
                 b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                    // Report exact simulated time; the capped sleep
+                    // gives criterion's wall-clock warm-up a
+                    // heartbeat so iteration counts stay sane.
+                    let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                    std::thread::sleep(d.min(Duration::from_millis(25)));
+                    d
+                })
             });
         }
     }

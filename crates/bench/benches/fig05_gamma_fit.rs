@@ -9,10 +9,13 @@ use kacc_model::ArchProfile;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig05/gamma");
-    g.sample_size(10).warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500));
     let mut probe = SimProbe::new(ArchProfile::knl());
     let points = measure_gamma(&mut probe, &[2, 4, 8, 16, 32], &[10, 50, 100]);
-    g.bench_function("nlls-fit", |b| b.iter(|| fit_gamma(std::hint::black_box(&points))));
+    g.bench_function("nlls-fit", |b| {
+        b.iter(|| fit_gamma(std::hint::black_box(&points)))
+    });
     g.bench_function("measure-5-concurrency-levels", |b| {
         b.iter(|| {
             let mut probe = SimProbe::new(ArchProfile::knl());

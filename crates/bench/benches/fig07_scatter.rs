@@ -27,13 +27,13 @@ fn bench(c: &mut Criterion) {
                 g.bench_function(format!("{label}/{}", size_label(eta)), |b| {
                     b.iter_custom(|iters| {
                         {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    }
+                            // Report exact simulated time; the capped sleep
+                            // gives criterion's wall-clock warm-up a
+                            // heartbeat so iteration counts stay sane.
+                            let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                            std::thread::sleep(d.min(Duration::from_millis(25)));
+                            d
+                        }
                     })
                 });
             }

@@ -14,41 +14,41 @@ fn bench(c: &mut Criterion) {
     let p = arch.default_procs;
     let mut g = c.benchmark_group("fig09/KNL");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     for eta in [16 << 10, 256 << 10] {
         let shm = library_ns(&arch, p, eta, Coll::Alltoall, Library::IntelMpi);
         g.bench_function(format!("shmem/{}", size_label(eta)), |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(shm * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(shm * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
         let pt = library_ns(&arch, p, eta, Coll::Alltoall, Library::Mvapich2);
         g.bench_function(format!("cma-pt2pt/{}", size_label(eta)), |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(pt * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(pt * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
         let coll = alltoall_ns(&arch, p, eta, AlltoallAlgo::Pairwise);
         g.bench_function(format!("cma-coll/{}", size_label(eta)), |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(coll * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(coll * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
     }
     g.finish();

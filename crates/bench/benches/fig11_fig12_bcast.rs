@@ -43,30 +43,30 @@ fn bench(c: &mut Criterion) {
     let params = arch.nominal_model();
     let mut g = c.benchmark_group("fig12/KNL-validation");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     let eta = 1 << 20;
     let actual = bcast_ns(&arch, p, eta, BcastAlgo::DirectRead);
     g.bench_function("actual/direct-read/1M", |b| {
         b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(actual * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+            // Report exact simulated time; the capped sleep
+            // gives criterion's wall-clock warm-up a
+            // heartbeat so iteration counts stay sane.
+            let d = Duration::from_secs_f64(actual * 1e-9 * iters as f64);
+            std::thread::sleep(d.min(Duration::from_millis(25)));
+            d
+        })
     });
     let modeled = predict::bcast_direct_read(&params, p, eta);
     g.bench_function("modeled/direct-read/1M", |b| {
         b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(modeled * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+            // Report exact simulated time; the capped sleep
+            // gives criterion's wall-clock warm-up a
+            // heartbeat so iteration counts stay sane.
+            let d = Duration::from_secs_f64(modeled * 1e-9 * iters as f64);
+            std::thread::sleep(d.min(Duration::from_millis(25)));
+            d
+        })
     });
     g.finish();
 }

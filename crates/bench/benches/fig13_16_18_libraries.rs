@@ -19,19 +19,22 @@ fn bench(c: &mut Criterion) {
             .measurement_time(Duration::from_millis(200));
         let heavy = coll == Coll::Alltoall || coll == Coll::Allgather;
         let eta = if heavy { 64 << 10 } else { 1 << 20 };
-        for lib in
-            [Library::Kacc, Library::Mvapich2, Library::IntelMpi, Library::OpenMpi]
-        {
+        for lib in [
+            Library::Kacc,
+            Library::Mvapich2,
+            Library::IntelMpi,
+            Library::OpenMpi,
+        ] {
             let ns = library_ns(&arch, p, eta, coll, lib);
             g.bench_function(format!("{}/{}", lib.label(), size_label(eta)), |b| {
                 b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                    // Report exact simulated time; the capped sleep
+                    // gives criterion's wall-clock warm-up a
+                    // heartbeat so iteration counts stay sane.
+                    let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                    std::thread::sleep(d.min(Duration::from_millis(25)));
+                    d
+                })
             });
         }
         g.finish();

@@ -13,8 +13,8 @@ fn bench(c: &mut Criterion) {
     let eta = 64 << 10;
     let mut g = c.benchmark_group("fig17/gather-64K");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     for nodes in [2usize, 4, 8] {
         let single = cluster_gather(
             &arch,
@@ -27,13 +27,13 @@ fn bench(c: &mut Criterion) {
         .end_ns as f64;
         g.bench_function(format!("single-level/{nodes}nodes"), |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(single * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(single * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
         let two = cluster_gather(
             &arch,
@@ -46,13 +46,13 @@ fn bench(c: &mut Criterion) {
         .end_ns as f64;
         g.bench_function(format!("two-level/{nodes}nodes"), |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(two * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(two * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
     }
     g.finish();

@@ -1,0 +1,83 @@
+//! Plan-cache ablation (wall-clock, not simulated): compiling a
+//! collective schedule from scratch vs replaying a cached plan. The
+//! compile+execute split only pays off if the LRU hit path is
+//! measurably cheaper than re-deriving the schedule, so this bench
+//! pins that claim with a large-ish topology (p = 64 throttled-read
+//! scatter, the most compile-heavy scatter variant: it emits the full
+//! wave-chaining control structure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_collectives::schedule::{compile_allgather, compile_scatter, PlanCache, PlanKey};
+use kacc_collectives::{AllgatherAlgo, ScatterAlgo};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let p = 64;
+    let count = 1 << 16;
+    let layout: Vec<(usize, usize)> = (0..p).map(|r| (r * count, count)).collect();
+    let algo = ScatterAlgo::ThrottledRead { k: 8 };
+    let key = || PlanKey::Scatter {
+        algo,
+        p,
+        rank: 0,
+        counts: vec![count; p],
+        displs: None,
+        root: 0,
+        has_recvbuf: true,
+    };
+
+    let mut g = c.benchmark_group("plan_cache/scatter-throttled-p64");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(500));
+
+    // Cold path: full IR compilation on every call.
+    g.bench_function("compile-cold", |b| {
+        b.iter(|| black_box(compile_scatter(algo, p, 0, black_box(&layout), 0, true)))
+    });
+
+    // Hit path: the same logical request served from a primed cache.
+    // Key construction (one counts-vector clone) is part of the lookup
+    // cost by design — callers pay it on every entry.
+    g.bench_function("cache-hit", |b| {
+        let cache = PlanCache::new(8);
+        cache.get_or_compile(key(), || compile_scatter(algo, p, 0, &layout, 0, true));
+        b.iter(|| black_box(cache.get_or_compile(key(), || unreachable!("plan must be cached"))))
+    });
+
+    g.finish();
+
+    // Recursive-doubling allgather is the compile-heavy extreme: the
+    // builder simulates the global have-matrix round by round to emit
+    // the per-round block snapshots, so cold compilation is O(p²·log p)
+    // while the cached key is a handful of scalars.
+    let ag = AllgatherAlgo::RecursiveDoubling;
+    let ag_key = || PlanKey::Allgather {
+        algo: ag,
+        p,
+        rank: 0,
+        count,
+        has_sendbuf: true,
+    };
+
+    let mut g = c.benchmark_group("plan_cache/allgather-rd-p64");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(500));
+
+    g.bench_function("compile-cold", |b| {
+        b.iter(|| black_box(compile_allgather(ag, p, 0, black_box(count), true)))
+    });
+
+    g.bench_function("cache-hit", |b| {
+        let cache = PlanCache::new(8);
+        cache.get_or_compile(ag_key(), || compile_allgather(ag, p, 0, count, true));
+        b.iter(|| black_box(cache.get_or_compile(ag_key(), || unreachable!("plan must be cached"))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,8 +17,8 @@ fn bench(c: &mut Criterion) {
     let s = arch.page_size;
     let mut g = c.benchmark_group("table3/KNL");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     for (label, spec) in [
         ("t1-syscall", ProbeSpec::syscall()),
         ("t2-access-check", ProbeSpec::access_check()),
@@ -28,13 +28,13 @@ fn bench(c: &mut Criterion) {
         let ns = probe.probe(spec);
         g.bench_function(label, |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
     }
     g.finish();
@@ -44,19 +44,19 @@ fn bench(c: &mut Criterion) {
     let eta = 1 << 20;
     let mut g = c.benchmark_group("table6/KNL/gather-1M");
     g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(200));
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(200));
     for lib in [Library::Kacc, Library::Mvapich2] {
         let ns = library_ns(&arch, p, eta, Coll::Gather, lib);
         g.bench_function(lib.label(), |b| {
             b.iter_custom(|iters| {
-                        // Report exact simulated time; the capped sleep
-                        // gives criterion's wall-clock warm-up a
-                        // heartbeat so iteration counts stay sane.
-                        let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
-                        std::thread::sleep(d.min(Duration::from_millis(25)));
-                        d
-                    })
+                // Report exact simulated time; the capped sleep
+                // gives criterion's wall-clock warm-up a
+                // heartbeat so iteration counts stay sane.
+                let d = Duration::from_secs_f64(ns * 1e-9 * iters as f64);
+                std::thread::sleep(d.min(Duration::from_millis(25)));
+                d
+            })
         });
     }
     g.finish();

@@ -34,7 +34,11 @@ fn main() {
                 println!(
                     "usage: repro [--quick] [--csv DIR] [--list] <artifact...|all>\n\
                      artifacts: {}",
-                    registry().iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                    registry()
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 );
                 return;
             }
@@ -81,10 +85,18 @@ fn main() {
                     .expect("write csv");
             }
         }
-        eprintln!("[{name}: {} chart(s) in {:.1}s]", charts.len(), t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name}: {} chart(s) in {:.1}s]",
+            charts.len(),
+            t0.elapsed().as_secs_f64()
+        );
         println!();
     }
-    eprintln!("[total: {:.1}s{}]", started.elapsed().as_secs_f64(), if quick { ", --quick" } else { "" });
+    eprintln!(
+        "[total: {:.1}s{}]",
+        started.elapsed().as_secs_f64(),
+        if quick { ", --quick" } else { "" }
+    );
 }
 
 fn xfmt(chart: &Chart, x: usize) -> String {

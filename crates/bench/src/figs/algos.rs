@@ -39,11 +39,10 @@ pub fn fig07(quick: bool) -> Vec<Chart> {
             for k in throttles(&arch, p) {
                 let ys: Vec<f64> = sizes
                     .iter()
-                    .map(|&eta| {
-                        scatter_ns(&arch, p, eta, ScatterAlgo::ThrottledRead { k }) / US
-                    })
+                    .map(|&eta| scatter_ns(&arch, p, eta, ScatterAlgo::ThrottledRead { k }) / US)
                     .collect();
-                c.series.push(Series::new(format!("Throttle = {k}"), &sizes, &ys));
+                c.series
+                    .push(Series::new(format!("Throttle = {k}"), &sizes, &ys));
             }
             let par: Vec<f64> = sizes
                 .iter()
@@ -75,11 +74,10 @@ pub fn fig08(quick: bool) -> Vec<Chart> {
             for k in throttles(&arch, p) {
                 let ys: Vec<f64> = sizes
                     .iter()
-                    .map(|&eta| {
-                        gather_ns(&arch, p, eta, GatherAlgo::ThrottledWrite { k }) / US
-                    })
+                    .map(|&eta| gather_ns(&arch, p, eta, GatherAlgo::ThrottledWrite { k }) / US)
                     .collect();
-                c.series.push(Series::new(format!("Throttle = {k}"), &sizes, &ys));
+                c.series
+                    .push(Series::new(format!("Throttle = {k}"), &sizes, &ys));
             }
             let par: Vec<f64> = sizes
                 .iter()
@@ -99,14 +97,21 @@ pub fn fig08(quick: bool) -> Vec<Chart> {
 /// Fig 9: pairwise Alltoall implementations — two-copy shared memory,
 /// point-to-point CMA (RTS/CTS), and the native CMA collective.
 pub fn fig09(quick: bool) -> Vec<Chart> {
-    let sizes = if quick { vec![4 << 10, 64 << 10] } else { crate::size_sweep_short() };
+    let sizes = if quick {
+        vec![4 << 10, 64 << 10]
+    } else {
+        crate::size_sweep_short()
+    };
     platforms(quick)
         .into_iter()
         .filter(|(a, _)| a.name != "Power8") // the paper shows KNL + Broadwell
         .map(|(arch, p)| {
             let mut c = Chart::new(
                 format!("fig9-{}", arch.name.to_lowercase()),
-                format!("Pairwise Alltoall implementations, {} ({p} processes)", arch.name),
+                format!(
+                    "Pairwise Alltoall implementations, {} ({p} processes)",
+                    arch.name
+                ),
                 "Message Size (Bytes)",
                 "Latency (us)",
             );
@@ -145,20 +150,31 @@ pub fn fig10(quick: bool) -> Vec<Chart> {
             let mut algos: Vec<(String, AllgatherAlgo)> = vec![
                 ("Ring-Source-Read".into(), AllgatherAlgo::RingSourceRead),
                 ("Ring-Source-Write".into(), AllgatherAlgo::RingSourceWrite),
-                ("Ring-Neighbor-1".into(), AllgatherAlgo::RingNeighbor { j: 1 }),
+                (
+                    "Ring-Neighbor-1".into(),
+                    AllgatherAlgo::RingNeighbor { j: 1 },
+                ),
                 ("Bruck's Algorithm".into(), AllgatherAlgo::Bruck),
             ];
             if p.is_power_of_two() {
-                algos.push(("Recursive Doubling".into(), AllgatherAlgo::RecursiveDoubling));
+                algos.push((
+                    "Recursive Doubling".into(),
+                    AllgatherAlgo::RecursiveDoubling,
+                ));
             }
             if arch.sockets > 1 {
                 // The paper's inter-socket stride contrast on Broadwell.
                 let j = (1..p).find(|&j| j >= 5 && gcd(j, p) == 1).unwrap_or(1);
-                algos.push((format!("Ring-Neighbor-{j}"), AllgatherAlgo::RingNeighbor { j }));
+                algos.push((
+                    format!("Ring-Neighbor-{j}"),
+                    AllgatherAlgo::RingNeighbor { j },
+                ));
             }
             for (label, algo) in algos {
-                let ys: Vec<f64> =
-                    sizes.iter().map(|&eta| allgather_ns(&arch, p, eta, algo) / US).collect();
+                let ys: Vec<f64> = sizes
+                    .iter()
+                    .map(|&eta| allgather_ns(&arch, p, eta, algo) / US)
+                    .collect();
                 c.series.push(Series::new(label, &sizes, &ys));
             }
             c
@@ -190,25 +206,29 @@ pub fn fig11(quick: bool) -> Vec<Chart> {
                 .iter()
                 .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::DirectRead) / US)
                 .collect();
-            c.series.push(Series::new("Parallel Read (Direct)", &sizes, &dr));
+            c.series
+                .push(Series::new("Parallel Read (Direct)", &sizes, &dr));
             let dw: Vec<f64> = sizes
                 .iter()
                 .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::DirectWrite) / US)
                 .collect();
-            c.series.push(Series::new("Sequential Write (Direct)", &sizes, &dw));
+            c.series
+                .push(Series::new("Sequential Write (Direct)", &sizes, &dw));
             for k in throttles(&arch, p).into_iter().take(2) {
                 let radix = k + 1;
                 let ys: Vec<f64> = sizes
                     .iter()
                     .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::KNomial { radix }) / US)
                     .collect();
-                c.series.push(Series::new(format!("{radix}-nomial Read"), &sizes, &ys));
+                c.series
+                    .push(Series::new(format!("{radix}-nomial Read"), &sizes, &ys));
             }
             let sag: Vec<f64> = sizes
                 .iter()
                 .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::ScatterAllgather) / US)
                 .collect();
-            c.series.push(Series::new("Scatter-Allgather", &sizes, &sag));
+            c.series
+                .push(Series::new("Scatter-Allgather", &sizes, &sag));
             c
         })
         .collect()

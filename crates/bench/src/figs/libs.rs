@@ -15,20 +15,31 @@ fn libraries_for(arch: &ArchProfile) -> Vec<Library> {
     if arch.name == "Power8" {
         vec![Library::Kacc, Library::Mvapich2, Library::OpenMpi]
     } else {
-        vec![Library::Kacc, Library::Mvapich2, Library::IntelMpi, Library::OpenMpi]
+        vec![
+            Library::Kacc,
+            Library::Mvapich2,
+            Library::IntelMpi,
+            Library::OpenMpi,
+        ]
     }
 }
 
 fn lib_chart(arch: &ArchProfile, p: usize, coll: Coll, id: &str, sizes: &[usize]) -> Chart {
     let mut c = Chart::new(
         id,
-        format!("MPI_{} vs libraries, {} ({p} processes)", coll.label(), arch.name),
+        format!(
+            "MPI_{} vs libraries, {} ({p} processes)",
+            coll.label(),
+            arch.name
+        ),
         "Message Size (Bytes)",
         "Latency (us)",
     );
     for lib in libraries_for(arch) {
-        let ys: Vec<f64> =
-            sizes.iter().map(|&eta| library_ns(arch, p, eta, coll, lib) / US).collect();
+        let ys: Vec<f64> = sizes
+            .iter()
+            .map(|&eta| library_ns(arch, p, eta, coll, lib) / US)
+            .collect();
         c.series.push(Series::new(lib.label(), sizes, &ys));
     }
     c
@@ -48,7 +59,13 @@ fn per_arch_lib_fig(coll: Coll, fig: &str, quick: bool, skip_power8: bool) -> Ve
             } else {
                 sweep(quick)
             };
-            lib_chart(&arch, p, coll, &format!("{fig}-{}", arch.name.to_lowercase()), &sizes)
+            lib_chart(
+                &arch,
+                p,
+                coll,
+                &format!("{fig}-{}", arch.name.to_lowercase()),
+                &sizes,
+            )
         })
         .collect()
 }
@@ -104,7 +121,11 @@ pub fn fig17(quick: bool) -> Vec<Chart> {
     let fabric = arch.default_fabric();
     let rpn = if quick { 8 } else { 64 };
     let node_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
-    let sizes = if quick { vec![4 << 10, 64 << 10] } else { crate::size_sweep_short() };
+    let sizes = if quick {
+        vec![4 << 10, 64 << 10]
+    } else {
+        crate::size_sweep_short()
+    };
     node_counts
         .iter()
         .map(|&nodes| {
@@ -133,7 +154,8 @@ pub fn fig17(quick: bool) -> Vec<Chart> {
                         / US
                 })
                 .collect();
-            c.series.push(Series::new("Single-level (libraries)", &sizes, &single));
+            c.series
+                .push(Series::new("Single-level (libraries)", &sizes, &single));
             let two: Vec<f64> = sizes
                 .iter()
                 .map(|&eta| {
@@ -149,7 +171,8 @@ pub fn fig17(quick: bool) -> Vec<Chart> {
                         / US
                 })
                 .collect();
-            c.series.push(Series::new("Two-level (proposed)", &sizes, &two));
+            c.series
+                .push(Series::new("Two-level (proposed)", &sizes, &two));
             let piped: Vec<f64> = sizes
                 .iter()
                 .map(|&eta| {
@@ -165,13 +188,15 @@ pub fn fig17(quick: bool) -> Vec<Chart> {
                         / US
                 })
                 .collect();
-            c.series.push(Series::new("Two-level pipelined", &sizes, &piped));
+            c.series
+                .push(Series::new("Two-level pipelined", &sizes, &piped));
             let best = single
                 .iter()
                 .zip(&piped)
                 .map(|(s, t)| s / t)
                 .fold(f64::MIN, f64::max);
-            c.notes.push(format!("max improvement (pipelined): {best:.2}x"));
+            c.notes
+                .push(format!("max improvement (pipelined): {best:.2}x"));
             c
         })
         .collect()
@@ -207,7 +232,10 @@ fn speedup_table(id: &str, quick: bool, largest_only: bool) -> Vec<Chart> {
                 "Speedup (x)",
             );
             let heavy = |coll: Coll| coll == Coll::Alltoall || coll == Coll::Allgather;
-            for lib in libraries_for(&arch).into_iter().filter(|l| *l != Library::Kacc) {
+            for lib in libraries_for(&arch)
+                .into_iter()
+                .filter(|l| *l != Library::Kacc)
+            {
                 let mut ys = Vec::new();
                 let xs: Vec<usize> = (0..Coll::all().len()).collect();
                 for coll in Coll::all() {

@@ -30,13 +30,22 @@ pub fn fig01(quick: bool) -> Vec<Chart> {
     a.series.push(Series::new(
         "Jobs",
         &xs,
-        &hist.iter().map(|(_, c, _)| *c as f64 / 1000.0).collect::<Vec<_>>(),
+        &hist
+            .iter()
+            .map(|(_, c, _)| *c as f64 / 1000.0)
+            .collect::<Vec<_>>(),
     ));
     a.notes.push(format!(
         "buckets: {}",
-        hist.iter().map(|(l, _, _)| l.as_str()).collect::<Vec<_>>().join(", ")
+        hist.iter()
+            .map(|(l, _, _)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
-    a.notes.push(format!("jobs with <= 9 nodes: {:.1}% of submissions", job_share * 100.0));
+    a.notes.push(format!(
+        "jobs with <= 9 nodes: {:.1}% of submissions",
+        job_share * 100.0
+    ));
 
     let mut b = Chart::new(
         "fig1b",
@@ -49,8 +58,10 @@ pub fn fig01(quick: bool) -> Vec<Chart> {
         &xs,
         &hist.iter().map(|(_, _, h)| *h / 1.0e6).collect::<Vec<_>>(),
     ));
-    b.notes
-        .push(format!("jobs with <= 9 nodes: {:.1}% of CPU hours", hour_share * 100.0));
+    b.notes.push(format!(
+        "jobs with <= 9 nodes: {:.1}% of CPU hours",
+        hour_share * 100.0
+    ));
     vec![a, b]
 }
 
@@ -59,29 +70,38 @@ pub fn fig01(quick: bool) -> Vec<Chart> {
 /// different buffers.
 pub fn fig02(quick: bool) -> Vec<Chart> {
     let arch = ArchProfile::knl();
-    let readers: &[usize] =
-        if quick { &[1, 4, 16] } else { &[1, 4, 8, 16, 32, 64] };
+    let readers: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 4, 8, 16, 32, 64]
+    };
     let sizes = sweep(quick);
 
     let make = |id: &str, title: &str, f: &dyn Fn(usize, usize) -> f64| {
-        let mut c =
-            Chart::new(id, title, "Message Size (Bytes)", "CMA Read Latency (us)");
+        let mut c = Chart::new(id, title, "Message Size (Bytes)", "CMA Read Latency (us)");
         for &r in readers {
             let ys: Vec<f64> = sizes.iter().map(|&eta| f(r, eta) / US).collect();
-            c.series.push(Series::new(format!("{r} Readers"), &sizes, &ys));
+            c.series
+                .push(Series::new(format!("{r} Readers"), &sizes, &ys));
         }
         c
     };
 
-    let a = make("fig2a", "Different Source Processes (All-to-all)", &|r, eta| {
-        pairs_read_ns(&arch, r, eta)
-    });
-    let b = make("fig2b", "Same Process, Same Buffer (One-to-all)", &|r, eta| {
-        one_to_all_read_ns(&arch, r, eta, true)
-    });
-    let c = make("fig2c", "Same Process, Different Buffers (One-to-all)", &|r, eta| {
-        one_to_all_read_ns(&arch, r, eta, false)
-    });
+    let a = make(
+        "fig2a",
+        "Different Source Processes (All-to-all)",
+        &|r, eta| pairs_read_ns(&arch, r, eta),
+    );
+    let b = make(
+        "fig2b",
+        "Same Process, Same Buffer (One-to-all)",
+        &|r, eta| one_to_all_read_ns(&arch, r, eta, true),
+    );
+    let c = make(
+        "fig2c",
+        "Same Process, Different Buffers (One-to-all)",
+        &|r, eta| one_to_all_read_ns(&arch, r, eta, false),
+    );
     vec![a, b, c]
 }
 
@@ -98,7 +118,10 @@ pub fn fig03(quick: bool) -> Vec<Chart> {
                 .collect();
             let mut c = Chart::new(
                 format!("fig3-{}", arch.name.to_lowercase()),
-                format!("One-to-all CMA read, {} ({} hardware threads)", arch.name, p),
+                format!(
+                    "One-to-all CMA read, {} ({} hardware threads)",
+                    arch.name, p
+                ),
                 "Concurrent Readers",
                 "CMA Read Latency (us)",
             );
@@ -107,7 +130,8 @@ pub fn fig03(quick: bool) -> Vec<Chart> {
                     .iter()
                     .map(|&r| one_to_all_read_ns(&arch, r, eta, false) / US)
                     .collect();
-                c.series.push(Series::new(crate::size_label(eta), &readers, &ys));
+                c.series
+                    .push(Series::new(crate::size_label(eta), &readers, &ys));
             }
             c
         })
@@ -118,8 +142,11 @@ pub fn fig03(quick: bool) -> Vec<Chart> {
 /// varying page counts and contention levels.
 pub fn fig04(quick: bool) -> Vec<Chart> {
     let arch = ArchProfile::broadwell();
-    let pages: Vec<usize> =
-        if quick { vec![64, 256] } else { vec![16, 64, 128, 256, 512] };
+    let pages: Vec<usize> = if quick {
+        vec![64, 256]
+    } else {
+        vec![16, 64, 128, 256, 512]
+    };
     [1usize, 4, 27]
         .into_iter()
         .map(|readers| {
@@ -148,7 +175,8 @@ pub fn fig04(quick: bool) -> Vec<Chart> {
                 copy.push(b.copy_ns / US);
             }
             c.series.push(Series::new("Syscall", &pages, &syscall));
-            c.series.push(Series::new("Permission Check", &pages, &check));
+            c.series
+                .push(Series::new("Permission Check", &pages, &check));
             c.series.push(Series::new("Acquire Locks", &pages, &lock));
             c.series.push(Series::new("Pin Pages", &pages, &pin));
             c.series.push(Series::new("Copy Data", &pages, &copy));
@@ -167,7 +195,10 @@ pub fn table3(quick: bool) -> Vec<Chart> {
             let ex = extract_params(&mut probe, n_pages);
             let mut c = Chart::new(
                 format!("table3-{}", arch.name.to_lowercase()),
-                format!("Time taken by CMA transfer steps, {} (N = {n_pages} pages)", arch.name),
+                format!(
+                    "Time taken by CMA transfer steps, {} (N = {n_pages} pages)",
+                    arch.name
+                ),
                 "Step (1=Syscall 2=+Check 3=+Lock/Pin 4=+Copy)",
                 "Time (us)",
             );
@@ -191,7 +222,11 @@ pub fn table3(quick: bool) -> Vec<Chart> {
 /// simulated probes and fitted with NLLS (paper values in the notes).
 pub fn table4(quick: bool) -> Vec<Chart> {
     let n_pages = if quick { 50 } else { 200 };
-    let readers: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 32] };
+    let readers: &[usize] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
     let paper: &[(&str, f64, f64, f64, usize)] = &[
         ("KNL", 1.43, 3.29, 0.25, 4096),
         ("Broadwell", 0.98, 3.1, 0.11, 4096),
@@ -229,8 +264,10 @@ pub fn table4(quick: bool) -> Vec<Chart> {
     c.series.push(Series::new("alpha (us)", &xs, &alphas));
     c.series.push(Series::new("beta (GB/s)", &xs, &betas));
     c.series.push(Series::new("l (us/page)", &xs, &ls));
-    c.series.push(Series::new("gamma a (c^2 coeff)", &xs, &gamma_a));
-    c.series.push(Series::new("gamma b (c coeff)", &xs, &gamma_b));
+    c.series
+        .push(Series::new("gamma a (c^2 coeff)", &xs, &gamma_a));
+    c.series
+        .push(Series::new("gamma b (c coeff)", &xs, &gamma_b));
     vec![c]
 }
 
@@ -251,8 +288,7 @@ pub fn fig05(quick: bool) -> Vec<Chart> {
                 "Concurrent Readers",
                 "Contention Factor",
             );
-            let page_counts: &[usize] =
-                if quick { &[50] } else { &[10, 50, 100] };
+            let page_counts: &[usize] = if quick { &[50] } else { &[10, 50, 100] };
             let mut avg = vec![0.0f64; readers.len()];
             for &n in page_counts {
                 let pts = measure_gamma(&mut probe, &readers, &[n]);
@@ -275,7 +311,8 @@ pub fn fig05(quick: bool) -> Vec<Chart> {
                 let ys: Vec<f64> = readers.iter().map(|&r| fit.model.eval(r)).collect();
                 c.series.push(Series::new("Best Fit (NLLS)", &readers, &ys));
                 if let kacc_model::GammaModel::Quadratic { a, b } = fit.model {
-                    c.notes.push(format!("fit: gamma(c) = {a:.4} c^2 + {b:.4} c"));
+                    c.notes
+                        .push(format!("fit: gamma(c) = {a:.4} c^2 + {b:.4} c"));
                 }
             }
             c
@@ -314,8 +351,11 @@ pub fn fig06(quick: bool) -> Vec<Chart> {
                         (r as f64 * eta as f64 / tr) / (eta as f64 / t1)
                     })
                     .collect();
-                let label =
-                    if r == 1 { "1 Reader".to_string() } else { format!("{r} Readers") };
+                let label = if r == 1 {
+                    "1 Reader".to_string()
+                } else {
+                    format!("{r} Readers")
+                };
                 c.series.push(Series::new(label, &sizes, &ys));
             }
             c
@@ -341,12 +381,18 @@ pub fn table5(_quick: bool) -> Vec<Chart> {
     c.series.push(Series::new(
         "Cores/Socket",
         &xs,
-        &archs.iter().map(|a| a.cores_per_socket as f64).collect::<Vec<_>>(),
+        &archs
+            .iter()
+            .map(|a| a.cores_per_socket as f64)
+            .collect::<Vec<_>>(),
     ));
     c.series.push(Series::new(
         "Threads/Core",
         &xs,
-        &archs.iter().map(|a| a.threads_per_core as f64).collect::<Vec<_>>(),
+        &archs
+            .iter()
+            .map(|a| a.threads_per_core as f64)
+            .collect::<Vec<_>>(),
     ));
     c.series.push(Series::new(
         "Page Size (B)",
@@ -356,10 +402,14 @@ pub fn table5(_quick: bool) -> Vec<Chart> {
     c.series.push(Series::new(
         "Procs Used",
         &xs,
-        &archs.iter().map(|a| a.default_procs as f64).collect::<Vec<_>>(),
+        &archs
+            .iter()
+            .map(|a| a.default_procs as f64)
+            .collect::<Vec<_>>(),
     ));
     for a in &archs {
-        c.notes.push(format!("{}: fabric {}", a.name, a.default_fabric().name));
+        c.notes
+            .push(format!("{}: fabric {}", a.name, a.default_fabric().name));
     }
     vec![c]
 }
@@ -373,7 +423,10 @@ mod tests {
         let charts = fig01(true);
         assert_eq!(charts.len(), 2);
         let jobs = &charts[0].series[0];
-        assert!(jobs.points[0].1 > jobs.points[4].1, "1-node jobs outnumber 9-16");
+        assert!(
+            jobs.points[0].1 > jobs.points[4].1,
+            "1-node jobs outnumber 9-16"
+        );
     }
 
     #[test]

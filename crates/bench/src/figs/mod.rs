@@ -51,7 +51,11 @@ pub(crate) fn platforms(quick: bool) -> Vec<(kacc_model::ArchProfile, usize)> {
     kacc_model::ArchProfile::all()
         .into_iter()
         .map(|a| {
-            let p = if quick { a.default_procs.min(24) } else { a.default_procs };
+            let p = if quick {
+                a.default_procs.min(24)
+            } else {
+                a.default_procs
+            };
             (a, p)
         })
         .collect()

@@ -23,7 +23,15 @@ pub use render::Chart;
 /// The standard message-size sweep used by most figures (1 KiB – 4 MiB,
 /// matching the paper's x-axes).
 pub fn size_sweep() -> Vec<usize> {
-    vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+    vec![
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+    ]
 }
 
 /// A shorter sweep for the heavyweight experiments (alltoall moves

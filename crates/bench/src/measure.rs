@@ -90,7 +90,13 @@ pub enum Coll {
 impl Coll {
     /// All five evaluated collectives, in Table VI order.
     pub fn all() -> [Coll; 5] {
-        [Coll::Bcast, Coll::Scatter, Coll::Gather, Coll::Allgather, Coll::Alltoall]
+        [
+            Coll::Bcast,
+            Coll::Scatter,
+            Coll::Gather,
+            Coll::Allgather,
+            Coll::Alltoall,
+        ]
     }
 
     /// Display name.
@@ -119,8 +125,7 @@ pub fn library_ns(arch: &ArchProfile, p: usize, eta: usize, coll: Coll, lib: Lib
             Coll::Scatter => {
                 let sb = (me == 0).then(|| comm.alloc(p * eta));
                 let rb = comm.alloc(eta);
-                baseline::scatter(comm, lib, &tuner, sb, Some(rb), eta, 0)
-                    .expect("scatter");
+                baseline::scatter(comm, lib, &tuner, sb, Some(rb), eta, 0).expect("scatter");
             }
             Coll::Gather => {
                 let sb = comm.alloc(eta);
@@ -130,14 +135,12 @@ pub fn library_ns(arch: &ArchProfile, p: usize, eta: usize, coll: Coll, lib: Lib
             Coll::Allgather => {
                 let sb = comm.alloc(eta);
                 let rb = comm.alloc(p * eta);
-                baseline::allgather(comm, lib, &tuner, Some(sb), rb, eta)
-                    .expect("allgather");
+                baseline::allgather(comm, lib, &tuner, Some(sb), rb, eta).expect("allgather");
             }
             Coll::Alltoall => {
                 let sb = comm.alloc(p * eta);
                 let rb = comm.alloc(p * eta);
-                baseline::alltoall(comm, lib, &tuner, Some(sb), rb, eta)
-                    .expect("alltoall");
+                baseline::alltoall(comm, lib, &tuner, Some(sb), rb, eta).expect("alltoall");
             }
         }
     })
@@ -159,7 +162,8 @@ pub fn one_to_all_read_ns(
             let buf = comm.alloc(len);
             let tok = comm.expose(buf).expect("expose");
             for r in 1..=readers {
-                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).expect("send");
+                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
+                    .expect("send");
             }
             for r in 1..=readers {
                 comm.wait_notify(r, Tag::user(2)).expect("done");
@@ -169,7 +173,11 @@ pub fn one_to_all_read_ns(
             let raw = comm.ctrl_recv(0, Tag::user(1)).expect("token");
             let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
             let dst = comm.alloc(eta);
-            let off = if same_region { 0 } else { (comm.rank() - 1) * eta };
+            let off = if same_region {
+                0
+            } else {
+                (comm.rank() - 1) * eta
+            };
             let t0 = comm.time_ns();
             comm.cma_read(tok, off, dst, 0, eta).expect("read");
             let d = comm.time_ns() - t0;
@@ -189,7 +197,8 @@ pub fn pairs_read_ns(arch: &ArchProfile, pairs: usize, eta: usize) -> f64 {
         if me % 2 == 0 {
             let buf = comm.alloc(eta);
             let tok = comm.expose(buf).expect("expose");
-            comm.ctrl_send(me + 1, Tag::user(1), &tok.to_bytes()).expect("send");
+            comm.ctrl_send(me + 1, Tag::user(1), &tok.to_bytes())
+                .expect("send");
             comm.wait_notify(me + 1, Tag::user(2)).expect("done");
             0u64
         } else {
@@ -216,7 +225,8 @@ pub fn breakdown(arch: &ArchProfile, readers: usize, pages: usize) -> RankStats 
             let buf = comm.alloc(eta * readers);
             let tok = comm.expose(buf).expect("expose");
             for r in 1..=readers {
-                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).expect("send");
+                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
+                    .expect("send");
             }
             for r in 1..=readers {
                 comm.wait_notify(r, Tag::user(2)).expect("done");
@@ -225,7 +235,8 @@ pub fn breakdown(arch: &ArchProfile, readers: usize, pages: usize) -> RankStats 
             let raw = comm.ctrl_recv(0, Tag::user(1)).expect("token");
             let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
             let dst = comm.alloc(eta);
-            comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta).expect("read");
+            comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta)
+                .expect("read");
             comm.notify(0, Tag::user(2)).expect("notify");
         }
     });

@@ -15,7 +15,10 @@ impl Series {
     /// Build from parallel slices.
     pub fn new(label: impl Into<String>, xs: &[usize], ys: &[f64]) -> Series {
         assert_eq!(xs.len(), ys.len());
-        Series { label: label.into(), points: xs.iter().copied().zip(ys.iter().copied()).collect() }
+        Series {
+            label: label.into(),
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
     }
 
     /// Value at a given x, if present.
@@ -61,8 +64,11 @@ impl Chart {
 
     /// All x values appearing in any series, sorted and deduplicated.
     pub fn xs(&self) -> Vec<usize> {
-        let mut xs: Vec<usize> =
-            self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        let mut xs: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
         xs.sort_unstable();
         xs.dedup();
         xs
@@ -74,8 +80,7 @@ impl Chart {
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         let _ = writeln!(out, "   [{} vs {}]", self.ylabel, self.xlabel);
         let xs = self.xs();
-        let headers: Vec<String> =
-            self.series.iter().map(|s| s.label.clone()).collect();
+        let headers: Vec<String> = self.series.iter().map(|s| s.label.clone()).collect();
         let wide = headers.iter().map(|h| h.len().max(12)).collect::<Vec<_>>();
         let _ = write!(out, "{:>10}", self.xlabel_short());
         for (h, w) in headers.iter().zip(&wide) {
@@ -150,8 +155,10 @@ mod tests {
 
     fn chart() -> Chart {
         let mut c = Chart::new("figX", "Test", "Message Size (Bytes)", "Latency (us)");
-        c.series.push(Series::new("alpha", &[1024, 2048], &[1.5, 3.0]));
-        c.series.push(Series::new("beta", &[1024, 4096], &[2.0, 8.0]));
+        c.series
+            .push(Series::new("alpha", &[1024, 2048], &[1.5, 3.0]));
+        c.series
+            .push(Series::new("beta", &[1024, 4096], &[2.0, 8.0]));
         c.notes.push("beta misses 2048".into());
         c
     }

@@ -68,7 +68,11 @@ pub fn generate(n: usize, seed: u64) -> Vec<Job> {
             // a 48h queue limit.
             let z: f64 = (0..6).map(|_| rng.random::<f64>()).sum::<f64>() - 3.0;
             let hours = (1.5f64 * (0.9 * z).exp()).min(48.0);
-            Job { nodes, hours, cores_per_node: 28 }
+            Job {
+                nodes,
+                hours,
+                cores_per_node: 28,
+            }
         })
         .collect()
 }
@@ -79,8 +83,8 @@ pub fn histogram(jobs: &[Job]) -> Vec<(String, usize, f64)> {
         .iter()
         .map(|&(lo, hi, label)| {
             let in_bucket = jobs.iter().filter(|j| j.nodes >= lo && j.nodes <= hi);
-            let (count, hours) = in_bucket
-                .fold((0usize, 0.0f64), |(c, h), j| (c + 1, h + j.cpu_hours()));
+            let (count, hours) =
+                in_bucket.fold((0usize, 0.0f64), |(c, h), j| (c + 1, h + j.cpu_hours()));
             (label.to_string(), count, hours)
         })
         .collect()
@@ -105,7 +109,10 @@ mod tests {
         let a = generate(1000, 42);
         let b = generate(1000, 42);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.nodes == y.nodes && x.hours == y.hours));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.nodes == y.nodes && x.hours == y.hours));
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! All-to-all non-personalized communication: MPI_Allgather (§V-A).
+//!
+//! The public entry point compiles to a [`crate::schedule::Schedule`]
+//! (cached in the global [`PlanCache`]) and replays it through the
+//! generic executor; `allgather_legacy` keeps the direct implementation
+//! for equivalence tests.
 
 use crate::class;
-use kacc_comm::{smcoll, BufId, Comm, CommExt, CommError, RemoteToken, Result, Tag};
+use crate::exec::{execute, Bindings, ScheduleReport};
+use crate::schedule::{compile_allgather, PlanCache, PlanKey};
+use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 /// Allgather algorithm selection (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllgatherAlgo {
     /// §V-A1 generalized ring: in step `i` each rank reads block
     /// `(rank − i·j)` from neighbor `rank − j`, chained by notifications.
@@ -42,20 +49,99 @@ pub fn allgather<C: Comm + ?Sized>(
     recvbuf: BufId,
     count: usize,
 ) -> Result<()> {
+    allgather_with_report(comm, algo, sendbuf, recvbuf, count).map(|_| ())
+}
+
+/// [`allgather`] returning the executor's per-step accounting. `None`
+/// when the call was satisfied without a schedule (single rank or zero
+/// count).
+pub fn allgather_with_report<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: AllgatherAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if !validate(comm, sendbuf, recvbuf, count)? {
+        return Ok(None);
+    }
+    // Normalize the ring stride mod p so equivalent strides share a plan.
+    let algo = match algo {
+        AllgatherAlgo::RingNeighbor { j } => {
+            if gcd(j % p, p) != 1 {
+                return Err(CommError::Protocol(format!(
+                    "ring-neighbor stride {j} shares a factor with p={p}"
+                )));
+            }
+            AllgatherAlgo::RingNeighbor { j: j % p }
+        }
+        other => other,
+    };
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Allgather {
+            algo,
+            p,
+            rank: me,
+            count,
+            has_sendbuf: sendbuf.is_some(),
+        },
+        || compile_allgather(algo, p, me, count, sendbuf.is_some()),
+    );
+    execute(
+        comm,
+        &plan,
+        &Bindings {
+            send: sendbuf,
+            recv: Some(recvbuf),
+        },
+    )
+    .map(Some)
+}
+
+/// Shared validation; `Ok(false)` means the degenerate case was handled.
+fn validate<C: Comm + ?Sized>(
+    comm: &mut C,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<bool> {
     let p = comm.size();
     let me = comm.rank();
     let need = p * count;
     let cap = comm.buf_len(recvbuf)?;
     if cap < need {
-        return Err(CommError::OutOfRange { buf: recvbuf.0, off: 0, len: need, cap });
+        return Err(CommError::OutOfRange {
+            buf: recvbuf.0,
+            off: 0,
+            len: need,
+            cap,
+        });
     }
     if count == 0 || p == 1 {
         if let (Some(sb), true) = (sendbuf, count > 0) {
             comm.copy_local(sb, 0, recvbuf, me * count, count)?;
         }
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// Original direct implementation, kept verbatim so tests can assert the
+/// compiled schedules are traffic- and result-identical to it.
+#[doc(hidden)]
+pub fn allgather_legacy<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: AllgatherAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<()> {
+    let p = comm.size();
+    if !validate(comm, sendbuf, recvbuf, count)? {
         return Ok(());
     }
-
     match algo {
         AllgatherAlgo::RingNeighbor { j } => {
             if gcd(j % p, p) != 1 {
@@ -67,9 +153,7 @@ pub fn allgather<C: Comm + ?Sized>(
         }
         AllgatherAlgo::RingSourceRead => ring_source(comm, sendbuf, recvbuf, count, false),
         AllgatherAlgo::RingSourceWrite => ring_source(comm, sendbuf, recvbuf, count, true),
-        AllgatherAlgo::RecursiveDoubling => {
-            recursive_doubling(comm, sendbuf, recvbuf, count)
-        }
+        AllgatherAlgo::RecursiveDoubling => recursive_doubling(comm, sendbuf, recvbuf, count),
         AllgatherAlgo::Bruck => bruck(comm, sendbuf, recvbuf, count),
     }
 }

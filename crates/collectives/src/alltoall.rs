@@ -42,12 +42,22 @@ pub fn alltoall<C: Comm + ?Sized>(
     let need = p * count;
     let cap = comm.buf_len(recvbuf)?;
     if cap < need {
-        return Err(CommError::OutOfRange { buf: recvbuf.0, off: 0, len: need, cap });
+        return Err(CommError::OutOfRange {
+            buf: recvbuf.0,
+            off: 0,
+            len: need,
+            cap,
+        });
     }
     if let Some(sb) = sendbuf {
         let scap = comm.buf_len(sb)?;
         if scap < need {
-            return Err(CommError::OutOfRange { buf: sb.0, off: 0, len: need, cap: scap });
+            return Err(CommError::OutOfRange {
+                buf: sb.0,
+                off: 0,
+                len: need,
+                cap: scap,
+            });
         }
     }
     if count == 0 {
@@ -97,7 +107,11 @@ fn pairwise<C: Comm + ?Sized>(
     for i in 1..p {
         // Peer choice guarantees distinct sources per step: XOR pairing
         // for power-of-two p, rotation otherwise (§IV-C1).
-        let src = if p.is_power_of_two() { me ^ i } else { (me + p - i) % p };
+        let src = if p.is_power_of_two() {
+            me ^ i
+        } else {
+            (me + p - i) % p
+        };
         let tok = RemoteToken::from_bytes(&tokens[src])
             .ok_or(CommError::Protocol("bad alltoall token".into()))?;
         comm.cma_read(tok, me * count, recvbuf, src * count, count)?;
@@ -123,7 +137,11 @@ fn pairwise_write<C: Comm + ?Sized>(
     let token = comm.expose(recvbuf)?;
     let tokens = smcoll::sm_allgather(comm, &token.to_bytes())?;
     for i in 1..p {
-        let dst = if p.is_power_of_two() { me ^ i } else { (me + i) % p };
+        let dst = if p.is_power_of_two() {
+            me ^ i
+        } else {
+            (me + i) % p
+        };
         let tok = RemoteToken::from_bytes(&tokens[dst])
             .ok_or(CommError::Protocol("bad alltoall token".into()))?;
         comm.cma_write(tok, me * count, sendbuf, dst * count, count)?;

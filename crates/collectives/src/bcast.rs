@@ -1,10 +1,17 @@
 //! One-to-all non-personalized communication: MPI_Bcast (§V-B).
+//!
+//! The public entry point compiles to a [`crate::schedule::Schedule`]
+//! (cached in the global [`PlanCache`]) and replays it through the
+//! generic executor; `bcast_legacy` keeps the direct implementation for
+//! equivalence tests.
 
+use crate::exec::{execute, Bindings, ScheduleReport};
+use crate::schedule::{compile_bcast, PlanCache, PlanKey};
 use crate::{class, unvrank, vrank};
-use kacc_comm::{smcoll, BufId, Comm, CommExt, CommError, RemoteToken, Result, Tag};
+use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 /// Broadcast algorithm selection (§V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BcastAlgo {
     /// §V-B1: every non-root reads the root's buffer at once (maximal
     /// contention, one step).
@@ -36,15 +43,78 @@ pub fn bcast<C: Comm + ?Sized>(
     count: usize,
     root: usize,
 ) -> Result<()> {
+    bcast_with_report(comm, algo, buf, count, root).map(|_| ())
+}
+
+/// [`bcast`] returning the executor's per-step accounting. `None` when
+/// the call was satisfied without a schedule (single rank or zero count).
+pub fn bcast_with_report<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: BcastAlgo,
+    buf: BufId,
+    count: usize,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if !validate(comm, buf, count, root)? {
+        return Ok(None);
+    }
+    if let BcastAlgo::KNomial { radix } = algo {
+        if radix < 2 {
+            return Err(CommError::Protocol("k-nomial radix must be ≥ 2".into()));
+        }
+    }
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Bcast {
+            algo,
+            p,
+            rank: me,
+            count,
+            root,
+        },
+        || compile_bcast(algo, p, me, count, root),
+    );
+    execute(
+        comm,
+        &plan,
+        &Bindings {
+            send: Some(buf),
+            recv: None,
+        },
+    )
+    .map(Some)
+}
+
+/// Shared validation; `Ok(false)` means the degenerate case was handled.
+fn validate<C: Comm + ?Sized>(comm: &mut C, buf: BufId, count: usize, root: usize) -> Result<bool> {
     let p = comm.size();
     if root >= p {
         return Err(CommError::BadRank(root));
     }
     let cap = comm.buf_len(buf)?;
     if cap < count {
-        return Err(CommError::OutOfRange { buf: buf.0, off: 0, len: count, cap });
+        return Err(CommError::OutOfRange {
+            buf: buf.0,
+            off: 0,
+            len: count,
+            cap,
+        });
     }
-    if p == 1 || count == 0 {
+    Ok(!(p == 1 || count == 0))
+}
+
+/// Original direct implementation, kept verbatim so tests can assert the
+/// compiled schedules are traffic- and result-identical to it.
+#[doc(hidden)]
+pub fn bcast_legacy<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: BcastAlgo,
+    buf: BufId,
+    count: usize,
+    root: usize,
+) -> Result<()> {
+    if !validate(comm, buf, count, root)? {
         return Ok(());
     }
     match algo {
@@ -73,8 +143,8 @@ fn direct_read<C: Comm + ?Sized>(
         smcoll::sm_gather(comm, root, &[])?;
     } else {
         let raw = smcoll::sm_bcast(comm, root, &[])?;
-        let token = RemoteToken::from_bytes(&raw)
-            .ok_or(CommError::Protocol("bad bcast token".into()))?;
+        let token =
+            RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad bcast token".into()))?;
         comm.cma_read(token, 0, buf, 0, count)?;
         smcoll::sm_gather(comm, root, &[])?;
     }
@@ -184,8 +254,7 @@ fn scatter_allgather<C: Comm + ?Sized>(
     let token = comm.expose(buf)?;
     let tokens = smcoll::sm_allgather(comm, &token.to_bytes())?;
     let tok_of = |tokens: &Vec<Vec<u8>>, r: usize| {
-        RemoteToken::from_bytes(&tokens[r])
-            .ok_or(CommError::Protocol("bad sag token".into()))
+        RemoteToken::from_bytes(&tokens[r]).ok_or(CommError::Protocol("bad sag token".into()))
     };
 
     // Phase A — sequential-write scatter: the root deposits chunk i into

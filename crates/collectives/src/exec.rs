@@ -1,0 +1,369 @@
+//! Generic schedule executor (execute phase).
+//!
+//! [`execute`] replays a compiled [`Schedule`] on any [`Comm`]: it binds
+//! the schedule's symbolic [`Slot`]s to caller buffers, allocates the
+//! scratch buffers the plan declares, resolves token registers as
+//! `Expose`/`CtrlRecv` steps fill them, and runs every step in order
+//! while recording per-step-kind wall/virtual time and byte counters
+//! into a [`ScheduleReport`].
+//!
+//! On the simulator the timings are deterministic virtual nanoseconds;
+//! on the native transports they are monotonic wall-clock nanoseconds —
+//! both come from [`Comm::time_ns`], so the report means "time this rank
+//! spent inside each primitive" on every transport.
+
+use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result};
+
+use crate::reduce::combine;
+use crate::schedule::{Payload, RecvInto, Schedule, Slot, Step};
+
+/// Caller buffers a schedule's symbolic slots resolve to.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bindings {
+    /// Buffer behind [`Slot::Send`], if the plan references it.
+    pub send: Option<BufId>,
+    /// Buffer behind [`Slot::Recv`], if the plan references it.
+    pub recv: Option<BufId>,
+}
+
+/// Accumulated count / bytes / time for one step kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Steps of this kind executed.
+    pub count: u64,
+    /// Payload bytes they moved (0 for pure synchronization).
+    pub bytes: u64,
+    /// Time spent inside them, in `Comm::time_ns` units (virtual under
+    /// simulation, wall-clock on native transports).
+    pub time_ns: u64,
+}
+
+impl StepStats {
+    fn add(&mut self, bytes: usize, dt: u64) {
+        self.count += 1;
+        self.bytes += bytes as u64;
+        self.time_ns += dt;
+    }
+}
+
+/// Per-step-kind accounting for one schedule execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// `expose` calls.
+    pub expose: StepStats,
+    /// Single-copy reads (bytes = payload read).
+    pub cma_read: StepStats,
+    /// Single-copy writes (bytes = payload written).
+    pub cma_write: StepStats,
+    /// Local charged copies.
+    pub copy_local: StepStats,
+    /// Control-plane sends (bytes = wire bytes).
+    pub ctrl_send: StepStats,
+    /// Control-plane receives (bytes = wire bytes).
+    pub ctrl_recv: StepStats,
+    /// 0-byte notification sends.
+    pub notify: StepStats,
+    /// 0-byte notification waits.
+    pub wait_notify: StepStats,
+    /// Two-copy shared-memory sends.
+    pub shm_send: StepStats,
+    /// Two-copy shared-memory receives.
+    pub shm_recv: StepStats,
+    /// Element-wise reductions (bytes = reduced region size).
+    pub reduce: StepStats,
+    /// Steps executed in total.
+    pub steps: u64,
+    /// End-to-end time from first step to last, in `time_ns` units.
+    pub total_ns: u64,
+}
+
+impl ScheduleReport {
+    /// Total bytes moved by kernel-assisted reads.
+    pub fn bytes_read(&self) -> u64 {
+        self.cma_read.bytes
+    }
+
+    /// Total bytes moved by kernel-assisted writes.
+    pub fn bytes_written(&self) -> u64 {
+        self.cma_write.bytes
+    }
+}
+
+fn proto(msg: String) -> CommError {
+    CommError::Protocol(msg)
+}
+
+struct Ctx<'a> {
+    bind: &'a Bindings,
+    temps: Vec<BufId>,
+    regs: Vec<Option<RemoteToken>>,
+}
+
+impl Ctx<'_> {
+    fn slot(&self, s: Slot) -> Result<BufId> {
+        match s {
+            Slot::Send => self.bind.send.ok_or_else(|| {
+                proto("schedule references Send but no send buffer is bound".into())
+            }),
+            Slot::Recv => self.bind.recv.ok_or_else(|| {
+                proto("schedule references Recv but no recv buffer is bound".into())
+            }),
+            Slot::Temp(i) => self
+                .temps
+                .get(i as usize)
+                .copied()
+                .ok_or_else(|| proto(format!("schedule references undeclared temp {i}"))),
+        }
+    }
+
+    fn token(&self, reg: crate::schedule::TokenReg) -> Result<RemoteToken> {
+        self.regs
+            .get(reg.0 as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| {
+                proto(format!(
+                    "token register {} used before it was filled",
+                    reg.0
+                ))
+            })
+    }
+
+    fn set_token(&mut self, reg: crate::schedule::TokenReg, t: RemoteToken) -> Result<()> {
+        let slot = self
+            .regs
+            .get_mut(reg.0 as usize)
+            .ok_or_else(|| proto(format!("token register {} out of range", reg.0)))?;
+        *slot = Some(t);
+        Ok(())
+    }
+
+    fn render_payload(&self, p: &Payload) -> Result<Vec<u8>> {
+        match p {
+            Payload::Bytes(b) => Ok(b.clone()),
+            Payload::Token(reg) => Ok(self.token(*reg)?.to_bytes().to_vec()),
+            Payload::Pack(entries) => {
+                let mut out = Vec::with_capacity(entries.len());
+                for &(rank, reg) in entries {
+                    let body = match reg {
+                        Some(r) => self.token(r)?.to_bytes().to_vec(),
+                        None => Vec::new(),
+                    };
+                    out.push((rank, body));
+                }
+                Ok(smcoll::encode_entries(&out))
+            }
+        }
+    }
+
+    fn apply_recv(&mut self, into: &RecvInto, body: Vec<u8>) -> Result<()> {
+        match into {
+            RecvInto::Discard => Ok(()),
+            RecvInto::Verify(expected) => {
+                if &body == expected {
+                    Ok(())
+                } else {
+                    Err(proto(format!(
+                        "control message mismatch: expected {} bytes, got {}",
+                        expected.len(),
+                        body.len()
+                    )))
+                }
+            }
+            RecvInto::Token(reg) => {
+                let t = RemoteToken::from_bytes(&body)
+                    .ok_or_else(|| proto("control message is not a remote token".into()))?;
+                self.set_token(*reg, t)
+            }
+            RecvInto::Pack(entries) => {
+                let decoded = smcoll::decode_entries(&body)?;
+                if decoded.len() != entries.len() {
+                    return Err(proto(format!(
+                        "entry pack has {} entries, schedule expected {}",
+                        decoded.len(),
+                        entries.len()
+                    )));
+                }
+                for (&(want_rank, reg), (got_rank, payload)) in entries.iter().zip(decoded) {
+                    if want_rank != got_rank {
+                        return Err(proto(format!(
+                            "entry pack rank mismatch: expected {want_rank}, got {got_rank}"
+                        )));
+                    }
+                    match reg {
+                        Some(r) => {
+                            let t = RemoteToken::from_bytes(&payload).ok_or_else(|| {
+                                proto(format!("entry for rank {got_rank} is not a token"))
+                            })?;
+                            self.set_token(r, t)?;
+                        }
+                        None => {
+                            if !payload.is_empty() {
+                                return Err(proto(format!(
+                                    "entry for rank {got_rank} should be empty, got {} bytes",
+                                    payload.len()
+                                )));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Execute a compiled schedule on `comm` with the given bindings.
+///
+/// Scratch buffers declared by the plan are allocated up front and freed
+/// on success. The schedule must have been compiled for this rank and
+/// communicator size.
+pub fn execute<C: Comm + ?Sized>(
+    comm: &mut C,
+    sched: &Schedule,
+    bind: &Bindings,
+) -> Result<ScheduleReport> {
+    if sched.rank != comm.rank() || sched.p != comm.size() {
+        return Err(proto(format!(
+            "schedule compiled for rank {}/{} executed on rank {}/{}",
+            sched.rank,
+            sched.p,
+            comm.rank(),
+            comm.size()
+        )));
+    }
+
+    let mut ctx = Ctx {
+        bind,
+        temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
+        regs: vec![None; sched.token_regs],
+    };
+    let mut report = ScheduleReport::default();
+
+    let start = comm.time_ns();
+    let result = run_steps(comm, sched, &mut ctx, &mut report);
+    report.total_ns = comm.time_ns().saturating_sub(start);
+
+    // Free scratch even when a step failed mid-run.
+    for t in ctx.temps.drain(..) {
+        let _ = comm.free(t);
+    }
+    result.map(|()| report)
+}
+
+fn run_steps<C: Comm + ?Sized>(
+    comm: &mut C,
+    sched: &Schedule,
+    ctx: &mut Ctx<'_>,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    for step in &sched.steps {
+        let t0 = comm.time_ns();
+        match step {
+            Step::Expose { slot, reg } => {
+                let buf = ctx.slot(*slot)?;
+                let token = comm.expose(buf)?;
+                ctx.set_token(*reg, token)?;
+                report.expose.add(0, comm.time_ns() - t0);
+            }
+            Step::CmaRead {
+                token,
+                remote_off,
+                dst,
+                dst_off,
+                len,
+            } => {
+                let t = ctx.token(*token)?;
+                let dst = ctx.slot(*dst)?;
+                comm.cma_read(t, *remote_off, dst, *dst_off, *len)?;
+                report.cma_read.add(*len, comm.time_ns() - t0);
+            }
+            Step::CmaWrite {
+                token,
+                remote_off,
+                src,
+                src_off,
+                len,
+            } => {
+                let t = ctx.token(*token)?;
+                let src = ctx.slot(*src)?;
+                comm.cma_write(t, *remote_off, src, *src_off, *len)?;
+                report.cma_write.add(*len, comm.time_ns() - t0);
+            }
+            Step::CopyLocal {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                len,
+            } => {
+                let src = ctx.slot(*src)?;
+                let dst = ctx.slot(*dst)?;
+                comm.copy_local(src, *src_off, dst, *dst_off, *len)?;
+                report.copy_local.add(*len, comm.time_ns() - t0);
+            }
+            Step::CtrlSend { to, tag, payload } => {
+                let body = ctx.render_payload(payload)?;
+                comm.ctrl_send(*to, *tag, &body)?;
+                report.ctrl_send.add(body.len(), comm.time_ns() - t0);
+            }
+            Step::CtrlRecv { from, tag, into } => {
+                let body = comm.ctrl_recv(*from, *tag)?;
+                let n = body.len();
+                ctx.apply_recv(into, body)?;
+                report.ctrl_recv.add(n, comm.time_ns() - t0);
+            }
+            Step::Notify { to, tag } => {
+                comm.notify(*to, *tag)?;
+                report.notify.add(0, comm.time_ns() - t0);
+            }
+            Step::WaitNotify { from, tag } => {
+                comm.wait_notify(*from, *tag)?;
+                report.wait_notify.add(0, comm.time_ns() - t0);
+            }
+            Step::ShmSend {
+                to,
+                tag,
+                src,
+                off,
+                len,
+            } => {
+                let src = ctx.slot(*src)?;
+                comm.shm_send_data(*to, *tag, src, *off, *len)?;
+                report.shm_send.add(*len, comm.time_ns() - t0);
+            }
+            Step::ShmRecv {
+                from,
+                tag,
+                dst,
+                off,
+                len,
+            } => {
+                let dst = ctx.slot(*dst)?;
+                comm.shm_recv_data(*from, *tag, dst, *off, *len)?;
+                report.shm_recv.add(*len, comm.time_ns() - t0);
+            }
+            Step::Reduce {
+                op,
+                dtype,
+                acc,
+                acc_off,
+                src,
+                src_off,
+                len,
+            } => {
+                let acc_buf = ctx.slot(*acc)?;
+                let src_buf = ctx.slot(*src)?;
+                let mut acc_bytes = vec![0u8; *len];
+                let mut src_bytes = vec![0u8; *len];
+                comm.read_local(acc_buf, *acc_off, &mut acc_bytes)?;
+                comm.read_local(src_buf, *src_off, &mut src_bytes)?;
+                combine(&mut acc_bytes, &src_bytes, *dtype, *op);
+                comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
+                report.reduce.add(*len, comm.time_ns() - t0);
+            }
+        }
+        report.steps += 1;
+    }
+    Ok(())
+}

@@ -3,12 +3,19 @@
 //! The algorithms mirror the Scatter designs with the direction of the
 //! kernel-assisted operations reversed: the contended resource is the
 //! *root's* page-table lock, written to by many peers at once.
+//!
+//! Like Scatter, the public entry points compile to a
+//! [`crate::schedule::Schedule`] (cached in the global [`PlanCache`])
+//! and replay it through the generic executor; `gatherv_legacy` keeps
+//! the direct implementation for equivalence tests.
 
+use crate::exec::{execute, Bindings, ScheduleReport};
+use crate::schedule::{compile_gather, PlanCache, PlanKey};
 use crate::{class, unvrank, vrank};
-use kacc_comm::{smcoll, BufId, Comm, CommExt, CommError, RemoteToken, Result, Tag};
+use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 /// Gather algorithm selection (§IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GatherAlgo {
     /// §IV-B1: every non-root writes its block into the root's receive
     /// buffer concurrently.
@@ -57,38 +64,131 @@ pub fn gatherv<C: Comm + ?Sized>(
     displs: Option<&[usize]>,
     root: usize,
 ) -> Result<()> {
+    gatherv_with_report(comm, algo, sendbuf, recvbuf, counts, displs, root).map(|_| ())
+}
+
+/// [`gatherv`] returning the executor's per-step accounting. `None`
+/// when the call was satisfied without a schedule (single rank or
+/// all-zero counts).
+pub fn gatherv_with_report<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: GatherAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let layout = match prepare(comm, sendbuf, recvbuf, counts, displs, root)? {
+        Prepared::Done => return Ok(None),
+        Prepared::Run(layout) => layout,
+    };
+    if let GatherAlgo::ThrottledWrite { k } = algo {
+        if k == 0 {
+            return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
+        }
+    }
+    let p = comm.size();
+    let me = comm.rank();
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Gather {
+            algo,
+            p,
+            rank: me,
+            counts: counts.to_vec(),
+            displs: displs.map(<[usize]>::to_vec),
+            root,
+            has_sendbuf: sendbuf.is_some(),
+        },
+        || compile_gather(algo, p, me, &layout, root, sendbuf.is_some()),
+    );
+    execute(
+        comm,
+        &plan,
+        &Bindings {
+            send: sendbuf,
+            recv: recvbuf,
+        },
+    )
+    .map(Some)
+}
+
+/// Validation and degenerate-case handling shared by the compiled and
+/// legacy paths.
+enum Prepared {
+    /// Nothing left to do (single rank or all-zero counts).
+    Done,
+    /// Run the algorithm with this per-rank layout.
+    Run(Vec<(usize, usize)>),
+}
+
+fn prepare<C: Comm + ?Sized>(
+    comm: &mut C,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<Prepared> {
     let p = comm.size();
     let me = comm.rank();
     if root >= p {
         return Err(CommError::BadRank(root));
     }
     if counts.len() != p || displs.is_some_and(|d| d.len() != p) {
-        return Err(CommError::Protocol("counts/displs length must equal size".into()));
+        return Err(CommError::Protocol(
+            "counts/displs length must equal size".into(),
+        ));
     }
     let layout = crate::scatter::build_layout(counts, displs);
     if me == root {
         let rb = recvbuf.ok_or(CommError::Protocol("root gather needs recvbuf".into()))?;
-        let need = layout.iter().map(|&(off, len)| off + len).max().unwrap_or(0);
+        let need = layout
+            .iter()
+            .map(|&(off, len)| off + len)
+            .max()
+            .unwrap_or(0);
         let cap = comm.buf_len(rb)?;
         if cap < need {
-            return Err(CommError::OutOfRange { buf: rb.0, off: 0, len: need, cap });
+            return Err(CommError::OutOfRange {
+                buf: rb.0,
+                off: 0,
+                len: need,
+                cap,
+            });
         }
     } else if sendbuf.is_none() && counts[me] > 0 {
         return Err(CommError::Protocol("non-root gather needs sendbuf".into()));
     }
     if p == 1 {
         root_self_copy(comm, recvbuf.unwrap(), sendbuf, &layout, root)?;
-        return Ok(());
+        return Ok(Prepared::Done);
     }
     if counts.iter().all(|&c| c == 0) {
-        return Ok(());
+        return Ok(Prepared::Done);
     }
+    Ok(Prepared::Run(layout))
+}
 
+/// Original direct implementation, kept verbatim so tests can assert the
+/// compiled schedules are traffic- and result-identical to it.
+#[doc(hidden)]
+pub fn gatherv_legacy<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: GatherAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<()> {
+    let layout = match prepare(comm, sendbuf, recvbuf, counts, displs, root)? {
+        Prepared::Done => return Ok(()),
+        Prepared::Run(layout) => layout,
+    };
     match algo {
         GatherAlgo::ParallelWrite => parallel_write(comm, sendbuf, recvbuf, &layout, root),
-        GatherAlgo::SequentialRead => {
-            sequential_read(comm, sendbuf, recvbuf, &layout, root)
-        }
+        GatherAlgo::SequentialRead => sequential_read(comm, sendbuf, recvbuf, &layout, root),
         GatherAlgo::ThrottledWrite { k } => {
             if k == 0 {
                 return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
@@ -130,8 +230,8 @@ fn parallel_write<C: Comm + ?Sized>(
         smcoll::sm_gather(comm, root, &[])?;
     } else {
         let raw = smcoll::sm_bcast(comm, root, &[])?;
-        let token = RemoteToken::from_bytes(&raw)
-            .ok_or(CommError::Protocol("bad gather token".into()))?;
+        let token =
+            RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad gather token".into()))?;
         let (off, len) = layout[me];
         if len > 0 {
             comm.cma_write(token, off, sendbuf.unwrap(), 0, len)?;
@@ -199,8 +299,8 @@ fn throttled_write<C: Comm + ?Sized>(
         }
     } else {
         let raw = smcoll::sm_bcast(comm, root, &[])?;
-        let token = RemoteToken::from_bytes(&raw)
-            .ok_or(CommError::Protocol("bad gather token".into()))?;
+        let token =
+            RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad gather token".into()))?;
         let v = vrank(me, root, p);
         if v > k {
             comm.wait_notify(unvrank(v - k, root, p), TAG_CHAIN)?;

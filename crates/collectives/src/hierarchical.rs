@@ -14,7 +14,7 @@
 //! cluster transport maps onto the fabric.
 
 use crate::class;
-use kacc_comm::{BufId, Comm, CommExt, CommError, RemoteToken, Result, Tag};
+use kacc_comm::{BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 const TAG_TOKEN: Tag = Tag::internal(class::HIER, 0);
 const TAG_CHAIN: Tag = Tag::internal(class::HIER, 1);
@@ -113,8 +113,7 @@ pub fn hier_gather<C: Comm + ?Sized>(
             (true, Some(sb)) => comm.copy_local(sb, 0, rb, me * count, count)?,
             (true, None) => {} // MPI_IN_PLACE at root
             (false, sb) => {
-                let sb =
-                    sb.ok_or(CommError::Protocol("non-root gather needs sendbuf".into()))?;
+                let sb = sb.ok_or(CommError::Protocol("non-root gather needs sendbuf".into()))?;
                 comm.copy_local(sb, 0, rb, slot(my_li, me), count)?;
             }
         }
@@ -136,9 +135,7 @@ pub fn hier_gather<C: Comm + ?Sized>(
                     continue;
                 }
                 let l = layout.leader(n, root);
-                let contiguous = node_members
-                    .windows(2)
-                    .all(|w| w[1] == w[0] + 1);
+                let contiguous = node_members.windows(2).all(|w| w[1] == w[0] + 1);
                 if contiguous {
                     comm.shm_recv_data(
                         l,
@@ -172,8 +169,7 @@ pub fn hier_gather<C: Comm + ?Sized>(
         let _ = on_root_node;
 
         // Chain position among this node's non-leader members.
-        let others: Vec<usize> =
-            members.iter().copied().filter(|&m| m != leader).collect();
+        let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
         let pos = others.iter().position(|&m| m == me).unwrap();
         if pos >= k {
             comm.wait_notify(others[pos - k], TAG_CHAIN)?;
@@ -266,8 +262,7 @@ pub fn hier_scatter<C: Comm + ?Sized>(
         }
         let token = RemoteToken::from_bytes(&msg).unwrap();
         let off = u64::from_le_bytes(msg[16..24].try_into().unwrap()) as usize;
-        let others: Vec<usize> =
-            members.iter().copied().filter(|&m| m != leader).collect();
+        let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
         let pos = others.iter().position(|&m| m == me).unwrap();
         if pos >= k {
             comm.wait_notify(others[pos - k], TAG_CHAIN)?;
@@ -308,7 +303,11 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
         return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
     }
     let layout = NodeLayout::of(comm);
-    if !layout.nodes.iter().all(|m| m.windows(2).all(|w| w[1] == w[0] + 1)) {
+    if !layout
+        .nodes
+        .iter()
+        .all(|m| m.windows(2).all(|w| w[1] == w[0] + 1))
+    {
         return hier_gather(comm, sendbuf, recvbuf, count, root, k);
     }
     let my_node = layout.node_of[me];
@@ -345,8 +344,7 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
             (true, Some(sb)) => comm.copy_local(sb, 0, rb, me * count, count)?,
             (true, None) => {}
             (false, sb) => {
-                let sb =
-                    sb.ok_or(CommError::Protocol("non-root gather needs sendbuf".into()))?;
+                let sb = sb.ok_or(CommError::Protocol("non-root gather needs sendbuf".into()))?;
                 comm.copy_local(sb, 0, rb, base + my_li * count, count)?;
             }
         }
@@ -407,8 +405,7 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
         }
         let token = RemoteToken::from_bytes(&msg).unwrap();
         let off = u64::from_le_bytes(msg[16..24].try_into().unwrap()) as usize;
-        let others: Vec<usize> =
-            members.iter().copied().filter(|&m| m != leader).collect();
+        let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
         let pos = others.iter().position(|&m| m == me).unwrap();
         if pos >= k {
             comm.wait_notify(others[pos - k], TAG_CHAIN)?;

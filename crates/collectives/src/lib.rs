@@ -35,35 +35,40 @@
 pub mod allgather;
 pub mod alltoall;
 pub mod bcast;
+pub mod exec;
 pub mod gather;
 pub mod hierarchical;
 pub mod reduce;
 pub mod scatter;
+pub mod schedule;
 pub mod tuner;
 pub mod verify;
 
-pub use allgather::{allgather, AllgatherAlgo};
+pub use allgather::{allgather, allgather_with_report, AllgatherAlgo};
 pub use alltoall::{alltoall, AlltoallAlgo};
-pub use bcast::{bcast, BcastAlgo};
-pub use gather::{gather, gatherv, GatherAlgo};
+pub use bcast::{bcast, bcast_with_report, BcastAlgo};
+pub use gather::{gather, gatherv, gatherv_with_report, GatherAlgo};
 pub use reduce::{
     allreduce, reduce, reduce_scatter_block, AllreduceAlgo, Dtype, ReduceAlgo, ReduceOp,
 };
 
 pub(crate) use allgather::allgather_ranges;
-pub use scatter::{scatter, scatterv, ScatterAlgo};
+pub use exec::{execute, Bindings, ScheduleReport, StepStats};
+pub use scatter::{scatter, scatterv, scatterv_with_report, ScatterAlgo};
+pub use schedule::{PlanCache, PlanKey, Schedule, Step};
 pub use tuner::Tuner;
 
 /// Tag classes used by the collective protocols (disjoint from
-/// `kacc_comm::smcoll::class`).
+/// `kacc_comm::smcoll::class`). Re-exported from the central
+/// `kacc_comm::tagclass` registry, which owns the uniqueness audit.
 pub(crate) mod class {
-    pub const SCATTER: u32 = 16;
-    pub const GATHER: u32 = 17;
-    pub const ALLTOALL: u32 = 18;
-    pub const ALLGATHER: u32 = 19;
-    pub const BCAST: u32 = 20;
-    pub const HIER: u32 = 21;
-    pub const REDUCE: u32 = 22;
+    pub const SCATTER: u32 = kacc_comm::tagclass::SCATTER;
+    pub const GATHER: u32 = kacc_comm::tagclass::GATHER;
+    pub const ALLTOALL: u32 = kacc_comm::tagclass::ALLTOALL;
+    pub const ALLGATHER: u32 = kacc_comm::tagclass::ALLGATHER;
+    pub const BCAST: u32 = kacc_comm::tagclass::BCAST;
+    pub const HIER: u32 = kacc_comm::tagclass::HIER;
+    pub const REDUCE: u32 = kacc_comm::tagclass::REDUCE;
 }
 
 /// Map a rank to its virtual rank with `root` at 0.

@@ -22,7 +22,7 @@
 
 use crate::bcast::{bcast, BcastAlgo};
 use crate::{class, unvrank, vrank};
-use kacc_comm::{BufId, Comm, CommExt, CommError, RemoteToken, Result, Tag};
+use kacc_comm::{BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 /// Element type of a reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,9 +176,7 @@ pub fn reduce<C: Comm + ?Sized>(
     }
 
     match algo {
-        ReduceAlgo::SequentialRead => {
-            root_pull(comm, sendbuf, recvbuf, count, dtype, op, root)
-        }
+        ReduceAlgo::SequentialRead => root_pull(comm, sendbuf, recvbuf, count, dtype, op, root),
         ReduceAlgo::KNomialTree { radix } => {
             if radix < 2 {
                 return Err(CommError::Protocol("tree radix must be ≥ 2".into()));
@@ -244,7 +242,11 @@ fn knomial_tree<C: Comm + ?Sized>(
     let v = vrank(me, root, p);
 
     // Accumulate into a private partial (the root can use recvbuf).
-    let acc = if v == 0 { recvbuf.unwrap() } else { comm.alloc(count) };
+    let acc = if v == 0 {
+        recvbuf.unwrap()
+    } else {
+        comm.alloc(count)
+    };
     comm.copy_local(sendbuf, 0, acc, 0, count)?;
     let scratch = comm.alloc(count);
 
@@ -304,7 +306,7 @@ pub fn reduce_scatter_block<C: Comm + ?Sized>(
 ) -> Result<()> {
     let p = comm.size();
     let me = comm.rank();
-    if count % dtype.width() != 0 {
+    if !count.is_multiple_of(dtype.width()) {
         return Err(CommError::Protocol(format!(
             "count {count} is not a multiple of the {dtype:?} width"
         )));
@@ -312,7 +314,12 @@ pub fn reduce_scatter_block<C: Comm + ?Sized>(
     let need = p * count;
     let cap = comm.buf_len(sendbuf)?;
     if cap < need {
-        return Err(CommError::OutOfRange { buf: sendbuf.0, off: 0, len: need, cap });
+        return Err(CommError::OutOfRange {
+            buf: sendbuf.0,
+            off: 0,
+            len: need,
+            cap,
+        });
     }
     if count == 0 {
         return Ok(());
@@ -327,7 +334,11 @@ pub fn reduce_scatter_block<C: Comm + ?Sized>(
     let mut acc = vec![0u8; count];
     comm.read_local(recvbuf, 0, &mut acc)?;
     for i in 1..p {
-        let src = if p.is_power_of_two() { me ^ i } else { (me + p - i) % p };
+        let src = if p.is_power_of_two() {
+            me ^ i
+        } else {
+            (me + p - i) % p
+        };
         let tok = RemoteToken::from_bytes(&tokens[src])
             .ok_or(CommError::Protocol("bad reduce-scatter token".into()))?;
         comm.cma_read(tok, me * count, scratch, 0, count)?;
@@ -373,7 +384,10 @@ pub fn allreduce<C: Comm + ?Sized>(
     op: ReduceOp,
 ) -> Result<()> {
     match algo {
-        AllreduceAlgo::ReduceBcast { reduce: ralgo, bcast: balgo } => {
+        AllreduceAlgo::ReduceBcast {
+            reduce: ralgo,
+            bcast: balgo,
+        } => {
             reduce(comm, ralgo, sendbuf, Some(recvbuf), count, dtype, op, 0)?;
             bcast(comm, balgo, recvbuf, count, 0)?;
             Ok(())
@@ -420,7 +434,11 @@ fn rabenseifner<C: Comm + ?Sized>(
         if my_len == 0 {
             break;
         }
-        let src = if p.is_power_of_two() { me ^ i } else { (me + p - i) % p };
+        let src = if p.is_power_of_two() {
+            me ^ i
+        } else {
+            (me + p - i) % p
+        };
         let tok = RemoteToken::from_bytes(&tokens[src])
             .ok_or(CommError::Protocol("bad allreduce token".into()))?;
         comm.cma_read(tok, my_off, scratch, 0, my_len)?;
@@ -443,7 +461,12 @@ fn rabenseifner<C: Comm + ?Sized>(
 
 /// Expected lane-wise combination of `p` rank-stamped u64 contributions
 /// (test/verification helper).
-pub fn expected_u64(p: usize, lanes: usize, op: ReduceOp, value_of: impl Fn(usize, usize) -> u64) -> Vec<u64> {
+pub fn expected_u64(
+    p: usize,
+    lanes: usize,
+    op: ReduceOp,
+    value_of: impl Fn(usize, usize) -> u64,
+) -> Vec<u64> {
     (0..lanes)
         .map(|lane| {
             let mut acc = value_of(0, lane);

@@ -1,10 +1,18 @@
 //! One-to-all personalized communication: MPI_Scatter (§IV-A).
+//!
+//! The public entry points are thin compile+execute wrappers: the
+//! algorithm structure is compiled once into a [`crate::schedule::Schedule`]
+//! (memoized in the global [`PlanCache`]) and replayed by the generic
+//! executor. `scatterv_legacy` keeps the original direct implementation
+//! for the traffic-equivalence tests.
 
+use crate::exec::{execute, Bindings, ScheduleReport};
+use crate::schedule::{compile_scatter, PlanCache, PlanKey};
 use crate::{class, unvrank, vrank};
-use kacc_comm::{smcoll, BufId, Comm, CommExt, CommError, RemoteToken, Result, Tag};
+use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 /// Scatter algorithm selection (§IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScatterAlgo {
     /// §IV-A1: every non-root reads its slice from the root's send
     /// buffer concurrently. Minimal steps, maximal lock contention.
@@ -57,38 +65,131 @@ pub fn scatterv<C: Comm + ?Sized>(
     displs: Option<&[usize]>,
     root: usize,
 ) -> Result<()> {
+    scatterv_with_report(comm, algo, sendbuf, recvbuf, counts, displs, root).map(|_| ())
+}
+
+/// [`scatterv`] returning the executor's per-step accounting. `None`
+/// when the call was satisfied without a schedule (single rank or
+/// all-zero counts).
+pub fn scatterv_with_report<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: ScatterAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let layout = match prepare(comm, sendbuf, recvbuf, counts, displs, root)? {
+        Prepared::Done => return Ok(None),
+        Prepared::Run(layout) => layout,
+    };
+    if let ScatterAlgo::ThrottledRead { k } = algo {
+        if k == 0 {
+            return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
+        }
+    }
+    let p = comm.size();
+    let me = comm.rank();
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Scatter {
+            algo,
+            p,
+            rank: me,
+            counts: counts.to_vec(),
+            displs: displs.map(<[usize]>::to_vec),
+            root,
+            has_recvbuf: recvbuf.is_some(),
+        },
+        || compile_scatter(algo, p, me, &layout, root, recvbuf.is_some()),
+    );
+    execute(
+        comm,
+        &plan,
+        &Bindings {
+            send: sendbuf,
+            recv: recvbuf,
+        },
+    )
+    .map(Some)
+}
+
+/// Validation and degenerate-case handling shared by the compiled and
+/// legacy paths.
+enum Prepared {
+    /// Nothing left to do (single rank or all-zero counts).
+    Done,
+    /// Run the algorithm with this per-rank layout.
+    Run(Vec<(usize, usize)>),
+}
+
+fn prepare<C: Comm + ?Sized>(
+    comm: &mut C,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<Prepared> {
     let p = comm.size();
     let me = comm.rank();
     if root >= p {
         return Err(CommError::BadRank(root));
     }
     if counts.len() != p || displs.is_some_and(|d| d.len() != p) {
-        return Err(CommError::Protocol("counts/displs length must equal size".into()));
+        return Err(CommError::Protocol(
+            "counts/displs length must equal size".into(),
+        ));
     }
     let layout = build_layout(counts, displs);
     if me == root {
         let sb = sendbuf.ok_or(CommError::Protocol("root scatter needs sendbuf".into()))?;
-        let need = layout.iter().map(|&(off, len)| off + len).max().unwrap_or(0);
+        let need = layout
+            .iter()
+            .map(|&(off, len)| off + len)
+            .max()
+            .unwrap_or(0);
         let cap = comm.buf_len(sb)?;
         if cap < need {
-            return Err(CommError::OutOfRange { buf: sb.0, off: 0, len: need, cap });
+            return Err(CommError::OutOfRange {
+                buf: sb.0,
+                off: 0,
+                len: need,
+                cap,
+            });
         }
     } else if recvbuf.is_none() && counts[me] > 0 {
         return Err(CommError::Protocol("non-root scatter needs recvbuf".into()));
     }
     if p == 1 {
         root_self_copy(comm, sendbuf.unwrap(), recvbuf, &layout, root)?;
-        return Ok(());
+        return Ok(Prepared::Done);
     }
     if counts.iter().all(|&c| c == 0) {
-        return Ok(());
+        return Ok(Prepared::Done);
     }
+    Ok(Prepared::Run(layout))
+}
 
+/// Original direct implementation, kept verbatim so tests can assert the
+/// compiled schedules are traffic- and result-identical to it.
+#[doc(hidden)]
+pub fn scatterv_legacy<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: ScatterAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<()> {
+    let layout = match prepare(comm, sendbuf, recvbuf, counts, displs, root)? {
+        Prepared::Done => return Ok(()),
+        Prepared::Run(layout) => layout,
+    };
     match algo {
         ScatterAlgo::ParallelRead => parallel_read(comm, sendbuf, recvbuf, &layout, root),
-        ScatterAlgo::SequentialWrite => {
-            sequential_write(comm, sendbuf, recvbuf, &layout, root)
-        }
+        ScatterAlgo::SequentialWrite => sequential_write(comm, sendbuf, recvbuf, &layout, root),
         ScatterAlgo::ThrottledRead { k } => {
             if k == 0 {
                 return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
@@ -101,7 +202,11 @@ pub fn scatterv<C: Comm + ?Sized>(
 /// Per-rank `(offset, len)` placement in the root's buffer.
 pub(crate) fn build_layout(counts: &[usize], displs: Option<&[usize]>) -> Vec<(usize, usize)> {
     match displs {
-        Some(d) => d.iter().zip(counts).map(|(&off, &len)| (off, len)).collect(),
+        Some(d) => d
+            .iter()
+            .zip(counts)
+            .map(|(&off, &len)| (off, len))
+            .collect(),
         None => {
             let mut at = 0usize;
             counts
@@ -149,8 +254,8 @@ fn parallel_read<C: Comm + ?Sized>(
         smcoll::sm_gather(comm, root, &[])?;
     } else {
         let raw = smcoll::sm_bcast(comm, root, &[])?;
-        let token = RemoteToken::from_bytes(&raw)
-            .ok_or(CommError::Protocol("bad scatter token".into()))?;
+        let token =
+            RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad scatter token".into()))?;
         let (off, len) = layout[me];
         if len > 0 {
             comm.cma_read(token, off, recvbuf.unwrap(), 0, len)?;
@@ -224,8 +329,8 @@ fn throttled_read<C: Comm + ?Sized>(
         }
     } else {
         let raw = smcoll::sm_bcast(comm, root, &[])?;
-        let token = RemoteToken::from_bytes(&raw)
-            .ok_or(CommError::Protocol("bad scatter token".into()))?;
+        let token =
+            RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad scatter token".into()))?;
         let v = vrank(me, root, p);
         // Chained throttling: wait for rank v−k, read, unblock rank v+k.
         if v > k {

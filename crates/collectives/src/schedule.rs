@@ -1,0 +1,1588 @@
+//! Transport-agnostic communication schedules (compile phase).
+//!
+//! A [`Schedule`] is the per-rank, fully-ordered list of primitive
+//! operations one rank performs during a collective — the result of
+//! *compiling* an algorithm for a concrete `(p, rank, counts, root)`
+//! shape. Compilation is pure (no `Comm` involved); the companion
+//! executor ([`crate::exec`]) binds the schedule's symbolic buffer
+//! [`Slot`]s to real `BufId`s and replays the steps on any transport.
+//!
+//! Splitting collectives into compile + execute buys three things:
+//!
+//! 1. **Plan reuse** — an application calling the same collective shape
+//!    repeatedly (the common MPI pattern) pays the tree/round bookkeeping
+//!    once; [`PlanCache`] memoizes compiled schedules behind an LRU.
+//! 2. **Costing** — `kacc-model` can walk the IR and price a schedule
+//!    with the paper's contention model without executing it
+//!    (`Tuner::cost_schedule`), so tuning decisions and execution share
+//!    one source of truth.
+//! 3. **Inspection** — tests and tools can assert on the exact op
+//!    sequence a rank will issue (op counts, byte volumes, tag usage)
+//!    independent of any transport.
+//!
+//! Compiled schedules are *traffic-identical* to the legacy direct
+//! implementations: same tags, same message ordering, same wire bytes on
+//! the control plane, same CMA transfers. The equivalence proptest in
+//! `tests/schedule_equivalence.rs` pins this down on both the simulator
+//! and the thread transport.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use kacc_comm::{smcoll, Tag};
+
+use crate::allgather::AllgatherAlgo;
+use crate::bcast::BcastAlgo;
+use crate::gather::GatherAlgo;
+use crate::scatter::ScatterAlgo;
+use crate::{class, unvrank, vrank};
+
+/// Symbolic buffer the executor resolves to a `BufId` at bind time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The caller's send-side buffer (`sendbuf`, or the single data
+    /// buffer for rootless/broadcast shapes).
+    Send,
+    /// The caller's receive-side buffer.
+    Recv,
+    /// The `i`-th scratch buffer; the executor allocates it with the
+    /// length recorded in [`Schedule::temps`] and frees it afterwards.
+    Temp(u32),
+}
+
+/// Index of a token register: a slot the executor fills with a
+/// `RemoteToken` (from `expose` or from a decoded control message) and
+/// that later CMA steps reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenReg(pub u32);
+
+/// What a compiled control-plane send puts on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Literal bytes known at compile time (e.g. a recursive-doubling
+    /// have-set, or an empty synchronization message).
+    Bytes(Vec<u8>),
+    /// The 16-byte wire form of the token currently in a register.
+    Token(TokenReg),
+    /// `smcoll` entry-pack format: per entry a `(rank, payload)` pair
+    /// where the payload is the register's token bytes (`Some`) or empty
+    /// (`None`). Matches `smcoll::encode_entries`.
+    Pack(Vec<(u32, Option<TokenReg>)>),
+}
+
+/// What a compiled control-plane receive does with the message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvInto {
+    /// Drop the body (still blocks for the message).
+    Discard,
+    /// Require the body to equal these bytes exactly — used where the
+    /// legacy algorithm validated a compile-time-predictable message
+    /// (e.g. recursive-doubling have-sets).
+    Verify(Vec<u8>),
+    /// Parse the body as one 16-byte `RemoteToken` into a register.
+    Token(TokenReg),
+    /// Parse the body as an `smcoll` entry pack; each entry's rank label
+    /// must match, tokens land in `Some` registers, empty payloads are
+    /// required where `None`.
+    Pack(Vec<(u32, Option<TokenReg>)>),
+}
+
+/// One primitive operation in a compiled schedule. Each maps 1:1 onto a
+/// `Comm` method; the executor replays them in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// `expose(slot)` → store the token in `reg`.
+    Expose {
+        /// Buffer to expose.
+        slot: Slot,
+        /// Register receiving the resulting token.
+        reg: TokenReg,
+    },
+    /// Single-copy read from the remote buffer behind `token`.
+    CmaRead {
+        /// Register holding the remote token.
+        token: TokenReg,
+        /// Offset in the remote buffer.
+        remote_off: usize,
+        /// Local destination slot.
+        dst: Slot,
+        /// Offset in the local destination.
+        dst_off: usize,
+        /// Bytes to move.
+        len: usize,
+    },
+    /// Single-copy write into the remote buffer behind `token`.
+    CmaWrite {
+        /// Register holding the remote token.
+        token: TokenReg,
+        /// Offset in the remote buffer.
+        remote_off: usize,
+        /// Local source slot.
+        src: Slot,
+        /// Offset in the local source.
+        src_off: usize,
+        /// Bytes to move.
+        len: usize,
+    },
+    /// Local `memcpy` between two slots (charged copy).
+    CopyLocal {
+        /// Source slot.
+        src: Slot,
+        /// Source offset.
+        src_off: usize,
+        /// Destination slot.
+        dst: Slot,
+        /// Destination offset.
+        dst_off: usize,
+        /// Bytes to copy.
+        len: usize,
+    },
+    /// Buffered control-plane send.
+    CtrlSend {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Body to render at execution time.
+        payload: Payload,
+    },
+    /// Blocking control-plane receive.
+    CtrlRecv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: Tag,
+        /// What to do with the body.
+        into: RecvInto,
+    },
+    /// 0-byte notification send.
+    Notify {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Blocking wait for a 0-byte notification.
+    WaitNotify {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Two-copy shared-memory bulk send.
+    ShmSend {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Local source slot.
+        src: Slot,
+        /// Source offset.
+        off: usize,
+        /// Bytes to send.
+        len: usize,
+    },
+    /// Two-copy shared-memory bulk receive.
+    ShmRecv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Local destination slot.
+        dst: Slot,
+        /// Destination offset.
+        off: usize,
+        /// Bytes to receive.
+        len: usize,
+    },
+    /// Element-wise reduction `acc[..] = acc[..] op src[..]` over `len`
+    /// bytes, interpreted per `dtype`.
+    Reduce {
+        /// Reduction operator.
+        op: crate::ReduceOp,
+        /// Element type.
+        dtype: crate::Dtype,
+        /// Accumulator slot (read-modify-write).
+        acc: Slot,
+        /// Accumulator offset.
+        acc_off: usize,
+        /// Source slot.
+        src: Slot,
+        /// Source offset.
+        src_off: usize,
+        /// Bytes to reduce.
+        len: usize,
+    },
+}
+
+/// A compiled, per-rank collective plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of ranks the plan was compiled for.
+    pub p: usize,
+    /// The rank this plan belongs to.
+    pub rank: usize,
+    /// Number of token registers the executor must provide.
+    pub token_regs: usize,
+    /// Lengths of the scratch buffers (`Slot::Temp(i)` ↔ `temps[i]`).
+    pub temps: Vec<usize>,
+    /// The ordered operation list.
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// Count steps of each CMA kind — convenience for tests/tools.
+    pub fn count_cma(&self) -> (usize, usize) {
+        let mut reads = 0;
+        let mut writes = 0;
+        for s in &self.steps {
+            match s {
+                Step::CmaRead { .. } => reads += 1,
+                Step::CmaWrite { .. } => writes += 1,
+                _ => {}
+            }
+        }
+        (reads, writes)
+    }
+}
+
+/// What a compiled sm-primitive carries: nothing, or one token register.
+#[derive(Clone, Copy)]
+enum SmContent {
+    Empty,
+    Token(TokenReg),
+}
+
+/// Builder accumulating steps and allocating registers/temps while a
+/// compile function walks its algorithm's structure.
+struct Builder {
+    p: usize,
+    rank: usize,
+    regs: u32,
+    temps: Vec<usize>,
+    steps: Vec<Step>,
+}
+
+impl Builder {
+    fn new(p: usize, rank: usize) -> Builder {
+        Builder {
+            p,
+            rank,
+            regs: 0,
+            temps: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    fn reg(&mut self) -> TokenReg {
+        let r = TokenReg(self.regs);
+        self.regs += 1;
+        r
+    }
+
+    fn temp(&mut self, len: usize) -> Slot {
+        let i = self.temps.len() as u32;
+        self.temps.push(len);
+        Slot::Temp(i)
+    }
+
+    fn push(&mut self, s: Step) {
+        self.steps.push(s);
+    }
+
+    fn finish(self) -> Schedule {
+        Schedule {
+            p: self.p,
+            rank: self.rank,
+            token_regs: self.regs as usize,
+            temps: self.temps,
+            steps: self.steps,
+        }
+    }
+
+    // ---- compiled smcoll primitives --------------------------------
+    //
+    // These mirror the trees in `kacc_comm::smcoll` exactly (same tags,
+    // same message order, same wire bytes) so that a compiled collective
+    // is traffic-identical to its legacy counterpart.
+
+    /// Virtual-rank children in a binomial tree, in the bit-ascending
+    /// order `smcoll` sends/receives them.
+    fn binomial_children(v: usize, p: usize) -> Vec<usize> {
+        let low = if v == 0 {
+            usize::MAX
+        } else {
+            v & v.wrapping_neg()
+        };
+        let mut out = Vec::new();
+        let mut bit = 1usize;
+        while bit < p {
+            if bit < low {
+                let child = v | bit;
+                if child != v && child < p {
+                    out.push(child);
+                }
+            }
+            bit <<= 1;
+        }
+        out
+    }
+
+    /// The virtual ranks in `v`'s binomial subtree, in the order their
+    /// entries appear in an `sm_gather` pack ( `v` first, then each
+    /// child's subtree in bit-ascending order).
+    fn binomial_subtree(v: usize, p: usize) -> Vec<usize> {
+        let mut out = vec![v];
+        for c in Self::binomial_children(v, p) {
+            out.extend(Self::binomial_subtree(c, p));
+        }
+        out
+    }
+
+    /// Compiled `smcoll::sm_bcast` carrying `content` from `root` to all.
+    fn emit_sm_bcast(&mut self, root: usize, content: SmContent) {
+        let p = self.p;
+        if p == 1 {
+            return;
+        }
+        let tag = Tag::internal(smcoll::class::BCAST, 0);
+        let v = vrank(self.rank, root, p);
+        if v != 0 {
+            let parent = v & (v - 1);
+            let into = match content {
+                SmContent::Empty => RecvInto::Verify(Vec::new()),
+                SmContent::Token(r) => RecvInto::Token(r),
+            };
+            self.push(Step::CtrlRecv {
+                from: unvrank(parent, root, p),
+                tag,
+                into,
+            });
+        }
+        for child in Self::binomial_children(v, p) {
+            let payload = match content {
+                SmContent::Empty => Payload::Bytes(Vec::new()),
+                SmContent::Token(r) => Payload::Token(r),
+            };
+            self.push(Step::CtrlSend {
+                to: unvrank(child, root, p),
+                tag,
+                payload,
+            });
+        }
+    }
+
+    /// Compiled `smcoll::sm_gather`. `has_token(r)` says whether real
+    /// rank `r` contributes a 16-byte token (vs an empty payload) —
+    /// every rank must agree on this predicate. `my_reg` is this rank's
+    /// own token register iff `has_token(rank)`.
+    ///
+    /// At the root, returns `Some(map)` with one `Option<TokenReg>` per
+    /// real rank; elsewhere returns `None` (pass-through registers are
+    /// allocated internally).
+    fn emit_sm_gather(
+        &mut self,
+        root: usize,
+        has_token: impl Fn(usize) -> bool,
+        my_reg: Option<TokenReg>,
+    ) -> Option<Vec<Option<TokenReg>>> {
+        let p = self.p;
+        debug_assert_eq!(my_reg.is_some(), has_token(self.rank));
+        if p == 1 {
+            return Some(vec![my_reg]);
+        }
+        let tag = Tag::internal(smcoll::class::GATHER, 0);
+        let v = vrank(self.rank, root, p);
+
+        // Register for every real rank in our subtree (ours included).
+        let mut regs: HashMap<usize, Option<TokenReg>> = HashMap::new();
+        regs.insert(self.rank, my_reg);
+
+        for child in Self::binomial_children(v, p) {
+            let mut entries = Vec::new();
+            for cv in Self::binomial_subtree(child, p) {
+                let real = unvrank(cv, root, p);
+                let reg = if has_token(real) {
+                    Some(self.reg())
+                } else {
+                    None
+                };
+                regs.insert(real, reg);
+                entries.push((real as u32, reg));
+            }
+            self.push(Step::CtrlRecv {
+                from: unvrank(child, root, p),
+                tag,
+                into: RecvInto::Pack(entries),
+            });
+        }
+
+        if v == 0 {
+            let mut out = vec![None; p];
+            for (real, reg) in regs {
+                out[real] = reg;
+            }
+            Some(out)
+        } else {
+            // Forward our whole subtree to the parent in pack order.
+            let entries: Vec<(u32, Option<TokenReg>)> = Self::binomial_subtree(v, p)
+                .into_iter()
+                .map(|sv| {
+                    let real = unvrank(sv, root, p);
+                    (real as u32, regs[&real])
+                })
+                .collect();
+            let parent = v & (v - 1);
+            self.push(Step::CtrlSend {
+                to: unvrank(parent, root, p),
+                tag,
+                payload: Payload::Pack(entries),
+            });
+            None
+        }
+    }
+
+    /// Compiled `smcoll::sm_allgather` where every rank contributes one
+    /// token (`my_reg`). Returns the register holding each real rank's
+    /// token, indexed by rank.
+    fn emit_sm_allgather(&mut self, my_reg: TokenReg) -> Vec<TokenReg> {
+        let p = self.p;
+        let me = self.rank;
+        let mut regs: Vec<Option<TokenReg>> = vec![None; p];
+        regs[me] = Some(my_reg);
+        if p == 1 {
+            return vec![my_reg];
+        }
+        // Allocate a register for every peer's token up front; Bruck
+        // slot `i` holds the payload of rank (me + i) mod p.
+        for i in 1..p {
+            regs[(me + i) % p] = Some(self.reg());
+        }
+        let slot_rank = |i: usize| (me + i) % p;
+
+        let mut filled = 1usize;
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < p {
+            let tag = Tag::internal(smcoll::class::ALLGATHER, round);
+            let send_to = (me + p - dist) % p;
+            let recv_from = (me + dist) % p;
+            let send_count = dist.min(p - filled);
+            let send_entries: Vec<(u32, Option<TokenReg>)> = (0..send_count)
+                .map(|i| (slot_rank(i) as u32, Some(regs[slot_rank(i)].unwrap())))
+                .collect();
+            self.push(Step::CtrlSend {
+                to: send_to,
+                tag,
+                payload: Payload::Pack(send_entries),
+            });
+            // The sender's pack is symmetric: it fills our slots
+            // dist..dist+send_count, i.e. ranks (recv_from + i) mod p.
+            let recv_entries: Vec<(u32, Option<TokenReg>)> = (0..send_count)
+                .map(|i| {
+                    let r = (recv_from + i) % p;
+                    (r as u32, Some(regs[r].unwrap()))
+                })
+                .collect();
+            self.push(Step::CtrlRecv {
+                from: recv_from,
+                tag,
+                into: RecvInto::Pack(recv_entries),
+            });
+            filled += send_count;
+            dist <<= 1;
+            round += 1;
+        }
+        regs.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// Compiled `smcoll::sm_barrier` (dissemination).
+    fn emit_sm_barrier(&mut self) {
+        let p = self.p;
+        let me = self.rank;
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < p {
+            let tag = Tag::internal(smcoll::class::BARRIER, round);
+            self.push(Step::Notify {
+                to: (me + dist) % p,
+                tag,
+            });
+            self.push(Step::WaitNotify {
+                from: (me + p - dist) % p,
+                tag,
+            });
+            dist <<= 1;
+            round += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scatter
+// ---------------------------------------------------------------------
+
+/// Compile one rank's scatter plan. `layout[r] = (offset, len)` into the
+/// root's send buffer; bindings: [`Slot::Send`] = root `sendbuf`,
+/// [`Slot::Recv`] = `recvbuf`. Callers must have validated the inputs
+/// (`p > 1`, not all counts zero, `k >= 1` for throttled).
+pub fn compile_scatter(
+    algo: ScatterAlgo,
+    p: usize,
+    rank: usize,
+    layout: &[(usize, usize)],
+    root: usize,
+    has_recvbuf: bool,
+) -> Schedule {
+    let mut b = Builder::new(p, rank);
+    let tag_done = Tag::internal(class::SCATTER, 1);
+    let tag_chain = Tag::internal(class::SCATTER, 2);
+    let me = rank;
+    let (off, len) = layout[me];
+
+    let root_self_copy = |b: &mut Builder| {
+        let (r_off, r_len) = layout[root];
+        if has_recvbuf && r_len > 0 {
+            b.push(Step::CopyLocal {
+                src: Slot::Send,
+                src_off: r_off,
+                dst: Slot::Recv,
+                dst_off: 0,
+                len: r_len,
+            });
+        }
+    };
+
+    match algo {
+        ScatterAlgo::ParallelRead => {
+            let reg = b.reg();
+            if me == root {
+                b.push(Step::Expose {
+                    slot: Slot::Send,
+                    reg,
+                });
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                root_self_copy(&mut b);
+            } else {
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                if len > 0 {
+                    b.push(Step::CmaRead {
+                        token: reg,
+                        remote_off: off,
+                        dst: Slot::Recv,
+                        dst_off: 0,
+                        len,
+                    });
+                }
+            }
+            b.emit_sm_gather(root, |_| false, None);
+        }
+        ScatterAlgo::SequentialWrite => {
+            let has_token = |r: usize| r != root && layout[r].1 > 0;
+            if me == root {
+                let map = b
+                    .emit_sm_gather(root, has_token, None)
+                    .expect("root receives the gather map");
+                root_self_copy(&mut b);
+                for v in 1..p {
+                    let r = unvrank(v, root, p);
+                    let (r_off, r_len) = layout[r];
+                    if r_len == 0 {
+                        continue;
+                    }
+                    let token = map[r].expect("peer with data exposed a token");
+                    b.push(Step::CmaWrite {
+                        token,
+                        remote_off: 0,
+                        src: Slot::Send,
+                        src_off: r_off,
+                        len: r_len,
+                    });
+                }
+            } else {
+                let my_reg = if len > 0 {
+                    let reg = b.reg();
+                    b.push(Step::Expose {
+                        slot: Slot::Recv,
+                        reg,
+                    });
+                    Some(reg)
+                } else {
+                    None
+                };
+                b.emit_sm_gather(root, has_token, my_reg);
+            }
+            b.emit_sm_bcast(root, SmContent::Empty);
+        }
+        ScatterAlgo::ThrottledRead { k } => {
+            let reg = b.reg();
+            if me == root {
+                b.push(Step::Expose {
+                    slot: Slot::Send,
+                    reg,
+                });
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                root_self_copy(&mut b);
+                // The last k readers in virtual order report completion.
+                for v in (1..p).filter(|v| v + k > p - 1) {
+                    b.push(Step::WaitNotify {
+                        from: unvrank(v, root, p),
+                        tag: tag_done,
+                    });
+                }
+            } else {
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                let v = vrank(me, root, p);
+                if v > k {
+                    b.push(Step::WaitNotify {
+                        from: unvrank(v - k, root, p),
+                        tag: tag_chain,
+                    });
+                }
+                if len > 0 {
+                    b.push(Step::CmaRead {
+                        token: reg,
+                        remote_off: off,
+                        dst: Slot::Recv,
+                        dst_off: 0,
+                        len,
+                    });
+                }
+                if v + k < p {
+                    b.push(Step::Notify {
+                        to: unvrank(v + k, root, p),
+                        tag: tag_chain,
+                    });
+                } else {
+                    b.push(Step::Notify {
+                        to: root,
+                        tag: tag_done,
+                    });
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
+// Gather
+// ---------------------------------------------------------------------
+
+/// Compile one rank's gather plan. `layout[r] = (offset, len)` into the
+/// root's receive buffer; bindings: [`Slot::Send`] = `sendbuf`,
+/// [`Slot::Recv`] = root `recvbuf`.
+pub fn compile_gather(
+    algo: GatherAlgo,
+    p: usize,
+    rank: usize,
+    layout: &[(usize, usize)],
+    root: usize,
+    has_sendbuf: bool,
+) -> Schedule {
+    let mut b = Builder::new(p, rank);
+    let tag_done = Tag::internal(class::GATHER, 1);
+    let tag_chain = Tag::internal(class::GATHER, 2);
+    let me = rank;
+    let (off, len) = layout[me];
+
+    let root_self_copy = |b: &mut Builder| {
+        let (r_off, r_len) = layout[root];
+        if has_sendbuf && r_len > 0 {
+            b.push(Step::CopyLocal {
+                src: Slot::Send,
+                src_off: 0,
+                dst: Slot::Recv,
+                dst_off: r_off,
+                len: r_len,
+            });
+        }
+    };
+
+    match algo {
+        GatherAlgo::ParallelWrite => {
+            let reg = b.reg();
+            if me == root {
+                b.push(Step::Expose {
+                    slot: Slot::Recv,
+                    reg,
+                });
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                root_self_copy(&mut b);
+            } else {
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                if len > 0 {
+                    b.push(Step::CmaWrite {
+                        token: reg,
+                        remote_off: off,
+                        src: Slot::Send,
+                        src_off: 0,
+                        len,
+                    });
+                }
+            }
+            b.emit_sm_gather(root, |_| false, None);
+        }
+        GatherAlgo::SequentialRead => {
+            let has_token = |r: usize| r != root && layout[r].1 > 0;
+            if me == root {
+                let map = b
+                    .emit_sm_gather(root, has_token, None)
+                    .expect("root receives the gather map");
+                root_self_copy(&mut b);
+                for v in 1..p {
+                    let r = unvrank(v, root, p);
+                    let (r_off, r_len) = layout[r];
+                    if r_len == 0 {
+                        continue;
+                    }
+                    let token = map[r].expect("peer with data exposed a token");
+                    b.push(Step::CmaRead {
+                        token,
+                        remote_off: 0,
+                        dst: Slot::Recv,
+                        dst_off: r_off,
+                        len: r_len,
+                    });
+                }
+            } else {
+                let my_reg = if len > 0 {
+                    let reg = b.reg();
+                    b.push(Step::Expose {
+                        slot: Slot::Send,
+                        reg,
+                    });
+                    Some(reg)
+                } else {
+                    None
+                };
+                b.emit_sm_gather(root, has_token, my_reg);
+            }
+            b.emit_sm_bcast(root, SmContent::Empty);
+        }
+        GatherAlgo::ThrottledWrite { k } => {
+            let reg = b.reg();
+            if me == root {
+                b.push(Step::Expose {
+                    slot: Slot::Recv,
+                    reg,
+                });
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                root_self_copy(&mut b);
+                for v in (1..p).filter(|v| v + k > p - 1) {
+                    b.push(Step::WaitNotify {
+                        from: unvrank(v, root, p),
+                        tag: tag_done,
+                    });
+                }
+            } else {
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                let v = vrank(me, root, p);
+                if v > k {
+                    b.push(Step::WaitNotify {
+                        from: unvrank(v - k, root, p),
+                        tag: tag_chain,
+                    });
+                }
+                if len > 0 {
+                    b.push(Step::CmaWrite {
+                        token: reg,
+                        remote_off: off,
+                        src: Slot::Send,
+                        src_off: 0,
+                        len,
+                    });
+                }
+                if v + k < p {
+                    b.push(Step::Notify {
+                        to: unvrank(v + k, root, p),
+                        tag: tag_chain,
+                    });
+                } else {
+                    b.push(Step::Notify {
+                        to: root,
+                        tag: tag_done,
+                    });
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------------
+
+/// Compile one rank's broadcast plan. Binding: [`Slot::Send`] = the data
+/// buffer on every rank. Callers must have validated `p > 1`,
+/// `count > 0`, and `radix >= 2` for k-nomial.
+pub fn compile_bcast(
+    algo: BcastAlgo,
+    p: usize,
+    rank: usize,
+    count: usize,
+    root: usize,
+) -> Schedule {
+    let mut b = Builder::new(p, rank);
+    let tag_data = Tag::internal(class::BCAST, 0);
+    let tag_read_done = Tag::internal(class::BCAST, 1);
+    let me = rank;
+
+    match algo {
+        BcastAlgo::DirectRead => {
+            let reg = b.reg();
+            if me == root {
+                b.push(Step::Expose {
+                    slot: Slot::Send,
+                    reg,
+                });
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+            } else {
+                b.emit_sm_bcast(root, SmContent::Token(reg));
+                b.push(Step::CmaRead {
+                    token: reg,
+                    remote_off: 0,
+                    dst: Slot::Send,
+                    dst_off: 0,
+                    len: count,
+                });
+            }
+            b.emit_sm_gather(root, |_| false, None);
+        }
+        BcastAlgo::DirectWrite => {
+            let has_token = |r: usize| r != root;
+            if me == root {
+                let map = b
+                    .emit_sm_gather(root, has_token, None)
+                    .expect("root receives the gather map");
+                for v in 1..p {
+                    let r = unvrank(v, root, p);
+                    let token = map[r].expect("peer exposed a token");
+                    b.push(Step::CmaWrite {
+                        token,
+                        remote_off: 0,
+                        src: Slot::Send,
+                        src_off: 0,
+                        len: count,
+                    });
+                }
+            } else {
+                let reg = b.reg();
+                b.push(Step::Expose {
+                    slot: Slot::Send,
+                    reg,
+                });
+                b.emit_sm_gather(root, has_token, Some(reg));
+            }
+            b.emit_sm_bcast(root, SmContent::Empty);
+        }
+        BcastAlgo::KNomial { radix } => {
+            let k = radix;
+            let v = vrank(me, root, p);
+            if v != 0 {
+                // Join the tree: receive the parent's token, pull, ack.
+                let mut kpow = 1usize;
+                while kpow * k <= v {
+                    kpow *= k;
+                }
+                let parent = unvrank(v % kpow, root, p);
+                let preg = b.reg();
+                b.push(Step::CtrlRecv {
+                    from: parent,
+                    tag: tag_data,
+                    into: RecvInto::Token(preg),
+                });
+                b.push(Step::CmaRead {
+                    token: preg,
+                    remote_off: 0,
+                    dst: Slot::Send,
+                    dst_off: 0,
+                    len: count,
+                });
+                b.push(Step::Notify {
+                    to: parent,
+                    tag: tag_read_done,
+                });
+            }
+            // Serve our own children, bounded k-1 readers per level.
+            let reg = b.reg();
+            b.push(Step::Expose {
+                slot: Slot::Send,
+                reg,
+            });
+            let mut kpow = 1usize;
+            while kpow <= v {
+                kpow *= k;
+            }
+            while kpow < p {
+                let children: Vec<usize> = (1..k)
+                    .map(|m| v + m * kpow)
+                    .filter(|&c| c < p)
+                    .map(|c| unvrank(c, root, p))
+                    .collect();
+                for &c in &children {
+                    b.push(Step::CtrlSend {
+                        to: c,
+                        tag: tag_data,
+                        payload: Payload::Token(reg),
+                    });
+                }
+                for &c in &children {
+                    b.push(Step::WaitNotify {
+                        from: c,
+                        tag: tag_read_done,
+                    });
+                }
+                kpow *= k;
+            }
+        }
+        BcastAlgo::ScatterAllgather => {
+            let step_tag = Tag::internal(class::BCAST, 2);
+            let chunk = count.div_ceil(p);
+            let chunk_range = |i: usize| {
+                let off = i * chunk;
+                (off, count.saturating_sub(off).min(chunk))
+            };
+            let v = vrank(me, root, p);
+            let reg = b.reg();
+            b.push(Step::Expose {
+                slot: Slot::Send,
+                reg,
+            });
+            let toks = b.emit_sm_allgather(reg);
+
+            // Phase A: root scatters chunk i to virtual rank i.
+            if v == 0 {
+                for i in 1..p {
+                    let (off, len) = chunk_range(i);
+                    if len == 0 {
+                        continue;
+                    }
+                    let dst = unvrank(i, root, p);
+                    b.push(Step::CmaWrite {
+                        token: toks[dst],
+                        remote_off: off,
+                        src: Slot::Send,
+                        src_off: off,
+                        len,
+                    });
+                }
+            }
+            b.emit_sm_bcast(root, SmContent::Empty);
+
+            // Phase B: ring allgather of the chunks, reading from the
+            // left neighbour, gated by step notifications.
+            let left = unvrank((v + p - 1) % p, root, p);
+            let right = unvrank((v + 1) % p, root, p);
+            if v == 0 {
+                for _ in 2..p {
+                    b.push(Step::Notify {
+                        to: right,
+                        tag: step_tag,
+                    });
+                }
+            } else {
+                for t in 1..p {
+                    if t > 1 {
+                        b.push(Step::WaitNotify {
+                            from: left,
+                            tag: step_tag,
+                        });
+                    }
+                    let src_v = (v + p - t) % p;
+                    let (off, len) = chunk_range(src_v);
+                    if len > 0 {
+                        b.push(Step::CmaRead {
+                            token: toks[left],
+                            remote_off: off,
+                            dst: Slot::Send,
+                            dst_off: off,
+                            len,
+                        });
+                    }
+                    if t < p - 1 && right != unvrank(0, root, p) {
+                        b.push(Step::Notify {
+                            to: right,
+                            tag: step_tag,
+                        });
+                    }
+                }
+            }
+            b.emit_sm_barrier();
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------------
+
+/// Compile one rank's allgather plan. Bindings: [`Slot::Send`] = this
+/// rank's contribution (optional; when absent the contribution already
+/// sits at `recvbuf[rank*count..]`), [`Slot::Recv`] = the full receive
+/// buffer. Callers must have validated `p > 1`, `count > 0`, and for
+/// `RingNeighbor` must pass the stride already reduced mod `p` and
+/// coprime with `p`.
+pub fn compile_allgather(
+    algo: AllgatherAlgo,
+    p: usize,
+    rank: usize,
+    count: usize,
+    has_sendbuf: bool,
+) -> Schedule {
+    let mut b = Builder::new(p, rank);
+    let tag_ring = Tag::internal(class::ALLGATHER, 0);
+    let me = rank;
+
+    let place_own = |b: &mut Builder| {
+        if has_sendbuf {
+            b.push(Step::CopyLocal {
+                src: Slot::Send,
+                src_off: 0,
+                dst: Slot::Recv,
+                dst_off: me * count,
+                len: count,
+            });
+        }
+    };
+
+    match algo {
+        AllgatherAlgo::RingNeighbor { j } => {
+            let j = j % p;
+            place_own(&mut b);
+            let reg = b.reg();
+            b.push(Step::Expose {
+                slot: Slot::Recv,
+                reg,
+            });
+            let toks = b.emit_sm_allgather(reg);
+            let left = (me + p - j) % p;
+            let right = (me + j) % p;
+            b.push(Step::Notify {
+                to: right,
+                tag: tag_ring,
+            });
+            for i in 1..p {
+                let block = (me + p - (i * j) % p) % p;
+                b.push(Step::WaitNotify {
+                    from: left,
+                    tag: tag_ring,
+                });
+                b.push(Step::CmaRead {
+                    token: toks[left],
+                    remote_off: block * count,
+                    dst: Slot::Recv,
+                    dst_off: block * count,
+                    len: count,
+                });
+                if i < p - 1 {
+                    b.push(Step::Notify {
+                        to: right,
+                        tag: tag_ring,
+                    });
+                }
+            }
+            b.emit_sm_barrier();
+        }
+        AllgatherAlgo::RingSourceRead | AllgatherAlgo::RingSourceWrite => {
+            let write = matches!(algo, AllgatherAlgo::RingSourceWrite);
+            place_own(&mut b);
+            let reg = b.reg();
+            // Readers pull from the peer's contribution buffer when one
+            // exists (offset 0), else from its slot in recvbuf.
+            let read_from_slot = if !write && has_sendbuf {
+                b.push(Step::Expose {
+                    slot: Slot::Send,
+                    reg,
+                });
+                false
+            } else {
+                b.push(Step::Expose {
+                    slot: Slot::Recv,
+                    reg,
+                });
+                true
+            };
+            let toks = b.emit_sm_allgather(reg);
+            for i in 1..p {
+                if write {
+                    let dst = (me + i) % p;
+                    b.push(Step::CmaWrite {
+                        token: toks[dst],
+                        remote_off: me * count,
+                        src: Slot::Recv,
+                        src_off: me * count,
+                        len: count,
+                    });
+                } else {
+                    let src = (me + p - i) % p;
+                    let remote_off = if read_from_slot { src * count } else { 0 };
+                    b.push(Step::CmaRead {
+                        token: toks[src],
+                        remote_off,
+                        dst: Slot::Recv,
+                        dst_off: src * count,
+                        len: count,
+                    });
+                }
+            }
+            b.emit_sm_barrier();
+        }
+        AllgatherAlgo::RecursiveDoubling => {
+            place_own(&mut b);
+            let reg = b.reg();
+            b.push(Step::Expose {
+                slot: Slot::Recv,
+                reg,
+            });
+            let toks = b.emit_sm_allgather(reg);
+
+            // Simulate every rank's have-set to compile-time-predict the
+            // exchanged bitmaps; the compiled schedule sends our
+            // round-start snapshot and *verifies* the partner's, which
+            // is byte-identical to the legacy exchange.
+            let mut have: Vec<Vec<bool>> =
+                (0..p).map(|r| (0..p).map(|bk| bk == r).collect()).collect();
+            let mut dist = 1usize;
+            let mut round = 0u32;
+            while dist < p {
+                let snapshot = have.clone();
+                let tag = Tag::internal(class::ALLGATHER, 16 + round);
+                let partner = me ^ dist;
+                if partner < p {
+                    let mine: Vec<u8> = snapshot[me].iter().map(|&h| h as u8).collect();
+                    let theirs: Vec<u8> = snapshot[partner].iter().map(|&h| h as u8).collect();
+                    b.push(Step::CtrlSend {
+                        to: partner,
+                        tag,
+                        payload: Payload::Bytes(mine),
+                    });
+                    b.push(Step::CtrlRecv {
+                        from: partner,
+                        tag,
+                        into: RecvInto::Verify(theirs),
+                    });
+                    for bk in 0..p {
+                        if snapshot[partner][bk] && !have[me][bk] {
+                            b.push(Step::CmaRead {
+                                token: toks[partner],
+                                remote_off: bk * count,
+                                dst: Slot::Recv,
+                                dst_off: bk * count,
+                                len: count,
+                            });
+                        }
+                    }
+                }
+                // Advance the global simulation for every rank.
+                for (r, mine) in have.iter_mut().enumerate() {
+                    let pr = r ^ dist;
+                    if pr < p {
+                        for bk in 0..p {
+                            if snapshot[pr][bk] {
+                                mine[bk] = true;
+                            }
+                        }
+                    }
+                }
+                dist <<= 1;
+                round += 1;
+            }
+            // Non-power-of-two stragglers: pull any still-missing block
+            // straight from its owner.
+            for bk in 0..p {
+                if !have[me][bk] {
+                    b.push(Step::CmaRead {
+                        token: toks[bk],
+                        remote_off: bk * count,
+                        dst: Slot::Recv,
+                        dst_off: bk * count,
+                        len: count,
+                    });
+                }
+            }
+            b.emit_sm_barrier();
+        }
+        AllgatherAlgo::Bruck => {
+            let temp = b.temp(p * count);
+            if has_sendbuf {
+                b.push(Step::CopyLocal {
+                    src: Slot::Send,
+                    src_off: 0,
+                    dst: temp,
+                    dst_off: 0,
+                    len: count,
+                });
+            } else {
+                b.push(Step::CopyLocal {
+                    src: Slot::Recv,
+                    src_off: me * count,
+                    dst: temp,
+                    dst_off: 0,
+                    len: count,
+                });
+            }
+            let reg = b.reg();
+            b.push(Step::Expose { slot: temp, reg });
+            let toks = b.emit_sm_allgather(reg);
+
+            let mut filled = 1usize;
+            let mut dist = 1usize;
+            let mut round = 0u32;
+            while dist < p {
+                let src = (me + dist) % p;
+                let dst = (me + p - dist) % p;
+                let tag = Tag::internal(class::ALLGATHER, 32 + round);
+                let take = dist.min(p - filled);
+                b.push(Step::Notify { to: dst, tag });
+                b.push(Step::WaitNotify { from: src, tag });
+                b.push(Step::CmaRead {
+                    token: toks[src],
+                    remote_off: 0,
+                    dst: temp,
+                    dst_off: filled * count,
+                    len: take * count,
+                });
+                filled += take;
+                dist <<= 1;
+                round += 1;
+            }
+            // Rotate temp (blocks in (me+s) mod p order) into place.
+            for s in 0..p {
+                b.push(Step::CopyLocal {
+                    src: temp,
+                    src_off: s * count,
+                    dst: Slot::Recv,
+                    dst_off: ((me + s) % p) * count,
+                    len: count,
+                });
+            }
+            b.emit_sm_barrier();
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------
+
+/// Cache key: everything that shapes a compiled schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlanKey {
+    /// Scatter plan identity.
+    Scatter {
+        /// Algorithm variant.
+        algo: ScatterAlgo,
+        /// Rank count.
+        p: usize,
+        /// Compiling rank.
+        rank: usize,
+        /// Per-rank byte counts.
+        counts: Vec<usize>,
+        /// Explicit displacements, if any.
+        displs: Option<Vec<usize>>,
+        /// Root rank.
+        root: usize,
+        /// Whether a receive buffer is bound.
+        has_recvbuf: bool,
+    },
+    /// Gather plan identity.
+    Gather {
+        /// Algorithm variant.
+        algo: GatherAlgo,
+        /// Rank count.
+        p: usize,
+        /// Compiling rank.
+        rank: usize,
+        /// Per-rank byte counts.
+        counts: Vec<usize>,
+        /// Explicit displacements, if any.
+        displs: Option<Vec<usize>>,
+        /// Root rank.
+        root: usize,
+        /// Whether a send buffer is bound.
+        has_sendbuf: bool,
+    },
+    /// Broadcast plan identity.
+    Bcast {
+        /// Algorithm variant.
+        algo: BcastAlgo,
+        /// Rank count.
+        p: usize,
+        /// Compiling rank.
+        rank: usize,
+        /// Message bytes.
+        count: usize,
+        /// Root rank.
+        root: usize,
+    },
+    /// Allgather plan identity.
+    Allgather {
+        /// Algorithm variant (ring stride already reduced mod `p`).
+        algo: AllgatherAlgo,
+        /// Rank count.
+        p: usize,
+        /// Compiling rank.
+        rank: usize,
+        /// Per-rank block bytes.
+        count: usize,
+        /// Whether a separate contribution buffer is bound.
+        has_sendbuf: bool,
+    },
+}
+
+/// Hit/miss/eviction counters for the plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+}
+
+struct CacheInner {
+    map: HashMap<PlanKey, (Arc<Schedule>, u64)>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+/// LRU cache of compiled schedules, keyed by [`PlanKey`].
+///
+/// The collective entry points consult the process-wide instance
+/// ([`PlanCache::global`]) so repeated same-shape calls skip the compile
+/// phase entirely. Capacity is bounded; the least-recently-used plan is
+/// evicted on overflow.
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// Default capacity of [`PlanCache::global`]. Plans are per-rank, so
+    /// this comfortably holds several concurrent collective shapes even
+    /// at high rank counts.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Create a cache bounded to `capacity` plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: PlanCacheStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// The process-wide cache used by the collective entry points.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| PlanCache::new(Self::DEFAULT_CAPACITY))
+    }
+
+    /// Look up `key`, compiling (and inserting) with `compile` on miss.
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Schedule,
+    ) -> Arc<Schedule> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((plan, used)) = inner.map.get_mut(&key) {
+            *used = tick;
+            let plan = Arc::clone(plan);
+            inner.stats.hits += 1;
+            return plan;
+        }
+        inner.stats.misses += 1;
+        let plan = Arc::new(compile());
+        if inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(key, (Arc::clone(&plan), tick));
+        plan
+    }
+
+    /// Counters since creation (or the last [`clear`](Self::clear)).
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan and reset the counters (bench/test hook).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.clear();
+        inner.stats = PlanCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn even_layout(p: usize, count: usize) -> Vec<(usize, usize)> {
+        (0..p).map(|r| (r * count, count)).collect()
+    }
+
+    #[test]
+    fn scatter_parallel_read_shape() {
+        let p = 8;
+        let layout = even_layout(p, 64);
+        let root_plan = compile_scatter(ScatterAlgo::ParallelRead, p, 0, &layout, 0, true);
+        assert_eq!(root_plan.count_cma(), (0, 0));
+        assert!(root_plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::Expose { .. })));
+        for r in 1..p {
+            let plan = compile_scatter(ScatterAlgo::ParallelRead, p, r, &layout, 0, true);
+            assert_eq!(plan.count_cma(), (1, 0), "rank {r} does exactly one read");
+        }
+    }
+
+    #[test]
+    fn scatter_sequential_write_root_writes_all() {
+        let p = 6;
+        let layout = even_layout(p, 32);
+        let plan = compile_scatter(ScatterAlgo::SequentialWrite, p, 2, &layout, 2, true);
+        assert_eq!(plan.count_cma(), (0, p - 1));
+    }
+
+    #[test]
+    fn gather_mirrors_scatter_direction() {
+        let p = 5;
+        let layout = even_layout(p, 16);
+        let peer = compile_gather(GatherAlgo::ParallelWrite, p, 3, &layout, 0, true);
+        assert_eq!(peer.count_cma(), (0, 1));
+        let root = compile_gather(GatherAlgo::SequentialRead, p, 0, &layout, 0, true);
+        assert_eq!(root.count_cma(), (p - 1, 0));
+    }
+
+    #[test]
+    fn bcast_knomial_children_bounded_by_radix() {
+        let p = 16;
+        let plan = compile_bcast(BcastAlgo::KNomial { radix: 4 }, p, 0, 128, 0);
+        // Root serves at most (radix-1) children per level: count sends.
+        let sends = plan
+            .steps
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Step::CtrlSend {
+                        payload: Payload::Token(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(sends > 0 && sends < p);
+    }
+
+    #[test]
+    fn allgather_bruck_uses_temp_and_rotates() {
+        let p = 6;
+        let count = 8;
+        let plan = compile_allgather(AllgatherAlgo::Bruck, p, 1, count, true);
+        assert_eq!(plan.temps, vec![p * count]);
+        let copies = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::CopyLocal { .. }))
+            .count();
+        // 1 seed copy + p rotation copies.
+        assert_eq!(copies, 1 + p);
+    }
+
+    #[test]
+    fn allgather_recursive_doubling_covers_all_blocks() {
+        for p in [2usize, 3, 4, 6, 7, 8] {
+            for me in 0..p {
+                let plan = compile_allgather(AllgatherAlgo::RecursiveDoubling, p, me, 4, true);
+                let mut covered = vec![false; p];
+                covered[me] = true;
+                for s in &plan.steps {
+                    if let Step::CmaRead { dst_off, len, .. } = s {
+                        assert_eq!(len % 4, 0);
+                        let first = dst_off / 4;
+                        for c in covered.iter_mut().skip(first).take(len / 4) {
+                            *c = true;
+                        }
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "p={p} me={me} misses a block");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_lru_hits_and_evicts() {
+        let cache = PlanCache::new(2);
+        let key = |count: usize| PlanKey::Bcast {
+            algo: BcastAlgo::DirectRead,
+            p: 4,
+            rank: 0,
+            count,
+            root: 0,
+        };
+        let compile = |count: usize| move || compile_bcast(BcastAlgo::DirectRead, 4, 0, count, 0);
+
+        let a = cache.get_or_compile(key(8), compile(8));
+        let a2 = cache.get_or_compile(key(8), compile(8));
+        assert!(Arc::ptr_eq(&a, &a2), "hit returns the cached plan");
+        cache.get_or_compile(key(16), compile(16));
+        // Touch key(8) so key(16) is the LRU victim.
+        cache.get_or_compile(key(8), compile(8));
+        cache.get_or_compile(key(32), compile(32));
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn sm_gather_pack_order_matches_subtree() {
+        // The pack an intermediate rank forwards must list itself first,
+        // then each child subtree in bit order — smcoll's exact layout.
+        assert_eq!(
+            Builder::binomial_subtree(0, 8),
+            vec![0, 1, 2, 3, 4, 5, 6, 7]
+        );
+        assert_eq!(Builder::binomial_subtree(2, 8), vec![2, 3]);
+        assert_eq!(Builder::binomial_subtree(4, 8), vec![4, 5, 6, 7]);
+    }
+}

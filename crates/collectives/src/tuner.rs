@@ -8,9 +8,10 @@
 //! choice adapts to α/β/l/γ and the socket layout without hand-written
 //! tables.
 
+use crate::schedule::{Payload, RecvInto, Schedule, Step};
 use crate::{AllgatherAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ReduceAlgo, ScatterAlgo};
 use kacc_model::params::ceil_log2;
-use kacc_model::{predict, ArchProfile, ModelParams};
+use kacc_model::{predict, ArchProfile, CostStep, ModelParams};
 
 /// Selects collective algorithms by minimizing predicted cost.
 #[derive(Debug, Clone)]
@@ -31,7 +32,10 @@ impl Tuner {
 
     /// Build a tuner from explicitly extracted/fitted parameters.
     pub fn with_params(params: ModelParams, procs_per_socket: usize) -> Tuner {
-        Tuner { params, procs_per_socket_hint: procs_per_socket.max(1) }
+        Tuner {
+            params,
+            procs_per_socket_hint: procs_per_socket.max(1),
+        }
     }
 
     /// The model parameters in use.
@@ -129,8 +133,10 @@ impl Tuner {
 
     /// Best Broadcast algorithm for (p, η).
     pub fn bcast(&self, p: usize, eta: usize) -> BcastAlgo {
-        let mut best =
-            (predict::bcast_direct_read(&self.params, p, eta), BcastAlgo::DirectRead);
+        let mut best = (
+            predict::bcast_direct_read(&self.params, p, eta),
+            BcastAlgo::DirectRead,
+        );
         let dw = predict::bcast_direct_write(&self.params, p, eta);
         if dw < best.0 {
             best = (dw, BcastAlgo::DirectWrite);
@@ -153,8 +159,10 @@ impl Tuner {
     /// combining tree parallelizes both the reads and the fold
     /// arithmetic; the tuner picks its radix.
     pub fn reduce(&self, p: usize, eta: usize) -> ReduceAlgo {
-        let mut best =
-            (predict::reduce_sequential(&self.params, p, eta), ReduceAlgo::SequentialRead);
+        let mut best = (
+            predict::reduce_sequential(&self.params, p, eta),
+            ReduceAlgo::SequentialRead,
+        );
         for radix in [2usize, 4, 8] {
             if radix > p.max(2) {
                 continue;
@@ -165,6 +173,26 @@ impl Tuner {
             }
         }
         best.1
+    }
+
+    /// Model cost (ns) of a compiled [`Schedule`], by walking its IR.
+    ///
+    /// `contention` is the number of peers concurrently hammering the
+    /// same source buffer's page-table lock during the schedule's CMA
+    /// phase — the `c` of the §II γ_c factor. It is a property of the
+    /// *global* communication pattern, which a single rank's schedule
+    /// cannot see, so the caller supplies it exactly as the closed forms
+    /// in `kacc_model::predict` do (e.g. `p−1` for parallel reads of one
+    /// root, `k` for a throttled chain, `1` for contention-free rings).
+    ///
+    /// The walk prices what this rank spends inside each primitive;
+    /// buffered sends are free, blocking receives cost a small-message
+    /// hop, and data movement uses the α/β/l/γ transfer model. Unlike
+    /// the closed forms it needs no per-algorithm derivation — any
+    /// schedule the compiler can express can be priced.
+    pub fn cost_schedule(&self, sched: &Schedule, contention: usize) -> f64 {
+        let steps = sched.steps.iter().map(|s| lower_step(s, contention));
+        kacc_model::schedule_cost(&self.params, steps)
     }
 
     /// Should Bcast fall back to a two-copy shared-memory tree instead
@@ -187,9 +215,61 @@ impl Tuner {
         // buffer (copy-in + copy-out); about half the ranks copy
         // concurrently in the widest level, sharing memory bandwidth.
         let shm = ceil_log2(p) as f64
-            * (self.params.sm_msg_ns
-                + 2.0 * self.params.t_memcpy_shared(eta, p.div_ceil(2)));
+            * (self.params.sm_msg_ns + 2.0 * self.params.t_memcpy_shared(eta, p.div_ceil(2)));
         shm < best_cma
+    }
+}
+
+/// Lower one IR step into the model's cost vocabulary.
+fn lower_step(step: &Step, contention: usize) -> CostStep {
+    match step {
+        Step::Expose { .. } => CostStep::Expose,
+        Step::CmaRead { len, .. } => CostStep::CmaRead {
+            bytes: *len,
+            contention,
+        },
+        Step::CmaWrite { len, .. } => CostStep::CmaWrite {
+            bytes: *len,
+            contention,
+        },
+        Step::CopyLocal { len, .. } => CostStep::Memcpy { bytes: *len },
+        Step::CtrlSend { payload, .. } => CostStep::CtrlSend {
+            bytes: payload_wire_len(payload),
+        },
+        Step::CtrlRecv { into, .. } => CostStep::CtrlRecv {
+            bytes: recv_wire_len(into),
+        },
+        Step::Notify { .. } => CostStep::Notify,
+        Step::WaitNotify { .. } => CostStep::WaitNotify,
+        Step::ShmSend { len, .. } => CostStep::ShmSend { bytes: *len },
+        Step::ShmRecv { len, .. } => CostStep::ShmRecv { bytes: *len },
+        Step::Reduce { len, .. } => CostStep::Reduce { bytes: *len },
+    }
+}
+
+/// Wire bytes a compiled payload will occupy (tokens are 16 bytes;
+/// pack entries add an 8-byte header each).
+fn payload_wire_len(p: &Payload) -> usize {
+    match p {
+        Payload::Bytes(b) => b.len(),
+        Payload::Token(_) => kacc_comm::RemoteToken::WIRE_LEN,
+        Payload::Pack(entries) => entries
+            .iter()
+            .map(|(_, reg)| 8 + reg.map_or(0, |_| kacc_comm::RemoteToken::WIRE_LEN))
+            .sum(),
+    }
+}
+
+/// Wire bytes a compiled receive expects.
+fn recv_wire_len(into: &RecvInto) -> usize {
+    match into {
+        RecvInto::Discard => 0,
+        RecvInto::Verify(b) => b.len(),
+        RecvInto::Token(_) => kacc_comm::RemoteToken::WIRE_LEN,
+        RecvInto::Pack(entries) => entries
+            .iter()
+            .map(|(_, reg)| 8 + reg.map_or(0, |_| kacc_comm::RemoteToken::WIRE_LEN))
+            .sum(),
     }
 }
 
@@ -285,7 +365,10 @@ mod tests {
         let paper = Tuner::with_params(params, arch.cores_per_socket);
         let small = paper.allgather(64, 1 << 10);
         assert!(
-            matches!(small, AllgatherAlgo::Bruck | AllgatherAlgo::RecursiveDoubling),
+            matches!(
+                small,
+                AllgatherAlgo::Bruck | AllgatherAlgo::RecursiveDoubling
+            ),
             "paper model: small messages want log p startups, got {small:?}"
         );
         // With the aggregate-bandwidth extension (matching the
@@ -311,6 +394,65 @@ mod tests {
         // Two ranks: the tree degenerates; either choice is fine but the
         // prediction must not panic.
         let _ = t.reduce(2, 1 << 10);
+    }
+
+    #[test]
+    fn cost_schedule_eta_difference_matches_transfer_model() {
+        // Two compiled non-root parallel-read scatter plans that differ
+        // only in η must differ in cost by exactly the CMA transfer
+        // term: every other step (token bcast, completion gather) is
+        // identical, so the IR walk and the §II model must agree on the
+        // delta.
+        let t = Tuner::new(&ArchProfile::knl());
+        let p = 16;
+        let rank = 5;
+        let (eta_a, eta_b) = (1usize << 20, 1usize << 14);
+        let layout =
+            |eta: usize| -> Vec<(usize, usize)> { (0..p).map(|r| (r * eta, eta)).collect() };
+        let plan_a = crate::schedule::compile_scatter(
+            ScatterAlgo::ParallelRead,
+            p,
+            rank,
+            &layout(eta_a),
+            0,
+            true,
+        );
+        let plan_b = crate::schedule::compile_scatter(
+            ScatterAlgo::ParallelRead,
+            p,
+            rank,
+            &layout(eta_b),
+            0,
+            true,
+        );
+        let c = p - 1;
+        let delta = t.cost_schedule(&plan_a, c) - t.cost_schedule(&plan_b, c);
+        let model_delta = t.params().t_cma(eta_a, c) - t.params().t_cma(eta_b, c);
+        assert!(
+            (delta - model_delta).abs() < 1e-6,
+            "IR delta {delta} != model delta {model_delta}"
+        );
+    }
+
+    #[test]
+    fn cost_schedule_ordering_agrees_with_closed_forms() {
+        // For large messages the per-rank IR walk must rank parallel
+        // read vs sequential write the same way the closed-form
+        // predictions do (both are dominated by the same CMA terms).
+        let t = Tuner::new(&ArchProfile::knl());
+        let p = 64;
+        let eta = 1usize << 20;
+        let layout: Vec<(usize, usize)> = (0..p).map(|r| (r * eta, eta)).collect();
+        // Parallel read: cost borne by a contended non-root reader.
+        let par =
+            crate::schedule::compile_scatter(ScatterAlgo::ParallelRead, p, 1, &layout, 0, true);
+        // Sequential write: cost borne by the uncontended root engine.
+        let seq =
+            crate::schedule::compile_scatter(ScatterAlgo::SequentialWrite, p, 0, &layout, 0, true);
+        let ir_prefers_seq = t.cost_schedule(&seq, 1) < t.cost_schedule(&par, p - 1);
+        let model_prefers_seq = predict::scatter_sequential_write(t.params(), p, eta, false)
+            < predict::scatter_parallel_read(t.params(), p, eta);
+        assert_eq!(ir_prefers_seq, model_prefers_seq);
     }
 
     #[test]

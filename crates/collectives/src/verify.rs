@@ -77,12 +77,16 @@ pub fn diff(observed: &[u8], expected: &[u8]) -> Option<String> {
             expected.len()
         ));
     }
-    observed.iter().zip(expected).position(|(a, b)| a != b).map(|at| {
-        format!(
-            "first mismatch at byte {at}: observed {:#04x}, expected {:#04x}",
-            observed[at], expected[at]
-        )
-    })
+    observed
+        .iter()
+        .zip(expected)
+        .position(|(a, b)| a != b)
+        .map(|at| {
+            format!(
+                "first mismatch at byte {at}: observed {:#04x}, expected {:#04x}",
+                observed[at], expected[at]
+            )
+        })
 }
 
 #[cfg(test)]

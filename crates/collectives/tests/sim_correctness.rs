@@ -3,8 +3,8 @@
 //! non-powers-of-two), root, and message size.
 
 use kacc_collectives::verify::{
-    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
-    scatter_expected, scatter_sendbuf,
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected, scatter_expected,
+    scatter_sendbuf,
 };
 use kacc_collectives::{
     allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,

@@ -1,8 +1,8 @@
 //! Reduce / Allreduce correctness and shape over the simulated machine.
 
 use kacc_collectives::reduce::{
-    allreduce, expected_u64, reduce, reduce_scatter_block, AllreduceAlgo, Dtype,
-    ReduceAlgo, ReduceOp,
+    allreduce, expected_u64, reduce, reduce_scatter_block, AllreduceAlgo, Dtype, ReduceAlgo,
+    ReduceOp,
 };
 use kacc_collectives::BcastAlgo;
 use kacc_comm::{Comm, CommExt};
@@ -10,11 +10,15 @@ use kacc_machine::run_team;
 use kacc_model::ArchProfile;
 
 fn value_of(rank: usize, lane: usize) -> u64 {
-    (rank as u64).wrapping_mul(0x9E37_79B9).wrapping_add(lane as u64 * 31)
+    (rank as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(lane as u64 * 31)
 }
 
 fn fill(rank: usize, lanes: usize) -> Vec<u8> {
-    (0..lanes).flat_map(|l| value_of(rank, l).to_le_bytes()).collect()
+    (0..lanes)
+        .flat_map(|l| value_of(rank, l).to_le_bytes())
+        .collect()
 }
 
 fn check_reduce(p: usize, lanes: usize, root: usize, op: ReduceOp, algo: ReduceAlgo) {
@@ -55,7 +59,13 @@ fn reduce_all_algorithms_ops_and_shapes() {
 
 #[test]
 fn reduce_nonzero_root_and_single_rank() {
-    check_reduce(6, 100, 4, ReduceOp::Sum, ReduceAlgo::KNomialTree { radix: 3 });
+    check_reduce(
+        6,
+        100,
+        4,
+        ReduceOp::Sum,
+        ReduceAlgo::KNomialTree { radix: 3 },
+    );
     check_reduce(1, 10, 0, ReduceOp::Max, ReduceAlgo::SequentialRead);
 }
 
@@ -85,8 +95,9 @@ fn reduce_f64_sums_match() {
     let lanes = 64;
     let (_, results) = run_team(&ArchProfile::knl(), p, move |comm| {
         let me = comm.rank();
-        let data: Vec<u8> =
-            (0..lanes).flat_map(|l| ((me * 10 + l) as f64 * 0.5).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..lanes)
+            .flat_map(|l| ((me * 10 + l) as f64 * 0.5).to_le_bytes())
+            .collect();
         let sb = comm.alloc_with(&data);
         let rb = (me == 0).then(|| comm.alloc(lanes * 8));
         reduce(
@@ -159,8 +170,10 @@ fn reduce_scatter_block_folds_correct_chunks() {
         comm.read_all(rb).unwrap()
     });
     for (me, got) in results.iter().enumerate() {
-        let got: Vec<u64> =
-            got.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let got: Vec<u64> = got
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         let expect: Vec<u64> = (0..lanes)
             .map(|l| {
                 (0..p)
@@ -222,7 +235,10 @@ fn rabenseifner_wins_large_messages() {
         reduce: ReduceAlgo::KNomialTree { radix: 4 },
         bcast: BcastAlgo::KNomial { radix: 4 },
     });
-    assert!(rab < tree, "rabenseifner {rab} should beat reduce+bcast {tree}");
+    assert!(
+        rab < tree,
+        "rabenseifner {rab} should beat reduce+bcast {tree}"
+    );
 }
 
 #[test]

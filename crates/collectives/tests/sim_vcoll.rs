@@ -10,7 +10,9 @@ use kacc_model::ArchProfile;
 /// Rank r contributes/receives `base + 37·r` bytes (rank 2 gets zero to
 /// exercise empty slices).
 fn counts(p: usize, base: usize) -> Vec<usize> {
-    (0..p).map(|r| if r == 2 && p > 2 { 0 } else { base + 37 * r }).collect()
+    (0..p)
+        .map(|r| if r == 2 && p > 2 { 0 } else { base + 37 * r })
+        .collect()
 }
 
 fn packed(counts: &[usize]) -> Vec<u8> {
@@ -146,7 +148,10 @@ fn zero_count_ranks_may_omit_buffers() {
             .unwrap_or_default()
         });
         for (r, got) in results.iter().enumerate() {
-            assert!(diff(got, &contribution(r, cts[r])).is_none(), "{salgo:?} rank {r}");
+            assert!(
+                diff(got, &contribution(r, cts[r])).is_none(),
+                "{salgo:?} rank {r}"
+            );
         }
     }
     for galgo in [

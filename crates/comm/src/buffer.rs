@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn token_roundtrips() {
-        let t = RemoteToken { rank: 0xDEAD_BEEF, token: u64::MAX - 7 };
+        let t = RemoteToken {
+            rank: 0xDEAD_BEEF,
+            token: u64::MAX - 7,
+        };
         assert_eq!(RemoteToken::from_bytes(&t.to_bytes()), Some(t));
     }
 

@@ -66,7 +66,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CommError::OutOfRange { buf: 3, off: 10, len: 20, cap: 16 };
+        let e = CommError::OutOfRange {
+            buf: 3,
+            off: 10,
+            len: 20,
+            cap: 16,
+        };
         let s = e.to_string();
         assert!(s.contains("buffer 3"));
         assert!(s.contains("16 bytes"));

@@ -41,8 +41,14 @@ impl<'a, C: Comm + ?Sized> SubComm<'a, C> {
         let my_rank = members
             .iter()
             .position(|&m| m == me)
-            .ok_or(CommError::Protocol("caller is not a subgroup member".into()))?;
-        Ok(SubComm { parent, members, my_rank })
+            .ok_or(CommError::Protocol(
+                "caller is not a subgroup member".into(),
+            ))?;
+        Ok(SubComm {
+            parent,
+            members,
+            my_rank,
+        })
     }
 
     /// Split by color/key, like `MPI_Comm_split`: every parent rank
@@ -249,7 +255,10 @@ mod tests {
             Ok(())
         }
         fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
-            Ok(RemoteToken { rank: self.rank as u64, token: buf.0 })
+            Ok(RemoteToken {
+                rank: self.rank as u64,
+                token: buf.0,
+            })
         }
         fn cma_read(
             &mut self,
@@ -308,7 +317,10 @@ mod tests {
         assert!(SubComm::new(&mut c, vec![]).is_err());
         assert!(SubComm::new(&mut c, vec![0, 9]).is_err(), "out of range");
         assert!(SubComm::new(&mut c, vec![0, 0, 2]).is_err(), "duplicate");
-        assert!(SubComm::new(&mut c, vec![0, 1]).is_err(), "caller not a member");
+        assert!(
+            SubComm::new(&mut c, vec![0, 1]).is_err(),
+            "caller not a member"
+        );
         let sub = SubComm::new(&mut c, vec![4, 2, 7]).unwrap();
         assert_eq!(sub.rank(), 1);
         assert_eq!(sub.size(), 3);
@@ -321,7 +333,10 @@ mod tests {
         let mut c = StubComm { rank: 0, size: 4 };
         let mut sub = SubComm::new(&mut c, vec![0, 3]).unwrap();
         assert!(sub.ctrl_send(1, Tag::user(0), &[]).is_ok());
-        assert_eq!(sub.ctrl_send(2, Tag::user(0), &[]), Err(CommError::BadRank(2)));
+        assert_eq!(
+            sub.ctrl_send(2, Tag::user(0), &[]),
+            Err(CommError::BadRank(2))
+        );
         assert_eq!(sub.ctrl_recv(5, Tag::user(0)), Err(CommError::BadRank(5)));
     }
 }

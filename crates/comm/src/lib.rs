@@ -26,11 +26,12 @@ pub mod buffer;
 pub mod error;
 pub mod group;
 pub mod smcoll;
+pub mod tagclass;
 pub mod topology;
 
 pub use buffer::{BufId, RemoteToken};
-pub use group::SubComm;
 pub use error::{CommError, Result};
+pub use group::SubComm;
 pub use topology::Topology;
 
 /// Message tag for control-plane matching. Matching is FIFO per
@@ -45,7 +46,10 @@ impl Tag {
 
     /// An application-level tag (asserts it stays out of the reserved range).
     pub fn user(t: u32) -> Tag {
-        assert!(t < Self::USER_MAX, "tag {t:#x} collides with reserved range");
+        assert!(
+            t < Self::USER_MAX,
+            "tag {t:#x} collides with reserved range"
+        );
         Tag(t)
     }
 
@@ -146,8 +150,14 @@ pub trait Comm {
     /// Two-copy shared-memory bulk send: copies `len` bytes from the local
     /// buffer into a shared staging area (first copy) and posts a
     /// descriptor. Blocks only for the sender-side copy.
-    fn shm_send_data(&mut self, to: usize, tag: Tag, src: BufId, off: usize, len: usize)
-        -> Result<()>;
+    fn shm_send_data(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        src: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()>;
 
     /// Two-copy shared-memory bulk receive: waits for the matching
     /// descriptor, then copies out of staging into the local buffer
@@ -171,7 +181,8 @@ pub trait CommExt: Comm {
     /// Allocate a buffer holding `data`.
     fn alloc_with(&mut self, data: &[u8]) -> BufId {
         let b = self.alloc(data.len());
-        self.write_local(b, 0, data).expect("fresh buffer accepts write");
+        self.write_local(b, 0, data)
+            .expect("fresh buffer accepts write");
         b
     }
 

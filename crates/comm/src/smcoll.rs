@@ -14,16 +14,18 @@
 use crate::{Comm, CommExt, Result, Tag};
 
 /// Tag classes used by the helpers in this module. Public so higher
-/// layers can avoid collisions when they hand-roll protocols.
+/// layers can avoid collisions when they hand-roll protocols. These are
+/// re-exports from the central [`crate::tagclass`] registry, which owns
+/// the uniqueness audit.
 pub mod class {
     /// Binomial broadcast.
-    pub const BCAST: u32 = 1;
+    pub const BCAST: u32 = crate::tagclass::SM_BCAST;
     /// Binomial gather.
-    pub const GATHER: u32 = 2;
+    pub const GATHER: u32 = crate::tagclass::SM_GATHER;
     /// Bruck allgather.
-    pub const ALLGATHER: u32 = 3;
+    pub const ALLGATHER: u32 = crate::tagclass::SM_ALLGATHER;
     /// Dissemination barrier.
-    pub const BARRIER: u32 = 4;
+    pub const BARRIER: u32 = crate::tagclass::SM_BARRIER;
 }
 
 fn vrank(rank: usize, root: usize, p: usize) -> usize {
@@ -36,11 +38,7 @@ fn unvrank(v: usize, root: usize, p: usize) -> usize {
 
 /// Binomial-tree broadcast of a small payload. Every rank returns the
 /// root's payload. `root` supplies `data`; other ranks' `data` is ignored.
-pub fn sm_bcast<C: Comm + ?Sized>(
-    comm: &mut C,
-    root: usize,
-    data: &[u8],
-) -> Result<Vec<u8>> {
+pub fn sm_bcast<C: Comm + ?Sized>(comm: &mut C, root: usize, data: &[u8]) -> Result<Vec<u8>> {
     let p = comm.size();
     let me = comm.rank();
     let tag = Tag::internal(class::BCAST, 0);
@@ -59,7 +57,11 @@ pub fn sm_bcast<C: Comm + ?Sized>(
 
     // Forward down the binomial tree: children are v | bit for each bit
     // above our lowest set bit (all bits for the root).
-    let low = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+    let low = if v == 0 {
+        usize::MAX
+    } else {
+        v & v.wrapping_neg()
+    };
     let mut bit = 1usize;
     while bit < p {
         if bit < low {
@@ -94,7 +96,11 @@ pub fn sm_gather<C: Comm + ?Sized>(
 
     // Receive from children (largest subtree first mirrors the classic
     // recursive formulation; order only matters for determinism).
-    let low = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+    let low = if v == 0 {
+        usize::MAX
+    } else {
+        v & v.wrapping_neg()
+    };
     let mut bit = 1usize;
     while bit < p {
         if bit < low {
@@ -123,7 +129,9 @@ pub fn sm_gather<C: Comm + ?Sized>(
         if seen.iter().all(|&s| s) {
             Ok(Some(out))
         } else {
-            Err(crate::CommError::Protocol("sm_gather missing contributions".into()))
+            Err(crate::CommError::Protocol(
+                "sm_gather missing contributions".into(),
+            ))
         }
     } else {
         let parent = v & (v - 1);
@@ -195,7 +203,11 @@ pub fn sm_barrier<C: Comm + ?Sized>(comm: &mut C) -> Result<()> {
     Ok(())
 }
 
-fn encode_entries(entries: &[(u32, Vec<u8>)]) -> Vec<u8> {
+/// Encode `(rank, payload)` entries in the sm wire format: per entry a
+/// `u32` rank (LE), `u32` length (LE), then the payload bytes. Public so
+/// the compiled-schedule executor can speak the same format as
+/// [`sm_gather`]/[`sm_allgather`].
+pub fn encode_entries(entries: &[(u32, Vec<u8>)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(entries.iter().map(|(_, d)| d.len() + 8).sum());
     for (rank, data) in entries {
         out.extend_from_slice(&rank.to_le_bytes());
@@ -205,12 +217,16 @@ fn encode_entries(entries: &[(u32, Vec<u8>)]) -> Vec<u8> {
     out
 }
 
-fn decode_entries(blob: &[u8]) -> Result<Vec<(u32, Vec<u8>)>> {
+/// Decode the [`encode_entries`] wire format back into `(rank, payload)`
+/// entries, rejecting truncated blobs.
+pub fn decode_entries(blob: &[u8]) -> Result<Vec<(u32, Vec<u8>)>> {
     let mut out = Vec::new();
     let mut at = 0usize;
     while at < blob.len() {
         if at + 8 > blob.len() {
-            return Err(crate::CommError::Protocol("truncated sm entry header".into()));
+            return Err(crate::CommError::Protocol(
+                "truncated sm entry header".into(),
+            ));
         }
         let rank = u32::from_le_bytes(blob[at..at + 4].try_into().unwrap());
         let len = u32::from_le_bytes(blob[at + 4..at + 8].try_into().unwrap()) as usize;
@@ -230,7 +246,11 @@ mod tests {
 
     #[test]
     fn entry_codec_roundtrips() {
-        let entries = vec![(0u32, b"hello".to_vec()), (7u32, Vec::new()), (3u32, vec![9u8; 100])];
+        let entries = vec![
+            (0u32, b"hello".to_vec()),
+            (7u32, Vec::new()),
+            (3u32, vec![9u8; 100]),
+        ];
         assert_eq!(decode_entries(&encode_entries(&entries)).unwrap(), entries);
     }
 

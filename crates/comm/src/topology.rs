@@ -25,7 +25,12 @@ pub struct Topology {
 impl Topology {
     /// A topology for tests: one socket, `cores` cores, 4 KiB pages.
     pub fn flat(cores: usize) -> Topology {
-        Topology { sockets: 1, cores_per_socket: cores, threads_per_core: 1, page_size: 4096 }
+        Topology {
+            sockets: 1,
+            cores_per_socket: cores,
+            threads_per_core: 1,
+            page_size: 4096,
+        }
     }
 
     /// Total physical cores on the node.
@@ -78,11 +83,21 @@ mod tests {
     use super::*;
 
     fn broadwell() -> Topology {
-        Topology { sockets: 2, cores_per_socket: 14, threads_per_core: 1, page_size: 4096 }
+        Topology {
+            sockets: 2,
+            cores_per_socket: 14,
+            threads_per_core: 1,
+            page_size: 4096,
+        }
     }
 
     fn power8() -> Topology {
-        Topology { sockets: 2, cores_per_socket: 10, threads_per_core: 8, page_size: 65536 }
+        Topology {
+            sockets: 2,
+            cores_per_socket: 10,
+            threads_per_core: 8,
+            page_size: 65536,
+        }
     }
 
     #[test]
@@ -131,10 +146,8 @@ mod tests {
         // intra-socket, rank -> rank+5 much less so near the boundary.
         let t = broadwell();
         let p = 28;
-        let intra_1 =
-            (0..p).filter(|&r| t.same_socket(r, (r + 1) % p)).count();
-        let intra_5 =
-            (0..p).filter(|&r| t.same_socket(r, (r + 5) % p)).count();
+        let intra_1 = (0..p).filter(|&r| t.same_socket(r, (r + 1) % p)).count();
+        let intra_5 = (0..p).filter(|&r| t.same_socket(r, (r + 5) % p)).count();
         assert!(intra_1 > intra_5);
     }
 }

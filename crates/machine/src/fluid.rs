@@ -136,7 +136,11 @@ impl PageLockServer {
 
     /// Is a flow drained? Call `update(now)` first.
     pub fn is_done(&self, id: FlowId) -> bool {
-        self.flows[id.0].as_ref().expect("live flow").remaining_pages <= EPS
+        self.flows[id.0]
+            .as_ref()
+            .expect("live flow")
+            .remaining_pages
+            <= EPS
     }
 
     /// Estimated completion time of a flow under the current set.
@@ -158,7 +162,8 @@ impl PageLockServer {
             .iter()
             .enumerate()
             .filter_map(|(i, slot)| {
-                slot.as_ref().map(|flow| (flow.owner_tid, self.eta(FlowId(i), now)))
+                slot.as_ref()
+                    .map(|flow| (flow.owner_tid, self.eta(FlowId(i), now)))
             })
             .collect();
         (attribution, wakes)
@@ -246,7 +251,12 @@ impl MemSys {
         weight: f64,
     ) -> FlowId {
         assert!(weight >= 1.0, "weights below 1 would create capacity");
-        let flow = MemFlow { owner_tid, remaining_bytes: bytes as f64, peak, weight };
+        let flow = MemFlow {
+            owner_tid,
+            remaining_bytes: bytes as f64,
+            peak,
+            weight,
+        };
         let id = self
             .flows
             .iter()
@@ -262,7 +272,11 @@ impl MemSys {
 
     /// Is a flow drained? Call `update(now)` first.
     pub fn is_done(&self, id: FlowId) -> bool {
-        self.flows[id.0].as_ref().expect("live flow").remaining_bytes <= EPS
+        self.flows[id.0]
+            .as_ref()
+            .expect("live flow")
+            .remaining_bytes
+            <= EPS
     }
 
     /// Estimated completion time of a flow under the current set.
@@ -279,7 +293,8 @@ impl MemSys {
             .iter()
             .enumerate()
             .filter_map(|(i, slot)| {
-                slot.as_ref().map(|flow| (flow.owner_tid, self.eta(FlowId(i), now)))
+                slot.as_ref()
+                    .map(|flow| (flow.owner_tid, self.eta(FlowId(i), now)))
             })
             .collect()
     }

@@ -73,18 +73,34 @@ mod tests {
     fn extraction_recovers_arch_parameters() {
         // The extraction pipeline run against the simulator must recover
         // the Table IV values the profile was built from.
-        for arch in [ArchProfile::knl(), ArchProfile::broadwell(), ArchProfile::power8()] {
+        for arch in [
+            ArchProfile::knl(),
+            ArchProfile::broadwell(),
+            ArchProfile::power8(),
+        ] {
             let mut probe = SimProbe::new(arch.clone());
             let ex = extract_params(&mut probe, 100);
             let l_err = (ex.l_ns - arch.l_ns()).abs() / arch.l_ns();
-            assert!(l_err < 0.05, "{}: l {} vs {}", arch.name, ex.l_ns, arch.l_ns());
-            let beta_err = (ex.beta_ns_per_byte - arch.beta_ns_per_byte()).abs()
-                / arch.beta_ns_per_byte();
+            assert!(
+                l_err < 0.05,
+                "{}: l {} vs {}",
+                arch.name,
+                ex.l_ns,
+                arch.l_ns()
+            );
+            let beta_err =
+                (ex.beta_ns_per_byte - arch.beta_ns_per_byte()).abs() / arch.beta_ns_per_byte();
             assert!(beta_err < 0.05, "{}: beta mismatch {beta_err}", arch.name);
             // α = T₂ includes one page of lock+pin from the 1-byte probe.
             let alpha_expect = arch.alpha_ns() + arch.l_ns();
             let a_err = (ex.alpha_ns - alpha_expect).abs() / alpha_expect;
-            assert!(a_err < 0.05, "{}: alpha {} vs {}", arch.name, ex.alpha_ns, alpha_expect);
+            assert!(
+                a_err < 0.05,
+                "{}: alpha {} vs {}",
+                arch.name,
+                ex.alpha_ns,
+                alpha_expect
+            );
         }
     }
 
@@ -146,7 +162,11 @@ mod tests {
         let test = measure_gamma(&mut probe, &[32], &[50]);
         let predicted = fit.model.eval(32);
         let err = (predicted - test[0].gamma).abs() / test[0].gamma;
-        assert!(err < 0.2, "fit extrapolates poorly: {predicted} vs {}", test[0].gamma);
+        assert!(
+            err < 0.2,
+            "fit extrapolates poorly: {predicted} vs {}",
+            test[0].gamma
+        );
         let _ = GammaModel::Unit; // silence unused import in cfg(test)
     }
 }

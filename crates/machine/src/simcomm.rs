@@ -45,7 +45,11 @@ impl SimComm {
     /// Build the endpoint for `rank`. Called by the team harness; the
     /// ctx's tid must equal the rank.
     pub fn new(ctx: Ctx<MachineState>, rank: usize) -> SimComm {
-        assert_eq!(ctx.tid(), rank, "rank threads must be spawned in rank order");
+        assert_eq!(
+            ctx.tid(),
+            rank,
+            "rank threads must be spawned in rank order"
+        );
         let (nranks, topo, nodes, local, a, fabric) = ctx.with_state(|s, _| {
             (
                 s.nranks,
@@ -86,7 +90,12 @@ impl SimComm {
     fn check_local(&self, buf: BufId, off: usize, len: usize) -> Result<()> {
         let cap = self.buf_len(buf)?;
         if off.checked_add(len).is_none_or(|end| end > cap) {
-            return Err(CommError::OutOfRange { buf: buf.0, off, len, cap });
+            return Err(CommError::OutOfRange {
+                buf: buf.0,
+                off,
+                len,
+                cap,
+            });
         }
         Ok(())
     }
@@ -127,7 +136,9 @@ impl SimComm {
                 }
                 Poll::Ready(attr)
             } else {
-                Poll::Wait { wake_at: Some(s.locks[target].eta(id, now)) }
+                Poll::Wait {
+                    wake_at: Some(s.locks[target].eta(id, now)),
+                }
             }
         })
     }
@@ -165,7 +176,9 @@ impl SimComm {
                 }
                 Poll::Ready(())
             } else {
-                Poll::Wait { wake_at: Some(srv.eta(id, now)) }
+                Poll::Wait {
+                    wake_at: Some(srv.eta(id, now)),
+                }
             }
         });
         self.ctx.now() - start
@@ -230,7 +243,8 @@ impl SimComm {
         // 2. Permission / capability check against the remote process.
         self.ctx.advance(self.t_permcheck);
         let t_chk = self.t_permcheck as f64;
-        self.ctx.with_state(move |s, _| s.stats[me].check_ns += t_chk);
+        self.ctx
+            .with_state(move |s, _| s.stats[me].check_ns += t_chk);
 
         let exposed_len = self.ctx.with_state(|s, _| {
             let h = &s.heaps[peer];
@@ -243,7 +257,10 @@ impl SimComm {
         let Some(rcap) = exposed_len else {
             return Err(CommError::PermissionDenied);
         };
-        if remote_off.checked_add(remote_len).is_none_or(|end| end > rcap) {
+        if remote_off
+            .checked_add(remote_len)
+            .is_none_or(|end| end > rcap)
+        {
             return Err(CommError::OutOfRange {
                 buf: token.token,
                 off: remote_off,
@@ -283,29 +300,22 @@ impl SimComm {
         // carry no data, so the copy is skipped — timing was already
         // charged above.
         if copy_len > 0 {
-            self.ctx.with_state(|s, _| {
-                match dir {
-                    CmaDir::Read => {
-                        if !s.heaps[peer].is_phantom(token.token)
-                            && !s.heaps[me].is_phantom(local.0)
-                        {
-                            let src = s.heaps[peer]
-                                .extract(token.token, remote_off, copy_len)
-                                .unwrap();
-                            s.heaps[me].write(local.0, local_off, &src);
-                        }
-                        s.stats[me].bytes_read += copy_len as u64;
+            self.ctx.with_state(|s, _| match dir {
+                CmaDir::Read => {
+                    if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                        let src = s.heaps[peer]
+                            .extract(token.token, remote_off, copy_len)
+                            .unwrap();
+                        s.heaps[me].write(local.0, local_off, &src);
                     }
-                    CmaDir::Write => {
-                        if !s.heaps[peer].is_phantom(token.token)
-                            && !s.heaps[me].is_phantom(local.0)
-                        {
-                            let src =
-                                s.heaps[me].extract(local.0, local_off, copy_len).unwrap();
-                            s.heaps[peer].write(token.token, remote_off, &src);
-                        }
-                        s.stats[me].bytes_written += copy_len as u64;
+                    s.stats[me].bytes_read += copy_len as u64;
+                }
+                CmaDir::Write => {
+                    if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                        let src = s.heaps[me].extract(local.0, local_off, copy_len).unwrap();
+                        s.heaps[peer].write(token.token, remote_off, &src);
                     }
+                    s.stats[me].bytes_written += copy_len as u64;
                 }
             });
         }
@@ -397,7 +407,10 @@ impl Comm for SimComm {
     fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
         let me = self.rank;
         if self.ctx.with_state(move |s, _| s.heaps[me].expose(buf.0)) {
-            Ok(RemoteToken { rank: me as u64, token: buf.0 })
+            Ok(RemoteToken {
+                rank: me as u64,
+                token: buf.0,
+            })
         } else {
             Err(CommError::InvalidBuffer(buf.0))
         }
@@ -432,8 +445,7 @@ impl Comm for SimComm {
         let start = self.ctx.now();
         // Sender-side occupancy: enqueue bookkeeping plus the copy of the
         // payload into the shared slot (or NIC doorbell + inline copy).
-        let occupancy =
-            (0.3 * self.sm_msg_ns + 0.5 * data.len() as f64 * self.sm_byte_ns) as u64;
+        let occupancy = (0.3 * self.sm_msg_ns + 0.5 * data.len() as f64 * self.sm_byte_ns) as u64;
         self.ctx.advance(occupancy);
         let latency = if self.nodes[to] == self.node {
             self.sm_msg_ns + data.len() as f64 * self.sm_byte_ns
@@ -444,7 +456,8 @@ impl Comm for SimComm {
         let me = self.rank;
         let payload = data.to_vec();
         self.ctx.poll("ctrl:send", move |s, w, _now| {
-            s.mail.deposit(w, to, me, tag.0 as u64, arrival, payload.clone());
+            s.mail
+                .deposit(w, to, me, tag.0 as u64, arrival, payload.clone());
             Poll::Ready(())
         });
         Ok(())
@@ -492,7 +505,11 @@ impl Comm for SimComm {
             out
         };
         let arrival = self.ctx.now()
-            + if cross_node { self.net_alpha_ns as u64 } else { self.sm_msg_ns as u64 };
+            + if cross_node {
+                self.net_alpha_ns as u64
+            } else {
+                self.sm_msg_ns as u64
+            };
         // Tag shifted into a distinct namespace so bulk data never
         // collides with control messages of the same tag.
         let key = (1u64 << 32) | tag.0 as u64;
@@ -518,11 +535,14 @@ impl Comm for SimComm {
         let me = self.rank;
         let tid = self.ctx.tid();
         let key = (1u64 << 32) | tag.0 as u64;
-        let payload = self
-            .ctx
-            .poll("shm:wait", move |s, _w, now| s.mail.take(tid, me, from, key, now));
+        let payload = self.ctx.poll("shm:wait", move |s, _w, now| {
+            s.mail.take(tid, me, from, key, now)
+        });
         if payload.len() != len {
-            return Err(CommError::Truncated { wanted: len, got: payload.len() });
+            return Err(CommError::Truncated {
+                wanted: len,
+                got: payload.len(),
+            });
         }
         if self.nodes[from] != self.node {
             // Wire occupancy on this node's ingress link.

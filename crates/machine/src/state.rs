@@ -48,8 +48,11 @@ impl RankHeap {
     pub fn alloc(&mut self, len: usize) -> u64 {
         let id = self.next;
         self.next += 1;
-        let buf =
-            if self.phantom { Buf::Phantom(len) } else { Buf::Real(vec![0u8; len]) };
+        let buf = if self.phantom {
+            Buf::Phantom(len)
+        } else {
+            Buf::Real(vec![0u8; len])
+        };
         self.bufs.insert(id, buf);
         id
     }
@@ -237,7 +240,10 @@ impl MachineState {
         phantom: bool,
     ) -> MachineState {
         assert!(nodes >= 1 && ranks_per_node >= 1);
-        assert!(nodes == 1 || fabric.is_some(), "multi-node machines need a fabric");
+        assert!(
+            nodes == 1 || fabric.is_some(),
+            "multi-node machines need a fabric"
+        );
         let nranks = nodes * ranks_per_node;
         let topo = arch.topology();
         MachineState {
@@ -246,16 +252,14 @@ impl MachineState {
             node_of: (0..nranks).map(|r| r / ranks_per_node).collect(),
             mail: Mailboxes::new(),
             heaps: (0..nranks)
-                .map(|_| RankHeap { phantom, ..RankHeap::default() })
+                .map(|_| RankHeap {
+                    phantom,
+                    ..RankHeap::default()
+                })
                 .collect(),
             locks: (0..nranks)
                 .map(|_| {
-                    PageLockServer::new(
-                        arch.l_lock_ns,
-                        arch.l_pin_ns,
-                        arch.k_bounce,
-                        arch.x_socket,
-                    )
+                    PageLockServer::new(arch.l_lock_ns, arch.l_pin_ns, arch.k_bounce, arch.x_socket)
                 })
                 .collect(),
             mems: (0..nodes).map(|_| MemSys::new(arch.bw_total)).collect(),
@@ -309,8 +313,17 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = RankStats { syscall_ns: 1.0, cma_ops: 2, ..Default::default() };
-        let b = RankStats { syscall_ns: 3.0, copy_ns: 4.0, cma_ops: 1, ..Default::default() };
+        let mut a = RankStats {
+            syscall_ns: 1.0,
+            cma_ops: 2,
+            ..Default::default()
+        };
+        let b = RankStats {
+            syscall_ns: 3.0,
+            copy_ns: 4.0,
+            cma_ops: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.syscall_ns, 4.0);
         assert_eq!(a.copy_ns, 4.0);

@@ -57,7 +57,10 @@ where
     F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
     R: Send + 'static,
 {
-    run_machine(MachineState::cluster_opts(arch.clone(), 1, nranks, None, true), f)
+    run_machine(
+        MachineState::cluster_opts(arch.clone(), 1, nranks, None, true),
+        f,
+    )
 }
 
 /// [`run_team`] with the scheduler trace enabled: additionally returns
@@ -89,7 +92,10 @@ where
     F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
     R: Send + 'static,
 {
-    run_machine(MachineState::cluster(arch.clone(), nodes, ranks_per_node, Some(fabric)), f)
+    run_machine(
+        MachineState::cluster(arch.clone(), nodes, ranks_per_node, Some(fabric)),
+        f,
+    )
 }
 
 fn run_machine<R, F>(state: MachineState, f: F) -> (TeamRun, Vec<R>)
@@ -144,7 +150,10 @@ where
         .unwrap();
     (
         run,
-        results.into_iter().map(|r| r.expect("every rank returned")).collect(),
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank returned"))
+            .collect(),
         trace,
     )
 }
@@ -180,10 +189,9 @@ mod tests {
         assert_eq!(run.mail_pending, 0);
         // Cost sanity: at least syscall + check + 2 pages + copy.
         let a = &arch;
-        let floor = (a.t_syscall_ns
-            + a.t_permcheck_ns
-            + 2.0 * a.l_ns()
-            + 8192.0 * a.beta_ns_per_byte()) as u64;
+        let floor =
+            (a.t_syscall_ns + a.t_permcheck_ns + 2.0 * a.l_ns() + 8192.0 * a.beta_ns_per_byte())
+                as u64;
         assert!(run.end_ns >= floor, "end {} < floor {}", run.end_ns, floor);
         let s = &run.stats[1];
         assert!(s.lock_ns > 0.0 && s.pin_ns > 0.0 && s.copy_ns > 0.0);
@@ -214,7 +222,8 @@ mod tests {
                     let tok = kacc_comm::RemoteToken::from_bytes(&raw).unwrap();
                     let dst = comm.alloc(eta);
                     let t0 = comm.time_ns();
-                    comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta).unwrap();
+                    comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta)
+                        .unwrap();
                     let d = comm.time_ns() - t0;
                     comm.notify(0, Tag::user(2)).unwrap();
                     d
@@ -245,7 +254,8 @@ mod tests {
                     // Source: expose and wait.
                     let buf = comm.alloc(eta);
                     let tok = comm.expose(buf).unwrap();
-                    comm.ctrl_send(me + 1, Tag::user(1), &tok.to_bytes()).unwrap();
+                    comm.ctrl_send(me + 1, Tag::user(1), &tok.to_bytes())
+                        .unwrap();
                     comm.wait_notify(me + 1, Tag::user(2)).unwrap();
                     0u64
                 } else {
@@ -326,7 +336,10 @@ mod tests {
             if comm.rank() == 0 {
                 let buf = comm.alloc(4096);
                 // NOT exposed; ship a forged token anyway.
-                let forged = kacc_comm::RemoteToken { rank: 0, token: buf.0 };
+                let forged = kacc_comm::RemoteToken {
+                    rank: 0,
+                    token: buf.0,
+                };
                 comm.ctrl_send(1, Tag::user(1), &forged.to_bytes()).unwrap();
                 comm.wait_notify(1, Tag::user(2)).unwrap();
                 true

@@ -150,12 +150,18 @@ impl ArchProfile {
 
     /// All three paper platforms.
     pub fn all() -> Vec<ArchProfile> {
-        vec![ArchProfile::knl(), ArchProfile::broadwell(), ArchProfile::power8()]
+        vec![
+            ArchProfile::knl(),
+            ArchProfile::broadwell(),
+            ArchProfile::power8(),
+        ]
     }
 
     /// Look up a preset by (case-insensitive) name.
     pub fn by_name(name: &str) -> Option<ArchProfile> {
-        ArchProfile::all().into_iter().find(|a| a.name.eq_ignore_ascii_case(name))
+        ArchProfile::all()
+            .into_iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
     }
 
     /// The node topology (process-to-core mapping source of truth).
@@ -257,12 +263,20 @@ pub struct FabricParams {
 impl FabricParams {
     /// InfiniBand EDR (100 Gb/s): the Xeon and OpenPOWER clusters.
     pub fn ib_edr() -> FabricParams {
-        FabricParams { name: "IB-EDR".into(), alpha_ns: 1500.0, bw_link: 12.5 }
+        FabricParams {
+            name: "IB-EDR".into(),
+            alpha_ns: 1500.0,
+            bw_link: 12.5,
+        }
     }
 
     /// Intel Omni-Path (100 Gb/s): the KNL cluster.
     pub fn omni_path() -> FabricParams {
-        FabricParams { name: "Omni-Path".into(), alpha_ns: 1700.0, bw_link: 12.5 }
+        FabricParams {
+            name: "Omni-Path".into(),
+            alpha_ns: 1700.0,
+            bw_link: 12.5,
+        }
     }
 
     /// Cost of one uncontended message of `bytes`.

@@ -1,0 +1,170 @@
+//! IR-walking schedule costing.
+//!
+//! `kacc-collectives` compiles every collective into a per-rank schedule
+//! of primitive operations. This module prices such a schedule with the
+//! §II parameters: the caller lowers each schedule step into a
+//! [`CostStep`] (a transport-neutral vocabulary that keeps this crate
+//! independent of the IR's defining crate) and [`schedule_cost`] sums the
+//! per-step model terms.
+//!
+//! The walk charges what *this rank* spends inside each primitive:
+//! kernel-assisted transfers cost the full `T = α + η·β + l·γ_c·⌈η/s⌉`
+//! term, local copies cost `η·memcpy`, blocking control receives cost one
+//! small-message hop, and buffered sends are free (they never block the
+//! caller). Contention is an input, not inferred: the caller states how
+//! many peers concurrently target the same source (`γ_c`'s `c`), exactly
+//! as the closed forms in [`crate::predict`] do.
+
+use crate::ModelParams;
+
+/// One schedule step lowered into the model's cost vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostStep {
+    /// Kernel-assisted read of `bytes` from a source whose page-table
+    /// lock is contended by `contention` concurrent accessors.
+    CmaRead {
+        /// Bytes transferred.
+        bytes: usize,
+        /// Concurrent accessors of the source (γ's `c`, ≥ 1).
+        contention: usize,
+    },
+    /// Kernel-assisted write; same cost shape as the read.
+    CmaWrite {
+        /// Bytes transferred.
+        bytes: usize,
+        /// Concurrent accessors of the destination (γ's `c`, ≥ 1).
+        contention: usize,
+    },
+    /// Charged local copy of `bytes`.
+    Memcpy {
+        /// Bytes copied.
+        bytes: usize,
+    },
+    /// Buffered control-plane send (free: never blocks the sender).
+    CtrlSend {
+        /// Wire bytes (unused by the cost, kept for accounting).
+        bytes: usize,
+    },
+    /// Blocking control-plane receive: one small-message hop.
+    CtrlRecv {
+        /// Wire bytes received.
+        bytes: usize,
+    },
+    /// 0-byte notification send (free, buffered).
+    Notify,
+    /// Blocking wait for a 0-byte notification: one empty hop.
+    WaitNotify,
+    /// Two-copy shared-memory send: descriptor hop + staging copy-in.
+    ShmSend {
+        /// Bytes staged.
+        bytes: usize,
+    },
+    /// Two-copy shared-memory receive: descriptor hop + staging copy-out.
+    ShmRecv {
+        /// Bytes copied out.
+        bytes: usize,
+    },
+    /// Element-wise reduction over `bytes`, charged like a local copy.
+    Reduce {
+        /// Bytes reduced.
+        bytes: usize,
+    },
+    /// Buffer exposure (registration is bookkeeping; free).
+    Expose,
+}
+
+/// Model cost of one lowered step, in nanoseconds.
+pub fn step_cost(m: &ModelParams, step: CostStep) -> f64 {
+    match step {
+        CostStep::CmaRead { bytes, contention } | CostStep::CmaWrite { bytes, contention } => {
+            m.t_cma(bytes, contention.max(1))
+        }
+        CostStep::Memcpy { bytes } | CostStep::Reduce { bytes } => m.t_memcpy(bytes),
+        CostStep::CtrlSend { .. } | CostStep::Notify | CostStep::Expose => 0.0,
+        CostStep::CtrlRecv { bytes } => m.t_sm_msg(bytes),
+        CostStep::WaitNotify => m.t_sm_msg(0),
+        CostStep::ShmSend { bytes } | CostStep::ShmRecv { bytes } => {
+            m.t_sm_msg(0) + m.t_memcpy(bytes)
+        }
+    }
+}
+
+/// Total model cost of a lowered schedule: the sum of its step costs
+/// (the rank executes its steps strictly in order, so its own time is
+/// additive; cross-rank overlap is the *minimum* over ranks of these
+/// per-rank walks, which the closed forms in [`crate::predict`]
+/// approximate with critical-path expressions).
+pub fn schedule_cost(m: &ModelParams, steps: impl IntoIterator<Item = CostStep>) -> f64 {
+    steps.into_iter().map(|s| step_cost(m, s)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchProfile;
+
+    fn params() -> ModelParams {
+        ArchProfile::broadwell().nominal_model()
+    }
+
+    #[test]
+    fn blocking_steps_cost_and_buffered_steps_are_free() {
+        let m = params();
+        assert_eq!(step_cost(&m, CostStep::CtrlSend { bytes: 16 }), 0.0);
+        assert_eq!(step_cost(&m, CostStep::Notify), 0.0);
+        assert_eq!(step_cost(&m, CostStep::Expose), 0.0);
+        assert!(step_cost(&m, CostStep::CtrlRecv { bytes: 16 }) > 0.0);
+        assert!(step_cost(&m, CostStep::WaitNotify) > 0.0);
+        assert_eq!(
+            step_cost(
+                &m,
+                CostStep::CmaRead {
+                    bytes: 4096,
+                    contention: 1
+                }
+            ),
+            m.t_cma(4096, 1)
+        );
+    }
+
+    #[test]
+    fn cma_cost_is_monotone_in_contention() {
+        let m = params();
+        let mut prev = 0.0;
+        for c in 1..16 {
+            let t = step_cost(
+                &m,
+                CostStep::CmaRead {
+                    bytes: 1 << 20,
+                    contention: c,
+                },
+            );
+            assert!(t >= prev, "γ must not decrease with contention");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn schedule_cost_is_additive() {
+        let m = params();
+        let steps = [
+            CostStep::CtrlRecv { bytes: 16 },
+            CostStep::CmaRead {
+                bytes: 65536,
+                contention: 3,
+            },
+            CostStep::Memcpy { bytes: 65536 },
+            CostStep::CtrlSend { bytes: 0 },
+        ];
+        let total = schedule_cost(&m, steps);
+        let by_hand: f64 = steps.iter().map(|&s| step_cost(&m, s)).sum();
+        assert_eq!(total, by_hand);
+    }
+
+    #[test]
+    fn shm_steps_charge_hop_plus_copy() {
+        let m = params();
+        let t = step_cost(&m, CostStep::ShmRecv { bytes: 4096 });
+        assert_eq!(t, m.t_sm_msg(0) + m.t_memcpy(4096));
+    }
+}

@@ -38,23 +38,39 @@ pub struct ProbeSpec {
 impl ProbeSpec {
     /// Table III row 1: syscall cost only.
     pub fn syscall() -> ProbeSpec {
-        ProbeSpec { local_bytes: 0, remote_bytes: 0, readers: 1 }
+        ProbeSpec {
+            local_bytes: 0,
+            remote_bytes: 0,
+            readers: 1,
+        }
     }
 
     /// Table III row 2: syscall + access check (+1 page pin).
     pub fn access_check() -> ProbeSpec {
-        ProbeSpec { local_bytes: 0, remote_bytes: 1, readers: 1 }
+        ProbeSpec {
+            local_bytes: 0,
+            remote_bytes: 1,
+            readers: 1,
+        }
     }
 
     /// Table III row 3: syscall + check + lock/pin of `n` pages.
     pub fn lock_pin(n_pages: usize, page_size: usize, readers: usize) -> ProbeSpec {
-        ProbeSpec { local_bytes: 0, remote_bytes: n_pages * page_size, readers }
+        ProbeSpec {
+            local_bytes: 0,
+            remote_bytes: n_pages * page_size,
+            readers,
+        }
     }
 
     /// Table III row 4: full transfer of `n` pages.
     pub fn full(n_pages: usize, page_size: usize, readers: usize) -> ProbeSpec {
         let bytes = n_pages * page_size;
-        ProbeSpec { local_bytes: bytes, remote_bytes: bytes, readers }
+        ProbeSpec {
+            local_bytes: bytes,
+            remote_bytes: bytes,
+            readers,
+        }
     }
 }
 
@@ -143,7 +159,10 @@ pub fn measure_gamma(
             let lock_cont = (contended - check).max(1e-9);
             acc += lock_cont / lock_base;
         }
-        out.push(GammaPoint { c, gamma: acc / page_counts.len() as f64 });
+        out.push(GammaPoint {
+            c,
+            gamma: acc / page_counts.len() as f64,
+        });
     }
     out
 }

@@ -51,7 +51,12 @@ impl GammaModel {
                 // Anchor γ(1)=1 exactly: add the residual constant.
                 a * cf * cf + b * cf + (1.0 - a - b)
             }
-            GammaModel::Mechanistic { k_bounce, x_socket, socket_knee, lock_weight } => {
+            GammaModel::Mechanistic {
+                k_bounce,
+                x_socket,
+                socket_knee,
+                lock_weight,
+            } => {
                 let cf = c as f64;
                 let xs = if c > socket_knee { x_socket } else { 1.0 };
                 // Round-robin grant service: each reader's page completes
@@ -97,10 +102,12 @@ pub fn fit_gamma(points: &[GammaPoint]) -> Result<GammaFit, NllsError> {
     let xs: Vec<f64> = points.iter().map(|p| p.c as f64).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.gamma).collect();
     let model = |c: f64, p: &[f64]| p[0] * c * c + p[1] * c;
-    let report =
-        levenberg_marquardt(model, &xs, &ys, &[0.01, 1.0], LmOptions::default())?;
+    let report = levenberg_marquardt(model, &xs, &ys, &[0.01, 1.0], LmOptions::default())?;
     Ok(GammaFit {
-        model: GammaModel::Quadratic { a: report.params[0], b: report.params[1] },
+        model: GammaModel::Quadratic {
+            a: report.params[0],
+            b: report.params[1],
+        },
         ssr: report.ssr,
         iterations: report.iterations,
     })
@@ -137,7 +144,10 @@ mod tests {
         // Knee: crossing the socket boundary inflates the slope.
         let before = g.eval(14) / g.eval(13);
         let after = g.eval(15) / g.eval(14);
-        assert!(after > before, "inter-socket knee missing: {before} vs {after}");
+        assert!(
+            after > before,
+            "inter-socket knee missing: {before} vs {after}"
+        );
         // Monotone.
         for c in 1..100 {
             assert!(g.eval(c + 1) >= g.eval(c));
@@ -148,7 +158,10 @@ mod tests {
     fn fit_recovers_synthetic_quadratic() {
         let truth = |c: f64| 0.1 * c * c + 1.6 * c;
         let points: Vec<GammaPoint> = (1..=64)
-            .map(|c| GammaPoint { c, gamma: truth(c as f64) })
+            .map(|c| GammaPoint {
+                c,
+                gamma: truth(c as f64),
+            })
             .collect();
         let fit = fit_gamma(&points).unwrap();
         match fit.model {
@@ -170,8 +183,12 @@ mod tests {
             socket_knee: 68,
             lock_weight: 0.6,
         };
-        let points: Vec<GammaPoint> =
-            (1..=64).map(|c| GammaPoint { c, gamma: mech.eval(c) }).collect();
+        let points: Vec<GammaPoint> = (1..=64)
+            .map(|c| GammaPoint {
+                c,
+                gamma: mech.eval(c),
+            })
+            .collect();
         let fit = fit_gamma(&points).unwrap();
         for c in [2usize, 8, 32, 64] {
             let err = (fit.model.eval(c) - mech.eval(c)).abs() / mech.eval(c);

@@ -22,15 +22,19 @@
 //! * [`params`] — the Table II parameter bundle used by predictions,
 //! * [`predict`] — closed-form latency predictions for every collective
 //!   algorithm in §IV–V,
+//! * [`cost`] — IR-walking costing for compiled schedules (the
+//!   compile+execute split in `kacc-collectives`),
 //! * [`extract`] — the Table III protocol that recovers α, β, l from
 //!   step-isolating `process_vm_readv` probes.
 
 pub mod arch;
+pub mod cost;
 pub mod extract;
 pub mod gamma;
 pub mod params;
 pub mod predict;
 
 pub use arch::{ArchProfile, FabricParams};
+pub use cost::{schedule_cost, step_cost, CostStep};
 pub use gamma::GammaModel;
 pub use params::ModelParams;

@@ -57,7 +57,8 @@ impl ModelParams {
 
     /// Effective per-byte copy cost with `c` concurrent copies.
     pub fn beta_shared(&self, c: usize) -> f64 {
-        self.beta_ns_per_byte.max(c.max(1) as f64 * self.node_bw_ns_per_byte)
+        self.beta_ns_per_byte
+            .max(c.max(1) as f64 * self.node_bw_ns_per_byte)
     }
 
     /// Cost of a local memcpy of `eta` bytes.
@@ -67,7 +68,10 @@ impl ModelParams {
 
     /// Cost of a local memcpy with `c` concurrent copies node-wide.
     pub fn t_memcpy_shared(&self, eta: usize, c: usize) -> f64 {
-        eta as f64 * self.memcpy_ns_per_byte.max(c.max(1) as f64 * self.node_bw_ns_per_byte)
+        eta as f64
+            * self
+                .memcpy_ns_per_byte
+                .max(c.max(1) as f64 * self.node_bw_ns_per_byte)
     }
 
     /// Cost of one control-plane point-to-point message of `bytes`.
@@ -155,7 +159,10 @@ mod tests {
     #[test]
     fn partial_page_rounds_up() {
         let p = params();
-        assert!(p.t_cma(1, 1) > p.alpha_ns + 99.0, "one byte still pins one page");
+        assert!(
+            p.t_cma(1, 1) > p.alpha_ns + 99.0,
+            "one byte still pins one page"
+        );
         assert!(
             p.t_cma(4097, 1) - p.t_cma(4096, 1) > 99.0,
             "crossing a page boundary adds a lock"

@@ -25,20 +25,12 @@ pub fn scatter_parallel_read(m: &ModelParams, p: usize, eta: usize) -> f64 {
 /// §IV-A2 Sequential Writes: the root writes each slice in turn;
 /// contention-free but serialized.
 /// `T = T_memcpy + T^sm_gather + (p−1)(α + ηβ + l·⌈η/s⌉) + T^sm_bcast`.
-pub fn scatter_sequential_write(
-    m: &ModelParams,
-    p: usize,
-    eta: usize,
-    in_place: bool,
-) -> f64 {
+pub fn scatter_sequential_write(m: &ModelParams, p: usize, eta: usize, in_place: bool) -> f64 {
     if p == 1 {
         return 0.0;
     }
     let memcpy = if in_place { 0.0 } else { m.t_memcpy(eta) };
-    memcpy
-        + m.t_sm_gather(p, ADDR_BYTES)
-        + (p - 1) as f64 * m.t_cma(eta, 1)
-        + m.t_sm_bcast(p, 0)
+    memcpy + m.t_sm_gather(p, ADDR_BYTES) + (p - 1) as f64 * m.t_cma(eta, 1) + m.t_sm_bcast(p, 0)
 }
 
 /// §IV-A3 Throttled Reads with throttle factor `k`: ⌈(p−1)/k⌉ waves of k
@@ -208,7 +200,8 @@ pub fn reduce_knomial_tree(m: &ModelParams, p: usize, eta: usize, k: usize) -> f
         return 0.0;
     }
     let levels = ceil_log_k(p, k) as f64;
-    let per_child = m.t_cma_shared(eta, 1, p / k.max(1)) + 2.0 * m.t_memcpy_shared(eta, p / k.max(1));
+    let per_child =
+        m.t_cma_shared(eta, 1, p / k.max(1)) + 2.0 * m.t_memcpy_shared(eta, p / k.max(1));
     levels * (k - 1) as f64 * per_child + m.t_memcpy(eta)
 }
 
@@ -274,9 +267,7 @@ mod tests {
         let m = knl();
         let p = 64;
         let eta = 1 << 10; // 1 KiB
-        assert!(
-            scatter_parallel_read(&m, p, eta) < scatter_sequential_write(&m, p, eta, true)
-        );
+        assert!(scatter_parallel_read(&m, p, eta) < scatter_sequential_write(&m, p, eta, true));
     }
 
     #[test]
@@ -286,9 +277,7 @@ mod tests {
         let m = knl();
         let p = 64;
         let eta = 4 << 20;
-        assert!(
-            scatter_sequential_write(&m, p, eta, true) < scatter_parallel_read(&m, p, eta)
-        );
+        assert!(scatter_sequential_write(&m, p, eta, true) < scatter_parallel_read(&m, p, eta));
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::pt2pt::Protocol;
 use crate::ptcoll;
 use kacc_collectives::{
     allgather as kacc_allgather, alltoall as kacc_alltoall, bcast as kacc_bcast,
-    gather as kacc_gather, scatter as kacc_scatter, AllgatherAlgo,
-    BcastAlgo, GatherAlgo, ScatterAlgo, Tuner,
+    gather as kacc_gather, scatter as kacc_scatter, AllgatherAlgo, BcastAlgo, GatherAlgo,
+    ScatterAlgo, Tuner,
 };
 use kacc_comm::{BufId, Comm, Result};
 
@@ -70,9 +70,7 @@ impl Library {
                     Protocol::ShmCopy
                 }
             }
-            Library::OpenMpi | Library::Kacc => {
-                Protocol::for_len(len, Self::RNDV_THRESHOLD)
-            }
+            Library::OpenMpi | Library::Kacc => Protocol::for_len(len, Self::RNDV_THRESHOLD),
         }
     }
 }
@@ -96,7 +94,14 @@ pub fn scatter<C: Comm + ?Sized>(
         }
         Library::OpenMpi => {
             // One-copy parallel reads, no throttling (Ma et al. style).
-            kacc_scatter(comm, ScatterAlgo::ParallelRead, sendbuf, recvbuf, count, root)
+            kacc_scatter(
+                comm,
+                ScatterAlgo::ParallelRead,
+                sendbuf,
+                recvbuf,
+                count,
+                root,
+            )
         }
         Library::Mvapich2 | Library::IntelMpi => {
             let rb = match recvbuf {
@@ -104,14 +109,7 @@ pub fn scatter<C: Comm + ?Sized>(
                 // pt2pt trees cannot leave the root's slice in place.
                 None => {
                     let tmp = comm.alloc(count);
-                    let r = ptcoll::scatter(
-                        comm,
-                        sendbuf,
-                        tmp,
-                        count,
-                        root,
-                        lib.pt_proto(count),
-                    );
+                    let r = ptcoll::scatter(comm, sendbuf, tmp, count, root, lib.pt_proto(count));
                     comm.free(tmp)?;
                     return r;
                 }
@@ -138,9 +136,14 @@ pub fn gather<C: Comm + ?Sized>(
             let algo = tuner.gather(p, count);
             kacc_gather(comm, algo, sendbuf, recvbuf, count, root)
         }
-        Library::OpenMpi => {
-            kacc_gather(comm, GatherAlgo::ParallelWrite, sendbuf, recvbuf, count, root)
-        }
+        Library::OpenMpi => kacc_gather(
+            comm,
+            GatherAlgo::ParallelWrite,
+            sendbuf,
+            recvbuf,
+            count,
+            root,
+        ),
         Library::Mvapich2 | Library::IntelMpi => {
             let sb = match sendbuf {
                 Some(sb) => sb,
@@ -149,8 +152,7 @@ pub fn gather<C: Comm + ?Sized>(
                     let rb = recvbuf.expect("root gather has recvbuf");
                     let tmp = comm.alloc(count);
                     comm.copy_local(rb, me * count, tmp, 0, count)?;
-                    let r =
-                        ptcoll::gather(comm, tmp, recvbuf, count, root, lib.pt_proto(count));
+                    let r = ptcoll::gather(comm, tmp, recvbuf, count, root, lib.pt_proto(count));
                     comm.free(tmp)?;
                     return r;
                 }
@@ -200,7 +202,13 @@ pub fn allgather<C: Comm + ?Sized>(
         }
         Library::OpenMpi => {
             // Neighbor-exchange kernel-assisted ring (Ma et al. style).
-            kacc_allgather(comm, AllgatherAlgo::RingNeighbor { j: 1 }, sendbuf, recvbuf, count)
+            kacc_allgather(
+                comm,
+                AllgatherAlgo::RingNeighbor { j: 1 },
+                sendbuf,
+                recvbuf,
+                count,
+            )
         }
         Library::Mvapich2 | Library::IntelMpi => {
             let sb = match sendbuf {
@@ -208,8 +216,7 @@ pub fn allgather<C: Comm + ?Sized>(
                 None => {
                     let tmp = comm.alloc(count);
                     comm.copy_local(recvbuf, me * count, tmp, 0, count)?;
-                    let r =
-                        ptcoll::allgather(comm, tmp, recvbuf, count, lib.pt_proto(count));
+                    let r = ptcoll::allgather(comm, tmp, recvbuf, count, lib.pt_proto(count));
                     comm.free(tmp)?;
                     return r;
                 }
@@ -258,8 +265,12 @@ mod tests {
     use kacc_machine::run_team;
     use kacc_model::ArchProfile;
 
-    const LIBS: [Library; 4] =
-        [Library::Kacc, Library::Mvapich2, Library::IntelMpi, Library::OpenMpi];
+    const LIBS: [Library; 4] = [
+        Library::Kacc,
+        Library::Mvapich2,
+        Library::IntelMpi,
+        Library::OpenMpi,
+    ];
 
     #[test]
     fn every_library_gathers_correctly() {

@@ -73,8 +73,7 @@ fn cts_tag(user: u16) -> Tag {
 /// cross-node CMA rendezvous deterministically resolve to the network
 /// rendezvous instead.
 fn effective<C: Comm + ?Sized>(comm: &C, peer: usize, proto: Protocol) -> Protocol {
-    if proto == Protocol::RendezvousCma && comm.node_of(peer) != comm.node_of(comm.rank())
-    {
+    if proto == Protocol::RendezvousCma && comm.node_of(peer) != comm.node_of(comm.rank()) {
         Protocol::NetRendezvous
     } else {
         proto
@@ -112,9 +111,7 @@ fn post_send<C: Comm + ?Sized>(
             rts.extend_from_slice(&(len as u64).to_le_bytes());
             comm.ctrl_send(to, rts_tag(tag), &rts)
         }
-        Protocol::NetRendezvous => {
-            comm.ctrl_send(to, rts_tag(tag), &(len as u64).to_le_bytes())
-        }
+        Protocol::NetRendezvous => comm.ctrl_send(to, rts_tag(tag), &(len as u64).to_le_bytes()),
     }
 }
 
@@ -162,7 +159,10 @@ fn serve_recv<C: Comm + ?Sized>(
             let rts = comm.ctrl_recv(from, rts_tag(tag))?;
             let (token, roff, rlen) = parse_rts(&rts)?;
             if rlen != len {
-                return Err(CommError::Truncated { wanted: len, got: rlen });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: rlen,
+                });
             }
             comm.cma_read(token, roff, buf, off, len)?;
             comm.ctrl_send(from, fin_tag(tag), &[])
@@ -174,7 +174,10 @@ fn serve_recv<C: Comm + ?Sized>(
             }
             let rlen = u64::from_le_bytes(rts.try_into().unwrap()) as usize;
             if rlen != len {
-                return Err(CommError::Truncated { wanted: len, got: rlen });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: rlen,
+                });
             }
             comm.ctrl_send(from, cts_tag(tag), &[])
         }
@@ -194,7 +197,10 @@ fn finish_recv<C: Comm + ?Sized>(
         Protocol::Eager => {
             let payload = comm.ctrl_recv(from, data_tag(tag))?;
             if payload.len() != len {
-                return Err(CommError::Truncated { wanted: len, got: payload.len() });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: payload.len(),
+                });
             }
             comm.write_local(buf, off, &payload)
         }
@@ -308,20 +314,19 @@ mod tests {
     fn rendezvous_downgrades_across_nodes() {
         // A CMA rendezvous between nodes must silently become a network
         // rendezvous and still deliver.
-        let (_, results) =
-            run_cluster(&ArchProfile::knl(), 2, 2, FabricParams::ib_edr(), |comm| {
-                if comm.rank() == 0 {
-                    let sb = comm.alloc_with(&[0x5A; 70_000]);
-                    send(comm, 3, 1, sb, 0, 70_000, Protocol::RendezvousCma).unwrap();
-                    Vec::new()
-                } else if comm.rank() == 3 {
-                    let rb = comm.alloc(70_000);
-                    recv(comm, 0, 1, rb, 0, 70_000, Protocol::RendezvousCma).unwrap();
-                    comm.read_all(rb).unwrap()
-                } else {
-                    Vec::new()
-                }
-            });
+        let (_, results) = run_cluster(&ArchProfile::knl(), 2, 2, FabricParams::ib_edr(), |comm| {
+            if comm.rank() == 0 {
+                let sb = comm.alloc_with(&[0x5A; 70_000]);
+                send(comm, 3, 1, sb, 0, 70_000, Protocol::RendezvousCma).unwrap();
+                Vec::new()
+            } else if comm.rank() == 3 {
+                let rb = comm.alloc(70_000);
+                recv(comm, 0, 1, rb, 0, 70_000, Protocol::RendezvousCma).unwrap();
+                comm.read_all(rb).unwrap()
+            } else {
+                Vec::new()
+            }
+        });
         assert_eq!(results[3], vec![0x5A; 70_000]);
     }
 
@@ -332,16 +337,15 @@ mod tests {
         let fabric = FabricParams::ib_edr();
         let alpha = fabric.alpha_ns as u64;
         let len = 64 * 1024;
-        let (rndv, _) =
-            run_cluster(&ArchProfile::knl(), 2, 1, fabric.clone(), move |comm| {
-                if comm.rank() == 0 {
-                    let sb = comm.alloc(len);
-                    send(comm, 1, 0, sb, 0, len, Protocol::RendezvousCma).unwrap();
-                } else {
-                    let rb = comm.alloc(len);
-                    recv(comm, 0, 0, rb, 0, len, Protocol::RendezvousCma).unwrap();
-                }
-            });
+        let (rndv, _) = run_cluster(&ArchProfile::knl(), 2, 1, fabric.clone(), move |comm| {
+            if comm.rank() == 0 {
+                let sb = comm.alloc(len);
+                send(comm, 1, 0, sb, 0, len, Protocol::RendezvousCma).unwrap();
+            } else {
+                let rb = comm.alloc(len);
+                recv(comm, 0, 0, rb, 0, len, Protocol::RendezvousCma).unwrap();
+            }
+        });
         let (push, _) = run_cluster(&ArchProfile::knl(), 2, 1, fabric, move |comm| {
             if comm.rank() == 0 {
                 let sb = comm.alloc(len);
@@ -436,8 +440,12 @@ mod tests {
         // network rendezvous, some to intra-node CMA.
         let p = 6;
         let len = 50_000;
-        let (_, results) =
-            run_cluster(&ArchProfile::knl(), 2, 3, FabricParams::ib_edr(), move |comm| {
+        let (_, results) = run_cluster(
+            &ArchProfile::knl(),
+            2,
+            3,
+            FabricParams::ib_edr(),
+            move |comm| {
                 let me = comm.rank();
                 let sb = comm.alloc_with(&vec![me as u8; len]);
                 let rb = comm.alloc(len);
@@ -456,7 +464,8 @@ mod tests {
                 )
                 .unwrap();
                 comm.read_all(rb).unwrap()
-            });
+            },
+        );
         for (me, got) in results.iter().enumerate() {
             assert_eq!(got[0] as usize, (me + p - 1) % p);
         }
@@ -480,7 +489,13 @@ mod tests {
                 let r = recv(comm, 0, 0, rb, 0, 128, Protocol::RendezvousCma);
                 // Release the sender (it blocks on FIN) before checking.
                 comm.ctrl_send(0, fin_tag(0), &[]).unwrap();
-                matches!(r, Err(CommError::Truncated { wanted: 128, got: 64 }))
+                matches!(
+                    r,
+                    Err(CommError::Truncated {
+                        wanted: 128,
+                        got: 64
+                    })
+                )
             }
         });
         assert!(results[1], "receiver must detect truncation");

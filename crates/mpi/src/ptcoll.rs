@@ -41,7 +41,11 @@ pub fn bcast<C: Comm + ?Sized>(
         let parent = v & (v - 1);
         pt2pt::recv(comm, unvrank(parent, root, p), 20, buf, 0, count, proto)?;
     }
-    let low = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+    let low = if v == 0 {
+        usize::MAX
+    } else {
+        v & v.wrapping_neg()
+    };
     // Forward to children, largest subtree first.
     let mut bits: Vec<usize> = Vec::new();
     let mut bit = 1usize;
@@ -94,8 +98,15 @@ pub fn scatter<C: Comm + ?Sized>(
             let child = span;
             if child < p {
                 let blocks = span.min(p - child);
-                pt2pt::send(comm, unvrank(child, root, p), 21, staged, child * count,
-                    blocks * count, proto)?;
+                pt2pt::send(
+                    comm,
+                    unvrank(child, root, p),
+                    21,
+                    staged,
+                    child * count,
+                    blocks * count,
+                    proto,
+                )?;
             }
         }
         comm.copy_local(staged, 0, recvbuf, 0, count)?;
@@ -162,11 +173,19 @@ pub fn gather<C: Comm + ?Sized>(
         return Ok(());
     }
     let v = vrank(me, root, p);
-    let span = if v == 0 { p.next_power_of_two() } else { v & v.wrapping_neg() };
+    let span = if v == 0 {
+        p.next_power_of_two()
+    } else {
+        v & v.wrapping_neg()
+    };
     let blocks = span.min(p.saturating_sub(v)).max(1);
 
     // Collect the subtree into staging (own block at offset 0).
-    let staged = if v == 0 || blocks > 1 { Some(comm.alloc(blocks * count)) } else { None };
+    let staged = if v == 0 || blocks > 1 {
+        Some(comm.alloc(blocks * count))
+    } else {
+        None
+    };
     let own_target = staged.unwrap_or(sendbuf);
     if staged.is_some() {
         comm.copy_local(sendbuf, 0, own_target, 0, count)?;
@@ -362,15 +381,14 @@ pub fn alltoall<C: Comm + ?Sized>(
 mod tests {
     use super::*;
     use kacc_collectives::verify::{
-        alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
-        scatter_expected, scatter_sendbuf,
+        alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected, scatter_expected,
+        scatter_sendbuf,
     };
     use kacc_comm::CommExt;
     use kacc_machine::run_team;
     use kacc_model::ArchProfile;
 
-    const PROTOS: [Protocol; 3] =
-        [Protocol::Eager, Protocol::ShmCopy, Protocol::RendezvousCma];
+    const PROTOS: [Protocol; 3] = [Protocol::Eager, Protocol::ShmCopy, Protocol::RendezvousCma];
 
     #[test]
     fn pt2pt_bcast_delivers() {
@@ -403,8 +421,7 @@ mod tests {
                     let (_, results) = run_team(&ArchProfile::broadwell(), p, move |comm| {
                         let me = comm.rank();
                         let rb = comm.alloc(count);
-                        let sb = (me == root)
-                            .then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+                        let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
                         scatter(comm, sb, rb, count, root, proto).unwrap();
                         comm.read_all(rb).unwrap()
                     });

@@ -53,9 +53,8 @@ pub fn cma_available() -> bool {
                 Ok(())
             } else {
                 let raw = comm.ctrl_recv(0, Tag::user(1))?;
-                let tok = kacc_comm::RemoteToken::from_bytes(&raw).ok_or(
-                    kacc_comm::CommError::Protocol("bad probe token".into()),
-                )?;
+                let tok = kacc_comm::RemoteToken::from_bytes(&raw)
+                    .ok_or(kacc_comm::CommError::Protocol("bad probe token".into()))?;
                 let dst = comm.alloc(4096);
                 comm.cma_read(tok, 0, dst, 0, 4096)?;
                 let data = comm.read_all(dst)?;

@@ -51,7 +51,15 @@ impl SharedLayout {
         let results = take(8 * RESULT_SLOTS);
         let rings = take(ring_bytes(RING_CAP) * p * p);
         let _total = at;
-        SharedLayout { p, barrier_count, barrier_gen, pids, errors, results, rings }
+        SharedLayout {
+            p,
+            barrier_count,
+            barrier_gen,
+            pids,
+            errors,
+            results,
+            rings,
+        }
     }
 
     fn total(&self) -> usize {
@@ -129,12 +137,7 @@ pub struct NativeComm {
 impl NativeComm {
     /// Attach rank `rank` of `p` to the shared control region, register
     /// our pid, and synchronize with the whole team.
-    pub fn attach(
-        shm: Arc<ShmRegion>,
-        layout: SharedLayout,
-        rank: usize,
-        p: usize,
-    ) -> NativeComm {
+    pub fn attach(shm: Arc<ShmRegion>, layout: SharedLayout, rank: usize, p: usize) -> NativeComm {
         assert_eq!(layout.p, p);
         // SAFETY: ring areas are disjoint, zeroed, and correctly sized;
         // each directed ring has exactly one producer and one consumer.
@@ -144,9 +147,7 @@ impl NativeComm {
             })
             .collect();
         let tx = (0..p)
-            .map(|to| unsafe {
-                SpscRing::attach(shm.at(layout.ring_off(to, rank), 0), RING_CAP)
-            })
+            .map(|to| unsafe { SpscRing::attach(shm.at(layout.ring_off(to, rank), 0), RING_CAP) })
             .collect();
         let comm = NativeComm {
             rank,
@@ -167,7 +168,8 @@ impl NativeComm {
             shm,
             layout,
         };
-        comm.pid_slot(rank).store(std::process::id() as i64, Ordering::SeqCst);
+        comm.pid_slot(rank)
+            .store(std::process::id() as i64, Ordering::SeqCst);
         // Wait for the whole team's pids before anyone communicates.
         for r in 0..p {
             while comm.pid_slot(r).load(Ordering::SeqCst) == 0 {
@@ -228,7 +230,12 @@ impl NativeComm {
     fn check(&self, buf: BufId, off: usize, len: usize) -> Result<()> {
         let cap = self.buf(buf)?.len();
         if off.checked_add(len).is_none_or(|end| end > cap) {
-            return Err(CommError::OutOfRange { buf: buf.0, off, len, cap });
+            return Err(CommError::OutOfRange {
+                buf: buf.0,
+                off,
+                len,
+                cap,
+            });
         }
         Ok(())
     }
@@ -244,7 +251,10 @@ impl NativeComm {
             }
             match self.rx[from].try_pop() {
                 Some((tag, payload)) => {
-                    self.pending.entry((from, tag)).or_default().push_back(payload);
+                    self.pending
+                        .entry((from, tag))
+                        .or_default()
+                        .push_back(payload);
                 }
                 None => {
                     std::hint::spin_loop();
@@ -331,8 +341,7 @@ impl Comm for NativeComm {
             b.copy_within(src_off..src_off + len, dst_off);
         } else {
             let data = self.buf(src)?[src_off..src_off + len].to_vec();
-            self.bufs.get_mut(&dst.0).unwrap()[dst_off..dst_off + len]
-                .copy_from_slice(&data);
+            self.bufs.get_mut(&dst.0).unwrap()[dst_off..dst_off + len].copy_from_slice(&data);
         }
         Ok(())
     }
@@ -340,7 +349,10 @@ impl Comm for NativeComm {
     fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
         let addr = self.buf(buf)?.as_ptr() as u64;
         self.exposed.insert(buf.0);
-        Ok(RemoteToken { rank: self.rank as u64, token: addr })
+        Ok(RemoteToken {
+            rank: self.rank as u64,
+            token: addr,
+        })
     }
 
     fn cma_read(
@@ -370,7 +382,10 @@ impl Comm for NativeComm {
             )
             .map_err(errno_of)?;
             if n == 0 {
-                return Err(CommError::Truncated { wanted: len, got: moved });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: moved,
+                });
             }
             moved += n;
         }
@@ -404,7 +419,10 @@ impl Comm for NativeComm {
             )
             .map_err(errno_of)?;
             if n == 0 {
-                return Err(CommError::Truncated { wanted: len, got: moved });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: moved,
+                });
             }
             moved += n;
         }
@@ -481,7 +499,10 @@ impl Comm for NativeComm {
         loop {
             let chunk = self.recv_keyed(from, key);
             if at + chunk.len() > len {
-                return Err(CommError::Truncated { wanted: len, got: at + chunk.len() });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: at + chunk.len(),
+                });
             }
             self.bufs.get_mut(&dst.0).unwrap()[off + at..off + at + chunk.len()]
                 .copy_from_slice(&chunk);
@@ -490,7 +511,10 @@ impl Comm for NativeComm {
                 return Ok(());
             }
             if chunk.is_empty() {
-                return Err(CommError::Truncated { wanted: len, got: at });
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: at,
+                });
             }
         }
     }

@@ -19,7 +19,7 @@
 //! (which runs on the calibrated simulator).
 
 use crate::team::{run_forked_collect, TeamError};
-use kacc_comm::{Comm, CommExt, CommError, RemoteToken, Tag};
+use kacc_comm::{Comm, CommError, CommExt, RemoteToken, Tag};
 use std::sync::atomic::Ordering;
 
 /// Parameters recovered from the running machine.
@@ -51,7 +51,12 @@ fn median(mut xs: Vec<f64>) -> f64 {
 
 /// One timed cross-process read of `pages` pages; the child allocates a
 /// fresh buffer per trial so pages are cold unless `warm`.
-fn timed_read(pages: usize, page_size: usize, warm: bool, trials: usize) -> Result<Vec<f64>, TeamError> {
+fn timed_read(
+    pages: usize,
+    page_size: usize,
+    warm: bool,
+    trials: usize,
+) -> Result<Vec<f64>, TeamError> {
     let raw = run_forked_collect(2, trials, move |comm| {
         let bytes = (pages * page_size).max(1);
         if comm.rank() == 0 {
@@ -69,8 +74,8 @@ fn timed_read(pages: usize, page_size: usize, warm: bool, trials: usize) -> Resu
             let dst = comm.alloc(bytes);
             for t in 0..trials {
                 let raw = comm.ctrl_recv(0, Tag::user(1))?;
-                let tok = RemoteToken::from_bytes(&raw)
-                    .ok_or(CommError::Protocol("bad token".into()))?;
+                let tok =
+                    RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad token".into()))?;
                 if warm {
                     // Touch once so the timed read hits pinned-warm pages.
                     comm.cma_read(tok, 0, dst, 0, bytes)?;
@@ -129,11 +134,7 @@ pub fn calibrate_native(trials: usize) -> Result<NativeCalibration, TeamError> {
 /// under-reports true contention (readers time-slice instead of
 /// spinning on the lock) — it exists to exercise the code path and give
 /// a lower bound.
-pub fn measure_native_gamma(
-    readers: usize,
-    pages: usize,
-    trials: usize,
-) -> Result<f64, TeamError> {
+pub fn measure_native_gamma(readers: usize, pages: usize, trials: usize) -> Result<f64, TeamError> {
     let page_size = 4096usize;
     let solo = median(one_to_all(1, pages, page_size, trials)?);
     let packed = median(one_to_all(readers, pages, page_size, trials)?);
@@ -166,12 +167,13 @@ fn one_to_all(
             let dst = comm.alloc(bytes);
             for t in 0..trials {
                 let raw = comm.ctrl_recv(0, Tag::user(1))?;
-                let tok = RemoteToken::from_bytes(&raw)
-                    .ok_or(CommError::Protocol("bad token".into()))?;
+                let tok =
+                    RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad token".into()))?;
                 let t0 = comm.time_ns();
                 comm.cma_read(tok, (me - 1) * bytes, dst, 0, bytes)?;
                 let dt = comm.time_ns() - t0;
-                comm.result_slot(t * readers + (me - 1)).store(dt.max(1), Ordering::SeqCst);
+                comm.result_slot(t * readers + (me - 1))
+                    .store(dt.max(1), Ordering::SeqCst);
                 comm.notify(0, Tag::user(2))?;
             }
             Ok(())

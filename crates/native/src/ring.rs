@@ -43,7 +43,10 @@ impl SpscRing {
     /// `base` must point to at least [`ring_bytes`]`(capacity)` bytes of
     /// zero-initialized memory shared between producer and consumer.
     pub unsafe fn attach(base: *mut u8, capacity: usize) -> SpscRing {
-        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
         SpscRing { base, capacity }
     }
 
@@ -59,13 +62,18 @@ impl SpscRing {
 
     fn slot(&self, pos: u64) -> *mut u8 {
         // SAFETY: pos is reduced modulo capacity.
-        unsafe { self.base.add(DATA_OFF + (pos as usize & (self.capacity - 1))) }
+        unsafe {
+            self.base
+                .add(DATA_OFF + (pos as usize & (self.capacity - 1)))
+        }
     }
 
     /// Copy `bytes` into the ring starting at logical position `pos`,
     /// wrapping as needed.
     fn write_wrapped(&self, pos: u64, bytes: &[u8]) {
-        let first = bytes.len().min(self.capacity - (pos as usize & (self.capacity - 1)));
+        let first = bytes
+            .len()
+            .min(self.capacity - (pos as usize & (self.capacity - 1)));
         // SAFETY: both pieces are in-bounds of the data area.
         unsafe {
             std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.slot(pos), first);
@@ -80,7 +88,9 @@ impl SpscRing {
     }
 
     fn read_wrapped(&self, pos: u64, out: &mut [u8]) {
-        let first = out.len().min(self.capacity - (pos as usize & (self.capacity - 1)));
+        let first = out
+            .len()
+            .min(self.capacity - (pos as usize & (self.capacity - 1)));
         // SAFETY: in-bounds as above.
         unsafe {
             std::ptr::copy_nonoverlapping(self.slot(pos), out.as_mut_ptr(), first);
@@ -134,7 +144,8 @@ impl SpscRing {
         let tag = u32::from_le_bytes(hdr[4..].try_into().unwrap());
         let mut payload = vec![0u8; len];
         self.read_wrapped(head + HDR as u64, &mut payload);
-        self.head().store(head + (HDR + pad8(len)) as u64, Ordering::Release);
+        self.head()
+            .store(head + (HDR + pad8(len)) as u64, Ordering::Release);
         Some((tag, payload))
     }
 

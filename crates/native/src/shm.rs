@@ -33,9 +33,14 @@ impl ShmRegion {
             )
         };
         if ptr == libc::MAP_FAILED {
-            return Err(CommError::Os(std::io::Error::last_os_error().raw_os_error().unwrap_or(0)));
+            return Err(CommError::Os(
+                std::io::Error::last_os_error().raw_os_error().unwrap_or(0),
+            ));
         }
-        Ok(ShmRegion { ptr: NonNull::new(ptr as *mut u8).unwrap(), len })
+        Ok(ShmRegion {
+            ptr: NonNull::new(ptr as *mut u8).unwrap(),
+            len,
+        })
     }
 
     /// Length of the mapping.

@@ -61,8 +61,7 @@ where
 {
     assert!(p >= 1);
     let shm = Arc::new(
-        ShmRegion::new(layout_bytes(p))
-            .map_err(|e| TeamError::Setup(format!("shm: {e}")))?,
+        ShmRegion::new(layout_bytes(p)).map_err(|e| TeamError::Setup(format!("shm: {e}")))?,
     );
     let layout = SharedLayout::new(p);
 
@@ -101,7 +100,11 @@ where
             let msg = layout.read_error(&shm, rank);
             failures.push((
                 rank,
-                if msg.is_empty() { format!("exit status {status:#x}") } else { msg },
+                if msg.is_empty() {
+                    format!("exit status {status:#x}")
+                } else {
+                    msg
+                },
             ));
         }
     }
@@ -118,13 +121,7 @@ where
     }
 }
 
-fn child_main<F>(
-    rank: usize,
-    p: usize,
-    shm: &Arc<ShmRegion>,
-    layout: &SharedLayout,
-    f: &F,
-) -> i32
+fn child_main<F>(rank: usize, p: usize, shm: &Arc<ShmRegion>, layout: &SharedLayout, f: &F) -> i32
 where
     F: Fn(&mut NativeComm) -> Result<()>,
 {

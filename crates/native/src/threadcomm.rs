@@ -41,7 +41,12 @@ impl ThreadComm {
     fn check(&self, buf: BufId, off: usize, len: usize) -> Result<usize> {
         let cap = self.buf_len(buf)?;
         if off.checked_add(len).is_none_or(|end| end > cap) {
-            return Err(CommError::OutOfRange { buf: buf.0, off, len, cap });
+            return Err(CommError::OutOfRange {
+                buf: buf.0,
+                off,
+                len,
+                cap,
+            });
         }
         Ok(cap)
     }
@@ -78,12 +83,19 @@ where
                 let hub = Arc::clone(&hub);
                 let f = &f;
                 scope.spawn(move || {
-                    let mut comm = ThreadComm { hub, rank, next_buf: 1 };
+                    let mut comm = ThreadComm {
+                        hub,
+                        rank,
+                        next_buf: 1,
+                    };
                     f(&mut comm)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
     })
 }
 
@@ -165,11 +177,20 @@ impl Comm for ThreadComm {
     }
 
     fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
-        if !self.hub.bufs.lock().unwrap().contains_key(&(self.rank, buf.0)) {
+        if !self
+            .hub
+            .bufs
+            .lock()
+            .unwrap()
+            .contains_key(&(self.rank, buf.0))
+        {
             return Err(CommError::InvalidBuffer(buf.0));
         }
         self.hub.exposed.lock().unwrap().insert((self.rank, buf.0));
-        Ok(RemoteToken { rank: self.rank as u64, token: buf.0 })
+        Ok(RemoteToken {
+            rank: self.rank as u64,
+            token: buf.0,
+        })
     }
 
     fn cma_read(
@@ -184,7 +205,13 @@ impl Comm for ThreadComm {
         if peer >= self.hub.p {
             return Err(CommError::BadRank(peer));
         }
-        if !self.hub.exposed.lock().unwrap().contains(&(peer, token.token)) {
+        if !self
+            .hub
+            .exposed
+            .lock()
+            .unwrap()
+            .contains(&(peer, token.token))
+        {
             return Err(CommError::PermissionDenied);
         }
         self.check(dst, dst_off, len)?;
@@ -219,7 +246,13 @@ impl Comm for ThreadComm {
         if peer >= self.hub.p {
             return Err(CommError::BadRank(peer));
         }
-        if !self.hub.exposed.lock().unwrap().contains(&(peer, token.token)) {
+        if !self
+            .hub
+            .exposed
+            .lock()
+            .unwrap()
+            .contains(&(peer, token.token))
+        {
             return Err(CommError::PermissionDenied);
         }
         self.check(src, src_off, len)?;
@@ -247,7 +280,9 @@ impl Comm for ThreadComm {
             return Err(CommError::BadRank(to));
         }
         let mut mail = self.hub.mail.lock().unwrap();
-        mail.entry((to, self.rank, tag.0)).or_default().push_back(data.to_vec());
+        mail.entry((to, self.rank, tag.0))
+            .or_default()
+            .push_back(data.to_vec());
         self.hub.mail_cv.notify_all();
         Ok(())
     }
@@ -291,7 +326,10 @@ impl Comm for ThreadComm {
     ) -> Result<()> {
         let payload = self.ctrl_recv(from, Tag(tag.0 | 0x8000_0000))?;
         if payload.len() != len {
-            return Err(CommError::Truncated { wanted: len, got: payload.len() });
+            return Err(CommError::Truncated {
+                wanted: len,
+                got: payload.len(),
+            });
         }
         self.write_local(dst, off, &payload)
     }
@@ -339,8 +377,7 @@ mod tests {
                 let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
                 let id = u64::from_le_bytes(raw.try_into().unwrap());
                 let dst = comm.alloc(64);
-                let err =
-                    comm.cma_read(RemoteToken { rank: 0, token: id }, 0, dst, 0, 64);
+                let err = comm.cma_read(RemoteToken { rank: 0, token: id }, 0, dst, 0, 64);
                 comm.notify(0, Tag::user(2)).unwrap();
                 err == Err(CommError::PermissionDenied)
             }
@@ -354,7 +391,8 @@ mod tests {
             if comm.rank() == 0 {
                 let data: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
                 let b = comm.alloc_with(&data);
-                comm.shm_send_data(1, Tag::user(3), b, 0, data.len()).unwrap();
+                comm.shm_send_data(1, Tag::user(3), b, 0, data.len())
+                    .unwrap();
                 Vec::new()
             } else {
                 let b = comm.alloc(100_000);

@@ -5,14 +5,14 @@
 //! while this test binary has no other test threads mid-allocation.
 
 use kacc_collectives::verify::{
-    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
-    scatter_expected, scatter_sendbuf,
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected, scatter_expected,
+    scatter_sendbuf,
 };
 use kacc_collectives::{
     allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,
     GatherAlgo, ScatterAlgo,
 };
-use kacc_comm::{Comm, CommExt, CommError};
+use kacc_comm::{Comm, CommError, CommExt};
 use kacc_native::{cma_available, run_forked};
 
 fn proto_err(msg: String) -> CommError {

@@ -77,9 +77,7 @@ fn gather_body<C: Comm + ?Sized>(
         MultiNodeStrategy::SingleLevel => {
             ptcoll::gather_direct(comm, sb, rb, count, 0, single_level_proto(count))
         }
-        MultiNodeStrategy::TwoLevel { k } => {
-            hier_gather(comm, Some(sb), rb, count, 0, k)
-        }
+        MultiNodeStrategy::TwoLevel { k } => hier_gather(comm, Some(sb), rb, count, 0, k),
         MultiNodeStrategy::TwoLevelPipelined { k } => {
             hier_gather_pipelined(comm, Some(sb), rb, count, 0, k)
         }
@@ -135,7 +133,9 @@ mod tests {
     #[test]
     fn cluster_placement_is_block_distributed() {
         let (_, nodes) = run_cluster(&mini_arch(), 3, 4, FabricParams::ib_edr(), |comm| {
-            (0..comm.size()).map(|r| comm.node_of(r)).collect::<Vec<_>>()
+            (0..comm.size())
+                .map(|r| comm.node_of(r))
+                .collect::<Vec<_>>()
         });
         for per_rank in &nodes {
             assert_eq!(per_rank, &vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
@@ -148,7 +148,8 @@ mod tests {
             if comm.rank() == 0 {
                 let b = comm.alloc(64);
                 let tok = comm.expose(b).unwrap();
-                comm.ctrl_send(2, kacc_comm::Tag::user(1), &tok.to_bytes()).unwrap();
+                comm.ctrl_send(2, kacc_comm::Tag::user(1), &tok.to_bytes())
+                    .unwrap();
                 comm.wait_notify(2, kacc_comm::Tag::user(2)).unwrap();
                 true
             } else if comm.rank() == 2 {
@@ -168,15 +169,14 @@ mod tests {
     #[test]
     fn hier_gather_is_correct_across_nodes() {
         let count = 3000;
-        let (run, results) =
-            run_cluster(&mini_arch(), 2, 4, FabricParams::ib_edr(), move |comm| {
-                let me = comm.rank();
-                let p = comm.size();
-                let sb = comm.alloc_with(&contribution(me, count));
-                let rb = (me == 0).then(|| comm.alloc(p * count));
-                hier_gather(comm, Some(sb), rb, count, 0, 2).unwrap();
-                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
-            });
+        let (run, results) = run_cluster(&mini_arch(), 2, 4, FabricParams::ib_edr(), move |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == 0).then(|| comm.alloc(p * count));
+            hier_gather(comm, Some(sb), rb, count, 0, 2).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        });
         if let Some(d) = diff(&results[0], &gather_expected(8, count)) {
             panic!("hier gather: {d}");
         }
@@ -187,18 +187,15 @@ mod tests {
     fn hier_scatter_is_correct_across_nodes() {
         let count = 2000;
         let p = 9;
-        let (_, results) =
-            run_cluster(&mini_arch(), 3, 3, FabricParams::ib_edr(), move |comm| {
-                let me = comm.rank();
-                let sb = (me == 0).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
-                let rb = comm.alloc(count);
-                hier_scatter(comm, sb, Some(rb), count, 0, 2).unwrap();
-                comm.read_all(rb).unwrap()
-            });
+        let (_, results) = run_cluster(&mini_arch(), 3, 3, FabricParams::ib_edr(), move |comm| {
+            let me = comm.rank();
+            let sb = (me == 0).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            hier_scatter(comm, sb, Some(rb), count, 0, 2).unwrap();
+            comm.read_all(rb).unwrap()
+        });
         for (r, got) in results.iter().enumerate() {
-            if let Some(d) =
-                diff(got, &kacc_collectives::verify::scatter_expected(r, count))
-            {
+            if let Some(d) = diff(got, &kacc_collectives::verify::scatter_expected(r, count)) {
                 panic!("hier scatter rank {r}: {d}");
             }
         }
@@ -207,16 +204,14 @@ mod tests {
     #[test]
     fn single_level_gather_is_correct_across_nodes() {
         let count = 1500;
-        let (_, results) =
-            run_cluster(&mini_arch(), 2, 3, FabricParams::ib_edr(), move |comm| {
-                let me = comm.rank();
-                let p = comm.size();
-                let sb = comm.alloc_with(&contribution(me, count));
-                let rb = (me == 0).then(|| comm.alloc(p * count));
-                ptcoll::gather_direct(comm, sb, rb, count, 0, single_level_proto(count))
-                    .unwrap();
-                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
-            });
+        let (_, results) = run_cluster(&mini_arch(), 2, 3, FabricParams::ib_edr(), move |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == 0).then(|| comm.alloc(p * count));
+            ptcoll::gather_direct(comm, sb, rb, count, 0, single_level_proto(count)).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        });
         if let Some(d) = diff(&results[0], &gather_expected(6, count)) {
             panic!("single-level gather: {d}");
         }
@@ -227,23 +222,15 @@ mod tests {
         let count = 48 * 1024;
         let rpn = 8;
         // Correctness with data verification.
-        let (_, results) =
-            run_cluster(&mini_arch(), 2, rpn, FabricParams::ib_edr(), move |comm| {
-                let me = comm.rank();
-                let p = comm.size();
-                let sb = comm.alloc_with(&contribution(me, 512));
-                let rb = (me == 0).then(|| comm.alloc(p * 512));
-                kacc_collectives::hierarchical::hier_gather_pipelined(
-                    comm,
-                    Some(sb),
-                    rb,
-                    512,
-                    0,
-                    3,
-                )
+        let (_, results) = run_cluster(&mini_arch(), 2, rpn, FabricParams::ib_edr(), move |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let sb = comm.alloc_with(&contribution(me, 512));
+            let rb = (me == 0).then(|| comm.alloc(p * 512));
+            kacc_collectives::hierarchical::hier_gather_pipelined(comm, Some(sb), rb, 512, 0, 3)
                 .unwrap();
-                rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
-            });
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        });
         if let Some(d) = diff(&results[0], &gather_expected(2 * rpn, 512)) {
             panic!("pipelined hier gather: {d}");
         }
@@ -300,7 +287,10 @@ mod tests {
                 MultiNodeStrategy::TwoLevel { k: 4 },
             )
             .end_ns;
-            assert!(two < single, "{nodes} nodes: two-level {two} !< single {single}");
+            assert!(
+                two < single,
+                "{nodes} nodes: two-level {two} !< single {single}"
+            );
             improvements.push(single as f64 / two as f64);
         }
         assert!(

@@ -32,8 +32,11 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
     assert_eq!(observed.len(), predicted.len());
     let mean = observed.iter().sum::<f64>() / observed.len() as f64;
     let ss_tot: f64 = observed.iter().map(|y| (y - mean).powi(2)).sum();
-    let ss_res: f64 =
-        observed.iter().zip(predicted).map(|(y, f)| (y - f).powi(2)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, f)| (y - f).powi(2))
+        .sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             1.0

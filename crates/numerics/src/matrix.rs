@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of shape `rows x cols`.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -44,7 +48,11 @@ impl Matrix {
 
     /// Build a column vector.
     pub fn col_vec(v: &[f64]) -> Matrix {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -89,9 +97,17 @@ impl Matrix {
     /// `self + scale * rhs` (same shape).
     pub fn add_scaled(&self, rhs: &Matrix, scale: f64) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data =
-            self.data.iter().zip(&rhs.data).map(|(a, b)| a + scale * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + scale * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Solve `self * x = b` for a square system via LU with partial
@@ -249,7 +265,9 @@ mod tests {
         // Deterministic pseudo-random fill; verify A*x ≈ b.
         let mut seed = 0x1234_5678_u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for n in 1..8 {

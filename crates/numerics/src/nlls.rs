@@ -78,7 +78,10 @@ fn residuals<F: Fn(f64, &[f64]) -> f64>(
     ys: &[f64],
     params: &[f64],
 ) -> Vec<f64> {
-    xs.iter().zip(ys).map(|(&x, &y)| y - model(x, params)).collect()
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| y - model(x, params))
+        .collect()
 }
 
 fn ssr(res: &[f64]) -> f64 {
@@ -154,8 +157,11 @@ pub fn levenberg_marquardt<F: Fn(f64, &[f64]) -> f64>(
                 lambda_tries += 1;
                 continue;
             };
-            let trial: Vec<f64> =
-                params.iter().enumerate().map(|(j, p)| p - delta[(j, 0)]).collect();
+            let trial: Vec<f64> = params
+                .iter()
+                .enumerate()
+                .map(|(j, p)| p - delta[(j, 0)])
+                .collect();
             let trial_res = residuals(&model, xs, ys, &trial);
             let trial_ssr = ssr(&trial_res);
             if trial_ssr.is_finite() && trial_ssr < current_ssr {
@@ -167,7 +173,11 @@ pub fn levenberg_marquardt<F: Fn(f64, &[f64]) -> f64>(
                 lambda = (lambda / opts.lambda_scale).max(1e-12);
                 improved = true;
                 if rel_drop < opts.ftol || step < opts.xtol {
-                    return Ok(LmReport { params, ssr: current_ssr, iterations: iter });
+                    return Ok(LmReport {
+                        params,
+                        ssr: current_ssr,
+                        iterations: iter,
+                    });
                 }
                 break;
             }
@@ -180,10 +190,18 @@ pub fn levenberg_marquardt<F: Fn(f64, &[f64]) -> f64>(
             // treat the current point as converged if the residual is
             // already tiny, otherwise report.
             if current_ssr < 1e-20 {
-                return Ok(LmReport { params, ssr: current_ssr, iterations: iter });
+                return Ok(LmReport {
+                    params,
+                    ssr: current_ssr,
+                    iterations: iter,
+                });
             }
             return if lambda_tries >= 32 && current_ssr.is_finite() {
-                Ok(LmReport { params, ssr: current_ssr, iterations: iter })
+                Ok(LmReport {
+                    params,
+                    ssr: current_ssr,
+                    iterations: iter,
+                })
             } else {
                 Err(NllsError::Singular)
             };
@@ -203,8 +221,7 @@ mod tests {
         let model = |x: f64, p: &[f64]| p[0] * (-p[1] * x).exp();
         let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.2).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| 5.0 * (-0.3 * x).exp()).collect();
-        let fit =
-            levenberg_marquardt(model, &xs, &ys, &[1.0, 1.0], LmOptions::default()).unwrap();
+        let fit = levenberg_marquardt(model, &xs, &ys, &[1.0, 1.0], LmOptions::default()).unwrap();
         assert!((fit.params[0] - 5.0).abs() < 1e-6, "a = {}", fit.params[0]);
         assert!((fit.params[1] - 0.3).abs() < 1e-6, "b = {}", fit.params[1]);
     }
@@ -215,8 +232,7 @@ mod tests {
         let model = |c: f64, p: &[f64]| p[0] * c * c + p[1] * c;
         let cs: Vec<f64> = (1..=64).map(|c| c as f64).collect();
         let ys: Vec<f64> = cs.iter().map(|&c| 0.1 * c * c + 1.6 * c).collect();
-        let fit =
-            levenberg_marquardt(model, &cs, &ys, &[0.01, 0.5], LmOptions::default()).unwrap();
+        let fit = levenberg_marquardt(model, &cs, &ys, &[0.01, 0.5], LmOptions::default()).unwrap();
         assert!((fit.params[0] - 0.1).abs() < 1e-8);
         assert!((fit.params[1] - 1.6).abs() < 1e-7);
     }
@@ -229,12 +245,9 @@ mod tests {
         let ys: Vec<f64> = xs
             .iter()
             .enumerate()
-            .map(|(i, &x)| {
-                (0.05 * x * x + 0.8 * x) * if i % 2 == 0 { 1.01 } else { 0.99 }
-            })
+            .map(|(i, &x)| (0.05 * x * x + 0.8 * x) * if i % 2 == 0 { 1.01 } else { 0.99 })
             .collect();
-        let fit =
-            levenberg_marquardt(model, &xs, &ys, &[1.0, 1.0], LmOptions::default()).unwrap();
+        let fit = levenberg_marquardt(model, &xs, &ys, &[1.0, 1.0], LmOptions::default()).unwrap();
         assert!((fit.params[0] - 0.05).abs() < 0.005);
         assert!((fit.params[1] - 0.8).abs() < 0.2);
     }
@@ -260,8 +273,8 @@ mod tests {
         let model = |x: f64, p: &[f64]| p[0] * x * x + p[1] * x;
         let xs: Vec<f64> = (1..=32).map(|c| c as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&c| 0.04 * c * c + 0.4 * c).collect();
-        let fit = levenberg_marquardt(model, &xs, &ys, &[100.0, -50.0], LmOptions::default())
-            .unwrap();
+        let fit =
+            levenberg_marquardt(model, &xs, &ys, &[100.0, -50.0], LmOptions::default()).unwrap();
         assert!((fit.params[0] - 0.04).abs() < 1e-6);
         assert!((fit.params[1] - 0.4).abs() < 1e-5);
     }

@@ -14,7 +14,10 @@ impl Polynomial {
     /// Build from ascending-degree coefficients. Trailing zeros are kept
     /// (degree is structural, not numerical).
     pub fn new(coeffs: Vec<f64>) -> Polynomial {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -61,8 +64,12 @@ mod tests {
     fn horner_matches_naive() {
         let p = Polynomial::new(vec![1.0, -2.0, 0.5, 3.0]);
         for x in [-2.0f64, -0.5, 0.0, 1.0, 2.5] {
-            let naive: f64 =
-                p.coeffs().iter().enumerate().map(|(k, c)| c * x.powi(k as i32)).sum();
+            let naive: f64 = p
+                .coeffs()
+                .iter()
+                .enumerate()
+                .map(|(k, c)| c * x.powi(k as i32))
+                .sum();
             assert!((p.eval(x) - naive).abs() < 1e-12);
         }
     }

@@ -202,7 +202,6 @@ impl<S> Kernel<S> {
             return;
         }
     }
-
 }
 
 /// Per-thread context handed to simulated-process closures.
@@ -213,7 +212,10 @@ pub struct Ctx<S: Send + 'static> {
 
 impl<S: Send + 'static> Clone for Ctx<S> {
     fn clone(&self) -> Self {
-        Ctx { kernel: Arc::clone(&self.kernel), tid: self.tid }
+        Ctx {
+            kernel: Arc::clone(&self.kernel),
+            tid: self.tid,
+        }
     }
 }
 
@@ -264,7 +266,9 @@ impl<S: Send + 'static> Ctx<S> {
                 drop(guard);
                 panic!("simulation aborted: {msg}");
             }
-            let mut waker = Waker { pending: Vec::new() };
+            let mut waker = Waker {
+                pending: Vec::new(),
+            };
             let now = guard.now;
             let st = &mut *guard;
             let outcome = f(&mut st.user, &mut waker, now);
@@ -325,7 +329,11 @@ pub struct Sim<S: Send + 'static> {
 impl<S: Send + 'static> Sim<S> {
     /// Create a simulation owning the shared machine state.
     pub fn new(state: S) -> Sim<S> {
-        Sim { state: Some(state), pending: Vec::new(), trace: false }
+        Sim {
+            state: Some(state),
+            pending: Vec::new(),
+            trace: false,
+        }
     }
 
     /// Record every scheduler dispatch into [`RunReport::trace`]
@@ -398,7 +406,10 @@ impl<S: Send + 'static> Sim<S> {
                     guard.threads[tid].go = false;
                     guard.threads[tid].phase = ThreadPhase::Running;
                 }
-                let ctx = Ctx { kernel: Arc::clone(&kernel), tid };
+                let ctx = Ctx {
+                    kernel: Arc::clone(&kernel),
+                    tid,
+                };
                 let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
                 let mut guard = kernel.state.lock();
                 let st = &mut *guard;
@@ -412,8 +423,7 @@ impl<S: Send + 'static> Sim<S> {
                         .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
                         .unwrap_or_else(|| "non-string panic".to_string());
                     if st.panic_msg.is_none() {
-                        st.panic_msg =
-                            Some(format!("simulated thread {tid} panicked: {msg}"));
+                        st.panic_msg = Some(format!("simulated thread {tid} panicked: {msg}"));
                     }
                     st.all_done = true;
                     kernel.cvs[st.threads.len()].notify_all();
@@ -437,7 +447,9 @@ impl<S: Send + 'static> Sim<S> {
             let _ = h.join();
         }
 
-        let k = Arc::try_unwrap(kernel).ok().expect("all ctxs dropped at join");
+        let k = Arc::try_unwrap(kernel)
+            .ok()
+            .expect("all ctxs dropped at join");
         let st = k.state.into_inner();
         if let Some(msg) = st.panic_msg {
             panic!("{msg}");
@@ -600,8 +612,16 @@ mod tests {
     #[test]
     fn chrome_export_is_wellformed() {
         let trace = vec![
-            TraceEvent { at: 1000, tid: 0, label: "advance" },
-            TraceEvent { at: 2500, tid: 3, label: "pin:wait" },
+            TraceEvent {
+                at: 1000,
+                tid: 0,
+                label: "advance",
+            },
+            TraceEvent {
+                at: 2500,
+                tid: 3,
+                label: "pin:wait",
+            },
         ];
         let json = trace_to_chrome_json(&trace);
         assert!(json.starts_with('[') && json.ends_with(']'));

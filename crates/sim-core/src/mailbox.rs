@@ -52,7 +52,10 @@ impl Mailboxes {
         payload: Vec<u8>,
     ) {
         let key = (to, from, tag);
-        self.queues.entry(key).or_default().push_back((arrival, payload));
+        self.queues
+            .entry(key)
+            .or_default()
+            .push_back((arrival, payload));
         self.deposited += 1;
         if let Some(&tid) = self.waiters.get(&key) {
             waker.wake_at(tid, arrival);
@@ -76,17 +79,22 @@ impl Mailboxes {
         let key = (to, from, tag);
         // Peek the head's arrival without cloning the payload (bulk
         // messages can be megabytes).
-        match self.queues.get_mut(&key).and_then(|q| q.front().map(|(a, _)| *a)) {
+        match self
+            .queues
+            .get_mut(&key)
+            .and_then(|q| q.front().map(|(a, _)| *a))
+        {
             Some(arrival) if arrival <= now => {
-                let (_, payload) =
-                    self.queues.get_mut(&key).unwrap().pop_front().unwrap();
+                let (_, payload) = self.queues.get_mut(&key).unwrap().pop_front().unwrap();
                 self.waiters.remove(&key);
                 self.delivered += 1;
                 Poll::Ready(payload)
             }
             Some(arrival) => {
                 self.register(key, tid);
-                Poll::Wait { wake_at: Some(arrival) }
+                Poll::Wait {
+                    wake_at: Some(arrival),
+                }
             }
             None => {
                 self.register(key, tid);
@@ -153,10 +161,15 @@ mod tests {
         sim.spawn(|ctx| {
             ctx.advance(1000);
             let tid = ctx.tid();
-            let msg =
-                ctx.poll("recv", move |m: &mut Mailboxes, _w, now| m.take(tid, 1, 0, 0, now));
+            let msg = ctx.poll("recv", move |m: &mut Mailboxes, _w, now| {
+                m.take(tid, 1, 0, 0, now)
+            });
             assert_eq!(msg, vec![42]);
-            assert_eq!(ctx.now(), 1000, "no extra wait when message already arrived");
+            assert_eq!(
+                ctx.now(),
+                1000,
+                "no extra wait when message already arrived"
+            );
         });
         sim.run();
     }
@@ -176,8 +189,9 @@ mod tests {
         sim.spawn(|ctx| {
             let tid = ctx.tid();
             for i in 0..5u8 {
-                let msg = ctx
-                    .poll("recv", move |m: &mut Mailboxes, _w, now| m.take(tid, 1, 0, 3, now));
+                let msg = ctx.poll("recv", move |m: &mut Mailboxes, _w, now| {
+                    m.take(tid, 1, 0, 3, now)
+                });
                 assert_eq!(msg, vec![i]);
             }
         });

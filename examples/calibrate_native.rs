@@ -18,17 +18,31 @@ fn main() {
         eprintln!("cross-process CMA unavailable (ptrace scope?); cannot calibrate");
         return;
     }
-    let trials: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(9);
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(9);
 
     println!("calibrating this machine's kernel-assisted copy path ({trials} trials)\n");
     match calibrate_native(trials) {
         Ok(cal) => {
             println!("  page size     : {} B", cal.page_size);
-            println!("  alpha         : {:.2} us  (paper Table IV: 0.75-1.43 us)", cal.alpha_ns / 1e3);
-            println!("  beta          : {:.2} GB/s (paper Table IV: 3.1-3.7 GB/s)", cal.bandwidth_gbps());
-            println!("  page slope    : {:.3} us/page (cold, = l + s*beta)", cal.page_slope_ns / 1e3);
-            println!("  l (lock+pin)  : {:.3} us/page (paper Table IV: 0.11-0.53 us)", cal.l_ns / 1e3);
+            println!(
+                "  alpha         : {:.2} us  (paper Table IV: 0.75-1.43 us)",
+                cal.alpha_ns / 1e3
+            );
+            println!(
+                "  beta          : {:.2} GB/s (paper Table IV: 3.1-3.7 GB/s)",
+                cal.bandwidth_gbps()
+            );
+            println!(
+                "  page slope    : {:.3} us/page (cold, = l + s*beta)",
+                cal.page_slope_ns / 1e3
+            );
+            println!(
+                "  l (lock+pin)  : {:.3} us/page (paper Table IV: 0.11-0.53 us)",
+                cal.l_ns / 1e3
+            );
         }
         Err(e) => {
             eprintln!("calibration failed: {e}");

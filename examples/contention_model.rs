@@ -33,11 +33,17 @@ fn main() {
     println!("\nderived model parameters (paper Table IV analogues):");
     println!("  alpha = {:.2} us", ex.alpha_ns / 1e3);
     println!("  beta  = {:.2} GB/s", ex.bandwidth_gbps());
-    println!("  l     = {:.3} us/page (s = {} B)", ex.l_ns / 1e3, arch.page_size);
+    println!(
+        "  l     = {:.3} us/page (s = {} B)",
+        ex.l_ns / 1e3,
+        arch.page_size
+    );
 
     // Fig 5: gamma measurement + NLLS fit.
-    let readers: Vec<usize> =
-        [2usize, 4, 8, 16, 32, 64].into_iter().filter(|&r| r < arch.default_procs).collect();
+    let readers: Vec<usize> = [2usize, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&r| r < arch.default_procs)
+        .collect();
     let points = measure_gamma(&mut probe, &readers, &[10, 50, 100]);
     println!("\ncontention factor (averaged over 10/50/100-page probes):");
     for pt in &points {
@@ -45,7 +51,10 @@ fn main() {
     }
     let fit = fit_gamma(&points).expect("gamma fit");
     if let GammaModel::Quadratic { a, b } = fit.model {
-        println!("  NLLS best fit: gamma(c) = {a:.4} c^2 + {b:.4} c  (ssr {:.2})", fit.ssr);
+        println!(
+            "  NLLS best fit: gamma(c) = {a:.4} c^2 + {b:.4} c  (ssr {:.2})",
+            fit.ssr
+        );
     }
 
     // What the tuner concludes.

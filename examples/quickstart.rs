@@ -16,7 +16,10 @@ fn main() {
     let count = 1 << 20; // 1 MiB per rank
     let tuner = Tuner::new(&arch);
     let algo = tuner.gather(p, count);
-    println!("simulating MPI_Gather of {count} B x {p} ranks on {}", arch.name);
+    println!(
+        "simulating MPI_Gather of {count} B x {p} ranks on {}",
+        arch.name
+    );
     println!("tuner selected: {algo:?}");
 
     // Every rank contributes a rank-stamped pattern; rank 0 collects.

@@ -8,7 +8,7 @@
 //! ```
 
 use kacc::collectives::{bcast, BcastAlgo};
-use kacc::comm::{Comm, CommExt, CommError};
+use kacc::comm::{Comm, CommError, CommExt};
 use kacc::native::{cma_available, run_forked};
 
 fn main() {
@@ -52,7 +52,10 @@ fn main() {
             // Rank 0 prints after everyone verified.
             kacc::comm::smcoll::sm_barrier(comm)?;
             if me == 0 {
-                println!("  {algo:?}: {:.1} us (verified on all ranks)", dt as f64 / 1000.0);
+                println!(
+                    "  {algo:?}: {:.1} us (verified on all ranks)",
+                    dt as f64 / 1000.0
+                );
             }
             Ok(())
         })

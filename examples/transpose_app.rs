@@ -28,7 +28,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
-    if n % p != 0 {
+    if !n.is_multiple_of(p) {
         eprintln!("error: matrix side {n} must be a multiple of the rank count {p}");
         std::process::exit(2);
     }
@@ -44,7 +44,11 @@ fn main() {
     let variants: Vec<(&str, Option<AlltoallAlgo>, Option<Library>)> = vec![
         ("SHMEM (IntelMPI-like)", None, Some(Library::IntelMpi)),
         ("CMA pt2pt (MVAPICH2-like)", None, Some(Library::Mvapich2)),
-        ("native CMA-coll (proposed)", Some(AlltoallAlgo::Pairwise), None),
+        (
+            "native CMA-coll (proposed)",
+            Some(AlltoallAlgo::Pairwise),
+            None,
+        ),
     ];
 
     for (label, algo, lib) in variants {
@@ -58,9 +62,7 @@ fn main() {
                 let mut chunk = Vec::with_capacity(block);
                 for r in 0..rows {
                     for c in 0..rows {
-                        chunk.extend_from_slice(
-                            &elem(me * rows + r, d * rows + c).to_le_bytes(),
-                        );
+                        chunk.extend_from_slice(&elem(me * rows + r, d * rows + c).to_le_bytes());
                     }
                 }
                 comm.write_local(sb, d * block, &chunk).expect("pack");
@@ -70,8 +72,7 @@ fn main() {
                 (Some(a), _) => alltoall(comm, a, Some(sb), rb, block).expect("alltoall"),
                 (_, Some(l)) => {
                     let tuner = Tuner::new(&ArchProfile::knl());
-                    baseline::alltoall(comm, l, &tuner, Some(sb), rb, block)
-                        .expect("alltoall");
+                    baseline::alltoall(comm, l, &tuner, Some(sb), rb, block).expect("alltoall");
                 }
                 _ => unreachable!(),
             }
@@ -84,9 +85,8 @@ fn main() {
                 comm.read_local(rb, s * block, &mut buf).expect("unpack");
                 for r in 0..rows {
                     for c in 0..rows {
-                        let got = f64::from_le_bytes(
-                            buf[(r * rows + c) * 8..][..8].try_into().unwrap(),
-                        );
+                        let got =
+                            f64::from_le_bytes(buf[(r * rows + c) * 8..][..8].try_into().unwrap());
                         // Element (s·rows + r, me·rows + c) transposed.
                         let want = elem(s * rows + r, me * rows + c);
                         max_err = max_err.max((got - want).abs());
@@ -115,7 +115,10 @@ fn main() {
             f64::from_le_bytes(global.try_into().unwrap())
         });
         let err = results[0];
-        assert!(results.iter().all(|e| *e == err), "allreduce must agree everywhere");
+        assert!(
+            results.iter().all(|e| *e == err),
+            "allreduce must agree everywhere"
+        );
         assert_eq!(err, 0.0, "transpose must be exact");
         println!(
             "  {label:28} {:>10.1} us  (global max error {err})",

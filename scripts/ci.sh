@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+# Fails fast on the first gate that trips.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (tier-1) =="
+cargo test -q
+
+echo "CI gates all green."

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bencher API surface this workspace's benches
+//! use (`benchmark_group`, `sample_size`/`warm_up_time`/
+//! `measurement_time`, `bench_function`, `iter`/`iter_batched`/
+//! `iter_custom`, `criterion_group!`/`criterion_main!`) with a simple
+//! wall-clock mean estimator: one warm-up call, then up to
+//! `sample_size` samples bounded by the measurement-time budget, and a
+//! `group/label: mean ... ns/iter` line on stdout. There is no
+//! statistical analysis, outlier detection, or HTML report.
+//!
+//! When cargo runs a bench target in test mode (`cargo test` passes
+//! `--test`), each benchmark executes exactly once as a smoke test.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement marker types (subset of criterion's).
+
+    /// Wall-clock time measurement (the only one the shim supports).
+    pub struct WallTime;
+}
+
+/// Benchmark driver; hand `&mut Criterion` to each registered bench fn.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` under `cargo test`
+        // and `--bench` under `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(2),
+            test_mode: self.test_mode,
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark. `f` is called repeatedly with a [`Bencher`]
+    /// and must invoke one of its `iter*` methods.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        if self.test_mode {
+            f(&mut b);
+            println!("{}/{}: ok (test mode, 1 iter)", self.name, id);
+            return self;
+        }
+
+        // Warm-up: at least one call, then keep going until the budget
+        // is spent.
+        let warm_start = Instant::now();
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        // Measurement: one logical iteration per sample, stopping early
+        // once the time budget is exhausted.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.iters = 1;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{}/{}: mean {:.1} ns/iter, min {:.1} ns/iter ({} samples)",
+            self.name,
+            id,
+            mean,
+            min,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (report aggregation is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing harness passed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the requested number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` excluding per-iteration `setup` cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Let the routine report its own duration for `iters` iterations
+    /// (used to feed simulated virtual time into the harness).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// How `iter_batched` amortizes setup (ignored by the shim's
+/// one-iteration-per-sample model).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_probe(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_function("iter", |b| b.iter(|| 2u64 + 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(17 * iters))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_probe);
+
+    #[test]
+    fn group_api_runs_every_iter_flavor() {
+        benches();
+    }
+
+    #[test]
+    fn iter_custom_reports_routine_duration() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(10 * iters));
+        assert_eq!(b.elapsed, Duration::from_nanos(40));
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `nix` crate.
+//!
+//! Provides exactly the API slice `kacc-native` uses: `unistd::Pid`,
+//! `errno::Errno`, and `sys::uio::{process_vm_readv, process_vm_writev,
+//! RemoteIoVec}` as safe wrappers over the raw Linux syscalls.
+
+/// Crate-level result alias, matching `nix::Result`.
+pub type Result<T> = std::result::Result<T, errno::Errno>;
+
+/// Process identifiers.
+pub mod unistd {
+    /// A process id (newtype over `pid_t`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct Pid(libc::pid_t);
+
+    impl Pid {
+        /// Wrap a raw pid.
+        pub fn from_raw(pid: libc::pid_t) -> Pid {
+            Pid(pid)
+        }
+
+        /// The raw pid value.
+        pub fn as_raw(self) -> libc::pid_t {
+            self.0
+        }
+    }
+}
+
+/// errno values as a typed enum (the small set this workspace matches on).
+pub mod errno {
+    /// Subset of Linux errno values. `from_raw` folds unknown values into
+    /// the raw variant-free representation by keeping the integer.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[repr(i32)]
+    #[allow(clippy::upper_case_acronyms)]
+    pub enum Errno {
+        /// Operation not permitted.
+        EPERM = 1,
+        /// No such process.
+        ESRCH = 3,
+        /// Bad address.
+        EFAULT = 14,
+        /// Invalid argument.
+        EINVAL = 22,
+        /// No such syscall (or unsupported feature).
+        ENOSYS = 38,
+        /// Any errno this shim has no named variant for.
+        UnknownErrno = 0,
+    }
+
+    impl Errno {
+        /// Latest errno of the calling thread.
+        pub fn last() -> Errno {
+            Errno::from_raw(last_raw())
+        }
+
+        /// Map a raw errno to the typed enum.
+        pub fn from_raw(raw: i32) -> Errno {
+            match raw {
+                1 => Errno::EPERM,
+                3 => Errno::ESRCH,
+                14 => Errno::EFAULT,
+                22 => Errno::EINVAL,
+                38 => Errno::ENOSYS,
+                _ => Errno::UnknownErrno,
+            }
+        }
+    }
+
+    pub(crate) fn last_raw() -> i32 {
+        // SAFETY: __errno_location is the glibc TLS errno accessor.
+        unsafe { *__errno_location() }
+    }
+
+    extern "C" {
+        fn __errno_location() -> *mut i32;
+    }
+}
+
+/// Vectored cross-process I/O (`process_vm_readv`/`process_vm_writev`).
+pub mod sys {
+    /// See module docs.
+    pub mod uio {
+        use crate::errno::Errno;
+        use crate::unistd::Pid;
+        use std::io::{IoSlice, IoSliceMut};
+
+        /// A `(base, len)` span in the remote process's address space.
+        #[derive(Debug, Clone, Copy)]
+        pub struct RemoteIoVec {
+            /// Remote virtual address.
+            pub base: usize,
+            /// Span length in bytes.
+            pub len: usize,
+        }
+
+        #[repr(C)]
+        struct RawIoVec {
+            iov_base: *mut libc::c_void,
+            iov_len: usize,
+        }
+
+        extern "C" {
+            #[link_name = "process_vm_readv"]
+            fn raw_process_vm_readv(
+                pid: libc::pid_t,
+                local_iov: *const RawIoVec,
+                liovcnt: libc::c_long,
+                remote_iov: *const RawIoVec,
+                riovcnt: libc::c_long,
+                flags: libc::c_long,
+            ) -> isize;
+            #[link_name = "process_vm_writev"]
+            fn raw_process_vm_writev(
+                pid: libc::pid_t,
+                local_iov: *const RawIoVec,
+                liovcnt: libc::c_long,
+                remote_iov: *const RawIoVec,
+                riovcnt: libc::c_long,
+                flags: libc::c_long,
+            ) -> isize;
+        }
+
+        fn remote_raw(remote: &[RemoteIoVec]) -> Vec<RawIoVec> {
+            remote
+                .iter()
+                .map(|r| RawIoVec {
+                    iov_base: r.base as *mut libc::c_void,
+                    iov_len: r.len,
+                })
+                .collect()
+        }
+
+        /// Single-copy read from `pid`'s address space into `local`.
+        pub fn process_vm_readv(
+            pid: Pid,
+            local: &mut [IoSliceMut<'_>],
+            remote: &[RemoteIoVec],
+        ) -> crate::Result<usize> {
+            let local_raw: Vec<RawIoVec> = local
+                .iter_mut()
+                .map(|s| RawIoVec {
+                    iov_base: s.as_mut_ptr() as *mut libc::c_void,
+                    iov_len: s.len(),
+                })
+                .collect();
+            let remote_raw = remote_raw(remote);
+            // SAFETY: iovecs point at live slices sized by their lengths.
+            let n = unsafe {
+                raw_process_vm_readv(
+                    pid.as_raw(),
+                    local_raw.as_ptr(),
+                    local_raw.len() as libc::c_long,
+                    remote_raw.as_ptr(),
+                    remote_raw.len() as libc::c_long,
+                    0,
+                )
+            };
+            if n < 0 {
+                Err(Errno::last())
+            } else {
+                Ok(n as usize)
+            }
+        }
+
+        /// Single-copy write of `local` into `pid`'s address space.
+        pub fn process_vm_writev(
+            pid: Pid,
+            local: &[IoSlice<'_>],
+            remote: &[RemoteIoVec],
+        ) -> crate::Result<usize> {
+            let local_raw: Vec<RawIoVec> = local
+                .iter()
+                .map(|s| RawIoVec {
+                    iov_base: s.as_ptr() as *mut libc::c_void,
+                    iov_len: s.len(),
+                })
+                .collect();
+            let remote_raw = remote_raw(remote);
+            // SAFETY: iovecs point at live slices sized by their lengths.
+            let n = unsafe {
+                raw_process_vm_writev(
+                    pid.as_raw(),
+                    local_raw.as_ptr(),
+                    local_raw.len() as libc::c_long,
+                    remote_raw.as_ptr(),
+                    remote_raw.len() as libc::c_long,
+                    0,
+                )
+            };
+            if n < 0 {
+                Err(Errno::last())
+            } else {
+                Ok(n as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sys::uio::{process_vm_readv, RemoteIoVec};
+    use super::unistd::Pid;
+    use std::io::IoSliceMut;
+
+    #[test]
+    fn self_read_roundtrips() {
+        let src = vec![7u8; 64];
+        let mut dst = vec![0u8; 64];
+        let me = Pid::from_raw(unsafe { libc_getpid() });
+        let n = process_vm_readv(
+            me,
+            &mut [IoSliceMut::new(&mut dst)],
+            &[RemoteIoVec {
+                base: src.as_ptr() as usize,
+                len: src.len(),
+            }],
+        )
+        .expect("self-read is always permitted");
+        assert_eq!(n, 64);
+        assert_eq!(dst, src);
+    }
+
+    extern "C" {
+        #[link_name = "getpid"]
+        fn libc_getpid() -> i32;
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements the slice of the rand 0.9 API this workspace uses
+//! (`StdRng::seed_from_u64`, `Rng::random`, `Rng::random_range`) on top
+//! of xoshiro256++ seeded via splitmix64 — the same constructions the
+//! real crate family uses, though the exact stream differs from upstream
+//! `StdRng` (which is ChaCha12). All consumers in this workspace only
+//! require determinism for a fixed seed, not a specific stream.
+
+/// Seedable RNG constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Derive a full RNG state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling API (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Sample uniformly from a range, e.g. `rng.random_range(3..=4)`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Raw 64-bit output source.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types sampleable by [`Rng::random`].
+pub trait Random {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Debiased uniform sample in `[0, span)` via Lemire-style rejection.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in random_range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = uniform_below(rng, span);
+                    ((self.start as i128) + off as i128) as $t
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in random_range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Full-width range: every raw value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let off = uniform_below(rng, span as u64);
+                    ((lo as i128) + off as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let unit: f64 = Random::random(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    //! RNG implementations (subset of `rand::rngs`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator: xoshiro256++ with splitmix64
+    /// state expansion.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            let v: u32 = rng.random_range(3..=4);
+            assert!((3..=4).contains(&v));
+            seen[(v - 3) as usize] = true;
+            let w: usize = rng.random_range(5..8);
+            assert!((5..8).contains(&w));
+            let x: i64 = rng.random_range(-10..=10);
+            assert!((-10..=10).contains(&x));
+        }
+        assert!(seen[0] && seen[1], "inclusive upper bound never sampled");
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace only uses serde as *derive-checked marker traits* (no
+//! serializer backend is wired up yet — DESIGN.md notes serde_json is
+//! deliberately unused). The shim therefore exposes `Serialize` /
+//! `Deserialize` as empty traits plus derive macros that emit empty
+//! impls, which is exactly enough for the `#[derive(...)]` sites and
+//! trait-bound assertions in `kacc-model` to type-check. When a real
+//! serialization backend is needed, swap this shim for the real crate by
+//! editing the workspace `Cargo.toml` path entry.
+
+// Let the derive-emitted `::serde::...` paths resolve inside this
+// crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+/// Marker for types that can be serialized (no-op in the shim).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op in the shim).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket impls for std types commonly nested in derived structs, so
+// generated empty impls never need field bounds.
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Probe {
+        a: usize,
+        b: Vec<f64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum ProbeEnum {
+        One,
+        Two(u32),
+    }
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        fn assert_serde<T: crate::Serialize + for<'a> crate::Deserialize<'a>>() {}
+        assert_serde::<Probe>();
+        assert_serde::<ProbeEnum>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Derive macros for the offline `serde` stand-in: emit empty marker
+//! impls for the derived type. Handwritten token scanning instead of
+//! `syn`/`quote` keeps the shim dependency-free (the build environment
+//! has no registry access).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive an empty `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derive an empty `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Extract the type name following the `struct`/`enum` keyword. Generic
+/// types are rejected (nothing in this workspace derives on generics).
+fn type_name(ts: TokenStream) -> String {
+    let mut iter = ts.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "serde shim: generic type {name} unsupported; \
+                                     write the impls by hand"
+                                );
+                            }
+                        }
+                        return name;
+                    }
+                    other => panic!("serde shim: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim: no struct/enum keyword in derive input");
+}

@@ -42,9 +42,7 @@ pub use kacc_sim_core as sim;
 
 /// Commonly used items, for `use kacc::prelude::*`.
 pub mod prelude {
-    pub use kacc_collectives::{
-        AllgatherAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo,
-    };
+    pub use kacc_collectives::{AllgatherAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo};
     pub use kacc_comm::{BufId, Comm, CommExt, RemoteToken, Tag, Topology};
     pub use kacc_model::arch::ArchProfile;
 }

@@ -5,8 +5,8 @@
 //! `crates/native/tests/forked_cma.rs`).
 
 use kacc::collectives::verify::{
-    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
-    scatter_expected, scatter_sendbuf,
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected, scatter_expected,
+    scatter_sendbuf,
 };
 use kacc::collectives::{
     allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,

@@ -2,14 +2,14 @@
 //! counts, message sizes, roots, and algorithm choices; auxiliary
 //! invariants (determinism, phantom-timing equivalence) hold throughout.
 
-use kacc::collectives::verify::{
-    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected,
-    scatter_expected, scatter_sendbuf,
-};
 use kacc::collectives::reduce::expected_u64;
+use kacc::collectives::verify::{
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected, scatter_expected,
+    scatter_sendbuf,
+};
 use kacc::collectives::{
-    allgather, alltoall, bcast, gather, reduce, scatter, AllgatherAlgo, AlltoallAlgo,
-    BcastAlgo, Dtype, GatherAlgo, ReduceAlgo, ReduceOp, ScatterAlgo,
+    allgather, alltoall, bcast, gather, reduce, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,
+    Dtype, GatherAlgo, ReduceAlgo, ReduceOp, ScatterAlgo,
 };
 use kacc::comm::{Comm, CommExt};
 use kacc::machine::{run_team, run_team_phantom};

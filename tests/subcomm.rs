@@ -36,16 +36,25 @@ fn disjoint_subgroups_gather_concurrently() {
         let mut sub = SubComm::split(comm, color, me as u64).unwrap();
         let sub_p = sub.size();
         let rb = (sub.rank() == 0).then(|| sub.alloc(sub_p * count));
-        gather(&mut sub, GatherAlgo::ThrottledWrite { k: 2 }, Some(sb), rb, count, 0)
-            .unwrap();
+        gather(
+            &mut sub,
+            GatherAlgo::ThrottledWrite { k: 2 },
+            Some(sb),
+            rb,
+            count,
+            0,
+        )
+        .unwrap();
         rb.map(|b| sub.read_all(b).unwrap()).unwrap_or_default()
     });
     // Subgroup roots are parent ranks 0 and 1; each must hold its own
     // members' contributions in subgroup order.
     for root in [0usize, 1] {
         let members: Vec<usize> = (0..p).filter(|r| r % 2 == root % 2).collect();
-        let expect: Vec<u8> =
-            members.iter().flat_map(|&m| contribution(m, count)).collect();
+        let expect: Vec<u8> = members
+            .iter()
+            .flat_map(|&m| contribution(m, count))
+            .collect();
         assert_eq!(results[root], expect, "subgroup rooted at {root}");
     }
 }
@@ -76,8 +85,10 @@ fn subgroup_allgather_and_bcast_work() {
     for (me, (ag, bc)) in results.iter().enumerate() {
         let group = me / 3;
         let members: Vec<usize> = (group * 3..group * 3 + 3).collect();
-        let expect: Vec<u8> =
-            members.iter().flat_map(|&m| contribution(m, count)).collect();
+        let expect: Vec<u8> = members
+            .iter()
+            .flat_map(|&m| contribution(m, count))
+            .collect();
         assert!(diff(ag, &expect).is_none(), "allgather rank {me}");
         assert!(
             diff(bc, &contribution(group * 3, count)).is_none(),
