@@ -1,0 +1,242 @@
+//! Tracing overhead on the executor hot path (wall-clock).
+//!
+//! `kacc-trace` promises to be near-free when disabled: the executor
+//! fetches the transport's tracer once and every per-step emission is
+//! guarded by a single `Option` check. This bench replays one hand-built
+//! schedule on an instant-cost single-rank transport — so almost all of
+//! the measured time *is* executor bookkeeping — and compares the
+//! disabled-tracer path against a live buffered sink. The disabled
+//! number is the one the <2% overhead claim is pinned against (the
+//! traced run additionally pays for event construction and buffering,
+//! which is fine: enabling a sink is opt-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_collectives::exec::{execute, execute_traced, Bindings};
+use kacc_collectives::schedule::{Schedule, Slot, Step, TokenReg};
+use kacc_comm::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
+use kacc_trace::Tracer;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Single-rank in-memory transport with zero-cost operations: every op
+/// completes instantly, so executing a schedule on it measures executor
+/// dispatch + recording, not data movement.
+struct NullComm {
+    bufs: HashMap<u64, Vec<u8>>,
+    next: u64,
+}
+
+impl NullComm {
+    fn new() -> NullComm {
+        NullComm {
+            bufs: HashMap::new(),
+            next: 0,
+        }
+    }
+
+    fn buf(&self, b: BufId) -> Result<&Vec<u8>> {
+        self.bufs.get(&b.0).ok_or(CommError::InvalidBuffer(b.0))
+    }
+}
+
+impl Comm for NullComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn topology(&self) -> Topology {
+        Topology {
+            sockets: 1,
+            cores_per_socket: 1,
+            threads_per_core: 1,
+            page_size: 4096,
+        }
+    }
+
+    fn alloc(&mut self, len: usize) -> BufId {
+        let id = self.next;
+        self.next += 1;
+        self.bufs.insert(id, vec![0u8; len]);
+        BufId(id)
+    }
+
+    fn free(&mut self, buf: BufId) -> Result<()> {
+        self.bufs
+            .remove(&buf.0)
+            .map(|_| ())
+            .ok_or(CommError::InvalidBuffer(buf.0))
+    }
+
+    fn buf_len(&self, buf: BufId) -> Result<usize> {
+        Ok(self.buf(buf)?.len())
+    }
+
+    fn write_local(&mut self, buf: BufId, off: usize, data: &[u8]) -> Result<()> {
+        self.buf(buf)?;
+        self.bufs.get_mut(&buf.0).unwrap()[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_local(&self, buf: BufId, off: usize, out: &mut [u8]) -> Result<()> {
+        out.copy_from_slice(&self.buf(buf)?[off..off + out.len()]);
+        Ok(())
+    }
+
+    fn copy_local(
+        &mut self,
+        src: BufId,
+        src_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        let chunk = self.buf(src)?[src_off..src_off + len].to_vec();
+        self.write_local(dst, dst_off, &chunk)
+    }
+
+    fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
+        self.buf(buf)?;
+        Ok(RemoteToken {
+            rank: 0,
+            token: buf.0,
+        })
+    }
+
+    fn cma_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.copy_local(BufId(token.token), remote_off, dst, dst_off, len)
+    }
+
+    fn cma_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.copy_local(src, src_off, BufId(token.token), remote_off, len)
+    }
+
+    fn ctrl_send(&mut self, _to: usize, _tag: Tag, _data: &[u8]) -> Result<()> {
+        unimplemented!("single-rank demo schedule has no control traffic")
+    }
+
+    fn ctrl_recv(&mut self, _from: usize, _tag: Tag) -> Result<Vec<u8>> {
+        unimplemented!("single-rank demo schedule has no control traffic")
+    }
+
+    fn shm_send_data(
+        &mut self,
+        _to: usize,
+        _tag: Tag,
+        _src: BufId,
+        _off: usize,
+        _len: usize,
+    ) -> Result<()> {
+        unimplemented!("single-rank demo schedule has no shm traffic")
+    }
+
+    fn shm_recv_data(
+        &mut self,
+        _from: usize,
+        _tag: Tag,
+        _dst: BufId,
+        _off: usize,
+        _len: usize,
+    ) -> Result<()> {
+        unimplemented!("single-rank demo schedule has no shm traffic")
+    }
+
+    fn time_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// A step-dense single-rank plan: expose once, then ping-pong a small
+/// block Send → Temp → Recv `rounds` times. Small payloads keep memcpy
+/// cost low relative to per-step dispatch, which is what we're measuring.
+fn demo_schedule(rounds: usize, block: usize) -> Schedule {
+    let mut steps = vec![Step::Expose {
+        slot: Slot::Send,
+        reg: TokenReg(0),
+    }];
+    for _ in 0..rounds {
+        steps.push(Step::CopyLocal {
+            src: Slot::Send,
+            src_off: 0,
+            dst: Slot::Temp(0),
+            dst_off: 0,
+            len: block,
+        });
+        steps.push(Step::CopyLocal {
+            src: Slot::Temp(0),
+            src_off: 0,
+            dst: Slot::Recv,
+            dst_off: 0,
+            len: block,
+        });
+    }
+    Schedule {
+        p: 1,
+        rank: 0,
+        token_regs: 1,
+        temps: vec![block],
+        steps,
+        class: None,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let rounds = 256;
+    let block = 64;
+    let sched = demo_schedule(rounds, block);
+
+    let mut comm = NullComm::new();
+    let send = comm.alloc(block);
+    let recv = comm.alloc(block);
+    let bind = Bindings {
+        send: Some(send),
+        recv: Some(recv),
+    };
+
+    let mut g = c.benchmark_group("trace_overhead/executor-513-steps");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(500));
+
+    // Disabled path: NullComm's default Comm::tracer() is Tracer::off(),
+    // so each step pays one Option check. This must sit within 2% of the
+    // pre-trace executor.
+    g.bench_function("tracer-off", |b| {
+        b.iter(|| black_box(execute(&mut comm, black_box(&sched), &bind).unwrap()))
+    });
+
+    // Enabled path: every step also builds an Event and appends it to a
+    // shared buffer (drained between iterations so it can't grow without
+    // bound).
+    let (tracer, buffer) = Tracer::buffered();
+    g.bench_function("tracer-buffered", |b| {
+        b.iter(|| {
+            let report = execute_traced(&mut comm, black_box(&sched), &bind, &tracer).unwrap();
+            black_box(buffer.take());
+            black_box(report)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! repro --quick all        # reduced sweeps/team sizes (smoke run)
 //! repro --csv out/ fig7    # also write CSV files
 //! repro --list             # list artifact names
+//! repro --trace-out t.json # Chrome trace of a contended scatter
 //! ```
 
 use kacc_bench::figs::registry;
@@ -16,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut list_only = false;
 
@@ -30,9 +32,15 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--trace-out" => {
+                trace_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--csv DIR] [--list] <artifact...|all>\n\
+                    "usage: repro [--quick] [--csv DIR] [--trace-out FILE] [--list] <artifact...|all>\n\
                      artifacts: {}",
                     registry()
                         .iter()
@@ -53,7 +61,23 @@ fn main() {
         }
         return;
     }
+    if let Some(path) = &trace_out {
+        // One contended one-to-all scatter, traced end to end: the
+        // Perfetto-loadable timeline shows one track per rank plus the
+        // root's page-lock-server queue depth.
+        let p = if quick { 8 } else { 16 };
+        let count = if quick { 32 << 10 } else { 256 << 10 };
+        let json = kacc_bench::tracedemo::default_trace_json(p, count);
+        std::fs::write(path, &json).expect("write trace file");
+        eprintln!(
+            "[trace: {p}-rank contended scatter, {} per rank -> {path}]",
+            size_label(count)
+        );
+    }
     if wanted.is_empty() {
+        if trace_out.is_some() {
+            return;
+        }
         eprintln!("nothing to do; try `repro all` or `repro --list`");
         std::process::exit(2);
     }

@@ -42,6 +42,7 @@ pub fn registry() -> Vec<(&'static str, ArtifactFn)> {
         ("fig16", libs::fig16),
         ("fig17", libs::fig17),
         ("fig18", libs::fig18),
+        ("breakdown", crate::tracedemo::breakdown),
     ]
 }
 

@@ -1,0 +1,111 @@
+//! Trace-driven artifacts: run a collective under the structured tracer
+//! and derive the paper's ftrace-style phase breakdown (Fig 2
+//! methodology) from the captured events, or export the full timeline as
+//! Chrome trace-event JSON for Perfetto.
+//!
+//! Unlike the analytic charts in [`crate::figs`], these panels are
+//! *measured* from per-event spans emitted by the machine layer, so they
+//! double as an end-to-end check that the trace accounts for the same
+//! time the simulator charges.
+
+use crate::render::{Chart, Series};
+use kacc_collectives::{scatter, ScatterAlgo};
+use kacc_comm::{Comm, CommExt};
+use kacc_machine::{run_team_traced, TeamRun};
+use kacc_model::ArchProfile;
+use kacc_trace::{chrome_trace_json, Breakdown, Event};
+
+/// Phase span names the machine layer emits for a CMA transfer, in
+/// pipeline order (Fig 2's ftrace buckets).
+pub const PHASES: [&str; 5] = ["syscall", "check", "lock", "pin", "copy"];
+
+/// Run a one-to-all parallel-read scatter (`p - 1` concurrent readers of
+/// the root's exposed buffer) under the tracer and return the virtual-time
+/// run summary plus every captured event.
+pub fn traced_contended_scatter(
+    arch: &ArchProfile,
+    p: usize,
+    count: usize,
+) -> (TeamRun, Vec<Event>) {
+    let (run, _, events) = run_team_traced(arch, p, move |comm| {
+        let me = comm.rank();
+        let sb = (me == 0).then(|| comm.alloc_with(&vec![0x5Au8; p * count]));
+        let rb = comm.alloc(count);
+        scatter(comm, ScatterAlgo::ParallelRead, sb, Some(rb), count, 0).expect("traced scatter");
+    });
+    (run, events)
+}
+
+/// Chrome trace-event JSON for a default contended scatter (used by
+/// `repro --trace-out`).
+pub fn default_trace_json(p: usize, count: usize) -> String {
+    let arch = ArchProfile::broadwell();
+    let (_, events) = traced_contended_scatter(&arch, p, count);
+    chrome_trace_json(&events)
+}
+
+/// `breakdown` artifact: phase shares of a contended one-to-all scatter
+/// versus reader count, aggregated from trace spans (the measured
+/// counterpart of the analytic Fig 2(c) panel). The notes carry the full
+/// ftrace-style table for each reader count.
+pub fn breakdown(quick: bool) -> Vec<Chart> {
+    let arch = ArchProfile::broadwell();
+    let readers: Vec<usize> = if quick {
+        vec![3, 7]
+    } else {
+        vec![1, 3, 7, 15, 27]
+    };
+    let count = if quick { 16 << 10 } else { 128 << 10 };
+    let mut chart = Chart::new(
+        "fig2c-trace",
+        "Traced scatter phase breakdown vs concurrent readers (ftrace methodology)",
+        "Concurrent Readers",
+        "Share of Accounted Time (%)",
+    );
+    let mut shares: Vec<Vec<f64>> = vec![Vec::new(); PHASES.len()];
+    for &r in &readers {
+        let (run, events) = traced_contended_scatter(&arch, r + 1, count);
+        let b = Breakdown::from_events(&events);
+        for (i, ph) in PHASES.iter().enumerate() {
+            shares[i].push(100.0 * b.share(ph));
+        }
+        chart.notes.push(format!(
+            "{r} readers, end at {} ns:\n{}",
+            run.end_ns,
+            b.to_table()
+        ));
+    }
+    for (i, ph) in PHASES.iter().enumerate() {
+        chart.series.push(Series::new(*ph, &readers, &shares[i]));
+    }
+    vec![chart]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let charts = breakdown(true);
+        assert_eq!(charts.len(), 1);
+        let chart = &charts[0];
+        assert_eq!(chart.series.len(), PHASES.len());
+        for &x in &chart.xs() {
+            // Every CMA phase shows up with a sane share. Shares are of
+            // *all* accounted span time (step:* and ctrl spans included,
+            // and executor step spans nest the phase spans they wrap),
+            // so the five phases sum to well under 100%.
+            for s in &chart.series {
+                let y = s.at(x).expect("every series covers every x");
+                assert!(y > 0.0 && y < 100.0, "x={x}: phase {} share {y}%", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn default_trace_json_is_nonempty_and_valid() {
+        let json = default_trace_json(4, 4 << 10);
+        kacc_trace::validate::validate_chrome_json(&json).expect("exported trace validates");
+    }
+}

@@ -1,10 +1,17 @@
 //! All-to-all personalized communication: MPI_Alltoall (§IV-C).
+//!
+//! The public entry point is a thin compile+execute wrapper over
+//! [`crate::schedule::compile_alltoall`] (memoized in the global
+//! [`PlanCache`]); `alltoall_legacy` keeps the original direct
+//! implementation for the traffic-equivalence tests.
 
 use crate::class;
+use crate::exec::{execute, Bindings, ScheduleReport};
+use crate::schedule::{compile_alltoall, PlanCache, PlanKey};
 use kacc_comm::{smcoll, BufId, Comm, CommError, RemoteToken, Result, Tag};
 
 /// Alltoall algorithm selection (§IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlltoallAlgo {
     /// §IV-C1: pairwise exchange. p−1 steps; in step `i` each rank reads
     /// from a distinct source (`rank ⊕ i` for power-of-two p, `rank − i`
@@ -38,6 +45,56 @@ pub fn alltoall<C: Comm + ?Sized>(
     recvbuf: BufId,
     count: usize,
 ) -> Result<()> {
+    alltoall_with_report(comm, algo, sendbuf, recvbuf, count).map(|_| ())
+}
+
+/// [`alltoall`] returning the executor's per-step accounting. `None`
+/// when the call was satisfied without a schedule (single rank or zero
+/// count).
+pub fn alltoall_with_report<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: AlltoallAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<Option<ScheduleReport>> {
+    if !prepare(comm, sendbuf, recvbuf, count)? {
+        return Ok(None);
+    }
+    let p = comm.size();
+    let me = comm.rank();
+    let (source, staged) = stage_in_place(comm, sendbuf, recvbuf, count)?;
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Alltoall {
+            algo,
+            p,
+            rank: me,
+            count,
+        },
+        || compile_alltoall(algo, p, me, count),
+    );
+    let result = execute(
+        comm,
+        &plan,
+        &Bindings {
+            send: Some(source),
+            recv: Some(recvbuf),
+        },
+    );
+    if let Some(tmp) = staged {
+        comm.free(tmp)?;
+    }
+    result.map(Some)
+}
+
+/// Validation and degenerate-case handling shared by the compiled and
+/// legacy paths. Returns `false` when nothing is left to do.
+fn prepare<C: Comm + ?Sized>(
+    comm: &mut C,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<bool> {
     let p = comm.size();
     let need = p * count;
     let cap = comm.buf_len(recvbuf)?;
@@ -61,26 +118,50 @@ pub fn alltoall<C: Comm + ?Sized>(
         }
     }
     if count == 0 {
-        return Ok(());
+        return Ok(false);
     }
     if p == 1 {
         if let Some(sb) = sendbuf {
             comm.copy_local(sb, 0, recvbuf, 0, count)?;
         }
-        return Ok(());
+        return Ok(false);
     }
+    Ok(true)
+}
 
-    // MPI_IN_PLACE: stage the outgoing blocks so concurrent peers never
-    // observe half-overwritten source data.
-    let (source, staged) = match sendbuf {
-        Some(sb) => (sb, None),
+/// MPI_IN_PLACE: stage the outgoing blocks so concurrent peers never
+/// observe half-overwritten source data.
+fn stage_in_place<C: Comm + ?Sized>(
+    comm: &mut C,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<(BufId, Option<BufId>)> {
+    match sendbuf {
+        Some(sb) => Ok((sb, None)),
         None => {
+            let need = comm.size() * count;
             let tmp = comm.alloc(need);
             comm.copy_local(recvbuf, 0, tmp, 0, need)?;
-            (tmp, Some(tmp))
+            Ok((tmp, Some(tmp)))
         }
-    };
+    }
+}
 
+/// Original direct implementation, kept verbatim so tests can assert the
+/// compiled schedules are traffic- and result-identical to it.
+#[doc(hidden)]
+pub fn alltoall_legacy<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: AlltoallAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<()> {
+    if !prepare(comm, sendbuf, recvbuf, count)? {
+        return Ok(());
+    }
+    let (source, staged) = stage_in_place(comm, sendbuf, recvbuf, count)?;
     let result = match algo {
         AlltoallAlgo::Pairwise => pairwise(comm, source, recvbuf, count),
         AlltoallAlgo::PairwiseWrite => pairwise_write(comm, source, recvbuf, count),

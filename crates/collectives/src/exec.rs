@@ -13,6 +13,7 @@
 //! spent inside each primitive" on every transport.
 
 use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result};
+use kacc_trace::{Event, EventKind, Tracer, Track};
 
 use crate::reduce::combine;
 use crate::schedule::{Payload, RecvInto, Schedule, Slot, Step};
@@ -43,6 +44,86 @@ impl StepStats {
         self.count += 1;
         self.bytes += bytes as u64;
         self.time_ns += dt;
+    }
+}
+
+/// Step kinds the executor records — one per [`ScheduleReport`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    Expose,
+    CmaRead,
+    CmaWrite,
+    CopyLocal,
+    CtrlSend,
+    CtrlRecv,
+    Notify,
+    WaitNotify,
+    ShmSend,
+    ShmRecv,
+    Reduce,
+}
+
+impl StepKind {
+    /// Span name in the trace; the `step:` prefix keeps executor spans
+    /// distinct from the machine layer's transport spans of similar names.
+    fn span_name(self) -> &'static str {
+        match self {
+            StepKind::Expose => "step:expose",
+            StepKind::CmaRead => "step:cma_read",
+            StepKind::CmaWrite => "step:cma_write",
+            StepKind::CopyLocal => "step:copy_local",
+            StepKind::CtrlSend => "step:ctrl_send",
+            StepKind::CtrlRecv => "step:ctrl_recv",
+            StepKind::Notify => "step:notify",
+            StepKind::WaitNotify => "step:wait_notify",
+            StepKind::ShmSend => "step:shm_send",
+            StepKind::ShmRecv => "step:shm_recv",
+            StepKind::Reduce => "step:reduce",
+        }
+    }
+
+    fn from_span_name(name: &str) -> Option<StepKind> {
+        Some(match name {
+            "step:expose" => StepKind::Expose,
+            "step:cma_read" => StepKind::CmaRead,
+            "step:cma_write" => StepKind::CmaWrite,
+            "step:copy_local" => StepKind::CopyLocal,
+            "step:ctrl_send" => StepKind::CtrlSend,
+            "step:ctrl_recv" => StepKind::CtrlRecv,
+            "step:notify" => StepKind::Notify,
+            "step:wait_notify" => StepKind::WaitNotify,
+            "step:shm_send" => StepKind::ShmSend,
+            "step:shm_recv" => StepKind::ShmRecv,
+            "step:reduce" => StepKind::Reduce,
+            _ => return None,
+        })
+    }
+}
+
+/// The single recording path: every executed step flows through
+/// [`Recorder::add`], which updates the [`ScheduleReport`] *and* emits the
+/// trace span from the same measurements — counts and bytes can never
+/// drift between the two.
+struct Recorder<'t> {
+    report: ScheduleReport,
+    tracer: &'t Tracer,
+    track: Track,
+    class: Option<u32>,
+}
+
+impl Recorder<'_> {
+    fn add(&mut self, kind: StepKind, bytes: usize, t0: u64, t1: u64) {
+        let dt = t1.saturating_sub(t0);
+        self.report.stat_mut(kind).add(bytes, dt);
+        self.report.steps += 1;
+        self.tracer.span(
+            self.track,
+            kind.span_name(),
+            t0,
+            dt as f64,
+            bytes as u64,
+            self.class,
+        );
     }
 }
 
@@ -86,6 +167,50 @@ impl ScheduleReport {
     /// Total bytes moved by kernel-assisted writes.
     pub fn bytes_written(&self) -> u64 {
         self.cma_write.bytes
+    }
+
+    fn stat_mut(&mut self, kind: StepKind) -> &mut StepStats {
+        match kind {
+            StepKind::Expose => &mut self.expose,
+            StepKind::CmaRead => &mut self.cma_read,
+            StepKind::CmaWrite => &mut self.cma_write,
+            StepKind::CopyLocal => &mut self.copy_local,
+            StepKind::CtrlSend => &mut self.ctrl_send,
+            StepKind::CtrlRecv => &mut self.ctrl_recv,
+            StepKind::Notify => &mut self.notify,
+            StepKind::WaitNotify => &mut self.wait_notify,
+            StepKind::ShmSend => &mut self.shm_send,
+            StepKind::ShmRecv => &mut self.shm_recv,
+            StepKind::Reduce => &mut self.reduce,
+        }
+    }
+
+    /// Rebuild a report from the executor's `step:*` spans (other events
+    /// are ignored). Because [`execute_traced`] records report and spans
+    /// through one path, `from_events` over one execution's events equals
+    /// the returned report exactly. Pass events from a single rank's
+    /// execution (filter by [`Track`] first when a trace holds several).
+    pub fn from_events(events: &[Event]) -> ScheduleReport {
+        let mut report = ScheduleReport::default();
+        let mut first_start: Option<u64> = None;
+        let mut last_end: u64 = 0;
+        for ev in events {
+            let EventKind::Span { ts, dur } = ev.kind else {
+                continue;
+            };
+            let Some(kind) = StepKind::from_span_name(ev.name) else {
+                continue;
+            };
+            // Executor spans carry whole-nanosecond durations, so the f64
+            // round-trips exactly.
+            let dt = dur as u64;
+            report.stat_mut(kind).add(ev.bytes as usize, dt);
+            report.steps += 1;
+            first_start = Some(first_start.map_or(ts, |f| f.min(ts)));
+            last_end = last_end.max(ts + dt);
+        }
+        report.total_ns = first_start.map_or(0, |f| last_end.saturating_sub(f));
+        report
     }
 }
 
@@ -217,11 +342,27 @@ impl Ctx<'_> {
 ///
 /// Scratch buffers declared by the plan are allocated up front and freed
 /// on success. The schedule must have been compiled for this rank and
-/// communicator size.
+/// communicator size. Step spans go to the transport's own tracer
+/// ([`Comm::tracer`]), so a traced simulator run carries the executor's
+/// events without extra plumbing.
 pub fn execute<C: Comm + ?Sized>(
     comm: &mut C,
     sched: &Schedule,
     bind: &Bindings,
+) -> Result<ScheduleReport> {
+    let tracer = comm.tracer();
+    execute_traced(comm, sched, bind, &tracer)
+}
+
+/// [`execute`] with per-step trace spans: every IR step emits one
+/// `step:<kind>` span on this rank's track, attributed to the schedule's
+/// collective class, through the same recording path that feeds the
+/// returned [`ScheduleReport`] (see [`ScheduleReport::from_events`]).
+pub fn execute_traced<C: Comm + ?Sized>(
+    comm: &mut C,
+    sched: &Schedule,
+    bind: &Bindings,
+    tracer: &Tracer,
 ) -> Result<ScheduleReport> {
     if sched.rank != comm.rank() || sched.p != comm.size() {
         return Err(proto(format!(
@@ -238,24 +379,29 @@ pub fn execute<C: Comm + ?Sized>(
         temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
         regs: vec![None; sched.token_regs],
     };
-    let mut report = ScheduleReport::default();
+    let mut rec = Recorder {
+        report: ScheduleReport::default(),
+        tracer,
+        track: Track::Rank(comm.rank()),
+        class: sched.class,
+    };
 
     let start = comm.time_ns();
-    let result = run_steps(comm, sched, &mut ctx, &mut report);
-    report.total_ns = comm.time_ns().saturating_sub(start);
+    let result = run_steps(comm, sched, &mut ctx, &mut rec);
+    rec.report.total_ns = comm.time_ns().saturating_sub(start);
 
     // Free scratch even when a step failed mid-run.
     for t in ctx.temps.drain(..) {
         let _ = comm.free(t);
     }
-    result.map(|()| report)
+    result.map(|()| rec.report)
 }
 
 fn run_steps<C: Comm + ?Sized>(
     comm: &mut C,
     sched: &Schedule,
     ctx: &mut Ctx<'_>,
-    report: &mut ScheduleReport,
+    rec: &mut Recorder<'_>,
 ) -> Result<()> {
     for step in &sched.steps {
         let t0 = comm.time_ns();
@@ -264,7 +410,7 @@ fn run_steps<C: Comm + ?Sized>(
                 let buf = ctx.slot(*slot)?;
                 let token = comm.expose(buf)?;
                 ctx.set_token(*reg, token)?;
-                report.expose.add(0, comm.time_ns() - t0);
+                rec.add(StepKind::Expose, 0, t0, comm.time_ns());
             }
             Step::CmaRead {
                 token,
@@ -276,7 +422,7 @@ fn run_steps<C: Comm + ?Sized>(
                 let t = ctx.token(*token)?;
                 let dst = ctx.slot(*dst)?;
                 comm.cma_read(t, *remote_off, dst, *dst_off, *len)?;
-                report.cma_read.add(*len, comm.time_ns() - t0);
+                rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
             }
             Step::CmaWrite {
                 token,
@@ -288,7 +434,7 @@ fn run_steps<C: Comm + ?Sized>(
                 let t = ctx.token(*token)?;
                 let src = ctx.slot(*src)?;
                 comm.cma_write(t, *remote_off, src, *src_off, *len)?;
-                report.cma_write.add(*len, comm.time_ns() - t0);
+                rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
             }
             Step::CopyLocal {
                 src,
@@ -300,26 +446,26 @@ fn run_steps<C: Comm + ?Sized>(
                 let src = ctx.slot(*src)?;
                 let dst = ctx.slot(*dst)?;
                 comm.copy_local(src, *src_off, dst, *dst_off, *len)?;
-                report.copy_local.add(*len, comm.time_ns() - t0);
+                rec.add(StepKind::CopyLocal, *len, t0, comm.time_ns());
             }
             Step::CtrlSend { to, tag, payload } => {
                 let body = ctx.render_payload(payload)?;
                 comm.ctrl_send(*to, *tag, &body)?;
-                report.ctrl_send.add(body.len(), comm.time_ns() - t0);
+                rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
             }
             Step::CtrlRecv { from, tag, into } => {
                 let body = comm.ctrl_recv(*from, *tag)?;
                 let n = body.len();
                 ctx.apply_recv(into, body)?;
-                report.ctrl_recv.add(n, comm.time_ns() - t0);
+                rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
             }
             Step::Notify { to, tag } => {
                 comm.notify(*to, *tag)?;
-                report.notify.add(0, comm.time_ns() - t0);
+                rec.add(StepKind::Notify, 0, t0, comm.time_ns());
             }
             Step::WaitNotify { from, tag } => {
                 comm.wait_notify(*from, *tag)?;
-                report.wait_notify.add(0, comm.time_ns() - t0);
+                rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
             }
             Step::ShmSend {
                 to,
@@ -330,7 +476,7 @@ fn run_steps<C: Comm + ?Sized>(
             } => {
                 let src = ctx.slot(*src)?;
                 comm.shm_send_data(*to, *tag, src, *off, *len)?;
-                report.shm_send.add(*len, comm.time_ns() - t0);
+                rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
             }
             Step::ShmRecv {
                 from,
@@ -341,7 +487,7 @@ fn run_steps<C: Comm + ?Sized>(
             } => {
                 let dst = ctx.slot(*dst)?;
                 comm.shm_recv_data(*from, *tag, dst, *off, *len)?;
-                report.shm_recv.add(*len, comm.time_ns() - t0);
+                rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
             }
             Step::Reduce {
                 op,
@@ -360,10 +506,9 @@ fn run_steps<C: Comm + ?Sized>(
                 comm.read_local(src_buf, *src_off, &mut src_bytes)?;
                 combine(&mut acc_bytes, &src_bytes, *dtype, *op);
                 comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
-                report.reduce.add(*len, comm.time_ns() - t0);
+                rec.add(StepKind::Reduce, *len, t0, comm.time_ns());
             }
         }
-        report.steps += 1;
     }
     Ok(())
 }

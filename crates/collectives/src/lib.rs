@@ -45,15 +45,16 @@ pub mod tuner;
 pub mod verify;
 
 pub use allgather::{allgather, allgather_with_report, AllgatherAlgo};
-pub use alltoall::{alltoall, AlltoallAlgo};
+pub use alltoall::{alltoall, alltoall_with_report, AlltoallAlgo};
 pub use bcast::{bcast, bcast_with_report, BcastAlgo};
 pub use gather::{gather, gatherv, gatherv_with_report, GatherAlgo};
 pub use reduce::{
-    allreduce, reduce, reduce_scatter_block, AllreduceAlgo, Dtype, ReduceAlgo, ReduceOp,
+    allreduce, reduce, reduce_scatter_block, reduce_with_report, AllreduceAlgo, Dtype, ReduceAlgo,
+    ReduceOp,
 };
 
 pub(crate) use allgather::allgather_ranges;
-pub use exec::{execute, Bindings, ScheduleReport, StepStats};
+pub use exec::{execute, execute_traced, Bindings, ScheduleReport, StepStats};
 pub use scatter::{scatter, scatterv, scatterv_with_report, ScatterAlgo};
 pub use schedule::{PlanCache, PlanKey, Schedule, Step};
 pub use tuner::Tuner;

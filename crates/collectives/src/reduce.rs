@@ -21,11 +21,13 @@
 //! [`allreduce`] composes these with the Bcast designs.
 
 use crate::bcast::{bcast, BcastAlgo};
+use crate::exec::{execute, Bindings, ScheduleReport};
+use crate::schedule::{compile_reduce, PlanCache, PlanKey};
 use crate::{class, unvrank, vrank};
 use kacc_comm::{BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 /// Element type of a reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dtype {
     /// Little-endian u32 lanes.
     U32,
@@ -46,7 +48,7 @@ impl Dtype {
 }
 
 /// Combining operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
     /// Lane-wise wrapping sum.
     Sum,
@@ -57,7 +59,7 @@ pub enum ReduceOp {
 }
 
 /// Reduce algorithm selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceAlgo {
     /// Root reads and folds each contribution in rank order.
     SequentialRead,
@@ -153,6 +155,62 @@ pub fn reduce<C: Comm + ?Sized>(
     op: ReduceOp,
     root: usize,
 ) -> Result<()> {
+    reduce_with_report(comm, algo, sendbuf, recvbuf, count, dtype, op, root).map(|_| ())
+}
+
+/// [`reduce`] returning the executor's per-step accounting. `None` when
+/// the call was satisfied without a schedule (single rank or zero
+/// count).
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_with_report<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: ReduceAlgo,
+    sendbuf: BufId,
+    recvbuf: Option<BufId>,
+    count: usize,
+    dtype: Dtype,
+    op: ReduceOp,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    if !prepare(comm, algo, sendbuf, recvbuf, count, dtype, root)? {
+        return Ok(None);
+    }
+    let p = comm.size();
+    let me = comm.rank();
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Reduce {
+            algo,
+            p,
+            rank: me,
+            count,
+            dtype,
+            op,
+            root,
+        },
+        || compile_reduce(algo, p, me, count, dtype, op, root),
+    );
+    execute(
+        comm,
+        &plan,
+        &Bindings {
+            send: Some(sendbuf),
+            recv: recvbuf,
+        },
+    )
+    .map(Some)
+}
+
+/// Validation and degenerate-case handling shared by the compiled and
+/// legacy paths. Returns `false` when nothing is left to do.
+fn prepare<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: ReduceAlgo,
+    sendbuf: BufId,
+    recvbuf: Option<BufId>,
+    count: usize,
+    dtype: Dtype,
+    root: usize,
+) -> Result<bool> {
     let p = comm.size();
     let me = comm.rank();
     if root >= p {
@@ -166,21 +224,42 @@ pub fn reduce<C: Comm + ?Sized>(
     if me == root && recvbuf.is_none() {
         return Err(CommError::Protocol("root reduce needs recvbuf".into()));
     }
+    if let ReduceAlgo::KNomialTree { radix } = algo {
+        if radix < 2 {
+            return Err(CommError::Protocol("tree radix must be ≥ 2".into()));
+        }
+    }
     if count == 0 {
-        return Ok(());
+        return Ok(false);
     }
     if p == 1 {
         let rb = recvbuf.unwrap();
         comm.copy_local(sendbuf, 0, rb, 0, count)?;
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// Original direct implementation, kept verbatim so tests can assert the
+/// compiled schedules are traffic- and result-identical to it.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_legacy<C: Comm + ?Sized>(
+    comm: &mut C,
+    algo: ReduceAlgo,
+    sendbuf: BufId,
+    recvbuf: Option<BufId>,
+    count: usize,
+    dtype: Dtype,
+    op: ReduceOp,
+    root: usize,
+) -> Result<()> {
+    if !prepare(comm, algo, sendbuf, recvbuf, count, dtype, root)? {
         return Ok(());
     }
-
     match algo {
         ReduceAlgo::SequentialRead => root_pull(comm, sendbuf, recvbuf, count, dtype, op, root),
         ReduceAlgo::KNomialTree { radix } => {
-            if radix < 2 {
-                return Err(CommError::Protocol("tree radix must be ≥ 2".into()));
-            }
             knomial_tree(comm, sendbuf, recvbuf, count, dtype, op, root, radix)
         }
     }

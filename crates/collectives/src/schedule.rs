@@ -32,8 +32,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use kacc_comm::{smcoll, Tag};
 
 use crate::allgather::AllgatherAlgo;
+use crate::alltoall::AlltoallAlgo;
 use crate::bcast::BcastAlgo;
 use crate::gather::GatherAlgo;
+use crate::reduce::{Dtype, ReduceAlgo, ReduceOp};
 use crate::scatter::ScatterAlgo;
 use crate::{class, unvrank, vrank};
 
@@ -228,6 +230,9 @@ pub struct Schedule {
     pub temps: Vec<usize>,
     /// The ordered operation list.
     pub steps: Vec<Step>,
+    /// Collective tag class ([`crate::class`]) this plan belongs to —
+    /// attached to executor trace spans for per-collective attribution.
+    pub class: Option<u32>,
 }
 
 impl Schedule {
@@ -258,16 +263,18 @@ enum SmContent {
 struct Builder {
     p: usize,
     rank: usize,
+    class: Option<u32>,
     regs: u32,
     temps: Vec<usize>,
     steps: Vec<Step>,
 }
 
 impl Builder {
-    fn new(p: usize, rank: usize) -> Builder {
+    fn new(p: usize, rank: usize, class: u32) -> Builder {
         Builder {
             p,
             rank,
+            class: Some(class),
             regs: 0,
             temps: Vec::new(),
             steps: Vec::new(),
@@ -297,6 +304,7 @@ impl Builder {
             token_regs: self.regs as usize,
             temps: self.temps,
             steps: self.steps,
+            class: self.class,
         }
     }
 
@@ -534,7 +542,7 @@ pub fn compile_scatter(
     root: usize,
     has_recvbuf: bool,
 ) -> Schedule {
-    let mut b = Builder::new(p, rank);
+    let mut b = Builder::new(p, rank, class::SCATTER);
     let tag_done = Tag::internal(class::SCATTER, 1);
     let tag_chain = Tag::internal(class::SCATTER, 2);
     let me = rank;
@@ -680,7 +688,7 @@ pub fn compile_gather(
     root: usize,
     has_sendbuf: bool,
 ) -> Schedule {
-    let mut b = Builder::new(p, rank);
+    let mut b = Builder::new(p, rank, class::GATHER);
     let tag_done = Tag::internal(class::GATHER, 1);
     let tag_chain = Tag::internal(class::GATHER, 2);
     let me = rank;
@@ -824,7 +832,7 @@ pub fn compile_bcast(
     count: usize,
     root: usize,
 ) -> Schedule {
-    let mut b = Builder::new(p, rank);
+    let mut b = Builder::new(p, rank, class::BCAST);
     let tag_data = Tag::internal(class::BCAST, 0);
     let tag_read_done = Tag::internal(class::BCAST, 1);
     let me = rank;
@@ -1032,7 +1040,7 @@ pub fn compile_allgather(
     count: usize,
     has_sendbuf: bool,
 ) -> Schedule {
-    let mut b = Builder::new(p, rank);
+    let mut b = Builder::new(p, rank, class::ALLGATHER);
     let tag_ring = Tag::internal(class::ALLGATHER, 0);
     let me = rank;
 
@@ -1266,6 +1274,286 @@ pub fn compile_allgather(
 }
 
 // ---------------------------------------------------------------------
+// Alltoall
+// ---------------------------------------------------------------------
+
+/// Compile one rank's alltoall plan. Bindings: [`Slot::Send`] = the
+/// outgoing blocks (`p·count` bytes; the wrapper stages `MPI_IN_PLACE`
+/// into a hidden temporary bound here), [`Slot::Recv`] = the receive
+/// buffer. Callers must have validated `p > 1` and `count > 0`.
+pub fn compile_alltoall(algo: AlltoallAlgo, p: usize, rank: usize, count: usize) -> Schedule {
+    let mut b = Builder::new(p, rank, class::ALLTOALL);
+    let me = rank;
+
+    match algo {
+        AlltoallAlgo::Pairwise => {
+            b.push(Step::CopyLocal {
+                src: Slot::Send,
+                src_off: me * count,
+                dst: Slot::Recv,
+                dst_off: me * count,
+                len: count,
+            });
+            let reg = b.reg();
+            b.push(Step::Expose {
+                slot: Slot::Send,
+                reg,
+            });
+            let toks = b.emit_sm_allgather(reg);
+            for i in 1..p {
+                // Distinct sources per step: XOR pairing for power-of-two
+                // p, rotation otherwise (§IV-C1).
+                let src = if p.is_power_of_two() {
+                    me ^ i
+                } else {
+                    (me + p - i) % p
+                };
+                b.push(Step::CmaRead {
+                    token: toks[src],
+                    remote_off: me * count,
+                    dst: Slot::Recv,
+                    dst_off: src * count,
+                    len: count,
+                });
+            }
+            // Source buffers must stay valid until everyone has read.
+            b.emit_sm_barrier();
+        }
+        AlltoallAlgo::PairwiseWrite => {
+            b.push(Step::CopyLocal {
+                src: Slot::Send,
+                src_off: me * count,
+                dst: Slot::Recv,
+                dst_off: me * count,
+                len: count,
+            });
+            let reg = b.reg();
+            b.push(Step::Expose {
+                slot: Slot::Recv,
+                reg,
+            });
+            let toks = b.emit_sm_allgather(reg);
+            for i in 1..p {
+                let dst = if p.is_power_of_two() {
+                    me ^ i
+                } else {
+                    (me + i) % p
+                };
+                b.push(Step::CmaWrite {
+                    token: toks[dst],
+                    remote_off: me * count,
+                    src: Slot::Send,
+                    src_off: dst * count,
+                    len: count,
+                });
+            }
+            b.emit_sm_barrier();
+        }
+        AlltoallAlgo::Bruck => {
+            // Phase 1 — local rotation: temp[j] = send block (me+j) mod p.
+            let temp = b.temp(p * count);
+            for j in 0..p {
+                let blk = (me + j) % p;
+                b.push(Step::CopyLocal {
+                    src: Slot::Send,
+                    src_off: blk * count,
+                    dst: temp,
+                    dst_off: j * count,
+                    len: count,
+                });
+            }
+            let reg = b.reg();
+            b.push(Step::Expose { slot: temp, reg });
+            let toks = b.emit_sm_allgather(reg);
+            let scratch = b.temp(p * count);
+
+            // Phase 2 — log₂ p rounds: slots with bit k set travel +2^k
+            // ranks; barriers isolate read-set from write-set per round.
+            let mut dist = 1usize;
+            while dist < p {
+                let src = (me + p - dist) % p;
+                b.emit_sm_barrier();
+                for j in (0..p).filter(|j| j & dist != 0) {
+                    b.push(Step::CmaRead {
+                        token: toks[src],
+                        remote_off: j * count,
+                        dst: scratch,
+                        dst_off: j * count,
+                        len: count,
+                    });
+                }
+                b.emit_sm_barrier();
+                for j in (0..p).filter(|j| j & dist != 0) {
+                    b.push(Step::CopyLocal {
+                        src: scratch,
+                        src_off: j * count,
+                        dst: temp,
+                        dst_off: j * count,
+                        len: count,
+                    });
+                }
+                dist <<= 1;
+            }
+
+            // Phase 3 — inverse rotation into the receive slots.
+            for j in 0..p {
+                let slot = (me + p - j) % p;
+                b.push(Step::CopyLocal {
+                    src: temp,
+                    src_off: j * count,
+                    dst: Slot::Recv,
+                    dst_off: slot * count,
+                    len: count,
+                });
+            }
+            b.emit_sm_barrier();
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------
+
+/// Compile one rank's reduce plan. Bindings: [`Slot::Send`] = this
+/// rank's contribution, [`Slot::Recv`] = the root's receive buffer
+/// (only referenced by the root's plan). Callers must have validated
+/// `p > 1`, `count > 0`, lane alignment, and `radix >= 2` for the tree.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_reduce(
+    algo: ReduceAlgo,
+    p: usize,
+    rank: usize,
+    count: usize,
+    dtype: Dtype,
+    op: ReduceOp,
+    root: usize,
+) -> Schedule {
+    let mut b = Builder::new(p, rank, class::REDUCE);
+    let tag_ready = Tag::internal(class::REDUCE, 0);
+    let tag_done = Tag::internal(class::REDUCE, 1);
+    let me = rank;
+
+    // Shared shape of one contribution pull: receive the child's token,
+    // single-copy its partial into scratch, charge the arithmetic pass
+    // like a local copy (legacy `pull_and_combine`), fold, acknowledge.
+    let pull_and_combine = |b: &mut Builder, from: usize, scratch: Slot, acc: Slot| {
+        let treg = b.reg();
+        b.push(Step::CtrlRecv {
+            from,
+            tag: tag_ready,
+            into: RecvInto::Token(treg),
+        });
+        b.push(Step::CmaRead {
+            token: treg,
+            remote_off: 0,
+            dst: scratch,
+            dst_off: 0,
+            len: count,
+        });
+        b.push(Step::CopyLocal {
+            src: scratch,
+            src_off: 0,
+            dst: scratch,
+            dst_off: 0,
+            len: count,
+        });
+        b.push(Step::Reduce {
+            op,
+            dtype,
+            acc,
+            acc_off: 0,
+            src: scratch,
+            src_off: 0,
+            len: count,
+        });
+        b.push(Step::Notify {
+            to: from,
+            tag: tag_done,
+        });
+    };
+    // The leaf/non-root side of the same handshake.
+    let offer = |b: &mut Builder, to: usize, buf: Slot| {
+        let treg = b.reg();
+        b.push(Step::Expose {
+            slot: buf,
+            reg: treg,
+        });
+        b.push(Step::CtrlSend {
+            to,
+            tag: tag_ready,
+            payload: Payload::Token(treg),
+        });
+        b.push(Step::WaitNotify {
+            from: to,
+            tag: tag_done,
+        });
+    };
+
+    match algo {
+        ReduceAlgo::SequentialRead => {
+            if me == root {
+                b.push(Step::CopyLocal {
+                    src: Slot::Send,
+                    src_off: 0,
+                    dst: Slot::Recv,
+                    dst_off: 0,
+                    len: count,
+                });
+                let scratch = b.temp(count);
+                // Contributions fold in virtual-rank order (commutative-
+                // associative per MPI's requirements on Op).
+                for v in 1..p {
+                    pull_and_combine(&mut b, unvrank(v, root, p), scratch, Slot::Recv);
+                }
+            } else {
+                offer(&mut b, root, Slot::Send);
+            }
+        }
+        ReduceAlgo::KNomialTree { radix: k } => {
+            let v = vrank(me, root, p);
+            // Accumulate into a private partial (the root uses recvbuf).
+            let acc = if v == 0 { Slot::Recv } else { b.temp(count) };
+            b.push(Step::CopyLocal {
+                src: Slot::Send,
+                src_off: 0,
+                dst: acc,
+                dst_off: 0,
+                len: count,
+            });
+            let scratch = b.temp(count);
+
+            // The bcast k-nomial tree run in reverse: children v + m·s
+            // for every k-power stride s in [first_pow_gt(v), p), m ∈ 1..k.
+            let mut join_stride = 1usize;
+            while join_stride * k <= v {
+                join_stride *= k;
+            }
+            let mut s = 1usize;
+            while s <= v {
+                s *= k;
+            }
+            while s < p {
+                for m in 1..k {
+                    let child = v + m * s;
+                    if child < p {
+                        pull_and_combine(&mut b, unvrank(child, root, p), scratch, acc);
+                    }
+                }
+                s *= k;
+            }
+
+            if v != 0 {
+                let parent = unvrank(v % join_stride, root, p);
+                offer(&mut b, parent, acc);
+            }
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
 // Plan cache
 // ---------------------------------------------------------------------
 
@@ -1331,6 +1619,34 @@ pub enum PlanKey {
         count: usize,
         /// Whether a separate contribution buffer is bound.
         has_sendbuf: bool,
+    },
+    /// Alltoall plan identity.
+    Alltoall {
+        /// Algorithm variant.
+        algo: AlltoallAlgo,
+        /// Rank count.
+        p: usize,
+        /// Compiling rank.
+        rank: usize,
+        /// Per-peer block bytes.
+        count: usize,
+    },
+    /// Reduce plan identity.
+    Reduce {
+        /// Algorithm variant.
+        algo: ReduceAlgo,
+        /// Rank count.
+        p: usize,
+        /// Compiling rank.
+        rank: usize,
+        /// Contribution bytes.
+        count: usize,
+        /// Element type.
+        dtype: Dtype,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Root rank.
+        root: usize,
     },
 }
 

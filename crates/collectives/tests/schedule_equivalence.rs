@@ -1,0 +1,247 @@
+//! Compiled schedules must be result- and traffic-identical to the
+//! legacy direct implementations. On the deterministic simulator the
+//! strongest possible check is free: identical charged operations in
+//! identical order give the *exact same virtual end time*, so the tests
+//! assert `end_ns` equality (not a tolerance) alongside payload
+//! equality. The thread-transport runs cover the same pairing on a real
+//! concurrent transport where only the payloads are deterministic.
+
+use kacc_collectives::alltoall::alltoall_legacy;
+use kacc_collectives::reduce::{expected_u64, reduce_legacy};
+use kacc_collectives::scatter::scatterv_legacy;
+use kacc_collectives::verify::{alltoall_expected, alltoall_sendbuf, diff, scatter_sendbuf};
+use kacc_collectives::{
+    alltoall, reduce, scatterv, AlltoallAlgo, Dtype, ReduceAlgo, ReduceOp, ScatterAlgo,
+};
+use kacc_comm::{Comm, CommExt};
+use kacc_machine::{run_team, TeamRun};
+use kacc_model::ArchProfile;
+use kacc_native::run_threads;
+
+fn small_arch() -> ArchProfile {
+    let mut a = ArchProfile::broadwell();
+    a.name = "EquivNode".into();
+    a.cores_per_socket = 8;
+    a
+}
+
+/// Run the same closure under the compiled and legacy entry points and
+/// assert payloads and the simulator's virtual end time match exactly.
+fn assert_sim_equivalent<R, F>(p: usize, what: &str, f: F) -> (TeamRun, Vec<R>)
+where
+    R: PartialEq + std::fmt::Debug + Send + 'static,
+    F: Fn(&mut dyn Comm, bool) -> R + Send + Sync + Copy + 'static,
+{
+    let arch = small_arch();
+    let (run_new, res_new) = run_team(&arch, p, move |comm| f(comm, false));
+    let (run_old, res_old) = run_team(&arch, p, move |comm| f(comm, true));
+    assert_eq!(res_new, res_old, "{what}: payloads differ from legacy");
+    assert_eq!(
+        run_new.end_ns, run_old.end_ns,
+        "{what}: compiled schedule changed the virtual end time"
+    );
+    assert_eq!(run_new.mail_pending, 0, "{what}: leaked control messages");
+    (run_new, res_new)
+}
+
+// ---------------------------------------------------------------------
+// Alltoall
+// ---------------------------------------------------------------------
+
+fn alltoall_body(comm: &mut dyn Comm, legacy: bool, algo: AlltoallAlgo, count: usize) -> Vec<u8> {
+    let p = comm.size();
+    let me = comm.rank();
+    let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+    let rb = comm.alloc(p * count);
+    if legacy {
+        alltoall_legacy(comm, algo, Some(sb), rb, count).unwrap();
+    } else {
+        alltoall(comm, algo, Some(sb), rb, count).unwrap();
+    }
+    comm.read_all(rb).unwrap()
+}
+
+#[test]
+fn alltoall_compiled_matches_legacy_on_sim() {
+    for p in [4usize, 6, 8] {
+        for algo in [
+            AlltoallAlgo::Pairwise,
+            AlltoallAlgo::PairwiseWrite,
+            AlltoallAlgo::Bruck,
+        ] {
+            let count = 96;
+            let what = format!("alltoall {algo:?} p={p}");
+            let (_, results) = assert_sim_equivalent(p, &what, move |comm, legacy| {
+                alltoall_body(comm, legacy, algo, count)
+            });
+            for (r, got) in results.iter().enumerate() {
+                if let Some(d) = diff(got, &alltoall_expected(r, p, count)) {
+                    panic!("{what} rank {r}: {d}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_in_place_compiled_matches_legacy_on_sim() {
+    let p = 5;
+    let count = 64;
+    assert_sim_equivalent(p, "alltoall in-place", move |comm, legacy| {
+        let me = comm.rank();
+        let rb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+        if legacy {
+            alltoall_legacy(comm, AlltoallAlgo::Pairwise, None, rb, count).unwrap();
+        } else {
+            alltoall(comm, AlltoallAlgo::Pairwise, None, rb, count).unwrap();
+        }
+        comm.read_all(rb).unwrap()
+    });
+}
+
+#[test]
+fn alltoall_compiled_matches_legacy_on_threads() {
+    for algo in [
+        AlltoallAlgo::Pairwise,
+        AlltoallAlgo::PairwiseWrite,
+        AlltoallAlgo::Bruck,
+    ] {
+        let p = 6;
+        let count = 48;
+        let run = |legacy: bool| {
+            run_threads(p, move |comm| {
+                let me = comm.rank();
+                let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+                let rb = comm.alloc(p * count);
+                if legacy {
+                    alltoall_legacy(comm, algo, Some(sb), rb, count).unwrap();
+                } else {
+                    alltoall(comm, algo, Some(sb), rb, count).unwrap();
+                }
+                comm.read_all(rb).unwrap()
+            })
+        };
+        let compiled = run(false);
+        let direct = run(true);
+        assert_eq!(compiled, direct, "{algo:?}: thread payloads differ");
+        for (r, got) in compiled.iter().enumerate() {
+            if let Some(d) = diff(got, &alltoall_expected(r, p, count)) {
+                panic!("{algo:?} rank {r}: {d}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------
+
+fn reduce_value(rank: usize, lane: usize) -> u64 {
+    (rank as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(lane as u64 * 31)
+}
+
+fn reduce_fill(rank: usize, lanes: usize) -> Vec<u8> {
+    (0..lanes)
+        .flat_map(|l| reduce_value(rank, l).to_le_bytes())
+        .collect()
+}
+
+fn reduce_body(
+    comm: &mut dyn Comm,
+    legacy: bool,
+    algo: ReduceAlgo,
+    lanes: usize,
+    op: ReduceOp,
+    root: usize,
+) -> Vec<u8> {
+    let me = comm.rank();
+    let count = lanes * 8;
+    let sb = comm.alloc_with(&reduce_fill(me, lanes));
+    let rb = (me == root).then(|| comm.alloc(count));
+    if legacy {
+        reduce_legacy(comm, algo, sb, rb, count, Dtype::U64, op, root).unwrap();
+    } else {
+        reduce(comm, algo, sb, rb, count, Dtype::U64, op, root).unwrap();
+    }
+    rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+}
+
+#[test]
+fn reduce_compiled_matches_legacy_on_sim() {
+    for (p, root) in [(4usize, 0usize), (7, 0), (8, 3)] {
+        for algo in [
+            ReduceAlgo::SequentialRead,
+            ReduceAlgo::KNomialTree { radix: 2 },
+            ReduceAlgo::KNomialTree { radix: 3 },
+        ] {
+            let lanes = 129;
+            let op = ReduceOp::Sum;
+            let what = format!("reduce {algo:?} p={p} root={root}");
+            let (_, results) = assert_sim_equivalent(p, &what, move |comm, legacy| {
+                reduce_body(comm, legacy, algo, lanes, op, root)
+            });
+            let got: Vec<u64> = results[root]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert_eq!(got, expected_u64(p, lanes, op, reduce_value), "{what}");
+        }
+    }
+}
+
+#[test]
+fn reduce_compiled_matches_legacy_on_threads() {
+    for algo in [
+        ReduceAlgo::SequentialRead,
+        ReduceAlgo::KNomialTree { radix: 2 },
+    ] {
+        let p = 5;
+        let lanes = 64;
+        let root = 1;
+        let op = ReduceOp::Max;
+        let run = |legacy: bool| {
+            run_threads(p, move |comm| {
+                reduce_body(comm, legacy, algo, lanes, op, root)
+            })
+        };
+        let compiled = run(false);
+        let direct = run(true);
+        assert_eq!(compiled, direct, "{algo:?}: thread payloads differ");
+        let got: Vec<u64> = compiled[root]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(got, expected_u64(p, lanes, op, reduce_value), "{algo:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scatter (regression anchor for the PR-1 ported collectives)
+// ---------------------------------------------------------------------
+
+#[test]
+fn scatter_compiled_matches_legacy_on_sim() {
+    for algo in [
+        ScatterAlgo::ParallelRead,
+        ScatterAlgo::SequentialWrite,
+        ScatterAlgo::ThrottledRead { k: 2 },
+    ] {
+        let p = 7;
+        let count = 128;
+        let what = format!("scatter {algo:?} p={p}");
+        assert_sim_equivalent(p, &what, move |comm, legacy| {
+            let me = comm.rank();
+            let counts = vec![count; p];
+            let sb = (me == 0).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            if legacy {
+                scatterv_legacy(comm, algo, sb, Some(rb), &counts, None, 0).unwrap();
+            } else {
+                scatterv(comm, algo, sb, Some(rb), &counts, None, 0).unwrap();
+            }
+            comm.read_all(rb).unwrap()
+        });
+    }
+}

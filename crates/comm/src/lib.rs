@@ -58,6 +58,17 @@ impl Tag {
     pub const fn internal(class: u32, sub: u32) -> Tag {
         Tag(Self::USER_MAX + class * 0x1_0000 + sub)
     }
+
+    /// Protocol class of an internal tag (inverse of [`Tag::internal`]), or
+    /// `None` for application tags. Drives per-collective attribution in
+    /// trace events.
+    pub const fn class(self) -> Option<u32> {
+        if self.0 >= Self::USER_MAX {
+            Some((self.0 - Self::USER_MAX) >> 16)
+        } else {
+            None
+        }
+    }
 }
 
 /// One rank's endpoint into an intra-node communication domain.
@@ -174,6 +185,14 @@ pub trait Comm {
     /// Monotone time in nanoseconds: virtual time under simulation, a
     /// monotonic clock on real transports.
     fn time_ns(&self) -> u64;
+
+    /// The tracer receiving this transport's structured events. Layers
+    /// above the transport (e.g. the schedule executor) emit their spans
+    /// here so one traced run carries every layer's events. Defaults to
+    /// the disabled tracer; transports with a live sink override it.
+    fn tracer(&self) -> kacc_trace::Tracer {
+        kacc_trace::Tracer::off()
+    }
 }
 
 /// Convenience extension methods shared by every [`Comm`] implementation.
@@ -238,6 +257,13 @@ mod tests {
         let a = Tag::internal(1, 0xFFFF);
         let b = Tag::internal(2, 0);
         assert!(a.0 < b.0);
+    }
+
+    #[test]
+    fn tag_class_round_trips() {
+        assert_eq!(Tag::internal(17, 2).class(), Some(17));
+        assert_eq!(Tag::internal(0, 0xFFFF).class(), Some(0));
+        assert_eq!(Tag::user(5).class(), None);
     }
 
     #[test]

@@ -81,6 +81,12 @@ impl PageLockServer {
         self.flows.iter().flatten().count()
     }
 
+    /// Number of currently active pinning flows — the queue depth the
+    /// trace's lock-server counter track samples.
+    pub fn concurrency(&self) -> usize {
+        self.active()
+    }
+
     /// Per-grant service time with the current active set.
     fn grant_ns(&self) -> f64 {
         let c = self.active() as f64;

@@ -4,6 +4,7 @@ use crate::fluid::FlowId;
 use crate::state::MachineState;
 use kacc_comm::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
 use kacc_sim_core::{Ctx, Poll};
+use kacc_trace::{Tracer, Track};
 
 /// Direction of a kernel-assisted transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +40,9 @@ pub struct SimComm {
     net_bw: f64,
     /// Capacity weight of a cross-socket copy (bw_total / bw_qpi).
     qpi_weight: f64,
+    /// Shared tracer (clone of the machine state's); off unless the run
+    /// was traced.
+    tracer: Tracer,
 }
 
 impl SimComm {
@@ -50,7 +54,7 @@ impl SimComm {
             rank,
             "rank threads must be spawned in rank order"
         );
-        let (nranks, topo, nodes, local, a, fabric) = ctx.with_state(|s, _| {
+        let (nranks, topo, nodes, local, a, fabric, tracer) = ctx.with_state(|s, _| {
             (
                 s.nranks,
                 s.topo,
@@ -58,9 +62,11 @@ impl SimComm {
                 s.local_rank(rank),
                 s.arch.clone(),
                 s.net.as_ref().map(|n| n.params.clone()),
+                s.tracer.clone(),
             )
         });
         SimComm {
+            tracer,
             node: nodes[rank],
             nodes,
             local,
@@ -125,7 +131,15 @@ impl SimComm {
         let socket = self.topo.socket_of(self.local);
         let id: FlowId = self.ctx.poll("pin:add", move |s, _w, now| {
             s.locks[target].update(now);
-            Poll::Ready(s.locks[target].add(tid, socket, pages))
+            let id = s.locks[target].add(tid, socket, pages);
+            // Queue-depth counter for the lock server's trace track.
+            s.tracer.counter(
+                Track::LockServer(target),
+                "queue_depth",
+                now,
+                s.locks[target].concurrency() as f64,
+            );
+            Poll::Ready(id)
         });
         self.ctx.poll("pin:wait", move |s, w, now| {
             s.locks[target].update(now);
@@ -134,6 +148,12 @@ impl SimComm {
                 for (t, at) in wakes {
                     w.wake_at(t, at);
                 }
+                s.tracer.counter(
+                    Track::LockServer(target),
+                    "queue_depth",
+                    now,
+                    s.locks[target].concurrency() as f64,
+                );
                 Poll::Ready(attr)
             } else {
                 Poll::Wait {
@@ -216,14 +236,24 @@ impl SimComm {
         assert!(copy_len <= remote_len, "cannot copy more than is pinned");
         let peer = token.rank as usize;
         let me = self.rank;
+        // Phase spans carry the *same* f64 values added to `RankStats`, in
+        // the same order, so per-rank span sums are bitwise equal to the
+        // stats — the invariant the trace-accounting test pins. Timestamps
+        // are only read when tracing is on; the untraced path is unchanged.
+        let traced = self.tracer.on();
 
         // 1. Syscall entry/exit.
+        let t0 = if traced { self.ctx.now() } else { 0 };
         self.ctx.advance(self.t_syscall);
         let t_sys = self.t_syscall as f64;
         self.ctx.with_state(move |s, _| {
             s.stats[me].syscall_ns += t_sys;
             s.stats[me].cma_ops += 1;
         });
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "syscall", t0, t_sys, 0, None);
+        }
 
         if peer >= self.nranks {
             return Err(CommError::BadRank(peer));
@@ -241,10 +271,15 @@ impl SimComm {
         }
 
         // 2. Permission / capability check against the remote process.
+        let t0 = if traced { self.ctx.now() } else { 0 };
         self.ctx.advance(self.t_permcheck);
         let t_chk = self.t_permcheck as f64;
         self.ctx
             .with_state(move |s, _| s.stats[me].check_ns += t_chk);
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "check", t0, t_chk, 0, None);
+        }
 
         let exposed_len = self.ctx.with_state(|s, _| {
             let h = &s.heaps[peer];
@@ -280,17 +315,38 @@ impl SimComm {
         let mut copied = 0usize;
         while page_at < pages_total {
             let pages_now = batch.min(pages_total - page_at);
+            let tb = if traced { self.ctx.now() } else { 0 };
             let (lock_ns, pin_ns) = self.lock_flow(peer, pages_now);
             self.ctx.with_state(move |s, _| {
                 s.stats[me].lock_ns += lock_ns;
                 s.stats[me].pin_ns += pin_ns;
             });
+            if traced {
+                // The batch's wall time splits into a lock share followed by
+                // a pin share (the fluid server attributes every dt to one
+                // or the other), so render them back-to-back.
+                self.tracer
+                    .span(Track::Rank(me), "lock", tb, lock_ns, 0, None);
+                self.tracer.span(
+                    Track::Rank(me),
+                    "pin",
+                    tb.saturating_add(lock_ns as u64),
+                    pin_ns,
+                    0,
+                    None,
+                );
+            }
             // Bytes of the copy extent covered by this batch.
             let batch_end_byte = ((page_at + pages_now) * self.page_size).min(remote_len);
             let copy_now = batch_end_byte.min(copy_len).saturating_sub(copied);
             if copy_now > 0 {
+                let tc = if traced { self.ctx.now() } else { 0 };
                 let wall = self.copy_flow_routed(copy_now, peak, inter_socket) as f64;
                 self.ctx.with_state(move |s, _| s.stats[me].copy_ns += wall);
+                if traced {
+                    self.tracer
+                        .span(Track::Rank(me), "copy", tc, wall, copy_now as u64, None);
+                }
                 copied += copy_now;
             }
             page_at += pages_now;
@@ -392,8 +448,17 @@ impl Comm for SimComm {
     ) -> Result<()> {
         self.check_local(src, src_off, len)?;
         self.check_local(dst, dst_off, len)?;
+        let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
         // memcpy consumes memory bandwidth like any other copy.
-        self.copy_flow(len, self.bw_core);
+        let wall = self.copy_flow(len, self.bw_core);
+        self.tracer.span(
+            Track::Rank(self.rank),
+            "copy_local",
+            t0,
+            wall as f64,
+            len as u64,
+            None,
+        );
         let me = self.rank;
         self.ctx.with_state(move |s, _| {
             if !s.heaps[me].is_phantom(src.0) && !s.heaps[me].is_phantom(dst.0) {
@@ -460,6 +525,17 @@ impl Comm for SimComm {
                 .deposit(w, to, me, tag.0 as u64, arrival, payload.clone());
             Poll::Ready(())
         });
+        if self.tracer.on() {
+            let dur = (self.ctx.now() - start) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "ctrl_send",
+                start,
+                dur,
+                data.len() as u64,
+                tag.class(),
+            );
+        }
         Ok(())
     }
 
@@ -469,9 +545,22 @@ impl Comm for SimComm {
         }
         let me = self.rank;
         let tid = self.ctx.tid();
-        Ok(self.ctx.poll("ctrl:recv", move |s, _w, now| {
+        let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
+        let payload = self.ctx.poll("ctrl:recv", move |s, _w, now| {
             s.mail.take(tid, me, from, tag.0 as u64, now)
-        }))
+        });
+        if self.tracer.on() {
+            let dur = (self.ctx.now() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "ctrl_recv",
+                t0,
+                dur,
+                payload.len() as u64,
+                tag.class(),
+            );
+        }
+        Ok(payload)
     }
 
     fn shm_send_data(
@@ -486,6 +575,7 @@ impl Comm for SimComm {
             return Err(CommError::BadRank(to));
         }
         self.check_local(src, off, len)?;
+        let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
         let cross_node = self.nodes[to] != self.node;
         if cross_node {
             // Wire occupancy on this node's egress link (fluid-shared
@@ -517,6 +607,17 @@ impl Comm for SimComm {
             s.mail.deposit(w, to, me, key, arrival, payload.clone());
             Poll::Ready(())
         });
+        if self.tracer.on() {
+            let dur = (self.ctx.now() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "shm_send",
+                t0,
+                dur,
+                len as u64,
+                tag.class(),
+            );
+        }
         Ok(())
     }
 
@@ -535,6 +636,7 @@ impl Comm for SimComm {
         let me = self.rank;
         let tid = self.ctx.tid();
         let key = (1u64 << 32) | tag.0 as u64;
+        let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
         let payload = self.ctx.poll("shm:wait", move |s, _w, now| {
             s.mail.take(tid, me, from, key, now)
         });
@@ -558,11 +660,26 @@ impl Comm for SimComm {
             self.copy_flow_routed(len, peak, inter);
         }
         self.write_local(dst, off, &payload)?;
+        if self.tracer.on() {
+            let dur = (self.ctx.now() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "shm_recv",
+                t0,
+                dur,
+                len as u64,
+                tag.class(),
+            );
+        }
         Ok(())
     }
 
     fn time_ns(&self) -> u64 {
         self.ctx.now()
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 }
 

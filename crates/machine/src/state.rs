@@ -209,6 +209,9 @@ pub struct MachineState {
     pub net: Option<NetState>,
     /// Per-rank step accounting.
     pub stats: Vec<RankStats>,
+    /// Destination for phase spans and lock-server counters. Defaults to
+    /// off; the team harness installs a live tracer for traced runs.
+    pub tracer: kacc_trace::Tracer,
 }
 
 impl MachineState {
@@ -269,6 +272,7 @@ impl MachineState {
                 params,
             }),
             stats: vec![RankStats::default(); nranks],
+            tracer: kacc_trace::Tracer::off(),
             arch,
         }
     }

@@ -3,7 +3,8 @@
 use crate::simcomm::SimComm;
 use crate::state::{MachineState, RankStats};
 use kacc_model::{ArchProfile, FabricParams};
-use kacc_sim_core::{Sim, TraceEvent};
+use kacc_sim_core::Sim;
+use kacc_trace::{Event, Tracer};
 use std::sync::{Arc, Mutex};
 
 /// Timing and accounting from a completed team run.
@@ -63,14 +64,17 @@ where
     )
 }
 
-/// [`run_team`] with the scheduler trace enabled: additionally returns
-/// every dispatch event (export with
-/// `kacc_sim_core::trace_to_chrome_json` for a Perfetto timeline).
+/// [`run_team`] with tracing enabled: additionally returns the full
+/// structured event stream — scheduler dispatches, copy-path phase spans
+/// (syscall/check/lock/pin/copy), transport spans with tag-class
+/// attribution, and lock-server queue-depth counters. Export with
+/// [`kacc_trace::chrome_trace_json`] for a Perfetto timeline or aggregate
+/// with [`kacc_trace::Breakdown`] for the Fig 2–4 tables.
 pub fn run_team_traced<R, F>(
     arch: &ArchProfile,
     nranks: usize,
     f: F,
-) -> (TeamRun, Vec<R>, Vec<TraceEvent>)
+) -> (TeamRun, Vec<R>, Vec<Event>)
 where
     F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
     R: Send + 'static,
@@ -108,18 +112,26 @@ where
 }
 
 fn run_machine_opts<R, F>(
-    state: MachineState,
+    mut state: MachineState,
     trace: bool,
     f: F,
-) -> (TeamRun, Vec<R>, Vec<TraceEvent>)
+) -> (TeamRun, Vec<R>, Vec<Event>)
 where
     F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
     R: Send + 'static,
 {
+    // One buffered tracer shared by the scheduler (dispatch instants) and
+    // the machine model (phase spans, queue-depth counters), so all layers
+    // land in a single correlated event stream.
+    let capture = trace.then(|| {
+        let (tracer, buf) = Tracer::buffered();
+        state.tracer = tracer.clone();
+        (tracer, buf)
+    });
     let nranks = state.nranks;
     let mut sim = Sim::new(state);
-    if trace {
-        sim.enable_trace();
+    if let Some((tracer, _)) = &capture {
+        sim.set_tracer(tracer.clone());
     }
     let f = Arc::new(f);
     let results: Arc<Mutex<Vec<Option<R>>>> =
@@ -134,7 +146,7 @@ where
         });
     }
     let report = sim.run();
-    let trace = report.trace;
+    let trace = capture.map(|(_, buf)| buf.take()).unwrap_or_default();
     let st = report.state;
     let run = TeamRun {
         end_ns: report.end_time,
@@ -322,12 +334,36 @@ mod tests {
         });
         assert!(run.end_ns > 0);
         assert!(!trace.is_empty());
-        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
-        // The pin/copy phases of the CMA path must appear.
-        assert!(trace.iter().any(|e| e.label == "pin:wait"));
-        assert!(trace.iter().any(|e| e.label == "flow:wait"));
-        let json = kacc_sim_core::trace_to_chrome_json(&trace);
+        // Scheduler dispatch instants arrive in virtual-time order.
+        let instants: Vec<&kacc_trace::Event> = trace
+            .iter()
+            .filter(|e| matches!(e.kind, kacc_trace::EventKind::Instant { .. }))
+            .collect();
+        assert!(!instants.is_empty());
+        assert!(instants.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        // The pin/copy dispatch labels of the CMA path must appear...
+        assert!(trace.iter().any(|e| e.name == "pin:wait"));
+        assert!(trace.iter().any(|e| e.name == "flow:wait"));
+        // ...alongside the machine's phase spans and queue-depth counters.
+        for phase in ["syscall", "check", "lock", "pin", "copy"] {
+            assert!(
+                trace.iter().any(
+                    |e| e.name == phase && matches!(e.kind, kacc_trace::EventKind::Span { .. })
+                ),
+                "missing phase span {phase}"
+            );
+        }
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.track, kacc_trace::Track::LockServer(_))
+                && matches!(e.kind, kacc_trace::EventKind::Counter { .. })));
+        // Transport spans carry the sm-collective tag class.
+        assert!(trace
+            .iter()
+            .any(|e| e.name == "ctrl_send" && e.class.is_some()));
+        let json = kacc_trace::chrome_trace_json(&trace);
         assert!(json.contains("pin:wait"));
+        kacc_trace::validate::validate_chrome_json(&json).expect("trace export validates");
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub mod mailbox;
 
 pub use mailbox::Mailboxes;
 
+// Scheduler dispatches are emitted as `kacc_trace` instant events; re-export
+// the pieces callers need to consume a captured dispatch trace.
+pub use kacc_trace::{chrome_trace_json, Event as TraceEvent, SharedBuffer, Tracer};
+
+use kacc_trace::Track;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -35,40 +40,6 @@ use std::sync::Arc;
 
 /// Virtual time in nanoseconds.
 pub type SimTime = u64;
-
-/// One scheduler transition, recorded when tracing is enabled: thread
-/// `tid` received the floor at virtual time `at` to resume the operation
-/// it was parked on.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Virtual time of the dispatch.
-    pub at: SimTime,
-    /// Thread that received the floor.
-    pub tid: usize,
-    /// Label of the operation the thread was parked on.
-    pub label: &'static str,
-}
-
-/// Render a dispatch trace as Chrome trace-event JSON (open in
-/// `chrome://tracing` or Perfetto): each dispatch becomes an instant
-/// event on its thread's track, with virtual nanoseconds mapped to
-/// microsecond timestamps.
-pub fn trace_to_chrome_json(trace: &[TraceEvent]) -> String {
-    let mut out = String::from("[");
-    for (i, e) in trace.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
-            e.label,
-            e.at as f64 / 1000.0,
-            e.tid
-        ));
-    }
-    out.push(']');
-    out
-}
 
 /// Result of one evaluation of a [`Ctx::poll`] closure.
 pub enum Poll<T> {
@@ -134,8 +105,9 @@ struct KernelState<S> {
     user: S,
     panic_msg: Option<String>,
     all_done: bool,
-    /// Dispatch trace, when enabled.
-    trace: Option<Vec<TraceEvent>>,
+    /// Destination for scheduler-dispatch instant events; `Tracer::off()`
+    /// unless tracing was requested.
+    tracer: Tracer,
 }
 
 struct Kernel<S> {
@@ -194,10 +166,10 @@ impl<S> Kernel<S> {
             debug_assert!(t >= st.now, "event heap went backwards");
             st.now = t;
             slot.go = true;
-            let label = slot.label;
-            if let Some(trace) = st.trace.as_mut() {
-                trace.push(TraceEvent { at: t, tid, label });
-            }
+            // The tracer's sink lock is a leaf lock taken strictly under the
+            // kernel mutex, so this cannot deadlock; disabled tracing is a
+            // single branch.
+            st.tracer.instant(Track::Rank(tid), slot.label, t);
             self.cvs[tid].notify_one();
             return;
         }
@@ -315,7 +287,9 @@ pub struct RunReport<S> {
     pub end_time: SimTime,
     /// Per-thread finish times, indexed by tid.
     pub finish_times: Vec<SimTime>,
-    /// Dispatch trace, when enabled with [`Sim::enable_trace`].
+    /// Dispatch trace, when enabled with [`Sim::enable_trace`]. Empty when
+    /// an external tracer was installed with [`Sim::set_tracer`] instead
+    /// (events flow to that tracer's sink).
     pub trace: Vec<TraceEvent>,
 }
 
@@ -323,7 +297,8 @@ pub struct RunReport<S> {
 pub struct Sim<S: Send + 'static> {
     state: Option<S>,
     pending: Vec<Box<dyn FnOnce(Ctx<S>) + Send + 'static>>,
-    trace: bool,
+    tracer: Tracer,
+    capture: Option<SharedBuffer>,
 }
 
 impl<S: Send + 'static> Sim<S> {
@@ -332,14 +307,25 @@ impl<S: Send + 'static> Sim<S> {
         Sim {
             state: Some(state),
             pending: Vec::new(),
-            trace: false,
+            tracer: Tracer::off(),
+            capture: None,
         }
     }
 
     /// Record every scheduler dispatch into [`RunReport::trace`]
     /// (observability/debugging; costs memory proportional to events).
     pub fn enable_trace(&mut self) {
-        self.trace = true;
+        let (tracer, buf) = Tracer::buffered();
+        self.tracer = tracer;
+        self.capture = Some(buf);
+    }
+
+    /// Send scheduler-dispatch events to an external [`Tracer`] (shared
+    /// with other layers, e.g. the machine model). [`RunReport::trace`]
+    /// stays empty; the caller owns the sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.capture = None;
     }
 
     /// Register a simulated thread. Threads receive the floor in spawn
@@ -373,7 +359,7 @@ impl<S: Send + 'static> Sim<S> {
                 user: self.state.take().expect("run called once"),
                 panic_msg: None,
                 all_done: false,
-                trace: self.trace.then(Vec::new),
+                tracer: self.tracer.clone(),
             }),
             cvs: (0..=n).map(|_| Condvar::new()).collect(),
         });
@@ -461,7 +447,7 @@ impl<S: Send + 'static> Sim<S> {
                 .iter()
                 .map(|t| t.finish_time.expect("finished thread has time"))
                 .collect(),
-            trace: st.trace.unwrap_or_default(),
+            trace: self.capture.map(|b| b.take()).unwrap_or_default(),
             state: st.user,
         }
     }
@@ -599,10 +585,13 @@ mod tests {
         sim.spawn(|ctx| ctx.advance(15));
         let r = sim.run();
         assert!(!r.trace.is_empty());
-        assert!(r.trace.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(r.trace.windows(2).all(|w| w[0].ts() <= w[1].ts()));
         // Both threads appear, with the advance label.
-        assert!(r.trace.iter().any(|e| e.tid == 0 && e.label == "advance"));
-        assert!(r.trace.iter().any(|e| e.tid == 1));
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| e.track == Track::Rank(0) && e.name == "advance"));
+        assert!(r.trace.iter().any(|e| e.track == Track::Rank(1)));
         // Untraced runs stay empty.
         let mut sim = Sim::new(());
         sim.spawn(|ctx| ctx.advance(1));
@@ -610,25 +599,46 @@ mod tests {
     }
 
     #[test]
+    fn external_tracer_receives_dispatches() {
+        let (tracer, buf) = Tracer::buffered();
+        let mut sim = Sim::new(());
+        sim.set_tracer(tracer);
+        sim.spawn(|ctx| ctx.advance(10));
+        let r = sim.run();
+        // Events went to the external sink, not the report.
+        assert!(r.trace.is_empty());
+        let evs = buf.take();
+        assert!(evs
+            .iter()
+            .any(|e| e.track == Track::Rank(0) && e.name == "advance" && e.ts() == 10));
+    }
+
+    #[test]
     fn chrome_export_is_wellformed() {
+        use kacc_trace::{Event, EventKind};
         let trace = vec![
-            TraceEvent {
-                at: 1000,
-                tid: 0,
-                label: "advance",
+            Event {
+                track: Track::Rank(0),
+                name: "advance",
+                kind: EventKind::Instant { ts: 1000 },
+                bytes: 0,
+                class: None,
             },
-            TraceEvent {
-                at: 2500,
-                tid: 3,
-                label: "pin:wait",
+            Event {
+                track: Track::Rank(3),
+                name: "pin:wait",
+                kind: EventKind::Instant { ts: 2500 },
+                bytes: 0,
+                class: None,
             },
         ];
-        let json = trace_to_chrome_json(&trace);
+        let json = chrome_trace_json(&trace);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"ts\":1"));
         assert!(json.contains("\"tid\":3"));
         assert!(json.contains("pin:wait"));
-        assert_eq!(trace_to_chrome_json(&[]), "[]");
+        kacc_trace::validate::validate_chrome_json(&json).expect("export validates");
+        assert_eq!(chrome_trace_json(&[]), "[]");
     }
 
     #[test]

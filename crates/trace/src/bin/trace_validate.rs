@@ -1,0 +1,39 @@
+//! CLI wrapper around [`kacc_trace::validate`]: checks that a Chrome-trace
+//! JSON file is well-formed (schema + monotone per-track timestamps) and
+//! exits non-zero otherwise. Used by the `trace-validate` step in
+//! `scripts/ci.sh`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: trace-validate <trace.json>");
+            eprintln!("Validates Chrome trace-event JSON (ph/ts/pid/tid schema,");
+            eprintln!("monotone per-track timestamps). Exits 1 on violation.");
+            return ExitCode::from(2);
+        }
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("trace-validate: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match kacc_trace::validate::validate_chrome_json(&json) {
+        Ok(s) => {
+            println!(
+                "trace-validate: OK — {} events, {} tracks, {} spans, {} counter samples",
+                s.events, s.tracks, s.spans, s.counters
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-validate: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the "JSON array format" understood by `chrome://tracing` and
+//! Perfetto: one track per simulated rank (pid 0) plus one per page-lock
+//! server (pid 1, carrying the queue-depth counter). Spans become `"X"`
+//! (complete) events with microsecond `ts`/`dur`, instants become `"i"`,
+//! counters become `"C"`.
+//!
+//! Events are grouped per track and sorted by timestamp before emission, so
+//! every track's `ts` sequence is monotone non-decreasing — the property the
+//! `trace-validate` CI step checks.
+
+use crate::{Event, EventKind, Track};
+
+/// (pid, tid) pair a [`Track`] renders under in the exported trace.
+pub fn track_ids(track: Track) -> (u64, u64) {
+    match track {
+        Track::Rank(r) => (0, r as u64),
+        Track::LockServer(s) => (1, s as u64),
+    }
+}
+
+fn track_name(track: Track) -> String {
+    match track {
+        Track::Rank(r) => format!("rank {r}"),
+        Track::LockServer(s) => format!("page-lock server {s}"),
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → microseconds (Chrome-trace `ts`/`dur` unit).
+fn us(ns: f64) -> f64 {
+    ns / 1000.0
+}
+
+/// Render a slice of events as Chrome trace-event JSON (array format).
+///
+/// The output is self-contained: it starts with `process_name` /
+/// `thread_name` metadata so Perfetto labels each rank and lock-server
+/// track, then lists all events grouped per track in timestamp order.
+/// An empty slice renders as `"[]"`.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    if events.is_empty() {
+        return "[]".to_string();
+    }
+
+    // Stable order: group by track, then by timestamp (stable sort keeps
+    // emission order for identical timestamps).
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        track_ids(a.track)
+            .cmp(&track_ids(b.track))
+            .then(a.ts().cmp(&b.ts()))
+    });
+
+    let mut tracks: Vec<Track> = sorted.iter().map(|e| e.track).collect();
+    tracks.dedup();
+
+    let mut parts: Vec<String> = Vec::with_capacity(sorted.len() + tracks.len() + 2);
+
+    // Process metadata: pid 0 = ranks, pid 1 = lock servers.
+    let mut pids: Vec<u64> = tracks.iter().map(|&t| track_ids(t).0).collect();
+    pids.dedup();
+    for pid in pids {
+        let pname = if pid == 0 {
+            "ranks"
+        } else {
+            "page-lock servers"
+        };
+        parts.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{pname}"}}}}"#
+        ));
+    }
+    for &t in &tracks {
+        let (pid, tid) = track_ids(t);
+        parts.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            esc(&track_name(t))
+        ));
+    }
+
+    for ev in sorted {
+        let (pid, tid) = track_ids(ev.track);
+        let name = esc(ev.name);
+        let cat = match ev.class {
+            Some(c) => format!("class{c}"),
+            None => "sim".to_string(),
+        };
+        match ev.kind {
+            EventKind::Span { ts, dur } => {
+                let args = if ev.bytes > 0 {
+                    format!(r#","args":{{"bytes":{}}}"#, ev.bytes)
+                } else {
+                    String::new()
+                };
+                parts.push(format!(
+                    r#"{{"name":"{name}","cat":"{cat}","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{tid}{args}}}"#,
+                    us(ts as f64),
+                    us(dur)
+                ));
+            }
+            EventKind::Instant { ts } => {
+                parts.push(format!(
+                    r#"{{"name":"{name}","cat":"{cat}","ph":"i","ts":{},"pid":{pid},"tid":{tid},"s":"t"}}"#,
+                    us(ts as f64)
+                ));
+            }
+            EventKind::Counter { ts, value } => {
+                parts.push(format!(
+                    r#"{{"name":"{name}","cat":"{cat}","ph":"C","ts":{},"pid":{pid},"tid":{tid},"args":{{"{name}":{value}}}}}"#,
+                    us(ts as f64)
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("[\n");
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_empty_array() {
+        assert_eq!(chrome_trace_json(&[]), "[]");
+    }
+
+    #[test]
+    fn span_renders_complete_event_in_microseconds() {
+        let ev = Event {
+            track: Track::Rank(3),
+            name: "copy",
+            kind: EventKind::Span {
+                ts: 2000,
+                dur: 500.0,
+            },
+            bytes: 4096,
+            class: Some(17),
+        };
+        let j = chrome_trace_json(&[ev]);
+        assert!(j.contains(r#""name":"copy""#), "{j}");
+        assert!(j.contains(r#""ph":"X""#), "{j}");
+        assert!(j.contains(r#""ts":2"#), "{j}");
+        assert!(j.contains(r#""dur":0.5"#), "{j}");
+        assert!(j.contains(r#""tid":3"#), "{j}");
+        assert!(j.contains(r#""bytes":4096"#), "{j}");
+        assert!(j.contains(r#""cat":"class17""#), "{j}");
+        assert!(j.contains(r#""name":"rank 3""#), "{j}");
+    }
+
+    #[test]
+    fn lockserver_goes_to_pid_1_with_counter() {
+        let ev = Event {
+            track: Track::LockServer(2),
+            name: "queue_depth",
+            kind: EventKind::Counter {
+                ts: 1000,
+                value: 4.0,
+            },
+            bytes: 0,
+            class: None,
+        };
+        let j = chrome_trace_json(&[ev]);
+        assert!(j.contains(r#""ph":"C""#), "{j}");
+        assert!(j.contains(r#""pid":1"#), "{j}");
+        assert!(j.contains(r#""queue_depth":4"#), "{j}");
+        assert!(j.contains(r#""name":"page-lock server 2""#), "{j}");
+    }
+
+    #[test]
+    fn per_track_timestamps_are_monotone_even_if_emitted_out_of_order() {
+        // A dispatch instant at t=300 can be *emitted* before a span that
+        // started at t=100; the exporter must still order each track by ts.
+        let evs = vec![
+            Event {
+                track: Track::Rank(0),
+                name: "dispatch",
+                kind: EventKind::Instant { ts: 300 },
+                bytes: 0,
+                class: None,
+            },
+            Event {
+                track: Track::Rank(0),
+                name: "lock",
+                kind: EventKind::Span {
+                    ts: 100,
+                    dur: 200.0,
+                },
+                bytes: 0,
+                class: None,
+            },
+        ];
+        let j = chrome_trace_json(&evs);
+        let lock_pos = j.find(r#""name":"lock""#).unwrap();
+        let disp_pos = j.find(r#""name":"dispatch""#).unwrap();
+        assert!(
+            lock_pos < disp_pos,
+            "span at ts=100 must precede instant at ts=300:\n{j}"
+        );
+        crate::validate::validate_chrome_json(&j).expect("exported trace must validate");
+    }
+}

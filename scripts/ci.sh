@@ -16,4 +16,10 @@ cargo build --release
 echo "== cargo test (tier-1) =="
 cargo test -q
 
+echo "== trace-validate (Chrome-trace export schema) =="
+trace_tmp="$(mktemp -t kacc-trace-XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+cargo run --release -q -p kacc-bench --bin repro -- --quick --trace-out "$trace_tmp"
+cargo run --release -q -p kacc-trace --bin trace-validate -- "$trace_tmp"
+
 echo "CI gates all green."

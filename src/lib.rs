@@ -25,7 +25,10 @@
 //! * [`native`] — a real Linux transport using `process_vm_readv` /
 //!   `process_vm_writev` between forked processes;
 //! * [`numerics`] — from-scratch least-squares and Levenberg–Marquardt
-//!   fitting used to recover the model parameters.
+//!   fitting used to recover the model parameters;
+//! * [`trace`] — zero-cost-when-disabled structured tracing: spans and
+//!   counters in virtual time, ftrace-style phase breakdowns, and
+//!   Chrome trace-event JSON export for Perfetto.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -39,6 +42,7 @@ pub use kacc_native as native;
 pub use kacc_netsim as netsim;
 pub use kacc_numerics as numerics;
 pub use kacc_sim_core as sim;
+pub use kacc_trace as trace;
 
 /// Commonly used items, for `use kacc::prelude::*`.
 pub mod prelude {
