@@ -1,16 +1,20 @@
 //! Regenerate the paper's tables and figures from the simulator.
 //!
 //! ```text
-//! repro all                # every artifact, full scale (minutes)
-//! repro fig7 fig8          # specific artifacts
-//! repro --quick all        # reduced sweeps/team sizes (smoke run)
-//! repro --csv out/ fig7    # also write CSV files
-//! repro --list             # list artifact names
-//! repro --trace-out t.json # Chrome trace of a contended scatter
+//! repro all                  # every artifact, full scale (minutes)
+//! repro fig7 fig8            # specific artifacts
+//! repro --quick all          # reduced sweeps/team sizes (smoke run)
+//! repro --csv out/ fig7      # also write CSV files
+//! repro --list               # list artifact names
+//! repro --trace-out t.json   # Chrome trace of a contended scatter
+//! repro --fault-plan plan.txt  # same scatter under a fault plan:
+//!                            # recovery accounting + breakdown (combine
+//!                            # with --trace-out for the faulty timeline)
 //! ```
 
 use kacc_bench::figs::registry;
 use kacc_bench::{size_label, Chart};
+use kacc_fault::FaultPlan;
 use std::io::Write;
 
 fn main() {
@@ -18,6 +22,7 @@ fn main() {
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut fault_plan: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut list_only = false;
 
@@ -38,9 +43,15 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--fault-plan" => {
+                fault_plan = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--fault-plan needs a plan file path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--csv DIR] [--trace-out FILE] [--list] <artifact...|all>\n\
+                    "usage: repro [--quick] [--csv DIR] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
                      artifacts: {}",
                     registry()
                         .iter()
@@ -61,12 +72,34 @@ fn main() {
         }
         return;
     }
-    if let Some(path) = &trace_out {
+    let p = if quick { 8 } else { 16 };
+    let count = if quick { 32 << 10 } else { 256 << 10 };
+    if let Some(plan_path) = &fault_plan {
+        // The contended scatter again, but with the plan's faults injected
+        // at the transport layer: prints rank outcomes, recovery
+        // accounting, and the phase breakdown with `fault:*`/`retry:*`/
+        // `fallback:*` spans attributed.
+        let text = std::fs::read_to_string(plan_path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan {plan_path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{plan_path}: {e}");
+            std::process::exit(2);
+        });
+        let (report, json) = kacc_bench::tracedemo::fault_plan_report(plan, p, count);
+        print!("{report}");
+        if let Some(path) = &trace_out {
+            std::fs::write(path, &json).expect("write trace file");
+            eprintln!(
+                "[trace: {p}-rank contended scatter under {plan_path}, {} per rank -> {path}]",
+                size_label(count)
+            );
+        }
+    } else if let Some(path) = &trace_out {
         // One contended one-to-all scatter, traced end to end: the
         // Perfetto-loadable timeline shows one track per rank plus the
         // root's page-lock-server queue depth.
-        let p = if quick { 8 } else { 16 };
-        let count = if quick { 32 << 10 } else { 256 << 10 };
         let json = kacc_bench::tracedemo::default_trace_json(p, count);
         std::fs::write(path, &json).expect("write trace file");
         eprintln!(
@@ -75,7 +108,7 @@ fn main() {
         );
     }
     if wanted.is_empty() {
-        if trace_out.is_some() {
+        if trace_out.is_some() || fault_plan.is_some() {
             return;
         }
         eprintln!("nothing to do; try `repro all` or `repro --list`");

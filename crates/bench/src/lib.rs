@@ -15,6 +15,7 @@
 
 pub mod figs;
 pub mod measure;
+pub mod nullcomm;
 pub mod render;
 pub mod tracedemo;
 pub mod workload;

@@ -160,7 +160,8 @@ fn direct_write<C: Comm + ?Sized>(
     let p = comm.size();
     let me = comm.rank();
     if me == root {
-        let tokens = smcoll::sm_gather(comm, root, &[])?.unwrap();
+        let tokens =
+            smcoll::sm_gather(comm, root, &[])?.expect("sm_gather yields entries at the root");
         for v in 1..p {
             let r = unvrank(v, root, p);
             let token = RemoteToken::from_bytes(&tokens[r])

@@ -12,11 +12,136 @@
 //! both come from [`Comm::time_ns`], so the report means "time this rank
 //! spent inside each primitive" on every transport.
 
-use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result};
+use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 use kacc_trace::{Event, EventKind, Tracer, Track};
 
 use crate::reduce::combine;
 use crate::schedule::{Payload, RecvInto, Schedule, Slot, Step};
+
+/// How the executor reacts to faults surfaced by the transport.
+///
+/// The default policy retries transient errors a few times with
+/// exponential backoff and degrades persistently-failing CMA steps to
+/// the two-copy shared-memory fallback; it never bounds blocking waits
+/// (`step_timeout_ns: None`), so a fault-free execution is identical to
+/// the policy-free path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Consecutive failed attempts tolerated per step before giving up
+    /// (or falling back). Progress — a short read that moved bytes —
+    /// resets the budget.
+    pub max_retries: u32,
+    /// Base backoff between retries, doubled per consecutive failure
+    /// (capped at `base << 5`); charged through [`Comm::sleep_ns`] so it
+    /// is virtual time under simulation. `0` disables backoff.
+    pub backoff_ns: u64,
+    /// Degrade a persistently failing CMA step to the two-copy
+    /// [`Comm::shm_fallback_read`]/`write` path instead of failing.
+    pub cma_fallback: bool,
+    /// Bound every blocking step (control receives, notification waits,
+    /// bulk receives) to this many nanoseconds per attempt, turning a
+    /// silent hang into a typed [`CommError::Timeout`]. `None` blocks
+    /// forever, exactly as the transports do natively.
+    pub step_timeout_ns: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_ns: 1_000,
+            cma_fallback: true,
+            step_timeout_ns: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that retries nothing and falls back to nothing: every
+    /// transport error propagates on first occurrence.
+    pub fn none() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_ns: 0,
+            cma_fallback: false,
+            step_timeout_ns: None,
+        }
+    }
+}
+
+/// What recovery did during one schedule execution. All-zero (its
+/// `Default`) on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transient failures (EAGAIN-class) that were retried.
+    pub transient_retries: u64,
+    /// Time spent inside attempts that failed transiently.
+    pub transient_ns: u64,
+    /// Short CMA transfers resumed from a partial offset.
+    pub short_resumes: u64,
+    /// Bytes salvaged by those partial transfers.
+    pub short_bytes: u64,
+    /// Permission-denied faults routed to the fallback path.
+    pub denied: u64,
+    /// Time spent inside the denied attempts.
+    pub denied_ns: u64,
+    /// Bounded waits that expired ([`CommError::Timeout`]).
+    pub timeouts: u64,
+    /// Time spent waiting in those expired attempts.
+    pub timeout_ns: u64,
+    /// Backoff sleeps taken between retries.
+    pub backoffs: u64,
+    /// Total backoff time.
+    pub backoff_ns: u64,
+    /// CMA steps completed via the two-copy shared-memory fallback.
+    pub fallbacks: u64,
+    /// Bytes moved by the fallback path.
+    pub fallback_bytes: u64,
+    /// Time spent inside the fallback transfers.
+    pub fallback_ns: u64,
+}
+
+impl RecoveryReport {
+    /// True when no recovery action fired (the execution was fault-free).
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+
+    /// Fold one recovery span into the counters; returns false for span
+    /// names that are not recovery spans. Shared by the live recorder
+    /// and [`ScheduleReport::from_events`] so the two cannot drift.
+    fn add_span(&mut self, name: &str, bytes: u64, dt: u64) -> bool {
+        match name {
+            "fault:transient" => {
+                self.transient_retries += 1;
+                self.transient_ns += dt;
+            }
+            "fault:short" => {
+                self.short_resumes += 1;
+                self.short_bytes += bytes;
+            }
+            "fault:denied" => {
+                self.denied += 1;
+                self.denied_ns += dt;
+            }
+            "fault:timeout" => {
+                self.timeouts += 1;
+                self.timeout_ns += dt;
+            }
+            "retry:backoff" => {
+                self.backoffs += 1;
+                self.backoff_ns += dt;
+            }
+            "fallback:read" | "fallback:write" => {
+                self.fallbacks += 1;
+                self.fallback_bytes += bytes;
+                self.fallback_ns += dt;
+            }
+            _ => return false,
+        }
+        true
+    }
+}
 
 /// Caller buffers a schedule's symbolic slots resolve to.
 #[derive(Debug, Clone, Copy, Default)]
@@ -125,6 +250,17 @@ impl Recorder<'_> {
             self.class,
         );
     }
+
+    /// Record one recovery action (`fault:*` / `retry:*` / `fallback:*`).
+    /// Recovery spans do not count as steps and never extend `total_ns`
+    /// computation in [`ScheduleReport::from_events`] — they nest inside
+    /// the step span that eventually succeeds or fails.
+    fn recovery(&mut self, name: &'static str, bytes: usize, t0: u64, t1: u64) {
+        let dt = t1.saturating_sub(t0);
+        self.report.recovery.add_span(name, bytes as u64, dt);
+        self.tracer
+            .span(self.track, name, t0, dt as f64, bytes as u64, self.class);
+    }
 }
 
 /// Per-step-kind accounting for one schedule execution.
@@ -156,6 +292,8 @@ pub struct ScheduleReport {
     pub steps: u64,
     /// End-to-end time from first step to last, in `time_ns` units.
     pub total_ns: u64,
+    /// What the recovery machinery did (all-zero on a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 impl ScheduleReport {
@@ -198,12 +336,16 @@ impl ScheduleReport {
             let EventKind::Span { ts, dur } = ev.kind else {
                 continue;
             };
-            let Some(kind) = StepKind::from_span_name(ev.name) else {
-                continue;
-            };
             // Executor spans carry whole-nanosecond durations, so the f64
             // round-trips exactly.
             let dt = dur as u64;
+            let Some(kind) = StepKind::from_span_name(ev.name) else {
+                // Recovery spans rebuild the RecoveryReport but are not
+                // steps and do not bound total_ns (they nest inside their
+                // step's span).
+                report.recovery.add_span(ev.name, ev.bytes, dt);
+                continue;
+            };
             report.stat_mut(kind).add(ev.bytes as usize, dt);
             report.steps += 1;
             first_start = Some(first_start.map_or(ts, |f| f.min(ts)));
@@ -358,11 +500,46 @@ pub fn execute<C: Comm + ?Sized>(
 /// `step:<kind>` span on this rank's track, attributed to the schedule's
 /// collective class, through the same recording path that feeds the
 /// returned [`ScheduleReport`] (see [`ScheduleReport::from_events`]).
+///
+/// Runs under [`RecoveryPolicy::default`]: a fault-free execution takes
+/// exactly the same transport calls (and, under simulation, the same
+/// virtual time) as it did before recovery existed, while injected or
+/// real transient faults are retried instead of aborting the collective.
 pub fn execute_traced<C: Comm + ?Sized>(
     comm: &mut C,
     sched: &Schedule,
     bind: &Bindings,
     tracer: &Tracer,
+) -> Result<ScheduleReport> {
+    execute_with_policy(comm, sched, bind, tracer, &RecoveryPolicy::default())
+}
+
+/// [`execute_traced`] with an explicit [`RecoveryPolicy`].
+///
+/// Every fallible step runs through a bounded retry loop:
+///
+/// * transient errors (EAGAIN-class `Os`, [`CommError::Timeout`]) retry
+///   up to `max_retries` times with exponential backoff charged via
+///   [`Comm::sleep_ns`];
+/// * short CMA transfers ([`CommError::Truncated`]) resume from the
+///   partial offset — forward progress resets the retry budget;
+/// * persistently failing CMA steps degrade to the two-copy
+///   [`Comm::shm_fallback_read`]/`write` path when `cma_fallback` is on
+///   (peer death, `Os(ESRCH)`, is never degraded — a dead peer cannot
+///   serve the fallback either);
+/// * with `step_timeout_ns` set, blocking receives use the transports'
+///   deadline variants so a lost message or dead peer surfaces as
+///   [`CommError::Timeout`] instead of a hang.
+///
+/// Every action is recorded in [`ScheduleReport::recovery`] and emitted
+/// as a `fault:*` / `retry:*` / `fallback:*` span nested inside the
+/// step's own span.
+pub fn execute_with_policy<C: Comm + ?Sized>(
+    comm: &mut C,
+    sched: &Schedule,
+    bind: &Bindings,
+    tracer: &Tracer,
+    policy: &RecoveryPolicy,
 ) -> Result<ScheduleReport> {
     if sched.rank != comm.rank() || sched.p != comm.size() {
         return Err(proto(format!(
@@ -387,7 +564,7 @@ pub fn execute_traced<C: Comm + ?Sized>(
     };
 
     let start = comm.time_ns();
-    let result = run_steps(comm, sched, &mut ctx, &mut rec);
+    let result = run_steps(comm, sched, &mut ctx, &mut rec, policy);
     rec.report.total_ns = comm.time_ns().saturating_sub(start);
 
     // Free scratch even when a step failed mid-run.
@@ -397,18 +574,297 @@ pub fn execute_traced<C: Comm + ?Sized>(
     result.map(|()| rec.report)
 }
 
+/// `errno` for "no such process": the peer died. Named locally to keep
+/// this crate libc-free.
+const ESRCH: i32 = 3;
+
+/// True for errors worth retrying in place: the operation may succeed on
+/// a later attempt with no change of data path. `Os(ESRCH)` — peer died —
+/// is permanent; so is `PermissionDenied`, which recovery routes to the
+/// fallback path instead of the retry loop.
+fn is_transient(e: &CommError) -> bool {
+    match e {
+        CommError::Os(code) => *code != ESRCH,
+        CommError::Timeout { .. } => true,
+        _ => false,
+    }
+}
+
+/// Sleep the policy's exponential backoff for the `attempt`-th
+/// consecutive failure (1-based), charging it on the transport's clock.
+fn backoff<C: Comm + ?Sized>(
+    comm: &mut C,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    attempt: u32,
+) {
+    if policy.backoff_ns == 0 {
+        return;
+    }
+    let ns = policy.backoff_ns << (attempt.min(6) - 1).min(5);
+    let t0 = comm.time_ns();
+    comm.sleep_ns(ns);
+    rec.recovery("retry:backoff", 0, t0, comm.time_ns());
+}
+
+/// Run one non-resumable operation under the transient-retry loop.
+fn retry_transient<C: Comm + ?Sized, T>(
+    comm: &mut C,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    mut op: impl FnMut(&mut C) -> Result<T>,
+) -> Result<T> {
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        match op(comm) {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+                backoff(comm, rec, policy, attempts);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A CMA read or write with the full recovery ladder: short transfers
+/// resume from the partial offset (progress resets the retry budget),
+/// transient errors retry with backoff, and persistent failure or
+/// permission denial degrades to the two-copy fallback when allowed.
+#[allow(clippy::too_many_arguments)]
+fn recovered_cma<C: Comm + ?Sized>(
+    comm: &mut C,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    read: bool,
+    token: RemoteToken,
+    remote_off: usize,
+    local: BufId,
+    local_off: usize,
+    len: usize,
+) -> Result<()> {
+    let mut at = 0usize;
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        let r = if read {
+            comm.cma_read(token, remote_off + at, local, local_off + at, len - at)
+        } else {
+            comm.cma_write(token, remote_off + at, local, local_off + at, len - at)
+        };
+        let e = match r {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        match e {
+            CommError::Truncated { got, .. } if got > 0 => {
+                // Forward progress: resume past the bytes that landed.
+                rec.recovery("fault:short", got, t0, comm.time_ns());
+                at += got.min(len - at);
+                attempts = 0;
+                if at >= len {
+                    return Ok(());
+                }
+            }
+            CommError::Truncated { .. } => {
+                // Zero-progress truncation is just a transient failure.
+                rec.recovery("fault:short", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    let orig = CommError::Truncated {
+                        wanted: len,
+                        got: at,
+                    };
+                    return fallback_or(
+                        comm, rec, policy, read, orig, token, remote_off, at, local, local_off, len,
+                    );
+                }
+                backoff(comm, rec, policy, attempts);
+            }
+            CommError::PermissionDenied => {
+                // Revoked access never heals by retrying the same path.
+                rec.recovery("fault:denied", 0, t0, comm.time_ns());
+                return fallback_or(
+                    comm,
+                    rec,
+                    policy,
+                    read,
+                    CommError::PermissionDenied,
+                    token,
+                    remote_off,
+                    at,
+                    local,
+                    local_off,
+                    len,
+                );
+            }
+            e if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return fallback_or(
+                        comm, rec, policy, read, e, token, remote_off, at, local, local_off, len,
+                    );
+                }
+                backoff(comm, rec, policy, attempts);
+            }
+            e => return Err(e),
+        }
+    }
+}
+
+/// Finish the remainder (`at..len`) of a failed CMA step over the
+/// two-copy shared-memory fallback, or return the original CMA error
+/// when the policy forbids it, the peer is dead, or the transport cannot
+/// stage the fallback. The *original* error is surfaced in every failure
+/// case — it names the root cause; the fallback failing is secondary.
+#[allow(clippy::too_many_arguments)]
+fn fallback_or<C: Comm + ?Sized>(
+    comm: &mut C,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    read: bool,
+    orig: CommError,
+    token: RemoteToken,
+    remote_off: usize,
+    at: usize,
+    local: BufId,
+    local_off: usize,
+    len: usize,
+) -> Result<()> {
+    let peer_dead = matches!(orig, CommError::Os(code) if code == ESRCH);
+    if !policy.cma_fallback || peer_dead {
+        return Err(orig);
+    }
+    let rest = len - at;
+    let t0 = comm.time_ns();
+    let r = if read {
+        comm.shm_fallback_read(token, remote_off + at, local, local_off + at, rest)
+    } else {
+        comm.shm_fallback_write(token, remote_off + at, local, local_off + at, rest)
+    };
+    match r {
+        Ok(()) => {
+            let name = if read {
+                "fallback:read"
+            } else {
+                "fallback:write"
+            };
+            rec.recovery(name, rest, t0, comm.time_ns());
+            Ok(())
+        }
+        Err(_) => Err(orig),
+    }
+}
+
+/// A control receive under the policy: bounded by `step_timeout_ns` when
+/// set (expiry surfaces as [`CommError::Timeout`] and counts against the
+/// retry budget without backoff — the wait itself was the delay), and
+/// retried on transient errors like every other step.
+fn recovered_ctrl_recv<C: Comm + ?Sized>(
+    comm: &mut C,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    from: usize,
+    tag: Tag,
+) -> Result<Vec<u8>> {
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        let r = match policy.step_timeout_ns {
+            Some(ns) => match comm.ctrl_recv_deadline(from, tag, ns) {
+                Ok(Some(body)) => Ok(body),
+                Ok(None) => Err(CommError::Timeout { waited_ns: ns }),
+                Err(e) => Err(e),
+            },
+            None => comm.ctrl_recv(from, tag),
+        };
+        match r {
+            Ok(body) => return Ok(body),
+            Err(e @ CommError::Timeout { .. }) => {
+                rec.recovery("fault:timeout", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+            }
+            Err(e) if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+                backoff(comm, rec, policy, attempts);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A bulk shared-memory receive under the policy; the deadline-bounded
+/// twin of [`recovered_ctrl_recv`] for the two-copy data plane.
+#[allow(clippy::too_many_arguments)]
+fn recovered_shm_recv<C: Comm + ?Sized>(
+    comm: &mut C,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    from: usize,
+    tag: Tag,
+    dst: BufId,
+    off: usize,
+    len: usize,
+) -> Result<()> {
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        let r = match policy.step_timeout_ns {
+            Some(ns) => match comm.shm_recv_deadline(from, tag, dst, off, len, ns) {
+                Ok(true) => Ok(()),
+                Ok(false) => Err(CommError::Timeout { waited_ns: ns }),
+                Err(e) => Err(e),
+            },
+            None => comm.shm_recv_data(from, tag, dst, off, len),
+        };
+        match r {
+            Ok(()) => return Ok(()),
+            Err(e @ CommError::Timeout { .. }) => {
+                rec.recovery("fault:timeout", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+            }
+            Err(e) if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+                backoff(comm, rec, policy, attempts);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn run_steps<C: Comm + ?Sized>(
     comm: &mut C,
     sched: &Schedule,
     ctx: &mut Ctx<'_>,
     rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
 ) -> Result<()> {
     for step in &sched.steps {
         let t0 = comm.time_ns();
         match step {
             Step::Expose { slot, reg } => {
                 let buf = ctx.slot(*slot)?;
-                let token = comm.expose(buf)?;
+                let token = retry_transient(comm, rec, policy, |c| c.expose(buf))?;
                 ctx.set_token(*reg, token)?;
                 rec.add(StepKind::Expose, 0, t0, comm.time_ns());
             }
@@ -421,7 +877,7 @@ fn run_steps<C: Comm + ?Sized>(
             } => {
                 let t = ctx.token(*token)?;
                 let dst = ctx.slot(*dst)?;
-                comm.cma_read(t, *remote_off, dst, *dst_off, *len)?;
+                recovered_cma(comm, rec, policy, true, t, *remote_off, dst, *dst_off, *len)?;
                 rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
             }
             Step::CmaWrite {
@@ -433,7 +889,17 @@ fn run_steps<C: Comm + ?Sized>(
             } => {
                 let t = ctx.token(*token)?;
                 let src = ctx.slot(*src)?;
-                comm.cma_write(t, *remote_off, src, *src_off, *len)?;
+                recovered_cma(
+                    comm,
+                    rec,
+                    policy,
+                    false,
+                    t,
+                    *remote_off,
+                    src,
+                    *src_off,
+                    *len,
+                )?;
                 rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
             }
             Step::CopyLocal {
@@ -450,21 +916,30 @@ fn run_steps<C: Comm + ?Sized>(
             }
             Step::CtrlSend { to, tag, payload } => {
                 let body = ctx.render_payload(payload)?;
-                comm.ctrl_send(*to, *tag, &body)?;
+                retry_transient(comm, rec, policy, |c| c.ctrl_send(*to, *tag, &body))?;
                 rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
             }
             Step::CtrlRecv { from, tag, into } => {
-                let body = comm.ctrl_recv(*from, *tag)?;
+                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag)?;
                 let n = body.len();
                 ctx.apply_recv(into, body)?;
                 rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
             }
             Step::Notify { to, tag } => {
-                comm.notify(*to, *tag)?;
+                retry_transient(comm, rec, policy, |c| c.notify(*to, *tag))?;
                 rec.add(StepKind::Notify, 0, t0, comm.time_ns());
             }
             Step::WaitNotify { from, tag } => {
-                comm.wait_notify(*from, *tag)?;
+                // A notification is a 0-byte control message; route it
+                // through the bounded receive so the wait obeys the step
+                // timeout (mirrors `CommExt::wait_notify`).
+                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag)?;
+                if !body.is_empty() {
+                    return Err(proto(format!(
+                        "expected 0-byte notification from rank {from}, got {} bytes",
+                        body.len()
+                    )));
+                }
                 rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
             }
             Step::ShmSend {
@@ -475,7 +950,9 @@ fn run_steps<C: Comm + ?Sized>(
                 len,
             } => {
                 let src = ctx.slot(*src)?;
-                comm.shm_send_data(*to, *tag, src, *off, *len)?;
+                retry_transient(comm, rec, policy, |c| {
+                    c.shm_send_data(*to, *tag, src, *off, *len)
+                })?;
                 rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
             }
             Step::ShmRecv {
@@ -486,7 +963,7 @@ fn run_steps<C: Comm + ?Sized>(
                 len,
             } => {
                 let dst = ctx.slot(*dst)?;
-                comm.shm_recv_data(*from, *tag, dst, *off, *len)?;
+                recovered_shm_recv(comm, rec, policy, *from, *tag, dst, *off, *len)?;
                 rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
             }
             Step::Reduce {

@@ -161,7 +161,13 @@ fn prepare<C: Comm + ?Sized>(
         return Err(CommError::Protocol("non-root gather needs sendbuf".into()));
     }
     if p == 1 {
-        root_self_copy(comm, recvbuf.unwrap(), sendbuf, &layout, root)?;
+        root_self_copy(
+            comm,
+            recvbuf.expect("validated: root binds recvbuf"),
+            sendbuf,
+            &layout,
+            root,
+        )?;
         return Ok(Prepared::Done);
     }
     if counts.iter().all(|&c| c == 0) {
@@ -223,7 +229,7 @@ fn parallel_write<C: Comm + ?Sized>(
 ) -> Result<()> {
     let me = comm.rank();
     if me == root {
-        let rb = recvbuf.unwrap();
+        let rb = recvbuf.expect("validated: root binds recvbuf");
         let token = comm.expose(rb)?;
         smcoll::sm_bcast(comm, root, &token.to_bytes())?;
         root_self_copy(comm, rb, sendbuf, layout, root)?;
@@ -234,7 +240,13 @@ fn parallel_write<C: Comm + ?Sized>(
             RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad gather token".into()))?;
         let (off, len) = layout[me];
         if len > 0 {
-            comm.cma_write(token, off, sendbuf.unwrap(), 0, len)?;
+            comm.cma_write(
+                token,
+                off,
+                sendbuf.expect("validated: sender binds sendbuf"),
+                0,
+                len,
+            )?;
         }
         smcoll::sm_gather(comm, root, &[])?;
     }
@@ -251,8 +263,9 @@ fn sequential_read<C: Comm + ?Sized>(
     let p = comm.size();
     let me = comm.rank();
     if me == root {
-        let rb = recvbuf.unwrap();
-        let tokens = smcoll::sm_gather(comm, root, &[])?.unwrap();
+        let rb = recvbuf.expect("validated: root binds recvbuf");
+        let tokens =
+            smcoll::sm_gather(comm, root, &[])?.expect("sm_gather yields entries at the root");
         root_self_copy(comm, rb, sendbuf, layout, root)?;
         for v in 1..p {
             let r = unvrank(v, root, p);
@@ -269,7 +282,9 @@ fn sequential_read<C: Comm + ?Sized>(
         // Zero-count ranks still join the collective control phases but
         // have no buffer to expose (the root skips their slot).
         let token_bytes = if layout[comm.rank()].1 > 0 {
-            comm.expose(sendbuf.unwrap())?.to_bytes().to_vec()
+            comm.expose(sendbuf.expect("validated: sender binds sendbuf"))?
+                .to_bytes()
+                .to_vec()
         } else {
             Vec::new()
         };
@@ -290,7 +305,7 @@ fn throttled_write<C: Comm + ?Sized>(
     let p = comm.size();
     let me = comm.rank();
     if me == root {
-        let rb = recvbuf.unwrap();
+        let rb = recvbuf.expect("validated: root binds recvbuf");
         let token = comm.expose(rb)?;
         smcoll::sm_bcast(comm, root, &token.to_bytes())?;
         root_self_copy(comm, rb, sendbuf, layout, root)?;
@@ -307,7 +322,13 @@ fn throttled_write<C: Comm + ?Sized>(
         }
         let (off, len) = layout[me];
         if len > 0 {
-            comm.cma_write(token, off, sendbuf.unwrap(), 0, len)?;
+            comm.cma_write(
+                token,
+                off,
+                sendbuf.expect("validated: sender binds sendbuf"),
+                0,
+                len,
+            )?;
         }
         if v + k < p {
             comm.notify(unvrank(v + k, root, p), TAG_CHAIN)?;

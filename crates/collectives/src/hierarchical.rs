@@ -108,7 +108,10 @@ pub fn hier_gather<C: Comm + ?Sized>(
             comm.ctrl_send(m, TAG_TOKEN, &msg)?;
         }
         // Leader's own contribution.
-        let my_li = members.iter().position(|&m| m == me).unwrap();
+        let my_li = members
+            .iter()
+            .position(|&m| m == me)
+            .expect("calling rank is in the member list");
         match (me == root, sendbuf) {
             (true, Some(sb)) => comm.copy_local(sb, 0, rb, me * count, count)?,
             (true, None) => {} // MPI_IN_PLACE at root
@@ -164,13 +167,18 @@ pub fn hier_gather<C: Comm + ?Sized>(
         if msg.len() != RemoteToken::WIRE_LEN + 8 {
             return Err(CommError::Protocol("bad hier token message".into()));
         }
-        let token = RemoteToken::from_bytes(&msg).unwrap();
-        let off = u64::from_le_bytes(msg[16..24].try_into().unwrap()) as usize;
+        let token = RemoteToken::from_bytes(&msg)
+            .ok_or_else(|| CommError::Protocol("message is not a remote token".into()))?;
+        let off =
+            u64::from_le_bytes(msg[16..24].try_into().expect("length checked above")) as usize;
         let _ = on_root_node;
 
         // Chain position among this node's non-leader members.
         let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
-        let pos = others.iter().position(|&m| m == me).unwrap();
+        let pos = others
+            .iter()
+            .position(|&m| m == me)
+            .expect("calling rank is in the member list");
         if pos >= k {
             comm.wait_notify(others[pos - k], TAG_CHAIN)?;
         }
@@ -247,9 +255,18 @@ pub fn hier_scatter<C: Comm + ?Sized>(
         // Receive this node's chunk, then serve members.
         let staging = comm.alloc(members.len() * count);
         comm.shm_recv_data(root, TAG_BULK, staging, 0, members.len() * count)?;
-        let my_li = members.iter().position(|&m| m == me).unwrap();
+        let my_li = members
+            .iter()
+            .position(|&m| m == me)
+            .expect("calling rank is in the member list");
         let rb = recvbuf.ok_or(CommError::Protocol("non-root scatter needs recvbuf".into()))?;
-        let li_of = |m: usize| members.iter().position(|&x| x == m).unwrap() * count;
+        let li_of = |m: usize| {
+            members
+                .iter()
+                .position(|&x| x == m)
+                .expect("member list covers all node ranks")
+                * count
+        };
         serve_node(comm, staging, members, me, count, k, li_of)?;
         comm.copy_local(staging, my_li * count, rb, 0, count)?;
         comm.free(staging)?;
@@ -260,10 +277,15 @@ pub fn hier_scatter<C: Comm + ?Sized>(
         if msg.len() != RemoteToken::WIRE_LEN + 8 {
             return Err(CommError::Protocol("bad hier token message".into()));
         }
-        let token = RemoteToken::from_bytes(&msg).unwrap();
-        let off = u64::from_le_bytes(msg[16..24].try_into().unwrap()) as usize;
+        let token = RemoteToken::from_bytes(&msg)
+            .ok_or_else(|| CommError::Protocol("message is not a remote token".into()))?;
+        let off =
+            u64::from_le_bytes(msg[16..24].try_into().expect("length checked above")) as usize;
         let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
-        let pos = others.iter().position(|&m| m == me).unwrap();
+        let pos = others
+            .iter()
+            .position(|&m| m == me)
+            .expect("calling rank is in the member list");
         if pos >= k {
             comm.wait_notify(others[pos - k], TAG_CHAIN)?;
         }
@@ -339,7 +361,10 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
             msg.extend_from_slice(&((base + li * count) as u64).to_le_bytes());
             comm.ctrl_send(m, TAG_TOKEN, &msg)?;
         }
-        let my_li = members.iter().position(|&m| m == me).unwrap();
+        let my_li = members
+            .iter()
+            .position(|&m| m == me)
+            .expect("calling rank is in the member list");
         match (me == root, sendbuf) {
             (true, Some(sb)) => comm.copy_local(sb, 0, rb, me * count, count)?,
             (true, None) => {}
@@ -403,10 +428,15 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
         if msg.len() != RemoteToken::WIRE_LEN + 8 {
             return Err(CommError::Protocol("bad hier token message".into()));
         }
-        let token = RemoteToken::from_bytes(&msg).unwrap();
-        let off = u64::from_le_bytes(msg[16..24].try_into().unwrap()) as usize;
+        let token = RemoteToken::from_bytes(&msg)
+            .ok_or_else(|| CommError::Protocol("message is not a remote token".into()))?;
+        let off =
+            u64::from_le_bytes(msg[16..24].try_into().expect("length checked above")) as usize;
         let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
-        let pos = others.iter().position(|&m| m == me).unwrap();
+        let pos = others
+            .iter()
+            .position(|&m| m == me)
+            .expect("calling rank is in the member list");
         if pos >= k {
             comm.wait_notify(others[pos - k], TAG_CHAIN)?;
         }

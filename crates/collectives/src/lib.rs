@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Contention-aware kernel-assisted collective algorithms — the paper's
 //! core contribution (§III–V).
@@ -54,7 +55,10 @@ pub use reduce::{
 };
 
 pub(crate) use allgather::allgather_ranges;
-pub use exec::{execute, execute_traced, Bindings, ScheduleReport, StepStats};
+pub use exec::{
+    execute, execute_traced, execute_with_policy, Bindings, RecoveryPolicy, RecoveryReport,
+    ScheduleReport, StepStats,
+};
 pub use scatter::{scatter, scatterv, scatterv_with_report, ScatterAlgo};
 pub use schedule::{PlanCache, PlanKey, Schedule, Step};
 pub use tuner::Tuner;
@@ -83,6 +87,7 @@ pub(crate) fn unvrank(v: usize, root: usize, p: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -82,8 +82,8 @@ pub fn combine(acc: &mut [u8], src: &[u8], dtype: Dtype, op: ReduceOp) {
     for (a, s) in acc.chunks_exact_mut(w).zip(src.chunks_exact(w)) {
         match dtype {
             Dtype::U32 => {
-                let x = u32::from_le_bytes(a[..4].try_into().unwrap());
-                let y = u32::from_le_bytes(s[..4].try_into().unwrap());
+                let x = u32::from_le_bytes(a[..4].try_into().expect("slice length fixed"));
+                let y = u32::from_le_bytes(s[..4].try_into().expect("slice length fixed"));
                 let r = match op {
                     ReduceOp::Sum => x.wrapping_add(y),
                     ReduceOp::Max => x.max(y),
@@ -92,8 +92,8 @@ pub fn combine(acc: &mut [u8], src: &[u8], dtype: Dtype, op: ReduceOp) {
                 a.copy_from_slice(&r.to_le_bytes());
             }
             Dtype::U64 => {
-                let x = u64::from_le_bytes(a[..8].try_into().unwrap());
-                let y = u64::from_le_bytes(s[..8].try_into().unwrap());
+                let x = u64::from_le_bytes(a[..8].try_into().expect("slice length fixed"));
+                let y = u64::from_le_bytes(s[..8].try_into().expect("slice length fixed"));
                 let r = match op {
                     ReduceOp::Sum => x.wrapping_add(y),
                     ReduceOp::Max => x.max(y),
@@ -102,8 +102,8 @@ pub fn combine(acc: &mut [u8], src: &[u8], dtype: Dtype, op: ReduceOp) {
                 a.copy_from_slice(&r.to_le_bytes());
             }
             Dtype::F64 => {
-                let x = f64::from_le_bytes(a[..8].try_into().unwrap());
-                let y = f64::from_le_bytes(s[..8].try_into().unwrap());
+                let x = f64::from_le_bytes(a[..8].try_into().expect("slice length fixed"));
+                let y = f64::from_le_bytes(s[..8].try_into().expect("slice length fixed"));
                 let r = match op {
                     ReduceOp::Sum => x + y,
                     ReduceOp::Max => x.max(y),
@@ -233,7 +233,7 @@ fn prepare<C: Comm + ?Sized>(
         return Ok(false);
     }
     if p == 1 {
-        let rb = recvbuf.unwrap();
+        let rb = recvbuf.expect("validated: root binds recvbuf");
         comm.copy_local(sendbuf, 0, rb, 0, count)?;
         return Ok(false);
     }
@@ -280,7 +280,7 @@ fn root_pull<C: Comm + ?Sized>(
     let p = comm.size();
     let me = comm.rank();
     if me == root {
-        let rb = recvbuf.unwrap();
+        let rb = recvbuf.expect("validated: root binds recvbuf");
         comm.copy_local(sendbuf, 0, rb, 0, count)?;
         let scratch = comm.alloc(count);
         // Contributions arrive in virtual-rank order; the fold is
@@ -322,7 +322,7 @@ fn knomial_tree<C: Comm + ?Sized>(
 
     // Accumulate into a private partial (the root can use recvbuf).
     let acc = if v == 0 {
-        recvbuf.unwrap()
+        recvbuf.expect("validated: root binds recvbuf")
     } else {
         comm.alloc(count)
     };
@@ -563,6 +563,7 @@ pub fn expected_u64(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -588,7 +589,10 @@ mod tests {
         let mut a = 1.5f64.to_le_bytes().to_vec();
         let b = 2.25f64.to_le_bytes().to_vec();
         combine(&mut a, &b, Dtype::F64, ReduceOp::Sum);
-        assert_eq!(f64::from_le_bytes(a.try_into().unwrap()), 3.75);
+        assert_eq!(
+            f64::from_le_bytes(a.try_into().expect("slice length fixed")),
+            3.75
+        );
     }
 
     #[test]
@@ -596,7 +600,10 @@ mod tests {
         let mut a = u32::MAX.to_le_bytes().to_vec();
         let b = 2u32.to_le_bytes().to_vec();
         combine(&mut a, &b, Dtype::U32, ReduceOp::Sum);
-        assert_eq!(u32::from_le_bytes(a.try_into().unwrap()), 1);
+        assert_eq!(
+            u32::from_le_bytes(a.try_into().expect("slice length fixed")),
+            1
+        );
     }
 
     #[test]

@@ -162,7 +162,13 @@ fn prepare<C: Comm + ?Sized>(
         return Err(CommError::Protocol("non-root scatter needs recvbuf".into()));
     }
     if p == 1 {
-        root_self_copy(comm, sendbuf.unwrap(), recvbuf, &layout, root)?;
+        root_self_copy(
+            comm,
+            sendbuf.expect("validated: sender binds sendbuf"),
+            recvbuf,
+            &layout,
+            root,
+        )?;
         return Ok(Prepared::Done);
     }
     if counts.iter().all(|&c| c == 0) {
@@ -246,7 +252,7 @@ fn parallel_read<C: Comm + ?Sized>(
 ) -> Result<()> {
     let me = comm.rank();
     if me == root {
-        let sb = sendbuf.unwrap();
+        let sb = sendbuf.expect("validated: sender binds sendbuf");
         let token = comm.expose(sb)?;
         smcoll::sm_bcast(comm, root, &token.to_bytes())?;
         // The root's own copy overlaps with the peers' reads.
@@ -258,7 +264,13 @@ fn parallel_read<C: Comm + ?Sized>(
             RemoteToken::from_bytes(&raw).ok_or(CommError::Protocol("bad scatter token".into()))?;
         let (off, len) = layout[me];
         if len > 0 {
-            comm.cma_read(token, off, recvbuf.unwrap(), 0, len)?;
+            comm.cma_read(
+                token,
+                off,
+                recvbuf.expect("validated: root binds recvbuf"),
+                0,
+                len,
+            )?;
         }
         smcoll::sm_gather(comm, root, &[])?;
     }
@@ -275,9 +287,10 @@ fn sequential_write<C: Comm + ?Sized>(
     let p = comm.size();
     let me = comm.rank();
     if me == root {
-        let sb = sendbuf.unwrap();
+        let sb = sendbuf.expect("validated: sender binds sendbuf");
         // Reversed control order: gather every receive-buffer token.
-        let tokens = smcoll::sm_gather(comm, root, &[])?.unwrap();
+        let tokens =
+            smcoll::sm_gather(comm, root, &[])?.expect("sm_gather yields entries at the root");
         // The root's own memcpy cannot overlap: the root is the engine
         // of every transfer (paper §IV-A2).
         root_self_copy(comm, sb, recvbuf, layout, root)?;
@@ -296,7 +309,9 @@ fn sequential_write<C: Comm + ?Sized>(
         // Zero-count ranks still join the collective control phases but
         // have no buffer to expose (the root skips their slot).
         let token_bytes = if layout[comm.rank()].1 > 0 {
-            comm.expose(recvbuf.unwrap())?.to_bytes().to_vec()
+            comm.expose(recvbuf.expect("validated: root binds recvbuf"))?
+                .to_bytes()
+                .to_vec()
         } else {
             Vec::new()
         };
@@ -317,7 +332,7 @@ fn throttled_read<C: Comm + ?Sized>(
     let p = comm.size();
     let me = comm.rank();
     if me == root {
-        let sb = sendbuf.unwrap();
+        let sb = sendbuf.expect("validated: sender binds sendbuf");
         let token = comm.expose(sb)?;
         smcoll::sm_bcast(comm, root, &token.to_bytes())?;
         root_self_copy(comm, sb, recvbuf, layout, root)?;
@@ -338,7 +353,13 @@ fn throttled_read<C: Comm + ?Sized>(
         }
         let (off, len) = layout[me];
         if len > 0 {
-            comm.cma_read(token, off, recvbuf.unwrap(), 0, len)?;
+            comm.cma_read(
+                token,
+                off,
+                recvbuf.expect("validated: root binds recvbuf"),
+                0,
+                len,
+            )?;
         }
         if v + k < p {
             comm.notify(unvrank(v + k, root, p), TAG_CHAIN)?;

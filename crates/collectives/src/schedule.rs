@@ -477,7 +477,12 @@ impl Builder {
             let recv_from = (me + dist) % p;
             let send_count = dist.min(p - filled);
             let send_entries: Vec<(u32, Option<TokenReg>)> = (0..send_count)
-                .map(|i| (slot_rank(i) as u32, Some(regs[slot_rank(i)].unwrap())))
+                .map(|i| {
+                    (
+                        slot_rank(i) as u32,
+                        Some(regs[slot_rank(i)].expect("ring invariant: slot already filled")),
+                    )
+                })
                 .collect();
             self.push(Step::CtrlSend {
                 to: send_to,
@@ -489,7 +494,10 @@ impl Builder {
             let recv_entries: Vec<(u32, Option<TokenReg>)> = (0..send_count)
                 .map(|i| {
                     let r = (recv_from + i) % p;
-                    (r as u32, Some(regs[r].unwrap()))
+                    (
+                        r as u32,
+                        Some(regs[r].expect("ring invariant: slot already filled")),
+                    )
                 })
                 .collect();
             self.push(Step::CtrlRecv {
@@ -501,7 +509,9 @@ impl Builder {
             dist <<= 1;
             round += 1;
         }
-        regs.into_iter().map(|r| r.unwrap()).collect()
+        regs.into_iter()
+            .map(|r| r.expect("dissemination fills every register"))
+            .collect()
     }
 
     /// Compiled `smcoll::sm_barrier` (dissemination).
@@ -1763,6 +1773,7 @@ impl PlanCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -274,6 +274,7 @@ fn recv_wire_len(into: &RecvInto) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -90,6 +90,7 @@ pub fn diff(observed: &[u8], expected: &[u8]) -> Option<String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,592 @@
+//! Chaos suite: every collective, under deterministic fault plans, on
+//! both the simulated machine and the in-process thread transport.
+//!
+//! Invariants pinned here:
+//!
+//! 1. **Recoverable plans recover** — bounded transient failures, short
+//!    CMA transfers, and injected delays never change the payload any
+//!    rank observes.
+//! 2. **Fatal plans fail typed** — peer death and persistent permission
+//!    revocation (with the fallback disabled) produce `CommError`s, never
+//!    panics, and — with a step timeout installed — never hangs.
+//! 3. **Persistent permission loss degrades** — with the fallback
+//!    enabled the collective completes through the two-copy path and the
+//!    degradation is visible in `RecoveryReport` and the trace.
+//! 4. **Zero cost when clean** — an installed injector that never fires
+//!    leaves a simulated run bitwise-identical (virtual end time and
+//!    payloads) to one with no injector compiled in at all.
+//!
+//! Every failure message includes the plan seed. Set `KACC_CHAOS_SEED`
+//! to add one extra seed to the fixed corpus (the CI chaos step passes a
+//! fresh random one and echoes it).
+
+use kacc_collectives::exec::{execute_with_policy, Bindings, RecoveryPolicy};
+use kacc_collectives::reduce::expected_u64;
+use kacc_collectives::schedule::compile_bcast;
+use kacc_collectives::verify::{
+    alltoall_expected, alltoall_sendbuf, contribution, diff, gather_expected, scatter_expected,
+    scatter_sendbuf,
+};
+use kacc_collectives::{
+    allgather, alltoall, bcast, gather, reduce, scatter, scatterv_with_report, AllgatherAlgo,
+    AlltoallAlgo, BcastAlgo, Dtype, GatherAlgo, ReduceAlgo, ReduceOp, ScatterAlgo, ScheduleReport,
+};
+use kacc_comm::{Comm, CommExt};
+use kacc_fault::{FaultHook, FaultKind, FaultOp, FaultPlan, FaultRule};
+use kacc_machine::{run_team, run_team_faulty, run_team_faulty_traced, SimComm};
+use kacc_model::ArchProfile;
+use kacc_native::run_threads_faulty;
+use kacc_trace::{Event, EventKind, Track};
+use proptest::prelude::*;
+
+fn small_arch() -> ArchProfile {
+    let mut a = ArchProfile::broadwell();
+    a.name = "ChaosNode".into();
+    a.cores_per_socket = 8;
+    a
+}
+
+/// Fixed reproduction corpus plus an optional fresh seed from the
+/// environment (printed in every assertion message on failure).
+fn seed_corpus() -> Vec<u64> {
+    let mut seeds = vec![1, 0xC0FFEE, 0xDEAD_BEEF, 0x9E37_79B9_7F4A_7C15];
+    if let Ok(v) = std::env::var("KACC_CHAOS_SEED") {
+        match v.parse::<u64>() {
+            Ok(s) => seeds.push(s),
+            Err(_) => panic!("KACC_CHAOS_SEED must be a u64, got {v:?}"),
+        }
+    }
+    seeds
+}
+
+/// A plan every policy-default execution must survive: short CMA
+/// transfers, bounded transient EAGAINs (under the executor's retry
+/// budget of 3), and small delays, across all operation kinds.
+fn recoverable_hook(seed: u64) -> FaultHook {
+    FaultPlan::new(seed)
+        .rule(
+            FaultRule::new(FaultKind::Truncate { numer: 1, denom: 2 }, 0.15)
+                .ops_mask(&[FaultOp::CmaRead, FaultOp::CmaWrite]),
+        )
+        .rule(FaultRule::new(FaultKind::Transient { errno: 11 }, 0.05).max(2))
+        .rule(FaultRule::new(FaultKind::Delay { ns: 700 }, 0.05).max(4))
+        .hook()
+}
+
+/// Run collective `pick` (0..6) on `comm` and return the bytes to
+/// verify; `expect_chaos` builds the reference payload for a rank.
+fn run_pick(comm: &mut dyn Comm, pick: usize, count: usize, root: usize) -> Vec<u8> {
+    let p = comm.size();
+    let me = comm.rank();
+    match pick {
+        0 => {
+            let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            scatter(
+                comm,
+                ScatterAlgo::ThrottledRead { k: 2 },
+                sb,
+                Some(rb),
+                count,
+                root,
+            )
+            .unwrap();
+            comm.read_all(rb).unwrap()
+        }
+        1 => {
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == root).then(|| comm.alloc(p * count));
+            gather(comm, GatherAlgo::ParallelWrite, Some(sb), rb, count, root).unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        }
+        2 => {
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count))
+            } else {
+                comm.alloc(count)
+            };
+            bcast(comm, BcastAlgo::KNomial { radix: 2 }, buf, count, root).unwrap();
+            comm.read_all(buf).unwrap()
+        }
+        3 => {
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = comm.alloc(p * count);
+            allgather(comm, AllgatherAlgo::Bruck, Some(sb), rb, count).unwrap();
+            comm.read_all(rb).unwrap()
+        }
+        4 => {
+            let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+            let rb = comm.alloc(p * count);
+            alltoall(comm, AlltoallAlgo::Pairwise, Some(sb), rb, count).unwrap();
+            comm.read_all(rb).unwrap()
+        }
+        5 => {
+            let lanes = count / 8;
+            let sb = comm.alloc_with(&reduce_fill(me, lanes));
+            let rb = (me == root).then(|| comm.alloc(lanes * 8));
+            reduce(
+                comm,
+                ReduceAlgo::KNomialTree { radix: 2 },
+                sb,
+                rb,
+                lanes * 8,
+                Dtype::U64,
+                ReduceOp::Sum,
+                root,
+            )
+            .unwrap();
+            rb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default()
+        }
+        _ => unreachable!("pick out of range"),
+    }
+}
+
+fn reduce_value(rank: usize, lane: usize) -> u64 {
+    (rank as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(lane as u64 * 31)
+}
+
+fn reduce_fill(rank: usize, lanes: usize) -> Vec<u8> {
+    (0..lanes)
+        .flat_map(|l| reduce_value(rank, l).to_le_bytes())
+        .collect()
+}
+
+fn expected_pick(pick: usize, rank: usize, p: usize, count: usize, root: usize) -> Vec<u8> {
+    match pick {
+        0 => scatter_expected(rank, count),
+        1 if rank == root => gather_expected(p, count),
+        1 => Vec::new(),
+        2 => contribution(root, count),
+        3 => gather_expected(p, count),
+        4 => alltoall_expected(rank, p, count),
+        5 if rank == root => expected_u64(p, count / 8, ReduceOp::Sum, reduce_value)
+            .into_iter()
+            .flat_map(u64::to_le_bytes)
+            .collect(),
+        5 => Vec::new(),
+        _ => unreachable!("pick out of range"),
+    }
+}
+
+const PICK_NAMES: [&str; 6] = [
+    "scatter",
+    "gather",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "reduce",
+];
+
+fn check_pick_sim(pick: usize, p: usize, count: usize, root: usize, seed: u64) {
+    let arch = small_arch();
+    let (run, results) = run_team_faulty(&arch, p, recoverable_hook(seed), move |comm| {
+        run_pick(comm, pick, count, root)
+    });
+    for (r, got) in results.iter().enumerate() {
+        if let Some(d) = diff(got, &expected_pick(pick, r, p, count, root)) {
+            panic!(
+                "sim {} seed={seed} p={p} count={count} root={root} rank {r}: {d}",
+                PICK_NAMES[pick]
+            );
+        }
+    }
+    assert_eq!(
+        run.mail_pending, 0,
+        "sim {} seed={seed}: leaked control messages",
+        PICK_NAMES[pick]
+    );
+}
+
+fn check_pick_threads(pick: usize, p: usize, count: usize, root: usize, seed: u64) {
+    let results = run_threads_faulty(p, recoverable_hook(seed), move |comm| {
+        run_pick(comm, pick, count, root)
+    });
+    for (r, got) in results.iter().enumerate() {
+        if let Some(d) = diff(got, &expected_pick(pick, r, p, count, root)) {
+            panic!(
+                "threads {} seed={seed} p={p} count={count} root={root} rank {r}: {d}",
+                PICK_NAMES[pick]
+            );
+        }
+    }
+}
+
+// ---- 1. Recoverable plans recover ----------------------------------------
+
+#[test]
+fn chaos_corpus_all_collectives_sim() {
+    for &seed in &seed_corpus() {
+        for pick in 0..6 {
+            check_pick_sim(pick, 8, 1024, 2, seed);
+        }
+    }
+}
+
+#[test]
+fn chaos_corpus_odd_team_sim() {
+    for &seed in &seed_corpus() {
+        for pick in 0..6 {
+            check_pick_sim(pick, 7, 4096, 0, seed);
+        }
+    }
+}
+
+#[test]
+fn chaos_corpus_all_collectives_threads() {
+    for &seed in &seed_corpus()[..2] {
+        for pick in 0..6 {
+            check_pick_threads(pick, 4, 512, 1, seed);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any collective × any recoverable plan completes with the exact
+    /// fault-free payload on every rank.
+    #[test]
+    fn chaos_any_seed_any_collective_sim(
+        seed in any::<u64>(),
+        pick in 0usize..6,
+        p in 2usize..8,
+        lanes in 1usize..48,
+        rootsel in 0usize..8,
+    ) {
+        check_pick_sim(pick, p, lanes * 8, rootsel % p, seed);
+    }
+}
+
+// ---- 2. Fatal plans fail typed, never hang -------------------------------
+
+/// Default recovery with every blocking step bounded (virtual ns on the
+/// simulator), so an aborted peer can only cost a timeout, not a hang.
+fn bounded_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        step_timeout_ns: Some(2_000_000),
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// Broadcast under a fault plan with every step bounded; returns each
+/// rank's payload or the stringified typed error.
+fn bounded_bcast(
+    p: usize,
+    count: usize,
+    hook: FaultHook,
+) -> Vec<std::result::Result<Vec<u8>, String>> {
+    let arch = small_arch();
+    let (_, results) = run_team_faulty(&arch, p, hook, move |comm: &mut SimComm| {
+        let me = comm.rank();
+        let buf = if me == 0 {
+            comm.alloc_with(&contribution(0, count))
+        } else {
+            comm.alloc(count)
+        };
+        let sched = compile_bcast(BcastAlgo::DirectRead, p, me, count, 0);
+        let bind = Bindings {
+            send: Some(buf),
+            recv: None,
+        };
+        let tracer = comm.tracer();
+        match execute_with_policy(comm, &sched, &bind, &tracer, &bounded_policy()) {
+            Ok(_) => Ok(comm.read_all(buf).unwrap()),
+            Err(e) => Err(format!("{e:?}")),
+        }
+    });
+    results
+}
+
+fn assert_typed(msg: &str, ctx: &str) {
+    assert!(
+        msg.contains("Os(3)") || msg.contains("Timeout") || msg.contains("PermissionDenied"),
+        "{ctx}: expected a typed transport error, got {msg}"
+    );
+}
+
+#[test]
+fn peer_death_yields_typed_errors_not_hangs() {
+    let p = 6;
+    let count = 1024;
+    let dead = 5;
+    let hook = FaultPlan::new(3)
+        .rule(FaultRule::new(FaultKind::PeerDead { rank: dead }, 1.0))
+        .hook();
+    let results = bounded_bcast(p, count, hook);
+    assert!(
+        results[dead].is_err(),
+        "the dead rank cannot complete a collective it participates in"
+    );
+    let expected = contribution(0, count);
+    for (r, res) in results.iter().enumerate() {
+        match res {
+            Ok(payload) => {
+                if let Some(d) = diff(payload, &expected) {
+                    panic!("rank {r} completed with a corrupt payload: {d}");
+                }
+            }
+            Err(msg) => assert_typed(msg, &format!("rank {r}")),
+        }
+    }
+}
+
+#[test]
+fn permission_denied_without_fallback_is_a_typed_error() {
+    let p = 5;
+    let count = 2048;
+    let hook = FaultPlan::new(11)
+        .rule(FaultRule::new(FaultKind::PermDenied, 1.0).ops_mask(&[FaultOp::CmaRead]))
+        .hook();
+    let arch = small_arch();
+    let (_, results) = run_team_faulty(&arch, p, hook, move |comm: &mut SimComm| {
+        let me = comm.rank();
+        let buf = if me == 0 {
+            comm.alloc_with(&contribution(0, count))
+        } else {
+            comm.alloc(count)
+        };
+        let sched = compile_bcast(BcastAlgo::DirectRead, p, me, count, 0);
+        let bind = Bindings {
+            send: Some(buf),
+            recv: None,
+        };
+        let policy = RecoveryPolicy {
+            cma_fallback: false,
+            ..bounded_policy()
+        };
+        let tracer = comm.tracer();
+        execute_with_policy(comm, &sched, &bind, &tracer, &policy).map_err(|e| format!("{e:?}"))
+    });
+    // Every non-root pulls the payload with one CMA read; with the
+    // fallback disabled the persistent denial must surface as-is.
+    for (r, res) in results.iter().enumerate().skip(1) {
+        let msg = res.as_ref().expect_err("denied CMA read cannot succeed");
+        assert!(
+            msg.contains("PermissionDenied"),
+            "rank {r}: expected PermissionDenied, got {msg}"
+        );
+    }
+    // The root only waits on completion notifications that never come.
+    if let Err(msg) = &results[0] {
+        assert_typed(msg, "root");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Killing any rank never hangs or panics the team: every rank
+    /// either finishes with the correct payload or returns a typed error.
+    #[test]
+    fn chaos_peer_death_never_hangs(
+        seed in any::<u64>(),
+        p in 2usize..7,
+        deadsel in 0usize..8,
+        lanes in 1usize..17,
+    ) {
+        let dead = deadsel % p;
+        let count = lanes * 8;
+        let hook = FaultPlan::new(seed)
+            .rule(FaultRule::new(FaultKind::PeerDead { rank: dead }, 1.0))
+            .hook();
+        let results = bounded_bcast(p, count, hook);
+        prop_assert!(results[dead].is_err());
+        let expected = contribution(0, count);
+        for (r, res) in results.iter().enumerate() {
+            match res {
+                Ok(payload) => prop_assert!(
+                    diff(payload, &expected).is_none(),
+                    "seed={seed} rank {r}: corrupt payload"
+                ),
+                Err(msg) => prop_assert!(
+                    msg.contains("Os(3)") || msg.contains("Timeout"),
+                    "seed={seed} rank {r}: untyped failure {msg}"
+                ),
+            }
+        }
+    }
+}
+
+// ---- 3. Persistent denial degrades to the two-copy path ------------------
+
+#[test]
+fn permission_denied_falls_back_to_shm_and_is_traced() {
+    let p = 6;
+    let count = 2048;
+    let root = 0;
+    let hook = FaultPlan::new(42)
+        .rule(FaultRule::new(FaultKind::PermDenied, 1.0).ops_mask(&[FaultOp::CmaRead]))
+        .hook();
+    let arch = small_arch();
+    let (_, results, events) = run_team_faulty_traced(&arch, p, hook, move |comm| {
+        let me = comm.rank();
+        let counts = vec![count; p];
+        let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+        let rb = comm.alloc(count);
+        let report = scatterv_with_report(
+            comm,
+            ScatterAlgo::ParallelRead,
+            sb,
+            Some(rb),
+            &counts,
+            None,
+            root,
+        )
+        .unwrap()
+        .expect("scatter ran a schedule");
+        (report, comm.read_all(rb).unwrap())
+    });
+
+    for (r, (report, payload)) in results.iter().enumerate() {
+        if let Some(d) = diff(payload, &scatter_expected(r, count)) {
+            panic!("rank {r}: fallback path corrupted the payload: {d}");
+        }
+        if r == root {
+            // The root serves its own slice with a local copy.
+            assert!(report.recovery.is_clean(), "root should not need recovery");
+            continue;
+        }
+        // Every non-root's one CMA read was denied and degraded.
+        assert!(report.recovery.denied >= 1, "rank {r}: denial not recorded");
+        assert_eq!(
+            report.recovery.fallbacks, 1,
+            "rank {r}: expected exactly one fallback transfer"
+        );
+        assert_eq!(
+            report.recovery.fallback_bytes, count as u64,
+            "rank {r}: fallback moved the wrong byte count"
+        );
+
+        // The degradation is visible on the rank's trace track, and the
+        // report survives a round-trip through the event stream.
+        let mine: Vec<Event> = events
+            .iter()
+            .filter(|ev| ev.track == Track::Rank(r))
+            .cloned()
+            .collect();
+        assert!(
+            mine.iter().any(|ev| {
+                ev.name == "fallback:read" && matches!(ev.kind, EventKind::Span { .. })
+            }),
+            "rank {r}: no fallback:read span in the trace"
+        );
+        assert_eq!(
+            &ScheduleReport::from_events(&mine),
+            report,
+            "rank {r}: report drifted from its trace"
+        );
+    }
+
+    // The Chrome export must carry the recovery spans and still satisfy
+    // the trace-validate schema.
+    let json = kacc_trace::chrome_trace_json(&events);
+    assert!(
+        json.contains("fallback:read"),
+        "chrome export lost the recovery spans"
+    );
+    kacc_trace::validate::validate_chrome_json(&json).expect("fallback trace fails trace-validate");
+}
+
+#[test]
+fn truncated_cma_transfers_resume_and_are_recorded() {
+    let p = 4;
+    let count = 4096;
+    let root = 0;
+    let hook = FaultPlan::new(5)
+        .rule(
+            FaultRule::new(FaultKind::Truncate { numer: 1, denom: 2 }, 1.0)
+                .ops_mask(&[FaultOp::CmaRead, FaultOp::CmaWrite])
+                .max(3),
+        )
+        .hook();
+    let arch = small_arch();
+    let (_, results) = run_team_faulty(&arch, p, hook, move |comm| {
+        let me = comm.rank();
+        let counts = vec![count; p];
+        let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+        let rb = comm.alloc(count);
+        let report = scatterv_with_report(
+            comm,
+            ScatterAlgo::ParallelRead,
+            sb,
+            Some(rb),
+            &counts,
+            None,
+            root,
+        )
+        .unwrap()
+        .expect("scatter ran a schedule");
+        (report, comm.read_all(rb).unwrap())
+    });
+    for (r, (report, payload)) in results.iter().enumerate() {
+        if let Some(d) = diff(payload, &scatter_expected(r, count)) {
+            panic!("rank {r}: resume path corrupted the payload: {d}");
+        }
+        if r != root {
+            assert!(
+                report.recovery.short_resumes >= 1,
+                "rank {r}: truncated read was not resumed"
+            );
+            assert!(
+                report.recovery.short_bytes >= 1,
+                "rank {r}: salvaged bytes not accounted"
+            );
+        }
+    }
+}
+
+// ---- 4. Zero cost when clean ---------------------------------------------
+
+#[test]
+fn installed_but_silent_injector_is_bitwise_free() {
+    let p = 8;
+    let count = 8 * 4096;
+    let root = 0;
+    let body = move |comm: &mut SimComm| {
+        let me = comm.rank();
+        let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+        let rb = comm.alloc(count);
+        scatter(comm, ScatterAlgo::ParallelRead, sb, Some(rb), count, root).unwrap();
+        comm.read_all(rb).unwrap()
+    };
+    let arch = small_arch();
+    let (base_run, base) = run_team(&arch, p, body);
+    // No injector installed at all (the FaultHook::off() fast path)…
+    let (off_run, off) = run_team_faulty(&arch, p, FaultHook::off(), body);
+    // …and an installed plan whose rules never fire.
+    let silent = FaultPlan::new(9)
+        .rule(FaultRule::new(FaultKind::Transient { errno: 11 }, 0.0))
+        .hook();
+    let (silent_run, quiet) = run_team_faulty(&arch, p, silent, body);
+
+    assert_eq!(
+        base_run.end_ns, off_run.end_ns,
+        "disabled hook changed virtual time"
+    );
+    assert_eq!(
+        base_run.end_ns, silent_run.end_ns,
+        "silent injector changed virtual time"
+    );
+    assert_eq!(base, off, "disabled hook changed payloads");
+    assert_eq!(base, quiet, "silent injector changed payloads");
+}
+
+// ---- 5. Determinism of the plan itself -----------------------------------
+
+#[test]
+fn same_seed_same_faults_same_timeline() {
+    // Two identical chaos runs must agree on virtual end time and
+    // payloads: decisions are a pure function of (seed, rank, op index).
+    let run_once = || {
+        let arch = small_arch();
+        run_team_faulty(&arch, 6, recoverable_hook(0xAB), move |comm| {
+            run_pick(comm, 0, 2048, 0)
+        })
+    };
+    let (run_a, a) = run_once();
+    let (run_b, b) = run_once();
+    assert_eq!(run_a.end_ns, run_b.end_ns, "chaos run is not deterministic");
+    assert_eq!(a, b, "chaos payload outcomes are not deterministic");
+}

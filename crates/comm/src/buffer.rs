@@ -50,6 +50,7 @@ impl RemoteToken {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -30,6 +30,13 @@ pub enum CommError {
         /// Bytes actually moved.
         got: usize,
     },
+    /// A bounded wait (e.g. a control-message receive with a deadline)
+    /// expired before the operation completed.
+    Timeout {
+        /// How long the caller waited, in nanoseconds (virtual ns on the
+        /// simulated transports).
+        waited_ns: u64,
+    },
     /// Internal protocol violation (malformed control message, tag misuse).
     Protocol(String),
     /// Operating-system error (errno) from the real transport.
@@ -49,6 +56,9 @@ impl fmt::Display for CommError {
             CommError::Truncated { wanted, got } => {
                 write!(f, "transfer truncated: wanted {wanted} bytes, moved {got}")
             }
+            CommError::Timeout { waited_ns } => {
+                write!(f, "operation timed out after {waited_ns} ns")
+            }
             CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             CommError::Os(errno) => write!(f, "os error (errno {errno})"),
         }
@@ -61,6 +71,7 @@ impl std::error::Error for CommError {}
 pub type Result<T> = std::result::Result<T, CommError>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

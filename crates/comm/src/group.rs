@@ -64,8 +64,8 @@ impl<'a, C: Comm + ?Sized> SubComm<'a, C> {
             if blob.len() != 16 {
                 return Err(CommError::Protocol("bad split payload".into()));
             }
-            let c = u64::from_le_bytes(blob[..8].try_into().unwrap());
-            let k = u64::from_le_bytes(blob[8..].try_into().unwrap());
+            let c = u64::from_le_bytes(blob[..8].try_into().expect("slice length fixed"));
+            let k = u64::from_le_bytes(blob[8..].try_into().expect("slice length fixed"));
             if c == color {
                 mine.push((k, r));
             }
@@ -179,6 +179,45 @@ impl<C: Comm + ?Sized> Comm for SubComm<'_, C> {
         self.parent.ctrl_recv(from, tag)
     }
 
+    fn ctrl_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout_ns: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        let from = *self.members.get(from).ok_or(CommError::BadRank(from))?;
+        self.parent.ctrl_recv_deadline(from, tag, timeout_ns)
+    }
+
+    fn sleep_ns(&mut self, ns: u64) {
+        self.parent.sleep_ns(ns);
+    }
+
+    fn shm_fallback_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        // Tokens carry parent ranks; nothing to translate.
+        self.parent
+            .shm_fallback_read(token, remote_off, dst, dst_off, len)
+    }
+
+    fn shm_fallback_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.parent
+            .shm_fallback_write(token, remote_off, src, src_off, len)
+    }
+
     fn shm_send_data(
         &mut self,
         to: usize,
@@ -203,12 +242,31 @@ impl<C: Comm + ?Sized> Comm for SubComm<'_, C> {
         self.parent.shm_recv_data(from, tag, dst, off, len)
     }
 
+    fn shm_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+        timeout_ns: u64,
+    ) -> Result<bool> {
+        let from = *self.members.get(from).ok_or(CommError::BadRank(from))?;
+        self.parent
+            .shm_recv_deadline(from, tag, dst, off, len, timeout_ns)
+    }
+
     fn time_ns(&self) -> u64 {
         self.parent.time_ns()
+    }
+
+    fn tracer(&self) -> kacc_trace::Tracer {
+        self.parent.tracer()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Foundation types for kacc: the [`Comm`] endpoint trait, buffer handles,
 //! node topology, and small-message shared-memory collectives.
@@ -158,6 +159,31 @@ pub trait Comm {
     /// Blocking receive of the next control message from `(from, tag)`.
     fn ctrl_recv(&mut self, from: usize, tag: Tag) -> Result<Vec<u8>>;
 
+    /// Bounded receive: like [`Comm::ctrl_recv`] but gives up after
+    /// `timeout_ns` nanoseconds and returns `Ok(None)`. The executor's
+    /// step-timeout recovery uses this to turn a silent hang (lost control
+    /// message, dead peer) into a typed [`CommError::Timeout`].
+    ///
+    /// The default ignores the deadline and blocks — correct for
+    /// transports without timed waits, where recovery then degrades to
+    /// unbounded blocking exactly as before this method existed.
+    fn ctrl_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout_ns: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        let _ = timeout_ns;
+        self.ctrl_recv(from, tag).map(Some)
+    }
+
+    /// Sleep for `ns` nanoseconds on this transport's clock: virtual time
+    /// under simulation, wall-clock on real transports. Used for retry
+    /// backoff so recovery charges time the same way the transport does.
+    fn sleep_ns(&mut self, ns: u64) {
+        std::thread::sleep(std::time::Duration::from_nanos(ns));
+    }
+
     /// Two-copy shared-memory bulk send: copies `len` bytes from the local
     /// buffer into a shared staging area (first copy) and posts a
     /// descriptor. Blocks only for the sender-side copy.
@@ -181,6 +207,63 @@ pub trait Comm {
         off: usize,
         len: usize,
     ) -> Result<()>;
+
+    /// Bounded bulk receive: like [`Comm::shm_recv_data`] but gives up
+    /// after `timeout_ns` nanoseconds and returns `Ok(false)` (the
+    /// destination range is then unspecified and the message, if it
+    /// arrives later, remains claimable by a retry). Returns `Ok(true)`
+    /// once the payload has been copied out. The default ignores the
+    /// deadline and blocks, mirroring [`Comm::ctrl_recv_deadline`].
+    fn shm_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+        timeout_ns: u64,
+    ) -> Result<bool> {
+        let _ = timeout_ns;
+        self.shm_recv_data(from, tag, dst, off, len).map(|()| true)
+    }
+
+    /// Two-copy fallback read from a peer's exposed buffer, used when the
+    /// single-copy CMA path persistently fails (permission revoked, ptrace
+    /// scope). Same addressing as [`Comm::cma_read`] but staged through
+    /// shared memory, so it works without kernel-assisted access. Costs
+    /// two copies instead of one.
+    ///
+    /// The default reports the fallback as unsupported; transports that
+    /// can stage through shared memory override it.
+    fn shm_fallback_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        let _ = (token, remote_off, dst, dst_off, len);
+        Err(CommError::Protocol(
+            "two-copy fallback not supported by this transport".to_string(),
+        ))
+    }
+
+    /// Two-copy fallback write into a peer's exposed buffer; the write
+    /// counterpart of [`Comm::shm_fallback_read`].
+    fn shm_fallback_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        let _ = (token, remote_off, src, src_off, len);
+        Err(CommError::Protocol(
+            "two-copy fallback not supported by this transport".to_string(),
+        ))
+    }
 
     /// Monotone time in nanoseconds: virtual time under simulation, a
     /// monotonic clock on real transports.
@@ -242,6 +325,7 @@ pub trait CommExt: Comm {
 impl<C: Comm + ?Sized> CommExt for C {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -228,8 +228,9 @@ pub fn decode_entries(blob: &[u8]) -> Result<Vec<(u32, Vec<u8>)>> {
                 "truncated sm entry header".into(),
             ));
         }
-        let rank = u32::from_le_bytes(blob[at..at + 4].try_into().unwrap());
-        let len = u32::from_le_bytes(blob[at + 4..at + 8].try_into().unwrap()) as usize;
+        let rank = u32::from_le_bytes(blob[at..at + 4].try_into().expect("slice length fixed"));
+        let len = u32::from_le_bytes(blob[at + 4..at + 8].try_into().expect("slice length fixed"))
+            as usize;
         at += 8;
         if at + len > blob.len() {
             return Err(crate::CommError::Protocol("truncated sm entry body".into()));
@@ -241,6 +242,7 @@ pub fn decode_entries(blob: &[u8]) -> Result<Vec<(u32, Vec<u8>)>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -50,6 +50,7 @@ pub const ALL: &[(u32, &str)] = &[
 ];
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::ALL;
 

@@ -307,6 +307,7 @@ impl MemSys {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

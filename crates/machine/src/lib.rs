@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Deterministic simulation of a multi-/many-core node's kernel-assisted
 //! copy path.
@@ -37,4 +38,7 @@ pub mod team;
 pub use probe::SimProbe;
 pub use simcomm::{CmaDir, SimComm};
 pub use state::{MachineState, RankStats};
-pub use team::{run_cluster, run_team, run_team_phantom, run_team_traced, TeamRun};
+pub use team::{
+    run_cluster, run_team, run_team_faulty, run_team_faulty_traced, run_team_phantom,
+    run_team_traced, TeamRun,
+};

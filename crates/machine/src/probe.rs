@@ -37,24 +37,31 @@ impl CmaProbe for SimProbe {
         let (_, durs) = run_team(&self.arch, readers + 1, move |comm| {
             if comm.rank() == 0 {
                 let buf = comm.alloc(remote_len.max(1) * readers);
-                let tok = comm.expose(buf).unwrap();
+                let tok = comm
+                    .expose(buf)
+                    .expect("probe: expose cannot fail on fresh buffer");
                 for r in 1..=readers {
-                    comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).unwrap();
+                    comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
+                        .expect("probe: ctrl_send is infallible in-sim");
                 }
                 for r in 1..=readers {
-                    comm.wait_notify(r, Tag::user(2)).unwrap();
+                    comm.wait_notify(r, Tag::user(2))
+                        .expect("probe: notification arrives");
                 }
                 0u64
             } else {
-                let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
-                let tok = RemoteToken::from_bytes(&raw).unwrap();
+                let raw = comm
+                    .ctrl_recv(0, Tag::user(1))
+                    .expect("probe: token message arrives");
+                let tok = RemoteToken::from_bytes(&raw).expect("probe: root sends a valid token");
                 let dst = comm.alloc(copy_len.max(1));
                 let off = (comm.rank() - 1) * remote_len;
                 let t0 = comm.time_ns();
                 comm.cma_transfer(tok, off, dst, 0, remote_len, copy_len, CmaDir::Read)
-                    .unwrap();
+                    .expect("probe: transfer succeeds fault-free");
                 let d = comm.time_ns() - t0;
-                comm.notify(0, Tag::user(2)).unwrap();
+                comm.notify(0, Tag::user(2))
+                    .expect("probe: notify is infallible in-sim");
                 d
             }
         });
@@ -64,6 +71,7 @@ impl CmaProbe for SimProbe {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use kacc_model::extract::{extract_params, measure_gamma};

@@ -3,6 +3,7 @@
 use crate::fluid::FlowId;
 use crate::state::MachineState;
 use kacc_comm::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
+use kacc_fault::{FaultDecision, FaultHook, FaultOp, FaultSite};
 use kacc_sim_core::{Ctx, Poll};
 use kacc_trace::{Tracer, Track};
 
@@ -43,6 +44,9 @@ pub struct SimComm {
     /// Shared tracer (clone of the machine state's); off unless the run
     /// was traced.
     tracer: Tracer,
+    /// Shared fault injector (clone of the machine state's); off unless
+    /// the run installed a plan. One branch per site when off.
+    fault: FaultHook,
 }
 
 impl SimComm {
@@ -54,7 +58,7 @@ impl SimComm {
             rank,
             "rank threads must be spawned in rank order"
         );
-        let (nranks, topo, nodes, local, a, fabric, tracer) = ctx.with_state(|s, _| {
+        let (nranks, topo, nodes, local, a, fabric, tracer, fault) = ctx.with_state(|s, _| {
             (
                 s.nranks,
                 s.topo,
@@ -63,10 +67,12 @@ impl SimComm {
                 s.arch.clone(),
                 s.net.as_ref().map(|n| n.params.clone()),
                 s.tracer.clone(),
+                s.fault.clone(),
             )
         });
         SimComm {
             tracer,
+            fault,
             node: nodes[rank],
             nodes,
             local,
@@ -217,13 +223,74 @@ impl SimComm {
         self.copy_flow_routed(bytes, peak, false)
     }
 
+    /// Consult the fault hook for one site; applies an injected delay to
+    /// virtual time in place. Returns what the operation must do.
+    fn fault_gate(&mut self, peer: Option<usize>, op: FaultOp, len: usize) -> FaultDecision {
+        if !self.fault.on() {
+            return FaultDecision::Allow;
+        }
+        let d = self.fault.decide(&FaultSite {
+            rank: self.rank,
+            peer,
+            op,
+            len,
+        });
+        let d = if op.is_cma() { d } else { d.no_partial() };
+        if let FaultDecision::Delay { ns } = d {
+            self.ctx.advance(ns);
+            return FaultDecision::Allow;
+        }
+        d
+    }
+
     /// Kernel-assisted transfer with separately controllable pin extent
     /// and copy extent — the Table III probe surface. `remote_len` bytes
     /// of the remote buffer are pinned; `copy_len` bytes actually move
     /// (`copy_len ≤ remote_len`). The public [`Comm::cma_read`] /
     /// [`Comm::cma_write`] use `copy_len == remote_len == len`.
+    ///
+    /// Fault-injection surface: a `Truncate { got }` decision genuinely
+    /// moves the first `got` bytes (charging their full pin+copy cost)
+    /// and then reports `Truncated`, so a resuming caller observes
+    /// exactly the short-count semantics of `process_vm_readv`.
     #[allow(clippy::too_many_arguments)]
     pub fn cma_transfer(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        local: BufId,
+        local_off: usize,
+        remote_len: usize,
+        copy_len: usize,
+        dir: CmaDir,
+    ) -> Result<()> {
+        let op = match dir {
+            CmaDir::Read => FaultOp::CmaRead,
+            CmaDir::Write => FaultOp::CmaWrite,
+        };
+        match self.fault_gate(Some(token.rank as usize), op, copy_len) {
+            FaultDecision::Allow | FaultDecision::Delay { .. } => self.cma_transfer_inner(
+                token, remote_off, local, local_off, remote_len, copy_len, dir,
+            ),
+            FaultDecision::Fail(e) => {
+                // The failed syscall still enters and exits the kernel; an
+                // empty transfer charges exactly that.
+                self.cma_transfer_inner(token, remote_off, local, local_off, 0, 0, dir)?;
+                Err(e)
+            }
+            FaultDecision::Truncate { got } => {
+                let got = got.min(copy_len);
+                self.cma_transfer_inner(token, remote_off, local, local_off, got, got, dir)?;
+                Err(CommError::Truncated {
+                    wanted: copy_len,
+                    got,
+                })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cma_transfer_inner(
         &mut self,
         token: RemoteToken,
         remote_off: usize,
@@ -361,20 +428,122 @@ impl SimComm {
                     if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
                         let src = s.heaps[peer]
                             .extract(token.token, remote_off, copy_len)
-                            .unwrap();
+                            .expect("range checked above");
                         s.heaps[me].write(local.0, local_off, &src);
                     }
                     s.stats[me].bytes_read += copy_len as u64;
                 }
                 CmaDir::Write => {
                     if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
-                        let src = s.heaps[me].extract(local.0, local_off, copy_len).unwrap();
+                        let src = s.heaps[me]
+                            .extract(local.0, local_off, copy_len)
+                            .expect("range checked above");
                         s.heaps[peer].write(token.token, remote_off, &src);
                     }
                     s.stats[me].bytes_written += copy_len as u64;
                 }
             });
         }
+        Ok(())
+    }
+
+    /// Two-copy degradation path: remote buffer → shared staging →
+    /// local buffer (or the reverse for writes). No syscall, no page
+    /// pinning, no lock-server traffic — it works when kernel-assisted
+    /// access is denied, at the cost of a second copy. Both copies are
+    /// charged to `copy_ns` and emitted as `copy` spans, preserving the
+    /// span-sum == `RankStats` invariant.
+    fn shm_fallback_transfer(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        local: BufId,
+        local_off: usize,
+        len: usize,
+        dir: CmaDir,
+    ) -> Result<()> {
+        let peer = token.rank as usize;
+        let me = self.rank;
+        if peer >= self.nranks {
+            return Err(CommError::BadRank(peer));
+        }
+        if self.nodes[peer] != self.node {
+            return Err(CommError::Protocol(format!(
+                "shared-memory fallback to rank {peer} crosses nodes ({} -> {})",
+                self.node, self.nodes[peer]
+            )));
+        }
+        let op = match dir {
+            CmaDir::Read => FaultOp::FallbackRead,
+            CmaDir::Write => FaultOp::FallbackWrite,
+        };
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(peer), op, len) {
+            return Err(e);
+        }
+        let exposed_len = self.ctx.with_state(|s, _| {
+            let h = &s.heaps[peer];
+            if h.is_exposed(token.token) {
+                h.len_of(token.token)
+            } else {
+                None
+            }
+        });
+        let Some(rcap) = exposed_len else {
+            return Err(CommError::PermissionDenied);
+        };
+        if remote_off.checked_add(len).is_none_or(|end| end > rcap) {
+            return Err(CommError::OutOfRange {
+                buf: token.token,
+                off: remote_off,
+                len,
+                cap: rcap,
+            });
+        }
+        self.check_local(local, local_off, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let traced = self.tracer.on();
+        let peak = self.peak_bw(peer);
+        let inter = !self.topo.same_socket(self.local, self.local_of(peer));
+        // First copy: between the peer's memory and shared staging,
+        // routed across sockets if the peer lives on the other one.
+        let t0 = if traced { self.ctx.now() } else { 0 };
+        let w1 = self.copy_flow_routed(len, peak, inter) as f64;
+        self.ctx.with_state(move |s, _| s.stats[me].copy_ns += w1);
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "copy", t0, w1, len as u64, None);
+        }
+        // Second copy: staging and the local buffer share a socket.
+        let t1 = if traced { self.ctx.now() } else { 0 };
+        let w2 = self.copy_flow(len, self.bw_core) as f64;
+        self.ctx.with_state(move |s, _| s.stats[me].copy_ns += w2);
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "copy", t1, w2, len as u64, None);
+        }
+        // Data plane (phantom-aware), same accounting as the CMA path.
+        self.ctx.with_state(move |s, _| match dir {
+            CmaDir::Read => {
+                if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                    let src = s.heaps[peer]
+                        .extract(token.token, remote_off, len)
+                        .expect("range checked above");
+                    s.heaps[me].write(local.0, local_off, &src);
+                }
+                s.stats[me].bytes_read += len as u64;
+            }
+            CmaDir::Write => {
+                if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                    let src = s.heaps[me]
+                        .extract(local.0, local_off, len)
+                        .expect("range checked above");
+                    s.heaps[peer].write(token.token, remote_off, &src);
+                }
+                s.stats[me].bytes_written += len as u64;
+            }
+        });
         Ok(())
     }
 }
@@ -431,9 +600,11 @@ impl Comm for SimComm {
         self.check_local(buf, off, out.len())?;
         let me = self.rank;
         let len = out.len();
-        let data = self
-            .ctx
-            .with_state(move |s, _| s.heaps[me].extract(buf.0, off, len).unwrap());
+        let data = self.ctx.with_state(move |s, _| {
+            s.heaps[me]
+                .extract(buf.0, off, len)
+                .expect("range checked above")
+        });
         out.copy_from_slice(&data);
         Ok(())
     }
@@ -462,7 +633,9 @@ impl Comm for SimComm {
         let me = self.rank;
         self.ctx.with_state(move |s, _| {
             if !s.heaps[me].is_phantom(src.0) && !s.heaps[me].is_phantom(dst.0) {
-                let data = s.heaps[me].extract(src.0, src_off, len).unwrap();
+                let data = s.heaps[me]
+                    .extract(src.0, src_off, len)
+                    .expect("range checked above");
                 s.heaps[me].write(dst.0, dst_off, &data);
             }
         });
@@ -470,6 +643,9 @@ impl Comm for SimComm {
     }
 
     fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
+        if let FaultDecision::Fail(e) = self.fault_gate(None, FaultOp::Expose, 0) {
+            return Err(e);
+        }
         let me = self.rank;
         if self.ctx.with_state(move |s, _| s.heaps[me].expose(buf.0)) {
             Ok(RemoteToken {
@@ -507,6 +683,12 @@ impl Comm for SimComm {
         if to >= self.nranks {
             return Err(CommError::BadRank(to));
         }
+        // A dropped control message surfaces as a typed send failure, not
+        // a silent loss: silently losing it would deadlock the receiver,
+        // which models nothing recoverable.
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(to), FaultOp::CtrlSend, data.len()) {
+            return Err(e);
+        }
         let start = self.ctx.now();
         // Sender-side occupancy: enqueue bookkeeping plus the copy of the
         // payload into the shared slot (or NIC doorbell + inline copy).
@@ -543,6 +725,9 @@ impl Comm for SimComm {
         if from >= self.nranks {
             return Err(CommError::BadRank(from));
         }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::CtrlRecv, 0) {
+            return Err(e);
+        }
         let me = self.rank;
         let tid = self.ctx.tid();
         let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
@@ -573,6 +758,9 @@ impl Comm for SimComm {
     ) -> Result<()> {
         if to >= self.nranks {
             return Err(CommError::BadRank(to));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(to), FaultOp::ShmSend, len) {
+            return Err(e);
         }
         self.check_local(src, off, len)?;
         let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
@@ -632,6 +820,9 @@ impl Comm for SimComm {
         if from >= self.nranks {
             return Err(CommError::BadRank(from));
         }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::ShmRecv, len) {
+            return Err(e);
+        }
         self.check_local(dst, off, len)?;
         let me = self.rank;
         let tid = self.ctx.tid();
@@ -674,6 +865,139 @@ impl Comm for SimComm {
         Ok(())
     }
 
+    fn ctrl_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout_ns: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::CtrlRecv, 0) {
+            return Err(e);
+        }
+        let me = self.rank;
+        let tid = self.ctx.tid();
+        let deadline = self.ctx.now().saturating_add(timeout_ns);
+        let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
+        let payload = self.ctx.poll("ctrl:recv", move |s, _w, now| {
+            match s.mail.take(tid, me, from, tag.0 as u64, now) {
+                Poll::Ready(p) => Poll::Ready(Some(p)),
+                Poll::Wait { .. } if now >= deadline => {
+                    // Give up: withdraw the wait registration so a later
+                    // deposit doesn't wake (or trip over) a ghost waiter.
+                    s.mail.unregister(me, from, tag.0 as u64, tid);
+                    Poll::Ready(None)
+                }
+                Poll::Wait { wake_at } => Poll::Wait {
+                    wake_at: Some(wake_at.map_or(deadline, |a| a.min(deadline))),
+                },
+            }
+        });
+        if self.tracer.on() {
+            let dur = (self.ctx.now() - t0) as f64;
+            let bytes = payload.as_ref().map_or(0, Vec::len) as u64;
+            self.tracer
+                .span(Track::Rank(me), "ctrl_recv", t0, dur, bytes, tag.class());
+        }
+        Ok(payload)
+    }
+
+    fn shm_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+        timeout_ns: u64,
+    ) -> Result<bool> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::ShmRecv, len) {
+            return Err(e);
+        }
+        self.check_local(dst, off, len)?;
+        let me = self.rank;
+        let tid = self.ctx.tid();
+        let key = (1u64 << 32) | tag.0 as u64;
+        let deadline = self.ctx.now().saturating_add(timeout_ns);
+        let t0 = if self.tracer.on() { self.ctx.now() } else { 0 };
+        let payload = self.ctx.poll("shm:wait", move |s, _w, now| {
+            match s.mail.take(tid, me, from, key, now) {
+                Poll::Ready(p) => Poll::Ready(Some(p)),
+                Poll::Wait { .. } if now >= deadline => {
+                    s.mail.unregister(me, from, key, tid);
+                    Poll::Ready(None)
+                }
+                Poll::Wait { wake_at } => Poll::Wait {
+                    wake_at: Some(wake_at.map_or(deadline, |a| a.min(deadline))),
+                },
+            }
+        });
+        let Some(payload) = payload else {
+            return Ok(false);
+        };
+        if payload.len() != len {
+            return Err(CommError::Truncated {
+                wanted: len,
+                got: payload.len(),
+            });
+        }
+        if self.nodes[from] != self.node {
+            let node = self.node;
+            self.flow_via(len, self.net_bw, move |s| {
+                &mut s.net.as_mut().expect("fabric present").ingress[node]
+            });
+        } else {
+            let peak = self.peak_bw(from);
+            let inter = !self.topo.same_socket(self.local, self.local_of(from));
+            self.copy_flow_routed(len, peak, inter);
+        }
+        self.write_local(dst, off, &payload)?;
+        if self.tracer.on() {
+            let dur = (self.ctx.now() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "shm_recv",
+                t0,
+                dur,
+                len as u64,
+                tag.class(),
+            );
+        }
+        Ok(true)
+    }
+
+    fn sleep_ns(&mut self, ns: u64) {
+        // Backoff charges virtual time, exactly like any other wait.
+        self.ctx.advance(ns);
+    }
+
+    fn shm_fallback_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.shm_fallback_transfer(token, remote_off, dst, dst_off, len, CmaDir::Read)
+    }
+
+    fn shm_fallback_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.shm_fallback_transfer(token, remote_off, src, src_off, len, CmaDir::Write)
+    }
+
     fn time_ns(&self) -> u64 {
         self.ctx.now()
     }
@@ -684,6 +1008,7 @@ impl Comm for SimComm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     // SimComm is exercised end-to-end through the team harness; see
     // `crate::team` and the integration tests.

@@ -212,6 +212,9 @@ pub struct MachineState {
     /// Destination for phase spans and lock-server counters. Defaults to
     /// off; the team harness installs a live tracer for traced runs.
     pub tracer: kacc_trace::Tracer,
+    /// Fault injector consulted by every transport operation. Defaults to
+    /// off (a single branch per site); `run_team_faulty` installs a plan.
+    pub fault: kacc_fault::FaultHook,
 }
 
 impl MachineState {
@@ -273,6 +276,7 @@ impl MachineState {
             }),
             stats: vec![RankStats::default(); nranks],
             tracer: kacc_trace::Tracer::off(),
+            fault: kacc_fault::FaultHook::off(),
             arch,
         }
     }
@@ -285,6 +289,7 @@ impl MachineState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

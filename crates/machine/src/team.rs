@@ -2,6 +2,7 @@
 
 use crate::simcomm::SimComm;
 use crate::state::{MachineState, RankStats};
+use kacc_fault::FaultHook;
 use kacc_model::{ArchProfile, FabricParams};
 use kacc_sim_core::Sim;
 use kacc_trace::{Event, Tracer};
@@ -82,6 +83,43 @@ where
     run_machine_opts(MachineState::new(arch.clone(), nranks), true, f)
 }
 
+/// [`run_team`] with a fault injector installed: every transport
+/// operation consults `hook` before executing. With
+/// `FaultHook::off()` the run is bitwise-identical (virtual times and
+/// payloads) to [`run_team`] — the zero-cost guard test pins this.
+pub fn run_team_faulty<R, F>(
+    arch: &ArchProfile,
+    nranks: usize,
+    hook: FaultHook,
+    f: F,
+) -> (TeamRun, Vec<R>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let mut state = MachineState::new(arch.clone(), nranks);
+    state.fault = hook;
+    let (run, results, _) = run_machine_opts(state, false, f);
+    (run, results)
+}
+
+/// [`run_team_faulty`] with tracing enabled, for observing `fault:*` /
+/// `retry:*` / `fallback:*` recovery spans alongside the machine phases.
+pub fn run_team_faulty_traced<R, F>(
+    arch: &ArchProfile,
+    nranks: usize,
+    hook: FaultHook,
+    f: F,
+) -> (TeamRun, Vec<R>, Vec<Event>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let mut state = MachineState::new(arch.clone(), nranks);
+    state.fault = hook;
+    run_machine_opts(state, true, f)
+}
+
 /// Run `f` on every rank of a simulated cluster of `nodes` identical
 /// nodes with `ranks_per_node` processes each (see
 /// [`MachineState::cluster`] for the rank placement).
@@ -142,7 +180,9 @@ where
         sim.spawn(move |ctx| {
             let mut comm = SimComm::new(ctx, rank);
             let r = f(&mut comm);
-            results.lock().unwrap()[rank] = Some(r);
+            results
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)[rank] = Some(r);
         });
     }
     let report = sim.run();
@@ -159,7 +199,7 @@ where
     let results = Arc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("rank closures done"))
         .into_inner()
-        .unwrap();
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     (
         run,
         results
@@ -171,6 +211,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use kacc_comm::{Comm, CommExt, Tag};

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Real transports: forked processes with genuine
 //! `process_vm_readv`/`process_vm_writev` syscalls, and an in-process
@@ -34,7 +35,7 @@ pub mod threadcomm;
 pub use nativecomm::NativeComm;
 pub use probe::{calibrate_native, measure_native_gamma, NativeCalibration};
 pub use team::{run_forked, TeamError};
-pub use threadcomm::{run_threads, ThreadComm};
+pub use threadcomm::{run_threads, run_threads_faulty, ThreadComm};
 
 use std::sync::OnceLock;
 

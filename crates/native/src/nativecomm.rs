@@ -3,13 +3,14 @@
 use crate::ring::{ring_bytes, SpscRing};
 use crate::shm::ShmRegion;
 use kacc_comm::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
+use kacc_fault::{FaultDecision, FaultHook, FaultOp, FaultSite};
 use nix::sys::uio::{process_vm_readv, process_vm_writev, RemoteIoVec};
 use nix::unistd::Pid;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IoSlice, IoSliceMut};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Payload capacity of each directed ring (power of two).
 pub const RING_CAP: usize = 256 * 1024;
@@ -132,6 +133,10 @@ pub struct NativeComm {
     next_buf: u64,
     start: Instant,
     topo: Topology,
+    /// Fault injector; off by default (one branch per operation). The
+    /// `Truncate` decision caps the next syscall's remote iovec so the
+    /// short-read resume loop is exercised against real syscalls.
+    fault: FaultHook,
 }
 
 impl NativeComm {
@@ -165,6 +170,7 @@ impl NativeComm {
                 threads_per_core: 1,
                 page_size: page_size(),
             },
+            fault: FaultHook::off(),
             shm,
             layout,
         };
@@ -243,10 +249,22 @@ impl NativeComm {
     /// Drain `from`'s ring into the pending map until a `(from, key)`
     /// message exists, then return it.
     fn recv_keyed(&mut self, from: usize, key: u32) -> Vec<u8> {
+        self.recv_keyed_deadline(from, key, None)
+            .expect("unbounded receive always yields a message")
+    }
+
+    /// [`Self::recv_keyed`] with an optional give-up deadline; `None`
+    /// deadline never returns `None`.
+    fn recv_keyed_deadline(
+        &mut self,
+        from: usize,
+        key: u32,
+        deadline: Option<Instant>,
+    ) -> Option<Vec<u8>> {
         loop {
             if let Some(q) = self.pending.get_mut(&(from, key)) {
                 if let Some(msg) = q.pop_front() {
-                    return msg;
+                    return Some(msg);
                 }
             }
             match self.rx[from].try_pop() {
@@ -257,11 +275,39 @@ impl NativeComm {
                         .push_back(payload);
                 }
                 None => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return None;
+                    }
                     std::hint::spin_loop();
                     std::thread::yield_now();
                 }
             }
         }
+    }
+
+    /// Install a fault injector on this endpoint (chaos testing).
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = hook;
+    }
+
+    /// Consult the fault hook for one site; injected delays sleep in
+    /// place (wall clock).
+    fn fault_gate(&self, peer: Option<usize>, op: FaultOp, len: usize) -> FaultDecision {
+        if !self.fault.on() {
+            return FaultDecision::Allow;
+        }
+        let d = self.fault.decide(&FaultSite {
+            rank: self.rank,
+            peer,
+            op,
+            len,
+        });
+        let d = if op.is_cma() { d } else { d.no_partial() };
+        if let FaultDecision::Delay { ns } = d {
+            std::thread::sleep(Duration::from_nanos(ns));
+            return FaultDecision::Allow;
+        }
+        d
     }
 }
 
@@ -316,7 +362,8 @@ impl Comm for NativeComm {
 
     fn write_local(&mut self, buf: BufId, off: usize, data: &[u8]) -> Result<()> {
         self.check(buf, off, data.len())?;
-        self.bufs.get_mut(&buf.0).unwrap()[off..off + data.len()].copy_from_slice(data);
+        self.bufs.get_mut(&buf.0).expect("buffer checked above")[off..off + data.len()]
+            .copy_from_slice(data);
         Ok(())
     }
 
@@ -337,16 +384,20 @@ impl Comm for NativeComm {
         self.check(src, src_off, len)?;
         self.check(dst, dst_off, len)?;
         if src == dst {
-            let b = self.bufs.get_mut(&src.0).unwrap();
+            let b = self.bufs.get_mut(&src.0).expect("buffer checked above");
             b.copy_within(src_off..src_off + len, dst_off);
         } else {
             let data = self.buf(src)?[src_off..src_off + len].to_vec();
-            self.bufs.get_mut(&dst.0).unwrap()[dst_off..dst_off + len].copy_from_slice(&data);
+            self.bufs.get_mut(&dst.0).expect("buffer checked above")[dst_off..dst_off + len]
+                .copy_from_slice(&data);
         }
         Ok(())
     }
 
     fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
+        if let FaultDecision::Fail(e) = self.fault_gate(None, FaultOp::Expose, 0) {
+            return Err(e);
+        }
         let addr = self.buf(buf)?.as_ptr() as u64;
         self.exposed.insert(buf.0);
         Ok(RemoteToken {
@@ -368,19 +419,32 @@ impl Comm for NativeComm {
             return Err(CommError::BadRank(peer));
         }
         self.check(dst, dst_off, len)?;
+        // A `Truncate` decision caps the bytes this call may move; the
+        // shortfall surfaces as `Truncated` so callers exercise their
+        // resume path against the real syscall.
+        let (eff, trunc) = match self.fault_gate(Some(peer), FaultOp::CmaRead, len) {
+            FaultDecision::Fail(e) => return Err(e),
+            FaultDecision::Truncate { got } => (got.min(len), Some(len)),
+            _ => (len, None),
+        };
         let pid = self.pid_of(peer);
-        let local = &mut self.bufs.get_mut(&dst.0).unwrap()[dst_off..dst_off + len];
+        let local =
+            &mut self.bufs.get_mut(&dst.0).expect("buffer checked above")[dst_off..dst_off + eff];
         let mut moved = 0usize;
-        while moved < len {
-            let n = process_vm_readv(
+        while moved < eff {
+            let n = match process_vm_readv(
                 pid,
                 &mut [IoSliceMut::new(&mut local[moved..])],
                 &[RemoteIoVec {
                     base: token.token as usize + remote_off + moved,
-                    len: len - moved,
+                    len: eff - moved,
                 }],
-            )
-            .map_err(errno_of)?;
+            ) {
+                Ok(n) => n,
+                // Interrupted before any bytes moved: retry transparently.
+                Err(nix::errno::Errno::EINTR) => continue,
+                Err(e) => return Err(errno_of(e)),
+            };
             if n == 0 {
                 return Err(CommError::Truncated {
                     wanted: len,
@@ -389,7 +453,10 @@ impl Comm for NativeComm {
             }
             moved += n;
         }
-        Ok(())
+        match trunc {
+            Some(wanted) => Err(CommError::Truncated { wanted, got: eff }),
+            None => Ok(()),
+        }
     }
 
     fn cma_write(
@@ -405,19 +472,28 @@ impl Comm for NativeComm {
             return Err(CommError::BadRank(peer));
         }
         self.check(src, src_off, len)?;
+        let (eff, trunc) = match self.fault_gate(Some(peer), FaultOp::CmaWrite, len) {
+            FaultDecision::Fail(e) => return Err(e),
+            FaultDecision::Truncate { got } => (got.min(len), Some(len)),
+            _ => (len, None),
+        };
         let pid = self.pid_of(peer);
-        let local = &self.buf(src)?[src_off..src_off + len];
+        let local = &self.buf(src)?[src_off..src_off + eff];
         let mut moved = 0usize;
-        while moved < len {
-            let n = process_vm_writev(
+        while moved < eff {
+            let n = match process_vm_writev(
                 pid,
                 &[IoSlice::new(&local[moved..])],
                 &[RemoteIoVec {
                     base: token.token as usize + remote_off + moved,
-                    len: len - moved,
+                    len: eff - moved,
                 }],
-            )
-            .map_err(errno_of)?;
+            ) {
+                Ok(n) => n,
+                // Interrupted before any bytes moved: retry transparently.
+                Err(nix::errno::Errno::EINTR) => continue,
+                Err(e) => return Err(errno_of(e)),
+            };
             if n == 0 {
                 return Err(CommError::Truncated {
                     wanted: len,
@@ -426,7 +502,10 @@ impl Comm for NativeComm {
             }
             moved += n;
         }
-        Ok(())
+        match trunc {
+            Some(wanted) => Err(CommError::Truncated { wanted, got: eff }),
+            None => Ok(()),
+        }
     }
 
     fn ctrl_send(&mut self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
@@ -436,6 +515,11 @@ impl Comm for NativeComm {
         if tag.0 & BULK_BIT != 0 {
             return Err(CommError::Protocol("tag collides with bulk channel".into()));
         }
+        // A dropped control message surfaces as a typed send failure,
+        // never as silent loss (which would deadlock the receiver).
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(to), FaultOp::CtrlSend, data.len()) {
+            return Err(e);
+        }
         self.tx[to].push(tag.0, data);
         Ok(())
     }
@@ -444,7 +528,26 @@ impl Comm for NativeComm {
         if from >= self.p {
             return Err(CommError::BadRank(from));
         }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::CtrlRecv, 0) {
+            return Err(e);
+        }
         Ok(self.recv_keyed(from, tag.0))
+    }
+
+    fn ctrl_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout_ns: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        if from >= self.p {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::CtrlRecv, 0) {
+            return Err(e);
+        }
+        let deadline = Instant::now() + Duration::from_nanos(timeout_ns);
+        Ok(self.recv_keyed_deadline(from, tag.0, Some(deadline)))
     }
 
     /// Two-copy bulk send. Deviation from the abstract contract: when a
@@ -466,6 +569,9 @@ impl Comm for NativeComm {
             return Err(CommError::BadRank(to));
         }
         self.check(src, off, len)?;
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(to), FaultOp::ShmSend, len) {
+            return Err(e);
+        }
         // Two-copy path: fragment through the shared ring (first copy
         // here, second at the receiver).
         let key = tag.0 | BULK_BIT;
@@ -494,6 +600,9 @@ impl Comm for NativeComm {
             return Err(CommError::BadRank(from));
         }
         self.check(dst, off, len)?;
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::ShmRecv, len) {
+            return Err(e);
+        }
         let key = tag.0 | BULK_BIT;
         let mut at = 0usize;
         loop {
@@ -504,7 +613,8 @@ impl Comm for NativeComm {
                     got: at + chunk.len(),
                 });
             }
-            self.bufs.get_mut(&dst.0).unwrap()[off + at..off + at + chunk.len()]
+            self.bufs.get_mut(&dst.0).expect("buffer checked above")
+                [off + at..off + at + chunk.len()]
                 .copy_from_slice(&chunk);
             at += chunk.len();
             if at >= len {
@@ -514,6 +624,61 @@ impl Comm for NativeComm {
                 return Err(CommError::Truncated {
                     wanted: len,
                     got: at,
+                });
+            }
+        }
+    }
+
+    fn shm_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+        timeout_ns: u64,
+    ) -> Result<bool> {
+        if from >= self.p {
+            return Err(CommError::BadRank(from));
+        }
+        self.check(dst, off, len)?;
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::ShmRecv, len) {
+            return Err(e);
+        }
+        let key = tag.0 | BULK_BIT;
+        let deadline = Instant::now() + Duration::from_nanos(timeout_ns);
+        // Stage into scratch so a timeout before the first fragment
+        // leaves both `dst` and the ring-claimable message untouched. A
+        // stall *mid*-message means the sender died between fragments:
+        // that is a permanent `Truncated`, not a retryable timeout.
+        let mut staged = Vec::with_capacity(len);
+        loop {
+            let Some(chunk) = self.recv_keyed_deadline(from, key, Some(deadline)) else {
+                if staged.is_empty() && len > 0 {
+                    return Ok(false);
+                }
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: staged.len(),
+                });
+            };
+            if staged.len() + chunk.len() > len {
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: staged.len() + chunk.len(),
+                });
+            }
+            let was_empty = chunk.is_empty();
+            staged.extend_from_slice(&chunk);
+            if staged.len() >= len {
+                self.bufs.get_mut(&dst.0).expect("buffer checked above")[off..off + len]
+                    .copy_from_slice(&staged);
+                return Ok(true);
+            }
+            if was_empty {
+                return Err(CommError::Truncated {
+                    wanted: len,
+                    got: staged.len(),
                 });
             }
         }

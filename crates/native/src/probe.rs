@@ -183,6 +183,7 @@ fn one_to_all(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -140,8 +140,8 @@ impl SpscRing {
         }
         let mut hdr = [0u8; HDR];
         self.read_wrapped(head, &mut hdr);
-        let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
-        let tag = u32::from_le_bytes(hdr[4..].try_into().unwrap());
+        let len = u32::from_le_bytes(hdr[..4].try_into().expect("slice length fixed")) as usize;
+        let tag = u32::from_le_bytes(hdr[4..].try_into().expect("slice length fixed"));
         let mut payload = vec![0u8; len];
         self.read_wrapped(head + HDR as u64, &mut payload);
         self.head()
@@ -166,6 +166,7 @@ fn pad8(n: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::shm::ShmRegion;

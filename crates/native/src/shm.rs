@@ -38,7 +38,7 @@ impl ShmRegion {
             ));
         }
         Ok(ShmRegion {
-            ptr: NonNull::new(ptr as *mut u8).unwrap(),
+            ptr: NonNull::new(ptr as *mut u8).expect("mmap success implies non-null"),
             len,
         })
     }
@@ -81,6 +81,7 @@ impl Drop for ShmRegion {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -114,6 +114,17 @@ impl Mailboxes {
         }
     }
 
+    /// Withdraw `tid`'s wait registration on a key without consuming a
+    /// message. Deadline receives use this when they give up: leaving the
+    /// registration behind would make a later deposit wake (or a future
+    /// `register` assert against) a thread that is no longer waiting.
+    pub fn unregister(&mut self, to: usize, from: usize, tag: u64, tid: usize) {
+        let key = (to, from, tag);
+        if self.waiters.get(&key) == Some(&tid) {
+            self.waiters.remove(&key);
+        }
+    }
+
     /// Number of undelivered messages across all queues (leak checking).
     pub fn pending(&self) -> usize {
         self.queues.values().map(|q| q.len()).sum()

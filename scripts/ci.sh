@@ -16,10 +16,26 @@ cargo build --release
 echo "== cargo test (tier-1) =="
 cargo test -q
 
+echo "== chaos suite (fixed seed corpus + one fresh seed) =="
+# The chaos tests always run their fixed corpus; KACC_CHAOS_SEED adds one
+# fresh seed on top. Echoed up front so a failure is reproducible with
+# `KACC_CHAOS_SEED=<seed> cargo test -p kacc-collectives --test chaos`
+# (every assertion message also carries the seed it failed under).
+chaos_seed="${KACC_CHAOS_SEED:-$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')}"
+echo "[chaos fresh seed: ${chaos_seed}]"
+KACC_CHAOS_SEED="$chaos_seed" cargo test -q --release -p kacc-collectives --test chaos
+
 echo "== trace-validate (Chrome-trace export schema) =="
 trace_tmp="$(mktemp -t kacc-trace-XXXXXX.json)"
-trap 'rm -f "$trace_tmp"' EXIT
+fault_tmp="$(mktemp -t kacc-fault-plan-XXXXXX.txt)"
+trap 'rm -f "$trace_tmp" "$fault_tmp"' EXIT
 cargo run --release -q -p kacc-bench --bin repro -- --quick --trace-out "$trace_tmp"
+cargo run --release -q -p kacc-trace --bin trace-validate -- "$trace_tmp"
+
+# The faulty timeline must validate too: recovery spans (fault:*,
+# retry:*, fallback:*) ride the same Chrome-trace schema.
+printf 'seed 42\nrule prob=0.05 kind=transient errno=11\nrule ops=cma_read prob=0.25 max=2 kind=truncate frac=1/2\n' > "$fault_tmp"
+cargo run --release -q -p kacc-bench --bin repro -- --quick --fault-plan "$fault_tmp" --trace-out "$trace_tmp"
 cargo run --release -q -p kacc-trace --bin trace-validate -- "$trace_tmp"
 
 echo "CI gates all green."

@@ -38,6 +38,10 @@ pub mod errno {
         EPERM = 1,
         /// No such process.
         ESRCH = 3,
+        /// Interrupted system call (retry transparently).
+        EINTR = 4,
+        /// Resource temporarily unavailable (transient; retry with backoff).
+        EAGAIN = 11,
         /// Bad address.
         EFAULT = 14,
         /// Invalid argument.
@@ -59,6 +63,8 @@ pub mod errno {
             match raw {
                 1 => Errno::EPERM,
                 3 => Errno::ESRCH,
+                4 => Errno::EINTR,
+                11 => Errno::EAGAIN,
                 14 => Errno::EFAULT,
                 22 => Errno::EINVAL,
                 38 => Errno::ENOSYS,
