@@ -1,0 +1,115 @@
+//! DES kernel throughput: wall-clock cost per simulated event.
+//!
+//! Every figure in the reproduction is a sweep of `run_team` points, so
+//! the kernel's per-event overhead (heap traffic, floor hand-offs,
+//! thread setup) multiplies into everything. This bench pins three
+//! layers of that cost:
+//!
+//! * `one_to_all_p64` — the paper's contention microbenchmark at p=64
+//!   (65 simulated ranks, fluid-server wake storms): the PR-4
+//!   acceptance gate measures events/sec here.
+//! * `advance_heavy` — a single thread burning timer self-wakes, the
+//!   direct-handoff fast path's best case.
+//! * `pingpong` — two threads strictly alternating via external wakes,
+//!   the floor-transfer worst case (no fast path possible).
+//!
+//! Simulated-event counts per iteration are deterministic, so
+//! events/sec = events-per-iter / (ns-per-iter · 1e-9); each benchmark
+//! prints its event count once so the conversion is mechanical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kacc_bench::measure::one_to_all_read_ns;
+use kacc_model::ArchProfile;
+use kacc_sim_core::{total_events, Poll, Sim};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Events processed by `f` (deterministic, so one probe run suffices).
+fn events_of(f: impl FnOnce()) -> u64 {
+    let before = total_events();
+    f();
+    total_events() - before
+}
+
+fn one_to_all(arch: &ArchProfile) -> f64 {
+    one_to_all_read_ns(arch, 64, 64 << 10, false)
+}
+
+fn advance_heavy(steps: u64) -> u64 {
+    let mut sim = Sim::new(());
+    sim.spawn(move |ctx| {
+        for _ in 0..steps {
+            ctx.advance(3);
+        }
+    });
+    sim.run().end_time
+}
+
+fn pingpong(rounds: u64) -> u64 {
+    let mut sim = Sim::new(0u64);
+    for me in 0..2usize {
+        sim.spawn(move |ctx| {
+            let peer = 1 - me;
+            for _ in 0..rounds {
+                // Wait until the shared counter's parity selects us, then
+                // bump it and wake the peer: a pure floor hand-off chain.
+                ctx.poll("turn", move |count: &mut u64, w, now| {
+                    if *count as usize % 2 == me {
+                        *count += 1;
+                        w.wake_at(peer, now + 1);
+                        Poll::Ready(())
+                    } else {
+                        Poll::Wait { wake_at: None }
+                    }
+                });
+            }
+        });
+    }
+    sim.run().end_time
+}
+
+fn bench(c: &mut Criterion) {
+    let knl = ArchProfile::knl();
+
+    let mut g = c.benchmark_group("des_kernel");
+    g.sample_size(12)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    println!(
+        "des_kernel/one_to_all_p64: {} simulated events per iter",
+        events_of(|| {
+            one_to_all(&knl);
+        })
+    );
+    g.bench_function("one_to_all_p64", |b| {
+        b.iter(|| black_box(one_to_all(black_box(&knl))))
+    });
+
+    let steps = 20_000u64;
+    println!(
+        "des_kernel/advance_heavy: {} simulated events per iter",
+        events_of(|| {
+            advance_heavy(steps);
+        })
+    );
+    g.bench_function("advance_heavy", |b| {
+        b.iter(|| black_box(advance_heavy(black_box(steps))))
+    });
+
+    let rounds = 5_000u64;
+    println!(
+        "des_kernel/pingpong: {} simulated events per iter",
+        events_of(|| {
+            pingpong(rounds);
+        })
+    );
+    g.bench_function("pingpong", |b| {
+        b.iter(|| black_box(pingpong(black_box(rounds))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,6 +5,10 @@
 //! repro fig7 fig8            # specific artifacts
 //! repro --quick all          # reduced sweeps/team sizes (smoke run)
 //! repro --csv out/ fig7      # also write CSV files
+//! repro --jobs 8 all         # fan sweep points over 8 workers
+//!                            # (default: available parallelism; output
+//!                            # is bitwise-identical for every N)
+//! repro --bench-out b.json   # record events/sec + wall-clock metrics
 //! repro --list               # list artifact names
 //! repro --trace-out t.json   # Chrome trace of a contended scatter
 //! repro --fault-plan plan.txt  # same scatter under a fault plan:
@@ -13,7 +17,7 @@
 //! ```
 
 use kacc_bench::figs::registry;
-use kacc_bench::{size_label, Chart};
+use kacc_bench::{par, size_label, Chart};
 use kacc_fault::FaultPlan;
 use std::io::Write;
 
@@ -23,6 +27,8 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut fault_plan: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut list_only = false;
 
@@ -31,6 +37,19 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--list" => list_only = true,
+            "--jobs" => {
+                let v = it.next().and_then(|s| s.parse::<usize>().ok());
+                jobs = Some(v.unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }));
+            }
+            "--bench-out" => {
+                bench_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--bench-out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--csv needs a directory");
@@ -51,7 +70,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--csv DIR] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
+                    "usage: repro [--quick] [--jobs N] [--csv DIR] [--bench-out FILE] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
                      artifacts: {}",
                     registry()
                         .iter()
@@ -126,14 +145,36 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
 
+    let jobs = jobs.unwrap_or_else(par::default_jobs);
+    par::set_jobs(jobs);
+    let selected: Vec<(&str, kacc_bench::figs::ArtifactFn)> = reg
+        .iter()
+        .filter(|(name, _)| run_all || wanted.iter().any(|w| w == name))
+        .map(|(name, f)| (*name, *f))
+        .collect();
+
+    // Artifacts fan across the worker pool; each records its own
+    // wall-clock and simulated-event delta. Per-artifact event counts are
+    // exact at --jobs 1; with more jobs the global counter interleaves
+    // concurrent artifacts, so per-figure attribution is approximate
+    // (totals stay exact). Results print afterwards in registry order, so
+    // stdout and every CSV are bitwise-identical for every job count.
     let started = std::time::Instant::now();
-    for (name, f) in &reg {
-        if !run_all && !wanted.iter().any(|w| w == name) {
-            continue;
-        }
+    let ev_start = kacc_sim_core::total_events();
+    let fast_start = kacc_sim_core::total_fast_handoffs();
+    let computed: Vec<(&str, Vec<Chart>, f64, u64)> = par::pmap(selected, |(name, f)| {
         let t0 = std::time::Instant::now();
+        let e0 = kacc_sim_core::total_events();
         let charts = f(quick);
-        for chart in &charts {
+        let dt = t0.elapsed().as_secs_f64();
+        (name, charts, dt, kacc_sim_core::total_events() - e0)
+    });
+    let total_wall = started.elapsed().as_secs_f64();
+    let total_events = kacc_sim_core::total_events() - ev_start;
+    let total_fast = kacc_sim_core::total_fast_handoffs() - fast_start;
+
+    for (name, charts, secs, events) in &computed {
+        for chart in charts {
             print!("{}", render(chart));
             if let Some(dir) = &csv_dir {
                 let path = format!("{dir}/{}.csv", chart.id);
@@ -142,18 +183,85 @@ fn main() {
                     .expect("write csv");
             }
         }
+        let approx = if jobs > 1 { "~" } else { "" };
         eprintln!(
-            "[{name}: {} chart(s) in {:.1}s]",
+            "[{name}: {} chart(s) in {secs:.1}s, {approx}{events} events ({approx}{:.2} Mev/s)]",
             charts.len(),
-            t0.elapsed().as_secs_f64()
+            *events as f64 / secs.max(1e-9) / 1e6,
         );
         println!();
     }
     eprintln!(
-        "[total: {:.1}s{}]",
-        started.elapsed().as_secs_f64(),
+        "[total: {total_wall:.1}s, {total_events} events ({:.2} Mev/s, {:.0}% fast-path), --jobs {jobs}{}]",
+        total_events as f64 / total_wall.max(1e-9) / 1e6,
+        total_fast as f64 / (total_events as f64).max(1.0) * 100.0,
         if quick { ", --quick" } else { "" }
     );
+
+    if let Some(path) = &bench_out {
+        let json = bench_report_json(
+            jobs,
+            quick,
+            total_wall,
+            total_events,
+            total_fast,
+            &computed
+                .iter()
+                .map(|(name, _, secs, events)| (*name, *secs, *events))
+                .collect::<Vec<_>>(),
+        );
+        std::fs::write(path, json).expect("write bench report");
+        eprintln!("[bench metrics -> {path}]");
+    }
+}
+
+/// Assemble the `--bench-out` JSON: per-figure wall-clock + events, run
+/// totals, and a dedicated sequential measurement of the one-to-all
+/// contention microbench at p=64 (the PR-4 acceptance metric) so the
+/// events/sec trajectory is comparable across machines and job counts.
+fn bench_report_json(
+    jobs: usize,
+    quick: bool,
+    total_wall: f64,
+    total_events: u64,
+    total_fast: u64,
+    figures: &[(&str, f64, u64)],
+) -> String {
+    let knl = kacc_model::ArchProfile::knl();
+    let one = || kacc_bench::measure::one_to_all_read_ns(&knl, 64, 64 << 10, false);
+    one(); // warm the worker pool so the probe measures steady state
+    let e0 = kacc_sim_core::total_events();
+    let t0 = std::time::Instant::now();
+    let iters = 5;
+    for _ in 0..iters {
+        one();
+    }
+    let probe_wall = t0.elapsed().as_secs_f64();
+    let probe_events = kacc_sim_core::total_events() - e0;
+
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
+    s.push_str(&format!("  \"total_events\": {total_events},\n"));
+    s.push_str(&format!("  \"total_fast_handoffs\": {total_fast},\n"));
+    s.push_str(&format!(
+        "  \"events_per_sec\": {:.0},\n",
+        total_events as f64 / total_wall.max(1e-9)
+    ));
+    s.push_str(&format!(
+        "  \"one_to_all_p64\": {{\"iters\": {iters}, \"events\": {probe_events}, \"wall_s\": {probe_wall:.4}, \"events_per_sec\": {:.0}}},\n",
+        probe_events as f64 / probe_wall.max(1e-9)
+    ));
+    s.push_str("  \"figures\": [\n");
+    for (i, (name, secs, events)) in figures.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_s\": {secs:.3}, \"events\": {events}}}{}\n",
+            if i + 1 < figures.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 fn xfmt(chart: &Chart, x: usize) -> String {

@@ -1,7 +1,7 @@
 //! Algorithm-comparison artifacts: Figs 7–11 and the Fig 12 model
 //! validation.
 
-use super::{platforms, sweep, throttles};
+use super::{par_ys, platforms, sweep, throttles};
 use crate::measure::{
     allgather_ns, alltoall_ns, bcast_ns, gather_ns, library_ns, scatter_ns, Coll,
 };
@@ -37,22 +37,19 @@ pub fn fig07(quick: bool) -> Vec<Chart> {
                 "Latency (us)",
             );
             for k in throttles(&arch, p) {
-                let ys: Vec<f64> = sizes
-                    .iter()
-                    .map(|&eta| scatter_ns(&arch, p, eta, ScatterAlgo::ThrottledRead { k }) / US)
-                    .collect();
+                let ys = par_ys(&sizes, |eta| {
+                    scatter_ns(&arch, p, eta, ScatterAlgo::ThrottledRead { k }) / US
+                });
                 c.series
                     .push(Series::new(format!("Throttle = {k}"), &sizes, &ys));
             }
-            let par: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| scatter_ns(&arch, p, eta, ScatterAlgo::ParallelRead) / US)
-                .collect();
+            let par = par_ys(&sizes, |eta| {
+                scatter_ns(&arch, p, eta, ScatterAlgo::ParallelRead) / US
+            });
             c.series.push(Series::new("Parallel Read", &sizes, &par));
-            let seq: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| scatter_ns(&arch, p, eta, ScatterAlgo::SequentialWrite) / US)
-                .collect();
+            let seq = par_ys(&sizes, |eta| {
+                scatter_ns(&arch, p, eta, ScatterAlgo::SequentialWrite) / US
+            });
             c.series.push(Series::new("Sequential Write", &sizes, &seq));
             c
         })
@@ -72,22 +69,19 @@ pub fn fig08(quick: bool) -> Vec<Chart> {
                 "Latency (us)",
             );
             for k in throttles(&arch, p) {
-                let ys: Vec<f64> = sizes
-                    .iter()
-                    .map(|&eta| gather_ns(&arch, p, eta, GatherAlgo::ThrottledWrite { k }) / US)
-                    .collect();
+                let ys = par_ys(&sizes, |eta| {
+                    gather_ns(&arch, p, eta, GatherAlgo::ThrottledWrite { k }) / US
+                });
                 c.series
                     .push(Series::new(format!("Throttle = {k}"), &sizes, &ys));
             }
-            let par: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| gather_ns(&arch, p, eta, GatherAlgo::ParallelWrite) / US)
-                .collect();
+            let par = par_ys(&sizes, |eta| {
+                gather_ns(&arch, p, eta, GatherAlgo::ParallelWrite) / US
+            });
             c.series.push(Series::new("Parallel Writes", &sizes, &par));
-            let seq: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| gather_ns(&arch, p, eta, GatherAlgo::SequentialRead) / US)
-                .collect();
+            let seq = par_ys(&sizes, |eta| {
+                gather_ns(&arch, p, eta, GatherAlgo::SequentialRead) / US
+            });
             c.series.push(Series::new("Sequential Read", &sizes, &seq));
             c
         })
@@ -115,20 +109,17 @@ pub fn fig09(quick: bool) -> Vec<Chart> {
                 "Message Size (Bytes)",
                 "Latency (us)",
             );
-            let shmem: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| library_ns(&arch, p, eta, Coll::Alltoall, Library::IntelMpi) / US)
-                .collect();
+            let shmem = par_ys(&sizes, |eta| {
+                library_ns(&arch, p, eta, Coll::Alltoall, Library::IntelMpi) / US
+            });
             c.series.push(Series::new("SHMEM", &sizes, &shmem));
-            let pt2pt: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| library_ns(&arch, p, eta, Coll::Alltoall, Library::Mvapich2) / US)
-                .collect();
+            let pt2pt = par_ys(&sizes, |eta| {
+                library_ns(&arch, p, eta, Coll::Alltoall, Library::Mvapich2) / US
+            });
             c.series.push(Series::new("CMA-pt2pt", &sizes, &pt2pt));
-            let coll: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| alltoall_ns(&arch, p, eta, AlltoallAlgo::Pairwise) / US)
-                .collect();
+            let coll = par_ys(&sizes, |eta| {
+                alltoall_ns(&arch, p, eta, AlltoallAlgo::Pairwise) / US
+            });
             c.series.push(Series::new("CMA-coll", &sizes, &coll));
             c
         })
@@ -171,10 +162,7 @@ pub fn fig10(quick: bool) -> Vec<Chart> {
                 ));
             }
             for (label, algo) in algos {
-                let ys: Vec<f64> = sizes
-                    .iter()
-                    .map(|&eta| allgather_ns(&arch, p, eta, algo) / US)
-                    .collect();
+                let ys = par_ys(&sizes, |eta| allgather_ns(&arch, p, eta, algo) / US);
                 c.series.push(Series::new(label, &sizes, &ys));
             }
             c
@@ -202,31 +190,27 @@ pub fn fig11(quick: bool) -> Vec<Chart> {
                 "Message Size (Bytes)",
                 "Latency (us)",
             );
-            let dr: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::DirectRead) / US)
-                .collect();
+            let dr = par_ys(&sizes, |eta| {
+                bcast_ns(&arch, p, eta, BcastAlgo::DirectRead) / US
+            });
             c.series
                 .push(Series::new("Parallel Read (Direct)", &sizes, &dr));
-            let dw: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::DirectWrite) / US)
-                .collect();
+            let dw = par_ys(&sizes, |eta| {
+                bcast_ns(&arch, p, eta, BcastAlgo::DirectWrite) / US
+            });
             c.series
                 .push(Series::new("Sequential Write (Direct)", &sizes, &dw));
             for k in throttles(&arch, p).into_iter().take(2) {
                 let radix = k + 1;
-                let ys: Vec<f64> = sizes
-                    .iter()
-                    .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::KNomial { radix }) / US)
-                    .collect();
+                let ys = par_ys(&sizes, |eta| {
+                    bcast_ns(&arch, p, eta, BcastAlgo::KNomial { radix }) / US
+                });
                 c.series
                     .push(Series::new(format!("{radix}-nomial Read"), &sizes, &ys));
             }
-            let sag: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| bcast_ns(&arch, p, eta, BcastAlgo::ScatterAllgather) / US)
-                .collect();
+            let sag = par_ys(&sizes, |eta| {
+                bcast_ns(&arch, p, eta, BcastAlgo::ScatterAllgather) / US
+            });
             c.series
                 .push(Series::new("Scatter-Allgather", &sizes, &sag));
             c

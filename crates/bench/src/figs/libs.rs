@@ -1,7 +1,7 @@
 //! Library-comparison artifacts: Figs 13–18, Tables VI–VII, and the
 //! Fig 17 multi-node scaling study.
 
-use super::{platforms, sweep};
+use super::{par_ys, platforms, sweep};
 use crate::measure::{library_ns, Coll};
 use crate::render::{Chart, Series};
 use kacc_model::ArchProfile;
@@ -36,10 +36,7 @@ fn lib_chart(arch: &ArchProfile, p: usize, coll: Coll, id: &str, sizes: &[usize]
         "Latency (us)",
     );
     for lib in libraries_for(arch) {
-        let ys: Vec<f64> = sizes
-            .iter()
-            .map(|&eta| library_ns(arch, p, eta, coll, lib) / US)
-            .collect();
+        let ys = par_ys(sizes, |eta| library_ns(arch, p, eta, coll, lib) / US);
         c.series.push(Series::new(lib.label(), sizes, &ys));
     }
     c
@@ -139,55 +136,46 @@ pub fn fig17(quick: bool) -> Vec<Chart> {
                 "Message Size (Bytes)",
                 "Latency (us)",
             );
-            let single: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| {
-                    cluster_gather(
-                        &arch,
-                        nodes,
-                        rpn,
-                        fabric.clone(),
-                        eta,
-                        MultiNodeStrategy::SingleLevel,
-                    )
-                    .end_ns as f64
-                        / US
-                })
-                .collect();
+            let single = par_ys(&sizes, |eta| {
+                cluster_gather(
+                    &arch,
+                    nodes,
+                    rpn,
+                    fabric.clone(),
+                    eta,
+                    MultiNodeStrategy::SingleLevel,
+                )
+                .end_ns as f64
+                    / US
+            });
             c.series
                 .push(Series::new("Single-level (libraries)", &sizes, &single));
-            let two: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| {
-                    cluster_gather(
-                        &arch,
-                        nodes,
-                        rpn,
-                        fabric.clone(),
-                        eta,
-                        MultiNodeStrategy::TwoLevel { k: 4 },
-                    )
-                    .end_ns as f64
-                        / US
-                })
-                .collect();
+            let two = par_ys(&sizes, |eta| {
+                cluster_gather(
+                    &arch,
+                    nodes,
+                    rpn,
+                    fabric.clone(),
+                    eta,
+                    MultiNodeStrategy::TwoLevel { k: 4 },
+                )
+                .end_ns as f64
+                    / US
+            });
             c.series
                 .push(Series::new("Two-level (proposed)", &sizes, &two));
-            let piped: Vec<f64> = sizes
-                .iter()
-                .map(|&eta| {
-                    cluster_gather(
-                        &arch,
-                        nodes,
-                        rpn,
-                        fabric.clone(),
-                        eta,
-                        MultiNodeStrategy::TwoLevelPipelined { k: 4 },
-                    )
-                    .end_ns as f64
-                        / US
-                })
-                .collect();
+            let piped = par_ys(&sizes, |eta| {
+                cluster_gather(
+                    &arch,
+                    nodes,
+                    rpn,
+                    fabric.clone(),
+                    eta,
+                    MultiNodeStrategy::TwoLevelPipelined { k: 4 },
+                )
+                .end_ns as f64
+                    / US
+            });
             c.series
                 .push(Series::new("Two-level pipelined", &sizes, &piped));
             let best = single
@@ -253,14 +241,13 @@ fn speedup_table(id: &str, quick: bool, largest_only: bool) -> Vec<Chart> {
                     } else {
                         crate::size_sweep()
                     };
-                    let best = sizes
-                        .iter()
-                        .map(|&eta| {
-                            let ours = library_ns(&arch, p, eta, coll, Library::Kacc);
-                            let theirs = library_ns(&arch, p, eta, coll, lib);
-                            theirs / ours
-                        })
-                        .fold(f64::MIN, f64::max);
+                    let best = par_ys(&sizes, |eta| {
+                        let ours = library_ns(&arch, p, eta, coll, Library::Kacc);
+                        let theirs = library_ns(&arch, p, eta, coll, lib);
+                        theirs / ours
+                    })
+                    .into_iter()
+                    .fold(f64::MIN, f64::max);
                     ys.push(best);
                 }
                 c.series.push(Series::new(lib.label(), &xs, &ys));

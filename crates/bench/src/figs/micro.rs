@@ -1,7 +1,7 @@
 //! Motivation and microbenchmark artifacts: Fig 1 (workload trends),
 //! Figs 2–6 (CMA contention characterization), Tables III–V.
 
-use super::{platforms, sweep};
+use super::{par_ys, platforms, sweep};
 use crate::measure::{breakdown, one_to_all_read_ns, pairs_read_ns};
 use crate::render::{Chart, Series};
 use crate::workload;
@@ -77,10 +77,10 @@ pub fn fig02(quick: bool) -> Vec<Chart> {
     };
     let sizes = sweep(quick);
 
-    let make = |id: &str, title: &str, f: &dyn Fn(usize, usize) -> f64| {
+    let make = |id: &str, title: &str, f: &(dyn Fn(usize, usize) -> f64 + Sync)| {
         let mut c = Chart::new(id, title, "Message Size (Bytes)", "CMA Read Latency (us)");
         for &r in readers {
-            let ys: Vec<f64> = sizes.iter().map(|&eta| f(r, eta) / US).collect();
+            let ys = par_ys(&sizes, |eta| f(r, eta) / US);
             c.series
                 .push(Series::new(format!("{r} Readers"), &sizes, &ys));
         }
@@ -126,10 +126,7 @@ pub fn fig03(quick: bool) -> Vec<Chart> {
                 "CMA Read Latency (us)",
             );
             for &eta in &sizes {
-                let ys: Vec<f64> = readers
-                    .iter()
-                    .map(|&r| one_to_all_read_ns(&arch, r, eta, false) / US)
-                    .collect();
+                let ys = par_ys(&readers, |r| one_to_all_read_ns(&arch, r, eta, false) / US);
                 c.series
                     .push(Series::new(crate::size_label(eta), &readers, &ys));
             }
@@ -166,8 +163,7 @@ pub fn fig04(quick: bool) -> Vec<Chart> {
             let mut lock = Vec::new();
             let mut pin = Vec::new();
             let mut copy = Vec::new();
-            for &n in &pages {
-                let b = breakdown(&arch, readers, n);
+            for b in crate::par::pmap(pages.clone(), |n| breakdown(&arch, readers, n)) {
                 syscall.push(b.syscall_ns / US);
                 check.push(b.check_ns / US);
                 lock.push(b.lock_ns / US);
@@ -341,16 +337,13 @@ pub fn fig06(quick: bool) -> Vec<Chart> {
                 "Relative Throughput (vs 1 reader)",
             );
             for &r in &readers {
-                let ys: Vec<f64> = sizes
-                    .iter()
-                    .map(|&eta| {
-                        let t1 = one_to_all_read_ns(&arch, 1, eta, false);
-                        let tr = one_to_all_read_ns(&arch, r, eta, false);
-                        // Aggregate throughput ratio: r readers each move
-                        // eta bytes in tr vs 1 reader in t1.
-                        (r as f64 * eta as f64 / tr) / (eta as f64 / t1)
-                    })
-                    .collect();
+                let ys = par_ys(&sizes, |eta| {
+                    let t1 = one_to_all_read_ns(&arch, 1, eta, false);
+                    let tr = one_to_all_read_ns(&arch, r, eta, false);
+                    // Aggregate throughput ratio: r readers each move
+                    // eta bytes in tr vs 1 reader in t1.
+                    (r as f64 * eta as f64 / tr) / (eta as f64 / t1)
+                });
                 let label = if r == 1 {
                     "1 Reader".to_string()
                 } else {

@@ -72,6 +72,13 @@ pub(crate) fn throttles(arch: &kacc_model::ArchProfile, p: usize) -> Vec<usize> 
     ks.iter().copied().filter(|&k| k < p).collect()
 }
 
+/// Evaluate one simulated point per message size, fanned across the
+/// `--jobs` worker pool (order-preserving and deterministic for every
+/// job count; see [`crate::par`]).
+pub(crate) fn par_ys(sizes: &[usize], f: impl Fn(usize) -> f64 + Send + Sync) -> Vec<f64> {
+    crate::par::pmap(sizes.to_vec(), f)
+}
+
 /// Message sweep, shortened under `quick`.
 pub(crate) fn sweep(quick: bool) -> Vec<usize> {
     if quick {

@@ -16,6 +16,7 @@
 pub mod figs;
 pub mod measure;
 pub mod nullcomm;
+pub mod par;
 pub mod render;
 pub mod tracedemo;
 pub mod workload;

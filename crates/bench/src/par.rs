@@ -1,0 +1,129 @@
+//! Deterministic parallel map for independent sweep points.
+//!
+//! Every repro artifact is a pure function of its (arch, collective, p,
+//! msize) inputs — the simulator is deterministic and shares no mutable
+//! state across points — so points can execute on any worker in any
+//! order as long as results are collected by input index. [`pmap`] does
+//! exactly that: output is bitwise-identical for every job count,
+//! including `--jobs 1` (see DESIGN.md §11.3 for the argument).
+//!
+//! The job count is a process-wide knob ([`set_jobs`], wired to
+//! `repro --jobs N`) rather than a parameter, so deeply nested sweep
+//! code doesn't thread it through a dozen signatures. Nested [`pmap`]
+//! calls run inline on the caller's thread — the outer call owns the
+//! worker budget; nesting would oversubscribe the machine with
+//! `jobs²` simulated teams.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    static IN_PMAP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the process-wide worker count for subsequent [`pmap`] calls
+/// (clamped to ≥ 1).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current worker count.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed)
+}
+
+/// The host's available parallelism (the `--jobs` default).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to [`jobs`] worker threads, returning
+/// results in input order.
+///
+/// Workers pull `(index, item)` pairs from a shared queue and write
+/// results into their input slot, so scheduling affects only wall-clock,
+/// never output. With one job (or when called from inside another
+/// `pmap`) this degenerates to a plain sequential map on the calling
+/// thread. A panic in `f` propagates to the caller.
+pub fn pmap<T, R>(items: Vec<T>, f: impl Fn(T) -> R + Send + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = jobs().min(items.len());
+    if n <= 1 || IN_PMAP.with(|c| c.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let len = work
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..len).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {
+                IN_PMAP.with(|c| c.set(true));
+                loop {
+                    let next = work
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pop_front();
+                    let Some((i, item)) = next else { break };
+                    let r = f(item);
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("every item mapped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmap_preserves_order_for_every_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for n in [1, 2, 8] {
+            set_jobs(n);
+            assert_eq!(pmap(items.clone(), |x| x * x), expect, "jobs={n}");
+        }
+        set_jobs(1);
+    }
+
+    #[test]
+    fn nested_pmap_runs_inline() {
+        set_jobs(4);
+        let out = pmap(vec![0u32, 1, 2], |i| {
+            // Inner call must not deadlock or oversubscribe: it runs
+            // sequentially on this worker.
+            pmap(vec![10u32, 20], move |j| i * 100 + j)
+        });
+        assert_eq!(out, vec![vec![10, 20], vec![110, 120], vec![210, 220]]);
+        set_jobs(1);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        set_jobs(8);
+        assert_eq!(pmap(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(pmap(vec![7u32], |x| x + 1), vec![8]);
+        set_jobs(1);
+    }
+}

@@ -39,6 +39,6 @@ pub use probe::SimProbe;
 pub use simcomm::{CmaDir, SimComm};
 pub use state::{MachineState, RankStats};
 pub use team::{
-    run_cluster, run_team, run_team_faulty, run_team_faulty_traced, run_team_phantom,
-    run_team_traced, TeamRun,
+    run_cluster, run_team, run_team_faulty, run_team_faulty_traced, run_team_no_fastpath,
+    run_team_phantom, run_team_traced, TeamRun,
 };

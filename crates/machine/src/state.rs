@@ -134,7 +134,7 @@ impl RankHeap {
 }
 
 /// Per-rank step accounting: the Fig 4 breakdown.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RankStats {
     /// Time in syscall entry/exit, ns.
     pub syscall_ns: f64,

@@ -9,7 +9,10 @@ use kacc_trace::{Event, Tracer};
 use std::sync::{Arc, Mutex};
 
 /// Timing and accounting from a completed team run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, so the determinism suite can assert
+/// whole runs bitwise-identical across repeats and job counts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TeamRun {
     /// Virtual time when the last rank finished, ns.
     pub end_ns: u64,
@@ -24,6 +27,9 @@ pub struct TeamRun {
     /// Undelivered control messages left behind (should be 0 for clean
     /// protocols).
     pub mail_pending: usize,
+    /// Simulated events the kernel dispatched for this run (fast-path
+    /// hand-offs included) — the numerator of the events/sec metric.
+    pub events: u64,
 }
 
 impl TeamRun {
@@ -140,6 +146,22 @@ where
     )
 }
 
+/// [`run_team`] with the kernel's direct-handoff fast path disabled:
+/// every wake goes through the event queue and a condvar floor transfer.
+///
+/// Virtual-time behavior is identical by construction — the fast-path
+/// equivalence suite compares this against [`run_team`] across all
+/// collectives; it exists only for that comparison and for debugging.
+pub fn run_team_no_fastpath<R, F>(arch: &ArchProfile, nranks: usize, f: F) -> (TeamRun, Vec<R>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let (run, results, _) =
+        run_machine_full(MachineState::new(arch.clone(), nranks), false, false, f);
+    (run, results)
+}
+
 fn run_machine<R, F>(state: MachineState, f: F) -> (TeamRun, Vec<R>)
 where
     F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
@@ -149,9 +171,18 @@ where
     (run, results)
 }
 
-fn run_machine_opts<R, F>(
+fn run_machine_opts<R, F>(state: MachineState, trace: bool, f: F) -> (TeamRun, Vec<R>, Vec<Event>)
+where
+    F: Fn(&mut SimComm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    run_machine_full(state, trace, true, f)
+}
+
+fn run_machine_full<R, F>(
     mut state: MachineState,
     trace: bool,
+    fast_path: bool,
     f: F,
 ) -> (TeamRun, Vec<R>, Vec<Event>)
 where
@@ -168,6 +199,7 @@ where
     });
     let nranks = state.nranks;
     let mut sim = Sim::new(state);
+    sim.set_fast_path(fast_path);
     if let Some((tracer, _)) = &capture {
         sim.set_tracer(tracer.clone());
     }
@@ -195,6 +227,7 @@ where
         mem_peak_concurrency: st.mems.iter().map(|m| m.peak_concurrency).collect(),
         lock_peak_concurrency: st.locks.iter().map(|l| l.peak_concurrency).collect(),
         mail_pending: st.mail.pending(),
+        events: report.events,
     };
     let results = Arc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("rank closures done"))

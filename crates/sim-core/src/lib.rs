@@ -6,7 +6,7 @@
 //! Simulated processes are ordinary blocking Rust closures, each running on
 //! its own OS thread. The kernel enforces that **exactly one thread runs at
 //! a time** and hands control between threads according to a virtual-time
-//! event heap with a global sequence-number tie-break, so every run over
+//! event queue with a global sequence-number tie-break, so every run over
 //! the same program is bit-for-bit deterministic regardless of host
 //! scheduling.
 //!
@@ -22,6 +22,30 @@
 //! This "re-check on wake" protocol is what lets `kacc-machine` implement
 //! fluid processor-sharing servers (the page-lock server, the memory
 //! system) whose completion times shift whenever flows join or leave.
+//!
+//! ## Hot-path engineering (see DESIGN.md §11)
+//!
+//! Three mechanisms keep per-event cost low without touching virtual-time
+//! semantics:
+//!
+//! * **Direct-handoff fast path** — when a blocking thread's own timer is
+//!   strictly the earliest pending event (the common case in lock-stepped
+//!   collectives), [`Ctx::poll`] advances the clock in place and
+//!   re-evaluates the closure immediately: no queue traffic, no condvar
+//!   round-trip, no floor transfer. Sequence numbers and epochs are
+//!   bumped exactly as the slow path would, so the dispatch order — and
+//!   therefore every virtual timestamp — is bit-identical
+//!   ([`Sim::set_fast_path`] disables it for equivalence testing).
+//! * **Index-aware event queue** — at most one pending wake per thread,
+//!   with decrease-key on earlier re-wakes and in-place replacement when
+//!   a thread's epoch advances. Stale entries stop accumulating (the old
+//!   binary heap grew O(waker-storm²) garbage under fluid-server
+//!   contention) and duplicate wakes coalesce to the earliest time
+//!   before they ever reach the queue.
+//! * **Persistent worker pool** — rank bodies run on [`SimPool`] threads
+//!   that persist for the process lifetime, so a sweep of thousands of
+//!   `Sim::run` points stops paying `nranks` OS thread spawns + joins
+//!   per point.
 
 pub mod mailbox;
 
@@ -33,21 +57,41 @@ pub use kacc_trace::{chrome_trace_json, Event as TraceEvent, SharedBuffer, Trace
 
 use kacc_trace::Track;
 use parking_lot::{Condvar, Mutex};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 
 /// Virtual time in nanoseconds.
 pub type SimTime = u64;
+
+/// Process-wide count of dispatched simulation events, accumulated when
+/// each [`Sim::run`] completes. The delta across a sweep divided by its
+/// wall-clock gives events/sec — the kernel throughput metric the
+/// `des_kernel` bench and `repro --bench-out` report.
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Of [`total_events`], how many took the direct-handoff fast path
+/// (no queue traffic, no condvar round-trip).
+static TOTAL_FAST: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulated events dispatched by completed runs in this process.
+pub fn total_events() -> u64 {
+    TOTAL_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Total events that took the direct-handoff fast path (subset of
+/// [`total_events`]) — observability for the events/sec reports.
+pub fn total_fast_handoffs() -> u64 {
+    TOTAL_FAST.load(Ordering::Relaxed)
+}
 
 /// Result of one evaluation of a [`Ctx::poll`] closure.
 pub enum Poll<T> {
     /// The operation completed with this value.
     Ready(T),
     /// Block. If `wake_at` is `Some(t)`, schedule a self-wake at virtual
-    /// time `t` (clamped to now); otherwise wait for an external
-    /// [`Waker::wake_at`].
+    /// time `t` (must not be in the past; debug builds assert); otherwise
+    /// wait for an external [`Waker::wake_at`].
     Wait {
         /// Optional timer for the blocking thread.
         wake_at: Option<SimTime>,
@@ -65,9 +109,148 @@ pub struct Waker {
 
 impl Waker {
     /// Schedule thread `tid` to re-evaluate its poll closure at virtual
-    /// time `at` (clamped to the current time if in the past).
+    /// time `at` (clamped to the current time if in the past; debug
+    /// builds assert against past times so scheduling bugs can't hide
+    /// behind the clamp).
+    ///
+    /// Duplicate wakes for the same thread within one poll evaluation
+    /// coalesce to the earliest time here, before they ever reach the
+    /// event queue.
     pub fn wake_at(&mut self, tid: usize, at: SimTime) {
+        for (t, a) in &mut self.pending {
+            if *t == tid {
+                *a = (*a).min(at);
+                return;
+            }
+        }
         self.pending.push((tid, at));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------
+
+/// Index-aware min-queue over thread wakes, ordered by `(time, seq)`.
+///
+/// Invariant: at most one entry per thread. An insert for a thread that
+/// already has an entry either coalesces (same epoch, later-or-equal
+/// time: the earliest wake wins, so the duplicate is dropped), performs
+/// a decrease-key (same epoch, earlier time), or replaces the entry
+/// outright (newer epoch — the old entry is stale by construction and
+/// would only be popped and discarded). This keeps the queue at ≤ one
+/// entry per live thread where the old `BinaryHeap` accumulated a stale
+/// entry per wake under fluid-server waker storms.
+struct EventQueue {
+    /// Heap of tids ordered by `key`.
+    heap: Vec<usize>,
+    /// `pos[tid]` = heap index + 1, or 0 when the thread has no entry.
+    pos: Vec<usize>,
+    /// `key[tid]` = (time, seq, epoch); valid while `pos[tid] != 0`.
+    key: Vec<(SimTime, u64, u64)>,
+}
+
+impl EventQueue {
+    fn new(nthreads: usize) -> EventQueue {
+        EventQueue {
+            heap: Vec::with_capacity(nthreads),
+            pos: vec![0; nthreads],
+            key: vec![(0, 0, 0); nthreads],
+        }
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ta, sa, _) = self.key[a];
+        let (tb, sb, _) = self.key[b];
+        (ta, sa) < (tb, sb)
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a + 1;
+        self.pos[self.heap[b]] = b + 1;
+    }
+
+    /// Returns true when the entry moved.
+    fn sift_up(&mut self, mut i: usize) -> bool {
+        let mut moved = false;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[p]) {
+                self.swap(i, p);
+                i = p;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut m = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[m]) {
+                m = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[m]) {
+                m = r;
+            }
+            if m == i {
+                return;
+            }
+            self.swap(i, m);
+            i = m;
+        }
+    }
+
+    /// Insert or update thread `tid`'s wake. See the type docs for the
+    /// coalesce/decrease-key/replace rules; all three preserve the exact
+    /// dispatch order the duplicate-tolerant heap produced.
+    fn insert(&mut self, tid: usize, t: SimTime, seq: u64, epoch: u64) {
+        if self.pos[tid] != 0 {
+            let (ct, _cs, ce) = self.key[tid];
+            if ce == epoch && t >= ct {
+                // Same-epoch duplicate at a later (or equal) time: the
+                // existing earlier wake dispatches first and the thread
+                // re-parks with a new epoch, so this one could only ever
+                // be popped as stale. Drop it now.
+                return;
+            }
+            self.key[tid] = (t, seq, epoch);
+            let i = self.pos[tid] - 1;
+            if !self.sift_up(i) {
+                self.sift_down(i);
+            }
+        } else {
+            self.key[tid] = (t, seq, epoch);
+            self.heap.push(tid);
+            self.pos[tid] = self.heap.len();
+            self.sift_up(self.heap.len() - 1);
+        }
+    }
+
+    /// Earliest pending wake as `(time, seq, tid, epoch)`.
+    fn peek(&self) -> Option<(SimTime, u64, usize, u64)> {
+        self.heap.first().map(|&tid| {
+            let (t, s, e) = self.key[tid];
+            (t, s, tid, e)
+        })
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, usize, u64)> {
+        let &tid = self.heap.first()?;
+        let (t, s, e) = self.key[tid];
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[tid] = 0;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 1;
+            self.sift_down(0);
+        }
+        Some((t, s, tid, e))
     }
 }
 
@@ -98,13 +281,23 @@ struct ThreadSlot {
 struct KernelState<S> {
     now: SimTime,
     seq: u64,
-    /// Min-heap of (time, seq, tid, epoch).
-    events: BinaryHeap<Reverse<(SimTime, u64, usize, u64)>>,
+    /// Pending wakes, one per thread at most.
+    queue: EventQueue,
     threads: Vec<ThreadSlot>,
     live: usize,
     user: S,
     panic_msg: Option<String>,
     all_done: bool,
+    /// Events dispatched this run (includes fast-path hand-offs).
+    dispatches: u64,
+    /// Subset of `dispatches` that took the direct-handoff fast path.
+    fast_handoffs: u64,
+    /// Reusable buffer backing `Waker::pending`, recycled across poll
+    /// evaluations to keep wake delivery allocation-free.
+    wake_buf: Vec<(usize, SimTime)>,
+    /// Direct-handoff fast path enabled (default); disable via
+    /// [`Sim::set_fast_path`] to force every wake through the queue.
+    fast_path: bool,
     /// Destination for scheduler-dispatch instant events; `Tracer::off()`
     /// unless tracing was requested.
     tracer: Tracer,
@@ -117,19 +310,32 @@ struct Kernel<S> {
 }
 
 impl<S> Kernel<S> {
-    /// Push an event, bumping the global sequence counter.
+    /// Push an event, bumping the global sequence counter. Past times
+    /// are clamped to `now` (and assert in debug builds — a wake in the
+    /// past is a modeling bug that the clamp would otherwise hide; the
+    /// clamp additionally leaves a `wake:past-clamped` instant in traced
+    /// release runs).
     fn push_event(st: &mut KernelState<S>, at: SimTime, tid: usize, epoch: u64) {
+        debug_assert!(
+            at >= st.now,
+            "scheduling in the past: wake for thread {tid} at t={at}ns but now={}ns",
+            st.now
+        );
+        if at < st.now {
+            st.tracer
+                .instant(Track::Rank(tid), "wake:past-clamped", st.now);
+        }
         let t = at.max(st.now);
         st.seq += 1;
         let seq = st.seq;
-        st.events.push(Reverse((t, seq, tid, epoch)));
+        st.queue.insert(tid, t, seq, epoch);
     }
 
     /// Pick the next runnable thread, advance the clock, and transfer the
     /// floor. Must be called by a thread that no longer holds the floor.
     fn dispatch(&self, st: &mut KernelState<S>) {
         loop {
-            let Some(&Reverse((t, _seq, tid, epoch))) = st.events.peek() else {
+            let Some((t, _seq, tid, epoch)) = st.queue.peek() else {
                 // No events: either everything finished, or deadlock.
                 if st.live == 0 {
                     st.all_done = true;
@@ -157,14 +363,15 @@ impl<S> Kernel<S> {
                 }
                 return;
             };
-            st.events.pop();
+            st.queue.pop();
             let slot = &mut st.threads[tid];
             // Discard stale wakes (thread re-parked or finished since).
             if slot.phase == ThreadPhase::Finished || slot.epoch != epoch {
                 continue;
             }
-            debug_assert!(t >= st.now, "event heap went backwards");
+            debug_assert!(t >= st.now, "event queue went backwards");
             st.now = t;
+            st.dispatches += 1;
             slot.go = true;
             // The tracer's sink lock is a leaf lock taken strictly under the
             // kernel mutex, so this cannot deadlock; disabled tracing is a
@@ -238,22 +445,62 @@ impl<S: Send + 'static> Ctx<S> {
                 drop(guard);
                 panic!("simulation aborted: {msg}");
             }
-            let mut waker = Waker {
-                pending: Vec::new(),
-            };
             let now = guard.now;
             let st = &mut *guard;
+            let mut waker = Waker {
+                pending: std::mem::take(&mut st.wake_buf),
+            };
             let outcome = f(&mut st.user, &mut waker, now);
             // Apply wakes requested for other threads: bump-free — they
             // target the *current* epoch of each thread.
-            for (tid, at) in waker.pending {
+            for &(tid, at) in &waker.pending {
                 let epoch = st.threads[tid].epoch;
                 Kernel::push_event(st, at, tid, epoch);
             }
+            waker.pending.clear();
+            st.wake_buf = waker.pending;
             match outcome {
                 Poll::Ready(v) => return v,
                 Poll::Wait { wake_at } => {
                     let tid = self.tid;
+                    if let Some(at) = wake_at {
+                        debug_assert!(
+                            at >= now,
+                            "poll('{label}') timer in the past: t={at}ns but now={now}ns"
+                        );
+                        let t = at.max(now);
+                        // Purge stale heads (finished threads, or our own
+                        // superseded self-wakes) so they can't force a
+                        // needless slow handoff; dispatch would discard
+                        // them on pop anyway.
+                        if st.fast_path {
+                            while let Some((_, _, qtid, qe)) = st.queue.peek() {
+                                let s = &st.threads[qtid];
+                                if s.phase == ThreadPhase::Finished || s.epoch != qe {
+                                    st.queue.pop();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        // Direct-handoff fast path: our own timer is
+                        // strictly the earliest pending event, so the
+                        // slow path would park, pop this very wake, and
+                        // hand the floor straight back. Advance the
+                        // clock in place instead — same epoch/seq
+                        // bookkeeping, same dispatch instant, no queue
+                        // traffic or condvar round-trip.
+                        if st.fast_path && st.queue.peek().is_none_or(|(qt, ..)| qt > t) {
+                            st.threads[tid].epoch += 1;
+                            st.threads[tid].label = label;
+                            st.seq += 1;
+                            st.now = t;
+                            st.dispatches += 1;
+                            st.fast_handoffs += 1;
+                            st.tracer.instant(Track::Rank(tid), label, t);
+                            continue;
+                        }
+                    }
                     st.threads[tid].epoch += 1;
                     st.threads[tid].phase = ThreadPhase::Parked;
                     st.threads[tid].label = label;
@@ -279,6 +526,111 @@ impl<S: Send + 'static> Ctx<S> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-wide pool of persistent OS threads hosting simulated-rank
+/// bodies.
+///
+/// Every [`Sim::run`] leases one worker per simulated thread and returns
+/// them when the run completes, so a sweep of thousands of simulation
+/// points pays thread-spawn cost only for the high-water mark of
+/// concurrent ranks instead of `nranks` spawns + joins per point.
+/// Workers are plain threads parked on a channel; they persist for the
+/// process lifetime. Panics inside a body are contained (the kernel
+/// already converts simulated-thread panics into a run-level abort), so
+/// a worker survives any job it hosts.
+pub struct SimPool {
+    idle: Mutex<Vec<mpsc::Sender<Job>>>,
+    spawned: AtomicUsize,
+}
+
+impl SimPool {
+    /// The process-wide pool.
+    pub fn global() -> &'static SimPool {
+        static POOL: OnceLock<SimPool> = OnceLock::new();
+        POOL.get_or_init(|| SimPool {
+            idle: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+        })
+    }
+
+    /// Workers ever spawned — the high-water mark of concurrent leases
+    /// (observability: a sweep reusing the pool keeps this flat).
+    pub fn workers_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    fn execute(&'static self, job: Job) {
+        let mut job = job;
+        loop {
+            let Some(tx) = self.idle.lock().pop() else {
+                break;
+            };
+            match tx.send(job) {
+                Ok(()) => return,
+                // Worker died (only possible if the host tore threads
+                // down); fall through and spawn a replacement.
+                Err(e) => job = e.0,
+            }
+        }
+        let n = self.spawned.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel::<Job>();
+        std::thread::Builder::new()
+            .name(format!("sim-worker-{n}"))
+            .spawn(move || {
+                let mut next = Some(job);
+                loop {
+                    let j = match next.take() {
+                        Some(j) => j,
+                        None => match rx.recv() {
+                            Ok(j) => j,
+                            Err(_) => return,
+                        },
+                    };
+                    let _ = catch_unwind(AssertUnwindSafe(j));
+                    // Only re-register once the job has fully released
+                    // its simulation (the lease discipline).
+                    SimPool::global().idle.lock().push(tx.clone());
+                }
+            })
+            .expect("spawn sim worker");
+    }
+}
+
+/// Completion latch for one run's leased workers.
+struct JobDone {
+    left: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl JobDone {
+    fn new(n: usize) -> JobDone {
+        JobDone {
+            left: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish(&self) {
+        let mut left = self.left.lock();
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock();
+        while *left > 0 {
+            self.cv.wait(&mut left);
+        }
+    }
+}
+
 /// Outcome of a completed simulation.
 pub struct RunReport<S> {
     /// Final shared state.
@@ -287,6 +639,8 @@ pub struct RunReport<S> {
     pub end_time: SimTime,
     /// Per-thread finish times, indexed by tid.
     pub finish_times: Vec<SimTime>,
+    /// Simulated events dispatched over the whole run.
+    pub events: u64,
     /// Dispatch trace, when enabled with [`Sim::enable_trace`]. Empty when
     /// an external tracer was installed with [`Sim::set_tracer`] instead
     /// (events flow to that tracer's sink).
@@ -299,6 +653,7 @@ pub struct Sim<S: Send + 'static> {
     pending: Vec<Box<dyn FnOnce(Ctx<S>) + Send + 'static>>,
     tracer: Tracer,
     capture: Option<SharedBuffer>,
+    fast_path: bool,
 }
 
 impl<S: Send + 'static> Sim<S> {
@@ -309,6 +664,7 @@ impl<S: Send + 'static> Sim<S> {
             pending: Vec::new(),
             tracer: Tracer::off(),
             capture: None,
+            fast_path: true,
         }
     }
 
@@ -328,6 +684,16 @@ impl<S: Send + 'static> Sim<S> {
         self.capture = None;
     }
 
+    /// Enable or disable the direct-handoff fast path (default: on).
+    ///
+    /// Disabling forces every wake through the event queue and condvar
+    /// floor transfer — virtual-time behavior is identical by
+    /// construction, which the fast-path equivalence suite pins; the
+    /// switch exists exactly for that comparison.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
     /// Register a simulated thread. Threads receive the floor in spawn
     /// order at t=0. Returns the thread's tid.
     pub fn spawn(&mut self, f: impl FnOnce(Ctx<S>) + Send + 'static) -> usize {
@@ -339,13 +705,17 @@ impl<S: Send + 'static> Sim<S> {
     /// Run the simulation to completion, returning the final state and
     /// timing report. Panics (with the failing thread's message) if any
     /// simulated thread panicked or the simulation deadlocked.
+    ///
+    /// Rank bodies execute on leased [`SimPool`] workers, so repeated
+    /// runs (parameter sweeps) reuse OS threads instead of spawning
+    /// `nranks` fresh ones per run.
     pub fn run(mut self) -> RunReport<S> {
         let n = self.pending.len();
         let kernel = Arc::new(Kernel {
             state: Mutex::new(KernelState {
                 now: 0,
                 seq: 0,
-                events: BinaryHeap::new(),
+                queue: EventQueue::new(n),
                 threads: (0..n)
                     .map(|_| ThreadSlot {
                         phase: ThreadPhase::Starting,
@@ -359,6 +729,10 @@ impl<S: Send + 'static> Sim<S> {
                 user: self.state.take().expect("run called once"),
                 panic_msg: None,
                 all_done: false,
+                dispatches: 0,
+                fast_handoffs: 0,
+                wake_buf: Vec::new(),
+                fast_path: self.fast_path,
                 tracer: self.tracer.clone(),
             }),
             cvs: (0..=n).map(|_| Condvar::new()).collect(),
@@ -376,62 +750,24 @@ impl<S: Send + 'static> Sim<S> {
             kernel.dispatch(st);
         }
 
-        let mut handles = Vec::with_capacity(n);
+        let done = Arc::new(JobDone::new(n));
+        let pool = SimPool::global();
         for (tid, f) in self.pending.drain(..).enumerate() {
             let kernel = Arc::clone(&kernel);
-            handles.push(std::thread::spawn(move || {
-                // Acquire the floor for the first time.
-                {
-                    let mut guard = kernel.state.lock();
-                    while !guard.threads[tid].go {
-                        if guard.panic_msg.is_some() {
-                            return;
-                        }
-                        kernel.cvs[tid].wait(&mut guard);
-                    }
-                    guard.threads[tid].go = false;
-                    guard.threads[tid].phase = ThreadPhase::Running;
-                }
-                let ctx = Ctx {
-                    kernel: Arc::clone(&kernel),
-                    tid,
-                };
-                let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
-                let mut guard = kernel.state.lock();
-                let st = &mut *guard;
-                st.threads[tid].phase = ThreadPhase::Finished;
-                st.threads[tid].finish_time = Some(st.now);
-                st.live -= 1;
-                if let Err(p) = result {
-                    let msg = p
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "non-string panic".to_string());
-                    if st.panic_msg.is_none() {
-                        st.panic_msg = Some(format!("simulated thread {tid} panicked: {msg}"));
-                    }
-                    st.all_done = true;
-                    kernel.cvs[st.threads.len()].notify_all();
-                    for cv in kernel.cvs.iter() {
-                        cv.notify_all();
-                    }
-                    return;
-                }
-                kernel.dispatch(st);
+            let done = Arc::clone(&done);
+            pool.execute(Box::new(move || {
+                // The body owns the kernel Arc; catching here keeps the
+                // pool worker alive and the latch exact even if kernel
+                // bookkeeping itself panicked.
+                let _ = catch_unwind(AssertUnwindSafe(move || thread_body(kernel, tid, f)));
+                done.finish();
             }));
         }
 
-        // Wait for completion.
-        {
-            let mut guard = kernel.state.lock();
-            while !guard.all_done {
-                kernel.cvs[n].wait(&mut guard);
-            }
-        }
-        for h in handles {
-            let _ = h.join();
-        }
+        // Wait until every leased worker has finished its body (which
+        // implies `all_done`: the last finishing thread's dispatch set
+        // it, or a panic/deadlock path did).
+        done.wait();
 
         let k = Arc::try_unwrap(kernel)
             .ok()
@@ -440,8 +776,11 @@ impl<S: Send + 'static> Sim<S> {
         if let Some(msg) = st.panic_msg {
             panic!("{msg}");
         }
+        TOTAL_EVENTS.fetch_add(st.dispatches, Ordering::Relaxed);
+        TOTAL_FAST.fetch_add(st.fast_handoffs, Ordering::Relaxed);
         RunReport {
             end_time: st.now,
+            events: st.dispatches,
             finish_times: st
                 .threads
                 .iter()
@@ -451,6 +790,54 @@ impl<S: Send + 'static> Sim<S> {
             state: st.user,
         }
     }
+}
+
+/// One simulated thread's life: acquire the floor, run the user closure,
+/// record the finish, and hand the floor onwards.
+fn thread_body<S: Send + 'static>(
+    kernel: Arc<Kernel<S>>,
+    tid: usize,
+    f: Box<dyn FnOnce(Ctx<S>) + Send + 'static>,
+) {
+    // Acquire the floor for the first time.
+    {
+        let mut guard = kernel.state.lock();
+        while !guard.threads[tid].go {
+            if guard.panic_msg.is_some() {
+                return;
+            }
+            kernel.cvs[tid].wait(&mut guard);
+        }
+        guard.threads[tid].go = false;
+        guard.threads[tid].phase = ThreadPhase::Running;
+    }
+    let ctx = Ctx {
+        kernel: Arc::clone(&kernel),
+        tid,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+    let mut guard = kernel.state.lock();
+    let st = &mut *guard;
+    st.threads[tid].phase = ThreadPhase::Finished;
+    st.threads[tid].finish_time = Some(st.now);
+    st.live -= 1;
+    if let Err(p) = result {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic".to_string());
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(format!("simulated thread {tid} panicked: {msg}"));
+        }
+        st.all_done = true;
+        kernel.cvs[st.threads.len()].notify_all();
+        for cv in kernel.cvs.iter() {
+            cv.notify_all();
+        }
+        return;
+    }
+    kernel.dispatch(st);
 }
 
 #[cfg(test)]
@@ -470,6 +857,7 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.end_time, 100);
         assert_eq!(r.finish_times, vec![100]);
+        assert!(r.events > 0);
     }
 
     #[test]
@@ -556,6 +944,75 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_wakes_coalesce_to_earliest() {
+        // Several wakes for the same sleeper in one poll cycle: only the
+        // earliest matters, and the sleeper still re-blocks safely.
+        let mut sim = Sim::new(0u64);
+        let sleeper = 0usize;
+        sim.spawn(|ctx| {
+            ctx.poll("wait", |hits: &mut u64, _w, _now| {
+                *hits += 1;
+                if *hits >= 2 {
+                    Poll::Ready(())
+                } else {
+                    Poll::Wait { wake_at: None }
+                }
+            });
+        });
+        sim.spawn(move |ctx| {
+            ctx.advance(5);
+            ctx.poll("burst", move |_, w, now| {
+                // Duplicates at later times must not shadow the early one.
+                w.wake_at(sleeper, now + 100);
+                w.wake_at(sleeper, now + 10);
+                w.wake_at(sleeper, now + 40);
+                Poll::Ready(())
+            });
+        });
+        let r = sim.run();
+        assert_eq!(r.finish_times[0], 15, "earliest wake (5+10) wins");
+    }
+
+    #[test]
+    fn slow_path_matches_fast_path_exactly() {
+        let go = |fast: bool| {
+            let mut sim = Sim::new(Vec::<(usize, SimTime)>::new());
+            sim.set_fast_path(fast);
+            for tid in 0..6 {
+                sim.spawn(move |ctx| {
+                    for _ in 0..4 {
+                        ctx.advance(7 + tid as u64 * 3);
+                        ctx.with_state(|log, now| log.push((tid, now)));
+                    }
+                });
+            }
+            let r = sim.run();
+            (r.state, r.end_time, r.finish_times, r.events)
+        };
+        assert_eq!(go(true), go(false));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling in the past")]
+    fn past_wakes_assert_in_debug() {
+        let mut sim = Sim::new(());
+        let sleeper = 0usize;
+        sim.spawn(|ctx| {
+            ctx.advance(1000);
+        });
+        sim.spawn(move |ctx| {
+            ctx.advance(500);
+            // A wake far in the past: the clamp used to hide this.
+            ctx.poll("bad", move |_, w, _now| {
+                w.wake_at(sleeper, 3);
+                Poll::Ready(())
+            });
+        });
+        sim.run();
+    }
+
+    #[test]
     #[should_panic(expected = "deadlock")]
     fn deadlock_is_detected() {
         let mut sim = Sim::new(());
@@ -572,6 +1029,30 @@ mod tests {
         sim.spawn(|_ctx| panic!("boom"));
         sim.spawn(|ctx| ctx.advance(10));
         sim.run();
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_runs() {
+        // Warm the pool, note the high-water mark, then run many more
+        // same-width sims: no new workers may spawn.
+        let width = 8;
+        let once = || {
+            let mut sim = Sim::new(());
+            for _ in 0..width {
+                sim.spawn(|ctx| ctx.advance(10));
+            }
+            sim.run();
+        };
+        once();
+        let mark = SimPool::global().workers_spawned();
+        for _ in 0..20 {
+            once();
+        }
+        // Other tests run concurrently and may lease workers, so allow
+        // their growth — but 20 sequential runs of our own must not add
+        // 20×width fresh threads.
+        let grown = SimPool::global().workers_spawned() - mark;
+        assert!(grown < 20 * width, "pool did not reuse workers: +{grown}");
     }
 
     #[test]
@@ -596,6 +1077,26 @@ mod tests {
         let mut sim = Sim::new(());
         sim.spawn(|ctx| ctx.advance(1));
         assert!(sim.run().trace.is_empty());
+    }
+
+    #[test]
+    fn trace_is_identical_with_fast_path_off() {
+        let go = |fast: bool| {
+            let mut sim = Sim::new(());
+            sim.enable_trace();
+            sim.set_fast_path(fast);
+            sim.spawn(|ctx| {
+                ctx.advance(10);
+                ctx.advance(20);
+            });
+            sim.spawn(|ctx| ctx.advance(15));
+            sim.run().trace
+        };
+        assert_eq!(
+            chrome_trace_json(&go(true)),
+            chrome_trace_json(&go(false)),
+            "fast path altered the dispatch trace"
+        );
     }
 
     #[test]
@@ -655,5 +1156,34 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.state, 128);
         assert_eq!(r.end_time, 70);
+    }
+
+    #[test]
+    fn event_queue_orders_and_dedups() {
+        let mut q = EventQueue::new(4);
+        q.insert(0, 50, 1, 0);
+        q.insert(1, 50, 2, 0);
+        q.insert(2, 10, 3, 0);
+        // Same-epoch duplicate at a later time: dropped.
+        q.insert(2, 60, 4, 0);
+        assert_eq!(q.peek(), Some((10, 3, 2, 0)));
+        // Decrease-key: same epoch, earlier time.
+        q.insert(1, 5, 5, 0);
+        assert_eq!(q.pop(), Some((5, 5, 1, 0)));
+        // Epoch replacement: later time but newer epoch wins the slot.
+        q.insert(2, 90, 6, 1);
+        assert_eq!(q.pop(), Some((50, 1, 0, 0)));
+        assert_eq!(q.pop(), Some((90, 6, 2, 1)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn event_queue_never_exceeds_one_entry_per_thread() {
+        let mut q = EventQueue::new(3);
+        for i in 0..100u64 {
+            q.insert((i % 3) as usize, 1000 - i, i, i / 10);
+        }
+        assert!(q.heap.len() <= 3, "queue grew: {}", q.heap.len());
     }
 }

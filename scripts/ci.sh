@@ -16,6 +16,13 @@ cargo build --release
 echo "== cargo test (tier-1) =="
 cargo test -q
 
+echo "== benches compile =="
+cargo bench --no-run -q
+
+echo "== determinism suite (repeat runs, --jobs 1 vs 8, traces) =="
+cargo test -q --release -p kacc-bench --test determinism
+cargo test -q --release -p kacc-collectives --test fastpath_equivalence
+
 echo "== chaos suite (fixed seed corpus + one fresh seed) =="
 # The chaos tests always run their fixed corpus; KACC_CHAOS_SEED adds one
 # fresh seed on top. Echoed up front so a failure is reproducible with
@@ -37,5 +44,13 @@ cargo run --release -q -p kacc-trace --bin trace-validate -- "$trace_tmp"
 printf 'seed 42\nrule prob=0.05 kind=transient errno=11\nrule ops=cma_read prob=0.25 max=2 kind=truncate frac=1/2\n' > "$fault_tmp"
 cargo run --release -q -p kacc-bench --bin repro -- --quick --fault-plan "$fault_tmp" --trace-out "$trace_tmp"
 cargo run --release -q -p kacc-trace --bin trace-validate -- "$trace_tmp"
+
+echo "== bench metrics snapshot (BENCH_PR4.json) =="
+# Quick-scale events/sec + wall-clock snapshot, including the p=64
+# one-to-all probe (the PR-4 acceptance metric). Kept out of git status
+# noise: CI uploads it; refresh the committed copy with a full run via
+#   cargo run --release -p kacc-bench --bin repro -- --bench-out BENCH_PR4.json all
+cargo run --release -q -p kacc-bench --bin repro -- --quick --bench-out /tmp/BENCH_PR4.json all >/dev/null
+cat /tmp/BENCH_PR4.json
 
 echo "CI gates all green."
