@@ -2,37 +2,49 @@
 //!
 //! Every figure in the reproduction is a sweep of `run_team` points, so
 //! the kernel's per-event overhead (heap traffic, floor hand-offs,
-//! thread setup) multiplies into everything. This bench pins three
-//! layers of that cost:
+//! thread setup) multiplies into everything. This bench pins the cost on
+//! both engines:
 //!
-//! * `one_to_all_p64` — the paper's contention microbenchmark at p=64
-//!   (65 simulated ranks, fluid-server wake storms): the PR-4
-//!   acceptance gate measures events/sec here.
-//! * `advance_heavy` — a single thread burning timer self-wakes, the
-//!   direct-handoff fast path's best case.
-//! * `pingpong` — two threads strictly alternating via external wakes,
-//!   the floor-transfer worst case (no fast path possible).
+//! * `one_to_all_p64` / `one_to_all_p64_polled` — the paper's contention
+//!   microbenchmark at p=64 (65 simulated ranks, fluid-server wake
+//!   storms) on the thread-per-rank and the thread-free polled engine:
+//!   the PR-4/PR-6 acceptance gates measure events/sec here.
+//! * `advance_heavy` / `advance_heavy_polled` — a single task burning
+//!   timer self-wakes, the direct-handoff fast path's best case.
+//! * `pingpong` / `pingpong_polled` — two tasks strictly alternating via
+//!   external wakes, the floor-transfer worst case for the threads
+//!   engine (every event is a futex round-trip) and the polled engine's
+//!   biggest win (every event is a queue pop).
 //!
 //! Simulated-event counts per iteration are deterministic, so
 //! events/sec = events-per-iter / (ns-per-iter · 1e-9); each benchmark
-//! prints its event count once so the conversion is mechanical.
+//! prints its event count and a one-shot events/sec estimate once so the
+//! conversion is mechanical.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kacc_bench::measure::one_to_all_read_ns;
+use kacc_bench::measure::{one_to_all_read_ns, set_engine, Engine};
 use kacc_model::ArchProfile;
+use kacc_sim_core::polled::{sim_advance, sim_poll, PolledSim};
 use kacc_sim_core::{total_events, Poll, Sim};
 use std::hint::black_box;
 use std::time::Duration;
 
-/// Events processed by `f` (deterministic, so one probe run suffices).
-fn events_of(f: impl FnOnce()) -> u64 {
+/// Events processed by `f` (deterministic, so one probe run suffices),
+/// plus a single-run events/sec estimate for the printed summary.
+fn probe(f: impl Fn()) -> (u64, f64) {
     let before = total_events();
+    let t0 = std::time::Instant::now();
     f();
-    total_events() - before
+    let secs = t0.elapsed().as_secs_f64();
+    let events = total_events() - before;
+    (events, events as f64 / secs.max(1e-9))
 }
 
-fn one_to_all(arch: &ArchProfile) -> f64 {
-    one_to_all_read_ns(arch, 64, 64 << 10, false)
+fn one_to_all(arch: &ArchProfile, engine: Engine) -> f64 {
+    set_engine(engine);
+    let ns = one_to_all_read_ns(arch, 64, 64 << 10, false);
+    set_engine(Engine::Threads);
+    ns
 }
 
 fn advance_heavy(steps: u64) -> u64 {
@@ -40,6 +52,16 @@ fn advance_heavy(steps: u64) -> u64 {
     sim.spawn(move |ctx| {
         for _ in 0..steps {
             ctx.advance(3);
+        }
+    });
+    sim.run().end_time
+}
+
+fn advance_heavy_polled(steps: u64) -> u64 {
+    let mut sim = PolledSim::new(());
+    sim.spawn(move |_tid| async move {
+        for _ in 0..steps {
+            sim_advance::<()>(3).await;
         }
     });
     sim.run().end_time
@@ -68,6 +90,28 @@ fn pingpong(rounds: u64) -> u64 {
     sim.run().end_time
 }
 
+fn pingpong_polled(rounds: u64) -> u64 {
+    let mut sim = PolledSim::new(0u64);
+    for me in 0..2usize {
+        sim.spawn(move |_tid| async move {
+            let peer = 1 - me;
+            for _ in 0..rounds {
+                sim_poll("turn", move |count: &mut u64, w, now| {
+                    if *count as usize % 2 == me {
+                        *count += 1;
+                        w.wake_at(peer, now + 1);
+                        Poll::Ready(())
+                    } else {
+                        Poll::Wait { wake_at: None }
+                    }
+                })
+                .await;
+            }
+        });
+    }
+    sim.run().end_time
+}
+
 fn bench(c: &mut Criterion) {
     let knl = ArchProfile::knl();
 
@@ -76,36 +120,64 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
 
-    println!(
-        "des_kernel/one_to_all_p64: {} simulated events per iter",
-        events_of(|| {
-            one_to_all(&knl);
-        })
-    );
-    g.bench_function("one_to_all_p64", |b| {
-        b.iter(|| black_box(one_to_all(black_box(&knl))))
-    });
+    // The two engines must agree on the simulated result before their
+    // costs are worth comparing.
+    let t = one_to_all(&knl, Engine::Threads);
+    let q = one_to_all(&knl, Engine::Polled);
+    assert_eq!(t, q, "engines disagree on one_to_all_p64");
+
+    for engine in [Engine::Threads, Engine::Polled] {
+        let (events, eps) = probe(|| {
+            one_to_all(&knl, engine);
+        });
+        let suffix = match engine {
+            Engine::Threads => "",
+            Engine::Polled => "_polled",
+        };
+        println!(
+            "des_kernel/one_to_all_p64{suffix}: {events} simulated events per iter (~{eps:.0} events/sec)"
+        );
+        g.bench_function(format!("one_to_all_p64{suffix}"), |b| {
+            b.iter(|| black_box(one_to_all(black_box(&knl), engine)))
+        });
+    }
 
     let steps = 20_000u64;
-    println!(
-        "des_kernel/advance_heavy: {} simulated events per iter",
-        events_of(|| {
-            advance_heavy(steps);
-        })
-    );
+    assert_eq!(advance_heavy(steps), advance_heavy_polled(steps));
+    let (events, eps) = probe(|| {
+        advance_heavy(steps);
+    });
+    println!("des_kernel/advance_heavy: {events} simulated events per iter (~{eps:.0} events/sec)");
     g.bench_function("advance_heavy", |b| {
         b.iter(|| black_box(advance_heavy(black_box(steps))))
     });
+    let (events, eps) = probe(|| {
+        advance_heavy_polled(steps);
+    });
+    println!(
+        "des_kernel/advance_heavy_polled: {events} simulated events per iter (~{eps:.0} events/sec)"
+    );
+    g.bench_function("advance_heavy_polled", |b| {
+        b.iter(|| black_box(advance_heavy_polled(black_box(steps))))
+    });
 
     let rounds = 5_000u64;
-    println!(
-        "des_kernel/pingpong: {} simulated events per iter",
-        events_of(|| {
-            pingpong(rounds);
-        })
-    );
+    assert_eq!(pingpong(rounds), pingpong_polled(rounds));
+    let (events, eps) = probe(|| {
+        pingpong(rounds);
+    });
+    println!("des_kernel/pingpong: {events} simulated events per iter (~{eps:.0} events/sec)");
     g.bench_function("pingpong", |b| {
         b.iter(|| black_box(pingpong(black_box(rounds))))
+    });
+    let (events, eps) = probe(|| {
+        pingpong_polled(rounds);
+    });
+    println!(
+        "des_kernel/pingpong_polled: {events} simulated events per iter (~{eps:.0} events/sec)"
+    );
+    g.bench_function("pingpong_polled", |b| {
+        b.iter(|| black_box(pingpong_polled(black_box(rounds))))
     });
 
     g.finish();

@@ -8,6 +8,10 @@
 //! repro --jobs 8 all         # fan sweep points over 8 workers
 //!                            # (default: available parallelism; output
 //!                            # is bitwise-identical for every N)
+//! repro --engine polled all  # thread-free DES engine (bitwise-identical
+//!                            # artifacts; much faster on wake-tied
+//!                            # figures; legacy library-persona bodies
+//!                            # still run on the threads engine)
 //! repro --bench-out b.json   # record events/sec + wall-clock metrics
 //! repro --list               # list artifact names
 //! repro --trace-out t.json   # Chrome trace of a contended scatter
@@ -17,6 +21,7 @@
 //! ```
 
 use kacc_bench::figs::registry;
+use kacc_bench::measure::{self, Engine};
 use kacc_bench::{par, size_label, Chart};
 use kacc_fault::FaultPlan;
 use std::io::Write;
@@ -29,6 +34,7 @@ fn main() {
     let mut fault_plan: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut engine = Engine::Threads;
     let mut wanted: Vec<String> = Vec::new();
     let mut list_only = false;
 
@@ -43,6 +49,16 @@ fn main() {
                     eprintln!("--jobs needs a positive integer");
                     std::process::exit(2);
                 }));
+            }
+            "--engine" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--engine needs 'threads' or 'polled'");
+                    std::process::exit(2);
+                });
+                engine = Engine::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown engine '{v}' (expected 'threads' or 'polled')");
+                    std::process::exit(2);
+                });
             }
             "--bench-out" => {
                 bench_out = Some(it.next().unwrap_or_else(|| {
@@ -70,7 +86,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--jobs N] [--csv DIR] [--bench-out FILE] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
+                    "usage: repro [--quick] [--engine threads|polled] [--jobs N] [--csv DIR] [--bench-out FILE] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
                      artifacts: {}",
                     registry()
                         .iter()
@@ -145,6 +161,7 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
 
+    measure::set_engine(engine);
     let jobs = jobs.unwrap_or_else(par::default_jobs);
     par::set_jobs(jobs);
     let selected: Vec<(&str, kacc_bench::figs::ArtifactFn)> = reg
@@ -192,14 +209,16 @@ fn main() {
         println!();
     }
     eprintln!(
-        "[total: {total_wall:.1}s, {total_events} events ({:.2} Mev/s, {:.0}% fast-path), --jobs {jobs}{}]",
+        "[total: {total_wall:.1}s, {total_events} events ({:.2} Mev/s, {:.0}% fast-path), --engine {}, --jobs {jobs}{}]",
         total_events as f64 / total_wall.max(1e-9) / 1e6,
         total_fast as f64 / (total_events as f64).max(1.0) * 100.0,
+        engine.label(),
         if quick { ", --quick" } else { "" }
     );
 
     if let Some(path) = &bench_out {
         let json = bench_report_json(
+            engine,
             jobs,
             quick,
             total_wall,
@@ -220,6 +239,7 @@ fn main() {
 /// contention microbench at p=64 (the PR-4 acceptance metric) so the
 /// events/sec trajectory is comparable across machines and job counts.
 fn bench_report_json(
+    engine: Engine,
     jobs: usize,
     quick: bool,
     total_wall: f64,
@@ -240,6 +260,7 @@ fn bench_report_json(
     let probe_events = kacc_sim_core::total_events() - e0;
 
     let mut s = String::from("{\n");
+    s.push_str(&format!("  \"engine\": \"{}\",\n", engine.label()));
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
@@ -256,7 +277,8 @@ fn bench_report_json(
     s.push_str("  \"figures\": [\n");
     for (i, (name, secs, events)) in figures.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"wall_s\": {secs:.3}, \"events\": {events}}}{}\n",
+            "    {{\"name\": \"{name}\", \"wall_s\": {secs:.3}, \"events\": {events}, \"events_per_sec\": {:.0}}}{}\n",
+            *events as f64 / secs.max(1e-9),
             if i + 1 < figures.len() { "," } else { "" }
         ));
     }

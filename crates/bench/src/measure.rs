@@ -1,13 +1,70 @@
 //! Simulated-latency measurement helpers shared by every figure.
+//!
+//! Each helper dispatches on the process-wide [`Engine`] selector: the
+//! thread-per-rank engine (`run_team`/`SimComm`) or the thread-free
+//! polled engine (`run_polled_team`/`PolledComm`). Both produce bitwise
+//! identical virtual latencies (pinned by the engine-equivalence suite),
+//! so the selector only changes wall-clock cost. Helpers whose bodies
+//! are legacy blocking closures generic over `Comm` — the library
+//! personas ([`library_ns`]), [`pairs_read_ns`], [`breakdown`] — always
+//! run on the threads engine regardless of the selector.
 
 use kacc_collectives::{
-    allgather, alltoall, bcast, gather, scatter, AllgatherAlgo, AlltoallAlgo, BcastAlgo,
-    GatherAlgo, ScatterAlgo, Tuner,
+    allgather, allgather_polled, alltoall, alltoall_polled, bcast, bcast_polled, gather,
+    gatherv_polled, scatter, scatter_polled, AllgatherAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo,
+    ScatterAlgo, Tuner,
 };
 use kacc_comm::{smcoll, Comm, CommExt, RemoteToken, Tag};
-use kacc_machine::{run_team_phantom, RankStats, SimComm};
+use kacc_machine::polled::sm_barrier_polled;
+use kacc_machine::{run_polled_team_phantom, run_team_phantom, PolledComm, RankStats, SimComm};
 use kacc_model::ArchProfile;
 use kacc_mpi::baseline::{self, Library};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which DES engine executes the simulated teams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// One OS thread per simulated rank, condvar hand-offs (the
+    /// original engine; required for legacy blocking closure bodies).
+    Threads,
+    /// Single-threaded kernel polling resumable rank tasks — no
+    /// hand-off cost on wake-tied (0% fast-path) workloads.
+    Polled,
+}
+
+impl Engine {
+    /// Parse a `--engine` argument.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "threads" => Some(Engine::Threads),
+            "polled" => Some(Engine::Polled),
+            _ => None,
+        }
+    }
+
+    /// Display name (matches the `--engine` argument spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Threads => "threads",
+            Engine::Polled => "polled",
+        }
+    }
+}
+
+static ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Select the engine for all subsequent measurements (process-wide).
+pub fn set_engine(e: Engine) {
+    ENGINE.store(e as u8, Ordering::Relaxed);
+}
+
+/// The currently selected engine.
+pub fn engine() -> Engine {
+    match ENGINE.load(Ordering::Relaxed) {
+        0 => Engine::Threads,
+        _ => Engine::Polled,
+    }
+}
 
 /// Run `f` on a simulated team and return the collective latency in
 /// nanoseconds: ranks synchronize, run `f`, and the slowest rank's
@@ -26,50 +83,126 @@ where
     durs.into_iter().max().expect("nonempty team") as f64
 }
 
+/// The polled twin of [`timed_team`]: ranks synchronize over the polled
+/// dissemination barrier, then `f` runs on a fresh endpoint and returns
+/// its own elapsed virtual ns; the slowest rank's time is reported.
+pub fn timed_team_polled<F, Fut>(arch: &ArchProfile, p: usize, f: F) -> f64
+where
+    F: Fn(PolledComm) -> Fut + Clone + 'static,
+    Fut: std::future::Future<Output = u64> + 'static,
+{
+    let (_, durs) = run_polled_team_phantom(arch, p, move |rank| {
+        let f = f.clone();
+        async move {
+            let mut comm = PolledComm::new(rank);
+            sm_barrier_polled(&mut comm).await.expect("barrier");
+            f(comm).await
+        }
+    });
+    durs.into_iter().max().expect("nonempty team") as f64
+}
+
 /// Scatter latency (root 0), ns.
 pub fn scatter_ns(arch: &ArchProfile, p: usize, eta: usize, algo: ScatterAlgo) -> f64 {
-    timed_team(arch, p, move |comm| {
-        let me = comm.rank();
-        let sb = (me == 0).then(|| comm.alloc(p * eta));
-        let rb = comm.alloc(eta);
-        scatter(comm, algo, sb, Some(rb), eta, 0).expect("scatter");
-    })
+    match engine() {
+        Engine::Threads => timed_team(arch, p, move |comm| {
+            let me = comm.rank();
+            let sb = (me == 0).then(|| comm.alloc(p * eta));
+            let rb = comm.alloc(eta);
+            scatter(comm, algo, sb, Some(rb), eta, 0).expect("scatter");
+        }),
+        Engine::Polled => timed_team_polled(arch, p, move |mut comm| async move {
+            let t0 = comm.time_ns();
+            let me = comm.rank();
+            let sb = (me == 0).then(|| comm.alloc(p * eta));
+            let rb = comm.alloc(eta);
+            scatter_polled(&mut comm, algo, sb, Some(rb), eta, 0)
+                .await
+                .expect("scatter");
+            comm.time_ns() - t0
+        }),
+    }
 }
 
 /// Gather latency (root 0), ns.
 pub fn gather_ns(arch: &ArchProfile, p: usize, eta: usize, algo: GatherAlgo) -> f64 {
-    timed_team(arch, p, move |comm| {
-        let me = comm.rank();
-        let sb = comm.alloc(eta);
-        let rb = (me == 0).then(|| comm.alloc(p * eta));
-        gather(comm, algo, Some(sb), rb, eta, 0).expect("gather");
-    })
+    match engine() {
+        Engine::Threads => timed_team(arch, p, move |comm| {
+            let me = comm.rank();
+            let sb = comm.alloc(eta);
+            let rb = (me == 0).then(|| comm.alloc(p * eta));
+            gather(comm, algo, Some(sb), rb, eta, 0).expect("gather");
+        }),
+        Engine::Polled => timed_team_polled(arch, p, move |mut comm| async move {
+            let t0 = comm.time_ns();
+            let me = comm.rank();
+            let sb = comm.alloc(eta);
+            let rb = (me == 0).then(|| comm.alloc(p * eta));
+            let counts = vec![eta; p];
+            gatherv_polled(&mut comm, algo, Some(sb), rb, &counts, None, 0)
+                .await
+                .expect("gather");
+            comm.time_ns() - t0
+        }),
+    }
 }
 
 /// Allgather latency, ns.
 pub fn allgather_ns(arch: &ArchProfile, p: usize, eta: usize, algo: AllgatherAlgo) -> f64 {
-    timed_team(arch, p, move |comm| {
-        let sb = comm.alloc(eta);
-        let rb = comm.alloc(p * eta);
-        allgather(comm, algo, Some(sb), rb, eta).expect("allgather");
-    })
+    match engine() {
+        Engine::Threads => timed_team(arch, p, move |comm| {
+            let sb = comm.alloc(eta);
+            let rb = comm.alloc(p * eta);
+            allgather(comm, algo, Some(sb), rb, eta).expect("allgather");
+        }),
+        Engine::Polled => timed_team_polled(arch, p, move |mut comm| async move {
+            let t0 = comm.time_ns();
+            let sb = comm.alloc(eta);
+            let rb = comm.alloc(p * eta);
+            allgather_polled(&mut comm, algo, Some(sb), rb, eta)
+                .await
+                .expect("allgather");
+            comm.time_ns() - t0
+        }),
+    }
 }
 
 /// Alltoall latency, ns.
 pub fn alltoall_ns(arch: &ArchProfile, p: usize, eta: usize, algo: AlltoallAlgo) -> f64 {
-    timed_team(arch, p, move |comm| {
-        let sb = comm.alloc(p * eta);
-        let rb = comm.alloc(p * eta);
-        alltoall(comm, algo, Some(sb), rb, eta).expect("alltoall");
-    })
+    match engine() {
+        Engine::Threads => timed_team(arch, p, move |comm| {
+            let sb = comm.alloc(p * eta);
+            let rb = comm.alloc(p * eta);
+            alltoall(comm, algo, Some(sb), rb, eta).expect("alltoall");
+        }),
+        Engine::Polled => timed_team_polled(arch, p, move |mut comm| async move {
+            let t0 = comm.time_ns();
+            let sb = comm.alloc(p * eta);
+            let rb = comm.alloc(p * eta);
+            alltoall_polled(&mut comm, algo, Some(sb), rb, eta)
+                .await
+                .expect("alltoall");
+            comm.time_ns() - t0
+        }),
+    }
 }
 
 /// Bcast latency (root 0), ns.
 pub fn bcast_ns(arch: &ArchProfile, p: usize, eta: usize, algo: BcastAlgo) -> f64 {
-    timed_team(arch, p, move |comm| {
-        let buf = comm.alloc(eta);
-        bcast(comm, algo, buf, eta, 0).expect("bcast");
-    })
+    match engine() {
+        Engine::Threads => timed_team(arch, p, move |comm| {
+            let buf = comm.alloc(eta);
+            bcast(comm, algo, buf, eta, 0).expect("bcast");
+        }),
+        Engine::Polled => timed_team_polled(arch, p, move |mut comm| async move {
+            let t0 = comm.time_ns();
+            let buf = comm.alloc(eta);
+            bcast_polled(&mut comm, algo, buf, eta, 0)
+                .await
+                .expect("bcast");
+            comm.time_ns() - t0
+        }),
+    }
 }
 
 /// Which collective a library persona runs.
@@ -156,35 +289,70 @@ pub fn one_to_all_read_ns(
     eta: usize,
     same_region: bool,
 ) -> f64 {
-    let (_, durs) = run_team_phantom(arch, readers + 1, move |comm| {
-        if comm.rank() == 0 {
-            let len = if same_region { eta } else { eta * readers };
-            let buf = comm.alloc(len);
-            let tok = comm.expose(buf).expect("expose");
-            for r in 1..=readers {
-                comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
-                    .expect("send");
-            }
-            for r in 1..=readers {
-                comm.wait_notify(r, Tag::user(2)).expect("done");
-            }
-            0u64
-        } else {
-            let raw = comm.ctrl_recv(0, Tag::user(1)).expect("token");
-            let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
-            let dst = comm.alloc(eta);
-            let off = if same_region {
-                0
-            } else {
-                (comm.rank() - 1) * eta
-            };
-            let t0 = comm.time_ns();
-            comm.cma_read(tok, off, dst, 0, eta).expect("read");
-            let d = comm.time_ns() - t0;
-            comm.notify(0, Tag::user(2)).expect("notify");
-            d
+    let durs = match engine() {
+        Engine::Threads => {
+            run_team_phantom(arch, readers + 1, move |comm| {
+                if comm.rank() == 0 {
+                    let len = if same_region { eta } else { eta * readers };
+                    let buf = comm.alloc(len);
+                    let tok = comm.expose(buf).expect("expose");
+                    for r in 1..=readers {
+                        comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
+                            .expect("send");
+                    }
+                    for r in 1..=readers {
+                        comm.wait_notify(r, Tag::user(2)).expect("done");
+                    }
+                    0u64
+                } else {
+                    let raw = comm.ctrl_recv(0, Tag::user(1)).expect("token");
+                    let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
+                    let dst = comm.alloc(eta);
+                    let off = if same_region {
+                        0
+                    } else {
+                        (comm.rank() - 1) * eta
+                    };
+                    let t0 = comm.time_ns();
+                    comm.cma_read(tok, off, dst, 0, eta).expect("read");
+                    let d = comm.time_ns() - t0;
+                    comm.notify(0, Tag::user(2)).expect("notify");
+                    d
+                }
+            })
+            .1
         }
-    });
+        Engine::Polled => {
+            run_polled_team_phantom(arch, readers + 1, move |rank| async move {
+                let mut comm = PolledComm::new(rank);
+                if rank == 0 {
+                    let len = if same_region { eta } else { eta * readers };
+                    let buf = comm.alloc(len);
+                    let tok = comm.expose(buf).await.expect("expose");
+                    for r in 1..=readers {
+                        comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
+                            .await
+                            .expect("send");
+                    }
+                    for r in 1..=readers {
+                        comm.wait_notify(r, Tag::user(2)).await.expect("done");
+                    }
+                    0u64
+                } else {
+                    let raw = comm.ctrl_recv(0, Tag::user(1)).await.expect("token");
+                    let tok = RemoteToken::from_bytes(&raw).expect("token bytes");
+                    let dst = comm.alloc(eta);
+                    let off = if same_region { 0 } else { (rank - 1) * eta };
+                    let t0 = comm.time_ns();
+                    comm.cma_read(tok, off, dst, 0, eta).await.expect("read");
+                    let d = comm.time_ns() - t0;
+                    comm.notify(0, Tag::user(2)).await.expect("notify");
+                    d
+                }
+            })
+            .1
+        }
+    };
     let sum: u64 = durs.iter().skip(1).sum();
     sum as f64 / readers as f64
 }
@@ -265,6 +433,73 @@ mod tests {
         let arch = ArchProfile::broadwell();
         let t = scatter_ns(&arch, 8, 64 << 10, ScatterAlgo::SequentialWrite);
         assert!(t > 0.0);
+    }
+
+    /// Every engine-dispatched helper reports the identical virtual
+    /// latency on both engines (the measurement-level face of the
+    /// engine-equivalence suite). Serialized via explicit set_engine
+    /// calls around each probe; the selector is process-wide, so this
+    /// test restores Threads before returning.
+    #[test]
+    fn measurements_identical_on_both_engines() {
+        let arch = ArchProfile::broadwell();
+        let eta = 32 << 10;
+        type Probe = (&'static str, Box<dyn Fn() -> f64>);
+        let probes: Vec<Probe> = vec![
+            (
+                "scatter",
+                Box::new(move || {
+                    scatter_ns(
+                        &ArchProfile::broadwell(),
+                        6,
+                        eta,
+                        ScatterAlgo::ThrottledRead { k: 2 },
+                    )
+                }),
+            ),
+            (
+                "gather",
+                Box::new(move || {
+                    gather_ns(&ArchProfile::broadwell(), 6, eta, GatherAlgo::ParallelWrite)
+                }),
+            ),
+            (
+                "allgather",
+                Box::new(move || {
+                    allgather_ns(&ArchProfile::broadwell(), 6, eta, AllgatherAlgo::Bruck)
+                }),
+            ),
+            (
+                "alltoall",
+                Box::new(move || {
+                    alltoall_ns(&ArchProfile::broadwell(), 6, eta, AlltoallAlgo::Pairwise)
+                }),
+            ),
+            (
+                "bcast",
+                Box::new(move || {
+                    bcast_ns(
+                        &ArchProfile::broadwell(),
+                        6,
+                        eta,
+                        BcastAlgo::KNomial { radix: 2 },
+                    )
+                }),
+            ),
+            (
+                "one_to_all",
+                Box::new(move || one_to_all_read_ns(&ArchProfile::broadwell(), 6, eta, false)),
+            ),
+        ];
+        let _ = arch;
+        for (name, probe) in &probes {
+            set_engine(Engine::Threads);
+            let t = probe();
+            set_engine(Engine::Polled);
+            let q = probe();
+            set_engine(Engine::Threads);
+            assert_eq!(t, q, "{name}: engines disagree (threads {t} vs polled {q})");
+        }
     }
 
     #[test]

@@ -195,7 +195,7 @@ pub(crate) fn allgather_ranges<C: Comm + ?Sized>(
     Ok(())
 }
 
-fn gcd(a: usize, b: usize) -> usize {
+pub(crate) fn gcd(a: usize, b: usize) -> usize {
     if a == 0 {
         b
     } else {

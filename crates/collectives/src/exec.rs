@@ -174,7 +174,7 @@ impl StepStats {
 
 /// Step kinds the executor records — one per [`ScheduleReport`] field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepKind {
+pub(crate) enum StepKind {
     Expose,
     CmaRead,
     CmaWrite,
@@ -191,7 +191,7 @@ enum StepKind {
 impl StepKind {
     /// Span name in the trace; the `step:` prefix keeps executor spans
     /// distinct from the machine layer's transport spans of similar names.
-    fn span_name(self) -> &'static str {
+    pub(crate) fn span_name(self) -> &'static str {
         match self {
             StepKind::Expose => "step:expose",
             StepKind::CmaRead => "step:cma_read",
@@ -229,15 +229,15 @@ impl StepKind {
 /// [`Recorder::add`], which updates the [`ScheduleReport`] *and* emits the
 /// trace span from the same measurements — counts and bytes can never
 /// drift between the two.
-struct Recorder<'t> {
-    report: ScheduleReport,
-    tracer: &'t Tracer,
-    track: Track,
-    class: Option<u32>,
+pub(crate) struct Recorder<'t> {
+    pub(crate) report: ScheduleReport,
+    pub(crate) tracer: &'t Tracer,
+    pub(crate) track: Track,
+    pub(crate) class: Option<u32>,
 }
 
 impl Recorder<'_> {
-    fn add(&mut self, kind: StepKind, bytes: usize, t0: u64, t1: u64) {
+    pub(crate) fn add(&mut self, kind: StepKind, bytes: usize, t0: u64, t1: u64) {
         let dt = t1.saturating_sub(t0);
         self.report.stat_mut(kind).add(bytes, dt);
         self.report.steps += 1;
@@ -255,7 +255,7 @@ impl Recorder<'_> {
     /// Recovery spans do not count as steps and never extend `total_ns`
     /// computation in [`ScheduleReport::from_events`] — they nest inside
     /// the step span that eventually succeeds or fails.
-    fn recovery(&mut self, name: &'static str, bytes: usize, t0: u64, t1: u64) {
+    pub(crate) fn recovery(&mut self, name: &'static str, bytes: usize, t0: u64, t1: u64) {
         let dt = t1.saturating_sub(t0);
         self.report.recovery.add_span(name, bytes as u64, dt);
         self.tracer
@@ -356,18 +356,18 @@ impl ScheduleReport {
     }
 }
 
-fn proto(msg: String) -> CommError {
+pub(crate) fn proto(msg: String) -> CommError {
     CommError::Protocol(msg)
 }
 
-struct Ctx<'a> {
-    bind: &'a Bindings,
-    temps: Vec<BufId>,
-    regs: Vec<Option<RemoteToken>>,
+pub(crate) struct Ctx<'a> {
+    pub(crate) bind: &'a Bindings,
+    pub(crate) temps: Vec<BufId>,
+    pub(crate) regs: Vec<Option<RemoteToken>>,
 }
 
 impl Ctx<'_> {
-    fn slot(&self, s: Slot) -> Result<BufId> {
+    pub(crate) fn slot(&self, s: Slot) -> Result<BufId> {
         match s {
             Slot::Send => self.bind.send.ok_or_else(|| {
                 proto("schedule references Send but no send buffer is bound".into())
@@ -383,7 +383,7 @@ impl Ctx<'_> {
         }
     }
 
-    fn token(&self, reg: crate::schedule::TokenReg) -> Result<RemoteToken> {
+    pub(crate) fn token(&self, reg: crate::schedule::TokenReg) -> Result<RemoteToken> {
         self.regs
             .get(reg.0 as usize)
             .copied()
@@ -396,7 +396,11 @@ impl Ctx<'_> {
             })
     }
 
-    fn set_token(&mut self, reg: crate::schedule::TokenReg, t: RemoteToken) -> Result<()> {
+    pub(crate) fn set_token(
+        &mut self,
+        reg: crate::schedule::TokenReg,
+        t: RemoteToken,
+    ) -> Result<()> {
         let slot = self
             .regs
             .get_mut(reg.0 as usize)
@@ -405,7 +409,7 @@ impl Ctx<'_> {
         Ok(())
     }
 
-    fn render_payload(&self, p: &Payload) -> Result<Vec<u8>> {
+    pub(crate) fn render_payload(&self, p: &Payload) -> Result<Vec<u8>> {
         match p {
             Payload::Bytes(b) => Ok(b.clone()),
             Payload::Token(reg) => Ok(self.token(*reg)?.to_bytes().to_vec()),
@@ -423,7 +427,7 @@ impl Ctx<'_> {
         }
     }
 
-    fn apply_recv(&mut self, into: &RecvInto, body: Vec<u8>) -> Result<()> {
+    pub(crate) fn apply_recv(&mut self, into: &RecvInto, body: Vec<u8>) -> Result<()> {
         match into {
             RecvInto::Discard => Ok(()),
             RecvInto::Verify(expected) => {
@@ -576,13 +580,13 @@ pub fn execute_with_policy<C: Comm + ?Sized>(
 
 /// `errno` for "no such process": the peer died. Named locally to keep
 /// this crate libc-free.
-const ESRCH: i32 = 3;
+pub(crate) const ESRCH: i32 = 3;
 
 /// True for errors worth retrying in place: the operation may succeed on
 /// a later attempt with no change of data path. `Os(ESRCH)` — peer died —
 /// is permanent; so is `PermissionDenied`, which recovery routes to the
 /// fallback path instead of the retry loop.
-fn is_transient(e: &CommError) -> bool {
+pub(crate) fn is_transient(e: &CommError) -> bool {
     match e {
         CommError::Os(code) => *code != ESRCH,
         CommError::Timeout { .. } => true,

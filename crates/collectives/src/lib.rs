@@ -39,6 +39,7 @@ pub mod bcast;
 pub mod exec;
 pub mod gather;
 pub mod hierarchical;
+pub mod polled;
 pub mod reduce;
 pub mod scatter;
 pub mod schedule;
@@ -58,6 +59,10 @@ pub(crate) use allgather::allgather_ranges;
 pub use exec::{
     execute, execute_traced, execute_with_policy, Bindings, RecoveryPolicy, RecoveryReport,
     ScheduleReport, StepStats,
+};
+pub use polled::{
+    allgather_polled, alltoall_polled, bcast_polled, execute_polled, execute_polled_traced,
+    execute_polled_with_policy, gatherv_polled, reduce_polled, scatter_polled, scatterv_polled,
 };
 pub use scatter::{scatter, scatterv, scatterv_with_report, ScatterAlgo};
 pub use schedule::{PlanCache, PlanKey, Schedule, Step};

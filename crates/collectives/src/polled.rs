@@ -1,0 +1,936 @@
+//! Polled-engine execution of compiled schedules.
+//!
+//! [`execute_polled`] replays a compiled [`Schedule`] on a
+//! [`PolledComm`] endpoint — the thread-free twin of [`crate::execute`].
+//! It shares the threads executor's entire accounting machinery
+//! ([`crate::exec::Ctx`], `Recorder`, `StepKind`) and transliterates the
+//! step loop and the full [`RecoveryPolicy`] ladder (transient retries
+//! with exponential backoff, short-CMA resume, fallback degradation,
+//! deadline-bounded waits) one operation at a time, so a polled
+//! execution is bitwise-identical — same virtual times, same
+//! [`ScheduleReport`], same recovery actions, same trace spans — to the
+//! threads execution of the same plan. The engine-equivalence suite pins
+//! this across all six collectives, clean and faulty.
+//!
+//! The `*_polled` entry points mirror their `*_with_report` twins'
+//! validation and degenerate-case handling line for line and then reuse
+//! the *same* [`PlanCache`] compile paths, so both engines replay
+//! literally the same cached plan objects.
+
+use crate::exec::{
+    is_transient, proto, Bindings, Ctx, Recorder, RecoveryPolicy, ScheduleReport, StepKind, ESRCH,
+};
+use crate::reduce::combine;
+use crate::schedule::{
+    compile_allgather, compile_alltoall, compile_bcast, compile_gather, compile_reduce,
+    compile_scatter, PlanCache, PlanKey, Schedule, Step,
+};
+use crate::{
+    AllgatherAlgo, AlltoallAlgo, BcastAlgo, Dtype, GatherAlgo, ReduceAlgo, ReduceOp, ScatterAlgo,
+};
+use kacc_comm::{BufId, CommError, RemoteToken, Result, Tag};
+use kacc_machine::PolledComm;
+use kacc_trace::{Tracer, Track};
+
+/// Execute a compiled schedule on a polled endpoint — the thread-free
+/// twin of [`crate::execute`].
+pub async fn execute_polled(
+    comm: &mut PolledComm,
+    sched: &Schedule,
+    bind: &Bindings,
+) -> Result<ScheduleReport> {
+    let tracer = comm.tracer();
+    execute_polled_with_policy(comm, sched, bind, &tracer, &RecoveryPolicy::default()).await
+}
+
+/// [`execute_polled`] with an explicit tracer — the twin of
+/// [`crate::execute_traced`].
+pub async fn execute_polled_traced(
+    comm: &mut PolledComm,
+    sched: &Schedule,
+    bind: &Bindings,
+    tracer: &Tracer,
+) -> Result<ScheduleReport> {
+    execute_polled_with_policy(comm, sched, bind, tracer, &RecoveryPolicy::default()).await
+}
+
+/// [`execute_polled_traced`] with an explicit [`RecoveryPolicy`] — the
+/// twin of [`crate::execute_with_policy`], recovery ladder included.
+pub async fn execute_polled_with_policy(
+    comm: &mut PolledComm,
+    sched: &Schedule,
+    bind: &Bindings,
+    tracer: &Tracer,
+    policy: &RecoveryPolicy,
+) -> Result<ScheduleReport> {
+    if sched.rank != comm.rank() || sched.p != comm.size() {
+        return Err(proto(format!(
+            "schedule compiled for rank {}/{} executed on rank {}/{}",
+            sched.rank,
+            sched.p,
+            comm.rank(),
+            comm.size()
+        )));
+    }
+
+    let mut ctx = Ctx {
+        bind,
+        temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
+        regs: vec![None; sched.token_regs],
+    };
+    let mut rec = Recorder {
+        report: ScheduleReport::default(),
+        tracer,
+        track: Track::Rank(comm.rank()),
+        class: sched.class,
+    };
+
+    let start = comm.time_ns();
+    let result = run_steps(comm, sched, &mut ctx, &mut rec, policy).await;
+    rec.report.total_ns = comm.time_ns().saturating_sub(start);
+
+    // Free scratch even when a step failed mid-run.
+    for t in ctx.temps.drain(..) {
+        let _ = comm.free(t);
+    }
+    result.map(|()| rec.report)
+}
+
+/// Sleep the policy's exponential backoff for the `attempt`-th
+/// consecutive failure (1-based) — the twin of `exec::backoff`.
+async fn backoff(
+    comm: &mut PolledComm,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    attempt: u32,
+) {
+    if policy.backoff_ns == 0 {
+        return;
+    }
+    let ns = policy.backoff_ns << (attempt.min(6) - 1).min(5);
+    let t0 = comm.time_ns();
+    comm.sleep_ns(ns).await;
+    rec.recovery("retry:backoff", 0, t0, comm.time_ns());
+}
+
+/// Run one non-resumable operation under the transient-retry loop — the
+/// twin of `exec::retry_transient`. A macro because the retried
+/// operation is an `.await`ed expression re-evaluated per attempt, which
+/// a closure cannot express without boxing every call.
+macro_rules! retry_transient {
+    ($comm:ident, $rec:ident, $policy:ident, $op:expr) => {{
+        let mut attempts = 0u32;
+        loop {
+            let t0 = $comm.time_ns();
+            match $op {
+                Ok(v) => break Ok(v),
+                Err(e) if is_transient(&e) => {
+                    $rec.recovery("fault:transient", 0, t0, $comm.time_ns());
+                    attempts += 1;
+                    if attempts > $policy.max_retries {
+                        break Err(e);
+                    }
+                    backoff($comm, $rec, $policy, attempts).await;
+                }
+                Err(e) => break Err(e),
+            }
+        }
+    }};
+}
+
+/// A CMA read or write with the full recovery ladder — the twin of
+/// `exec::recovered_cma`.
+#[allow(clippy::too_many_arguments)]
+async fn recovered_cma(
+    comm: &mut PolledComm,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    read: bool,
+    token: RemoteToken,
+    remote_off: usize,
+    local: BufId,
+    local_off: usize,
+    len: usize,
+) -> Result<()> {
+    let mut at = 0usize;
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        let r = if read {
+            comm.cma_read(token, remote_off + at, local, local_off + at, len - at)
+                .await
+        } else {
+            comm.cma_write(token, remote_off + at, local, local_off + at, len - at)
+                .await
+        };
+        let e = match r {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        match e {
+            CommError::Truncated { got, .. } if got > 0 => {
+                // Forward progress: resume past the bytes that landed.
+                rec.recovery("fault:short", got, t0, comm.time_ns());
+                at += got.min(len - at);
+                attempts = 0;
+                if at >= len {
+                    return Ok(());
+                }
+            }
+            CommError::Truncated { .. } => {
+                // Zero-progress truncation is just a transient failure.
+                rec.recovery("fault:short", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    let orig = CommError::Truncated {
+                        wanted: len,
+                        got: at,
+                    };
+                    return fallback_or(
+                        comm, rec, policy, read, orig, token, remote_off, at, local, local_off, len,
+                    )
+                    .await;
+                }
+                backoff(comm, rec, policy, attempts).await;
+            }
+            CommError::PermissionDenied => {
+                // Revoked access never heals by retrying the same path.
+                rec.recovery("fault:denied", 0, t0, comm.time_ns());
+                return fallback_or(
+                    comm,
+                    rec,
+                    policy,
+                    read,
+                    CommError::PermissionDenied,
+                    token,
+                    remote_off,
+                    at,
+                    local,
+                    local_off,
+                    len,
+                )
+                .await;
+            }
+            e if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return fallback_or(
+                        comm, rec, policy, read, e, token, remote_off, at, local, local_off, len,
+                    )
+                    .await;
+                }
+                backoff(comm, rec, policy, attempts).await;
+            }
+            e => return Err(e),
+        }
+    }
+}
+
+/// Finish the remainder of a failed CMA step over the two-copy fallback,
+/// or surface the original error — the twin of `exec::fallback_or`.
+#[allow(clippy::too_many_arguments)]
+async fn fallback_or(
+    comm: &mut PolledComm,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    read: bool,
+    orig: CommError,
+    token: RemoteToken,
+    remote_off: usize,
+    at: usize,
+    local: BufId,
+    local_off: usize,
+    len: usize,
+) -> Result<()> {
+    let peer_dead = matches!(orig, CommError::Os(code) if code == ESRCH);
+    if !policy.cma_fallback || peer_dead {
+        return Err(orig);
+    }
+    let rest = len - at;
+    let t0 = comm.time_ns();
+    let r = if read {
+        comm.shm_fallback_read(token, remote_off + at, local, local_off + at, rest)
+            .await
+    } else {
+        comm.shm_fallback_write(token, remote_off + at, local, local_off + at, rest)
+            .await
+    };
+    match r {
+        Ok(()) => {
+            let name = if read {
+                "fallback:read"
+            } else {
+                "fallback:write"
+            };
+            rec.recovery(name, rest, t0, comm.time_ns());
+            Ok(())
+        }
+        Err(_) => Err(orig),
+    }
+}
+
+/// A control receive under the policy — the twin of
+/// `exec::recovered_ctrl_recv`.
+async fn recovered_ctrl_recv(
+    comm: &mut PolledComm,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    from: usize,
+    tag: Tag,
+) -> Result<Vec<u8>> {
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        let r = match policy.step_timeout_ns {
+            Some(ns) => match comm.ctrl_recv_deadline(from, tag, ns).await {
+                Ok(Some(body)) => Ok(body),
+                Ok(None) => Err(CommError::Timeout { waited_ns: ns }),
+                Err(e) => Err(e),
+            },
+            None => comm.ctrl_recv(from, tag).await,
+        };
+        match r {
+            Ok(body) => return Ok(body),
+            Err(e @ CommError::Timeout { .. }) => {
+                rec.recovery("fault:timeout", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+            }
+            Err(e) if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+                backoff(comm, rec, policy, attempts).await;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A bulk shared-memory receive under the policy — the twin of
+/// `exec::recovered_shm_recv`.
+#[allow(clippy::too_many_arguments)]
+async fn recovered_shm_recv(
+    comm: &mut PolledComm,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    from: usize,
+    tag: Tag,
+    dst: BufId,
+    off: usize,
+    len: usize,
+) -> Result<()> {
+    let mut attempts = 0u32;
+    loop {
+        let t0 = comm.time_ns();
+        let r = match policy.step_timeout_ns {
+            Some(ns) => match comm.shm_recv_deadline(from, tag, dst, off, len, ns).await {
+                Ok(true) => Ok(()),
+                Ok(false) => Err(CommError::Timeout { waited_ns: ns }),
+                Err(e) => Err(e),
+            },
+            None => comm.shm_recv_data(from, tag, dst, off, len).await,
+        };
+        match r {
+            Ok(()) => return Ok(()),
+            Err(e @ CommError::Timeout { .. }) => {
+                rec.recovery("fault:timeout", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+            }
+            Err(e) if is_transient(&e) => {
+                rec.recovery("fault:transient", 0, t0, comm.time_ns());
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(e);
+                }
+                backoff(comm, rec, policy, attempts).await;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+async fn run_steps(
+    comm: &mut PolledComm,
+    sched: &Schedule,
+    ctx: &mut Ctx<'_>,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+) -> Result<()> {
+    for step in &sched.steps {
+        let t0 = comm.time_ns();
+        match step {
+            Step::Expose { slot, reg } => {
+                let buf = ctx.slot(*slot)?;
+                let token = retry_transient!(comm, rec, policy, comm.expose(buf).await)?;
+                ctx.set_token(*reg, token)?;
+                rec.add(StepKind::Expose, 0, t0, comm.time_ns());
+            }
+            Step::CmaRead {
+                token,
+                remote_off,
+                dst,
+                dst_off,
+                len,
+            } => {
+                let t = ctx.token(*token)?;
+                let dst = ctx.slot(*dst)?;
+                recovered_cma(comm, rec, policy, true, t, *remote_off, dst, *dst_off, *len).await?;
+                rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
+            }
+            Step::CmaWrite {
+                token,
+                remote_off,
+                src,
+                src_off,
+                len,
+            } => {
+                let t = ctx.token(*token)?;
+                let src = ctx.slot(*src)?;
+                recovered_cma(
+                    comm,
+                    rec,
+                    policy,
+                    false,
+                    t,
+                    *remote_off,
+                    src,
+                    *src_off,
+                    *len,
+                )
+                .await?;
+                rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
+            }
+            Step::CopyLocal {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                len,
+            } => {
+                let src = ctx.slot(*src)?;
+                let dst = ctx.slot(*dst)?;
+                comm.copy_local(src, *src_off, dst, *dst_off, *len).await?;
+                rec.add(StepKind::CopyLocal, *len, t0, comm.time_ns());
+            }
+            Step::CtrlSend { to, tag, payload } => {
+                let body = ctx.render_payload(payload)?;
+                retry_transient!(comm, rec, policy, comm.ctrl_send(*to, *tag, &body).await)?;
+                rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
+            }
+            Step::CtrlRecv { from, tag, into } => {
+                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag).await?;
+                let n = body.len();
+                ctx.apply_recv(into, body)?;
+                rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
+            }
+            Step::Notify { to, tag } => {
+                retry_transient!(comm, rec, policy, comm.notify(*to, *tag).await)?;
+                rec.add(StepKind::Notify, 0, t0, comm.time_ns());
+            }
+            Step::WaitNotify { from, tag } => {
+                // A notification is a 0-byte control message; route it
+                // through the bounded receive so the wait obeys the step
+                // timeout (mirrors `CommExt::wait_notify`).
+                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag).await?;
+                if !body.is_empty() {
+                    return Err(proto(format!(
+                        "expected 0-byte notification from rank {from}, got {} bytes",
+                        body.len()
+                    )));
+                }
+                rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
+            }
+            Step::ShmSend {
+                to,
+                tag,
+                src,
+                off,
+                len,
+            } => {
+                let src = ctx.slot(*src)?;
+                retry_transient!(
+                    comm,
+                    rec,
+                    policy,
+                    comm.shm_send_data(*to, *tag, src, *off, *len).await
+                )?;
+                rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
+            }
+            Step::ShmRecv {
+                from,
+                tag,
+                dst,
+                off,
+                len,
+            } => {
+                let dst = ctx.slot(*dst)?;
+                recovered_shm_recv(comm, rec, policy, *from, *tag, dst, *off, *len).await?;
+                rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
+            }
+            Step::Reduce {
+                op,
+                dtype,
+                acc,
+                acc_off,
+                src,
+                src_off,
+                len,
+            } => {
+                let acc_buf = ctx.slot(*acc)?;
+                let src_buf = ctx.slot(*src)?;
+                let mut acc_bytes = vec![0u8; *len];
+                let mut src_bytes = vec![0u8; *len];
+                comm.read_local(acc_buf, *acc_off, &mut acc_bytes)?;
+                comm.read_local(src_buf, *src_off, &mut src_bytes)?;
+                combine(&mut acc_bytes, &src_bytes, *dtype, *op);
+                comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
+                rec.add(StepKind::Reduce, *len, t0, comm.time_ns());
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Entry twins: same validation, same PlanCache paths, polled execution.
+// ---------------------------------------------------------------------
+
+/// MPI_Scatter on the polled engine — the twin of
+/// [`crate::scatter`](fn@crate::scatter).
+pub async fn scatter_polled(
+    comm: &mut PolledComm,
+    algo: ScatterAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    count: usize,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let counts = vec![count; comm.size()];
+    scatterv_polled(comm, algo, sendbuf, recvbuf, &counts, None, root).await
+}
+
+/// MPI_Scatterv on the polled engine — the twin of
+/// [`crate::scatterv_with_report`]. Validation and degenerate handling
+/// mirror `scatter::prepare` line for line.
+pub async fn scatterv_polled(
+    comm: &mut PolledComm,
+    algo: ScatterAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if root >= p {
+        return Err(CommError::BadRank(root));
+    }
+    if counts.len() != p || displs.is_some_and(|d| d.len() != p) {
+        return Err(CommError::Protocol(
+            "counts/displs length must equal size".into(),
+        ));
+    }
+    let layout = crate::scatter::build_layout(counts, displs);
+    if me == root {
+        let sb = sendbuf.ok_or(CommError::Protocol("root scatter needs sendbuf".into()))?;
+        let need = layout
+            .iter()
+            .map(|&(off, len)| off + len)
+            .max()
+            .unwrap_or(0);
+        let cap = comm.buf_len(sb)?;
+        if cap < need {
+            return Err(CommError::OutOfRange {
+                buf: sb.0,
+                off: 0,
+                len: need,
+                cap,
+            });
+        }
+    } else if recvbuf.is_none() && counts[me] > 0 {
+        return Err(CommError::Protocol("non-root scatter needs recvbuf".into()));
+    }
+    if p == 1 {
+        let sb = sendbuf.expect("validated: sender binds sendbuf");
+        let (off, len) = layout[root];
+        if let (Some(rb), true) = (recvbuf, len > 0) {
+            comm.copy_local(sb, off, rb, 0, len).await?;
+        }
+        return Ok(None);
+    }
+    if counts.iter().all(|&c| c == 0) {
+        return Ok(None);
+    }
+    if let ScatterAlgo::ThrottledRead { k } = algo {
+        if k == 0 {
+            return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
+        }
+    }
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Scatter {
+            algo,
+            p,
+            rank: me,
+            counts: counts.to_vec(),
+            displs: displs.map(<[usize]>::to_vec),
+            root,
+            has_recvbuf: recvbuf.is_some(),
+        },
+        || compile_scatter(algo, p, me, &layout, root, recvbuf.is_some()),
+    );
+    execute_polled(
+        comm,
+        &plan,
+        &Bindings {
+            send: sendbuf,
+            recv: recvbuf,
+        },
+    )
+    .await
+    .map(Some)
+}
+
+/// MPI_Gatherv on the polled engine — the twin of
+/// [`crate::gatherv_with_report`]. Validation mirrors `gather::prepare`.
+pub async fn gatherv_polled(
+    comm: &mut PolledComm,
+    algo: GatherAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: Option<BufId>,
+    counts: &[usize],
+    displs: Option<&[usize]>,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if root >= p {
+        return Err(CommError::BadRank(root));
+    }
+    if counts.len() != p || displs.is_some_and(|d| d.len() != p) {
+        return Err(CommError::Protocol(
+            "counts/displs length must equal size".into(),
+        ));
+    }
+    let layout = crate::scatter::build_layout(counts, displs);
+    if me == root {
+        let rb = recvbuf.ok_or(CommError::Protocol("root gather needs recvbuf".into()))?;
+        let need = layout
+            .iter()
+            .map(|&(off, len)| off + len)
+            .max()
+            .unwrap_or(0);
+        let cap = comm.buf_len(rb)?;
+        if cap < need {
+            return Err(CommError::OutOfRange {
+                buf: rb.0,
+                off: 0,
+                len: need,
+                cap,
+            });
+        }
+    } else if sendbuf.is_none() && counts[me] > 0 {
+        return Err(CommError::Protocol("non-root gather needs sendbuf".into()));
+    }
+    if p == 1 {
+        let rb = recvbuf.expect("validated: root binds recvbuf");
+        let (off, len) = layout[root];
+        if let (Some(sb), true) = (sendbuf, len > 0) {
+            comm.copy_local(sb, 0, rb, off, len).await?;
+        }
+        return Ok(None);
+    }
+    if counts.iter().all(|&c| c == 0) {
+        return Ok(None);
+    }
+    if let GatherAlgo::ThrottledWrite { k } = algo {
+        if k == 0 {
+            return Err(CommError::Protocol("throttle factor must be ≥ 1".into()));
+        }
+    }
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Gather {
+            algo,
+            p,
+            rank: me,
+            counts: counts.to_vec(),
+            displs: displs.map(<[usize]>::to_vec),
+            root,
+            has_sendbuf: sendbuf.is_some(),
+        },
+        || compile_gather(algo, p, me, &layout, root, sendbuf.is_some()),
+    );
+    execute_polled(
+        comm,
+        &plan,
+        &Bindings {
+            send: sendbuf,
+            recv: recvbuf,
+        },
+    )
+    .await
+    .map(Some)
+}
+
+/// MPI_Allgather on the polled engine — the twin of
+/// [`crate::allgather_with_report`]. Validation mirrors
+/// `allgather::validate`.
+pub async fn allgather_polled(
+    comm: &mut PolledComm,
+    algo: AllgatherAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    let need = p * count;
+    let cap = comm.buf_len(recvbuf)?;
+    if cap < need {
+        return Err(CommError::OutOfRange {
+            buf: recvbuf.0,
+            off: 0,
+            len: need,
+            cap,
+        });
+    }
+    if count == 0 || p == 1 {
+        if let (Some(sb), true) = (sendbuf, count > 0) {
+            comm.copy_local(sb, 0, recvbuf, me * count, count).await?;
+        }
+        return Ok(None);
+    }
+    // Normalize the ring stride mod p so equivalent strides share a plan.
+    let algo = match algo {
+        AllgatherAlgo::RingNeighbor { j } => {
+            if crate::allgather::gcd(j % p, p) != 1 {
+                return Err(CommError::Protocol(format!(
+                    "ring-neighbor stride {j} shares a factor with p={p}"
+                )));
+            }
+            AllgatherAlgo::RingNeighbor { j: j % p }
+        }
+        other => other,
+    };
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Allgather {
+            algo,
+            p,
+            rank: me,
+            count,
+            has_sendbuf: sendbuf.is_some(),
+        },
+        || compile_allgather(algo, p, me, count, sendbuf.is_some()),
+    );
+    execute_polled(
+        comm,
+        &plan,
+        &Bindings {
+            send: sendbuf,
+            recv: Some(recvbuf),
+        },
+    )
+    .await
+    .map(Some)
+}
+
+/// MPI_Alltoall on the polled engine — the twin of
+/// [`crate::alltoall_with_report`]. Validation and in-place staging
+/// mirror `alltoall::prepare` / `alltoall::stage_in_place`.
+pub async fn alltoall_polled(
+    comm: &mut PolledComm,
+    algo: AlltoallAlgo,
+    sendbuf: Option<BufId>,
+    recvbuf: BufId,
+    count: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    let need = p * count;
+    let cap = comm.buf_len(recvbuf)?;
+    if cap < need {
+        return Err(CommError::OutOfRange {
+            buf: recvbuf.0,
+            off: 0,
+            len: need,
+            cap,
+        });
+    }
+    if let Some(sb) = sendbuf {
+        let scap = comm.buf_len(sb)?;
+        if scap < need {
+            return Err(CommError::OutOfRange {
+                buf: sb.0,
+                off: 0,
+                len: need,
+                cap: scap,
+            });
+        }
+    }
+    if count == 0 {
+        return Ok(None);
+    }
+    if p == 1 {
+        if let Some(sb) = sendbuf {
+            comm.copy_local(sb, 0, recvbuf, 0, count).await?;
+        }
+        return Ok(None);
+    }
+    // MPI_IN_PLACE: stage the outgoing blocks so concurrent peers never
+    // observe half-overwritten source data.
+    let (source, staged) = match sendbuf {
+        Some(sb) => (sb, None),
+        None => {
+            let tmp = comm.alloc(need);
+            comm.copy_local(recvbuf, 0, tmp, 0, need).await?;
+            (tmp, Some(tmp))
+        }
+    };
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Alltoall {
+            algo,
+            p,
+            rank: me,
+            count,
+        },
+        || compile_alltoall(algo, p, me, count),
+    );
+    let result = execute_polled(
+        comm,
+        &plan,
+        &Bindings {
+            send: Some(source),
+            recv: Some(recvbuf),
+        },
+    )
+    .await;
+    if let Some(tmp) = staged {
+        comm.free(tmp)?;
+    }
+    result.map(Some)
+}
+
+/// MPI_Bcast on the polled engine — the twin of
+/// [`crate::bcast_with_report`]. Validation mirrors `bcast::validate`.
+pub async fn bcast_polled(
+    comm: &mut PolledComm,
+    algo: BcastAlgo,
+    buf: BufId,
+    count: usize,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if root >= p {
+        return Err(CommError::BadRank(root));
+    }
+    let cap = comm.buf_len(buf)?;
+    if cap < count {
+        return Err(CommError::OutOfRange {
+            buf: buf.0,
+            off: 0,
+            len: count,
+            cap,
+        });
+    }
+    if p == 1 || count == 0 {
+        return Ok(None);
+    }
+    if let BcastAlgo::KNomial { radix } = algo {
+        if radix < 2 {
+            return Err(CommError::Protocol("k-nomial radix must be ≥ 2".into()));
+        }
+    }
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Bcast {
+            algo,
+            p,
+            rank: me,
+            count,
+            root,
+        },
+        || compile_bcast(algo, p, me, count, root),
+    );
+    execute_polled(
+        comm,
+        &plan,
+        &Bindings {
+            send: Some(buf),
+            recv: None,
+        },
+    )
+    .await
+    .map(Some)
+}
+
+/// MPI_Reduce on the polled engine — the twin of
+/// [`crate::reduce_with_report`]. Validation mirrors `reduce::prepare`.
+#[allow(clippy::too_many_arguments)]
+pub async fn reduce_polled(
+    comm: &mut PolledComm,
+    algo: ReduceAlgo,
+    sendbuf: BufId,
+    recvbuf: Option<BufId>,
+    count: usize,
+    dtype: Dtype,
+    op: ReduceOp,
+    root: usize,
+) -> Result<Option<ScheduleReport>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if root >= p {
+        return Err(CommError::BadRank(root));
+    }
+    if !count.is_multiple_of(dtype.width()) {
+        return Err(CommError::Protocol(format!(
+            "count {count} is not a multiple of the {dtype:?} width"
+        )));
+    }
+    if me == root && recvbuf.is_none() {
+        return Err(CommError::Protocol("root reduce needs recvbuf".into()));
+    }
+    if let ReduceAlgo::KNomialTree { radix } = algo {
+        if radix < 2 {
+            return Err(CommError::Protocol("tree radix must be ≥ 2".into()));
+        }
+    }
+    if count == 0 {
+        return Ok(None);
+    }
+    if p == 1 {
+        let rb = recvbuf.expect("validated: root binds recvbuf");
+        comm.copy_local(sendbuf, 0, rb, 0, count).await?;
+        return Ok(None);
+    }
+    let plan = PlanCache::global().get_or_compile(
+        PlanKey::Reduce {
+            algo,
+            p,
+            rank: me,
+            count,
+            dtype,
+            op,
+            root,
+        },
+        || compile_reduce(algo, p, me, count, dtype, op, root),
+    );
+    execute_polled(
+        comm,
+        &plan,
+        &Bindings {
+            send: Some(sendbuf),
+            recv: recvbuf,
+        },
+    )
+    .await
+    .map(Some)
+}

@@ -1,0 +1,427 @@
+//! Engine-equivalence suite: every collective, clean and under
+//! deterministic chaos plans, produces **bitwise-identical** runs on the
+//! thread-per-rank engine ([`kacc_machine::run_team`] +
+//! [`kacc_machine::SimComm`]) and the thread-free polled engine
+//! ([`kacc_machine::run_polled_team`] + [`kacc_machine::PolledComm`]).
+//!
+//! "Bitwise" means all of:
+//!
+//! * the team's virtual end time and per-rank finish times,
+//! * every rank's payload bytes,
+//! * every rank's [`ScheduleReport`] — step stats *and* recovery
+//!   actions (retries, backoffs, short-CMA resumes, fallbacks),
+//! * the Chrome-trace JSON export, byte for byte.
+//!
+//! This is the contract that lets `repro --engine polled` substitute for
+//! `--engine threads` on any figure: if these pass, the engines are
+//! interchangeable for artifacts and only differ in wall-clock cost.
+
+use kacc_collectives::verify::{alltoall_sendbuf, contribution, scatter_sendbuf};
+use kacc_collectives::{
+    allgather_polled, allgather_with_report, alltoall_polled, alltoall_with_report, bcast_polled,
+    bcast_with_report, gatherv_polled, gatherv_with_report, reduce_polled, reduce_with_report,
+    scatterv_polled, scatterv_with_report, AllgatherAlgo, AlltoallAlgo, BcastAlgo, Dtype,
+    GatherAlgo, ReduceAlgo, ReduceOp, ScatterAlgo, ScheduleReport,
+};
+use kacc_comm::{Comm, CommExt};
+use kacc_fault::{FaultHook, FaultKind, FaultOp, FaultPlan, FaultRule};
+use kacc_machine::{
+    run_polled_team, run_polled_team_faulty, run_polled_team_faulty_traced, run_polled_team_traced,
+    run_team, run_team_faulty, run_team_faulty_traced, run_team_traced, PolledComm, SimComm,
+    TeamRun,
+};
+use kacc_model::ArchProfile;
+use proptest::prelude::*;
+
+fn small_arch() -> ArchProfile {
+    let mut a = ArchProfile::broadwell();
+    a.name = "EquivNode".into();
+    a.cores_per_socket = 8;
+    a
+}
+
+/// Fixed reproduction corpus plus an optional fresh seed from the
+/// environment (printed in every assertion message on failure).
+fn seed_corpus() -> Vec<u64> {
+    let mut seeds = vec![1, 0xC0FFEE, 0xDEAD_BEEF, 0x9E37_79B9_7F4A_7C15];
+    if let Ok(v) = std::env::var("KACC_CHAOS_SEED") {
+        match v.parse::<u64>() {
+            Ok(s) => seeds.push(s),
+            Err(_) => panic!("KACC_CHAOS_SEED must be a u64, got {v:?}"),
+        }
+    }
+    seeds
+}
+
+/// The chaos suite's recoverable plan: short CMA transfers, bounded
+/// transient EAGAINs, small delays. Both engines must take the exact
+/// same recovery path through it.
+fn recoverable_hook(seed: u64) -> FaultHook {
+    FaultPlan::new(seed)
+        .rule(
+            FaultRule::new(FaultKind::Truncate { numer: 1, denom: 2 }, 0.15)
+                .ops_mask(&[FaultOp::CmaRead, FaultOp::CmaWrite]),
+        )
+        .rule(FaultRule::new(FaultKind::Transient { errno: 11 }, 0.05).max(2))
+        .rule(FaultRule::new(FaultKind::Delay { ns: 700 }, 0.05).max(4))
+        .hook()
+}
+
+fn reduce_fill(rank: usize, lanes: usize) -> Vec<u8> {
+    (0..lanes)
+        .flat_map(|l| {
+            (rank as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(l as u64 * 31)
+                .to_le_bytes()
+        })
+        .collect()
+}
+
+const PICK_NAMES: [&str; 6] = [
+    "scatter",
+    "gather",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "reduce",
+];
+
+type RankOut = (Option<ScheduleReport>, Vec<u8>);
+
+/// Run collective `pick` (0..6) on the threads engine and return
+/// (report, observed payload) — the reference behaviour.
+fn run_pick_threads(comm: &mut SimComm, pick: usize, count: usize, root: usize) -> RankOut {
+    let p = comm.size();
+    let me = comm.rank();
+    match pick {
+        0 => {
+            let counts = vec![count; p];
+            let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            let rep = scatterv_with_report(
+                comm,
+                ScatterAlgo::ThrottledRead { k: 2 },
+                sb,
+                Some(rb),
+                &counts,
+                None,
+                root,
+            )
+            .expect("scatter");
+            (rep, comm.read_all(rb).expect("read"))
+        }
+        1 => {
+            let counts = vec![count; p];
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == root).then(|| comm.alloc(p * count));
+            let rep = gatherv_with_report(
+                comm,
+                GatherAlgo::ParallelWrite,
+                Some(sb),
+                rb,
+                &counts,
+                None,
+                root,
+            )
+            .expect("gather");
+            (
+                rep,
+                rb.map(|b| comm.read_all(b).expect("read"))
+                    .unwrap_or_default(),
+            )
+        }
+        2 => {
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count))
+            } else {
+                comm.alloc(count)
+            };
+            let rep = bcast_with_report(comm, BcastAlgo::KNomial { radix: 2 }, buf, count, root)
+                .expect("bcast");
+            (rep, comm.read_all(buf).expect("read"))
+        }
+        3 => {
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = comm.alloc(p * count);
+            let rep = allgather_with_report(comm, AllgatherAlgo::Bruck, Some(sb), rb, count)
+                .expect("allgather");
+            (rep, comm.read_all(rb).expect("read"))
+        }
+        4 => {
+            let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+            let rb = comm.alloc(p * count);
+            let rep = alltoall_with_report(comm, AlltoallAlgo::Pairwise, Some(sb), rb, count)
+                .expect("alltoall");
+            (rep, comm.read_all(rb).expect("read"))
+        }
+        5 => {
+            let lanes = count / 8;
+            let sb = comm.alloc_with(&reduce_fill(me, lanes));
+            let rb = (me == root).then(|| comm.alloc(lanes * 8));
+            let rep = reduce_with_report(
+                comm,
+                ReduceAlgo::KNomialTree { radix: 2 },
+                sb,
+                rb,
+                lanes * 8,
+                Dtype::U64,
+                ReduceOp::Sum,
+                root,
+            )
+            .expect("reduce");
+            (
+                rep,
+                rb.map(|b| comm.read_all(b).expect("read"))
+                    .unwrap_or_default(),
+            )
+        }
+        _ => unreachable!("pick out of range"),
+    }
+}
+
+/// The same collective on the polled engine — must match bitwise.
+async fn run_pick_polled(comm: &mut PolledComm, pick: usize, count: usize, root: usize) -> RankOut {
+    let p = comm.size();
+    let me = comm.rank();
+    match pick {
+        0 => {
+            let counts = vec![count; p];
+            let sb =
+                (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)).expect("alloc"));
+            let rb = comm.alloc(count);
+            let rep = scatterv_polled(
+                comm,
+                ScatterAlgo::ThrottledRead { k: 2 },
+                sb,
+                Some(rb),
+                &counts,
+                None,
+                root,
+            )
+            .await
+            .expect("scatter");
+            (rep, comm.read_all(rb).expect("read"))
+        }
+        1 => {
+            let counts = vec![count; p];
+            let sb = comm.alloc_with(&contribution(me, count)).expect("alloc");
+            let rb = (me == root).then(|| comm.alloc(p * count));
+            let rep = gatherv_polled(
+                comm,
+                GatherAlgo::ParallelWrite,
+                Some(sb),
+                rb,
+                &counts,
+                None,
+                root,
+            )
+            .await
+            .expect("gather");
+            (
+                rep,
+                rb.map(|b| comm.read_all(b).expect("read"))
+                    .unwrap_or_default(),
+            )
+        }
+        2 => {
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count)).expect("alloc")
+            } else {
+                comm.alloc(count)
+            };
+            let rep = bcast_polled(comm, BcastAlgo::KNomial { radix: 2 }, buf, count, root)
+                .await
+                .expect("bcast");
+            (rep, comm.read_all(buf).expect("read"))
+        }
+        3 => {
+            let sb = comm.alloc_with(&contribution(me, count)).expect("alloc");
+            let rb = comm.alloc(p * count);
+            let rep = allgather_polled(comm, AllgatherAlgo::Bruck, Some(sb), rb, count)
+                .await
+                .expect("allgather");
+            (rep, comm.read_all(rb).expect("read"))
+        }
+        4 => {
+            let sb = comm
+                .alloc_with(&alltoall_sendbuf(me, p, count))
+                .expect("alloc");
+            let rb = comm.alloc(p * count);
+            let rep = alltoall_polled(comm, AlltoallAlgo::Pairwise, Some(sb), rb, count)
+                .await
+                .expect("alltoall");
+            (rep, comm.read_all(rb).expect("read"))
+        }
+        5 => {
+            let lanes = count / 8;
+            let sb = comm.alloc_with(&reduce_fill(me, lanes)).expect("alloc");
+            let rb = (me == root).then(|| comm.alloc(lanes * 8));
+            let rep = reduce_polled(
+                comm,
+                ReduceAlgo::KNomialTree { radix: 2 },
+                sb,
+                rb,
+                lanes * 8,
+                Dtype::U64,
+                ReduceOp::Sum,
+                root,
+            )
+            .await
+            .expect("reduce");
+            (
+                rep,
+                rb.map(|b| comm.read_all(b).expect("read"))
+                    .unwrap_or_default(),
+            )
+        }
+        _ => unreachable!("pick out of range"),
+    }
+}
+
+/// Assert two TeamRuns agree on everything that reaches an artifact.
+fn assert_runs_equal(a: &TeamRun, b: &TeamRun, ctx: &str) {
+    assert_eq!(a.end_ns, b.end_ns, "{ctx}: end_ns differs");
+    assert_eq!(a.finish_ns, b.finish_ns, "{ctx}: finish_ns differs");
+    assert_eq!(a.stats, b.stats, "{ctx}: per-rank stats differ");
+    assert_eq!(
+        a.mail_pending, b.mail_pending,
+        "{ctx}: mail_pending differs"
+    );
+}
+
+fn check_clean(pick: usize, p: usize, count: usize, root: usize) {
+    let arch = small_arch();
+    let (t_run, t_res) = run_team(&arch, p, move |comm| {
+        run_pick_threads(comm, pick, count, root)
+    });
+    let arch2 = small_arch();
+    let (p_run, p_res) = run_polled_team(&arch2, p, move |rank| async move {
+        let mut comm = PolledComm::new(rank);
+        run_pick_polled(&mut comm, pick, count, root).await
+    });
+    let ctx = format!("clean {} p={p} count={count}", PICK_NAMES[pick]);
+    assert_runs_equal(&t_run, &p_run, &ctx);
+    assert_eq!(t_res, p_res, "{ctx}: per-rank (report, payload) differ");
+}
+
+fn check_faulty(pick: usize, p: usize, count: usize, root: usize, seed: u64) {
+    let arch = small_arch();
+    let (t_run, t_res) = run_team_faulty(&arch, p, recoverable_hook(seed), move |comm| {
+        run_pick_threads(comm, pick, count, root)
+    });
+    let arch2 = small_arch();
+    let (p_run, p_res) =
+        run_polled_team_faulty(&arch2, p, recoverable_hook(seed), move |rank| async move {
+            let mut comm = PolledComm::new(rank);
+            run_pick_polled(&mut comm, pick, count, root).await
+        });
+    let ctx = format!(
+        "faulty {} seed={seed} p={p} count={count}",
+        PICK_NAMES[pick]
+    );
+    assert_runs_equal(&t_run, &p_run, &ctx);
+    assert_eq!(
+        t_res, p_res,
+        "{ctx}: per-rank (report, payload) differ — recovery paths diverged"
+    );
+}
+
+// ---- 1. Clean runs: all six collectives, bitwise ------------------------
+
+#[test]
+fn clean_all_collectives_bitwise() {
+    for pick in 0..6 {
+        check_clean(pick, 8, 4096, 2);
+        check_clean(pick, 7, 1024, 0);
+    }
+}
+
+// ---- 2. Chaos runs: same faults, same recovery, bitwise -----------------
+
+#[test]
+fn faulty_all_collectives_bitwise() {
+    for &seed in &seed_corpus() {
+        for pick in 0..6 {
+            check_faulty(pick, 8, 1024, 2, seed);
+        }
+    }
+}
+
+// ---- 3. Traces: the Chrome export is byte-identical ---------------------
+
+#[test]
+fn clean_traces_bitwise() {
+    for (pick, name) in PICK_NAMES.iter().enumerate() {
+        let (p, count, root) = (6, 2048, 1);
+        let arch = small_arch();
+        let (t_run, t_res, t_events) = run_team_traced(&arch, p, move |comm| {
+            run_pick_threads(comm, pick, count, root)
+        });
+        let arch2 = small_arch();
+        let (p_run, p_res, p_events) = run_polled_team_traced(&arch2, p, move |rank| async move {
+            let mut comm = PolledComm::new(rank);
+            run_pick_polled(&mut comm, pick, count, root).await
+        });
+        let ctx = format!("traced {name}");
+        assert_runs_equal(&t_run, &p_run, &ctx);
+        assert_eq!(t_res, p_res, "{ctx}: results differ");
+        assert_eq!(
+            kacc_trace::chrome_trace_json(&t_events),
+            kacc_trace::chrome_trace_json(&p_events),
+            "{ctx}: Chrome-trace JSON differs between engines"
+        );
+    }
+}
+
+#[test]
+fn faulty_traces_bitwise() {
+    // Recovery spans (fault:*, retry:backoff, fallback:*) must land at
+    // the same virtual times in the same order on both engines.
+    let (p, count, root, seed) = (6, 2048, 0, 0xC0FFEE);
+    for (pick, name) in PICK_NAMES.iter().enumerate() {
+        let arch = small_arch();
+        let (t_run, t_res, t_events) =
+            run_team_faulty_traced(&arch, p, recoverable_hook(seed), move |comm| {
+                run_pick_threads(comm, pick, count, root)
+            });
+        let arch2 = small_arch();
+        let (p_run, p_res, p_events) = run_polled_team_faulty_traced(
+            &small_arch(),
+            p,
+            recoverable_hook(seed),
+            move |rank| async move {
+                let mut comm = PolledComm::new(rank);
+                run_pick_polled(&mut comm, pick, count, root).await
+            },
+        );
+        let _ = arch2;
+        let ctx = format!("faulty-traced {name} seed={seed}");
+        assert_runs_equal(&t_run, &p_run, &ctx);
+        assert_eq!(t_res, p_res, "{ctx}: results differ");
+        assert_eq!(
+            kacc_trace::chrome_trace_json(&t_events),
+            kacc_trace::chrome_trace_json(&p_events),
+            "{ctx}: Chrome-trace JSON differs between engines"
+        );
+        let _ = arch;
+    }
+}
+
+// ---- 4. Any seed, any collective: property form -------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Arbitrary recoverable chaos plans never make the engines diverge.
+    #[test]
+    fn engines_agree_under_any_recoverable_plan(
+        seed in any::<u64>(),
+        pick in 0usize..6,
+        p in 2usize..8,
+        lanes in 1usize..32,
+        rootsel in 0usize..8,
+    ) {
+        check_faulty(pick, p, lanes * 8, rootsel % p, seed);
+    }
+}

@@ -59,6 +59,14 @@ pub struct PageLockServer {
     x_socket: f64,
     flows: Vec<Option<LockFlow>>,
     last_update: u64,
+    /// Cached live-flow count, refreshed on add/remove. Polls between
+    /// mutations reuse it instead of rescanning the slot vector.
+    active_count: usize,
+    /// Cached per-grant service time for the current active set,
+    /// recomputed with exactly the same expression as [`Self::grant_ns`]
+    /// on every add/remove — bit-identical to evaluating it fresh, but
+    /// O(1) at the `eta`/`update` call sites that dominate wake storms.
+    grant: f64,
     /// Peak concurrency ever observed (observability).
     pub peak_concurrency: usize,
 }
@@ -73,12 +81,20 @@ impl PageLockServer {
             x_socket,
             flows: Vec::new(),
             last_update: 0,
+            active_count: 0,
+            grant: l_lock_ns + l_pin_ns,
             peak_concurrency: 0,
         }
     }
 
     fn active(&self) -> usize {
-        self.flows.iter().flatten().count()
+        self.active_count
+    }
+
+    /// Refresh the cached count and grant time after a set mutation.
+    fn recache(&mut self) {
+        self.active_count = self.flows.iter().flatten().count();
+        self.grant = self.grant_ns();
     }
 
     /// Number of currently active pinning flows — the queue depth the
@@ -87,9 +103,10 @@ impl PageLockServer {
         self.active()
     }
 
-    /// Per-grant service time with the current active set.
+    /// Per-grant service time with the current active set (the fresh
+    /// computation backing the `grant` cache).
     fn grant_ns(&self) -> f64 {
-        let c = self.active() as f64;
+        let c = self.active_count as f64;
         let mut sockets = self.flows.iter().flatten().map(|f| f.socket);
         let first = sockets.next();
         let spans = first.is_some_and(|f| sockets.any(|s| s != f));
@@ -104,11 +121,11 @@ impl PageLockServer {
         if dt == 0.0 {
             return;
         }
-        let c = self.active();
+        let c = self.active_count;
         if c == 0 {
             return;
         }
-        let s = self.grant_ns();
+        let s = self.grant;
         let lock_part = s - self.l_pin_ns;
         let rate = 1.0 / (c as f64 * s); // pages per ns, per flow
         for f in self.flows.iter_mut().flatten() {
@@ -136,6 +153,7 @@ impl PageLockServer {
                 self.flows.len() - 1
             });
         self.flows[id] = Some(flow);
+        self.recache();
         self.peak_concurrency = self.peak_concurrency.max(self.active());
         FlowId(id)
     }
@@ -152,26 +170,36 @@ impl PageLockServer {
     /// Estimated completion time of a flow under the current set.
     pub fn eta(&self, id: FlowId, now: u64) -> u64 {
         let f = self.flows[id.0].as_ref().expect("live flow");
-        let c = self.active() as f64;
-        let rate = 1.0 / (c * self.grant_ns());
+        let c = self.active_count as f64;
+        let rate = 1.0 / (c * self.grant);
         now + (f.remaining_pages.max(0.0) / rate).ceil() as u64
     }
 
-    /// Remove a drained flow, returning `(lock_ns, pin_ns)` attribution
-    /// and the list of `(owner_tid, new_eta)` for the remaining flows
-    /// (which just sped up and must be re-woken).
-    pub fn remove(&mut self, id: FlowId, now: u64) -> ((f64, f64), Vec<(usize, u64)>) {
+    /// Remove a drained flow, streaming `(owner_tid, new_eta)` for each
+    /// remaining flow (which just sped up and must be re-woken) into
+    /// `wake`; returns the `(lock_ns, pin_ns)` attribution. Allocation-
+    /// free: wake storms feed [`kacc_sim_core::Waker::wake_at`] directly.
+    pub fn remove_with(
+        &mut self,
+        id: FlowId,
+        now: u64,
+        mut wake: impl FnMut(usize, u64),
+    ) -> (f64, f64) {
         let f = self.flows[id.0].take().expect("live flow");
-        let attribution = (f.lock_ns, f.pin_ns);
-        let wakes = self
-            .flows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| {
-                slot.as_ref()
-                    .map(|flow| (flow.owner_tid, self.eta(FlowId(i), now)))
-            })
-            .collect();
+        self.recache();
+        for (i, slot) in self.flows.iter().enumerate() {
+            if let Some(flow) = slot.as_ref() {
+                wake(flow.owner_tid, self.eta(FlowId(i), now));
+            }
+        }
+        (f.lock_ns, f.pin_ns)
+    }
+
+    /// Remove a drained flow, returning `(lock_ns, pin_ns)` attribution
+    /// and the list of `(owner_tid, new_eta)` for the remaining flows.
+    pub fn remove(&mut self, id: FlowId, now: u64) -> ((f64, f64), Vec<(usize, u64)>) {
+        let mut wakes = Vec::new();
+        let attribution = self.remove_with(id, now, |t, at| wakes.push((t, at)));
         (attribution, wakes)
     }
 }
@@ -194,6 +222,13 @@ pub struct MemSys {
     bw_total: f64,
     flows: Vec<Option<MemFlow>>,
     last_update: u64,
+    /// Cached live-flow count, refreshed on add/remove.
+    active_count: usize,
+    /// Cached Σ weight over live flows, recomputed with exactly the same
+    /// fold as [`Self::total_weight`] on every add/remove — bit-identical
+    /// to re-summing, but O(1) at the `eta`/`update`/`rate_of` call sites
+    /// that dominate wake storms.
+    weight_sum: f64,
     /// Total bytes ever moved (observability).
     pub bytes_moved: f64,
     /// Peak concurrent flows (observability).
@@ -208,22 +243,31 @@ impl MemSys {
             bw_total,
             flows: Vec::new(),
             last_update: 0,
+            active_count: 0,
+            weight_sum: 0.0,
             bytes_moved: 0.0,
             peak_concurrency: 0,
         }
     }
 
     fn active(&self) -> usize {
-        self.flows.iter().flatten().count()
+        self.active_count
     }
 
+    /// Refresh the cached count and weight sum after a set mutation.
+    fn recache(&mut self) {
+        self.active_count = self.flows.iter().flatten().count();
+        self.weight_sum = self.total_weight();
+    }
+
+    /// Fresh Σ weight over live flows (backs the `weight_sum` cache).
     fn total_weight(&self) -> f64 {
         self.flows.iter().flatten().map(|f| f.weight).sum()
     }
 
     fn rate_of(&self, f: &MemFlow) -> f64 {
         // Equal-rate weighted processor sharing: Σ wᵢ·rᵢ ≤ bw_total.
-        let w = self.total_weight().max(1.0);
+        let w = self.weight_sum.max(1.0);
         f.peak.min(self.bw_total / w)
     }
 
@@ -231,10 +275,10 @@ impl MemSys {
     pub fn update(&mut self, now: u64) {
         let dt = now.saturating_sub(self.last_update) as f64;
         self.last_update = now;
-        if dt == 0.0 || self.active() == 0 {
+        if dt == 0.0 || self.active_count == 0 {
             return;
         }
-        let share = self.bw_total / self.total_weight().max(1.0);
+        let share = self.bw_total / self.weight_sum.max(1.0);
         for f in self.flows.iter_mut().flatten() {
             let rate = f.peak.min(share);
             let moved = (dt * rate).min(f.remaining_bytes);
@@ -272,6 +316,7 @@ impl MemSys {
                 self.flows.len() - 1
             });
         self.flows[id] = Some(flow);
+        self.recache();
         self.peak_concurrency = self.peak_concurrency.max(self.active());
         FlowId(id)
     }
@@ -292,17 +337,23 @@ impl MemSys {
         now + (f.remaining_bytes.max(0.0) / rate).ceil() as u64
     }
 
+    /// Remove a drained flow, streaming `(owner_tid, new_eta)` for each
+    /// remaining flow into `wake` — allocation-free for wake storms.
+    pub fn remove_with(&mut self, id: FlowId, now: u64, mut wake: impl FnMut(usize, u64)) {
+        self.flows[id.0].take().expect("live flow");
+        self.recache();
+        for (i, slot) in self.flows.iter().enumerate() {
+            if let Some(flow) = slot.as_ref() {
+                wake(flow.owner_tid, self.eta(FlowId(i), now));
+            }
+        }
+    }
+
     /// Remove a drained flow; returns re-wake list for remaining flows.
     pub fn remove(&mut self, id: FlowId, now: u64) -> Vec<(usize, u64)> {
-        self.flows[id.0].take().expect("live flow");
-        self.flows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| {
-                slot.as_ref()
-                    .map(|flow| (flow.owner_tid, self.eta(FlowId(i), now)))
-            })
-            .collect()
+        let mut wakes = Vec::new();
+        self.remove_with(id, now, |t, at| wakes.push((t, at)));
+        wakes
     }
 }
 

@@ -30,11 +30,16 @@
 //! virtual timings on any host.
 
 pub mod fluid;
+pub mod polled;
 pub mod probe;
 pub mod simcomm;
 pub mod state;
 pub mod team;
 
+pub use polled::{
+    run_polled_cluster, run_polled_machine_full, run_polled_team, run_polled_team_faulty,
+    run_polled_team_faulty_traced, run_polled_team_phantom, run_polled_team_traced, PolledComm,
+};
 pub use probe::SimProbe;
 pub use simcomm::{CmaDir, SimComm};
 pub use state::{MachineState, RankStats};

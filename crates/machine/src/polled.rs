@@ -1,0 +1,1434 @@
+//! `PolledComm`: the completion-based comm endpoint for the thread-free
+//! engine, plus the `run_polled_*` harness family.
+//!
+//! [`PolledComm`] mirrors [`crate::SimComm`] operation for operation —
+//! the same poll closures, the same cost model, the same trace spans and
+//! `RankStats` accounting in the same order, the same fault-gate
+//! placement — with one difference: operations that would park the rank
+//! thread are `async` and return `Pending(wake_at)` to the
+//! [`kacc_sim_core::polled::PolledSim`] driver instead. Because the two
+//! engines share the kernel's event-queue bookkeeping and this module
+//! replays `SimComm`'s exact sequence of poll evaluations, state reads,
+//! and tracer calls, a polled run is bitwise-identical (virtual times,
+//! stats, payloads, traces) to the threads run of the same program — the
+//! engine-equivalence suite pins this.
+//!
+//! `SimComm` itself stays untouched as the reference implementation:
+//! legacy closure-on-threads bodies keep running there, and any drift
+//! between the two is a bug in this mirror.
+
+use crate::fluid::FlowId;
+use crate::state::{MachineState, RankStats};
+use crate::team::TeamRun;
+use kacc_comm::{BufId, CommError, RemoteToken, Result, Tag, Topology};
+use kacc_fault::{FaultDecision, FaultHook, FaultOp, FaultSite};
+use kacc_model::{ArchProfile, FabricParams};
+use kacc_sim_core::polled::{sim_advance, sim_now, sim_poll, sim_tid, sim_with_state, PolledSim};
+use kacc_sim_core::Poll;
+use kacc_trace::{Event, Tracer, Track};
+use std::cell::RefCell;
+use std::future::Future;
+use std::rc::Rc;
+
+pub use crate::simcomm::CmaDir;
+
+/// One rank's endpoint into the simulated machine, polled-engine
+/// flavor. Construct inside a rank task with [`PolledComm::new`]; the
+/// cached cost constants match [`crate::SimComm`] field for field.
+pub struct PolledComm {
+    rank: usize,
+    nranks: usize,
+    topo: Topology,
+    nodes: Vec<usize>,
+    node: usize,
+    local: usize,
+    t_syscall: u64,
+    t_permcheck: u64,
+    sm_msg_ns: f64,
+    sm_byte_ns: f64,
+    bw_core: f64,
+    inter_socket_bw_penalty: f64,
+    page_size: usize,
+    pin_batch_pages: usize,
+    net_alpha_ns: f64,
+    net_bw: f64,
+    qpi_weight: f64,
+    tracer: Tracer,
+    fault: FaultHook,
+}
+
+impl PolledComm {
+    /// Build the endpoint for `rank`. Must be called from inside the
+    /// rank's task (the harness guarantees tasks are spawned in rank
+    /// order, so the driving tid must equal the rank).
+    pub fn new(rank: usize) -> PolledComm {
+        assert_eq!(sim_tid(), rank, "rank tasks must be spawned in rank order");
+        let (nranks, topo, nodes, local, a, fabric, tracer, fault) =
+            sim_with_state(|s: &mut MachineState, _| {
+                (
+                    s.nranks,
+                    s.topo,
+                    s.node_of.clone(),
+                    s.local_rank(rank),
+                    s.arch.clone(),
+                    s.net.as_ref().map(|n| n.params.clone()),
+                    s.tracer.clone(),
+                    s.fault.clone(),
+                )
+            });
+        PolledComm {
+            tracer,
+            fault,
+            node: nodes[rank],
+            nodes,
+            local,
+            rank,
+            nranks,
+            topo,
+            t_syscall: a.t_syscall_ns as u64,
+            t_permcheck: a.t_permcheck_ns as u64,
+            sm_msg_ns: a.sm_msg_ns,
+            sm_byte_ns: a.sm_byte_ns,
+            bw_core: a.bw_core,
+            inter_socket_bw_penalty: a.inter_socket_bw_penalty,
+            page_size: a.page_size,
+            pin_batch_pages: a.pin_batch_pages,
+            net_alpha_ns: fabric.as_ref().map_or(0.0, |f| f.alpha_ns),
+            net_bw: fabric.as_ref().map_or(f64::INFINITY, |f| f.bw_link),
+            qpi_weight: (a.bw_total / a.bw_qpi).max(1.0),
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the team.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// Socket topology of this rank's node.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.nodes.get(rank).copied().unwrap_or(0)
+    }
+
+    /// Current virtual time.
+    pub fn time_ns(&self) -> u64 {
+        sim_now::<MachineState>()
+    }
+
+    /// Shared tracer (off unless the run was traced).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    fn check_local(&self, buf: BufId, off: usize, len: usize) -> Result<()> {
+        let cap = self.buf_len(buf)?;
+        if off.checked_add(len).is_none_or(|end| end > cap) {
+            return Err(CommError::OutOfRange {
+                buf: buf.0,
+                off,
+                len,
+                cap,
+            });
+        }
+        Ok(())
+    }
+
+    fn local_of(&self, rank: usize) -> usize {
+        rank % (self.nranks / self.nodes.iter().max().map_or(1, |m| m + 1))
+    }
+
+    fn peak_bw(&self, peer: usize) -> f64 {
+        if self.topo.same_socket(self.local, self.local_of(peer)) {
+            self.bw_core
+        } else {
+            self.bw_core / self.inter_socket_bw_penalty
+        }
+    }
+
+    async fn lock_flow(&self, target: usize, pages: usize) -> (f64, f64) {
+        if pages == 0 {
+            return (0.0, 0.0);
+        }
+        let tid = sim_tid();
+        let socket = self.topo.socket_of(self.local);
+        let id: FlowId = sim_poll("pin:add", move |s: &mut MachineState, _w, now| {
+            s.locks[target].update(now);
+            let id = s.locks[target].add(tid, socket, pages);
+            s.tracer.counter(
+                Track::LockServer(target),
+                "queue_depth",
+                now,
+                s.locks[target].concurrency() as f64,
+            );
+            Poll::Ready(id)
+        })
+        .await;
+        sim_poll("pin:wait", move |s: &mut MachineState, w, now| {
+            s.locks[target].update(now);
+            if s.locks[target].is_done(id) {
+                let attr = s.locks[target].remove_with(id, now, |t, at| w.wake_at(t, at));
+                s.tracer.counter(
+                    Track::LockServer(target),
+                    "queue_depth",
+                    now,
+                    s.locks[target].concurrency() as f64,
+                );
+                Poll::Ready(attr)
+            } else {
+                Poll::Wait {
+                    wake_at: Some(s.locks[target].eta(id, now)),
+                }
+            }
+        })
+        .await
+    }
+
+    async fn flow_via<F>(&self, bytes: usize, peak: f64, pick: F) -> u64
+    where
+        F: Fn(&mut MachineState) -> &mut crate::fluid::MemSys + Clone + Unpin + 'static,
+    {
+        self.flow_via_weighted(bytes, peak, 1.0, pick).await
+    }
+
+    async fn flow_via_weighted<F>(&self, bytes: usize, peak: f64, weight: f64, pick: F) -> u64
+    where
+        F: Fn(&mut MachineState) -> &mut crate::fluid::MemSys + Clone + Unpin + 'static,
+    {
+        if bytes == 0 {
+            return 0;
+        }
+        let tid = sim_tid();
+        let start = self.time_ns();
+        let pick_add = pick.clone();
+        let id: FlowId = sim_poll("flow:add", move |s: &mut MachineState, _w, now| {
+            let srv = pick_add(s);
+            srv.update(now);
+            Poll::Ready(srv.add_weighted(tid, bytes, peak, weight))
+        })
+        .await;
+        sim_poll("flow:wait", move |s: &mut MachineState, w, now| {
+            let srv = pick(s);
+            srv.update(now);
+            if srv.is_done(id) {
+                srv.remove_with(id, now, |t, at| w.wake_at(t, at));
+                Poll::Ready(())
+            } else {
+                Poll::Wait {
+                    wake_at: Some(srv.eta(id, now)),
+                }
+            }
+        })
+        .await;
+        self.time_ns() - start
+    }
+
+    async fn copy_flow_routed(&self, bytes: usize, peak: f64, inter_socket: bool) -> u64 {
+        let node = self.node;
+        let weight = if inter_socket { self.qpi_weight } else { 1.0 };
+        self.flow_via_weighted(bytes, peak, weight, move |s| &mut s.mems[node])
+            .await
+    }
+
+    async fn copy_flow(&self, bytes: usize, peak: f64) -> u64 {
+        self.copy_flow_routed(bytes, peak, false).await
+    }
+
+    async fn fault_gate(&mut self, peer: Option<usize>, op: FaultOp, len: usize) -> FaultDecision {
+        if !self.fault.on() {
+            return FaultDecision::Allow;
+        }
+        let d = self.fault.decide(&FaultSite {
+            rank: self.rank,
+            peer,
+            op,
+            len,
+        });
+        let d = if op.is_cma() { d } else { d.no_partial() };
+        if let FaultDecision::Delay { ns } = d {
+            sim_advance::<MachineState>(ns).await;
+            return FaultDecision::Allow;
+        }
+        d
+    }
+
+    /// Kernel-assisted transfer with separately controllable pin/copy
+    /// extents — see [`crate::SimComm::cma_transfer`].
+    #[allow(clippy::too_many_arguments)]
+    pub async fn cma_transfer(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        local: BufId,
+        local_off: usize,
+        remote_len: usize,
+        copy_len: usize,
+        dir: CmaDir,
+    ) -> Result<()> {
+        let op = match dir {
+            CmaDir::Read => FaultOp::CmaRead,
+            CmaDir::Write => FaultOp::CmaWrite,
+        };
+        match self
+            .fault_gate(Some(token.rank as usize), op, copy_len)
+            .await
+        {
+            FaultDecision::Allow | FaultDecision::Delay { .. } => {
+                self.cma_transfer_inner(
+                    token, remote_off, local, local_off, remote_len, copy_len, dir,
+                )
+                .await
+            }
+            FaultDecision::Fail(e) => {
+                // The failed syscall still enters and exits the kernel; an
+                // empty transfer charges exactly that.
+                self.cma_transfer_inner(token, remote_off, local, local_off, 0, 0, dir)
+                    .await?;
+                Err(e)
+            }
+            FaultDecision::Truncate { got } => {
+                let got = got.min(copy_len);
+                self.cma_transfer_inner(token, remote_off, local, local_off, got, got, dir)
+                    .await?;
+                Err(CommError::Truncated {
+                    wanted: copy_len,
+                    got,
+                })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    async fn cma_transfer_inner(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        local: BufId,
+        local_off: usize,
+        remote_len: usize,
+        copy_len: usize,
+        dir: CmaDir,
+    ) -> Result<()> {
+        assert!(copy_len <= remote_len, "cannot copy more than is pinned");
+        let peer = token.rank as usize;
+        let me = self.rank;
+        let traced = self.tracer.on();
+
+        // 1. Syscall entry/exit.
+        let t0 = if traced { self.time_ns() } else { 0 };
+        sim_advance::<MachineState>(self.t_syscall).await;
+        let t_sys = self.t_syscall as f64;
+        sim_with_state(move |s: &mut MachineState, _| {
+            s.stats[me].syscall_ns += t_sys;
+            s.stats[me].cma_ops += 1;
+        });
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "syscall", t0, t_sys, 0, None);
+        }
+
+        if peer >= self.nranks {
+            return Err(CommError::BadRank(peer));
+        }
+        if self.nodes[peer] != self.node {
+            return Err(CommError::Protocol(format!(
+                "kernel-assisted transfer to rank {peer} crosses nodes ({} -> {})",
+                self.node, self.nodes[peer]
+            )));
+        }
+        if remote_len == 0 {
+            return Ok(());
+        }
+
+        // 2. Permission / capability check against the remote process.
+        let t0 = if traced { self.time_ns() } else { 0 };
+        sim_advance::<MachineState>(self.t_permcheck).await;
+        let t_chk = self.t_permcheck as f64;
+        sim_with_state(move |s: &mut MachineState, _| s.stats[me].check_ns += t_chk);
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "check", t0, t_chk, 0, None);
+        }
+
+        let exposed_len = sim_with_state(|s: &mut MachineState, _| {
+            let h = &s.heaps[peer];
+            if h.is_exposed(token.token) {
+                h.len_of(token.token)
+            } else {
+                None
+            }
+        });
+        let Some(rcap) = exposed_len else {
+            return Err(CommError::PermissionDenied);
+        };
+        if remote_off
+            .checked_add(remote_len)
+            .is_none_or(|end| end > rcap)
+        {
+            return Err(CommError::OutOfRange {
+                buf: token.token,
+                off: remote_off,
+                len: remote_len,
+                cap: rcap,
+            });
+        }
+        self.check_local(local, local_off, copy_len)?;
+
+        // 3. Pin + copy in batches (get_user_pages a batch, copy it).
+        let pages_total = remote_len.div_ceil(self.page_size);
+        let batch = self.pin_batch_pages.max(1);
+        let peak = self.peak_bw(peer);
+        let inter_socket = !self.topo.same_socket(self.local, self.local_of(peer));
+        let mut page_at = 0usize;
+        let mut copied = 0usize;
+        while page_at < pages_total {
+            let pages_now = batch.min(pages_total - page_at);
+            let tb = if traced { self.time_ns() } else { 0 };
+            let (lock_ns, pin_ns) = self.lock_flow(peer, pages_now).await;
+            sim_with_state(move |s: &mut MachineState, _| {
+                s.stats[me].lock_ns += lock_ns;
+                s.stats[me].pin_ns += pin_ns;
+            });
+            if traced {
+                self.tracer
+                    .span(Track::Rank(me), "lock", tb, lock_ns, 0, None);
+                self.tracer.span(
+                    Track::Rank(me),
+                    "pin",
+                    tb.saturating_add(lock_ns as u64),
+                    pin_ns,
+                    0,
+                    None,
+                );
+            }
+            let batch_end_byte = ((page_at + pages_now) * self.page_size).min(remote_len);
+            let copy_now = batch_end_byte.min(copy_len).saturating_sub(copied);
+            if copy_now > 0 {
+                let tc = if traced { self.time_ns() } else { 0 };
+                let wall = self.copy_flow_routed(copy_now, peak, inter_socket).await as f64;
+                sim_with_state(move |s: &mut MachineState, _| s.stats[me].copy_ns += wall);
+                if traced {
+                    self.tracer
+                        .span(Track::Rank(me), "copy", tc, wall, copy_now as u64, None);
+                }
+                copied += copy_now;
+            }
+            page_at += pages_now;
+        }
+
+        // 4. Move the actual bytes (correctness plane; phantom-aware).
+        if copy_len > 0 {
+            sim_with_state(|s: &mut MachineState, _| match dir {
+                CmaDir::Read => {
+                    if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                        let src = s.heaps[peer]
+                            .extract(token.token, remote_off, copy_len)
+                            .expect("range checked above");
+                        s.heaps[me].write(local.0, local_off, &src);
+                    }
+                    s.stats[me].bytes_read += copy_len as u64;
+                }
+                CmaDir::Write => {
+                    if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                        let src = s.heaps[me]
+                            .extract(local.0, local_off, copy_len)
+                            .expect("range checked above");
+                        s.heaps[peer].write(token.token, remote_off, &src);
+                    }
+                    s.stats[me].bytes_written += copy_len as u64;
+                }
+            });
+        }
+        Ok(())
+    }
+
+    async fn shm_fallback_transfer(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        local: BufId,
+        local_off: usize,
+        len: usize,
+        dir: CmaDir,
+    ) -> Result<()> {
+        let peer = token.rank as usize;
+        let me = self.rank;
+        if peer >= self.nranks {
+            return Err(CommError::BadRank(peer));
+        }
+        if self.nodes[peer] != self.node {
+            return Err(CommError::Protocol(format!(
+                "shared-memory fallback to rank {peer} crosses nodes ({} -> {})",
+                self.node, self.nodes[peer]
+            )));
+        }
+        let op = match dir {
+            CmaDir::Read => FaultOp::FallbackRead,
+            CmaDir::Write => FaultOp::FallbackWrite,
+        };
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(peer), op, len).await {
+            return Err(e);
+        }
+        let exposed_len = sim_with_state(|s: &mut MachineState, _| {
+            let h = &s.heaps[peer];
+            if h.is_exposed(token.token) {
+                h.len_of(token.token)
+            } else {
+                None
+            }
+        });
+        let Some(rcap) = exposed_len else {
+            return Err(CommError::PermissionDenied);
+        };
+        if remote_off.checked_add(len).is_none_or(|end| end > rcap) {
+            return Err(CommError::OutOfRange {
+                buf: token.token,
+                off: remote_off,
+                len,
+                cap: rcap,
+            });
+        }
+        self.check_local(local, local_off, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let traced = self.tracer.on();
+        let peak = self.peak_bw(peer);
+        let inter = !self.topo.same_socket(self.local, self.local_of(peer));
+        // First copy: peer's memory ↔ shared staging.
+        let t0 = if traced { self.time_ns() } else { 0 };
+        let w1 = self.copy_flow_routed(len, peak, inter).await as f64;
+        sim_with_state(move |s: &mut MachineState, _| s.stats[me].copy_ns += w1);
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "copy", t0, w1, len as u64, None);
+        }
+        // Second copy: staging ↔ local buffer (same socket).
+        let t1 = if traced { self.time_ns() } else { 0 };
+        let w2 = self.copy_flow(len, self.bw_core).await as f64;
+        sim_with_state(move |s: &mut MachineState, _| s.stats[me].copy_ns += w2);
+        if traced {
+            self.tracer
+                .span(Track::Rank(me), "copy", t1, w2, len as u64, None);
+        }
+        // Data plane (phantom-aware), same accounting as the CMA path.
+        sim_with_state(move |s: &mut MachineState, _| match dir {
+            CmaDir::Read => {
+                if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                    let src = s.heaps[peer]
+                        .extract(token.token, remote_off, len)
+                        .expect("range checked above");
+                    s.heaps[me].write(local.0, local_off, &src);
+                }
+                s.stats[me].bytes_read += len as u64;
+            }
+            CmaDir::Write => {
+                if !s.heaps[peer].is_phantom(token.token) && !s.heaps[me].is_phantom(local.0) {
+                    let src = s.heaps[me]
+                        .extract(local.0, local_off, len)
+                        .expect("range checked above");
+                    s.heaps[peer].write(token.token, remote_off, &src);
+                }
+                s.stats[me].bytes_written += len as u64;
+            }
+        });
+        Ok(())
+    }
+
+    /// Allocate `len` bytes on this rank's heap.
+    pub fn alloc(&mut self, len: usize) -> BufId {
+        let me = self.rank;
+        BufId(sim_with_state(move |s: &mut MachineState, _| {
+            s.heaps[me].alloc(len)
+        }))
+    }
+
+    /// Free a buffer.
+    pub fn free(&mut self, buf: BufId) -> Result<()> {
+        let me = self.rank;
+        if sim_with_state(move |s: &mut MachineState, _| s.heaps[me].free(buf.0)) {
+            Ok(())
+        } else {
+            Err(CommError::InvalidBuffer(buf.0))
+        }
+    }
+
+    /// Length of a local buffer.
+    pub fn buf_len(&self, buf: BufId) -> Result<usize> {
+        let me = self.rank;
+        sim_with_state(move |s: &mut MachineState, _| s.heaps[me].len_of(buf.0))
+            .ok_or(CommError::InvalidBuffer(buf.0))
+    }
+
+    /// Write into a local buffer (no virtual-time cost, as
+    /// [`kacc_comm::Comm::write_local`]).
+    pub fn write_local(&mut self, buf: BufId, off: usize, data: &[u8]) -> Result<()> {
+        self.check_local(buf, off, data.len())?;
+        let me = self.rank;
+        let data = data.to_vec();
+        sim_with_state(move |s: &mut MachineState, _| {
+            s.heaps[me].write(buf.0, off, &data);
+        });
+        Ok(())
+    }
+
+    /// Read from a local buffer (no virtual-time cost).
+    pub fn read_local(&self, buf: BufId, off: usize, out: &mut [u8]) -> Result<()> {
+        self.check_local(buf, off, out.len())?;
+        let me = self.rank;
+        let len = out.len();
+        let data = sim_with_state(move |s: &mut MachineState, _| {
+            s.heaps[me]
+                .extract(buf.0, off, len)
+                .expect("range checked above")
+        });
+        out.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Allocate and fill a buffer — the polled mirror of
+    /// [`kacc_comm::CommExt::alloc_with`].
+    pub fn alloc_with(&mut self, data: &[u8]) -> Result<BufId> {
+        let buf = self.alloc(data.len());
+        self.write_local(buf, 0, data)?;
+        Ok(buf)
+    }
+
+    /// Read a whole buffer — the polled mirror of
+    /// [`kacc_comm::CommExt::read_all`].
+    pub fn read_all(&self, buf: BufId) -> Result<Vec<u8>> {
+        let len = self.buf_len(buf)?;
+        let mut out = vec![0u8; len];
+        self.read_local(buf, 0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Local memcpy charged to memory bandwidth.
+    pub async fn copy_local(
+        &mut self,
+        src: BufId,
+        src_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.check_local(src, src_off, len)?;
+        self.check_local(dst, dst_off, len)?;
+        let t0 = if self.tracer.on() { self.time_ns() } else { 0 };
+        let wall = self.copy_flow(len, self.bw_core).await;
+        self.tracer.span(
+            Track::Rank(self.rank),
+            "copy_local",
+            t0,
+            wall as f64,
+            len as u64,
+            None,
+        );
+        let me = self.rank;
+        sim_with_state(move |s: &mut MachineState, _| {
+            if !s.heaps[me].is_phantom(src.0) && !s.heaps[me].is_phantom(dst.0) {
+                let data = s.heaps[me]
+                    .extract(src.0, src_off, len)
+                    .expect("range checked above");
+                s.heaps[me].write(dst.0, dst_off, &data);
+            }
+        });
+        Ok(())
+    }
+
+    /// Expose a buffer for kernel-assisted access.
+    pub async fn expose(&mut self, buf: BufId) -> Result<RemoteToken> {
+        if let FaultDecision::Fail(e) = self.fault_gate(None, FaultOp::Expose, 0).await {
+            return Err(e);
+        }
+        let me = self.rank;
+        if sim_with_state(move |s: &mut MachineState, _| s.heaps[me].expose(buf.0)) {
+            Ok(RemoteToken {
+                rank: me as u64,
+                token: buf.0,
+            })
+        } else {
+            Err(CommError::InvalidBuffer(buf.0))
+        }
+    }
+
+    /// Kernel-assisted read (`process_vm_readv`).
+    pub async fn cma_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.cma_transfer(token, remote_off, dst, dst_off, len, len, CmaDir::Read)
+            .await
+    }
+
+    /// Kernel-assisted write (`process_vm_writev`).
+    pub async fn cma_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.cma_transfer(token, remote_off, src, src_off, len, len, CmaDir::Write)
+            .await
+    }
+
+    /// Small-message control-plane send.
+    pub async fn ctrl_send(&mut self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        if to >= self.nranks {
+            return Err(CommError::BadRank(to));
+        }
+        if let FaultDecision::Fail(e) = self
+            .fault_gate(Some(to), FaultOp::CtrlSend, data.len())
+            .await
+        {
+            return Err(e);
+        }
+        let start = self.time_ns();
+        // Sender-side occupancy: enqueue bookkeeping plus the copy of the
+        // payload into the shared slot (or NIC doorbell + inline copy).
+        let occupancy = (0.3 * self.sm_msg_ns + 0.5 * data.len() as f64 * self.sm_byte_ns) as u64;
+        sim_advance::<MachineState>(occupancy).await;
+        let latency = if self.nodes[to] == self.node {
+            self.sm_msg_ns + data.len() as f64 * self.sm_byte_ns
+        } else {
+            self.net_alpha_ns + data.len() as f64 / self.net_bw
+        };
+        let arrival = start + latency as u64;
+        let me = self.rank;
+        let payload = data.to_vec();
+        sim_poll("ctrl:send", move |s: &mut MachineState, w, _now| {
+            s.mail
+                .deposit(w, to, me, tag.0 as u64, arrival, payload.clone());
+            Poll::Ready(())
+        })
+        .await;
+        if self.tracer.on() {
+            let dur = (self.time_ns() - start) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "ctrl_send",
+                start,
+                dur,
+                data.len() as u64,
+                tag.class(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Small-message control-plane receive (blocking in virtual time).
+    pub async fn ctrl_recv(&mut self, from: usize, tag: Tag) -> Result<Vec<u8>> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::CtrlRecv, 0).await {
+            return Err(e);
+        }
+        let me = self.rank;
+        let tid = sim_tid();
+        let t0 = if self.tracer.on() { self.time_ns() } else { 0 };
+        let payload = sim_poll("ctrl:recv", move |s: &mut MachineState, _w, now| {
+            s.mail.take(tid, me, from, tag.0 as u64, now)
+        })
+        .await;
+        if self.tracer.on() {
+            let dur = (self.time_ns() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "ctrl_recv",
+                t0,
+                dur,
+                payload.len() as u64,
+                tag.class(),
+            );
+        }
+        Ok(payload)
+    }
+
+    /// 0-byte notification — the polled mirror of
+    /// [`kacc_comm::CommExt::notify`].
+    pub async fn notify(&mut self, to: usize, tag: Tag) -> Result<()> {
+        self.ctrl_send(to, tag, &[]).await
+    }
+
+    /// Wait for a 0-byte notification — the polled mirror of
+    /// [`kacc_comm::CommExt::wait_notify`].
+    pub async fn wait_notify(&mut self, from: usize, tag: Tag) -> Result<()> {
+        let msg = self.ctrl_recv(from, tag).await?;
+        if !msg.is_empty() {
+            return Err(CommError::Protocol(format!(
+                "expected 0-byte notification from rank {from}, got {} bytes",
+                msg.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Bulk shared-memory send.
+    pub async fn shm_send_data(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        src: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if to >= self.nranks {
+            return Err(CommError::BadRank(to));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(to), FaultOp::ShmSend, len).await {
+            return Err(e);
+        }
+        self.check_local(src, off, len)?;
+        let t0 = if self.tracer.on() { self.time_ns() } else { 0 };
+        let cross_node = self.nodes[to] != self.node;
+        if cross_node {
+            let node = self.node;
+            self.flow_via(len, self.net_bw, move |s| {
+                &mut s.net.as_mut().expect("fabric present").egress[node]
+            })
+            .await;
+        } else {
+            // First copy: local buffer → shared staging.
+            self.copy_flow(len, self.bw_core).await;
+        }
+        let me = self.rank;
+        let payload = {
+            let mut out = vec![0u8; len];
+            self.read_local(src, off, &mut out)?;
+            out
+        };
+        let arrival = self.time_ns()
+            + if cross_node {
+                self.net_alpha_ns as u64
+            } else {
+                self.sm_msg_ns as u64
+            };
+        let key = (1u64 << 32) | tag.0 as u64;
+        sim_poll("shm:post", move |s: &mut MachineState, w, _now| {
+            s.mail.deposit(w, to, me, key, arrival, payload.clone());
+            Poll::Ready(())
+        })
+        .await;
+        if self.tracer.on() {
+            let dur = (self.time_ns() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "shm_send",
+                t0,
+                dur,
+                len as u64,
+                tag.class(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Bulk shared-memory receive.
+    pub async fn shm_recv_data(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+    ) -> Result<()> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::ShmRecv, len).await {
+            return Err(e);
+        }
+        self.check_local(dst, off, len)?;
+        let me = self.rank;
+        let tid = sim_tid();
+        let key = (1u64 << 32) | tag.0 as u64;
+        let t0 = if self.tracer.on() { self.time_ns() } else { 0 };
+        let payload = sim_poll("shm:wait", move |s: &mut MachineState, _w, now| {
+            s.mail.take(tid, me, from, key, now)
+        })
+        .await;
+        if payload.len() != len {
+            return Err(CommError::Truncated {
+                wanted: len,
+                got: payload.len(),
+            });
+        }
+        if self.nodes[from] != self.node {
+            let node = self.node;
+            self.flow_via(len, self.net_bw, move |s| {
+                &mut s.net.as_mut().expect("fabric present").ingress[node]
+            })
+            .await;
+        } else {
+            let peak = self.peak_bw(from);
+            let inter = !self.topo.same_socket(self.local, self.local_of(from));
+            self.copy_flow_routed(len, peak, inter).await;
+        }
+        self.write_local(dst, off, &payload)?;
+        if self.tracer.on() {
+            let dur = (self.time_ns() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "shm_recv",
+                t0,
+                dur,
+                len as u64,
+                tag.class(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Control-plane receive with a deadline; `Ok(None)` on timeout.
+    pub async fn ctrl_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout_ns: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::CtrlRecv, 0).await {
+            return Err(e);
+        }
+        let me = self.rank;
+        let tid = sim_tid();
+        let deadline = self.time_ns().saturating_add(timeout_ns);
+        let t0 = if self.tracer.on() { self.time_ns() } else { 0 };
+        let payload = sim_poll("ctrl:recv", move |s: &mut MachineState, _w, now| {
+            match s.mail.take(tid, me, from, tag.0 as u64, now) {
+                Poll::Ready(p) => Poll::Ready(Some(p)),
+                Poll::Wait { .. } if now >= deadline => {
+                    s.mail.unregister(me, from, tag.0 as u64, tid);
+                    Poll::Ready(None)
+                }
+                Poll::Wait { wake_at } => Poll::Wait {
+                    wake_at: Some(wake_at.map_or(deadline, |a| a.min(deadline))),
+                },
+            }
+        })
+        .await;
+        if self.tracer.on() {
+            let dur = (self.time_ns() - t0) as f64;
+            let bytes = payload.as_ref().map_or(0, Vec::len) as u64;
+            self.tracer
+                .span(Track::Rank(me), "ctrl_recv", t0, dur, bytes, tag.class());
+        }
+        Ok(payload)
+    }
+
+    /// Bulk receive with a deadline; `Ok(false)` on timeout.
+    #[allow(clippy::too_many_arguments)]
+    pub async fn shm_recv_deadline(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        dst: BufId,
+        off: usize,
+        len: usize,
+        timeout_ns: u64,
+    ) -> Result<bool> {
+        if from >= self.nranks {
+            return Err(CommError::BadRank(from));
+        }
+        if let FaultDecision::Fail(e) = self.fault_gate(Some(from), FaultOp::ShmRecv, len).await {
+            return Err(e);
+        }
+        self.check_local(dst, off, len)?;
+        let me = self.rank;
+        let tid = sim_tid();
+        let key = (1u64 << 32) | tag.0 as u64;
+        let deadline = self.time_ns().saturating_add(timeout_ns);
+        let t0 = if self.tracer.on() { self.time_ns() } else { 0 };
+        let payload = sim_poll("shm:wait", move |s: &mut MachineState, _w, now| {
+            match s.mail.take(tid, me, from, key, now) {
+                Poll::Ready(p) => Poll::Ready(Some(p)),
+                Poll::Wait { .. } if now >= deadline => {
+                    s.mail.unregister(me, from, key, tid);
+                    Poll::Ready(None)
+                }
+                Poll::Wait { wake_at } => Poll::Wait {
+                    wake_at: Some(wake_at.map_or(deadline, |a| a.min(deadline))),
+                },
+            }
+        })
+        .await;
+        let Some(payload) = payload else {
+            return Ok(false);
+        };
+        if payload.len() != len {
+            return Err(CommError::Truncated {
+                wanted: len,
+                got: payload.len(),
+            });
+        }
+        if self.nodes[from] != self.node {
+            let node = self.node;
+            self.flow_via(len, self.net_bw, move |s| {
+                &mut s.net.as_mut().expect("fabric present").ingress[node]
+            })
+            .await;
+        } else {
+            let peak = self.peak_bw(from);
+            let inter = !self.topo.same_socket(self.local, self.local_of(from));
+            self.copy_flow_routed(len, peak, inter).await;
+        }
+        self.write_local(dst, off, &payload)?;
+        if self.tracer.on() {
+            let dur = (self.time_ns() - t0) as f64;
+            self.tracer.span(
+                Track::Rank(me),
+                "shm_recv",
+                t0,
+                dur,
+                len as u64,
+                tag.class(),
+            );
+        }
+        Ok(true)
+    }
+
+    /// Charge `ns` of virtual time (retry backoff etc.).
+    pub async fn sleep_ns(&mut self, ns: u64) {
+        sim_advance::<MachineState>(ns).await;
+    }
+
+    /// Two-copy fallback read — see
+    /// [`kacc_comm::Comm::shm_fallback_read`].
+    pub async fn shm_fallback_read(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        dst: BufId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.shm_fallback_transfer(token, remote_off, dst, dst_off, len, CmaDir::Read)
+            .await
+    }
+
+    /// Two-copy fallback write — see
+    /// [`kacc_comm::Comm::shm_fallback_write`].
+    pub async fn shm_fallback_write(
+        &mut self,
+        token: RemoteToken,
+        remote_off: usize,
+        src: BufId,
+        src_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.shm_fallback_transfer(token, remote_off, src, src_off, len, CmaDir::Write)
+            .await
+    }
+}
+
+/// Dissemination barrier over the polled control plane — the mirror of
+/// [`kacc_comm::smcoll::sm_barrier`] (same tags, same rounds, same
+/// message sequence).
+pub async fn sm_barrier_polled(comm: &mut PolledComm) -> Result<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    let mut round = 0u32;
+    let mut dist = 1usize;
+    while dist < p {
+        let tag = Tag::internal(kacc_comm::smcoll::class::BARRIER, round);
+        comm.notify((me + dist) % p, tag).await?;
+        comm.wait_notify((me + p - dist) % p, tag).await?;
+        dist <<= 1;
+        round += 1;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Harness: run one async body per rank on the polled engine.
+// ---------------------------------------------------------------------
+
+/// Run `f` on every rank of a simulated `nranks`-process node with the
+/// thread-free engine — the polled mirror of [`crate::run_team`]. `f`
+/// receives the rank and returns the rank's async body; the body should
+/// construct its endpoint with [`PolledComm::new`].
+pub fn run_polled_team<R, F, Fut>(arch: &ArchProfile, nranks: usize, f: F) -> (TeamRun, Vec<R>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    let (run, results, _) =
+        run_polled_machine_full(MachineState::new(arch.clone(), nranks), false, true, f);
+    (run, results)
+}
+
+/// Phantom-buffer variant — the polled mirror of
+/// [`crate::run_team_phantom`].
+pub fn run_polled_team_phantom<R, F, Fut>(
+    arch: &ArchProfile,
+    nranks: usize,
+    f: F,
+) -> (TeamRun, Vec<R>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    let (run, results, _) = run_polled_machine_full(
+        MachineState::cluster_opts(arch.clone(), 1, nranks, None, true),
+        false,
+        true,
+        f,
+    );
+    (run, results)
+}
+
+/// Traced variant — the polled mirror of [`crate::run_team_traced`].
+pub fn run_polled_team_traced<R, F, Fut>(
+    arch: &ArchProfile,
+    nranks: usize,
+    f: F,
+) -> (TeamRun, Vec<R>, Vec<Event>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    run_polled_machine_full(MachineState::new(arch.clone(), nranks), true, true, f)
+}
+
+/// Fault-injecting variant — the polled mirror of
+/// [`crate::run_team_faulty`].
+pub fn run_polled_team_faulty<R, F, Fut>(
+    arch: &ArchProfile,
+    nranks: usize,
+    hook: FaultHook,
+    f: F,
+) -> (TeamRun, Vec<R>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    let mut state = MachineState::new(arch.clone(), nranks);
+    state.fault = hook;
+    let (run, results, _) = run_polled_machine_full(state, false, true, f);
+    (run, results)
+}
+
+/// Fault-injecting traced variant — the polled mirror of
+/// [`crate::run_team_faulty_traced`].
+pub fn run_polled_team_faulty_traced<R, F, Fut>(
+    arch: &ArchProfile,
+    nranks: usize,
+    hook: FaultHook,
+    f: F,
+) -> (TeamRun, Vec<R>, Vec<Event>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    let mut state = MachineState::new(arch.clone(), nranks);
+    state.fault = hook;
+    run_polled_machine_full(state, true, true, f)
+}
+
+/// Cluster variant — the polled mirror of [`crate::run_cluster`].
+pub fn run_polled_cluster<R, F, Fut>(
+    arch: &ArchProfile,
+    nodes: usize,
+    ranks_per_node: usize,
+    fabric: FabricParams,
+    f: F,
+) -> (TeamRun, Vec<R>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    let (run, results, _) = run_polled_machine_full(
+        MachineState::cluster(arch.clone(), nodes, ranks_per_node, Some(fabric)),
+        false,
+        true,
+        f,
+    );
+    (run, results)
+}
+
+/// The polled mirror of `run_machine_full` in [`crate::team`]: one
+/// buffered tracer shared by the scheduler and the machine model, one
+/// task per rank, [`TeamRun`] assembled from the same fields.
+pub fn run_polled_machine_full<R, F, Fut>(
+    mut state: MachineState,
+    trace: bool,
+    fast_path: bool,
+    f: F,
+) -> (TeamRun, Vec<R>, Vec<Event>)
+where
+    F: Fn(usize) -> Fut + 'static,
+    Fut: Future<Output = R> + 'static,
+    R: 'static,
+{
+    let capture = trace.then(|| {
+        let (tracer, buf) = Tracer::buffered();
+        state.tracer = tracer.clone();
+        (tracer, buf)
+    });
+    let nranks = state.nranks;
+    let mut sim = PolledSim::new(state);
+    sim.set_fast_path(fast_path);
+    if let Some((tracer, _)) = &capture {
+        sim.set_tracer(tracer.clone());
+    }
+    let f = Rc::new(f);
+    let results: Rc<RefCell<Vec<Option<R>>>> =
+        Rc::new(RefCell::new((0..nranks).map(|_| None).collect()));
+    for rank in 0..nranks {
+        let f = Rc::clone(&f);
+        let results = Rc::clone(&results);
+        sim.spawn(move |tid| async move {
+            debug_assert_eq!(tid, rank, "tasks spawn in rank order");
+            let r = f(rank).await;
+            results.borrow_mut()[rank] = Some(r);
+        });
+    }
+    let report = sim.run();
+    let trace = capture.map(|(_, buf)| buf.take()).unwrap_or_default();
+    let st = report.state;
+    let run = TeamRun {
+        end_ns: report.end_time,
+        finish_ns: report.finish_times.clone(),
+        stats: st.stats.clone(),
+        mem_peak_concurrency: st.mems.iter().map(|m| m.peak_concurrency).collect(),
+        lock_peak_concurrency: st.locks.iter().map(|l| l.peak_concurrency).collect(),
+        mail_pending: st.mail.pending(),
+        events: report.events,
+    };
+    let results = Rc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("rank tasks done"))
+        .into_inner();
+    (
+        run,
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank returned"))
+            .collect(),
+        trace,
+    )
+}
+
+/// Aggregate stats helper mirroring [`TeamRun::total_stats`] — re-export
+/// for polled-engine callers that only import this module.
+pub fn total_stats(run: &TeamRun) -> RankStats {
+    run.total_stats()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::team::{run_team, run_team_traced};
+    use kacc_comm::{Comm, CommExt};
+
+    /// The team-harness smoke program (two-rank CMA read) expressed for
+    /// both engines; every observable must be bitwise-identical.
+    #[test]
+    fn cma_read_matches_threads_engine() {
+        let arch = ArchProfile::broadwell();
+        let (t_run, t_results) = run_team(&arch, 2, |comm| {
+            if comm.rank() == 0 {
+                let buf = comm.alloc(8192);
+                comm.write_local(buf, 0, &[0xAB; 8192]).unwrap();
+                let tok = comm.expose(buf).unwrap();
+                comm.ctrl_send(1, Tag::user(1), &tok.to_bytes()).unwrap();
+                comm.wait_notify(1, Tag::user(2)).unwrap();
+                Vec::new()
+            } else {
+                let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
+                let tok = RemoteToken::from_bytes(&raw).unwrap();
+                let dst = comm.alloc(8192);
+                comm.cma_read(tok, 0, dst, 0, 8192).unwrap();
+                comm.notify(0, Tag::user(2)).unwrap();
+                comm.read_all(dst).unwrap()
+            }
+        });
+        let (p_run, p_results) = run_polled_team(&arch, 2, |rank| async move {
+            let mut comm = PolledComm::new(rank);
+            if rank == 0 {
+                let buf = comm.alloc(8192);
+                comm.write_local(buf, 0, &[0xAB; 8192]).unwrap();
+                let tok = comm.expose(buf).await.unwrap();
+                comm.ctrl_send(1, Tag::user(1), &tok.to_bytes())
+                    .await
+                    .unwrap();
+                comm.wait_notify(1, Tag::user(2)).await.unwrap();
+                Vec::new()
+            } else {
+                let raw = comm.ctrl_recv(0, Tag::user(1)).await.unwrap();
+                let tok = RemoteToken::from_bytes(&raw).unwrap();
+                let dst = comm.alloc(8192);
+                comm.cma_read(tok, 0, dst, 0, 8192).await.unwrap();
+                comm.notify(0, Tag::user(2)).await.unwrap();
+                comm.read_all(dst).unwrap()
+            }
+        });
+        assert_eq!(t_results, p_results);
+        assert_eq!(t_run, p_run);
+    }
+
+    #[test]
+    fn contended_one_to_all_matches_threads_engine_traced() {
+        // Many readers on one exposed buffer: lock-server contention,
+        // fluid-server wake storms, and tracing all active at once.
+        let arch = ArchProfile::knl();
+        let eta = 16 * 1024;
+        let readers = 6usize;
+        let threads = || {
+            run_team_traced(&arch, readers + 1, move |comm| {
+                if comm.rank() == 0 {
+                    let buf = comm.alloc(eta * readers);
+                    let tok = comm.expose(buf).unwrap();
+                    for r in 1..=readers {
+                        comm.ctrl_send(r, Tag::user(1), &tok.to_bytes()).unwrap();
+                    }
+                    for r in 1..=readers {
+                        comm.wait_notify(r, Tag::user(2)).unwrap();
+                    }
+                    0u64
+                } else {
+                    let raw = comm.ctrl_recv(0, Tag::user(1)).unwrap();
+                    let tok = RemoteToken::from_bytes(&raw).unwrap();
+                    let dst = comm.alloc(eta);
+                    let t0 = comm.time_ns();
+                    comm.cma_read(tok, (comm.rank() - 1) * eta, dst, 0, eta)
+                        .unwrap();
+                    let d = comm.time_ns() - t0;
+                    comm.notify(0, Tag::user(2)).unwrap();
+                    d
+                }
+            })
+        };
+        let polled = || {
+            run_polled_team_traced(&arch, readers + 1, move |rank| async move {
+                let mut comm = PolledComm::new(rank);
+                if rank == 0 {
+                    let buf = comm.alloc(eta * readers);
+                    let tok = comm.expose(buf).await.unwrap();
+                    for r in 1..=readers {
+                        comm.ctrl_send(r, Tag::user(1), &tok.to_bytes())
+                            .await
+                            .unwrap();
+                    }
+                    for r in 1..=readers {
+                        comm.wait_notify(r, Tag::user(2)).await.unwrap();
+                    }
+                    0u64
+                } else {
+                    let raw = comm.ctrl_recv(0, Tag::user(1)).await.unwrap();
+                    let tok = RemoteToken::from_bytes(&raw).unwrap();
+                    let dst = comm.alloc(eta);
+                    let t0 = comm.time_ns();
+                    comm.cma_read(tok, (rank - 1) * eta, dst, 0, eta)
+                        .await
+                        .unwrap();
+                    let d = comm.time_ns() - t0;
+                    comm.notify(0, Tag::user(2)).await.unwrap();
+                    d
+                }
+            })
+        };
+        let (t_run, t_durs, t_trace) = threads();
+        let (p_run, p_durs, p_trace) = polled();
+        assert_eq!(t_durs, p_durs);
+        assert_eq!(t_run, p_run);
+        assert_eq!(
+            kacc_trace::chrome_trace_json(&t_trace),
+            kacc_trace::chrome_trace_json(&p_trace),
+            "engines diverged in the event stream"
+        );
+    }
+
+    #[test]
+    fn barrier_matches_threads_engine() {
+        let arch = ArchProfile::broadwell();
+        let (t_run, _) = run_team(&arch, 8, |comm| {
+            kacc_comm::smcoll::sm_barrier(comm).unwrap();
+            comm.time_ns()
+        });
+        let (p_run, _) = run_polled_team(&arch, 8, |rank| async move {
+            let mut comm = PolledComm::new(rank);
+            sm_barrier_polled(&mut comm).await.unwrap();
+            comm.time_ns()
+        });
+        assert_eq!(t_run, p_run);
+    }
+
+    #[test]
+    fn cross_node_shm_send_matches_threads_engine() {
+        use crate::team::run_cluster;
+        let arch = ArchProfile::broadwell();
+        let fabric = arch.default_fabric();
+        let body_threads = |comm: &mut crate::SimComm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let buf = comm.alloc(4096);
+            comm.write_local(buf, 0, &[me as u8; 4096]).unwrap();
+            let dst = comm.alloc(4096);
+            let peer = (me + p / 2) % p;
+            if me < p / 2 {
+                comm.shm_send_data(peer, Tag::user(3), buf, 0, 4096)
+                    .unwrap();
+                comm.shm_recv_data(peer, Tag::user(4), dst, 0, 4096)
+                    .unwrap();
+            } else {
+                comm.shm_recv_data(peer, Tag::user(3), dst, 0, 4096)
+                    .unwrap();
+                comm.shm_send_data(peer, Tag::user(4), buf, 0, 4096)
+                    .unwrap();
+            }
+            comm.read_all(dst).unwrap()[0]
+        };
+        let (t_run, t_res) = run_cluster(&arch, 2, 2, fabric.clone(), body_threads);
+        let (p_run, p_res) = run_polled_cluster(&arch, 2, 2, fabric, |rank| async move {
+            let mut comm = PolledComm::new(rank);
+            let me = comm.rank();
+            let p = comm.size();
+            let buf = comm.alloc(4096);
+            comm.write_local(buf, 0, &[me as u8; 4096]).unwrap();
+            let dst = comm.alloc(4096);
+            let peer = (me + p / 2) % p;
+            if me < p / 2 {
+                comm.shm_send_data(peer, Tag::user(3), buf, 0, 4096)
+                    .await
+                    .unwrap();
+                comm.shm_recv_data(peer, Tag::user(4), dst, 0, 4096)
+                    .await
+                    .unwrap();
+            } else {
+                comm.shm_recv_data(peer, Tag::user(3), dst, 0, 4096)
+                    .await
+                    .unwrap();
+                comm.shm_send_data(peer, Tag::user(4), buf, 0, 4096)
+                    .await
+                    .unwrap();
+            }
+            comm.read_all(dst).unwrap()[0]
+        });
+        assert_eq!(t_res, p_res);
+        assert_eq!(t_run, p_run);
+    }
+}

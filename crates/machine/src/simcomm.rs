@@ -150,10 +150,7 @@ impl SimComm {
         self.ctx.poll("pin:wait", move |s, w, now| {
             s.locks[target].update(now);
             if s.locks[target].is_done(id) {
-                let (attr, wakes) = s.locks[target].remove(id, now);
-                for (t, at) in wakes {
-                    w.wake_at(t, at);
-                }
+                let attr = s.locks[target].remove_with(id, now, |t, at| w.wake_at(t, at));
                 s.tracer.counter(
                     Track::LockServer(target),
                     "queue_depth",
@@ -197,9 +194,7 @@ impl SimComm {
             let srv = pick(s);
             srv.update(now);
             if srv.is_done(id) {
-                for (t, at) in srv.remove(id, now) {
-                    w.wake_at(t, at);
-                }
+                srv.remove_with(id, now, |t, at| w.wake_at(t, at));
                 Poll::Ready(())
             } else {
                 Poll::Wait {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Multi-node cluster experiments over the simulated fabric (§VII-G).
 //!
@@ -59,7 +60,7 @@ pub fn cluster_gather(
     strategy: MultiNodeStrategy,
 ) -> TeamRun {
     let (run, _) = run_cluster(arch, nodes, ranks_per_node, fabric, move |comm| {
-        gather_body(comm, count, strategy).unwrap()
+        gather_body(comm, count, strategy).expect("cluster gather body")
     });
     run
 }
@@ -94,7 +95,7 @@ pub fn cluster_scatter(
     strategy: MultiNodeStrategy,
 ) -> TeamRun {
     let (run, _) = run_cluster(arch, nodes, ranks_per_node, fabric, move |comm| {
-        scatter_body(comm, count, strategy).unwrap()
+        scatter_body(comm, count, strategy).expect("cluster scatter body")
     });
     run
 }
@@ -119,6 +120,7 @@ fn scatter_body<C: Comm + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use kacc_collectives::verify::{contribution, diff, gather_expected, scatter_sendbuf};

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Deterministic discrete-event simulation kernel with cooperative rank
 //! threads.
@@ -48,8 +49,10 @@
 //!   per point.
 
 pub mod mailbox;
+pub mod polled;
 
 pub use mailbox::Mailboxes;
+pub use polled::{PolledSim, RankTask, TaskCtx, TaskPoll};
 
 // Scheduler dispatches are emitted as `kacc_trace` instant events; re-export
 // the pieces callers need to consume a captured dispatch trace.
@@ -105,6 +108,12 @@ pub enum Poll<T> {
 /// are harmless (the woken closure re-blocks).
 pub struct Waker {
     pending: Vec<(usize, SimTime)>,
+    /// `slots[tid] = (generation, index into pending)` — O(1) duplicate
+    /// coalescing. The kernel recycles this across evaluations and bumps
+    /// `gen` instead of clearing, so a fluid-server wake storm costs
+    /// O(storm) per evaluation where the old linear scan cost O(storm²).
+    slots: Vec<(u64, u32)>,
+    gen: u64,
 }
 
 impl Waker {
@@ -117,13 +126,17 @@ impl Waker {
     /// coalesce to the earliest time here, before they ever reach the
     /// event queue.
     pub fn wake_at(&mut self, tid: usize, at: SimTime) {
-        for (t, a) in &mut self.pending {
-            if *t == tid {
-                *a = (*a).min(at);
-                return;
-            }
+        if tid >= self.slots.len() {
+            self.slots.resize(tid + 1, (0, 0));
         }
-        self.pending.push((tid, at));
+        let (g, i) = self.slots[tid];
+        if g == self.gen {
+            let slot = &mut self.pending[i as usize].1;
+            *slot = (*slot).min(at);
+        } else {
+            self.slots[tid] = (self.gen, self.pending.len() as u32);
+            self.pending.push((tid, at));
+        }
     }
 }
 
@@ -295,6 +308,10 @@ struct KernelState<S> {
     /// Reusable buffer backing `Waker::pending`, recycled across poll
     /// evaluations to keep wake delivery allocation-free.
     wake_buf: Vec<(usize, SimTime)>,
+    /// Reusable buffer backing `Waker::slots` (O(1) wake coalescing);
+    /// `wake_gen` invalidates it wholesale between evaluations.
+    wake_slots: Vec<(u64, u32)>,
+    wake_gen: u64,
     /// Direct-handoff fast path enabled (default); disable via
     /// [`Sim::set_fast_path`] to force every wake through the queue.
     fast_path: bool,
@@ -440,15 +457,17 @@ impl<S: Send + 'static> Ctx<S> {
         let kernel = &*self.kernel;
         let mut guard = kernel.state.lock();
         loop {
-            if guard.panic_msg.is_some() {
-                let msg = guard.panic_msg.clone().unwrap();
+            if let Some(msg) = guard.panic_msg.clone() {
                 drop(guard);
                 panic!("simulation aborted: {msg}");
             }
             let now = guard.now;
             let st = &mut *guard;
+            st.wake_gen += 1;
             let mut waker = Waker {
                 pending: std::mem::take(&mut st.wake_buf),
+                slots: std::mem::take(&mut st.wake_slots),
+                gen: st.wake_gen,
             };
             let outcome = f(&mut st.user, &mut waker, now);
             // Apply wakes requested for other threads: bump-free — they
@@ -459,6 +478,7 @@ impl<S: Send + 'static> Ctx<S> {
             }
             waker.pending.clear();
             st.wake_buf = waker.pending;
+            st.wake_slots = waker.slots;
             match outcome {
                 Poll::Ready(v) => return v,
                 Poll::Wait { wake_at } => {
@@ -511,8 +531,7 @@ impl<S: Send + 'static> Ctx<S> {
                     kernel.dispatch(st);
                     // Park until handed the floor again.
                     while !guard.threads[self.tid].go {
-                        if guard.panic_msg.is_some() {
-                            let msg = guard.panic_msg.clone().unwrap();
+                        if let Some(msg) = guard.panic_msg.clone() {
                             drop(guard);
                             panic!("simulation aborted: {msg}");
                         }
@@ -732,6 +751,8 @@ impl<S: Send + 'static> Sim<S> {
                 dispatches: 0,
                 fast_handoffs: 0,
                 wake_buf: Vec::new(),
+                wake_slots: Vec::new(),
+                wake_gen: 0,
                 fast_path: self.fast_path,
                 tracer: self.tracer.clone(),
             }),
@@ -841,6 +862,7 @@ fn thread_body<S: Send + 'static>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

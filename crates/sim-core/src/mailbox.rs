@@ -85,7 +85,11 @@ impl Mailboxes {
             .and_then(|q| q.front().map(|(a, _)| *a))
         {
             Some(arrival) if arrival <= now => {
-                let (_, payload) = self.queues.get_mut(&key).unwrap().pop_front().unwrap();
+                let (_, payload) = self
+                    .queues
+                    .get_mut(&key)
+                    .and_then(|q| q.pop_front())
+                    .expect("peeked head exists");
                 self.waiters.remove(&key);
                 self.delivered += 1;
                 Poll::Ready(payload)

@@ -1,0 +1,918 @@
+//! Thread-free discrete-event engine: rank bodies as polled tasks.
+//!
+//! The classic [`crate::Sim`] kernel runs every simulated rank as a
+//! blocking closure on its own OS thread and hands the floor between
+//! threads with condvars. That is convenient — rank bodies are ordinary
+//! sequential Rust — but each floor transfer costs a futex round-trip
+//! (~3–4 µs), which dominates handoff-bound workloads where the
+//! direct-handoff fast path never applies (symmetric collectives tie
+//! their wakes together).
+//!
+//! [`PolledSim`] removes the threads. Every rank is a [`RankTask`]: a
+//! resumable state machine the single-threaded driver polls whenever the
+//! event queue dispatches to it. Instead of parking on a condvar, a task
+//! returns [`TaskPoll::Pending`] carrying the same `(label, wake_at)`
+//! pair a blocking [`crate::Ctx::poll`] would park with; the driver runs
+//! the *identical* epoch/sequence/fast-path bookkeeping inline and moves
+//! on to the next event. Virtual-time behavior — dispatch order,
+//! sequence numbers, event counts, trace instants — is bit-for-bit
+//! identical to the threads engine by construction: both engines share
+//! the same private [`KernelState`]/[`EventQueue`] types and the same
+//! push/dispatch routines.
+//!
+//! Rank bodies are written as `async` blocks awaiting the leaf futures
+//! in this module ([`sim_poll`], [`sim_advance`]) — the compiler derives
+//! the state machine. Hand-rolled [`RankTask`] impls are also accepted
+//! for bodies that want explicit control over their states.
+//!
+//! ```
+//! use kacc_sim_core::polled::{sim_advance, sim_with_state, PolledSim};
+//!
+//! let mut sim = PolledSim::new(0u64);
+//! for _ in 0..4 {
+//!     sim.spawn(|_tid| async {
+//!         sim_advance::<u64>(10).await;
+//!         sim_with_state(|count: &mut u64, _now| *count += 1);
+//!     });
+//! }
+//! let r = sim.run();
+//! assert_eq!(r.state, 4);
+//! assert_eq!(r.end_time, 10);
+//! ```
+
+use crate::{
+    EventQueue, Kernel, KernelState, Poll, RunReport, SharedBuffer, SimTime, ThreadPhase,
+    ThreadSlot, Tracer, Waker, TOTAL_EVENTS, TOTAL_FAST,
+};
+use kacc_trace::Track;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::task;
+
+/// What a [`RankTask`] reports back to the driver after one poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPoll {
+    /// The rank body ran to completion.
+    Done,
+    /// The task is blocked — the polled analogue of parking inside
+    /// [`crate::Ctx::poll`]. `label` names the operation for deadlock
+    /// dumps and dispatch traces; `wake_at` optionally schedules a
+    /// self-wake (external [`Waker::wake_at`] calls can always wake the
+    /// task earlier).
+    Pending {
+        /// Operation name, as a blocking poll's label.
+        label: &'static str,
+        /// Optional self-wake timer (must not be in the past).
+        wake_at: Option<SimTime>,
+    },
+}
+
+/// A resumable rank body driven by [`PolledSim`].
+///
+/// `poll_task` is invoked exactly when the threads engine would have
+/// handed the rank's OS thread the floor: once at t=0 (the seeded start
+/// event) and once per subsequent dispatch — timer expiry, external
+/// wake, or direct-handoff fast path. Between polls the task must hold
+/// all of its progress in `self`.
+pub trait RankTask<S> {
+    /// Advance the task as far as it can go without blocking.
+    fn poll_task(&mut self, cx: &mut TaskCtx<'_, S>) -> TaskPoll;
+}
+
+/// Per-poll context handed to [`RankTask::poll_task`].
+pub struct TaskCtx<'a, S> {
+    shared: &'a Rc<PolledShared<S>>,
+    tid: usize,
+}
+
+impl<S: 'static> TaskCtx<'_, S> {
+    /// Index of this task (spawn order) — the polled analogue of
+    /// [`crate::Ctx::tid`].
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.st.borrow().now
+    }
+
+    /// Run `f` atomically against the shared state (non-blocking), as
+    /// [`crate::Ctx::with_state`].
+    pub fn with_state<T>(&mut self, f: impl FnOnce(&mut S, SimTime) -> T) -> T {
+        let mut st = self.shared.st.borrow_mut();
+        let st = &mut *st;
+        f(&mut st.user, st.now)
+    }
+
+    /// Evaluate one poll closure against the shared state, applying any
+    /// wakes it requests — exactly one evaluation of the loop body of
+    /// [`crate::Ctx::poll`]. A hand-written [`RankTask`] that receives
+    /// [`Poll::Wait`] here should return the matching
+    /// [`TaskPoll::Pending`] so the driver parks it; the closure will be
+    /// re-evaluated (via a fresh `poll_op`) on the next dispatch.
+    pub fn poll_op<T>(
+        &mut self,
+        f: &mut impl FnMut(&mut S, &mut Waker, SimTime) -> Poll<T>,
+    ) -> Poll<T> {
+        self.shared.eval(f)
+    }
+}
+
+/// A scheduled-but-not-yet-applied park request from a leaf future.
+#[derive(Clone, Copy)]
+struct PendingWait {
+    label: &'static str,
+    wake_at: Option<SimTime>,
+}
+
+/// Kernel state shared between the driver and the leaf futures of the
+/// tasks it polls. Single-threaded by design: `Rc` + `RefCell` replace
+/// the threads engine's `Arc<Mutex<..>>`.
+struct PolledShared<S> {
+    st: RefCell<KernelState<S>>,
+    /// Set by the innermost leaf future that returned `Pending`; taken
+    /// by the task adapter to build its [`TaskPoll::Pending`].
+    pending: Cell<Option<PendingWait>>,
+}
+
+impl<S: 'static> PolledShared<S> {
+    /// One evaluation of a poll closure: identical to the evaluation
+    /// step inside [`crate::Ctx::poll`] — take the wake buffer, run the
+    /// closure, push the wakes it requested against each target's
+    /// *current* epoch, recycle the buffer.
+    fn eval<T>(&self, f: &mut impl FnMut(&mut S, &mut Waker, SimTime) -> Poll<T>) -> Poll<T> {
+        let mut guard = self.st.borrow_mut();
+        let st = &mut *guard;
+        let now = st.now;
+        st.wake_gen += 1;
+        let mut waker = Waker {
+            pending: std::mem::take(&mut st.wake_buf),
+            slots: std::mem::take(&mut st.wake_slots),
+            gen: st.wake_gen,
+        };
+        let outcome = f(&mut st.user, &mut waker, now);
+        for &(tid, at) in &waker.pending {
+            let epoch = st.threads[tid].epoch;
+            Kernel::push_event(st, at, tid, epoch);
+        }
+        waker.pending.clear();
+        st.wake_buf = waker.pending;
+        st.wake_slots = waker.slots;
+        outcome
+    }
+}
+
+// ---------------------------------------------------------------------
+// Task-local scope: lets leaf futures find the kernel without threading
+// a handle through every async call.
+// ---------------------------------------------------------------------
+
+struct Scope {
+    shared: Rc<dyn Any>,
+    tid: usize,
+}
+
+thread_local! {
+    /// Stack of active polled scopes (a stack so a polled sim can run
+    /// inside another sim's host thread, e.g. in tests).
+    static SCOPE: RefCell<Vec<Scope>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes a scope on construction, pops it on drop (unwind-safe).
+struct ScopeGuard;
+
+impl ScopeGuard {
+    fn enter(shared: Rc<dyn Any>, tid: usize) -> ScopeGuard {
+        SCOPE.with(|s| s.borrow_mut().push(Scope { shared, tid }));
+        ScopeGuard
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+fn current<S: 'static>() -> (Rc<PolledShared<S>>, usize) {
+    SCOPE.with(|s| {
+        let scopes = s.borrow();
+        let scope = scopes
+            .last()
+            .expect("sim leaf used outside a PolledSim task poll");
+        let shared = Rc::clone(&scope.shared)
+            .downcast::<PolledShared<S>>()
+            .unwrap_or_else(|_| panic!("sim leaf state type does not match the running PolledSim"));
+        (shared, scope.tid)
+    })
+}
+
+/// Index of the task currently being polled (spawn order) — the polled
+/// analogue of [`crate::Ctx::tid`]. Callable from inside a task body.
+pub fn sim_tid() -> usize {
+    SCOPE.with(|s| {
+        s.borrow()
+            .last()
+            .expect("sim_tid used outside a PolledSim task poll")
+            .tid
+    })
+}
+
+/// Current virtual time — the polled analogue of [`crate::Ctx::now`].
+pub fn sim_now<S: 'static>() -> SimTime {
+    let (shared, _) = current::<S>();
+    let now = shared.st.borrow().now;
+    now
+}
+
+/// Run `f` atomically against the shared state — the polled analogue of
+/// [`crate::Ctx::with_state`]. Non-blocking, evaluates exactly once.
+pub fn sim_with_state<S: 'static, T>(f: impl FnOnce(&mut S, SimTime) -> T) -> T {
+    let (shared, _) = current::<S>();
+    let mut guard = shared.st.borrow_mut();
+    let st = &mut *guard;
+    f(&mut st.user, st.now)
+}
+
+/// Leaf future mirroring [`crate::Ctx::poll`]: evaluates `f` once per
+/// driver dispatch until it returns [`Poll::Ready`]. On [`Poll::Wait`]
+/// the future returns `Pending` and the driver parks the task with this
+/// leaf's `(label, wake_at)` — exactly where the blocking engine would
+/// park the rank thread.
+pub fn sim_poll<S, T, F>(label: &'static str, f: F) -> SimPollFuture<S, T, F>
+where
+    S: 'static,
+    F: FnMut(&mut S, &mut Waker, SimTime) -> Poll<T>,
+{
+    SimPollFuture {
+        label,
+        f,
+        _types: PhantomData,
+    }
+}
+
+/// Future returned by [`sim_poll`].
+pub struct SimPollFuture<S, T, F> {
+    label: &'static str,
+    f: F,
+    _types: PhantomData<fn(&mut S) -> T>,
+}
+
+impl<S, T, F> Future for SimPollFuture<S, T, F>
+where
+    S: 'static,
+    F: FnMut(&mut S, &mut Waker, SimTime) -> Poll<T> + Unpin,
+{
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut task::Context<'_>) -> task::Poll<T> {
+        let this = self.get_mut();
+        let (shared, _) = current::<S>();
+        match shared.eval(&mut this.f) {
+            Poll::Ready(v) => task::Poll::Ready(v),
+            Poll::Wait { wake_at } => {
+                shared.pending.set(Some(PendingWait {
+                    label: this.label,
+                    wake_at,
+                }));
+                task::Poll::Pending
+            }
+        }
+    }
+}
+
+/// Charge `dt` nanoseconds of virtual time to this task — the polled
+/// analogue of [`crate::Ctx::advance`] (same closure, same label, same
+/// lazily-captured deadline).
+pub async fn sim_advance<S: 'static>(dt: SimTime) {
+    let mut deadline = None;
+    sim_poll("advance", move |_s: &mut S, _w, now| {
+        let d = *deadline.get_or_insert(now + dt);
+        if now >= d {
+            Poll::Ready(())
+        } else {
+            Poll::Wait { wake_at: Some(d) }
+        }
+    })
+    .await
+}
+
+/// Adapter: a boxed future is a [`RankTask`]. The compiler-derived
+/// state machine of an `async` block is exactly the resumable step
+/// machine the driver wants; this adapter installs the task-local scope
+/// for the leaf futures and translates `Pending` into the park request
+/// the innermost leaf recorded.
+struct BoxTask {
+    fut: Pin<Box<dyn Future<Output = ()>>>,
+}
+
+impl<S: 'static> RankTask<S> for BoxTask {
+    fn poll_task(&mut self, cx: &mut TaskCtx<'_, S>) -> TaskPoll {
+        let _scope = ScopeGuard::enter(Rc::clone(cx.shared) as Rc<dyn Any>, cx.tid);
+        let waker = task::Waker::noop();
+        let mut fcx = task::Context::from_waker(waker);
+        match self.fut.as_mut().poll(&mut fcx) {
+            task::Poll::Ready(()) => TaskPoll::Done,
+            task::Poll::Pending => {
+                let pw = cx.shared.pending.take().expect(
+                    "task returned Pending without blocking on a sim leaf \
+                     (await sim_poll/sim_advance, not foreign futures)",
+                );
+                TaskPoll::Pending {
+                    label: pw.label,
+                    wake_at: pw.wake_at,
+                }
+            }
+        }
+    }
+}
+
+/// A thread-free simulation under construction: create, spawn tasks,
+/// run. The builder API mirrors [`crate::Sim`]; the engines are
+/// interchangeable for any rank body expressible in both forms, and the
+/// engine-equivalence suite pins their outputs bitwise.
+pub struct PolledSim<S: 'static> {
+    state: Option<S>,
+    pending: Vec<Box<dyn RankTask<S>>>,
+    tracer: Tracer,
+    capture: Option<SharedBuffer>,
+    fast_path: bool,
+}
+
+impl<S: 'static> PolledSim<S> {
+    /// Create a simulation owning the shared machine state.
+    pub fn new(state: S) -> PolledSim<S> {
+        PolledSim {
+            state: Some(state),
+            pending: Vec::new(),
+            tracer: Tracer::off(),
+            capture: None,
+            fast_path: true,
+        }
+    }
+
+    /// Record every scheduler dispatch into [`RunReport::trace`], as
+    /// [`crate::Sim::enable_trace`].
+    pub fn enable_trace(&mut self) {
+        let (tracer, buf) = Tracer::buffered();
+        self.tracer = tracer;
+        self.capture = Some(buf);
+    }
+
+    /// Send scheduler-dispatch events to an external [`Tracer`], as
+    /// [`crate::Sim::set_tracer`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.capture = None;
+    }
+
+    /// Enable or disable the direct-handoff fast path (default: on) —
+    /// same bookkeeping as [`crate::Sim::set_fast_path`]. In the polled
+    /// engine the "handoff" is an inline re-poll rather than a condvar
+    /// transfer, but epochs/sequence numbers advance identically so the
+    /// dispatch order is pinned either way.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// Register a rank body as an `async` block. `f` receives the tid
+    /// (spawn order) and returns the future to drive; the body runs its
+    /// first steps at t=0 in spawn order, as [`crate::Sim::spawn`].
+    pub fn spawn<Fut>(&mut self, f: impl FnOnce(usize) -> Fut) -> usize
+    where
+        Fut: Future<Output = ()> + 'static,
+    {
+        let tid = self.pending.len();
+        self.pending.push(Box::new(BoxTask {
+            fut: Box::pin(f(tid)),
+        }));
+        tid
+    }
+
+    /// Register a hand-written [`RankTask`] state machine.
+    pub fn spawn_task(&mut self, task: Box<dyn RankTask<S>>) -> usize {
+        let tid = self.pending.len();
+        self.pending.push(task);
+        tid
+    }
+
+    /// Run the simulation to completion on the calling thread — no
+    /// worker threads, no condvars, one task poll per dispatched event.
+    /// Panics (with the failing task's message) if any task panicked or
+    /// the simulation deadlocked, with the same messages the threads
+    /// engine produces.
+    pub fn run(mut self) -> RunReport<S> {
+        let n = self.pending.len();
+        let shared = Rc::new(PolledShared {
+            st: RefCell::new(KernelState {
+                now: 0,
+                seq: 0,
+                queue: EventQueue::new(n),
+                threads: (0..n)
+                    .map(|_| ThreadSlot {
+                        phase: ThreadPhase::Starting,
+                        epoch: 0,
+                        go: false,
+                        label: "start",
+                        finish_time: None,
+                    })
+                    .collect(),
+                live: n,
+                user: self.state.take().expect("run called once"),
+                panic_msg: None,
+                all_done: false,
+                dispatches: 0,
+                fast_handoffs: 0,
+                wake_buf: Vec::new(),
+                wake_slots: Vec::new(),
+                wake_gen: 0,
+                fast_path: self.fast_path,
+                tracer: self.tracer.clone(),
+            }),
+            pending: Cell::new(None),
+        });
+
+        // Seed start events in spawn order, as `Sim::run`.
+        {
+            let mut guard = shared.st.borrow_mut();
+            let st = &mut *guard;
+            for tid in 0..n {
+                Kernel::push_event(st, 0, tid, 0);
+            }
+        }
+
+        let mut tasks: Vec<Option<Box<dyn RankTask<S>>>> =
+            self.pending.drain(..).map(Some).collect();
+
+        'outer: loop {
+            // Dispatch: pick the next runnable task and advance the
+            // clock — the single-threaded analogue of `Kernel::dispatch`
+            // (same stale-event discard, same deadlock dump).
+            let tid = {
+                let mut guard = shared.st.borrow_mut();
+                let st = &mut *guard;
+                loop {
+                    let Some((t, _seq, tid, epoch)) = st.queue.peek() else {
+                        if st.live == 0 {
+                            st.all_done = true;
+                            break 'outer;
+                        }
+                        let dump: Vec<String> = st
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.phase != ThreadPhase::Finished)
+                            .map(|(i, s)| format!("  thread {i}: {:?} on '{}'", s.phase, s.label))
+                            .collect();
+                        st.panic_msg = Some(format!(
+                            "simulation deadlock at t={}ns: {} live thread(s) blocked with no pending events\n{}",
+                            st.now,
+                            st.live,
+                            dump.join("\n")
+                        ));
+                        st.all_done = true;
+                        break 'outer;
+                    };
+                    st.queue.pop();
+                    let slot = &mut st.threads[tid];
+                    // Discard stale wakes (task re-parked or finished since).
+                    if slot.phase == ThreadPhase::Finished || slot.epoch != epoch {
+                        continue;
+                    }
+                    debug_assert!(t >= st.now, "event queue went backwards");
+                    st.now = t;
+                    st.dispatches += 1;
+                    slot.phase = ThreadPhase::Running;
+                    st.tracer.instant(Track::Rank(tid), slot.label, t);
+                    break tid;
+                }
+            };
+
+            // Poll: drive the dispatched task, absorbing direct-handoff
+            // re-polls inline (the fast path of `Ctx::poll`).
+            loop {
+                shared.pending.set(None);
+                let task = tasks[tid].as_mut().expect("dispatched task is live");
+                let mut cx = TaskCtx {
+                    shared: &shared,
+                    tid,
+                };
+                let polled = catch_unwind(AssertUnwindSafe(|| task.poll_task(&mut cx)));
+                match polled {
+                    Err(p) => {
+                        let msg = p
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "non-string panic".to_string());
+                        let mut guard = shared.st.borrow_mut();
+                        let st = &mut *guard;
+                        st.threads[tid].phase = ThreadPhase::Finished;
+                        st.threads[tid].finish_time = Some(st.now);
+                        st.live -= 1;
+                        if st.panic_msg.is_none() {
+                            st.panic_msg = Some(format!("simulated thread {tid} panicked: {msg}"));
+                        }
+                        st.all_done = true;
+                        break 'outer;
+                    }
+                    Ok(TaskPoll::Done) => {
+                        let mut guard = shared.st.borrow_mut();
+                        let st = &mut *guard;
+                        st.threads[tid].phase = ThreadPhase::Finished;
+                        st.threads[tid].finish_time = Some(st.now);
+                        st.live -= 1;
+                        tasks[tid] = None;
+                        continue 'outer;
+                    }
+                    Ok(TaskPoll::Pending { label, wake_at }) => {
+                        let mut guard = shared.st.borrow_mut();
+                        let st = &mut *guard;
+                        let now = st.now;
+                        if let Some(at) = wake_at {
+                            debug_assert!(
+                                at >= now,
+                                "poll('{label}') timer in the past: t={at}ns but now={now}ns"
+                            );
+                            let t = at.max(now);
+                            // Purge stale heads so they can't force a
+                            // needless slow handoff (as `Ctx::poll`).
+                            if st.fast_path {
+                                while let Some((_, _, qtid, qe)) = st.queue.peek() {
+                                    let s = &st.threads[qtid];
+                                    if s.phase == ThreadPhase::Finished || s.epoch != qe {
+                                        st.queue.pop();
+                                    } else {
+                                        break;
+                                    }
+                                }
+                            }
+                            // Direct-handoff fast path: our own timer is
+                            // strictly earliest — advance the clock in
+                            // place and re-poll, same bookkeeping as the
+                            // blocking engine's in-place re-evaluation.
+                            if st.fast_path && st.queue.peek().is_none_or(|(qt, ..)| qt > t) {
+                                st.threads[tid].epoch += 1;
+                                st.threads[tid].label = label;
+                                st.seq += 1;
+                                st.now = t;
+                                st.dispatches += 1;
+                                st.fast_handoffs += 1;
+                                st.tracer.instant(Track::Rank(tid), label, t);
+                                continue;
+                            }
+                        }
+                        st.threads[tid].epoch += 1;
+                        st.threads[tid].phase = ThreadPhase::Parked;
+                        st.threads[tid].label = label;
+                        let epoch = st.threads[tid].epoch;
+                        if let Some(at) = wake_at {
+                            Kernel::push_event(st, at, tid, epoch);
+                        }
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+
+        // Drop the task state machines before unwrapping the kernel (a
+        // task's locals may hold leaf futures; none hold the Rc).
+        drop(tasks);
+        let shared = Rc::try_unwrap(shared)
+            .ok()
+            .expect("all task scopes dropped at run end");
+        let st = shared.st.into_inner();
+        if let Some(msg) = st.panic_msg {
+            panic!("{msg}");
+        }
+        TOTAL_EVENTS.fetch_add(st.dispatches, Ordering::Relaxed);
+        TOTAL_FAST.fetch_add(st.fast_handoffs, Ordering::Relaxed);
+        RunReport {
+            end_time: st.now,
+            events: st.dispatches,
+            finish_times: st
+                .threads
+                .iter()
+                .map(|t| t.finish_time.expect("finished task has time"))
+                .collect(),
+            trace: self.capture.map(|b| b.take()).unwrap_or_default(),
+            state: st.user,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::{chrome_trace_json, Sim};
+
+    #[test]
+    fn single_task_advances_time() {
+        let mut sim = PolledSim::new(());
+        sim.spawn(|_tid| async {
+            assert_eq!(sim_now::<()>(), 0);
+            sim_advance::<()>(100).await;
+            assert_eq!(sim_now::<()>(), 100);
+            sim_advance::<()>(0).await;
+            assert_eq!(sim_now::<()>(), 100);
+        });
+        let r = sim.run();
+        assert_eq!(r.end_time, 100);
+        assert_eq!(r.finish_times, vec![100]);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let go = || {
+            let mut sim = PolledSim::new(Vec::<(usize, SimTime)>::new());
+            for tid in 0..4 {
+                sim.spawn(move |_| async move {
+                    for _ in 0..3 {
+                        sim_advance::<Vec<(usize, SimTime)>>(10 + tid as u64).await;
+                        sim_with_state(|log: &mut Vec<(usize, SimTime)>, now| log.push((tid, now)));
+                    }
+                });
+            }
+            sim.run().state
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a, b);
+        assert_eq!(a[0], (0, 10));
+    }
+
+    #[test]
+    fn poll_sees_external_wakes() {
+        let mut sim = PolledSim::new((false, 0usize));
+        let waiter = 1usize;
+        sim.spawn(move |_| async move {
+            sim_advance::<(bool, usize)>(50).await;
+            sim_with_state(|s: &mut (bool, usize), _| s.0 = true);
+            sim_poll("signal", move |_: &mut (bool, usize), w, now| {
+                w.wake_at(waiter, now);
+                Poll::Ready(())
+            })
+            .await;
+        });
+        sim.spawn(|_| async {
+            sim_poll("wait flag", |s: &mut (bool, usize), _w, _now| {
+                if s.0 {
+                    Poll::Ready(())
+                } else {
+                    s.1 += 1;
+                    Poll::Wait { wake_at: None }
+                }
+            })
+            .await;
+            assert_eq!(sim_now::<(bool, usize)>(), 50);
+        });
+        let r = sim.run();
+        assert_eq!(r.end_time, 50);
+        // The waiter's closure ran once to block and once to complete.
+        assert_eq!(r.state.1, 1);
+    }
+
+    #[test]
+    fn premature_wakes_reblock() {
+        let mut sim = PolledSim::new(());
+        let sleeper = 0usize;
+        sim.spawn(|_| async {
+            sim_advance::<()>(1000).await;
+            assert_eq!(sim_now::<()>(), 1000);
+        });
+        sim.spawn(move |_| async move {
+            for t in [10u64, 20, 30] {
+                sim_poll("spur", move |_: &mut (), w, now| {
+                    w.wake_at(sleeper, now.max(t));
+                    Poll::Ready(())
+                })
+                .await;
+                sim_advance::<()>(5).await;
+            }
+        });
+        let r = sim.run();
+        assert_eq!(r.finish_times[0], 1000);
+    }
+
+    #[test]
+    fn hand_written_rank_task_runs() {
+        // A two-state machine: advance 25ns, then bump the counter. The
+        // deadline latches on first poll — task state must live in the
+        // machine, not be recomputed per re-poll.
+        enum Steps {
+            Sleep,
+            Tally,
+        }
+        struct Machine {
+            step: Steps,
+            deadline: Option<SimTime>,
+        }
+        impl RankTask<u64> for Machine {
+            fn poll_task(&mut self, cx: &mut TaskCtx<'_, u64>) -> TaskPoll {
+                loop {
+                    match self.step {
+                        Steps::Sleep => {
+                            let deadline = *self.deadline.get_or_insert(cx.now() + 25);
+                            let wait = cx.poll_op(&mut |_: &mut u64, _w, now| {
+                                if now >= deadline {
+                                    Poll::Ready(())
+                                } else {
+                                    Poll::Wait {
+                                        wake_at: Some(deadline),
+                                    }
+                                }
+                            });
+                            match wait {
+                                Poll::Ready(()) => self.step = Steps::Tally,
+                                Poll::Wait { wake_at } => {
+                                    return TaskPoll::Pending {
+                                        label: "sleep",
+                                        wake_at,
+                                    }
+                                }
+                            }
+                        }
+                        Steps::Tally => {
+                            cx.with_state(|count, _| *count += 1);
+                            return TaskPoll::Done;
+                        }
+                    }
+                }
+            }
+        }
+        let mut sim = PolledSim::new(0u64);
+        sim.spawn_task(Box::new(Machine {
+            step: Steps::Sleep,
+            deadline: None,
+        }));
+        sim.spawn_task(Box::new(Machine {
+            step: Steps::Sleep,
+            deadline: None,
+        }));
+        let r = sim.run();
+        assert_eq!(r.state, 2);
+        assert_eq!(r.end_time, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim = PolledSim::new(());
+        sim.spawn(|_| async {
+            sim_poll::<(), (), _>("forever", |_, _, _| Poll::Wait { wake_at: None }).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "thread 0 panicked: boom")]
+    fn task_panics_propagate() {
+        let mut sim = PolledSim::new(());
+        sim.spawn(|_| async { panic!("boom") });
+        sim.spawn(|_| async {
+            sim_advance::<()>(10).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn matches_threads_engine_bitwise() {
+        // The same interleaving program on both engines, fast path on
+        // and off: identical logs, clocks, event counts, and traces.
+        type Log = Vec<(usize, SimTime)>;
+        let threads = |fast: bool| {
+            let mut sim = Sim::new(Log::new());
+            sim.enable_trace();
+            sim.set_fast_path(fast);
+            for tid in 0..6 {
+                sim.spawn(move |ctx| {
+                    for _ in 0..4 {
+                        ctx.advance(7 + tid as u64 * 3);
+                        ctx.with_state(|log, now| log.push((tid, now)));
+                    }
+                });
+            }
+            let r = sim.run();
+            (
+                r.state,
+                r.end_time,
+                r.finish_times,
+                r.events,
+                chrome_trace_json(&r.trace),
+            )
+        };
+        let polled = |fast: bool| {
+            let mut sim = PolledSim::new(Log::new());
+            sim.enable_trace();
+            sim.set_fast_path(fast);
+            for tid in 0..6 {
+                sim.spawn(move |_| async move {
+                    for _ in 0..4 {
+                        sim_advance::<Log>(7 + tid as u64 * 3).await;
+                        sim_with_state(|log: &mut Log, now| log.push((tid, now)));
+                    }
+                });
+            }
+            let r = sim.run();
+            (
+                r.state,
+                r.end_time,
+                r.finish_times,
+                r.events,
+                chrome_trace_json(&r.trace),
+            )
+        };
+        let reference = threads(true);
+        assert_eq!(reference, threads(false));
+        assert_eq!(reference, polled(true));
+        assert_eq!(reference, polled(false));
+    }
+
+    #[test]
+    fn mailboxes_work_identically() {
+        use crate::Mailboxes;
+        let threads = || {
+            let mut sim = Sim::new(Mailboxes::new());
+            sim.spawn(|ctx| {
+                ctx.advance(10);
+                ctx.poll("send", |m: &mut Mailboxes, w, now| {
+                    m.deposit(w, 1, 0, 7, now + 25, b"hi".to_vec());
+                    Poll::Ready(())
+                });
+            });
+            sim.spawn(|ctx| {
+                let tid = ctx.tid();
+                let msg = ctx.poll("recv", move |m: &mut Mailboxes, _w, now| {
+                    m.take(tid, 1, 0, 7, now)
+                });
+                assert_eq!(msg, b"hi");
+            });
+            let r = sim.run();
+            (r.end_time, r.finish_times, r.events)
+        };
+        let polled = || {
+            let mut sim = PolledSim::new(Mailboxes::new());
+            sim.spawn(|_| async {
+                sim_advance::<Mailboxes>(10).await;
+                sim_poll("send", |m: &mut Mailboxes, w, now| {
+                    m.deposit(w, 1, 0, 7, now + 25, b"hi".to_vec());
+                    Poll::Ready(())
+                })
+                .await;
+            });
+            sim.spawn(|tid| async move {
+                let msg = sim_poll("recv", move |m: &mut Mailboxes, _w, now| {
+                    m.take(tid, 1, 0, 7, now)
+                })
+                .await;
+                assert_eq!(msg, b"hi");
+            });
+            let r = sim.run();
+            (r.end_time, r.finish_times, r.events)
+        };
+        assert_eq!(threads(), polled());
+    }
+
+    #[test]
+    fn external_tracer_receives_dispatches() {
+        let (tracer, buf) = Tracer::buffered();
+        let mut sim = PolledSim::new(());
+        sim.set_tracer(tracer);
+        sim.spawn(|_| async {
+            sim_advance::<()>(10).await;
+        });
+        let r = sim.run();
+        assert!(r.trace.is_empty());
+        let evs = buf.take();
+        assert!(evs
+            .iter()
+            .any(|e| e.track == Track::Rank(0) && e.name == "advance" && e.ts() == 10));
+    }
+
+    #[test]
+    fn many_tasks_scale_without_threads() {
+        let mut sim = PolledSim::new(0u64);
+        for _ in 0..512 {
+            sim.spawn(|_| async {
+                for _ in 0..10 {
+                    sim_advance::<u64>(7).await;
+                }
+                sim_with_state(|count: &mut u64, _| *count += 1);
+            });
+        }
+        let r = sim.run();
+        assert_eq!(r.state, 512);
+        assert_eq!(r.end_time, 70);
+    }
+}

@@ -144,6 +144,7 @@ impl Breakdown {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{Event, EventKind, Track};

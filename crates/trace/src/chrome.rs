@@ -137,6 +137,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

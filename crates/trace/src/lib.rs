@@ -38,6 +38,7 @@
 //! [`chrome_trace_json`] and [`Breakdown::from_events`].
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 #![forbid(unsafe_code)]
 
 use std::sync::{Arc, Mutex};

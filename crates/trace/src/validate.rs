@@ -169,7 +169,7 @@ impl<'a> Parser<'a> {
                     // Multi-byte UTF-8: copy the whole scalar.
                     let rest = std::str::from_utf8(&self.b[self.pos..])
                         .map_err(|_| self.err("bad utf8"))?;
-                    let ch = rest.chars().next().unwrap();
+                    let ch = rest.chars().next().ok_or_else(|| self.err("bad utf8"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -336,6 +336,7 @@ pub fn validate_chrome_json(json: &str) -> Result<TraceSummary, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

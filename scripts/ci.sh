@@ -23,6 +23,10 @@ echo "== determinism suite (repeat runs, --jobs 1 vs 8, traces) =="
 cargo test -q --release -p kacc-bench --test determinism
 cargo test -q --release -p kacc-collectives --test fastpath_equivalence
 
+echo "== engine equivalence (threads vs polled, bitwise) =="
+cargo test -q --release -p kacc-sim-core --test polled_parity
+cargo test -q --release -p kacc-collectives --test engine_equivalence
+
 echo "== chaos suite (fixed seed corpus + one fresh seed) =="
 # The chaos tests always run their fixed corpus; KACC_CHAOS_SEED adds one
 # fresh seed on top. Echoed up front so a failure is reproducible with
@@ -45,12 +49,25 @@ printf 'seed 42\nrule prob=0.05 kind=transient errno=11\nrule ops=cma_read prob=
 cargo run --release -q -p kacc-bench --bin repro -- --quick --fault-plan "$fault_tmp" --trace-out "$trace_tmp"
 cargo run --release -q -p kacc-trace --bin trace-validate -- "$trace_tmp"
 
-echo "== bench metrics snapshot (BENCH_PR4.json) =="
+echo "== repro artifacts identical under both engines =="
+# The quick sweep of an engine-routed figure must print byte-identical
+# charts on the threads and the polled engine (the repro-level face of
+# the engine-equivalence suite).
+threads_tmp="$(mktemp -t kacc-threads-XXXXXX.txt)"
+polled_tmp="$(mktemp -t kacc-polled-XXXXXX.txt)"
+cargo run --release -q -p kacc-bench --bin repro -- --quick --jobs 1 fig10 > "$threads_tmp"
+cargo run --release -q -p kacc-bench --bin repro -- --quick --jobs 1 --engine polled fig10 > "$polled_tmp"
+diff "$threads_tmp" "$polled_tmp"
+rm -f "$threads_tmp" "$polled_tmp"
+
+echo "== bench metrics snapshot (both engines) =="
 # Quick-scale events/sec + wall-clock snapshot, including the p=64
-# one-to-all probe (the PR-4 acceptance metric). Kept out of git status
-# noise: CI uploads it; refresh the committed copy with a full run via
-#   cargo run --release -p kacc-bench --bin repro -- --bench-out BENCH_PR4.json all
-cargo run --release -q -p kacc-bench --bin repro -- --quick --bench-out /tmp/BENCH_PR4.json all >/dev/null
-cat /tmp/BENCH_PR4.json
+# one-to-all probe (the PR-4 acceptance metric), on each engine. Kept out
+# of git status noise: CI uploads them; refresh the committed
+# BENCH_PR6.json with full runs via
+#   cargo run --release -p kacc-bench --bin repro -- --bench-out ... fig10 table6
+cargo run --release -q -p kacc-bench --bin repro -- --quick --bench-out /tmp/BENCH_threads.json all >/dev/null
+cargo run --release -q -p kacc-bench --bin repro -- --quick --engine polled --bench-out /tmp/BENCH_polled.json all >/dev/null
+cat /tmp/BENCH_threads.json /tmp/BENCH_polled.json
 
 echo "CI gates all green."
