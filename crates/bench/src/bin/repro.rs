@@ -13,6 +13,13 @@
 //!                            # figures; legacy library-persona bodies
 //!                            # still run on the threads engine)
 //! repro --bench-out b.json   # record events/sec + wall-clock metrics
+//!                            # (incl. wake-storm diagnostics on both
+//!                            # engines and p50/p95/p99 probe latencies)
+//! repro --metrics-out m.json # dump the kacc-metrics registry snapshot
+//!                            # (JSON + Prometheus-style m.json.prom);
+//!                            # virtual-time/count metrics only, so the
+//!                            # files are bitwise-identical for every
+//!                            # --jobs value and both engines
 //! repro --list               # list artifact names
 //! repro --trace-out t.json   # Chrome trace of a contended scatter
 //! repro --fault-plan plan.txt  # same scatter under a fault plan:
@@ -33,6 +40,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut fault_plan: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut engine = Engine::Threads;
     let mut wanted: Vec<String> = Vec::new();
@@ -66,6 +74,12 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--csv needs a directory");
@@ -86,7 +100,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--engine threads|polled] [--jobs N] [--csv DIR] [--bench-out FILE] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
+                    "usage: repro [--quick] [--engine threads|polled] [--jobs N] [--csv DIR] [--bench-out FILE] [--metrics-out FILE] [--trace-out FILE] [--fault-plan FILE] [--list] <artifact...|all>\n\
                      artifacts: {}",
                     registry()
                         .iter()
@@ -217,6 +231,14 @@ fn main() {
     );
 
     if let Some(path) = &bench_out {
+        // Wake-storm diagnostics at figure-10 scale, probed sequentially
+        // on BOTH engines after the sweep so the storm numbers in the
+        // summary are exact regardless of --jobs or --engine.
+        let knl = kacc_model::ArchProfile::knl();
+        let storms = [
+            measure::wake_storm_probe(&knl, p, count, 5, Engine::Threads),
+            measure::wake_storm_probe(&knl, p, count, 5, Engine::Polled),
+        ];
         let json = bench_report_json(
             engine,
             jobs,
@@ -228,16 +250,35 @@ fn main() {
                 .iter()
                 .map(|(name, _, secs, events)| (*name, *secs, *events))
                 .collect::<Vec<_>>(),
+            p,
+            count,
+            &storms,
         );
         std::fs::write(path, json).expect("write bench report");
         eprintln!("[bench metrics -> {path}]");
     }
+
+    if let Some(path) = &metrics_out {
+        // Snapshot last, so everything the process simulated (figures,
+        // probes) is folded in. The registry holds only virtual-time and
+        // count metrics — no wall-clock — and every update commutes, so
+        // these files are bitwise-identical for every --jobs value and
+        // for both engines on fault-free runs.
+        let snap = kacc_metrics::snapshot();
+        std::fs::write(path, snap.to_json()).expect("write metrics snapshot");
+        let prom = format!("{path}.prom");
+        std::fs::write(&prom, snap.to_prometheus()).expect("write metrics exposition");
+        eprintln!("[metrics -> {path} (+ {prom})]");
+    }
 }
 
 /// Assemble the `--bench-out` JSON: per-figure wall-clock + events, run
-/// totals, and a dedicated sequential measurement of the one-to-all
-/// contention microbench at p=64 (the PR-4 acceptance metric) so the
-/// events/sec trajectory is comparable across machines and job counts.
+/// totals, a dedicated sequential measurement of the one-to-all
+/// contention microbench at p=64 (the PR-4 acceptance metric, now with
+/// per-reader latency percentiles) so the events/sec trajectory is
+/// comparable across machines and job counts, and the wake-storm
+/// diagnostics probed on both engines.
+#[allow(clippy::too_many_arguments)]
 fn bench_report_json(
     engine: Engine,
     jobs: usize,
@@ -246,18 +287,27 @@ fn bench_report_json(
     total_events: u64,
     total_fast: u64,
     figures: &[(&str, f64, u64)],
+    storm_p: usize,
+    storm_eta: usize,
+    storms: &[measure::WakeStorm],
 ) -> String {
+    use kacc_numerics::stats;
     let knl = kacc_model::ArchProfile::knl();
-    let one = || kacc_bench::measure::one_to_all_read_ns(&knl, 64, 64 << 10, false);
+    let one = || kacc_bench::measure::one_to_all_read_lats(&knl, 64, 64 << 10, false);
     one(); // warm the worker pool so the probe measures steady state
     let e0 = kacc_sim_core::total_events();
     let t0 = std::time::Instant::now();
     let iters = 5;
+    let mut lats = Vec::new();
     for _ in 0..iters {
-        one();
+        lats = one();
     }
     let probe_wall = t0.elapsed().as_secs_f64();
     let probe_events = kacc_sim_core::total_events() - e0;
+    let lat_mean = stats::mean(&lats).unwrap_or(0.0);
+    let lat_p50 = stats::median(&lats).unwrap_or(0.0);
+    let lat_p95 = stats::percentile(&lats, 95.0).unwrap_or(0.0);
+    let lat_p99 = stats::percentile(&lats, 99.0).unwrap_or(0.0);
 
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"engine\": \"{}\",\n", engine.label()));
@@ -271,9 +321,28 @@ fn bench_report_json(
         total_events as f64 / total_wall.max(1e-9)
     ));
     s.push_str(&format!(
-        "  \"one_to_all_p64\": {{\"iters\": {iters}, \"events\": {probe_events}, \"wall_s\": {probe_wall:.4}, \"events_per_sec\": {:.0}}},\n",
+        "  \"one_to_all_p64\": {{\"iters\": {iters}, \"events\": {probe_events}, \"wall_s\": {probe_wall:.4}, \"events_per_sec\": {:.0}, \"lat_ns\": {{\"mean\": {lat_mean:.1}, \"p50\": {lat_p50:.1}, \"p95\": {lat_p95:.1}, \"p99\": {lat_p99:.1}}}}},\n",
         probe_events as f64 / probe_wall.max(1e-9)
     ));
+    s.push_str(&format!(
+        "  \"wake_storm\": {{\"p\": {storm_p}, \"eta\": {storm_eta}, \"engines\": [\n"
+    ));
+    for (i, w) in storms.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"iterations\": {}, \"events\": {}, \"events_per_barrier\": {:.1}, \"peak_queue_len\": {}, \"wake_fanout_max\": {}, \"wake_fanout_mean\": {:.3}, \"wakes_raw\": {}, \"wakes_coalesced\": {}}}{}\n",
+            w.engine,
+            w.iterations,
+            w.events,
+            w.events_per_barrier,
+            w.peak_queue_len,
+            w.wake_fanout_max,
+            w.wake_fanout_mean,
+            w.wakes_raw,
+            w.wakes_coalesced,
+            if i + 1 < storms.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]},\n");
     s.push_str("  \"figures\": [\n");
     for (i, (name, secs, events)) in figures.iter().enumerate() {
         s.push_str(&format!(

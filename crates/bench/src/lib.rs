@@ -15,6 +15,7 @@
 
 pub mod figs;
 pub mod measure;
+pub mod minijson;
 pub mod nullcomm;
 pub mod par;
 pub mod render;

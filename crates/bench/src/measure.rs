@@ -19,6 +19,7 @@ use kacc_machine::polled::sm_barrier_polled;
 use kacc_machine::{run_polled_team_phantom, run_team_phantom, PolledComm, RankStats, SimComm};
 use kacc_model::ArchProfile;
 use kacc_mpi::baseline::{self, Library};
+use kacc_numerics::stats;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Which DES engine executes the simulated teams.
@@ -289,6 +290,19 @@ pub fn one_to_all_read_ns(
     eta: usize,
     same_region: bool,
 ) -> f64 {
+    let lats = one_to_all_read_lats(arch, readers, eta, same_region);
+    stats::mean(&lats).expect("nonempty reader set")
+}
+
+/// Per-reader latencies behind [`one_to_all_read_ns`], one entry per
+/// reader in rank order, ns. Exposed so summaries can report percentile
+/// spread (p50/p95/p99) on top of the mean.
+pub fn one_to_all_read_lats(
+    arch: &ArchProfile,
+    readers: usize,
+    eta: usize,
+    same_region: bool,
+) -> Vec<f64> {
     let durs = match engine() {
         Engine::Threads => {
             run_team_phantom(arch, readers + 1, move |comm| {
@@ -353,8 +367,7 @@ pub fn one_to_all_read_ns(
             .1
         }
     };
-    let sum: u64 = durs.iter().skip(1).sum();
-    sum as f64 / readers as f64
+    durs.iter().skip(1).map(|&d| d as f64).collect()
 }
 
 /// Per-reader latency of the All-to-all access pattern: `pairs`
@@ -380,8 +393,85 @@ pub fn pairs_read_ns(arch: &ArchProfile, pairs: usize, eta: usize) -> f64 {
             d
         }
     });
-    let sum: u64 = durs.iter().skip(1).step_by(2).sum();
-    sum as f64 / pairs as f64
+    let lats: Vec<f64> = durs.iter().skip(1).step_by(2).map(|&d| d as f64).collect();
+    stats::mean(&lats).expect("nonempty pair set")
+}
+
+/// Wake-storm diagnostics from one instrumented barrier+allgather run —
+/// the broadcast-wake pressure the coalescing work in PR 6 targets. All
+/// fields are virtual-time/count quantities, so a probe is bitwise
+/// identical on both engines (pinned by [`tests::wake_storm_engine_invariant`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WakeStorm {
+    /// Engine the probe ran on (`threads` / `polled`).
+    pub engine: &'static str,
+    /// Barrier+allgather iterations executed.
+    pub iterations: u64,
+    /// Kernel events dispatched by the run.
+    pub events: u64,
+    /// `events / iterations`: DES cost of one barrier+allgather round.
+    pub events_per_barrier: f64,
+    /// Event-queue length high-water mark.
+    pub peak_queue_len: u64,
+    /// Largest single `wake_at` flush fan-out (threads woken at once).
+    pub wake_fanout_max: u64,
+    /// Mean `wake_at` flush fan-out.
+    pub wake_fanout_mean: f64,
+    /// Wake requests before coalescing.
+    pub wakes_raw: u64,
+    /// Wake requests dropped as already-pending duplicates.
+    pub wakes_coalesced: u64,
+}
+
+/// Run `iters` rounds of dissemination barrier + Bruck allgather on a
+/// `p`-rank team (`eta` bytes per rank) and report the wake-storm
+/// diagnostics carried back on the `TeamRun`.
+pub fn wake_storm_probe(
+    arch: &ArchProfile,
+    p: usize,
+    eta: usize,
+    iters: usize,
+    engine: Engine,
+) -> WakeStorm {
+    let run = match engine {
+        Engine::Threads => {
+            run_team_phantom(arch, p, move |comm| {
+                let sb = comm.alloc(eta);
+                let rb = comm.alloc(p * eta);
+                for _ in 0..iters {
+                    smcoll::sm_barrier(comm).expect("barrier");
+                    allgather(comm, AllgatherAlgo::Bruck, Some(sb), rb, eta).expect("allgather");
+                }
+            })
+            .0
+        }
+        Engine::Polled => {
+            run_polled_team_phantom(arch, p, move |rank| async move {
+                let mut comm = PolledComm::new(rank);
+                let sb = comm.alloc(eta);
+                let rb = comm.alloc(p * eta);
+                for _ in 0..iters {
+                    sm_barrier_polled(&mut comm).await.expect("barrier");
+                    allgather_polled(&mut comm, AllgatherAlgo::Bruck, Some(sb), rb, eta)
+                        .await
+                        .expect("allgather");
+                }
+            })
+            .0
+        }
+    };
+    let fanout = &run.sim.wake_fanout;
+    WakeStorm {
+        engine: engine.label(),
+        iterations: iters as u64,
+        events: run.events,
+        events_per_barrier: run.events as f64 / (iters as f64).max(1.0),
+        peak_queue_len: run.sim.queue_len_hwm,
+        wake_fanout_max: fanout.max(),
+        wake_fanout_mean: fanout.mean().unwrap_or(0.0),
+        wakes_raw: run.sim.wakes_raw,
+        wakes_coalesced: run.sim.wakes_coalesced,
+    }
 }
 
 /// Aggregate step breakdown of `readers` concurrent reads of `pages`
@@ -500,6 +590,24 @@ mod tests {
             set_engine(Engine::Threads);
             assert_eq!(t, q, "{name}: engines disagree (threads {t} vs polled {q})");
         }
+    }
+
+    /// The wake-storm probe carries only virtual-time/count diagnostics,
+    /// so both engines must report the identical storm.
+    #[test]
+    fn wake_storm_engine_invariant() {
+        let arch = ArchProfile::broadwell();
+        let t = wake_storm_probe(&arch, 6, 4 << 10, 3, Engine::Threads);
+        let p = wake_storm_probe(&arch, 6, 4 << 10, 3, Engine::Polled);
+        assert_eq!(t.events, p.events);
+        assert_eq!(t.peak_queue_len, p.peak_queue_len);
+        assert_eq!(t.wake_fanout_max, p.wake_fanout_max);
+        assert_eq!(t.wake_fanout_mean, p.wake_fanout_mean);
+        assert_eq!(t.wakes_raw, p.wakes_raw);
+        assert_eq!(t.wakes_coalesced, p.wakes_coalesced);
+        assert!(t.events > 0, "probe dispatched no events");
+        assert!(t.peak_queue_len > 0, "queue high-water never moved");
+        assert!(t.wake_fanout_max >= 1, "no wake flushes observed");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! both come from [`Comm::time_ns`], so the report means "time this rank
 //! spent inside each primitive" on every transport.
 
+use std::sync::OnceLock;
+
 use kacc_comm::{smcoll, BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 use kacc_trace::{Event, EventKind, Tracer, Track};
 
@@ -223,6 +225,70 @@ impl StepKind {
             _ => return None,
         })
     }
+
+    /// Every kind, in discriminant order — `kind as usize` indexes
+    /// tables built from this array (the metrics handle table relies
+    /// on that alignment).
+    pub(crate) const ALL: [StepKind; 11] = [
+        StepKind::Expose,
+        StepKind::CmaRead,
+        StepKind::CmaWrite,
+        StepKind::CopyLocal,
+        StepKind::CtrlSend,
+        StepKind::CtrlRecv,
+        StepKind::Notify,
+        StepKind::WaitNotify,
+        StepKind::ShmSend,
+        StepKind::ShmRecv,
+        StepKind::Reduce,
+    ];
+}
+
+/// Pre-resolved `kacc-metrics` handles for the executor. Registered
+/// once per process; recording through a cached handle is a couple of
+/// relaxed atomic ops, so the always-on path stays off the lock in the
+/// metric registry.
+struct CollHandles {
+    /// Per-step-kind latency histograms, indexed by `StepKind as usize`.
+    steps: [kacc_metrics::Hist; 11],
+    /// End-to-end schedule latency across all collective classes.
+    exec_ns: kacc_metrics::Hist,
+    /// Per-collective-class latency histograms (`coll.bcast.ns`, ...).
+    class_ns: Vec<(u32, kacc_metrics::Hist)>,
+    transient_retries: kacc_metrics::Counter,
+    short_resumes: kacc_metrics::Counter,
+    short_bytes: kacc_metrics::Counter,
+    denied: kacc_metrics::Counter,
+    timeouts: kacc_metrics::Counter,
+    backoffs: kacc_metrics::Counter,
+    fallbacks: kacc_metrics::Counter,
+    fallback_bytes: kacc_metrics::Counter,
+}
+
+fn coll_handles() -> &'static CollHandles {
+    static HANDLES: OnceLock<CollHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| CollHandles {
+        steps: StepKind::ALL.map(|k| {
+            let short = k.span_name().trim_start_matches("step:");
+            kacc_metrics::hist(&format!("coll.step.{short}.ns"))
+        }),
+        exec_ns: kacc_metrics::hist("coll.exec.ns"),
+        class_ns: kacc_comm::tagclass::ALL
+            .iter()
+            .map(|&(class, name)| {
+                let short = name.rsplit("::").next().unwrap_or(name);
+                (class, kacc_metrics::hist(&format!("coll.{short}.ns")))
+            })
+            .collect(),
+        transient_retries: kacc_metrics::counter("coll.recovery.transient_retries"),
+        short_resumes: kacc_metrics::counter("coll.recovery.short_resumes"),
+        short_bytes: kacc_metrics::counter("coll.recovery.short_bytes"),
+        denied: kacc_metrics::counter("coll.recovery.denied"),
+        timeouts: kacc_metrics::counter("coll.recovery.timeouts"),
+        backoffs: kacc_metrics::counter("coll.recovery.backoffs"),
+        fallbacks: kacc_metrics::counter("coll.recovery.fallbacks"),
+        fallback_bytes: kacc_metrics::counter("coll.recovery.fallback_bytes"),
+    })
 }
 
 /// The single recording path: every executed step flows through
@@ -234,13 +300,29 @@ pub(crate) struct Recorder<'t> {
     pub(crate) tracer: &'t Tracer,
     pub(crate) track: Track,
     pub(crate) class: Option<u32>,
+    /// Per-step-kind latency samples of this execution, indexed by
+    /// `StepKind as usize`; plain-field accumulation keeps the per-step
+    /// hot path free of atomics — [`Recorder::finish`] folds them into
+    /// the global histograms in one merge per touched kind.
+    pub(crate) step_lats: [kacc_metrics::LocalHist; 11],
 }
 
-impl Recorder<'_> {
+impl<'t> Recorder<'t> {
+    pub(crate) fn new(tracer: &'t Tracer, track: Track, class: Option<u32>) -> Recorder<'t> {
+        Recorder {
+            report: ScheduleReport::default(),
+            tracer,
+            track,
+            class,
+            step_lats: std::array::from_fn(|_| kacc_metrics::LocalHist::default()),
+        }
+    }
+
     pub(crate) fn add(&mut self, kind: StepKind, bytes: usize, t0: u64, t1: u64) {
         let dt = t1.saturating_sub(t0);
         self.report.stat_mut(kind).add(bytes, dt);
         self.report.steps += 1;
+        self.step_lats[kind as usize].record(dt);
         self.tracer.span(
             self.track,
             kind.span_name(),
@@ -260,6 +342,33 @@ impl Recorder<'_> {
         self.report.recovery.add_span(name, bytes as u64, dt);
         self.tracer
             .span(self.track, name, t0, dt as f64, bytes as u64, self.class);
+    }
+
+    /// Close out one schedule execution: stamp `total_ns`, record the
+    /// end-to-end latency into the global and per-class histograms, and
+    /// fold the recovery counters into the metric registry. Called by
+    /// both engines' executors so the metrics cannot drift between them.
+    pub(crate) fn finish(&mut self, total_ns: u64) {
+        self.report.total_ns = total_ns;
+        let h = coll_handles();
+        for (kind, local) in h.steps.iter().zip(&self.step_lats) {
+            kind.merge_local(local);
+        }
+        h.exec_ns.record(total_ns);
+        if let Some(class) = self.class {
+            if let Some((_, hist)) = h.class_ns.iter().find(|(c, _)| *c == class) {
+                hist.record(total_ns);
+            }
+        }
+        let r = &self.report.recovery;
+        h.transient_retries.add(r.transient_retries);
+        h.short_resumes.add(r.short_resumes);
+        h.short_bytes.add(r.short_bytes);
+        h.denied.add(r.denied);
+        h.timeouts.add(r.timeouts);
+        h.backoffs.add(r.backoffs);
+        h.fallbacks.add(r.fallbacks);
+        h.fallback_bytes.add(r.fallback_bytes);
     }
 }
 
@@ -560,16 +669,11 @@ pub fn execute_with_policy<C: Comm + ?Sized>(
         temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
         regs: vec![None; sched.token_regs],
     };
-    let mut rec = Recorder {
-        report: ScheduleReport::default(),
-        tracer,
-        track: Track::Rank(comm.rank()),
-        class: sched.class,
-    };
+    let mut rec = Recorder::new(tracer, Track::Rank(comm.rank()), sched.class);
 
     let start = comm.time_ns();
     let result = run_steps(comm, sched, &mut ctx, &mut rec, policy);
-    rec.report.total_ns = comm.time_ns().saturating_sub(start);
+    rec.finish(comm.time_ns().saturating_sub(start));
 
     // Free scratch even when a step failed mid-run.
     for t in ctx.temps.drain(..) {

@@ -78,16 +78,11 @@ pub async fn execute_polled_with_policy(
         temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
         regs: vec![None; sched.token_regs],
     };
-    let mut rec = Recorder {
-        report: ScheduleReport::default(),
-        tracer,
-        track: Track::Rank(comm.rank()),
-        class: sched.class,
-    };
+    let mut rec = Recorder::new(tracer, Track::Rank(comm.rank()), sched.class);
 
     let start = comm.time_ns();
     let result = run_steps(comm, sched, &mut ctx, &mut rec, policy).await;
-    rec.report.total_ns = comm.time_ns().saturating_sub(start);
+    rec.finish(comm.time_ns().saturating_sub(start));
 
     // Free scratch even when a step failed mid-run.
     for t in ctx.temps.drain(..) {

@@ -167,10 +167,16 @@ fn check_equivalent(pick: usize, var: usize, p: usize, count: usize, root: usize
         "{} var={var} p={p} count={count} root={root}",
         PICK_NAMES[pick]
     );
-    let (run_fast, res_fast) =
+    let (mut run_fast, res_fast) =
         run_team(&arch, p, move |comm| run_pick(comm, pick, var, count, root));
-    let (run_slow, res_slow) =
+    let (mut run_slow, res_slow) =
         run_team_no_fastpath(&arch, p, move |comm| run_pick(comm, pick, var, count, root));
+    // The fast path replaces queue traffic with direct handoffs, so the
+    // queue-mechanics observability counters legitimately differ between
+    // the two runs; the semantic result (timing, payloads, stats) and the
+    // machine-layer metrics must still match bitwise.
+    run_fast.sim = Default::default();
+    run_slow.sim = Default::default();
     assert_eq!(
         run_fast, run_slow,
         "{what}: fast path changed the TeamRun (end_ns {} vs {})",

@@ -69,6 +69,12 @@ pub struct PageLockServer {
     grant: f64,
     /// Peak concurrency ever observed (observability).
     pub peak_concurrency: usize,
+    /// Queue-depth histogram: one sample per arriving pinning request,
+    /// recording the active-set size it joined (observability).
+    pub depth: kacc_metrics::LocalHist,
+    /// Rate recomputations performed (observability): each add/remove
+    /// re-evaluates the shared grant time for the whole active set.
+    pub recaches: u64,
 }
 
 impl PageLockServer {
@@ -84,6 +90,8 @@ impl PageLockServer {
             active_count: 0,
             grant: l_lock_ns + l_pin_ns,
             peak_concurrency: 0,
+            depth: kacc_metrics::LocalHist::default(),
+            recaches: 0,
         }
     }
 
@@ -93,6 +101,7 @@ impl PageLockServer {
 
     /// Refresh the cached count and grant time after a set mutation.
     fn recache(&mut self) {
+        self.recaches += 1;
         self.active_count = self.flows.iter().flatten().count();
         self.grant = self.grant_ns();
     }
@@ -155,6 +164,7 @@ impl PageLockServer {
         self.flows[id] = Some(flow);
         self.recache();
         self.peak_concurrency = self.peak_concurrency.max(self.active());
+        self.depth.record(self.active() as u64);
         FlowId(id)
     }
 
@@ -233,6 +243,9 @@ pub struct MemSys {
     pub bytes_moved: f64,
     /// Peak concurrent flows (observability).
     pub peak_concurrency: usize,
+    /// Rate recomputations performed (observability): each add/remove
+    /// re-evaluates the shared bandwidth split for the active set.
+    pub recaches: u64,
 }
 
 impl MemSys {
@@ -247,6 +260,7 @@ impl MemSys {
             weight_sum: 0.0,
             bytes_moved: 0.0,
             peak_concurrency: 0,
+            recaches: 0,
         }
     }
 
@@ -256,6 +270,7 @@ impl MemSys {
 
     /// Refresh the cached count and weight sum after a set mutation.
     fn recache(&mut self) {
+        self.recaches += 1;
         self.active_count = self.flows.iter().flatten().count();
         self.weight_sum = self.total_weight();
     }

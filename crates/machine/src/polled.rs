@@ -500,6 +500,10 @@ impl PolledComm {
         if len == 0 {
             return Ok(());
         }
+        sim_with_state(move |s: &mut MachineState, _| {
+            s.transport.fallback_ops += 1;
+            s.transport.fallback_bytes += len as u64;
+        });
         let traced = self.tracer.on();
         let peak = self.peak_bw(peer);
         let inter = !self.topo.same_socket(self.local, self.local_of(peer));
@@ -820,6 +824,8 @@ impl PolledComm {
             };
         let key = (1u64 << 32) | tag.0 as u64;
         sim_poll("shm:post", move |s: &mut MachineState, w, _now| {
+            s.transport.shm_ops += 1;
+            s.transport.shm_bytes += len as u64;
             s.mail.deposit(w, to, me, key, arrival, payload.clone());
             Poll::Ready(())
         })
@@ -1209,15 +1215,13 @@ where
     let report = sim.run();
     let trace = capture.map(|(_, buf)| buf.take()).unwrap_or_default();
     let st = report.state;
-    let run = TeamRun {
-        end_ns: report.end_time,
-        finish_ns: report.finish_times.clone(),
-        stats: st.stats.clone(),
-        mem_peak_concurrency: st.mems.iter().map(|m| m.peak_concurrency).collect(),
-        lock_peak_concurrency: st.locks.iter().map(|l| l.peak_concurrency).collect(),
-        mail_pending: st.mail.pending(),
-        events: report.events,
-    };
+    let run = crate::team::finish_team_run(
+        &st,
+        report.end_time,
+        report.finish_times.clone(),
+        report.events,
+        report.metrics,
+    );
     let results = Rc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("rank tasks done"))
         .into_inner();

@@ -498,6 +498,10 @@ impl SimComm {
         if len == 0 {
             return Ok(());
         }
+        self.ctx.with_state(move |s, _| {
+            s.transport.fallback_ops += 1;
+            s.transport.fallback_bytes += len as u64;
+        });
         let traced = self.tracer.on();
         let peak = self.peak_bw(peer);
         let inter = !self.topo.same_socket(self.local, self.local_of(peer));
@@ -787,6 +791,8 @@ impl Comm for SimComm {
         // collides with control messages of the same tag.
         let key = (1u64 << 32) | tag.0 as u64;
         self.ctx.poll("shm:post", move |s, w, _now| {
+            s.transport.shm_ops += 1;
+            s.transport.shm_bytes += len as u64;
             s.mail.deposit(w, to, me, key, arrival, payload.clone());
             Poll::Ready(())
         });

@@ -173,6 +173,21 @@ impl RankStats {
     }
 }
 
+/// Machine-wide per-transport traffic totals (observability). CMA
+/// traffic is accounted per rank in [`RankStats`]; these cover the
+/// shared-memory paths, which have no per-rank home.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Mailbox shared-memory data sends (eager/rendezvous path).
+    pub shm_ops: u64,
+    /// Bytes moved by mailbox shared-memory data sends.
+    pub shm_bytes: u64,
+    /// Two-copy shared-memory fallback transfers (CMA denied/failed).
+    pub fallback_ops: u64,
+    /// Bytes moved by two-copy fallback transfers.
+    pub fallback_bytes: u64,
+}
+
 /// Inter-node fabric state: per-node NIC servers plus the latency model.
 pub struct NetState {
     /// Fabric parameters.
@@ -209,6 +224,8 @@ pub struct MachineState {
     pub net: Option<NetState>,
     /// Per-rank step accounting.
     pub stats: Vec<RankStats>,
+    /// Machine-wide per-transport traffic totals.
+    pub transport: TransportCounters,
     /// Destination for phase spans and lock-server counters. Defaults to
     /// off; the team harness installs a live tracer for traced runs.
     pub tracer: kacc_trace::Tracer,
@@ -275,6 +292,7 @@ impl MachineState {
                 params,
             }),
             stats: vec![RankStats::default(); nranks],
+            transport: TransportCounters::default(),
             tracer: kacc_trace::Tracer::off(),
             fault: kacc_fault::FaultHook::off(),
             arch,

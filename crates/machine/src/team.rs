@@ -1,12 +1,13 @@
 //! Team harness: run one closure per simulated rank and collect results.
 
 use crate::simcomm::SimComm;
-use crate::state::{MachineState, RankStats};
+use crate::state::{MachineState, RankStats, TransportCounters};
 use kacc_fault::FaultHook;
+use kacc_metrics::LocalHist;
 use kacc_model::{ArchProfile, FabricParams};
-use kacc_sim_core::Sim;
+use kacc_sim_core::{Sim, SimRunMetrics};
 use kacc_trace::{Event, Tracer};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Timing and accounting from a completed team run.
 ///
@@ -30,6 +31,21 @@ pub struct TeamRun {
     /// Simulated events the kernel dispatched for this run (fast-path
     /// hand-offs included) — the numerator of the events/sec metric.
     pub events: u64,
+    /// Engine-level run metrics (queue traffic, wake fan-out). Identical
+    /// between the threads and polled engines by construction; `PartialEq`
+    /// on this struct makes the equivalence suite pin that.
+    pub sim: SimRunMetrics,
+    /// Queue-depth histogram merged across every page-lock server: one
+    /// sample per pinning request, recording the active set it joined.
+    pub lock_depth: LocalHist,
+    /// Grant-time recomputations summed across all page-lock servers.
+    pub lock_recaches: u64,
+    /// Rate recomputations summed across all memory systems (node DRAM
+    /// plus fabric egress/ingress links).
+    pub mem_recaches: u64,
+    /// Machine-wide per-transport traffic totals (shm + fallback paths;
+    /// CMA traffic is in [`RankStats`]).
+    pub transport: TransportCounters,
 }
 
 impl TeamRun {
@@ -41,6 +57,88 @@ impl TeamRun {
         }
         total
     }
+}
+
+/// Cached global-registry handles for the machine-layer metrics.
+struct MachineHandles {
+    lock_depth: kacc_metrics::Hist,
+    lock_recaches: kacc_metrics::Counter,
+    mem_recaches: kacc_metrics::Counter,
+    shm_ops: kacc_metrics::Counter,
+    shm_bytes: kacc_metrics::Counter,
+    fallback_ops: kacc_metrics::Counter,
+    fallback_bytes: kacc_metrics::Counter,
+    cma_ops: kacc_metrics::Counter,
+    cma_bytes: kacc_metrics::Counter,
+}
+
+fn machine_handles() -> &'static MachineHandles {
+    static H: OnceLock<MachineHandles> = OnceLock::new();
+    H.get_or_init(|| MachineHandles {
+        lock_depth: kacc_metrics::hist("machine.lock.queue_depth"),
+        lock_recaches: kacc_metrics::counter("machine.lock.recaches"),
+        mem_recaches: kacc_metrics::counter("machine.mem.recaches"),
+        shm_ops: kacc_metrics::counter("machine.transport.shm.ops"),
+        shm_bytes: kacc_metrics::counter("machine.transport.shm.bytes"),
+        fallback_ops: kacc_metrics::counter("machine.transport.fallback.ops"),
+        fallback_bytes: kacc_metrics::counter("machine.transport.fallback.bytes"),
+        cma_ops: kacc_metrics::counter("machine.transport.cma.ops"),
+        cma_bytes: kacc_metrics::counter("machine.transport.cma.bytes"),
+    })
+}
+
+/// Assemble a [`TeamRun`] from the final machine state and flush the
+/// machine-layer metrics into the global registry. Shared by the threads
+/// harness below and the polled harness in [`crate::polled`], so both
+/// engines account identically by construction.
+pub(crate) fn finish_team_run(
+    st: &MachineState,
+    end_ns: u64,
+    finish_ns: Vec<u64>,
+    events: u64,
+    sim: SimRunMetrics,
+) -> TeamRun {
+    let mut lock_depth = LocalHist::default();
+    let mut lock_recaches = 0u64;
+    for l in &st.locks {
+        lock_depth.merge(&l.depth);
+        lock_recaches += l.recaches;
+    }
+    let mut mem_recaches: u64 = st.mems.iter().map(|m| m.recaches).sum();
+    if let Some(net) = &st.net {
+        mem_recaches += net
+            .egress
+            .iter()
+            .chain(net.ingress.iter())
+            .map(|m| m.recaches)
+            .sum::<u64>();
+    }
+    let run = TeamRun {
+        end_ns,
+        finish_ns,
+        stats: st.stats.clone(),
+        mem_peak_concurrency: st.mems.iter().map(|m| m.peak_concurrency).collect(),
+        lock_peak_concurrency: st.locks.iter().map(|l| l.peak_concurrency).collect(),
+        mail_pending: st.mail.pending(),
+        events,
+        sim,
+        lock_depth,
+        lock_recaches,
+        mem_recaches,
+        transport: st.transport,
+    };
+    let h = machine_handles();
+    h.lock_depth.merge_local(&run.lock_depth);
+    h.lock_recaches.add(run.lock_recaches);
+    h.mem_recaches.add(run.mem_recaches);
+    h.shm_ops.add(run.transport.shm_ops);
+    h.shm_bytes.add(run.transport.shm_bytes);
+    h.fallback_ops.add(run.transport.fallback_ops);
+    h.fallback_bytes.add(run.transport.fallback_bytes);
+    let total = run.total_stats();
+    h.cma_ops.add(total.cma_ops);
+    h.cma_bytes.add(total.bytes_read + total.bytes_written);
+    run
 }
 
 /// Run `f` on every rank of a simulated `nranks`-process node and return
@@ -220,15 +318,13 @@ where
     let report = sim.run();
     let trace = capture.map(|(_, buf)| buf.take()).unwrap_or_default();
     let st = report.state;
-    let run = TeamRun {
-        end_ns: report.end_time,
-        finish_ns: report.finish_times.clone(),
-        stats: st.stats.clone(),
-        mem_peak_concurrency: st.mems.iter().map(|m| m.peak_concurrency).collect(),
-        lock_peak_concurrency: st.locks.iter().map(|l| l.peak_concurrency).collect(),
-        mail_pending: st.mail.pending(),
-        events: report.events,
-    };
+    let run = finish_team_run(
+        &st,
+        report.end_time,
+        report.finish_times.clone(),
+        report.events,
+        report.metrics,
+    );
     let results = Arc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("rank closures done"))
         .into_inner()

@@ -1,0 +1,596 @@
+//! Always-on, near-zero-overhead metrics for the kacc workspace.
+//!
+//! Three primitives, all built from commutative atomic updates so that
+//! concurrent recording under any thread interleaving (`repro --jobs N`)
+//! produces bitwise-identical snapshots:
+//!
+//! * [`Counter`] — monotonic `u64` (`fetch_add`).
+//! * [`Gauge`] — high-water-mark gauge (`fetch_max`); only the maximum
+//!   ever observed is kept, because a "current value" gauge would be
+//!   interleaving-dependent.
+//! * [`Hist`] — log₂-bucketed histogram of `u64` samples (virtual-ns
+//!   latencies, sizes, queue depths). Per-bucket counts, the sample sum
+//!   and the sample max are all commutative, so merging shards in any
+//!   order yields the same result exactly — no floating point anywhere.
+//!
+//! [`LocalHist`] is the plain-field twin of [`Hist`] for per-run hot
+//! paths: record into unshared memory, then [`Hist::merge_local`] once at
+//! the end (one `fetch_add` per touched bucket).
+//!
+//! ## Registry and determinism contract
+//!
+//! Handles come from the process-global registry ([`counter`], [`gauge`],
+//! [`hist`]), keyed by name, created on first use. Snapshots
+//! ([`snapshot`]) iterate the registry in name order, so the rendered
+//! JSON/Prometheus output is schema-stable no matter which code path
+//! registered its metrics first. A snapshot is deterministic iff every
+//! recorded value is deterministic — record virtual time and counts, never
+//! wall-clock.
+//!
+//! ## Relation to `kacc-trace`
+//!
+//! `kacc-trace` answers "what happened, when" (opt-in, per-event); this
+//! crate answers "how much, how often" (always-on, aggregated). Both use
+//! the same gating idiom: recording is a relaxed load + branch when
+//! disabled via [`set_enabled`], and the default is **on** — the
+//! aggregation itself is cheap enough to leave running everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Number of histogram buckets: bucket 0 holds the value 0; bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b - 1]`; bucket 64 tops out at `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a sample value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is recording enabled? Metrics are always-on by default; recording
+/// while disabled is a relaxed load and a branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Globally enable or disable recording. Registered metrics keep their
+/// accumulated values; only future records are gated.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Relaxed);
+}
+
+/// Monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// High-water-mark gauge handle: keeps the maximum value ever observed.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Raise the high-water mark to at least `v`.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.0.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Current high-water mark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCells {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCells {
+    fn new() -> HistCells {
+        HistCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared log₂-bucketed histogram handle.
+#[derive(Debug, Clone)]
+pub struct Hist(Arc<HistCells>);
+
+impl Hist {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.0.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+            self.0.sum.fetch_add(v, Relaxed);
+            self.0.max.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Fold a per-run [`LocalHist`] in: one `fetch_add` per touched
+    /// bucket, commutative with any concurrent merge.
+    pub fn merge_local(&self, local: &LocalHist) {
+        if !enabled() || local.count == 0 {
+            return;
+        }
+        for (i, &n) in local.buckets.iter().enumerate() {
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Relaxed);
+            }
+        }
+        self.0.sum.fetch_add(local.sum, Relaxed);
+        self.0.max.fetch_max(local.max, Relaxed);
+    }
+
+    /// Snapshot this histogram's current contents.
+    pub fn load(&self) -> LocalHist {
+        let mut out = LocalHist::default();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            out.buckets[i] = b.load(Relaxed);
+            out.count += out.buckets[i];
+        }
+        out.sum = self.0.sum.load(Relaxed);
+        out.max = self.0.max.load(Relaxed);
+        out
+    }
+}
+
+/// Plain-field histogram for single-owner hot paths; merge into a shared
+/// [`Hist`] (or another `LocalHist`) when done. `PartialEq` compares every
+/// bucket, so determinism suites can pin whole distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalHist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LocalHist {
+    fn default() -> LocalHist {
+        LocalHist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHist {
+    /// Record one sample. The sum wraps at `u64::MAX` (matching the
+    /// shared [`Hist`]'s atomic adds), which stays exact and
+    /// order-invariant modulo 2⁶⁴.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another local histogram in (exact, order-invariant).
+    pub fn merge(&mut self, other: &LocalHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Hist(Hist),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Hist(_) => "hist",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REG: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn get_or_create(name: &str, make: impl FnOnce() -> Metric) -> Metric {
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(m) = map.get(name) {
+        return m.clone();
+    }
+    let m = make();
+    map.insert(name.to_string(), m.clone());
+    m
+}
+
+/// Get or create the named global counter.
+pub fn counter(name: &str) -> Counter {
+    match get_or_create(name, || {
+        Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+    }) {
+        Metric::Counter(c) => c,
+        other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+    }
+}
+
+/// Get or create the named global high-water gauge.
+pub fn gauge(name: &str) -> Gauge {
+    match get_or_create(name, || Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))) {
+        Metric::Gauge(g) => g,
+        other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+    }
+}
+
+/// Get or create the named global histogram.
+pub fn hist(name: &str) -> Hist {
+    match get_or_create(name, || Metric::Hist(Hist(Arc::new(HistCells::new())))) {
+        Metric::Hist(h) => h,
+        other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+    }
+}
+
+/// Zero every registered metric (handles stay valid). Test support: lets
+/// a test observe only its own activity in a shared process.
+pub fn reset() {
+    let map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    for m in map.values() {
+        match m {
+            Metric::Counter(c) => c.0.store(0, Relaxed),
+            Metric::Gauge(g) => g.0.store(0, Relaxed),
+            Metric::Hist(h) => {
+                for b in &h.0.buckets {
+                    b.store(0, Relaxed);
+                }
+                h.0.sum.store(0, Relaxed);
+                h.0.max.store(0, Relaxed);
+            }
+        }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// High-water-mark gauge value.
+    Gauge(u64),
+    /// Histogram contents (boxed: a `LocalHist` is ~540 bytes, far
+    /// larger than the scalar variants).
+    Hist(Box<LocalHist>),
+}
+
+/// A point-in-time copy of every registered metric, in name order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub metrics: Vec<(String, Value)>,
+}
+
+/// Snapshot the global registry. Sorted by metric name, so the rendered
+/// output is schema-stable regardless of registration order.
+pub fn snapshot() -> Snapshot {
+    let map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let metrics = map
+        .iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::Counter(c) => Value::Counter(c.get()),
+                Metric::Gauge(g) => Value::Gauge(g.get()),
+                Metric::Hist(h) => Value::Hist(Box::new(h.load())),
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    Snapshot { metrics }
+}
+
+impl Snapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Render as deterministic JSON: keys in name order, histogram
+    /// buckets as ascending `[index, count]` pairs (non-empty only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"metrics\": {\n");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 < self.metrics.len() { "," } else { "" };
+            match v {
+                Value::Counter(n) => {
+                    s.push_str(&format!(
+                        "    \"{name}\": {{\"type\": \"counter\", \"value\": {n}}}{sep}\n"
+                    ));
+                }
+                Value::Gauge(n) => {
+                    s.push_str(&format!(
+                        "    \"{name}\": {{\"type\": \"gauge\", \"value\": {n}}}{sep}\n"
+                    ));
+                }
+                Value::Hist(h) => {
+                    let buckets: Vec<String> = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(b, n)| format!("[{b}, {n}]"))
+                        .collect();
+                    s.push_str(&format!(
+                        "    \"{name}\": {{\"type\": \"hist\", \"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}{sep}\n",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        buckets.join(", ")
+                    ));
+                }
+            }
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Render as Prometheus-style text exposition. Metric names are
+    /// prefixed `kacc_` and sanitized; histograms emit cumulative
+    /// `_bucket{le=...}` series up to the highest non-empty bucket.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in &self.metrics {
+            let pname = prom_name(name);
+            match v {
+                Value::Counter(n) => {
+                    s.push_str(&format!("# TYPE {pname} counter\n{pname} {n}\n"));
+                }
+                Value::Gauge(n) => {
+                    s.push_str(&format!("# TYPE {pname} gauge\n{pname} {n}\n"));
+                }
+                Value::Hist(h) => {
+                    s.push_str(&format!("# TYPE {pname} histogram\n"));
+                    let top = h
+                        .buckets
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .map_or(0, |i| i + 1)
+                        .min(BUCKETS);
+                    let mut cum = 0u64;
+                    for i in 0..top {
+                        cum += h.buckets[i];
+                        s.push_str(&format!(
+                            "{pname}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_bound(i)
+                        ));
+                    }
+                    s.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    s.push_str(&format!("{pname}_sum {}\n", h.sum));
+                    s.push_str(&format!("{pname}_count {}\n", h.count));
+                }
+            }
+        }
+        s
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::from("kacc_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    /// Tests that record or toggle the global enable flag serialize here
+    /// so the disabled-window test cannot drop another test's records.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bound lands in that bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn local_hist_records_and_merges() {
+        let mut a = LocalHist::default();
+        let mut b = LocalHist::default();
+        for v in [0u64, 1, 5, 1000] {
+            a.record(v);
+        }
+        for v in [7u64, 7, 2] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 7);
+        assert_eq!(ab.sum(), 1022);
+        assert_eq!(ab.max(), 1000);
+        assert!((ab.mean().unwrap() - 1022.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_hist_matches_local() {
+        let _g = guard();
+        let h = hist("test.shared_hist_matches_local");
+        let mut l = LocalHist::default();
+        for v in [3u64, 9, 0, 1 << 40] {
+            h.record(v);
+            l.record(v);
+        }
+        assert_eq!(h.load(), l);
+        let mut extra = LocalHist::default();
+        extra.record(12);
+        h.merge_local(&extra);
+        l.merge(&extra);
+        assert_eq!(h.load(), l);
+    }
+
+    #[test]
+    fn registry_is_get_or_create_and_kind_checked() {
+        let _g = guard();
+        let c1 = counter("test.registry.ctr");
+        let c2 = counter("test.registry.ctr");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3, "same underlying cell");
+        let g = gauge("test.registry.gauge");
+        g.observe(5);
+        g.observe(3);
+        assert_eq!(g.get(), 5, "high-water mark only");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.kindmismatch");
+        let _ = gauge("test.kindmismatch");
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = guard();
+        let c = counter("test.disabled.ctr");
+        set_enabled(false);
+        c.inc();
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_renders_sorted_and_stable() {
+        let _g = guard();
+        // Register out of order; snapshot must sort.
+        let _ = counter("test.render.zzz");
+        let h = hist("test.render.aaa");
+        h.record(3);
+        h.record(300);
+        let snap = snapshot();
+        let names: Vec<&str> = snap
+            .metrics
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("test.render."))
+            .collect();
+        assert_eq!(names, ["test.render.aaa", "test.render.zzz"]);
+        let json = snap.to_json();
+        assert!(json.contains("\"test.render.aaa\": {\"type\": \"hist\""));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("kacc_test_render_aaa_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("kacc_test_render_aaa_sum 303"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the histogram determinism contract: merging is
+//! exact and order-invariant, and no sample is ever lost or duplicated.
+
+use kacc_metrics::{bucket_bound, bucket_index, LocalHist};
+use proptest::prelude::*;
+
+/// Record `values` into shards of the given sizes, then merge the shards
+/// in the order `perm` visits them.
+fn shard_and_merge(values: &[u64], cuts: &[usize], perm: &[usize]) -> LocalHist {
+    let mut shards: Vec<LocalHist> = Vec::new();
+    let mut rest = values;
+    for &c in cuts {
+        let take = c.min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        let mut h = LocalHist::default();
+        for &v in head {
+            h.record(v);
+        }
+        shards.push(h);
+        rest = tail;
+    }
+    let mut last = LocalHist::default();
+    for &v in rest {
+        last.record(v);
+    }
+    shards.push(last);
+
+    let mut out = LocalHist::default();
+    for &i in perm {
+        out.merge(&shards[i % shards.len()]);
+    }
+    // Any shard the permutation skipped still has to be folded in, so the
+    // comparison is over the same sample set; visit the rest in order.
+    let mut seen = vec![false; shards.len()];
+    for &i in perm {
+        seen[i % shards.len()] = true;
+    }
+    for (i, s) in shards.iter().enumerate() {
+        if !seen[i] {
+            out.merge(s);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_order_invariant(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..200),
+        cuts in proptest::collection::vec(0usize..40, 0..6),
+        a in 0usize..720,
+        b in 0usize..720,
+    ) {
+        // Two different visit orders over the same shards; a permutation
+        // is synthesized from the seeds by rotating the index space.
+        let n = cuts.len() + 1;
+        let perm1: Vec<usize> = (0..n).map(|i| (i + a) % n).collect();
+        let perm2: Vec<usize> = (0..n).rev().map(|i| (i + b) % n).collect();
+        let h1 = shard_and_merge(&values, &cuts, &perm1);
+        let h2 = shard_and_merge(&values, &cuts, &perm2);
+        prop_assert_eq!(h1, h2, "merge order changed the histogram");
+    }
+
+    #[test]
+    fn counts_and_sums_are_conserved(
+        values in proptest::collection::vec(0u64..(1u64 << 32), 0..300),
+        cuts in proptest::collection::vec(0usize..50, 0..5),
+    ) {
+        // One big histogram vs sharded-and-merged: identical, and both
+        // conserve the exact sample count and sum.
+        let mut whole = LocalHist::default();
+        for &v in &values {
+            whole.record(v);
+        }
+        let n = cuts.len() + 1;
+        let perm: Vec<usize> = (0..n).collect();
+        let merged = shard_and_merge(&values, &cuts, &perm);
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(whole.count(), values.len() as u64);
+        prop_assert_eq!(whole.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(whole.max(), values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(
+            whole.buckets().iter().sum::<u64>(),
+            values.len() as u64,
+            "every sample lands in exactly one bucket"
+        );
+    }
+
+    #[test]
+    fn samples_land_in_their_bucket(v in 0u64..u64::MAX) {
+        let b = bucket_index(v);
+        prop_assert!(v <= bucket_bound(b), "v {} above bound of bucket {}", v, b);
+        if b > 0 {
+            prop_assert!(v > bucket_bound(b - 1), "v {} not above previous bucket {}", v, b - 1);
+        }
+    }
+}

@@ -88,6 +88,83 @@ pub fn total_fast_handoffs() -> u64 {
     TOTAL_FAST.load(Ordering::Relaxed)
 }
 
+/// Per-run kernel metrics, carried in [`RunReport::metrics`] and flushed
+/// into the `kacc-metrics` global registry when a run completes.
+///
+/// All fields are deterministic functions of the simulated program:
+/// both engines (threads and polled) count the same sites in the shared
+/// kernel code, so the engine-equivalence suites pin them bitwise-equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimRunMetrics {
+    /// Event-queue insert calls (wake pushes, including seeds).
+    pub queue_inserts: u64,
+    /// Inserts dropped by same-epoch later-time coalescing before they
+    /// ever reached the heap.
+    pub queue_coalesce_drops: u64,
+    /// Events popped off the queue (dispatched or discarded as stale).
+    pub queue_pops: u64,
+    /// Peak event-queue length (high-water mark).
+    pub queue_len_hwm: u64,
+    /// `Waker::wake_at` calls that created a pending wake.
+    pub wakes_raw: u64,
+    /// `Waker::wake_at` calls coalesced into an existing same-evaluation
+    /// wake for the same thread (the O(storm²) traffic the indexed queue
+    /// eliminated; still counted to size the storms).
+    pub wakes_coalesced: u64,
+    /// Wake fan-out distribution: one sample per poll evaluation that
+    /// flushed at least one wake (sample = wakes flushed). The fluid
+    /// servers' O(p) re-wake storms live in this histogram's tail.
+    pub wake_fanout: kacc_metrics::LocalHist,
+    /// Events that took the direct-handoff fast path.
+    pub fast_handoffs: u64,
+}
+
+/// Registry handles for the kernel's always-on metrics, created once.
+struct SimHandles {
+    runs: kacc_metrics::Counter,
+    events: kacc_metrics::Counter,
+    fast_handoffs: kacc_metrics::Counter,
+    queue_inserts: kacc_metrics::Counter,
+    queue_coalesce_drops: kacc_metrics::Counter,
+    queue_pops: kacc_metrics::Counter,
+    queue_len_hwm: kacc_metrics::Gauge,
+    wakes_raw: kacc_metrics::Counter,
+    wakes_coalesced: kacc_metrics::Counter,
+    wake_fanout: kacc_metrics::Hist,
+}
+
+fn sim_handles() -> &'static SimHandles {
+    static H: OnceLock<SimHandles> = OnceLock::new();
+    H.get_or_init(|| SimHandles {
+        runs: kacc_metrics::counter("sim.runs"),
+        events: kacc_metrics::counter("sim.events"),
+        fast_handoffs: kacc_metrics::counter("sim.fast_handoffs"),
+        queue_inserts: kacc_metrics::counter("sim.queue.inserts"),
+        queue_coalesce_drops: kacc_metrics::counter("sim.queue.coalesce_drops"),
+        queue_pops: kacc_metrics::counter("sim.queue.pops"),
+        queue_len_hwm: kacc_metrics::gauge("sim.queue.len.hwm"),
+        wakes_raw: kacc_metrics::counter("sim.wakes.raw"),
+        wakes_coalesced: kacc_metrics::counter("sim.wakes.coalesced"),
+        wake_fanout: kacc_metrics::hist("sim.wake.fanout"),
+    })
+}
+
+/// Flush one completed run's kernel metrics into the global registry.
+/// Shared by both engines so they publish identically by construction.
+pub(crate) fn flush_run_metrics(m: &SimRunMetrics, events: u64) {
+    let h = sim_handles();
+    h.runs.inc();
+    h.events.add(events);
+    h.fast_handoffs.add(m.fast_handoffs);
+    h.queue_inserts.add(m.queue_inserts);
+    h.queue_coalesce_drops.add(m.queue_coalesce_drops);
+    h.queue_pops.add(m.queue_pops);
+    h.queue_len_hwm.observe(m.queue_len_hwm);
+    h.wakes_raw.add(m.wakes_raw);
+    h.wakes_coalesced.add(m.wakes_coalesced);
+    h.wake_fanout.merge_local(&m.wake_fanout);
+}
+
 /// Result of one evaluation of a [`Ctx::poll`] closure.
 pub enum Poll<T> {
     /// The operation completed with this value.
@@ -114,6 +191,10 @@ pub struct Waker {
     /// O(storm) per evaluation where the old linear scan cost O(storm²).
     slots: Vec<(u64, u32)>,
     gen: u64,
+    /// Wakes that created a pending entry this evaluation.
+    raw: u64,
+    /// Wakes coalesced into an existing entry this evaluation.
+    coalesced: u64,
 }
 
 impl Waker {
@@ -133,9 +214,11 @@ impl Waker {
         if g == self.gen {
             let slot = &mut self.pending[i as usize].1;
             *slot = (*slot).min(at);
+            self.coalesced += 1;
         } else {
             self.slots[tid] = (self.gen, self.pending.len() as u32);
             self.pending.push((tid, at));
+            self.raw += 1;
         }
     }
 }
@@ -161,6 +244,14 @@ struct EventQueue {
     pos: Vec<usize>,
     /// `key[tid]` = (time, seq, epoch); valid while `pos[tid] != 0`.
     key: Vec<(SimTime, u64, u64)>,
+    /// Insert calls (metrics).
+    inserts: u64,
+    /// Inserts dropped by same-epoch later-time coalescing (metrics).
+    coalesce_drops: u64,
+    /// Pop calls that returned an event (metrics).
+    pops: u64,
+    /// Peak heap length (metrics).
+    len_hwm: usize,
 }
 
 impl EventQueue {
@@ -169,6 +260,10 @@ impl EventQueue {
             heap: Vec::with_capacity(nthreads),
             pos: vec![0; nthreads],
             key: vec![(0, 0, 0); nthreads],
+            inserts: 0,
+            coalesce_drops: 0,
+            pops: 0,
+            len_hwm: 0,
         }
     }
 
@@ -223,6 +318,7 @@ impl EventQueue {
     /// coalesce/decrease-key/replace rules; all three preserve the exact
     /// dispatch order the duplicate-tolerant heap produced.
     fn insert(&mut self, tid: usize, t: SimTime, seq: u64, epoch: u64) {
+        self.inserts += 1;
         if self.pos[tid] != 0 {
             let (ct, _cs, ce) = self.key[tid];
             if ce == epoch && t >= ct {
@@ -230,6 +326,7 @@ impl EventQueue {
                 // existing earlier wake dispatches first and the thread
                 // re-parks with a new epoch, so this one could only ever
                 // be popped as stale. Drop it now.
+                self.coalesce_drops += 1;
                 return;
             }
             self.key[tid] = (t, seq, epoch);
@@ -241,6 +338,7 @@ impl EventQueue {
             self.key[tid] = (t, seq, epoch);
             self.heap.push(tid);
             self.pos[tid] = self.heap.len();
+            self.len_hwm = self.len_hwm.max(self.heap.len());
             self.sift_up(self.heap.len() - 1);
         }
     }
@@ -255,6 +353,7 @@ impl EventQueue {
 
     fn pop(&mut self) -> Option<(SimTime, u64, usize, u64)> {
         let &tid = self.heap.first()?;
+        self.pops += 1;
         let (t, s, e) = self.key[tid];
         let last = self.heap.pop().expect("nonempty");
         self.pos[tid] = 0;
@@ -315,9 +414,27 @@ struct KernelState<S> {
     /// Direct-handoff fast path enabled (default); disable via
     /// [`Sim::set_fast_path`] to force every wake through the queue.
     fast_path: bool,
+    /// Wake-side metrics (raw/coalesced wakes, fan-out); queue-side
+    /// counters live inside `queue` and are folded in at run end by
+    /// [`KernelState::run_metrics`].
+    metrics: SimRunMetrics,
     /// Destination for scheduler-dispatch instant events; `Tracer::off()`
     /// unless tracing was requested.
     tracer: Tracer,
+}
+
+impl<S> KernelState<S> {
+    /// Assemble the completed run's metrics from the wake-side
+    /// accumulator and the queue's own counters.
+    fn run_metrics(&self) -> SimRunMetrics {
+        let mut m = self.metrics.clone();
+        m.queue_inserts = self.queue.inserts;
+        m.queue_coalesce_drops = self.queue.coalesce_drops;
+        m.queue_pops = self.queue.pops;
+        m.queue_len_hwm = self.queue.len_hwm as u64;
+        m.fast_handoffs = self.fast_handoffs;
+        m
+    }
 }
 
 struct Kernel<S> {
@@ -468,6 +585,8 @@ impl<S: Send + 'static> Ctx<S> {
                 pending: std::mem::take(&mut st.wake_buf),
                 slots: std::mem::take(&mut st.wake_slots),
                 gen: st.wake_gen,
+                raw: 0,
+                coalesced: 0,
             };
             let outcome = f(&mut st.user, &mut waker, now);
             // Apply wakes requested for other threads: bump-free — they
@@ -475,6 +594,11 @@ impl<S: Send + 'static> Ctx<S> {
             for &(tid, at) in &waker.pending {
                 let epoch = st.threads[tid].epoch;
                 Kernel::push_event(st, at, tid, epoch);
+            }
+            st.metrics.wakes_raw += waker.raw;
+            st.metrics.wakes_coalesced += waker.coalesced;
+            if !waker.pending.is_empty() {
+                st.metrics.wake_fanout.record(waker.pending.len() as u64);
             }
             waker.pending.clear();
             st.wake_buf = waker.pending;
@@ -660,6 +784,10 @@ pub struct RunReport<S> {
     pub finish_times: Vec<SimTime>,
     /// Simulated events dispatched over the whole run.
     pub events: u64,
+    /// Kernel metrics for this run (queue traffic, wake fan-out, …) —
+    /// deterministic and engine-independent; also flushed into the
+    /// `kacc-metrics` global registry.
+    pub metrics: SimRunMetrics,
     /// Dispatch trace, when enabled with [`Sim::enable_trace`]. Empty when
     /// an external tracer was installed with [`Sim::set_tracer`] instead
     /// (events flow to that tracer's sink).
@@ -754,6 +882,7 @@ impl<S: Send + 'static> Sim<S> {
                 wake_slots: Vec::new(),
                 wake_gen: 0,
                 fast_path: self.fast_path,
+                metrics: SimRunMetrics::default(),
                 tracer: self.tracer.clone(),
             }),
             cvs: (0..=n).map(|_| Condvar::new()).collect(),
@@ -799,9 +928,12 @@ impl<S: Send + 'static> Sim<S> {
         }
         TOTAL_EVENTS.fetch_add(st.dispatches, Ordering::Relaxed);
         TOTAL_FAST.fetch_add(st.fast_handoffs, Ordering::Relaxed);
+        let metrics = st.run_metrics();
+        flush_run_metrics(&metrics, st.dispatches);
         RunReport {
             end_time: st.now,
             events: st.dispatches,
+            metrics,
             finish_times: st
                 .threads
                 .iter()

@@ -41,8 +41,8 @@
 //! ```
 
 use crate::{
-    EventQueue, Kernel, KernelState, Poll, RunReport, SharedBuffer, SimTime, ThreadPhase,
-    ThreadSlot, Tracer, Waker, TOTAL_EVENTS, TOTAL_FAST,
+    flush_run_metrics, EventQueue, Kernel, KernelState, Poll, RunReport, SharedBuffer,
+    SimRunMetrics, SimTime, ThreadPhase, ThreadSlot, Tracer, Waker, TOTAL_EVENTS, TOTAL_FAST,
 };
 use kacc_trace::Track;
 use std::any::Any;
@@ -156,11 +156,18 @@ impl<S: 'static> PolledShared<S> {
             pending: std::mem::take(&mut st.wake_buf),
             slots: std::mem::take(&mut st.wake_slots),
             gen: st.wake_gen,
+            raw: 0,
+            coalesced: 0,
         };
         let outcome = f(&mut st.user, &mut waker, now);
         for &(tid, at) in &waker.pending {
             let epoch = st.threads[tid].epoch;
             Kernel::push_event(st, at, tid, epoch);
+        }
+        st.metrics.wakes_raw += waker.raw;
+        st.metrics.wakes_coalesced += waker.coalesced;
+        if !waker.pending.is_empty() {
+            st.metrics.wake_fanout.record(waker.pending.len() as u64);
         }
         waker.pending.clear();
         st.wake_buf = waker.pending;
@@ -436,6 +443,7 @@ impl<S: 'static> PolledSim<S> {
                 wake_slots: Vec::new(),
                 wake_gen: 0,
                 fast_path: self.fast_path,
+                metrics: SimRunMetrics::default(),
                 tracer: self.tracer.clone(),
             }),
             pending: Cell::new(None),
@@ -596,9 +604,12 @@ impl<S: 'static> PolledSim<S> {
         }
         TOTAL_EVENTS.fetch_add(st.dispatches, Ordering::Relaxed);
         TOTAL_FAST.fetch_add(st.fast_handoffs, Ordering::Relaxed);
+        let metrics = st.run_metrics();
+        flush_run_metrics(&metrics, st.dispatches);
         RunReport {
             end_time: st.now,
             events: st.dispatches,
+            metrics,
             finish_times: st
                 .threads
                 .iter()

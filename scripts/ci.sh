@@ -60,14 +60,29 @@ cargo run --release -q -p kacc-bench --bin repro -- --quick --jobs 1 --engine po
 diff "$threads_tmp" "$polled_tmp"
 rm -f "$threads_tmp" "$polled_tmp"
 
+echo "== metrics snapshot determinism (--jobs 1 vs 4, both engines) =="
+cargo test -q --release -p kacc-bench --test metrics_determinism
+
+echo "== perf-regression gate (bench-regress vs committed baseline) =="
+# Hard-fails (exit 1) on any event-count or metric drift from the
+# committed BENCH_PR7.json; wall-clock drift only warns (machines vary).
+# Refresh the baseline after an intentional behavior change via
+#   cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR7.json
+cargo run --release -q -p kacc-bench --bin bench-regress -- \
+  --baseline BENCH_PR7.json --out /tmp/bench-regress-verdict.json
+cat /tmp/bench-regress-verdict.json
+
 echo "== bench metrics snapshot (both engines) =="
 # Quick-scale events/sec + wall-clock snapshot, including the p=64
-# one-to-all probe (the PR-4 acceptance metric), on each engine. Kept out
-# of git status noise: CI uploads them; refresh the committed
+# one-to-all probe (the PR-4 acceptance metric) and wake-storm
+# diagnostics, on each engine, plus the always-on metrics registry dump.
+# Kept out of git status noise: CI uploads them; refresh the committed
 # BENCH_PR6.json with full runs via
 #   cargo run --release -p kacc-bench --bin repro -- --bench-out ... fig10 table6
-cargo run --release -q -p kacc-bench --bin repro -- --quick --bench-out /tmp/BENCH_threads.json all >/dev/null
-cargo run --release -q -p kacc-bench --bin repro -- --quick --engine polled --bench-out /tmp/BENCH_polled.json all >/dev/null
+cargo run --release -q -p kacc-bench --bin repro -- --quick --bench-out /tmp/BENCH_threads.json --metrics-out /tmp/METRICS_threads.json all >/dev/null
+cargo run --release -q -p kacc-bench --bin repro -- --quick --engine polled --bench-out /tmp/BENCH_polled.json --metrics-out /tmp/METRICS_polled.json all >/dev/null
+# The registry dump must be engine-invariant, byte for byte.
+cmp /tmp/METRICS_threads.json /tmp/METRICS_polled.json
 cat /tmp/BENCH_threads.json /tmp/BENCH_polled.json
 
 echo "CI gates all green."
