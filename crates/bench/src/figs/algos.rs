@@ -266,6 +266,7 @@ pub fn fig12(quick: bool) -> Vec<Chart> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

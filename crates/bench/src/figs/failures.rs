@@ -1,0 +1,220 @@
+//! Robustness artifact: completion time of the survivable collectives
+//! as a function of the number of ranks silently killed mid-plan.
+//!
+//! Each point is one deterministic simulated run: the team starts the
+//! collective under a seeded silent-kill fault plan (`ESRCH` on every
+//! transport op of the victim from its kill point on), survivors detect
+//! the deaths via liveness timeouts, agree on the dead set, shrink, and
+//! re-execute over the survivor group. The reported latency is the
+//! virtual time at which the last rank finished — including detection
+//! stalls, the agreement rounds, backoff, and the re-execution — so the
+//! chart is the paper-style "cost of a failure" curve. Runs are
+//! dispatched on the engine selected with `--engine` and are
+//! bitwise-identical across engines and `--jobs` values.
+
+use crate::measure::{engine, Engine};
+use crate::render::{Chart, Series};
+use kacc_collectives::{
+    run_survivable, run_survivable_polled, AllgatherAlgo, AlltoallAlgo, BcastAlgo, Dtype,
+    GatherAlgo, RecoveryPolicy, ReduceAlgo, ReduceOp, ScatterAlgo, SurvivableOp,
+};
+use kacc_comm::{Comm, CommExt};
+use kacc_fault::{FaultHook, FaultKind, FaultPlan, FaultRule};
+use kacc_machine::{run_polled_team_faulty, run_team_faulty, PolledComm, SimComm};
+use kacc_model::ArchProfile;
+
+const US: f64 = 1000.0;
+const SEED: u64 = 0xC0FFEE;
+
+/// The six survivable entry points, with the same algorithm picks the
+/// chaos suites pin.
+fn ops(count: usize, root: usize) -> Vec<(&'static str, SurvivableOp)> {
+    vec![
+        (
+            "Scatter (throttled k=2)",
+            SurvivableOp::Scatter {
+                algo: ScatterAlgo::ThrottledRead { k: 2 },
+                count,
+                root,
+            },
+        ),
+        (
+            "Gather (parallel write)",
+            SurvivableOp::Gather {
+                algo: GatherAlgo::ParallelWrite,
+                count,
+                root,
+            },
+        ),
+        (
+            "Bcast (2-nomial)",
+            SurvivableOp::Bcast {
+                algo: BcastAlgo::KNomial { radix: 2 },
+                count,
+                root,
+            },
+        ),
+        (
+            "Allgather (Bruck)",
+            SurvivableOp::Allgather {
+                algo: AllgatherAlgo::Bruck,
+                count,
+            },
+        ),
+        (
+            "Alltoall (pairwise)",
+            SurvivableOp::Alltoall {
+                algo: AlltoallAlgo::Pairwise,
+                count,
+            },
+        ),
+        (
+            "Reduce (2-nomial sum)",
+            SurvivableOp::Reduce {
+                algo: ReduceAlgo::KNomialTree { radix: 2 },
+                count,
+                dtype: Dtype::U64,
+                op: ReduceOp::Sum,
+                root,
+            },
+        ),
+    ]
+}
+
+/// Ranks killed (with their per-rank op-stream kill points) for each
+/// failure count. Victims avoid the root so survivors can recover.
+fn kills(failures: usize, p: usize) -> Vec<(usize, u64)> {
+    match failures {
+        0 => vec![],
+        1 => vec![(p - 3, 3)],
+        _ => vec![(p / 2, 2), (p - 1, 5)],
+    }
+}
+
+fn kill_hook(kills: &[(usize, u64)]) -> FaultHook {
+    let mut plan = FaultPlan::new(SEED);
+    for &(d, after) in kills {
+        plan = plan.rule(
+            FaultRule::new(FaultKind::Transient { errno: 3 }, 1.0)
+                .ranks_mask(&[d])
+                .after(after),
+        );
+    }
+    plan.hook()
+}
+
+/// Virtual completion time (last rank done, ns) of one survivable run
+/// on the selected engine. Per-rank errors on killed ranks are expected
+/// and ignored; the end time covers every rank's exit.
+fn survivable_end_ns(
+    arch: &ArchProfile,
+    p: usize,
+    op: SurvivableOp,
+    dead: Vec<(usize, u64)>,
+) -> u64 {
+    let root = op.root().unwrap_or(0);
+    let count = op.count();
+    match engine() {
+        Engine::Threads => {
+            let (run, _) = run_team_faulty(arch, p, kill_hook(&dead), move |comm: &mut SimComm| {
+                let me = comm.rank();
+                let sb = comm.alloc_with(&vec![me as u8; p * count]);
+                let rb = comm.alloc(p * count);
+                let (s, r) = bindings(op, me, root, sb, rb);
+                let _ = run_survivable(comm, &op, s, r, &RecoveryPolicy::survivable());
+            });
+            run.end_ns
+        }
+        Engine::Polled => {
+            let (run, _) =
+                run_polled_team_faulty(arch, p, kill_hook(&dead), move |rank| async move {
+                    let mut comm = PolledComm::new(rank);
+                    let sb = comm
+                        .alloc_with(&vec![rank as u8; p * count])
+                        .expect("alloc");
+                    let rb = comm.alloc(p * count);
+                    let (s, r) = bindings(op, rank, root, sb, rb);
+                    let _ =
+                        run_survivable_polled(&mut comm, &op, s, r, &RecoveryPolicy::survivable())
+                            .await;
+                });
+            run.end_ns
+        }
+    }
+}
+
+/// Parent-sized buffer bindings per op shape (both buffers are always
+/// allocated; this only picks which are passed).
+fn bindings(
+    op: SurvivableOp,
+    me: usize,
+    root: usize,
+    sb: kacc_comm::BufId,
+    rb: kacc_comm::BufId,
+) -> (Option<kacc_comm::BufId>, Option<kacc_comm::BufId>) {
+    match op {
+        SurvivableOp::Scatter { .. } => ((me == root).then_some(sb), Some(rb)),
+        SurvivableOp::Gather { .. } => (Some(sb), (me == root).then_some(rb)),
+        SurvivableOp::Bcast { .. } => (Some(sb), None),
+        SurvivableOp::Allgather { .. } | SurvivableOp::Alltoall { .. } => (Some(sb), Some(rb)),
+        SurvivableOp::Reduce { .. } => (Some(sb), (me == root).then_some(rb)),
+    }
+}
+
+/// Completion time vs injected failures for every survivable
+/// collective: the PR-8 shrink-and-re-execute cost curve.
+pub fn fig_failures(quick: bool) -> Vec<Chart> {
+    let arch = ArchProfile::broadwell();
+    let p = if quick { 8 } else { 16 };
+    let count = if quick { 4 << 10 } else { 32 << 10 };
+    let root = 0;
+    let failure_counts: Vec<usize> = vec![0, 1, 2];
+    let mut c = Chart::new(
+        "failures",
+        format!(
+            "Survivable collectives: completion time vs injected rank failures, {} ({p} processes, seed {SEED:#x})",
+            arch.name
+        ),
+        "Ranks killed mid-collective",
+        "Completion latency (us)",
+    );
+    for (label, op) in ops(count, root) {
+        let ys: Vec<f64> = failure_counts
+            .iter()
+            .map(|&k| survivable_end_ns(&arch, p, op, kills(k, p)) as f64 / US)
+            .collect();
+        c.series.push(Series::new(label, &failure_counts, &ys));
+    }
+    c.notes.push(
+        "each failure adds a detection stall (liveness timeout), two agreement \
+         rounds, and a full re-execution over the survivors"
+            .into(),
+    );
+    vec![c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_chart_is_monotone_and_deterministic() {
+        let a = fig_failures(true);
+        let b = fig_failures(true);
+        assert_eq!(a.len(), 1);
+        for (sa, sb) in a[0].series.iter().zip(&b[0].series) {
+            assert_eq!(sa.points, sb.points, "{}: not deterministic", sa.label);
+            // Recovery is never free: every injected failure strictly
+            // lengthens the run.
+            for w in sa.points.windows(2) {
+                assert!(
+                    w[1].1 > w[0].1,
+                    "{}: completion time not increasing with failures ({} -> {})",
+                    sa.label,
+                    w[0].1,
+                    w[1].1
+                );
+            }
+        }
+    }
+}

@@ -233,7 +233,7 @@ fn speedup_table(id: &str, quick: bool, largest_only: bool) -> Vec<Chart> {
                         } else {
                             crate::size_sweep()
                         };
-                        vec![*all.last().unwrap()]
+                        vec![*all.last().expect("size sweeps are non-empty")]
                     } else if quick {
                         vec![16 << 10, 256 << 10]
                     } else if heavy(coll) {
@@ -258,6 +258,7 @@ fn speedup_table(id: &str, quick: bool, largest_only: bool) -> Vec<Chart> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -408,6 +408,7 @@ pub fn table5(_quick: bool) -> Vec<Chart> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

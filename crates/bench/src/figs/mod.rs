@@ -6,8 +6,11 @@
 //! * [`algos`] — Figs 7–12 (algorithm comparisons and model validation).
 //! * [`libs`] — Figs 13–18 and Tables VI–VII (library comparisons and
 //!   multi-node scaling).
+//! * [`failures`] — the PR-8 robustness study: completion time of the
+//!   survivable collectives vs injected rank failures.
 
 pub mod algos;
+pub mod failures;
 pub mod libs;
 pub mod micro;
 
@@ -42,6 +45,7 @@ pub fn registry() -> Vec<(&'static str, ArtifactFn)> {
         ("fig16", libs::fig16),
         ("fig17", libs::fig17),
         ("fig18", libs::fig18),
+        ("failures", failures::fig_failures),
         ("breakdown", crate::tracedemo::breakdown),
     ]
 }

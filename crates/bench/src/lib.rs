@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation from the simulator (plus the Fig 1 motivation data from a

@@ -20,6 +20,67 @@ use kacc_trace::{Event, EventKind, Tracer, Track};
 use crate::reduce::combine;
 use crate::schedule::{Payload, RecvInto, Schedule, Slot, Step};
 
+/// Liveness-watchdog and shrink parameters of the membership layer:
+/// turns silent peer death into the typed [`CommError::PeerDead`] and
+/// governs the shrink-and-re-execute loop in [`crate::membership`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipPolicy {
+    /// Arm the liveness watchdog: blocking receives are bounded by
+    /// `liveness_timeout_ns` (unless `step_timeout_ns` already bounds
+    /// them), and an expired wait or transport `ESRCH` on a step with an
+    /// identifiable peer becomes [`CommError::PeerDead`] naming that
+    /// peer.
+    pub watch: bool,
+    /// Per-attempt liveness deadline for blocking receives, in
+    /// nanoseconds (virtual under simulation). Ignored while `watch` is
+    /// off or `step_timeout_ns` sets a deadline of its own.
+    pub liveness_timeout_ns: u64,
+    /// Most shrink-and-re-execute rounds the survivable driver attempts
+    /// before surfacing the last typed error. Capped at 15 by the
+    /// epoch re-tagging scheme (one hex nibble of the sub-tag).
+    pub max_shrinks: u32,
+    /// Pause between agreeing on a shrink and re-executing over the
+    /// survivors, charged through [`Comm::sleep_ns`] so it is virtual
+    /// time under simulation.
+    pub restart_backoff_ns: u64,
+    /// Record suspicions and *skip* the failing step instead of aborting
+    /// on the first suspected peer. Only the agreement collective runs
+    /// tolerant: it must complete over the survivors no matter who died.
+    pub tolerant: bool,
+}
+
+impl MembershipPolicy {
+    /// Watchdog off — executions behave exactly as they did before the
+    /// membership layer existed. This is the `Default`, so existing
+    /// policies are unchanged.
+    pub fn disabled() -> MembershipPolicy {
+        MembershipPolicy {
+            watch: false,
+            liveness_timeout_ns: 0,
+            max_shrinks: 0,
+            restart_backoff_ns: 0,
+            tolerant: false,
+        }
+    }
+
+    /// Watchdog armed with the defaults the survivable drivers use.
+    pub fn survivable() -> MembershipPolicy {
+        MembershipPolicy {
+            watch: true,
+            liveness_timeout_ns: 200_000,
+            max_shrinks: 8,
+            restart_backoff_ns: 10_000,
+            tolerant: false,
+        }
+    }
+}
+
+impl Default for MembershipPolicy {
+    fn default() -> MembershipPolicy {
+        MembershipPolicy::disabled()
+    }
+}
+
 /// How the executor reacts to faults surfaced by the transport.
 ///
 /// The default policy retries transient errors a few times with
@@ -45,6 +106,8 @@ pub struct RecoveryPolicy {
     /// silent hang into a typed [`CommError::Timeout`]. `None` blocks
     /// forever, exactly as the transports do natively.
     pub step_timeout_ns: Option<u64>,
+    /// Liveness watchdog and shrink parameters (off by default).
+    pub membership: MembershipPolicy,
 }
 
 impl Default for RecoveryPolicy {
@@ -54,6 +117,7 @@ impl Default for RecoveryPolicy {
             backoff_ns: 1_000,
             cma_fallback: true,
             step_timeout_ns: None,
+            membership: MembershipPolicy::disabled(),
         }
     }
 }
@@ -67,6 +131,16 @@ impl RecoveryPolicy {
             backoff_ns: 0,
             cma_fallback: false,
             step_timeout_ns: None,
+            membership: MembershipPolicy::disabled(),
+        }
+    }
+
+    /// The default recovery ladder with the liveness watchdog armed
+    /// ([`MembershipPolicy::survivable`]).
+    pub fn survivable() -> RecoveryPolicy {
+        RecoveryPolicy {
+            membership: MembershipPolicy::survivable(),
+            ..RecoveryPolicy::default()
         }
     }
 }
@@ -101,12 +175,26 @@ pub struct RecoveryReport {
     pub fallback_bytes: u64,
     /// Time spent inside the fallback transfers.
     pub fallback_ns: u64,
+    /// Peers the liveness watchdog suspected dead.
+    pub suspects: u64,
+    /// Time spent inside the attempts that raised those suspicions.
+    pub suspect_ns: u64,
+    /// Bitmask of suspected ranks, bit `rank & 63` per suspicion (ranks
+    /// are parent-communicator numbers; the executor enforces `p <= 64`
+    /// only in the membership driver, so the mask wraps above 64).
+    pub suspect_mask: u64,
 }
 
 impl RecoveryReport {
     /// True when no recovery action fired (the execution was fault-free).
     pub fn is_clean(&self) -> bool {
         *self == RecoveryReport::default()
+    }
+
+    /// Alias of [`RecoveryReport::is_clean`] named for the survivable
+    /// API: a fault-free survivable run reports an *empty* recovery.
+    pub fn is_empty(&self) -> bool {
+        self.is_clean()
     }
 
     /// Fold one recovery span into the counters; returns false for span
@@ -138,6 +226,12 @@ impl RecoveryReport {
                 self.fallbacks += 1;
                 self.fallback_bytes += bytes;
                 self.fallback_ns += dt;
+            }
+            // The suspected rank travels in the span's bytes field.
+            "membership:suspect" => {
+                self.suspects += 1;
+                self.suspect_ns += dt;
+                self.suspect_mask |= 1u64 << (bytes & 63);
             }
             _ => return false,
         }
@@ -263,6 +357,7 @@ struct CollHandles {
     backoffs: kacc_metrics::Counter,
     fallbacks: kacc_metrics::Counter,
     fallback_bytes: kacc_metrics::Counter,
+    suspects: kacc_metrics::Counter,
 }
 
 fn coll_handles() -> &'static CollHandles {
@@ -288,6 +383,7 @@ fn coll_handles() -> &'static CollHandles {
         backoffs: kacc_metrics::counter("coll.recovery.backoffs"),
         fallbacks: kacc_metrics::counter("coll.recovery.fallbacks"),
         fallback_bytes: kacc_metrics::counter("coll.recovery.fallback_bytes"),
+        suspects: kacc_metrics::counter("coll.recovery.suspects"),
     })
 }
 
@@ -369,6 +465,7 @@ impl<'t> Recorder<'t> {
         h.backoffs.add(r.backoffs);
         h.fallbacks.add(r.fallbacks);
         h.fallback_bytes.add(r.fallback_bytes);
+        h.suspects.add(r.suspects);
     }
 }
 
@@ -698,6 +795,46 @@ pub(crate) fn is_transient(e: &CommError) -> bool {
     }
 }
 
+/// True for errors the liveness watchdog attributes to peer death: an
+/// expired bounded wait, the transport's `ESRCH`, or an already-typed
+/// peer-death report.
+pub(crate) fn is_suspect_error(e: &CommError) -> bool {
+    matches!(
+        e,
+        CommError::Timeout { .. } | CommError::Os(ESRCH) | CommError::PeerDead(_)
+    )
+}
+
+/// The deadline a blocking receive runs under: the explicit step timeout
+/// when set, else the membership liveness deadline when the watchdog is
+/// armed, else unbounded.
+pub(crate) fn recv_deadline_ns(policy: &RecoveryPolicy) -> Option<u64> {
+    policy.step_timeout_ns.or_else(|| {
+        policy
+            .membership
+            .watch
+            .then_some(policy.membership.liveness_timeout_ns)
+    })
+}
+
+/// The remote rank a step communicates with, when one is identifiable —
+/// the suspect the watchdog charges a failure of this step to. CMA
+/// transfers resolve their peer through the token register, which is
+/// filled by the time the transfer can fail; steps with no peer (local
+/// copies, reductions, exposes) return `None`.
+pub(crate) fn step_peer(step: &Step, ctx: &Ctx<'_>) -> Option<usize> {
+    match step {
+        Step::CtrlSend { to, .. } | Step::Notify { to, .. } | Step::ShmSend { to, .. } => Some(*to),
+        Step::CtrlRecv { from, .. }
+        | Step::WaitNotify { from, .. }
+        | Step::ShmRecv { from, .. } => Some(*from),
+        Step::CmaRead { token, .. } | Step::CmaWrite { token, .. } => {
+            ctx.token(*token).ok().map(|t| t.rank as usize)
+        }
+        Step::Expose { .. } | Step::CopyLocal { .. } | Step::Reduce { .. } => None,
+    }
+}
+
 /// Sleep the policy's exponential backoff for the `attempt`-th
 /// consecutive failure (1-based), charging it on the transport's clock.
 fn backoff<C: Comm + ?Sized>(
@@ -845,7 +982,7 @@ fn fallback_or<C: Comm + ?Sized>(
     local_off: usize,
     len: usize,
 ) -> Result<()> {
-    let peer_dead = matches!(orig, CommError::Os(code) if code == ESRCH);
+    let peer_dead = matches!(orig, CommError::Os(ESRCH) | CommError::PeerDead(_));
     if !policy.cma_fallback || peer_dead {
         return Err(orig);
     }
@@ -884,7 +1021,7 @@ fn recovered_ctrl_recv<C: Comm + ?Sized>(
     let mut attempts = 0u32;
     loop {
         let t0 = comm.time_ns();
-        let r = match policy.step_timeout_ns {
+        let r = match recv_deadline_ns(policy) {
             Some(ns) => match comm.ctrl_recv_deadline(from, tag, ns) {
                 Ok(Some(body)) => Ok(body),
                 Ok(None) => Err(CommError::Timeout { waited_ns: ns }),
@@ -930,7 +1067,7 @@ fn recovered_shm_recv<C: Comm + ?Sized>(
     let mut attempts = 0u32;
     loop {
         let t0 = comm.time_ns();
-        let r = match policy.step_timeout_ns {
+        let r = match recv_deadline_ns(policy) {
             Some(ns) => match comm.shm_recv_deadline(from, tag, dst, off, len, ns) {
                 Ok(true) => Ok(()),
                 Ok(false) => Err(CommError::Timeout { waited_ns: ns }),
@@ -960,6 +1097,12 @@ fn recovered_shm_recv<C: Comm + ?Sized>(
     }
 }
 
+/// Run every step, interposing the liveness watchdog: when the policy's
+/// membership watch is armed and a step with an identifiable peer dies
+/// with a suspect error (timeout, `ESRCH`), the failure is recorded as
+/// a `membership:suspect` span and either converted to the typed
+/// [`CommError::PeerDead`] or — under a tolerant policy — the step is
+/// skipped so the rest of the schedule still runs.
 fn run_steps<C: Comm + ?Sized>(
     comm: &mut C,
     sched: &Schedule,
@@ -969,130 +1112,156 @@ fn run_steps<C: Comm + ?Sized>(
 ) -> Result<()> {
     for step in &sched.steps {
         let t0 = comm.time_ns();
-        match step {
-            Step::Expose { slot, reg } => {
-                let buf = ctx.slot(*slot)?;
-                let token = retry_transient(comm, rec, policy, |c| c.expose(buf))?;
-                ctx.set_token(*reg, token)?;
-                rec.add(StepKind::Expose, 0, t0, comm.time_ns());
-            }
-            Step::CmaRead {
-                token,
-                remote_off,
-                dst,
-                dst_off,
-                len,
-            } => {
-                let t = ctx.token(*token)?;
-                let dst = ctx.slot(*dst)?;
-                recovered_cma(comm, rec, policy, true, t, *remote_off, dst, *dst_off, *len)?;
-                rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
-            }
-            Step::CmaWrite {
-                token,
-                remote_off,
-                src,
-                src_off,
-                len,
-            } => {
-                let t = ctx.token(*token)?;
-                let src = ctx.slot(*src)?;
-                recovered_cma(
-                    comm,
-                    rec,
-                    policy,
-                    false,
-                    t,
-                    *remote_off,
-                    src,
-                    *src_off,
-                    *len,
-                )?;
-                rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
-            }
-            Step::CopyLocal {
-                src,
-                src_off,
-                dst,
-                dst_off,
-                len,
-            } => {
-                let src = ctx.slot(*src)?;
-                let dst = ctx.slot(*dst)?;
-                comm.copy_local(src, *src_off, dst, *dst_off, *len)?;
-                rec.add(StepKind::CopyLocal, *len, t0, comm.time_ns());
-            }
-            Step::CtrlSend { to, tag, payload } => {
-                let body = ctx.render_payload(payload)?;
-                retry_transient(comm, rec, policy, |c| c.ctrl_send(*to, *tag, &body))?;
-                rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
-            }
-            Step::CtrlRecv { from, tag, into } => {
-                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag)?;
-                let n = body.len();
-                ctx.apply_recv(into, body)?;
-                rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
-            }
-            Step::Notify { to, tag } => {
-                retry_transient(comm, rec, policy, |c| c.notify(*to, *tag))?;
-                rec.add(StepKind::Notify, 0, t0, comm.time_ns());
-            }
-            Step::WaitNotify { from, tag } => {
-                // A notification is a 0-byte control message; route it
-                // through the bounded receive so the wait obeys the step
-                // timeout (mirrors `CommExt::wait_notify`).
-                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag)?;
-                if !body.is_empty() {
-                    return Err(proto(format!(
-                        "expected 0-byte notification from rank {from}, got {} bytes",
-                        body.len()
-                    )));
+        if let Err(e) = run_one_step(comm, step, ctx, rec, policy, t0) {
+            let m = &policy.membership;
+            if m.watch && is_suspect_error(&e) {
+                if let Some(peer) = step_peer(step, ctx) {
+                    rec.recovery("membership:suspect", peer, t0, comm.time_ns());
+                    if m.tolerant {
+                        continue;
+                    }
+                    return Err(CommError::PeerDead(peer));
                 }
-                rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
             }
-            Step::ShmSend {
-                to,
-                tag,
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Execute one IR step under the recovery policy; the watchdog wrapper
+/// in [`run_steps`] decides what a failure means.
+fn run_one_step<C: Comm + ?Sized>(
+    comm: &mut C,
+    step: &Step,
+    ctx: &mut Ctx<'_>,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    t0: u64,
+) -> Result<()> {
+    match step {
+        Step::Expose { slot, reg } => {
+            let buf = ctx.slot(*slot)?;
+            let token = retry_transient(comm, rec, policy, |c| c.expose(buf))?;
+            ctx.set_token(*reg, token)?;
+            rec.add(StepKind::Expose, 0, t0, comm.time_ns());
+        }
+        Step::CmaRead {
+            token,
+            remote_off,
+            dst,
+            dst_off,
+            len,
+        } => {
+            let t = ctx.token(*token)?;
+            let dst = ctx.slot(*dst)?;
+            recovered_cma(comm, rec, policy, true, t, *remote_off, dst, *dst_off, *len)?;
+            rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
+        }
+        Step::CmaWrite {
+            token,
+            remote_off,
+            src,
+            src_off,
+            len,
+        } => {
+            let t = ctx.token(*token)?;
+            let src = ctx.slot(*src)?;
+            recovered_cma(
+                comm,
+                rec,
+                policy,
+                false,
+                t,
+                *remote_off,
                 src,
-                off,
-                len,
-            } => {
-                let src = ctx.slot(*src)?;
-                retry_transient(comm, rec, policy, |c| {
-                    c.shm_send_data(*to, *tag, src, *off, *len)
-                })?;
-                rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
+                *src_off,
+                *len,
+            )?;
+            rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
+        }
+        Step::CopyLocal {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            len,
+        } => {
+            let src = ctx.slot(*src)?;
+            let dst = ctx.slot(*dst)?;
+            comm.copy_local(src, *src_off, dst, *dst_off, *len)?;
+            rec.add(StepKind::CopyLocal, *len, t0, comm.time_ns());
+        }
+        Step::CtrlSend { to, tag, payload } => {
+            let body = ctx.render_payload(payload)?;
+            retry_transient(comm, rec, policy, |c| c.ctrl_send(*to, *tag, &body))?;
+            rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
+        }
+        Step::CtrlRecv { from, tag, into } => {
+            let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag)?;
+            let n = body.len();
+            ctx.apply_recv(into, body)?;
+            rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
+        }
+        Step::Notify { to, tag } => {
+            retry_transient(comm, rec, policy, |c| c.notify(*to, *tag))?;
+            rec.add(StepKind::Notify, 0, t0, comm.time_ns());
+        }
+        Step::WaitNotify { from, tag } => {
+            // A notification is a 0-byte control message; route it
+            // through the bounded receive so the wait obeys the step
+            // timeout (mirrors `CommExt::wait_notify`).
+            let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag)?;
+            if !body.is_empty() {
+                return Err(proto(format!(
+                    "expected 0-byte notification from rank {from}, got {} bytes",
+                    body.len()
+                )));
             }
-            Step::ShmRecv {
-                from,
-                tag,
-                dst,
-                off,
-                len,
-            } => {
-                let dst = ctx.slot(*dst)?;
-                recovered_shm_recv(comm, rec, policy, *from, *tag, dst, *off, *len)?;
-                rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
-            }
-            Step::Reduce {
-                op,
-                dtype,
-                acc,
-                acc_off,
-                src,
-                src_off,
-                len,
-            } => {
-                let acc_buf = ctx.slot(*acc)?;
-                let src_buf = ctx.slot(*src)?;
-                let mut acc_bytes = vec![0u8; *len];
-                let mut src_bytes = vec![0u8; *len];
-                comm.read_local(acc_buf, *acc_off, &mut acc_bytes)?;
-                comm.read_local(src_buf, *src_off, &mut src_bytes)?;
-                combine(&mut acc_bytes, &src_bytes, *dtype, *op);
-                comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
-                rec.add(StepKind::Reduce, *len, t0, comm.time_ns());
-            }
+            rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
+        }
+        Step::ShmSend {
+            to,
+            tag,
+            src,
+            off,
+            len,
+        } => {
+            let src = ctx.slot(*src)?;
+            retry_transient(comm, rec, policy, |c| {
+                c.shm_send_data(*to, *tag, src, *off, *len)
+            })?;
+            rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
+        }
+        Step::ShmRecv {
+            from,
+            tag,
+            dst,
+            off,
+            len,
+        } => {
+            let dst = ctx.slot(*dst)?;
+            recovered_shm_recv(comm, rec, policy, *from, *tag, dst, *off, *len)?;
+            rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
+        }
+        Step::Reduce {
+            op,
+            dtype,
+            acc,
+            acc_off,
+            src,
+            src_off,
+            len,
+        } => {
+            let acc_buf = ctx.slot(*acc)?;
+            let src_buf = ctx.slot(*src)?;
+            let mut acc_bytes = vec![0u8; *len];
+            let mut src_bytes = vec![0u8; *len];
+            comm.read_local(acc_buf, *acc_off, &mut acc_bytes)?;
+            comm.read_local(src_buf, *src_off, &mut src_bytes)?;
+            combine(&mut acc_bytes, &src_bytes, *dtype, *op);
+            comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
+            rec.add(StepKind::Reduce, *len, t0, comm.time_ns());
         }
     }
     Ok(())

@@ -14,12 +14,76 @@
 //! cluster transport maps onto the fabric.
 
 use crate::class;
+use crate::exec::is_transient;
 use kacc_comm::{BufId, Comm, CommError, CommExt, RemoteToken, Result, Tag};
 
 const TAG_TOKEN: Tag = Tag::internal(class::HIER, 0);
 const TAG_CHAIN: Tag = Tag::internal(class::HIER, 1);
 const TAG_DONE: Tag = Tag::internal(class::HIER, 2);
 const TAG_BULK: Tag = Tag::internal(class::HIER, 3);
+
+/// Retry budget for the hierarchical data paths, mirroring the schedule
+/// executor's defaults ([`crate::RecoveryPolicy`]): EAGAIN-class
+/// transients retry with exponential backoff; everything else (ESRCH,
+/// protocol violations) propagates typed.
+const RETRY_MAX: u32 = 3;
+const RETRY_BACKOFF_NS: u64 = 200;
+
+fn with_retry<C, T>(comm: &mut C, mut f: impl FnMut(&mut C) -> Result<T>) -> Result<T>
+where
+    C: Comm + ?Sized,
+{
+    let mut attempts = 0u32;
+    loop {
+        match f(comm) {
+            Err(e) if is_transient(&e) && attempts < RETRY_MAX => {
+                attempts += 1;
+                comm.sleep_ns(RETRY_BACKOFF_NS << (attempts - 1).min(5));
+            }
+            r => return r,
+        }
+    }
+}
+
+/// Single-copy transfer with short-transfer resume: a truncated CMA
+/// move resumes past the bytes that landed (forward progress resets the
+/// retry budget), zero-progress truncations and transients retry
+/// bounded.
+fn cma_resume<C: Comm + ?Sized>(
+    comm: &mut C,
+    read: bool,
+    token: RemoteToken,
+    remote_off: usize,
+    buf: BufId,
+    local_off: usize,
+    len: usize,
+) -> Result<()> {
+    let mut at = 0usize;
+    let mut attempts = 0u32;
+    while at < len {
+        let r = if read {
+            comm.cma_read(token, remote_off + at, buf, local_off + at, len - at)
+        } else {
+            comm.cma_write(token, remote_off + at, buf, local_off + at, len - at)
+        };
+        match r {
+            Ok(()) => return Ok(()),
+            Err(CommError::Truncated { got, .. }) if got > 0 => {
+                at += got.min(len - at);
+                attempts = 0;
+            }
+            Err(e)
+                if (matches!(e, CommError::Truncated { .. }) || is_transient(&e))
+                    && attempts < RETRY_MAX =>
+            {
+                attempts += 1;
+                comm.sleep_ns(RETRY_BACKOFF_NS << (attempts - 1).min(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// Node layout extracted from a communicator.
 #[derive(Debug, Clone)]
@@ -95,7 +159,7 @@ pub fn hier_gather<C: Comm + ?Sized>(
 
         // Intra-node phase: send the leader's token to every member and
         // wait for the last wave's completion notifications.
-        let token = comm.expose(rb)?;
+        let token = with_retry(comm, |c| c.expose(rb))?;
         let others: Vec<(usize, usize)> = members
             .iter()
             .enumerate()
@@ -105,7 +169,7 @@ pub fn hier_gather<C: Comm + ?Sized>(
         for &(li, m) in &others {
             let mut msg = token.to_bytes().to_vec();
             msg.extend_from_slice(&(slot(li, m) as u64).to_le_bytes());
-            comm.ctrl_send(m, TAG_TOKEN, &msg)?;
+            with_retry(comm, |c| c.ctrl_send(m, TAG_TOKEN, &msg))?;
         }
         // Leader's own contribution.
         let my_li = members
@@ -123,7 +187,7 @@ pub fn hier_gather<C: Comm + ?Sized>(
         for (w, &(_, m)) in others.iter().enumerate() {
             // Last wave = chain positions within k of the end.
             if w + k >= others.len() {
-                comm.wait_notify(m, TAG_DONE)?;
+                with_retry(comm, |c| c.wait_notify(m, TAG_DONE))?;
             }
         }
 
@@ -140,16 +204,20 @@ pub fn hier_gather<C: Comm + ?Sized>(
                 let l = layout.leader(n, root);
                 let contiguous = node_members.windows(2).all(|w| w[1] == w[0] + 1);
                 if contiguous {
-                    comm.shm_recv_data(
-                        l,
-                        TAG_BULK,
-                        rb,
-                        node_members[0] * count,
-                        node_members.len() * count,
-                    )?;
+                    with_retry(comm, |c| {
+                        c.shm_recv_data(
+                            l,
+                            TAG_BULK,
+                            rb,
+                            node_members[0] * count,
+                            node_members.len() * count,
+                        )
+                    })?;
                 } else {
                     let tmp = comm.alloc(node_members.len() * count);
-                    comm.shm_recv_data(l, TAG_BULK, tmp, 0, node_members.len() * count)?;
+                    with_retry(comm, |c| {
+                        c.shm_recv_data(l, TAG_BULK, tmp, 0, node_members.len() * count)
+                    })?;
                     for (li, &m) in node_members.iter().enumerate() {
                         comm.copy_local(tmp, li * count, rb, m * count, count)?;
                     }
@@ -157,13 +225,15 @@ pub fn hier_gather<C: Comm + ?Sized>(
                 }
             }
         } else {
-            comm.shm_send_data(root, TAG_BULK, rb, 0, members.len() * count)?;
+            with_retry(comm, |c| {
+                c.shm_send_data(root, TAG_BULK, rb, 0, members.len() * count)
+            })?;
             comm.free(rb)?;
         }
     } else {
         // Member: receive leader token + slot, throttled-write, chain.
         let sb = sendbuf.ok_or(CommError::Protocol("non-root gather needs sendbuf".into()))?;
-        let msg = comm.ctrl_recv(leader, TAG_TOKEN)?;
+        let msg = with_retry(comm, |c| c.ctrl_recv(leader, TAG_TOKEN))?;
         if msg.len() != RemoteToken::WIRE_LEN + 8 {
             return Err(CommError::Protocol("bad hier token message".into()));
         }
@@ -180,14 +250,14 @@ pub fn hier_gather<C: Comm + ?Sized>(
             .position(|&m| m == me)
             .expect("calling rank is in the member list");
         if pos >= k {
-            comm.wait_notify(others[pos - k], TAG_CHAIN)?;
+            with_retry(comm, |c| c.wait_notify(others[pos - k], TAG_CHAIN))?;
         }
-        comm.cma_write(token, off, sb, 0, count)?;
+        cma_resume(comm, false, token, off, sb, 0, count)?;
         if pos + k < others.len() {
-            comm.notify(others[pos + k], TAG_CHAIN)?;
+            with_retry(comm, |c| c.notify(others[pos + k], TAG_CHAIN))?;
         }
         if pos + k >= others.len() {
-            comm.notify(leader, TAG_DONE)?;
+            with_retry(comm, |c| c.notify(leader, TAG_DONE))?;
         }
     }
     Ok(())
@@ -230,19 +300,23 @@ pub fn hier_scatter<C: Comm + ?Sized>(
             let l = layout.leader(n, root);
             let contiguous = node_members.windows(2).all(|w| w[1] == w[0] + 1);
             if contiguous {
-                comm.shm_send_data(
-                    l,
-                    TAG_BULK,
-                    sb,
-                    node_members[0] * count,
-                    node_members.len() * count,
-                )?;
+                with_retry(comm, |c| {
+                    c.shm_send_data(
+                        l,
+                        TAG_BULK,
+                        sb,
+                        node_members[0] * count,
+                        node_members.len() * count,
+                    )
+                })?;
             } else {
                 let tmp = comm.alloc(node_members.len() * count);
                 for (li, &m) in node_members.iter().enumerate() {
                     comm.copy_local(sb, m * count, tmp, li * count, count)?;
                 }
-                comm.shm_send_data(l, TAG_BULK, tmp, 0, node_members.len() * count)?;
+                with_retry(comm, |c| {
+                    c.shm_send_data(l, TAG_BULK, tmp, 0, node_members.len() * count)
+                })?;
                 comm.free(tmp)?;
             }
         }
@@ -254,7 +328,9 @@ pub fn hier_scatter<C: Comm + ?Sized>(
     } else if me == leader {
         // Receive this node's chunk, then serve members.
         let staging = comm.alloc(members.len() * count);
-        comm.shm_recv_data(root, TAG_BULK, staging, 0, members.len() * count)?;
+        with_retry(comm, |c| {
+            c.shm_recv_data(root, TAG_BULK, staging, 0, members.len() * count)
+        })?;
         let my_li = members
             .iter()
             .position(|&m| m == me)
@@ -273,7 +349,7 @@ pub fn hier_scatter<C: Comm + ?Sized>(
     } else {
         // Member: token + offset arrive from the leader; throttled read.
         let rb = recvbuf.ok_or(CommError::Protocol("non-root scatter needs recvbuf".into()))?;
-        let msg = comm.ctrl_recv(leader, TAG_TOKEN)?;
+        let msg = with_retry(comm, |c| c.ctrl_recv(leader, TAG_TOKEN))?;
         if msg.len() != RemoteToken::WIRE_LEN + 8 {
             return Err(CommError::Protocol("bad hier token message".into()));
         }
@@ -287,14 +363,14 @@ pub fn hier_scatter<C: Comm + ?Sized>(
             .position(|&m| m == me)
             .expect("calling rank is in the member list");
         if pos >= k {
-            comm.wait_notify(others[pos - k], TAG_CHAIN)?;
+            with_retry(comm, |c| c.wait_notify(others[pos - k], TAG_CHAIN))?;
         }
-        comm.cma_read(token, off, rb, 0, count)?;
+        cma_resume(comm, true, token, off, rb, 0, count)?;
         if pos + k < others.len() {
-            comm.notify(others[pos + k], TAG_CHAIN)?;
+            with_retry(comm, |c| c.notify(others[pos + k], TAG_CHAIN))?;
         }
         if pos + k >= others.len() {
-            comm.notify(leader, TAG_DONE)?;
+            with_retry(comm, |c| c.notify(leader, TAG_DONE))?;
         }
     }
     Ok(())
@@ -349,7 +425,7 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
             comm.alloc(members.len() * count)
         };
         let base = if me == root { members[0] * count } else { 0 };
-        let token = comm.expose(rb)?;
+        let token = with_retry(comm, |c| c.expose(rb))?;
         let others: Vec<(usize, usize)> = members
             .iter()
             .enumerate()
@@ -359,7 +435,7 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
         for &(li, m) in &others {
             let mut msg = token.to_bytes().to_vec();
             msg.extend_from_slice(&((base + li * count) as u64).to_le_bytes());
-            comm.ctrl_send(m, TAG_TOKEN, &msg)?;
+            with_retry(comm, |c| c.ctrl_send(m, TAG_TOKEN, &msg))?;
         }
         let my_li = members
             .iter()
@@ -377,7 +453,7 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
             // The root overlaps by receiving each remote node's waves in
             // order; remote leaders push as waves complete.
             for &(_, m) in &others {
-                comm.wait_notify(m, TAG_DONE)?;
+                with_retry(comm, |c| c.wait_notify(m, TAG_DONE))?;
             }
             for (n, node_members) in layout.nodes.iter().enumerate() {
                 if n == my_node {
@@ -388,13 +464,15 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
                 for w in 0..waves {
                     let lo = w * k;
                     let hi = ((w + 1) * k).min(node_members.len());
-                    comm.shm_recv_data(
-                        l,
-                        Tag::internal(class::HIER, 16 + w as u32),
-                        rb,
-                        node_members[lo] * count,
-                        (hi - lo) * count,
-                    )?;
+                    with_retry(comm, |c| {
+                        c.shm_recv_data(
+                            l,
+                            Tag::internal(class::HIER, 16 + w as u32),
+                            rb,
+                            node_members[lo] * count,
+                            (hi - lo) * count,
+                        )
+                    })?;
                 }
             }
         } else {
@@ -408,23 +486,25 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
                 let hi = ((w + 1) * k).min(members.len());
                 for li in lo..hi {
                     if !done[li] {
-                        comm.wait_notify(members[li], TAG_DONE)?;
+                        with_retry(comm, |c| c.wait_notify(members[li], TAG_DONE))?;
                         done[li] = true;
                     }
                 }
-                comm.shm_send_data(
-                    root,
-                    Tag::internal(class::HIER, 16 + w as u32),
-                    rb,
-                    lo * count,
-                    (hi - lo) * count,
-                )?;
+                with_retry(comm, |c| {
+                    c.shm_send_data(
+                        root,
+                        Tag::internal(class::HIER, 16 + w as u32),
+                        rb,
+                        lo * count,
+                        (hi - lo) * count,
+                    )
+                })?;
             }
             comm.free(rb)?;
         }
     } else {
         let sb = sendbuf.ok_or(CommError::Protocol("non-root gather needs sendbuf".into()))?;
-        let msg = comm.ctrl_recv(leader, TAG_TOKEN)?;
+        let msg = with_retry(comm, |c| c.ctrl_recv(leader, TAG_TOKEN))?;
         if msg.len() != RemoteToken::WIRE_LEN + 8 {
             return Err(CommError::Protocol("bad hier token message".into()));
         }
@@ -438,15 +518,15 @@ pub fn hier_gather_pipelined<C: Comm + ?Sized>(
             .position(|&m| m == me)
             .expect("calling rank is in the member list");
         if pos >= k {
-            comm.wait_notify(others[pos - k], TAG_CHAIN)?;
+            with_retry(comm, |c| c.wait_notify(others[pos - k], TAG_CHAIN))?;
         }
-        comm.cma_write(token, off, sb, 0, count)?;
+        cma_resume(comm, false, token, off, sb, 0, count)?;
         if pos + k < others.len() {
-            comm.notify(others[pos + k], TAG_CHAIN)?;
+            with_retry(comm, |c| c.notify(others[pos + k], TAG_CHAIN))?;
         }
         // Pipelining needs every member's completion, not just the
         // final wave's.
-        comm.notify(leader, TAG_DONE)?;
+        with_retry(comm, |c| c.notify(leader, TAG_DONE))?;
         let _ = wave_of;
     }
     Ok(())
@@ -463,16 +543,16 @@ fn serve_node<C: Comm + ?Sized>(
     k: usize,
     offset_of: impl Fn(usize) -> usize,
 ) -> Result<()> {
-    let token = comm.expose(buf)?;
+    let token = with_retry(comm, |c| c.expose(buf))?;
     let others: Vec<usize> = members.iter().copied().filter(|&m| m != leader).collect();
     for &m in &others {
         let mut msg = token.to_bytes().to_vec();
         msg.extend_from_slice(&(offset_of(m) as u64).to_le_bytes());
-        comm.ctrl_send(m, TAG_TOKEN, &msg)?;
+        with_retry(comm, |c| c.ctrl_send(m, TAG_TOKEN, &msg))?;
     }
     for (w, &m) in others.iter().enumerate() {
         if w + k >= others.len() {
-            comm.wait_notify(m, TAG_DONE)?;
+            with_retry(comm, |c| c.wait_notify(m, TAG_DONE))?;
         }
     }
     let _ = count;

@@ -39,6 +39,7 @@ pub mod bcast;
 pub mod exec;
 pub mod gather;
 pub mod hierarchical;
+pub mod membership;
 pub mod polled;
 pub mod reduce;
 pub mod scatter;
@@ -57,15 +58,18 @@ pub use reduce::{
 
 pub(crate) use allgather::allgather_ranges;
 pub use exec::{
-    execute, execute_traced, execute_with_policy, Bindings, RecoveryPolicy, RecoveryReport,
-    ScheduleReport, StepStats,
+    execute, execute_traced, execute_with_policy, Bindings, MembershipPolicy, RecoveryPolicy,
+    RecoveryReport, ScheduleReport, StepStats,
+};
+pub use membership::{
+    run_survivable, run_survivable_polled, MembershipReport, SurvivableOp, SurvivableOutcome,
 };
 pub use polled::{
     allgather_polled, alltoall_polled, bcast_polled, execute_polled, execute_polled_traced,
     execute_polled_with_policy, gatherv_polled, reduce_polled, scatter_polled, scatterv_polled,
 };
 pub use scatter::{scatter, scatterv, scatterv_with_report, ScatterAlgo};
-pub use schedule::{PlanCache, PlanKey, Schedule, Step};
+pub use schedule::{compile_agree, remap_for_members, PlanCache, PlanKey, Schedule, Step};
 pub use tuner::Tuner;
 
 /// Tag classes used by the collective protocols (disjoint from
@@ -79,6 +83,7 @@ pub(crate) mod class {
     pub const BCAST: u32 = kacc_comm::tagclass::BCAST;
     pub const HIER: u32 = kacc_comm::tagclass::HIER;
     pub const REDUCE: u32 = kacc_comm::tagclass::REDUCE;
+    pub const MEMBERSHIP: u32 = kacc_comm::tagclass::MEMBERSHIP;
 }
 
 /// Map a rank to its virtual rank with `root` at 0.

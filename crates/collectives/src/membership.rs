@@ -1,0 +1,1062 @@
+//! Survivable collectives: deterministic failure detection, agreement,
+//! and shrink-and-re-execute recovery (ULFM-inspired membership layer).
+//!
+//! [`run_survivable`] wraps any of the six bulk collectives in a
+//! membership loop:
+//!
+//! 1. **Detect** — the data plan executes with the liveness watchdog
+//!    armed ([`MembershipPolicy`]), so a silent peer death surfaces as
+//!    the typed [`CommError::PeerDead`] instead of a hang.
+//! 2. **Agree** — all members of the current epoch run a fixed
+//!    two-round agreement collective ([`crate::schedule::compile_agree`])
+//!    that unions everyone's suspected-dead masks; the rounds execute
+//!    under a *tolerant* watchdog with generous deadlines, so the
+//!    agreement itself completes over the survivors no matter who died.
+//!    Two refinements keep it honest: a member that responds within a
+//!    round is *refuted* from the mask (a rank that abandoned its data
+//!    plan behind a dead peer looks dead to its own waiters, but it is
+//!    not — this stops timeout cascades from exiling live ranks), and a
+//!    failed data plan raises a [`REDO`] flag above the rank bits so the
+//!    whole membership re-executes together even when the suspicion
+//!    that caused the failure was refuted.
+//! 3. **Shrink and re-execute** — survivors advance the membership
+//!    epoch, recompile the collective for the survivor subgroup
+//!    (remapped onto parent ranks and re-tagged into the epoch's
+//!    namespace by [`crate::schedule::remap_for_members`]), invalidate
+//!    stale-epoch plans from the [`PlanCache`], back off briefly, and
+//!    re-execute. Survivor `i` of the sorted member list contributes
+//!    and receives block `i`, so parent-sized buffers always suffice.
+//!
+//! Everything is deterministic under simulation: the same seed produces
+//! the same suspicions, the same agreed masks, the same shrink sequence,
+//! and bitwise-identical reports on both engines. A fault-free run
+//! executes exactly one data plan plus one (clean) agreement and reports
+//! an empty [`RecoveryReport`](crate::RecoveryReport).
+//!
+//! The membership protocol never blocks forever: every wait is bounded
+//! by the watchdog, disagreement only ever causes further shrinks, and
+//! the loop is capped by [`MembershipPolicy::max_shrinks`] and the
+//! quorum rule (survivors must outnumber half the parent communicator).
+
+use std::sync::{Arc, OnceLock};
+
+use kacc_comm::{BufId, Comm, CommError, Result};
+use kacc_machine::PolledComm;
+use kacc_trace::{Tracer, Track};
+
+use crate::exec::{
+    execute_with_policy, proto, Bindings, MembershipPolicy, RecoveryPolicy, ScheduleReport,
+};
+use crate::polled::execute_polled_with_policy;
+use crate::schedule::{
+    compile_agree, compile_allgather, compile_alltoall, compile_bcast, compile_gather,
+    compile_reduce, compile_scatter, remap_for_members, PlanCache, PlanKey, Schedule,
+};
+use crate::{
+    class, AllgatherAlgo, AlltoallAlgo, BcastAlgo, Dtype, GatherAlgo, ReduceAlgo, ReduceOp,
+    ScatterAlgo,
+};
+
+/// One survivable collective operation: the algorithm plus the shape
+/// parameters that stay fixed across shrinks (counts are per-member, so
+/// a shrunken execution simply uses fewer blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurvivableOp {
+    /// Scatter `count` bytes from `root` to every survivor.
+    Scatter {
+        /// Algorithm variant.
+        algo: ScatterAlgo,
+        /// Bytes per member.
+        count: usize,
+        /// Root rank (parent numbering; must survive).
+        root: usize,
+    },
+    /// Gather `count` bytes from every survivor at `root`.
+    Gather {
+        /// Algorithm variant.
+        algo: GatherAlgo,
+        /// Bytes per member.
+        count: usize,
+        /// Root rank (parent numbering; must survive).
+        root: usize,
+    },
+    /// Broadcast `count` bytes from `root` to every survivor.
+    Bcast {
+        /// Algorithm variant.
+        algo: BcastAlgo,
+        /// Message bytes.
+        count: usize,
+        /// Root rank (parent numbering; must survive).
+        root: usize,
+    },
+    /// Allgather `count` bytes per survivor.
+    Allgather {
+        /// Algorithm variant.
+        algo: AllgatherAlgo,
+        /// Bytes per member.
+        count: usize,
+    },
+    /// Alltoall `count` bytes per survivor pair.
+    Alltoall {
+        /// Algorithm variant.
+        algo: AlltoallAlgo,
+        /// Bytes per member pair.
+        count: usize,
+    },
+    /// Reduce every survivor's `count`-byte contribution at `root`.
+    Reduce {
+        /// Algorithm variant.
+        algo: ReduceAlgo,
+        /// Contribution bytes.
+        count: usize,
+        /// Element type.
+        dtype: Dtype,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Root rank (parent numbering; must survive).
+        root: usize,
+    },
+}
+
+impl SurvivableOp {
+    /// The root rank in parent numbering, for rooted shapes.
+    pub fn root(&self) -> Option<usize> {
+        match *self {
+            SurvivableOp::Scatter { root, .. }
+            | SurvivableOp::Gather { root, .. }
+            | SurvivableOp::Bcast { root, .. }
+            | SurvivableOp::Reduce { root, .. } => Some(root),
+            SurvivableOp::Allgather { .. } | SurvivableOp::Alltoall { .. } => None,
+        }
+    }
+
+    /// The per-member byte count.
+    pub fn count(&self) -> usize {
+        match *self {
+            SurvivableOp::Scatter { count, .. }
+            | SurvivableOp::Gather { count, .. }
+            | SurvivableOp::Bcast { count, .. }
+            | SurvivableOp::Allgather { count, .. }
+            | SurvivableOp::Alltoall { count, .. }
+            | SurvivableOp::Reduce { count, .. } => count,
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SurvivableOp::Scatter { .. } => "scatter",
+            SurvivableOp::Gather { .. } => "gather",
+            SurvivableOp::Bcast { .. } => "bcast",
+            SurvivableOp::Allgather { .. } => "allgather",
+            SurvivableOp::Alltoall { .. } => "alltoall",
+            SurvivableOp::Reduce { .. } => "reduce",
+        }
+    }
+}
+
+/// What the membership loop did during one survivable call. All-zero on
+/// a fault-free run (one clean execution, one clean agreement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MembershipReport {
+    /// Final membership epoch (= number of shrinks taken).
+    pub epochs: u32,
+    /// Agreement collectives executed.
+    pub agreements: u32,
+    /// Data-plan re-executions after a shrink.
+    pub reexecs: u32,
+    /// Bitmask of parent ranks agreed dead (bit `rank`).
+    pub dead_mask: u64,
+}
+
+impl MembershipReport {
+    /// True when no failure was detected anywhere: no shrink, no
+    /// re-execution, nobody dead.
+    pub fn is_clean(&self) -> bool {
+        // One agreement always runs (the epilogue rendezvous), so it
+        // does not count against cleanliness.
+        self.epochs == 0 && self.reexecs == 0 && self.dead_mask == 0
+    }
+}
+
+/// Result of a survivable collective on one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurvivableOutcome {
+    /// Report of the final (successful) data-plan execution.
+    pub report: ScheduleReport,
+    /// What the membership loop did to get there.
+    pub membership: MembershipReport,
+    /// The sorted surviving parent ranks the result is defined over.
+    pub members: Vec<usize>,
+}
+
+/// Pre-resolved `kacc-metrics` handles for the membership driver.
+struct MemberHandles {
+    agreements: kacc_metrics::Counter,
+    shrinks: kacc_metrics::Counter,
+    reexecs: kacc_metrics::Counter,
+}
+
+fn member_handles() -> &'static MemberHandles {
+    static HANDLES: OnceLock<MemberHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| MemberHandles {
+        agreements: kacc_metrics::counter("coll.membership.agreements"),
+        shrinks: kacc_metrics::counter("coll.membership.shrinks"),
+        reexecs: kacc_metrics::counter("coll.membership.reexecs"),
+    })
+}
+
+/// Flag bit carried in the agreement mask (alongside the per-rank dead
+/// bits): some member's data-plan execution failed, so every member
+/// must re-execute even if the membership itself did not change. Rank
+/// bits occupy 0..=62, which is why survivable collectives cap the
+/// communicator at 63 ranks.
+const REDO: u64 = 1 << 63;
+
+/// The rank-bits portion of an agreement mask.
+const RANKS: u64 = REDO - 1;
+
+/// The sorted list of parent ranks not marked dead.
+fn survivor_list(dead: u64, p: usize) -> Vec<usize> {
+    (0..p).filter(|&r| dead & (1 << r) == 0).collect()
+}
+
+/// Up-front validation shared by both engines: communicator bounds,
+/// per-op buffer requirements, and algorithm parameters the compile
+/// functions assume were already checked.
+fn validate(
+    op: &SurvivableOp,
+    p: usize,
+    me: usize,
+    send: Option<BufId>,
+    recv: Option<BufId>,
+) -> Result<()> {
+    if p < 2 {
+        return Err(proto(
+            "survivable collectives require at least 2 ranks".into(),
+        ));
+    }
+    if p > 63 {
+        return Err(proto(format!(
+            "survivable collectives support at most 63 ranks, got {p}"
+        )));
+    }
+    if op.count() == 0 {
+        return Err(proto(
+            "survivable collectives require a nonzero count".into(),
+        ));
+    }
+    if let Some(root) = op.root() {
+        if root >= p {
+            return Err(CommError::BadRank(root));
+        }
+    }
+    let need = |cond: bool, msg: &str| {
+        if cond {
+            Ok(())
+        } else {
+            Err(proto(msg.into()))
+        }
+    };
+    match *op {
+        SurvivableOp::Scatter { algo, root, .. } => {
+            if let ScatterAlgo::ThrottledRead { k } = algo {
+                need(k >= 1, "throttle factor must be ≥ 1")?;
+            }
+            if me == root {
+                need(send.is_some(), "root scatter needs sendbuf")?;
+            } else {
+                need(recv.is_some(), "non-root scatter needs recvbuf")?;
+            }
+        }
+        SurvivableOp::Gather { algo, root, .. } => {
+            if let GatherAlgo::ThrottledWrite { k } = algo {
+                need(k >= 1, "throttle factor must be ≥ 1")?;
+            }
+            if me == root {
+                need(recv.is_some(), "root gather needs recvbuf")?;
+            } else {
+                need(send.is_some(), "non-root gather needs sendbuf")?;
+            }
+        }
+        SurvivableOp::Bcast { algo, .. } => {
+            if let BcastAlgo::KNomial { radix } = algo {
+                need(radix >= 2, "k-nomial radix must be ≥ 2")?;
+            }
+            need(send.is_some(), "bcast binds its data buffer as send")?;
+        }
+        SurvivableOp::Allgather { .. } => {
+            need(recv.is_some(), "allgather needs recvbuf")?;
+        }
+        SurvivableOp::Alltoall { .. } => {
+            need(
+                send.is_some() && recv.is_some(),
+                "survivable alltoall needs distinct send and recv buffers",
+            )?;
+        }
+        SurvivableOp::Reduce {
+            algo,
+            root,
+            count,
+            dtype,
+            ..
+        } => {
+            if let ReduceAlgo::KNomialTree { radix } = algo {
+                need(radix >= 2, "tree radix must be ≥ 2")?;
+            }
+            if !count.is_multiple_of(dtype.width()) {
+                return Err(proto(format!(
+                    "count {count} is not a multiple of the {dtype:?} width"
+                )));
+            }
+            need(send.is_some(), "reduce needs sendbuf")?;
+            if me == root {
+                need(recv.is_some(), "root reduce needs recvbuf")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fetch (or compile) the plan for the current membership epoch.
+///
+/// Epoch 0 runs over the full communicator and uses exactly the same
+/// [`PlanKey`] shapes as the plain entry points, so fault-free
+/// survivable calls share cached plans with them. Later epochs compile
+/// for the survivor subgroup (`p' = |members|`, `rank' = my position`,
+/// `root' = root's position`) and remap onto parent ranks under a
+/// [`PlanKey::Member`] key whose embedded epoch makes stale-membership
+/// plans unreachable after the next shrink.
+fn member_plan(
+    op: &SurvivableOp,
+    p: usize,
+    me: usize,
+    members: &[usize],
+    epoch: u32,
+    has_send: bool,
+    has_recv: bool,
+) -> Result<Arc<Schedule>> {
+    let l = members.len();
+    let my_idx = members
+        .iter()
+        .position(|&m| m == me)
+        .ok_or_else(|| proto("caller is not a surviving member".into()))?;
+    let root_idx = match op.root() {
+        Some(r) => members
+            .iter()
+            .position(|&m| m == r)
+            .ok_or(CommError::PeerDead(r))?,
+        None => 0,
+    };
+    let inner = match *op {
+        SurvivableOp::Scatter { algo, count, .. } => PlanKey::Scatter {
+            algo,
+            p: l,
+            rank: my_idx,
+            counts: vec![count; l],
+            displs: None,
+            root: root_idx,
+            has_recvbuf: has_recv,
+        },
+        SurvivableOp::Gather { algo, count, .. } => PlanKey::Gather {
+            algo,
+            p: l,
+            rank: my_idx,
+            counts: vec![count; l],
+            displs: None,
+            root: root_idx,
+            has_sendbuf: has_send,
+        },
+        SurvivableOp::Bcast { algo, count, .. } => PlanKey::Bcast {
+            algo,
+            p: l,
+            rank: my_idx,
+            count,
+            root: root_idx,
+        },
+        SurvivableOp::Allgather { algo, count } => {
+            let algo = match algo {
+                AllgatherAlgo::RingNeighbor { j } => {
+                    if crate::allgather::gcd(j % l, l) != 1 {
+                        return Err(proto(format!(
+                            "ring-neighbor stride {j} shares a factor with the {l} survivors"
+                        )));
+                    }
+                    AllgatherAlgo::RingNeighbor { j: j % l }
+                }
+                other => other,
+            };
+            PlanKey::Allgather {
+                algo,
+                p: l,
+                rank: my_idx,
+                count,
+                has_sendbuf: has_send,
+            }
+        }
+        SurvivableOp::Alltoall { algo, count } => PlanKey::Alltoall {
+            algo,
+            p: l,
+            rank: my_idx,
+            count,
+        },
+        SurvivableOp::Reduce {
+            algo,
+            count,
+            dtype,
+            op,
+            ..
+        } => PlanKey::Reduce {
+            algo,
+            p: l,
+            rank: my_idx,
+            count,
+            dtype,
+            op,
+            root: root_idx,
+        },
+    };
+    let inner_for_compile = inner.clone();
+    let compile = move || match inner_for_compile {
+        PlanKey::Scatter {
+            algo,
+            p,
+            rank,
+            ref counts,
+            root,
+            has_recvbuf,
+            ..
+        } => {
+            let layout: Vec<(usize, usize)> = counts
+                .iter()
+                .scan(0, |off, &c| {
+                    let entry = (*off, c);
+                    *off += c;
+                    Some(entry)
+                })
+                .collect();
+            compile_scatter(algo, p, rank, &layout, root, has_recvbuf)
+        }
+        PlanKey::Gather {
+            algo,
+            p,
+            rank,
+            ref counts,
+            root,
+            has_sendbuf,
+            ..
+        } => {
+            let layout: Vec<(usize, usize)> = counts
+                .iter()
+                .scan(0, |off, &c| {
+                    let entry = (*off, c);
+                    *off += c;
+                    Some(entry)
+                })
+                .collect();
+            compile_gather(algo, p, rank, &layout, root, has_sendbuf)
+        }
+        PlanKey::Bcast {
+            algo,
+            p,
+            rank,
+            count,
+            root,
+        } => compile_bcast(algo, p, rank, count, root),
+        PlanKey::Allgather {
+            algo,
+            p,
+            rank,
+            count,
+            has_sendbuf,
+        } => compile_allgather(algo, p, rank, count, has_sendbuf),
+        PlanKey::Alltoall {
+            algo,
+            p,
+            rank,
+            count,
+        } => compile_alltoall(algo, p, rank, count),
+        PlanKey::Reduce {
+            algo,
+            p,
+            rank,
+            count,
+            dtype,
+            op,
+            root,
+        } => compile_reduce(algo, p, rank, count, dtype, op, root),
+        PlanKey::Member { .. } => unreachable!("inner keys are never Member"),
+    };
+
+    Ok(if epoch == 0 {
+        PlanCache::global().get_or_compile(inner, compile)
+    } else {
+        let members_vec = members.to_vec();
+        PlanCache::global().get_or_compile(
+            PlanKey::Member {
+                epoch,
+                members: members.to_vec(),
+                inner: Box::new(inner),
+            },
+            move || remap_for_members(&compile(), &members_vec, epoch, p),
+        )
+    })
+}
+
+/// The bindings every epoch's execution uses (fixed across shrinks).
+fn bindings_for(op: &SurvivableOp, send: Option<BufId>, recv: Option<BufId>) -> Bindings {
+    match op {
+        // Bcast binds its single data buffer as the send slot.
+        SurvivableOp::Bcast { .. } => Bindings { send, recv: None },
+        _ => Bindings { send, recv },
+    }
+}
+
+/// The effective membership parameters: the caller's, with the watchdog
+/// forced on and zeroed fields replaced by the survivable defaults.
+fn effective_membership(policy: &RecoveryPolicy) -> MembershipPolicy {
+    let defaults = MembershipPolicy::survivable();
+    let mut m = if policy.membership.watch {
+        policy.membership
+    } else {
+        defaults
+    };
+    if m.liveness_timeout_ns == 0 {
+        m.liveness_timeout_ns = defaults.liveness_timeout_ns;
+    }
+    if m.max_shrinks == 0 {
+        m.max_shrinks = defaults.max_shrinks;
+    }
+    m.watch = true;
+    m
+}
+
+/// The tolerant policy one agreement round runs under: no retries, no
+/// fallback, every wait bounded by `timeout`, and failing steps skipped
+/// after recording the suspicion.
+fn agree_policy(m: &MembershipPolicy, timeout: u64) -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_retries: 0,
+        backoff_ns: 0,
+        cma_fallback: false,
+        step_timeout_ns: Some(timeout),
+        membership: MembershipPolicy {
+            watch: true,
+            tolerant: true,
+            ..*m
+        },
+    }
+}
+
+/// Per-round agreement timeout: round 0 must cover a member still
+/// finishing (or timing out of) its data plan — a dead-peer wait there
+/// costs `(1 + max_retries)` liveness timeouts per step, and a timeout
+/// chain can run the length of the plan — while round 1 additionally
+/// covers a member still draining its round-0 receives (up to `l`
+/// waits of the round-0 deadline each).
+fn agree_timeout(m: &MembershipPolicy, retries: u32, p: usize, l: usize, round: u32) -> u64 {
+    let base = m.liveness_timeout_ns * u64::from(retries + 1) * (2 * p as u64 + 4);
+    if round == 0 {
+        base
+    } else {
+        base * (l as u64 + 1)
+    }
+}
+
+/// Fold one agreement round's results into the suspected mask.
+///
+/// Members whose mask never arrived within the round's deadline are
+/// suspected; members who responded have their masks unioned in and are
+/// then *refuted* — a responsive member is alive by construction, so
+/// any suspicion of it (including one we carried in) is dropped. This
+/// is what stops timeout cascades from exiling live ranks: a rank that
+/// abandoned its data plan because a *dead* peer timed out looks dead
+/// to its own waiters, but it shows up here and is cleared. The
+/// genuinely dead never deposit, so true suspicions always survive.
+/// The [`REDO`] flag is above the rank bits and is never refuted.
+fn fold_round(cur: u64, members: &[usize], me: usize, suspect_mask: u64, recv_bytes: &[u8]) -> u64 {
+    let mut union = cur;
+    let mut responders = 1u64 << me;
+    for (i, &m) in members.iter().enumerate() {
+        if m == me {
+            continue;
+        }
+        if suspect_mask & (1u64 << (m & 63)) != 0 {
+            union |= 1u64 << m;
+        } else {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&recv_bytes[8 * i..8 * i + 8]);
+            union |= u64::from_le_bytes(word);
+            responders |= 1u64 << m;
+        }
+    }
+    union & !responders
+}
+
+/// Two-round suspected-dead agreement over `members` (threads engine).
+/// Returns the union of every responsive member's suspicions plus the
+/// members that failed to respond. Never blocks forever: every receive
+/// is bounded and failures are tolerated.
+fn agree<C: Comm + ?Sized>(
+    comm: &mut C,
+    members: &[usize],
+    epoch: u32,
+    suspected: u64,
+    m: &MembershipPolicy,
+    retries: u32,
+    tracer: &Tracer,
+) -> Result<u64> {
+    let p = comm.size();
+    let me = comm.rank();
+    let l = members.len();
+    let my_idx = members
+        .iter()
+        .position(|&x| x == me)
+        .ok_or_else(|| proto("caller is not a surviving member".into()))?;
+    let send = comm.alloc(8);
+    let recv = comm.alloc(8 * l);
+    let mut cur = suspected;
+    let mut out: Result<u64> = Ok(0);
+    for round in 0..2u32 {
+        let step = (|| {
+            comm.write_local(send, 0, &cur.to_le_bytes())?;
+            comm.write_local(recv, 0, &vec![0u8; 8 * l])?;
+            comm.write_local(recv, 8 * my_idx, &cur.to_le_bytes())?;
+            let plan = compile_agree(p, me, members, epoch, round);
+            let pol = agree_policy(m, agree_timeout(m, retries, p, l, round));
+            let report = execute_with_policy(
+                comm,
+                &plan,
+                &Bindings {
+                    send: Some(send),
+                    recv: Some(recv),
+                },
+                tracer,
+                &pol,
+            )?;
+            let mut bytes = vec![0u8; 8 * l];
+            comm.read_local(recv, 0, &mut bytes)?;
+            Ok(fold_round(
+                cur,
+                members,
+                me,
+                report.recovery.suspect_mask,
+                &bytes,
+            ))
+        })();
+        match step {
+            Ok(next) => {
+                cur = next;
+                out = Ok(cur);
+            }
+            Err(e) => {
+                out = Err(e);
+                break;
+            }
+        }
+    }
+    let _ = comm.free(send);
+    let _ = comm.free(recv);
+    out
+}
+
+/// Two-round suspected-dead agreement over `members` — the polled twin
+/// of [`agree`].
+async fn agree_polled(
+    comm: &mut PolledComm,
+    members: &[usize],
+    epoch: u32,
+    suspected: u64,
+    m: &MembershipPolicy,
+    retries: u32,
+    tracer: &Tracer,
+) -> Result<u64> {
+    let p = comm.size();
+    let me = comm.rank();
+    let l = members.len();
+    let my_idx = members
+        .iter()
+        .position(|&x| x == me)
+        .ok_or_else(|| proto("caller is not a surviving member".into()))?;
+    let send = comm.alloc(8);
+    let recv = comm.alloc(8 * l);
+    let mut cur = suspected;
+    let mut out: Result<u64> = Ok(0);
+    for round in 0..2u32 {
+        let step: Result<u64> = {
+            let setup = comm
+                .write_local(send, 0, &cur.to_le_bytes())
+                .and_then(|()| comm.write_local(recv, 0, &vec![0u8; 8 * l]))
+                .and_then(|()| comm.write_local(recv, 8 * my_idx, &cur.to_le_bytes()));
+            match setup {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let plan = compile_agree(p, me, members, epoch, round);
+                    let pol = agree_policy(m, agree_timeout(m, retries, p, l, round));
+                    match execute_polled_with_policy(
+                        comm,
+                        &plan,
+                        &Bindings {
+                            send: Some(send),
+                            recv: Some(recv),
+                        },
+                        tracer,
+                        &pol,
+                    )
+                    .await
+                    {
+                        Err(e) => Err(e),
+                        Ok(report) => {
+                            let mut bytes = vec![0u8; 8 * l];
+                            match comm.read_local(recv, 0, &mut bytes) {
+                                Err(e) => Err(e),
+                                Ok(()) => Ok(fold_round(
+                                    cur,
+                                    members,
+                                    me,
+                                    report.recovery.suspect_mask,
+                                    &bytes,
+                                )),
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match step {
+            Ok(next) => {
+                cur = next;
+                out = Ok(cur);
+            }
+            Err(e) => {
+                out = Err(e);
+                break;
+            }
+        }
+    }
+    let _ = comm.free(send);
+    let _ = comm.free(recv);
+    out
+}
+
+/// Run `op` survivably on the threads/blocking engine: detect peer
+/// death, agree on the survivors, shrink, and re-execute until the
+/// collective completes over a stable membership or a typed error
+/// (exile, dead root, quorum loss, shrink budget) surfaces. Never
+/// hangs: every wait the loop takes is deadline-bounded.
+pub fn run_survivable<C: Comm + ?Sized>(
+    comm: &mut C,
+    op: &SurvivableOp,
+    send: Option<BufId>,
+    recv: Option<BufId>,
+    policy: &RecoveryPolicy,
+) -> Result<SurvivableOutcome> {
+    let p = comm.size();
+    let me = comm.rank();
+    validate(op, p, me, send, recv)?;
+    let m = effective_membership(policy);
+    let bind = bindings_for(op, send, recv);
+    let tracer = comm.tracer();
+    let mut dead = 0u64;
+    let mut epoch = 0u32;
+    let mut mrep = MembershipReport::default();
+    loop {
+        if dead & (1 << me) != 0 {
+            // Exile: the membership agreed *we* are dead (false
+            // suspicion). Diverging silently would wedge the others.
+            return Err(CommError::PeerDead(me));
+        }
+        if let Some(r) = op.root() {
+            if dead & (1 << r) != 0 {
+                return Err(CommError::PeerDead(r));
+            }
+        }
+        let members = survivor_list(dead, p);
+        if members.len() * 2 <= p {
+            return Err(proto(format!(
+                "membership lost quorum: {}/{p} survivors",
+                members.len()
+            )));
+        }
+        let plan = member_plan(op, p, me, &members, epoch, send.is_some(), recv.is_some())?;
+        let mut pol = *policy;
+        pol.membership = MembershipPolicy {
+            watch: true,
+            tolerant: false,
+            ..m
+        };
+        let exec = execute_with_policy(comm, &plan, &bind, &tracer, &pol);
+        let suspected = match &exec {
+            Ok(_) => 0u64,
+            Err(CommError::PeerDead(q)) => (1u64 << (q & 63)) | REDO,
+            Err(e) => return Err(e.clone()),
+        };
+        // Rendezvous: union everyone's suspicions so all survivors see
+        // the same dead set — even ranks whose own execution was clean.
+        // A failed execution raises REDO so the whole membership
+        // re-executes together even if the suspicion itself is refuted.
+        let t0 = comm.time_ns();
+        let agreed = agree(
+            comm,
+            &members,
+            epoch,
+            dead | suspected,
+            &m,
+            pol.max_retries,
+            &tracer,
+        )?;
+        mrep.agreements += 1;
+        member_handles().agreements.add(1);
+        tracer.span(
+            Track::Rank(me),
+            "membership:agree",
+            t0,
+            comm.time_ns().saturating_sub(t0) as f64,
+            agreed,
+            Some(class::MEMBERSHIP),
+        );
+        let newly = (agreed & RANKS) & !dead;
+        if newly == 0 && agreed & REDO == 0 {
+            let report = exec
+                .unwrap_or_else(|_| unreachable!("a failed execution always raises the redo flag"));
+            mrep.dead_mask = dead;
+            return Ok(SurvivableOutcome {
+                report,
+                membership: mrep,
+                members,
+            });
+        }
+        // Shrink: adopt the agreed dead set, advance the epoch (even
+        // when only REDO fired — re-execution needs fresh tags), drop
+        // stale-membership plans, back off, and go around again.
+        dead = agreed & RANKS;
+        epoch += 1;
+        mrep.epochs = epoch;
+        mrep.dead_mask = dead;
+        if epoch > m.max_shrinks.min(15) {
+            return Err(proto(format!(
+                "membership exceeded {} shrinks",
+                m.max_shrinks.min(15)
+            )));
+        }
+        member_handles().shrinks.add(1);
+        let t0 = comm.time_ns();
+        comm.sleep_ns(m.restart_backoff_ns);
+        PlanCache::global().invalidate_members_before(epoch);
+        tracer.span(
+            Track::Rank(me),
+            "membership:shrink",
+            t0,
+            comm.time_ns().saturating_sub(t0) as f64,
+            dead,
+            Some(class::MEMBERSHIP),
+        );
+        mrep.reexecs += 1;
+        member_handles().reexecs.add(1);
+        tracer.span(
+            Track::Rank(me),
+            "membership:reexec",
+            comm.time_ns(),
+            0.0,
+            u64::from(epoch),
+            Some(class::MEMBERSHIP),
+        );
+    }
+}
+
+/// Run `op` survivably on the polled engine — the twin of
+/// [`run_survivable`], transliterated one operation at a time so a
+/// polled survivable call is bitwise-identical (same virtual times,
+/// same reports, same shrink sequence) to the threads call.
+pub async fn run_survivable_polled(
+    comm: &mut PolledComm,
+    op: &SurvivableOp,
+    send: Option<BufId>,
+    recv: Option<BufId>,
+    policy: &RecoveryPolicy,
+) -> Result<SurvivableOutcome> {
+    let p = comm.size();
+    let me = comm.rank();
+    validate(op, p, me, send, recv)?;
+    let m = effective_membership(policy);
+    let bind = bindings_for(op, send, recv);
+    let tracer = comm.tracer();
+    let mut dead = 0u64;
+    let mut epoch = 0u32;
+    let mut mrep = MembershipReport::default();
+    loop {
+        if dead & (1 << me) != 0 {
+            return Err(CommError::PeerDead(me));
+        }
+        if let Some(r) = op.root() {
+            if dead & (1 << r) != 0 {
+                return Err(CommError::PeerDead(r));
+            }
+        }
+        let members = survivor_list(dead, p);
+        if members.len() * 2 <= p {
+            return Err(proto(format!(
+                "membership lost quorum: {}/{p} survivors",
+                members.len()
+            )));
+        }
+        let plan = member_plan(op, p, me, &members, epoch, send.is_some(), recv.is_some())?;
+        let mut pol = *policy;
+        pol.membership = MembershipPolicy {
+            watch: true,
+            tolerant: false,
+            ..m
+        };
+        let exec = execute_polled_with_policy(comm, &plan, &bind, &tracer, &pol).await;
+        let suspected = match &exec {
+            Ok(_) => 0u64,
+            Err(CommError::PeerDead(q)) => (1u64 << (q & 63)) | REDO,
+            Err(e) => return Err(e.clone()),
+        };
+        let t0 = comm.time_ns();
+        let agreed = agree_polled(
+            comm,
+            &members,
+            epoch,
+            dead | suspected,
+            &m,
+            pol.max_retries,
+            &tracer,
+        )
+        .await?;
+        mrep.agreements += 1;
+        member_handles().agreements.add(1);
+        tracer.span(
+            Track::Rank(me),
+            "membership:agree",
+            t0,
+            comm.time_ns().saturating_sub(t0) as f64,
+            agreed,
+            Some(class::MEMBERSHIP),
+        );
+        let newly = (agreed & RANKS) & !dead;
+        if newly == 0 && agreed & REDO == 0 {
+            let report = exec
+                .unwrap_or_else(|_| unreachable!("a failed execution always raises the redo flag"));
+            mrep.dead_mask = dead;
+            return Ok(SurvivableOutcome {
+                report,
+                membership: mrep,
+                members,
+            });
+        }
+        dead = agreed & RANKS;
+        epoch += 1;
+        mrep.epochs = epoch;
+        mrep.dead_mask = dead;
+        if epoch > m.max_shrinks.min(15) {
+            return Err(proto(format!(
+                "membership exceeded {} shrinks",
+                m.max_shrinks.min(15)
+            )));
+        }
+        member_handles().shrinks.add(1);
+        let t0 = comm.time_ns();
+        comm.sleep_ns(m.restart_backoff_ns).await;
+        PlanCache::global().invalidate_members_before(epoch);
+        tracer.span(
+            Track::Rank(me),
+            "membership:shrink",
+            t0,
+            comm.time_ns().saturating_sub(t0) as f64,
+            dead,
+            Some(class::MEMBERSHIP),
+        );
+        mrep.reexecs += 1;
+        member_handles().reexecs.add(1);
+        tracer.span(
+            Track::Rank(me),
+            "membership:reexec",
+            comm.time_ns(),
+            0.0,
+            u64::from(epoch),
+            Some(class::MEMBERSHIP),
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survivor_list_skips_dead_bits() {
+        assert_eq!(survivor_list(0, 4), vec![0, 1, 2, 3]);
+        assert_eq!(survivor_list(0b0101, 4), vec![1, 3]);
+    }
+
+    #[test]
+    fn fold_round_unions_suspects_and_refutes_responders() {
+        let members = [0usize, 2, 5, 7];
+        // Rank 5 never responded; rank 0 responded accusing {7}; rank 7
+        // responded clean. We are rank 2 with no prior suspicion. Rank 7
+        // answered this very round, so rank 0's accusation is refuted;
+        // the unresponsive rank 5 stays suspected.
+        let mut recv = vec![0u8; 32];
+        recv[0..8].copy_from_slice(&(1u64 << 7).to_le_bytes());
+        let got = fold_round(0, &members, 2, 1 << 5, &recv);
+        assert_eq!(got, 1 << 5);
+    }
+
+    #[test]
+    fn fold_round_preserves_redo_and_own_observations_of_the_dead() {
+        let members = [0usize, 1, 2, 3];
+        // We are rank 1, carrying REDO (our data plan failed) and a
+        // suspicion of rank 3, who also fails to respond this round.
+        let recv = vec![0u8; 32];
+        let got = fold_round(REDO | (1 << 3), &members, 1, 1 << 3, &recv);
+        assert_eq!(got, REDO | (1 << 3));
+        // A responsive accused rank is cleared, but REDO never is.
+        let mut recv = vec![0u8; 32];
+        recv[24..32].copy_from_slice(&REDO.to_le_bytes());
+        let got = fold_round(REDO | (1 << 3), &members, 1, 0, &recv);
+        assert_eq!(got, REDO);
+    }
+
+    #[test]
+    fn effective_membership_fills_zeroed_fields() {
+        let m = effective_membership(&RecoveryPolicy::default());
+        assert!(m.watch);
+        assert_eq!(
+            m.liveness_timeout_ns,
+            MembershipPolicy::survivable().liveness_timeout_ns
+        );
+        let custom = RecoveryPolicy {
+            membership: MembershipPolicy {
+                watch: true,
+                liveness_timeout_ns: 77,
+                max_shrinks: 2,
+                restart_backoff_ns: 5,
+                tolerant: false,
+            },
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(effective_membership(&custom).liveness_timeout_ns, 77);
+        assert_eq!(effective_membership(&custom).max_shrinks, 2);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes() {
+        let op = SurvivableOp::Bcast {
+            algo: BcastAlgo::DirectRead,
+            count: 8,
+            root: 0,
+        };
+        assert!(validate(&op, 1, 0, Some(BufId(1)), None).is_err());
+        assert!(validate(&op, 65, 0, Some(BufId(1)), None).is_err());
+        assert!(validate(&op, 4, 0, None, None).is_err());
+        assert!(validate(&op, 4, 0, Some(BufId(1)), None).is_ok());
+        let zero = SurvivableOp::Bcast {
+            algo: BcastAlgo::DirectRead,
+            count: 0,
+            root: 0,
+        };
+        assert!(validate(&zero, 4, 0, Some(BufId(1)), None).is_err());
+    }
+}

@@ -18,7 +18,8 @@
 //! literally the same cached plan objects.
 
 use crate::exec::{
-    is_transient, proto, Bindings, Ctx, Recorder, RecoveryPolicy, ScheduleReport, StepKind, ESRCH,
+    is_suspect_error, is_transient, proto, recv_deadline_ns, step_peer, Bindings, Ctx, Recorder,
+    RecoveryPolicy, ScheduleReport, StepKind, ESRCH,
 };
 use crate::reduce::combine;
 use crate::schedule::{
@@ -238,7 +239,7 @@ async fn fallback_or(
     local_off: usize,
     len: usize,
 ) -> Result<()> {
-    let peer_dead = matches!(orig, CommError::Os(code) if code == ESRCH);
+    let peer_dead = matches!(orig, CommError::Os(ESRCH) | CommError::PeerDead(_));
     if !policy.cma_fallback || peer_dead {
         return Err(orig);
     }
@@ -277,7 +278,7 @@ async fn recovered_ctrl_recv(
     let mut attempts = 0u32;
     loop {
         let t0 = comm.time_ns();
-        let r = match policy.step_timeout_ns {
+        let r = match recv_deadline_ns(policy) {
             Some(ns) => match comm.ctrl_recv_deadline(from, tag, ns).await {
                 Ok(Some(body)) => Ok(body),
                 Ok(None) => Err(CommError::Timeout { waited_ns: ns }),
@@ -323,7 +324,7 @@ async fn recovered_shm_recv(
     let mut attempts = 0u32;
     loop {
         let t0 = comm.time_ns();
-        let r = match policy.step_timeout_ns {
+        let r = match recv_deadline_ns(policy) {
             Some(ns) => match comm.shm_recv_deadline(from, tag, dst, off, len, ns).await {
                 Ok(true) => Ok(()),
                 Ok(false) => Err(CommError::Timeout { waited_ns: ns }),
@@ -353,6 +354,8 @@ async fn recovered_shm_recv(
     }
 }
 
+/// Run every step, interposing the liveness watchdog — the twin of
+/// `exec::run_steps` (see there for the suspect/tolerant semantics).
 async fn run_steps(
     comm: &mut PolledComm,
     sched: &Schedule,
@@ -362,134 +365,160 @@ async fn run_steps(
 ) -> Result<()> {
     for step in &sched.steps {
         let t0 = comm.time_ns();
-        match step {
-            Step::Expose { slot, reg } => {
-                let buf = ctx.slot(*slot)?;
-                let token = retry_transient!(comm, rec, policy, comm.expose(buf).await)?;
-                ctx.set_token(*reg, token)?;
-                rec.add(StepKind::Expose, 0, t0, comm.time_ns());
-            }
-            Step::CmaRead {
-                token,
-                remote_off,
-                dst,
-                dst_off,
-                len,
-            } => {
-                let t = ctx.token(*token)?;
-                let dst = ctx.slot(*dst)?;
-                recovered_cma(comm, rec, policy, true, t, *remote_off, dst, *dst_off, *len).await?;
-                rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
-            }
-            Step::CmaWrite {
-                token,
-                remote_off,
-                src,
-                src_off,
-                len,
-            } => {
-                let t = ctx.token(*token)?;
-                let src = ctx.slot(*src)?;
-                recovered_cma(
-                    comm,
-                    rec,
-                    policy,
-                    false,
-                    t,
-                    *remote_off,
-                    src,
-                    *src_off,
-                    *len,
-                )
-                .await?;
-                rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
-            }
-            Step::CopyLocal {
-                src,
-                src_off,
-                dst,
-                dst_off,
-                len,
-            } => {
-                let src = ctx.slot(*src)?;
-                let dst = ctx.slot(*dst)?;
-                comm.copy_local(src, *src_off, dst, *dst_off, *len).await?;
-                rec.add(StepKind::CopyLocal, *len, t0, comm.time_ns());
-            }
-            Step::CtrlSend { to, tag, payload } => {
-                let body = ctx.render_payload(payload)?;
-                retry_transient!(comm, rec, policy, comm.ctrl_send(*to, *tag, &body).await)?;
-                rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
-            }
-            Step::CtrlRecv { from, tag, into } => {
-                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag).await?;
-                let n = body.len();
-                ctx.apply_recv(into, body)?;
-                rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
-            }
-            Step::Notify { to, tag } => {
-                retry_transient!(comm, rec, policy, comm.notify(*to, *tag).await)?;
-                rec.add(StepKind::Notify, 0, t0, comm.time_ns());
-            }
-            Step::WaitNotify { from, tag } => {
-                // A notification is a 0-byte control message; route it
-                // through the bounded receive so the wait obeys the step
-                // timeout (mirrors `CommExt::wait_notify`).
-                let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag).await?;
-                if !body.is_empty() {
-                    return Err(proto(format!(
-                        "expected 0-byte notification from rank {from}, got {} bytes",
-                        body.len()
-                    )));
+        if let Err(e) = run_one_step(comm, step, ctx, rec, policy, t0).await {
+            let m = &policy.membership;
+            if m.watch && is_suspect_error(&e) {
+                if let Some(peer) = step_peer(step, ctx) {
+                    rec.recovery("membership:suspect", peer, t0, comm.time_ns());
+                    if m.tolerant {
+                        continue;
+                    }
+                    return Err(CommError::PeerDead(peer));
                 }
-                rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
             }
-            Step::ShmSend {
-                to,
-                tag,
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Execute one IR step under the recovery policy — the twin of
+/// `exec::run_one_step`.
+async fn run_one_step(
+    comm: &mut PolledComm,
+    step: &Step,
+    ctx: &mut Ctx<'_>,
+    rec: &mut Recorder<'_>,
+    policy: &RecoveryPolicy,
+    t0: u64,
+) -> Result<()> {
+    match step {
+        Step::Expose { slot, reg } => {
+            let buf = ctx.slot(*slot)?;
+            let token = retry_transient!(comm, rec, policy, comm.expose(buf).await)?;
+            ctx.set_token(*reg, token)?;
+            rec.add(StepKind::Expose, 0, t0, comm.time_ns());
+        }
+        Step::CmaRead {
+            token,
+            remote_off,
+            dst,
+            dst_off,
+            len,
+        } => {
+            let t = ctx.token(*token)?;
+            let dst = ctx.slot(*dst)?;
+            recovered_cma(comm, rec, policy, true, t, *remote_off, dst, *dst_off, *len).await?;
+            rec.add(StepKind::CmaRead, *len, t0, comm.time_ns());
+        }
+        Step::CmaWrite {
+            token,
+            remote_off,
+            src,
+            src_off,
+            len,
+        } => {
+            let t = ctx.token(*token)?;
+            let src = ctx.slot(*src)?;
+            recovered_cma(
+                comm,
+                rec,
+                policy,
+                false,
+                t,
+                *remote_off,
                 src,
-                off,
-                len,
-            } => {
-                let src = ctx.slot(*src)?;
-                retry_transient!(
-                    comm,
-                    rec,
-                    policy,
-                    comm.shm_send_data(*to, *tag, src, *off, *len).await
-                )?;
-                rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
+                *src_off,
+                *len,
+            )
+            .await?;
+            rec.add(StepKind::CmaWrite, *len, t0, comm.time_ns());
+        }
+        Step::CopyLocal {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            len,
+        } => {
+            let src = ctx.slot(*src)?;
+            let dst = ctx.slot(*dst)?;
+            comm.copy_local(src, *src_off, dst, *dst_off, *len).await?;
+            rec.add(StepKind::CopyLocal, *len, t0, comm.time_ns());
+        }
+        Step::CtrlSend { to, tag, payload } => {
+            let body = ctx.render_payload(payload)?;
+            retry_transient!(comm, rec, policy, comm.ctrl_send(*to, *tag, &body).await)?;
+            rec.add(StepKind::CtrlSend, body.len(), t0, comm.time_ns());
+        }
+        Step::CtrlRecv { from, tag, into } => {
+            let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag).await?;
+            let n = body.len();
+            ctx.apply_recv(into, body)?;
+            rec.add(StepKind::CtrlRecv, n, t0, comm.time_ns());
+        }
+        Step::Notify { to, tag } => {
+            retry_transient!(comm, rec, policy, comm.notify(*to, *tag).await)?;
+            rec.add(StepKind::Notify, 0, t0, comm.time_ns());
+        }
+        Step::WaitNotify { from, tag } => {
+            // A notification is a 0-byte control message; route it
+            // through the bounded receive so the wait obeys the step
+            // timeout (mirrors `CommExt::wait_notify`).
+            let body = recovered_ctrl_recv(comm, rec, policy, *from, *tag).await?;
+            if !body.is_empty() {
+                return Err(proto(format!(
+                    "expected 0-byte notification from rank {from}, got {} bytes",
+                    body.len()
+                )));
             }
-            Step::ShmRecv {
-                from,
-                tag,
-                dst,
-                off,
-                len,
-            } => {
-                let dst = ctx.slot(*dst)?;
-                recovered_shm_recv(comm, rec, policy, *from, *tag, dst, *off, *len).await?;
-                rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
-            }
-            Step::Reduce {
-                op,
-                dtype,
-                acc,
-                acc_off,
-                src,
-                src_off,
-                len,
-            } => {
-                let acc_buf = ctx.slot(*acc)?;
-                let src_buf = ctx.slot(*src)?;
-                let mut acc_bytes = vec![0u8; *len];
-                let mut src_bytes = vec![0u8; *len];
-                comm.read_local(acc_buf, *acc_off, &mut acc_bytes)?;
-                comm.read_local(src_buf, *src_off, &mut src_bytes)?;
-                combine(&mut acc_bytes, &src_bytes, *dtype, *op);
-                comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
-                rec.add(StepKind::Reduce, *len, t0, comm.time_ns());
-            }
+            rec.add(StepKind::WaitNotify, 0, t0, comm.time_ns());
+        }
+        Step::ShmSend {
+            to,
+            tag,
+            src,
+            off,
+            len,
+        } => {
+            let src = ctx.slot(*src)?;
+            retry_transient!(
+                comm,
+                rec,
+                policy,
+                comm.shm_send_data(*to, *tag, src, *off, *len).await
+            )?;
+            rec.add(StepKind::ShmSend, *len, t0, comm.time_ns());
+        }
+        Step::ShmRecv {
+            from,
+            tag,
+            dst,
+            off,
+            len,
+        } => {
+            let dst = ctx.slot(*dst)?;
+            recovered_shm_recv(comm, rec, policy, *from, *tag, dst, *off, *len).await?;
+            rec.add(StepKind::ShmRecv, *len, t0, comm.time_ns());
+        }
+        Step::Reduce {
+            op,
+            dtype,
+            acc,
+            acc_off,
+            src,
+            src_off,
+            len,
+        } => {
+            let acc_buf = ctx.slot(*acc)?;
+            let src_buf = ctx.slot(*src)?;
+            let mut acc_bytes = vec![0u8; *len];
+            let mut src_bytes = vec![0u8; *len];
+            comm.read_local(acc_buf, *acc_off, &mut acc_bytes)?;
+            comm.read_local(src_buf, *src_off, &mut src_bytes)?;
+            combine(&mut acc_bytes, &src_bytes, *dtype, *op);
+            comm.write_local(acc_buf, *acc_off, &acc_bytes)?;
+            rec.add(StepKind::Reduce, *len, t0, comm.time_ns());
         }
     }
     Ok(())

@@ -1564,6 +1564,176 @@ pub fn compile_reduce(
 }
 
 // ---------------------------------------------------------------------
+// Membership: agreement rounds and survivor remapping
+// ---------------------------------------------------------------------
+
+/// The agreement tag for one `(epoch, round)` pair: masks from different
+/// shrink epochs or agreement rounds can never be confused.
+pub(crate) fn agree_tag(epoch: u32, round: u32) -> Tag {
+    Tag::internal(class::MEMBERSHIP, ((epoch & 0xF) << 8) | (round & 0xFF))
+}
+
+/// Compile one all-survivor agreement round: every member sends its
+/// 8-byte suspected-dead mask to every other member, then receives every
+/// other member's mask. The plan is compiled in the *parent*
+/// communicator's numbering (`p`/`me` are parent values), so it executes
+/// directly on the parent endpoints with no subgroup plumbing.
+///
+/// All sends are issued before any receive. Mailbox deposits are
+/// non-blocking and persist after a waiter gives up, so a member
+/// arriving late still finds every earlier deposit; a member that died
+/// simply never deposits, and the tolerant watchdog times the receive
+/// out and records the suspicion instead of failing the round.
+///
+/// `Slot::Send` holds this rank's mask at offset 0; the mask of the
+/// member at position `i` of the sorted `members` list lands in
+/// `Slot::Recv` at offset `8 * i` (the caller pre-fills its own
+/// position, which the plan never touches).
+pub fn compile_agree(p: usize, me: usize, members: &[usize], epoch: u32, round: u32) -> Schedule {
+    let mut b = Builder::new(p, me, class::MEMBERSHIP);
+    let tag = agree_tag(epoch, round);
+    for &m in members {
+        if m != me {
+            b.push(Step::ShmSend {
+                to: m,
+                tag,
+                src: Slot::Send,
+                off: 0,
+                len: 8,
+            });
+        }
+    }
+    for (i, &m) in members.iter().enumerate() {
+        if m != me {
+            b.push(Step::ShmRecv {
+                from: m,
+                tag,
+                dst: Slot::Recv,
+                off: 8 * i,
+                len: 8,
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Translate a Pack entry list's subgroup rank labels to parent ranks.
+fn remap_pack(
+    entries: &[(u32, Option<TokenReg>)],
+    members: &[usize],
+) -> Vec<(u32, Option<TokenReg>)> {
+    entries
+        .iter()
+        .map(|&(r, reg)| (members[r as usize] as u32, reg))
+        .collect()
+}
+
+/// Re-address a plan compiled for the survivor subgroup onto the parent
+/// communicator: peer ranks translate through `members` (subgroup rank
+/// `i` → parent rank `members[i]`), internal tags move into the shrink
+/// epoch's namespace so in-flight traffic from before the shrink can
+/// never be consumed by the re-execution, and the plan's identity
+/// becomes the parent `(p, rank)` so the executor's shape check passes
+/// on the parent endpoint.
+///
+/// Every compiled collective keeps its internal sub-tags below `0x1000`,
+/// which leaves one hex nibble of the 16-bit sub-tag for the epoch; both
+/// bounds are asserted, as is `sched.p == members.len()`.
+pub fn remap_for_members(
+    sched: &Schedule,
+    members: &[usize],
+    epoch: u32,
+    parent_p: usize,
+) -> Schedule {
+    assert!(
+        (1..=0xF).contains(&epoch),
+        "shrink epoch {epoch} outside 1..=15"
+    );
+    assert_eq!(
+        sched.p,
+        members.len(),
+        "plan shape does not match the survivor list"
+    );
+    let to_parent = |local: usize| members[local];
+    let retag = |t: Tag| match t.class() {
+        None => t,
+        Some(cls) => {
+            let sub = (t.0 - Tag::USER_MAX) & 0xFFFF;
+            assert!(
+                sub < 0x1000,
+                "sub-tag {sub:#x} leaves no room for the epoch nibble"
+            );
+            Tag::internal(cls, (epoch << 12) | sub)
+        }
+    };
+    let steps = sched
+        .steps
+        .iter()
+        .map(|s| match s {
+            Step::CtrlSend { to, tag, payload } => Step::CtrlSend {
+                to: to_parent(*to),
+                tag: retag(*tag),
+                payload: match payload {
+                    Payload::Pack(entries) => Payload::Pack(remap_pack(entries, members)),
+                    other => other.clone(),
+                },
+            },
+            Step::CtrlRecv { from, tag, into } => Step::CtrlRecv {
+                from: to_parent(*from),
+                tag: retag(*tag),
+                into: match into {
+                    RecvInto::Pack(entries) => RecvInto::Pack(remap_pack(entries, members)),
+                    other => other.clone(),
+                },
+            },
+            Step::Notify { to, tag } => Step::Notify {
+                to: to_parent(*to),
+                tag: retag(*tag),
+            },
+            Step::WaitNotify { from, tag } => Step::WaitNotify {
+                from: to_parent(*from),
+                tag: retag(*tag),
+            },
+            Step::ShmSend {
+                to,
+                tag,
+                src,
+                off,
+                len,
+            } => Step::ShmSend {
+                to: to_parent(*to),
+                tag: retag(*tag),
+                src: *src,
+                off: *off,
+                len: *len,
+            },
+            Step::ShmRecv {
+                from,
+                tag,
+                dst,
+                off,
+                len,
+            } => Step::ShmRecv {
+                from: to_parent(*from),
+                tag: retag(*tag),
+                dst: *dst,
+                off: *off,
+                len: *len,
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Schedule {
+        p: parent_p,
+        rank: members[sched.rank],
+        token_regs: sched.token_regs,
+        temps: sched.temps.clone(),
+        steps,
+        class: sched.class,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Plan cache
 // ---------------------------------------------------------------------
 
@@ -1657,6 +1827,17 @@ pub enum PlanKey {
         op: ReduceOp,
         /// Root rank.
         root: usize,
+    },
+    /// Survivor-remapped plan identity: `inner` describes the plan in
+    /// the subgroup's shape, remapped onto the parent communicator for
+    /// the given shrink epoch and member list.
+    Member {
+        /// Shrink epoch the plan was remapped for (1..=15).
+        epoch: u32,
+        /// Sorted surviving parent ranks.
+        members: Vec<usize>,
+        /// Plan identity in the subgroup's `(p, rank)` shape.
+        inner: Box<PlanKey>,
     },
 }
 
@@ -1762,6 +1943,20 @@ impl PlanCache {
     /// True when no plans are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drop every survivor-remapped plan older than `epoch`. A shrink
+    /// advancing the membership epoch makes plans remapped for earlier
+    /// memberships unreachable — their keys embed a stale epoch — so
+    /// holding them only wastes capacity and can evict live plans.
+    /// Returns the number of plans dropped.
+    pub fn invalidate_members_before(&self, epoch: u32) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|k, _| !matches!(k, PlanKey::Member { epoch: e, .. } if *e < epoch));
+        before - inner.map.len()
     }
 
     /// Drop every cached plan and reset the counters (bench/test hook).
@@ -1911,5 +2106,126 @@ mod tests {
         );
         assert_eq!(Builder::binomial_subtree(2, 8), vec![2, 3]);
         assert_eq!(Builder::binomial_subtree(4, 8), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn agree_plan_sends_before_receiving_every_member() {
+        let members = [0usize, 2, 5, 7];
+        let plan = compile_agree(8, 2, &members, 1, 0);
+        assert_eq!((plan.p, plan.rank), (8, 2));
+        assert_eq!(plan.class, Some(class::MEMBERSHIP));
+        // 3 sends to the other members, then 3 receives from them, with
+        // each member's mask landing at its list position.
+        assert_eq!(plan.steps.len(), 6);
+        let tag = agree_tag(1, 0);
+        for (i, s) in plan.steps.iter().take(3).enumerate() {
+            let want = [0usize, 5, 7][i];
+            assert_eq!(
+                *s,
+                Step::ShmSend {
+                    to: want,
+                    tag,
+                    src: Slot::Send,
+                    off: 0,
+                    len: 8
+                }
+            );
+        }
+        let recvs: Vec<_> = plan.steps[3..]
+            .iter()
+            .map(|s| match s {
+                Step::ShmRecv { from, off, .. } => (*from, *off),
+                other => panic!("expected ShmRecv, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(recvs, vec![(0, 0), (5, 16), (7, 24)]);
+    }
+
+    #[test]
+    fn agree_tags_separate_epochs_and_rounds() {
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..=0xF {
+            for round in 0..2 {
+                let t = agree_tag(epoch, round);
+                assert!(seen.insert(t.0), "tag collision at ({epoch}, {round})");
+                assert_eq!(t.class(), Some(class::MEMBERSHIP));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_translates_peers_tags_and_identity() {
+        // Compile a bcast for the 3-survivor subgroup {0, 2, 3} of p=5
+        // as seen by survivor index 1 (parent rank 2), then remap.
+        let members = [0usize, 2, 3];
+        let sub = compile_bcast(BcastAlgo::KNomial { radix: 2 }, 3, 1, 64, 0);
+        let remapped = remap_for_members(&sub, &members, 1, 5);
+        assert_eq!((remapped.p, remapped.rank), (5, 2));
+        assert_eq!(remapped.steps.len(), sub.steps.len());
+        for (orig, new) in sub.steps.iter().zip(&remapped.steps) {
+            let peer_pair = |s: &Step| match s {
+                Step::CtrlSend { to, tag, .. }
+                | Step::Notify { to, tag }
+                | Step::ShmSend { to, tag, .. } => Some((*to, *tag)),
+                Step::CtrlRecv { from, tag, .. }
+                | Step::WaitNotify { from, tag }
+                | Step::ShmRecv { from, tag, .. } => Some((*from, *tag)),
+                _ => None,
+            };
+            match (peer_pair(orig), peer_pair(new)) {
+                (Some((po, to)), Some((pn, tn))) => {
+                    assert_eq!(pn, members[po], "peer remapped through the member list");
+                    assert_eq!(tn.class(), to.class(), "tag class preserved");
+                    let sub_of = |t: Tag| (t.0 - Tag::USER_MAX) & 0xFFFF;
+                    assert_eq!(
+                        sub_of(tn),
+                        (1 << 12) | sub_of(to),
+                        "sub-tag moved into the epoch-1 namespace"
+                    );
+                }
+                (None, None) => assert_eq!(orig, new, "peerless steps are untouched"),
+                other => panic!("step shape changed under remap: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn member_plans_invalidate_below_the_epoch() {
+        let cache = PlanCache::new(16);
+        let inner = |rank: usize| {
+            Box::new(PlanKey::Bcast {
+                algo: BcastAlgo::DirectRead,
+                p: 3,
+                rank,
+                count: 8,
+                root: 0,
+            })
+        };
+        let compile = || compile_bcast(BcastAlgo::DirectRead, 3, 0, 8, 0);
+        for epoch in 1..=3u32 {
+            cache.get_or_compile(
+                PlanKey::Member {
+                    epoch,
+                    members: vec![0, 1, 2],
+                    inner: inner(0),
+                },
+                compile,
+            );
+        }
+        cache.get_or_compile(
+            PlanKey::Bcast {
+                algo: BcastAlgo::DirectRead,
+                p: 3,
+                rank: 0,
+                count: 8,
+                root: 0,
+            },
+            compile,
+        );
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.invalidate_members_before(3), 2);
+        // The epoch-3 member plan and the plain plan survive.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.invalidate_members_before(3), 0);
     }
 }

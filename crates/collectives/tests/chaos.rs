@@ -590,3 +590,83 @@ fn same_seed_same_faults_same_timeline() {
     assert_eq!(run_a.end_ns, run_b.end_ns, "chaos run is not deterministic");
     assert_eq!(a, b, "chaos payload outcomes are not deterministic");
 }
+
+// ---- 6. Hierarchical collectives ride the same chaos plans ----------------
+
+/// One full hierarchical round (scatter, gather, pipelined gather) on
+/// the simulator under the recoverable plan; returns the three payloads
+/// each rank observed.
+fn check_hier_sim(seed: u64, p: usize, count: usize, root: usize, k: usize) {
+    use kacc_collectives::hierarchical::{hier_gather, hier_gather_pipelined, hier_scatter};
+    let arch = small_arch();
+    let (run, results) = run_team_faulty(
+        &arch,
+        p,
+        recoverable_hook(seed),
+        move |comm: &mut SimComm| {
+            let me = comm.rank();
+            let ssb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let srb = comm.alloc(count);
+            hier_scatter(comm, ssb, Some(srb), count, root, k).unwrap();
+            let scattered = comm.read_all(srb).unwrap();
+
+            let gsb = comm.alloc_with(&contribution(me, count));
+            let grb = (me == root).then(|| comm.alloc(p * count));
+            hier_gather(comm, Some(gsb), grb, count, root, k).unwrap();
+            let gathered = grb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default();
+
+            let psb = comm.alloc_with(&contribution(me, count));
+            let prb = (me == root).then(|| comm.alloc(p * count));
+            hier_gather_pipelined(comm, Some(psb), prb, count, root, k).unwrap();
+            let pipelined = prb.map(|b| comm.read_all(b).unwrap()).unwrap_or_default();
+
+            (scattered, gathered, pipelined)
+        },
+    );
+    for (r, (scattered, gathered, pipelined)) in results.iter().enumerate() {
+        let ctx = format!("hier seed={seed} p={p} count={count} root={root} k={k} rank {r}");
+        if let Some(d) = diff(scattered, &scatter_expected(r, count)) {
+            panic!("{ctx} scatter: {d}");
+        }
+        let want_gather = if r == root {
+            gather_expected(p, count)
+        } else {
+            Vec::new()
+        };
+        if let Some(d) = diff(gathered, &want_gather) {
+            panic!("{ctx} gather: {d}");
+        }
+        if let Some(d) = diff(pipelined, &want_gather) {
+            panic!("{ctx} pipelined gather: {d}");
+        }
+    }
+    assert_eq!(
+        run.mail_pending, 0,
+        "hier seed={seed}: leaked control messages"
+    );
+}
+
+#[test]
+fn chaos_corpus_hierarchical_sim() {
+    for &seed in &seed_corpus() {
+        check_hier_sim(seed, 8, 1024, 0, 4);
+        check_hier_sim(seed, 7, 512, 2, 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Hierarchical designs survive any recoverable plan with exact
+    /// payloads, for any team size, leader-group width, and root.
+    #[test]
+    fn chaos_any_seed_hierarchical_sim(
+        seed in any::<u64>(),
+        p in 2usize..9,
+        k in 1usize..5,
+        rootsel in 0usize..8,
+        lanes in 1usize..16,
+    ) {
+        check_hier_sim(seed, p, lanes * 64, rootsel % p, k);
+    }
+}

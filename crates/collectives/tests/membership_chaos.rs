@@ -1,0 +1,747 @@
+//! Membership chaos suite: kill ranks mid-collective and pin the
+//! detect → agree → shrink-and-re-execute loop on both engines.
+//!
+//! Invariants pinned here:
+//!
+//! 1. **Kill-k completes over the survivors** — with `k ∈ {1, 2}` ranks
+//!    silently killed mid-plan, every survivor finishes with the payload
+//!    the collective defines over the shrunken group, and the agreed
+//!    survivor list and dead mask are identical on every rank.
+//! 2. **Killed ranks fail typed** — a dead rank (and every rank, when
+//!    the root dies or quorum is lost) gets a typed `CommError`, never a
+//!    hang and never a panic.
+//! 3. **Engine equivalence** — the whole recovery path (virtual end
+//!    time, per-rank outcomes, payloads) is bitwise-identical between
+//!    the blocking-thread engine and the polled engine.
+//! 4. **Zero cost when clean** — a fault-free survivable run reports a
+//!    clean `MembershipReport` and a clean `RecoveryReport`.
+//! 5. **Shrink remapping is sound** — remapped plans are a bijection
+//!    onto the survivor list and their retagged sub-tags never collide
+//!    with any pre-shrink epoch (property-based).
+//!
+//! Every failure message includes the plan seed. Set `KACC_CHAOS_SEED`
+//! to add one extra seed to the fixed corpus (the CI membership-chaos
+//! step passes a fresh random one and echoes it).
+
+use kacc_collectives::schedule::{compile_allgather, compile_bcast};
+use kacc_collectives::verify::{
+    alltoall_sendbuf, contribution, diff, scatter_expected, scatter_sendbuf,
+};
+use kacc_collectives::{
+    remap_for_members, run_survivable, run_survivable_polled, AllgatherAlgo, AlltoallAlgo,
+    BcastAlgo, Dtype, GatherAlgo, MembershipReport, RecoveryPolicy, ScatterAlgo, Schedule, Step,
+    SurvivableOp,
+};
+use kacc_collectives::{ReduceAlgo, ReduceOp};
+use kacc_comm::{Comm, CommExt, Tag};
+use kacc_fault::{FaultHook, FaultKind, FaultPlan, FaultRule};
+use kacc_machine::{run_polled_team_faulty, run_team_faulty, PolledComm, SimComm, TeamRun};
+use kacc_model::ArchProfile;
+use kacc_native::run_threads;
+use proptest::prelude::*;
+
+fn small_arch() -> ArchProfile {
+    let mut a = ArchProfile::broadwell();
+    a.name = "MembershipNode".into();
+    a.cores_per_socket = 8;
+    a
+}
+
+/// Fixed reproduction corpus plus an optional fresh seed from the
+/// environment (printed in every assertion message on failure).
+fn seed_corpus() -> Vec<u64> {
+    let mut seeds = vec![1, 0xC0FFEE, 0xDEAD_BEEF, 0x9E37_79B9_7F4A_7C15];
+    if let Ok(v) = std::env::var("KACC_CHAOS_SEED") {
+        match v.parse::<u64>() {
+            Ok(s) => seeds.push(s),
+            Err(_) => panic!("KACC_CHAOS_SEED must be a u64, got {v:?}"),
+        }
+    }
+    seeds
+}
+
+/// Silently kill each listed rank after its `after`-th transport
+/// operation: every op from then on fails with `ESRCH`, which is
+/// exactly what a peer observes of a process that died without a
+/// goodbye.
+fn silent_kill(seed: u64, dead: &[(usize, u64)]) -> FaultHook {
+    let mut plan = FaultPlan::new(seed);
+    for &(d, after) in dead {
+        plan = plan.rule(
+            FaultRule::new(FaultKind::Transient { errno: 3 }, 1.0)
+                .ranks_mask(&[d])
+                .after(after),
+        );
+    }
+    plan.hook()
+}
+
+fn reduce_value(rank: usize, lane: usize) -> u64 {
+    (rank as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(lane as u64 * 31)
+}
+
+fn reduce_fill(rank: usize, lanes: usize) -> Vec<u8> {
+    (0..lanes)
+        .flat_map(|l| reduce_value(rank, l).to_le_bytes())
+        .collect()
+}
+
+const PICK_NAMES: [&str; 6] = [
+    "scatter",
+    "gather",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "reduce",
+];
+
+fn op_for(pick: usize, count: usize, root: usize) -> SurvivableOp {
+    match pick {
+        0 => SurvivableOp::Scatter {
+            algo: ScatterAlgo::ThrottledRead { k: 2 },
+            count,
+            root,
+        },
+        1 => SurvivableOp::Gather {
+            algo: GatherAlgo::ParallelWrite,
+            count,
+            root,
+        },
+        2 => SurvivableOp::Bcast {
+            algo: BcastAlgo::KNomial { radix: 2 },
+            count,
+            root,
+        },
+        3 => SurvivableOp::Allgather {
+            algo: AllgatherAlgo::Bruck,
+            count,
+        },
+        4 => SurvivableOp::Alltoall {
+            algo: AlltoallAlgo::Pairwise,
+            count,
+        },
+        5 => SurvivableOp::Reduce {
+            algo: ReduceAlgo::KNomialTree { radix: 2 },
+            count,
+            dtype: Dtype::U64,
+            op: ReduceOp::Sum,
+            root,
+        },
+        _ => unreachable!("pick out of range"),
+    }
+}
+
+/// What one rank's survivable run produced: the agreed survivor list,
+/// the membership loop's report, whether the final execution's
+/// `RecoveryReport` was clean, and the observed payload bytes.
+type RankOutcome = std::result::Result<(Vec<usize>, MembershipReport, bool, Vec<u8>), String>;
+
+/// Run survivable collective `pick` on the blocking engine. Buffers are
+/// parent-sized; a shrunken result occupies their prefix.
+fn survivable_threads(comm: &mut SimComm, pick: usize, count: usize, root: usize) -> RankOutcome {
+    let p = comm.size();
+    let me = comm.rank();
+    let op = op_for(pick, count, root);
+    let (sb, rb, out) = match pick {
+        0 => {
+            let sb = (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+            let rb = comm.alloc(count);
+            (sb, Some(rb), Some(rb))
+        }
+        1 => {
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = (me == root).then(|| comm.alloc(p * count));
+            (Some(sb), rb, rb)
+        }
+        2 => {
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count))
+            } else {
+                comm.alloc(count)
+            };
+            (Some(buf), None, Some(buf))
+        }
+        3 => {
+            let sb = comm.alloc_with(&contribution(me, count));
+            let rb = comm.alloc(p * count);
+            (Some(sb), Some(rb), Some(rb))
+        }
+        4 => {
+            let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+            let rb = comm.alloc(p * count);
+            (Some(sb), Some(rb), Some(rb))
+        }
+        5 => {
+            let sb = comm.alloc_with(&reduce_fill(me, count / 8));
+            let rb = (me == root).then(|| comm.alloc(count));
+            (Some(sb), rb, rb)
+        }
+        _ => unreachable!("pick out of range"),
+    };
+    match run_survivable(comm, &op, sb, rb, &RecoveryPolicy::survivable()) {
+        Ok(o) => {
+            let payload = out
+                .map(|b| comm.read_all(b).expect("read"))
+                .unwrap_or_default();
+            Ok((
+                o.members,
+                o.membership,
+                o.report.recovery.is_empty(),
+                payload,
+            ))
+        }
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+/// The polled-engine twin of [`survivable_threads`].
+async fn survivable_polled(
+    comm: &mut PolledComm,
+    pick: usize,
+    count: usize,
+    root: usize,
+) -> RankOutcome {
+    let p = comm.size();
+    let me = comm.rank();
+    let op = op_for(pick, count, root);
+    let (sb, rb, out) = match pick {
+        0 => {
+            let sb =
+                (me == root).then(|| comm.alloc_with(&scatter_sendbuf(p, count)).expect("alloc"));
+            let rb = comm.alloc(count);
+            (sb, Some(rb), Some(rb))
+        }
+        1 => {
+            let sb = comm.alloc_with(&contribution(me, count)).expect("alloc");
+            let rb = (me == root).then(|| comm.alloc(p * count));
+            (Some(sb), rb, rb)
+        }
+        2 => {
+            let buf = if me == root {
+                comm.alloc_with(&contribution(root, count)).expect("alloc")
+            } else {
+                comm.alloc(count)
+            };
+            (Some(buf), None, Some(buf))
+        }
+        3 => {
+            let sb = comm.alloc_with(&contribution(me, count)).expect("alloc");
+            let rb = comm.alloc(p * count);
+            (Some(sb), Some(rb), Some(rb))
+        }
+        4 => {
+            let sb = comm
+                .alloc_with(&alltoall_sendbuf(me, p, count))
+                .expect("alloc");
+            let rb = comm.alloc(p * count);
+            (Some(sb), Some(rb), Some(rb))
+        }
+        5 => {
+            let sb = comm.alloc_with(&reduce_fill(me, count / 8)).expect("alloc");
+            let rb = (me == root).then(|| comm.alloc(count));
+            (Some(sb), rb, rb)
+        }
+        _ => unreachable!("pick out of range"),
+    };
+    match run_survivable_polled(comm, &op, sb, rb, &RecoveryPolicy::survivable()).await {
+        Ok(o) => {
+            let payload = out
+                .map(|b| comm.read_all(b).expect("read"))
+                .unwrap_or_default();
+            Ok((
+                o.members,
+                o.membership,
+                o.report.recovery.is_empty(),
+                payload,
+            ))
+        }
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+/// The payload survivor `members[idx]` must observe (only the shrunken
+/// prefix of its parent-sized buffer is defined).
+fn expected_survivor(
+    pick: usize,
+    idx: usize,
+    members: &[usize],
+    parent_p: usize,
+    count: usize,
+    root: usize,
+) -> Vec<u8> {
+    let me = members[idx];
+    let l = members.len();
+    match pick {
+        0 => scatter_expected(idx, count),
+        1 if me == root => members
+            .iter()
+            .flat_map(|&m| contribution(m, count))
+            .collect(),
+        1 => Vec::new(),
+        2 => contribution(root, count),
+        3 => members
+            .iter()
+            .flat_map(|&m| contribution(m, count))
+            .collect(),
+        4 => (0..l)
+            .flat_map(|i| {
+                let sb = alltoall_sendbuf(members[i], parent_p, count);
+                sb[idx * count..(idx + 1) * count].to_vec()
+            })
+            .collect(),
+        5 if me == root => (0..count / 8)
+            .flat_map(|lane| {
+                members
+                    .iter()
+                    .fold(0u64, |acc, &m| acc.wrapping_add(reduce_value(m, lane)))
+                    .to_le_bytes()
+            })
+            .collect(),
+        5 => Vec::new(),
+        _ => unreachable!("pick out of range"),
+    }
+}
+
+/// A dead or exiled rank must end with a typed error, not a panic or a
+/// stringified hang.
+fn assert_dead_typed(msg: &str, ctx: &str) {
+    assert!(
+        msg.contains("PeerDead")
+            || msg.contains("Os(3)")
+            || msg.contains("Timeout")
+            || msg.contains("quorum")
+            || msg.contains("shrinks"),
+        "{ctx}: expected a typed membership error, got {msg}"
+    );
+}
+
+fn mask_of(ranks: &[usize]) -> u64 {
+    ranks.iter().fold(0u64, |m, &r| m | 1u64 << r)
+}
+
+/// Strict postcondition for a kill-k run: every survivor completed over
+/// the agreed shrunken group with the exact payload; every killed rank
+/// failed typed.
+#[allow(clippy::too_many_arguments)]
+fn assert_kill_outcomes(
+    pick: usize,
+    p: usize,
+    count: usize,
+    root: usize,
+    deadset: &[usize],
+    seed: u64,
+    results: &[RankOutcome],
+    engine: &str,
+) {
+    let survivors: Vec<usize> = (0..p).filter(|r| !deadset.contains(r)).collect();
+    for (r, res) in results.iter().enumerate() {
+        let ctx = format!(
+            "{engine} {} seed={seed} p={p} count={count} root={root} dead={deadset:?} rank {r}",
+            PICK_NAMES[pick]
+        );
+        if deadset.contains(&r) {
+            match res {
+                Ok(_) => panic!("{ctx}: a killed rank cannot complete"),
+                Err(msg) => assert_dead_typed(msg, &ctx),
+            }
+            continue;
+        }
+        match res {
+            Ok((members, mrep, _, payload)) => {
+                assert_eq!(members, &survivors, "{ctx}: wrong agreed survivor list");
+                assert_eq!(
+                    mrep.dead_mask,
+                    mask_of(deadset),
+                    "{ctx}: wrong agreed dead mask"
+                );
+                assert!(
+                    mrep.epochs >= 1 && mrep.reexecs >= 1,
+                    "{ctx}: recovery must shrink and re-execute, got {mrep:?}"
+                );
+                let idx = members
+                    .iter()
+                    .position(|&m| m == r)
+                    .expect("survivor in members");
+                let want = expected_survivor(pick, idx, members, p, count, root);
+                assert!(
+                    payload.len() >= want.len(),
+                    "{ctx}: payload shorter than the shrunken result"
+                );
+                if let Some(d) = diff(&payload[..want.len()], &want) {
+                    panic!("{ctx}: {d}");
+                }
+            }
+            Err(msg) => panic!("{ctx}: survivor must complete after the shrink, got {msg}"),
+        }
+    }
+}
+
+fn run_kill_sim(
+    pick: usize,
+    p: usize,
+    count: usize,
+    root: usize,
+    dead: Vec<(usize, u64)>,
+    seed: u64,
+) -> (TeamRun, Vec<RankOutcome>) {
+    let arch = small_arch();
+    run_team_faulty(
+        &arch,
+        p,
+        silent_kill(seed, &dead),
+        move |comm: &mut SimComm| survivable_threads(comm, pick, count, root),
+    )
+}
+
+fn run_kill_polled(
+    pick: usize,
+    p: usize,
+    count: usize,
+    root: usize,
+    dead: Vec<(usize, u64)>,
+    seed: u64,
+) -> (TeamRun, Vec<RankOutcome>) {
+    let arch = small_arch();
+    run_polled_team_faulty(&arch, p, silent_kill(seed, &dead), move |rank| async move {
+        let mut comm = PolledComm::new(rank);
+        survivable_polled(&mut comm, pick, count, root).await
+    })
+}
+
+/// Kill-k on both engines, with strict survivor verification and a
+/// bitwise engine-equivalence check over the entire recovery path.
+fn check_kill_both_engines(
+    pick: usize,
+    p: usize,
+    count: usize,
+    root: usize,
+    dead: &[(usize, u64)],
+    seed: u64,
+) {
+    let deadset: Vec<usize> = dead.iter().map(|d| d.0).collect();
+    let (trun, tres) = run_kill_sim(pick, p, count, root, dead.to_vec(), seed);
+    assert_kill_outcomes(pick, p, count, root, &deadset, seed, &tres, "sim-threads");
+    let (prun, pres) = run_kill_polled(pick, p, count, root, dead.to_vec(), seed);
+    assert_kill_outcomes(pick, p, count, root, &deadset, seed, &pres, "sim-polled");
+    assert_eq!(
+        trun.end_ns, prun.end_ns,
+        "{} seed={seed} dead={deadset:?}: engines disagree on the recovery end time",
+        PICK_NAMES[pick]
+    );
+    assert_eq!(
+        tres, pres,
+        "{} seed={seed} dead={deadset:?}: engines disagree on per-rank outcomes",
+        PICK_NAMES[pick]
+    );
+}
+
+// ---- 1. Kill-k completes over the survivors (both engines) ----------------
+
+#[test]
+fn membership_kill_one_all_collectives_both_engines() {
+    for pick in 0..6 {
+        // Rank 5 dies after a few ops; root 2 survives.
+        check_kill_both_engines(pick, 8, 256, 2, &[(5, 3)], 1);
+    }
+}
+
+#[test]
+fn membership_kill_one_immediately_sim() {
+    for &seed in &seed_corpus() {
+        for pick in 0..6 {
+            let (_, res) = run_kill_sim(pick, 8, 256, 0, vec![(6, 0)], seed);
+            assert_kill_outcomes(pick, 8, 256, 0, &[6], seed, &res, "sim-threads");
+        }
+    }
+}
+
+#[test]
+fn membership_kill_two_all_collectives_sim() {
+    for pick in 0..6 {
+        // Two ranks die at different points; quorum (6/8) holds.
+        let dead = vec![(3, 2), (7, 5)];
+        let (_, res) = run_kill_sim(pick, 8, 256, 0, dead, 0xC0FFEE);
+        assert_kill_outcomes(pick, 8, 256, 0, &[3, 7], 0xC0FFEE, &res, "sim-threads");
+    }
+}
+
+#[test]
+fn membership_kill_two_polled() {
+    for pick in 0..6 {
+        let dead = vec![(3, 2), (7, 5)];
+        let (_, res) = run_kill_polled(pick, 8, 256, 0, dead, 0xC0FFEE);
+        assert_kill_outcomes(pick, 8, 256, 0, &[3, 7], 0xC0FFEE, &res, "sim-polled");
+    }
+}
+
+// ---- 2. Dead roots and lost quorums fail typed on every rank --------------
+
+#[test]
+fn membership_dead_root_fails_typed_everywhere() {
+    for pick in [0usize, 1, 2, 5] {
+        let (_, res) = run_kill_sim(pick, 8, 256, 4, vec![(4, 0)], 7);
+        for (r, out) in res.iter().enumerate() {
+            let ctx = format!("{} dead-root rank {r}", PICK_NAMES[pick]);
+            let msg = out
+                .as_ref()
+                .err()
+                .unwrap_or_else(|| panic!("{ctx}: no rank may complete without the root"));
+            assert_dead_typed(msg, &ctx);
+        }
+    }
+}
+
+#[test]
+fn membership_quorum_loss_is_a_typed_protocol_error() {
+    // p = 4, two dead: 2 survivors cannot hold a majority of 4.
+    let (_, res) = run_kill_sim(3, 4, 256, 0, vec![(1, 0), (3, 0)], 11);
+    for (r, out) in res.iter().enumerate() {
+        let msg = out
+            .as_ref()
+            .err()
+            .unwrap_or_else(|| panic!("rank {r}: completed without quorum"));
+        if r == 0 || r == 2 {
+            assert!(
+                msg.contains("quorum"),
+                "survivor {r}: expected a quorum error, got {msg}"
+            );
+        } else {
+            assert_dead_typed(msg, &format!("dead rank {r}"));
+        }
+    }
+}
+
+// ---- 3. Determinism: same seed, same run, bitwise ------------------------
+
+#[test]
+fn membership_recovery_is_deterministic_per_seed() {
+    for &seed in &seed_corpus()[..2] {
+        let a = run_kill_sim(3, 8, 512, 0, vec![(5, 3)], seed);
+        let b = run_kill_sim(3, 8, 512, 0, vec![(5, 3)], seed);
+        assert_eq!(a.0.end_ns, b.0.end_ns, "seed={seed}: end time drifted");
+        assert_eq!(
+            a.0.finish_ns, b.0.finish_ns,
+            "seed={seed}: finish times drifted"
+        );
+        assert_eq!(a.1, b.1, "seed={seed}: outcomes drifted");
+    }
+}
+
+// ---- 4. Zero cost when clean ---------------------------------------------
+
+#[test]
+fn membership_fault_free_is_clean_on_both_engines() {
+    let p = 8;
+    let count = 256;
+    let all: Vec<usize> = (0..p).collect();
+    for pick in 0..6 {
+        let (trun, tres) = run_kill_sim(pick, p, count, 1, vec![], 0);
+        let (prun, pres) = run_kill_polled(pick, p, count, 1, vec![], 0);
+        for (r, out) in tres.iter().enumerate() {
+            let (members, mrep, recovery_clean, payload) = out
+                .as_ref()
+                .unwrap_or_else(|e| panic!("sim rank {r} pick {pick}: {e}"));
+            assert_eq!(members, &all, "rank {r}: fault-free run shrank");
+            assert!(mrep.is_clean(), "rank {r}: dirty membership {mrep:?}");
+            assert!(*recovery_clean, "rank {r}: dirty recovery report");
+            let want = expected_survivor(pick, r, &all, p, count, 1);
+            if let Some(d) = diff(&payload[..want.len()], &want) {
+                panic!("rank {r} pick {pick}: {d}");
+            }
+        }
+        assert_eq!(
+            trun.end_ns, prun.end_ns,
+            "pick {pick}: engines diverge clean"
+        );
+        assert_eq!(tres, pres, "pick {pick}: engines diverge clean");
+    }
+}
+
+#[test]
+fn membership_fault_free_native_threads_smoke() {
+    // Wall-clock engine: only the fault-free path is timing-safe to pin.
+    let p = 4;
+    let count = 128;
+    let all: Vec<usize> = (0..p).collect();
+    for pick in 0..6 {
+        let results = run_threads(p, move |comm| {
+            let me = comm.rank();
+            let op = op_for(pick, count, 0);
+            let (sb, rb, out) = match pick {
+                0 => {
+                    let sb = (me == 0).then(|| comm.alloc_with(&scatter_sendbuf(p, count)));
+                    let rb = comm.alloc(count);
+                    (sb, Some(rb), Some(rb))
+                }
+                1 => {
+                    let sb = comm.alloc_with(&contribution(me, count));
+                    let rb = (me == 0).then(|| comm.alloc(p * count));
+                    (Some(sb), rb, rb)
+                }
+                2 => {
+                    let buf = if me == 0 {
+                        comm.alloc_with(&contribution(0, count))
+                    } else {
+                        comm.alloc(count)
+                    };
+                    (Some(buf), None, Some(buf))
+                }
+                3 => {
+                    let sb = comm.alloc_with(&contribution(me, count));
+                    let rb = comm.alloc(p * count);
+                    (Some(sb), Some(rb), Some(rb))
+                }
+                4 => {
+                    let sb = comm.alloc_with(&alltoall_sendbuf(me, p, count));
+                    let rb = comm.alloc(p * count);
+                    (Some(sb), Some(rb), Some(rb))
+                }
+                5 => {
+                    let sb = comm.alloc_with(&reduce_fill(me, count / 8));
+                    let rb = (me == 0).then(|| comm.alloc(count));
+                    (Some(sb), rb, rb)
+                }
+                _ => unreachable!(),
+            };
+            let o = run_survivable(comm, &op, sb, rb, &RecoveryPolicy::survivable())
+                .expect("fault-free survivable");
+            let payload = out
+                .map(|b| comm.read_all(b).expect("read"))
+                .unwrap_or_default();
+            (o.members, o.membership, payload)
+        });
+        for (r, (members, mrep, payload)) in results.iter().enumerate() {
+            assert_eq!(members, &all, "native rank {r} pick {pick}: shrank");
+            assert!(mrep.is_clean(), "native rank {r} pick {pick}: {mrep:?}");
+            let want = expected_survivor(pick, r, &all, p, count, 0);
+            if let Some(d) = diff(&payload[..want.len()], &want) {
+                panic!("native rank {r} pick {pick}: {d}");
+            }
+        }
+    }
+}
+
+// ---- 5. Property: any kill point, never a hang, never a panic -------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Killing any non-root rank at any point in any collective either
+    /// completes every survivor over the agreed group with the exact
+    /// shrunken payload, or fails typed — the simulator run always
+    /// terminates (a hang would deadlock the virtual clock and fail the
+    /// harness, not this assertion).
+    #[test]
+    fn membership_any_kill_point_terminates(
+        seed in any::<u64>(),
+        pick in 0usize..6,
+        deadsel in 1usize..8,
+        after in 0u64..12,
+    ) {
+        let p = 8;
+        let root = 0;
+        let dead = deadsel; // 1..8: never the root
+        let (_, res) = run_kill_sim(pick, p, 256, root, vec![(dead, after)], seed);
+        assert_kill_outcomes(pick, p, 256, root, &[dead], seed, &res, "sim-threads");
+    }
+}
+
+// ---- 6. Property: shrink remapping is a bijection with fresh tags ---------
+
+/// Collect (peer, tag) references from every step of a schedule.
+fn step_refs(s: &Schedule) -> Vec<(Option<usize>, Option<Tag>)> {
+    s.steps
+        .iter()
+        .map(|st| match *st {
+            Step::CtrlSend { to, tag, .. } => (Some(to), Some(tag)),
+            Step::CtrlRecv { from, tag, .. } => (Some(from), Some(tag)),
+            Step::Notify { to, tag } => (Some(to), Some(tag)),
+            Step::WaitNotify { from, tag } => (Some(from), Some(tag)),
+            Step::ShmSend { to, tag, .. } => (Some(to), Some(tag)),
+            Step::ShmRecv { from, tag, .. } => (Some(from), Some(tag)),
+            _ => (None, None),
+        })
+        .collect()
+}
+
+fn sub_of(tag: Tag) -> u32 {
+    tag.0 & 0xFFFF
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// For any survivor subset and shrink epoch, the remapped plan (a)
+    /// maps subgroup peers bijectively onto the survivor list, (b)
+    /// keeps every tag's class, and (c) retags sub-tags into an
+    /// epoch-unique namespace disjoint from every earlier epoch.
+    #[test]
+    fn shrink_remap_is_a_bijection_with_unique_tags(
+        parent_p in 3usize..12,
+        keep_seed in any::<u64>(),
+        epoch in 1u32..=15,
+        variant in 0usize..2,
+        count_lanes in 1usize..8,
+    ) {
+        // Deterministically pick a survivor subset of size >= 2.
+        let mut members: Vec<usize> = (0..parent_p)
+            .filter(|&r| (keep_seed >> (r % 64)) & 1 == 0)
+            .collect();
+        if members.len() < 2 {
+            members = vec![0, parent_p - 1];
+        }
+        let l = members.len();
+        let count = count_lanes * 64;
+        for (idx, &me) in members.iter().enumerate() {
+            let sub = match variant {
+                0 => compile_bcast(BcastAlgo::KNomial { radix: 2 }, l, idx, count, 0),
+                _ => compile_allgather(AllgatherAlgo::Bruck, l, idx, count, true),
+            };
+            let remapped = remap_for_members(&sub, &members, epoch, parent_p);
+            prop_assert_eq!(remapped.p, parent_p);
+            prop_assert_eq!(remapped.rank, me);
+            let before = step_refs(&sub);
+            let after = step_refs(&remapped);
+            prop_assert_eq!(before.len(), after.len());
+            for ((bp, bt), (ap, at)) in before.iter().zip(after.iter()) {
+                // (a) peers map through the survivor list — a bijection
+                // since `members` is sorted and duplicate-free.
+                prop_assert_eq!(*ap, bp.map(|q| members[q]));
+                if let (Some(bt), Some(at)) = (bt, at) {
+                    // (b) the tag class survives the retag.
+                    prop_assert_eq!(at.class(), bt.class());
+                    // (c) sub-tags move into the epoch's namespace:
+                    // epoch e stamps bits 12.. with e, so two different
+                    // epochs (and epoch 0, which never sets them) can
+                    // never collide.
+                    prop_assert_eq!(sub_of(*at), (epoch << 12) | sub_of(*bt));
+                    prop_assert!(sub_of(*bt) < 0x1000);
+                }
+            }
+            // (c) continued: the retagged set is disjoint from every
+            // earlier epoch's set for the same plan shape.
+            for earlier in 0..epoch {
+                let prior = if earlier == 0 {
+                    sub.clone()
+                } else {
+                    remap_for_members(&sub, &members, earlier, parent_p)
+                };
+                let prior_tags: std::collections::HashSet<u32> = step_refs(&prior)
+                    .iter()
+                    .filter_map(|(_, t)| t.map(|t| t.0))
+                    .collect();
+                for (_, t) in step_refs(&remapped) {
+                    if let Some(t) = t {
+                        prop_assert!(
+                            !prior_tags.contains(&t.0),
+                            "epoch {} tag {:#x} collides with epoch {}",
+                            epoch, t.0, earlier
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

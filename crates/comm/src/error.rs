@@ -41,6 +41,11 @@ pub enum CommError {
     Protocol(String),
     /// Operating-system error (errno) from the real transport.
     Os(i32),
+    /// The membership layer declared this peer dead: either the transport
+    /// reported `ESRCH` for an operation involving it, or a liveness
+    /// deadline expired while waiting on it. Carries the suspected rank
+    /// (in the *parent* communicator's numbering).
+    PeerDead(usize),
 }
 
 impl fmt::Display for CommError {
@@ -61,6 +66,7 @@ impl fmt::Display for CommError {
             }
             CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             CommError::Os(errno) => write!(f, "os error (errno {errno})"),
+            CommError::PeerDead(r) => write!(f, "peer rank {r} suspected dead"),
         }
     }
 }

@@ -11,6 +11,32 @@
 
 use crate::{BufId, Comm, CommError, RemoteToken, Result, Tag, Topology};
 
+/// Validate a member list against a parent domain of `p` ranks: the list
+/// must be non-empty, in-range, duplicate-free, and contain the calling
+/// endpoint `me`. Returns `me`'s index within the list (its subgroup
+/// rank). Shared by [`SubComm::new`] and the membership layer's
+/// shrink-and-re-execute path, so both agree on what a legal survivor
+/// set is.
+pub fn validate_members(p: usize, me: usize, members: &[usize]) -> Result<usize> {
+    if members.is_empty() {
+        return Err(CommError::Protocol("empty subgroup".into()));
+    }
+    if members.iter().any(|&m| m >= p) {
+        return Err(CommError::Protocol("subgroup member outside parent".into()));
+    }
+    let mut seen = members.to_vec();
+    seen.sort_unstable();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
+        return Err(CommError::Protocol("duplicate subgroup member".into()));
+    }
+    members
+        .iter()
+        .position(|&m| m == me)
+        .ok_or(CommError::Protocol(
+            "caller is not a subgroup member".into(),
+        ))
+}
+
 /// A re-ranked view over a subset of a parent communicator's ranks.
 pub struct SubComm<'a, C: Comm + ?Sized> {
     parent: &'a mut C,
@@ -25,25 +51,7 @@ impl<'a, C: Comm + ?Sized> SubComm<'a, C> {
     /// already ordered). The calling endpoint's parent rank must be a
     /// member. Membership must be identical on every member.
     pub fn new(parent: &'a mut C, members: Vec<usize>) -> Result<SubComm<'a, C>> {
-        let p = parent.size();
-        if members.is_empty() {
-            return Err(CommError::Protocol("empty subgroup".into()));
-        }
-        if members.iter().any(|&m| m >= p) {
-            return Err(CommError::Protocol("subgroup member outside parent".into()));
-        }
-        let mut seen = members.clone();
-        seen.sort_unstable();
-        if seen.windows(2).any(|w| w[0] == w[1]) {
-            return Err(CommError::Protocol("duplicate subgroup member".into()));
-        }
-        let me = parent.rank();
-        let my_rank = members
-            .iter()
-            .position(|&m| m == me)
-            .ok_or(CommError::Protocol(
-                "caller is not a subgroup member".into(),
-            ))?;
+        let my_rank = validate_members(parent.size(), parent.rank(), &members)?;
         Ok(SubComm {
             parent,
             members,
@@ -384,6 +392,16 @@ mod tests {
         assert_eq!(sub.size(), 3);
         assert_eq!(sub.parent_rank(0), 4);
         assert_eq!(sub.parent_rank(2), 7);
+    }
+
+    #[test]
+    fn validate_members_returns_subgroup_rank() {
+        assert_eq!(validate_members(8, 2, &[4, 2, 7]), Ok(1));
+        assert_eq!(validate_members(8, 7, &[4, 2, 7]), Ok(2));
+        assert!(validate_members(8, 0, &[]).is_err());
+        assert!(validate_members(8, 0, &[0, 8]).is_err());
+        assert!(validate_members(8, 0, &[0, 1, 1]).is_err());
+        assert!(validate_members(8, 3, &[0, 1]).is_err());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod topology;
 
 pub use buffer::{BufId, RemoteToken};
 pub use error::{CommError, Result};
-pub use group::SubComm;
+pub use group::{validate_members, SubComm};
 pub use topology::Topology;
 
 /// Message tag for control-plane matching. Matching is FIFO per

@@ -33,6 +33,8 @@ pub const BCAST: u32 = 20;
 pub const HIER: u32 = 21;
 /// Reduction collectives.
 pub const REDUCE: u32 = 22;
+/// Membership agreement rounds (survivable collectives).
+pub const MEMBERSHIP: u32 = 23;
 
 /// Every registered class with its owner, for the uniqueness audit.
 pub const ALL: &[(u32, &str)] = &[
@@ -47,6 +49,7 @@ pub const ALL: &[(u32, &str)] = &[
     (BCAST, "collectives::bcast"),
     (HIER, "collectives::hierarchical"),
     (REDUCE, "collectives::reduce"),
+    (MEMBERSHIP, "collectives::membership"),
 ];
 
 #[cfg(test)]

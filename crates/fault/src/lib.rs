@@ -262,6 +262,13 @@ pub struct FaultRule {
     /// Cap on firings per initiating rank (`None` = unlimited). Per-rank,
     /// not global, so budgets are schedule-interleaving independent.
     pub max_triggers: Option<u32>,
+    /// Activation threshold on the initiating rank's op index: the rule
+    /// is inert for a rank's first `after` operations and eligible from
+    /// op `after` on. Because each rank has its own deterministic op
+    /// stream, this kills (or degrades) a rank *at a seeded virtual
+    /// time* — each rank crosses its own threshold independently of the
+    /// interleaving. `0` (the default) means active from the start.
+    pub after: u64,
 }
 
 impl FaultRule {
@@ -277,6 +284,7 @@ impl FaultRule {
             prob_ppm: (prob.clamp(0.0, 1.0) * 1_000_000.0).round() as u32,
             kind,
             max_triggers: None,
+            after: 0,
         }
     }
 
@@ -301,6 +309,12 @@ impl FaultRule {
     /// Cap firings at `n` per initiating rank.
     pub fn max(mut self, n: u32) -> Self {
         self.max_triggers = Some(n);
+        self
+    }
+
+    /// Keep the rule inert until the initiating rank's `n`-th operation.
+    pub fn after(mut self, n: u64) -> Self {
+        self.after = n;
         self
     }
 
@@ -447,6 +461,9 @@ impl FaultPlan {
             if let Some(m) = r.max_triggers {
                 let _ = write!(out, " max={m}");
             }
+            if r.after > 0 {
+                let _ = write!(out, " after={}", r.after);
+            }
             match r.kind {
                 FaultKind::Truncate { numer, denom } => {
                     let _ = write!(out, " kind=truncate frac={numer}/{denom}");
@@ -480,7 +497,9 @@ impl FaultPlan {
     /// ```
     ///
     /// `ops`/`ranks`/`peers` accept `*` or comma lists; `prob` is 0.0–1.0;
-    /// `max` (optional) caps firings per initiating rank; `kind` selects
+    /// `max` (optional) caps firings per initiating rank; `after`
+    /// (optional) keeps the rule inert until the initiating rank's N-th
+    /// operation — a seeded kill-at-virtual-time switch; `kind` selects
     /// the failure mode with its own parameters (`frac=N/D`, `errno=E`,
     /// `rank=R`, `ns=N`).
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
@@ -568,6 +587,10 @@ fn parse_rule(rest: &str) -> Result<FaultRule, String> {
         None => None,
         Some(v) => Some(v.parse::<u32>().map_err(|e| format!("bad max: {e}"))?),
     };
+    let after = match take("after") {
+        None => 0,
+        Some(v) => v.parse::<u64>().map_err(|e| format!("bad after: {e}"))?,
+    };
     let kind = match take("kind").ok_or("missing kind=")? {
         "truncate" => {
             let frac = take("frac").ok_or("truncate needs frac=N/D")?;
@@ -607,6 +630,7 @@ fn parse_rule(rest: &str) -> Result<FaultRule, String> {
         prob_ppm: (prob * 1_000_000.0).round() as u32,
         kind,
         max_triggers,
+        after,
     })
 }
 
@@ -617,6 +641,9 @@ impl FaultInjector for FaultPlan {
         let op_idx = *idx;
         *idx += 1;
         for (rule_idx, rule) in self.rules.iter().enumerate() {
+            if op_idx < rule.after {
+                continue;
+            }
             if !rule.matches(site) {
                 continue;
             }
@@ -797,6 +824,45 @@ mod tests {
         p.reset();
         let b: Vec<_> = (0..40).map(|_| p.decide(&s)).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn after_threshold_activates_per_rank_streams() {
+        let p =
+            FaultPlan::new(8).rule(FaultRule::new(FaultKind::Transient { errno: 3 }, 1.0).after(3));
+        // Each rank's first three ops pass; from the fourth on, the rule
+        // fires unconditionally — independently per rank.
+        for rank in 0..2 {
+            let s = site(rank, (rank + 1) % 2, FaultOp::CtrlSend, 8);
+            for i in 0..6 {
+                let d = p.decide(&s);
+                if i < 3 {
+                    assert_eq!(d, FaultDecision::Allow, "rank {rank} op {i}");
+                } else {
+                    assert_eq!(
+                        d,
+                        FaultDecision::Fail(CommError::Os(3)),
+                        "rank {rank} op {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn after_round_trips_through_plan_files() {
+        let plan = FaultPlan::new(77)
+            .rule(FaultRule::new(FaultKind::Transient { errno: 3 }, 1.0).after(12))
+            .rule(FaultRule::new(FaultKind::PeerDead { rank: 1 }, 0.0).after(40));
+        let text = plan.format();
+        assert!(text.contains("after=12"), "missing after in {text}");
+        let parsed = FaultPlan::parse(&text).unwrap();
+        assert_eq!(plan.rules, parsed.rules);
+        assert_eq!(parsed.rules[1].after, 40);
+        // Absent `after` defaults to 0 (always active).
+        let old = FaultPlan::parse("seed 1\nrule kind=transient errno=11").unwrap();
+        assert_eq!(old.rules[0].after, 0);
+        assert!(FaultPlan::parse("seed 1\nrule after=x kind=perm_denied").is_err());
     }
 
     #[test]

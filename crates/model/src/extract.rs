@@ -173,6 +173,7 @@ pub fn fit_measured_gamma(points: &[GammaPoint]) -> Result<GammaFit, NllsError> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -114,6 +114,7 @@ pub fn fit_gamma(points: &[GammaPoint]) -> Result<GammaFit, NllsError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

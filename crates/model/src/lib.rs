@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Analytical cost model for kernel-assisted collectives (paper §II).
 //!

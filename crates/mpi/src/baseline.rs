@@ -258,6 +258,7 @@ pub fn alltoall<C: Comm + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use kacc_collectives::verify::{contribution, diff, gather_expected};

@@ -172,7 +172,7 @@ fn serve_recv<C: Comm + ?Sized>(
             if rts.len() != 8 {
                 return Err(CommError::Protocol("bad network RTS".into()));
             }
-            let rlen = u64::from_le_bytes(rts.try_into().unwrap()) as usize;
+            let rlen = u64::from_le_bytes(rts.try_into().expect("length checked above")) as usize;
             if rlen != len {
                 return Err(CommError::Truncated {
                     wanted: len,
@@ -271,13 +271,14 @@ fn parse_rts(rts: &[u8]) -> Result<(RemoteToken, usize, usize)> {
     if rts.len() != RemoteToken::WIRE_LEN + 16 {
         return Err(CommError::Protocol(format!("bad RTS length {}", rts.len())));
     }
-    let token = RemoteToken::from_bytes(rts).unwrap();
-    let off = u64::from_le_bytes(rts[16..24].try_into().unwrap()) as usize;
-    let len = u64::from_le_bytes(rts[24..32].try_into().unwrap()) as usize;
+    let token = RemoteToken::from_bytes(rts).ok_or(CommError::Protocol("bad RTS token".into()))?;
+    let off = u64::from_le_bytes(rts[16..24].try_into().expect("length checked above")) as usize;
+    let len = u64::from_le_bytes(rts[24..32].try_into().expect("length checked above")) as usize;
     Ok((token, off, len))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use kacc_comm::CommExt;

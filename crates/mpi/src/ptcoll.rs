@@ -212,7 +212,7 @@ pub fn gather<C: Comm + ?Sized>(
 
     if v == 0 {
         let rb = recvbuf.ok_or(CommError::Protocol("root gather needs recvbuf".into()))?;
-        let st = staged.unwrap();
+        let st = staged.expect("the tree root always stages");
         for vv in 0..p {
             comm.copy_local(st, vv * count, rb, unvrank(vv, root, p) * count, count)?;
         }
@@ -378,6 +378,7 @@ pub fn alltoall<C: Comm + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use kacc_collectives::verify::{

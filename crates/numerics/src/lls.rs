@@ -49,6 +49,7 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

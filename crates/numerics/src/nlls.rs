@@ -212,6 +212,7 @@ pub fn levenberg_marquardt<F: Fn(f64, &[f64]) -> f64>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

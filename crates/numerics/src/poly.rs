@@ -57,6 +57,7 @@ impl Polynomial {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

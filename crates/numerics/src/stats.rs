@@ -61,6 +61,7 @@ pub fn max_speedup(baseline: &[f64], ours: &[f64]) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

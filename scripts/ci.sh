@@ -36,6 +36,15 @@ chaos_seed="${KACC_CHAOS_SEED:-$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')}"
 echo "[chaos fresh seed: ${chaos_seed}]"
 KACC_CHAOS_SEED="$chaos_seed" cargo test -q --release -p kacc-collectives --test chaos
 
+echo "== membership chaos (kill-k recovery, fixed corpus + fresh seed, both engines) =="
+# Silent-kill fault plans: k in {1,2} ranks die mid-collective; survivors
+# must detect, agree, shrink, and re-execute with verified payloads on the
+# threads AND the polled engine (the suite checks bitwise engine equality
+# itself). Same seed protocol as the chaos suite above; reproduce with
+# `KACC_CHAOS_SEED=<seed> cargo test -p kacc-collectives --test membership_chaos`.
+echo "[membership chaos fresh seed: ${chaos_seed}]"
+KACC_CHAOS_SEED="$chaos_seed" cargo test -q --release -p kacc-collectives --test membership_chaos
+
 echo "== trace-validate (Chrome-trace export schema) =="
 trace_tmp="$(mktemp -t kacc-trace-XXXXXX.json)"
 fault_tmp="$(mktemp -t kacc-fault-plan-XXXXXX.txt)"
@@ -65,11 +74,12 @@ cargo test -q --release -p kacc-bench --test metrics_determinism
 
 echo "== perf-regression gate (bench-regress vs committed baseline) =="
 # Hard-fails (exit 1) on any event-count or metric drift from the
-# committed BENCH_PR7.json; wall-clock drift only warns (machines vary).
+# committed BENCH_PR8.json; brand-new metric keys only warn (additions,
+# not regressions); wall-clock drift only warns (machines vary).
 # Refresh the baseline after an intentional behavior change via
-#   cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR7.json
+#   cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR8.json
 cargo run --release -q -p kacc-bench --bin bench-regress -- \
-  --baseline BENCH_PR7.json --out /tmp/bench-regress-verdict.json
+  --baseline BENCH_PR8.json --out /tmp/bench-regress-verdict.json
 cat /tmp/bench-regress-verdict.json
 
 echo "== bench metrics snapshot (both engines) =="
