@@ -2,7 +2,7 @@
 //! committed baseline.
 //!
 //! ```text
-//! bench-regress                          # check vs BENCH_PR8.json, both engines
+//! bench-regress                          # check vs BENCH_PR10.json, both engines
 //! bench-regress --engine threads        # check one engine only
 //! bench-regress --baseline FILE         # alternate baseline
 //! bench-regress --out verdict.json      # machine-readable verdict
@@ -20,6 +20,14 @@
 //! measurements. Wall-clock quantities (`wall_s`, `events_per_sec`)
 //! vary across machines, so they only warn when they drift past the
 //! tolerance (default 30%).
+//!
+//! The per-failure recovery cost (virtual ns a single silent kill adds
+//! to a survivable collective, worst case over the op set) is gated
+//! twice: exactly against the baseline like every other virtual-time
+//! fact, and against an absolute 40 ms cap — 4× under the ~160 ms the
+//! gen-1 fixed-deadline agreement charged — so a regression in the
+//! adaptive-deadline machinery fails CI even if someone refreshes the
+//! baseline without noticing.
 
 use kacc_bench::figs::registry;
 use kacc_bench::measure::{self, Engine, WakeStorm};
@@ -34,10 +42,17 @@ struct Reference {
     total_events: u64,
     figures: Vec<(String, u64)>,
     storm: WakeStorm,
+    /// Worst-case virtual ns one silent kill adds to a survivable
+    /// collective (deterministic; hard-capped at [`RECOVERY_CAP_NS`]).
+    per_failure_cost_ns: u64,
     /// Flattened registry snapshot: counters/gauges as `name`, histograms
     /// as `name#count` / `name#sum` / `name#max`.
     metrics: Vec<(String, u64)>,
 }
+
+/// Absolute ceiling on the per-failure recovery cost, independent of
+/// the committed baseline: 40 ms virtual, 4× under the gen-1 cost.
+const RECOVERY_CAP_NS: u64 = 40_000_000;
 
 /// Run the quick reference workload on `engine` and collect every
 /// deterministic quantity the baseline pins.
@@ -57,6 +72,7 @@ fn quick_reference(engine: Engine) -> Reference {
     }
     let storm = measure::wake_storm_probe(&kacc_model::ArchProfile::knl(), 8, 32 << 10, 5, engine);
     total_events += storm.events;
+    let per_failure_cost_ns = kacc_bench::figs::failures::per_failure_cost_ns();
     let wall_s = t0.elapsed().as_secs_f64();
     let mut metrics = Vec::new();
     for (name, v) in kacc_metrics::snapshot().metrics {
@@ -75,6 +91,7 @@ fn quick_reference(engine: Engine) -> Reference {
         total_events,
         figures,
         storm,
+        per_failure_cost_ns,
         metrics,
     }
 }
@@ -83,7 +100,7 @@ fn baseline_json(refs: &[(Engine, Reference)]) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"kacc-bench-regress-v1\",\n");
     s.push_str(
-        "  \"note\": \"Committed quick-mode regression baseline for bench-regress: per-figure event counts, wake-storm diagnostics, and the full kacc-metrics snapshot are deterministic and compared exactly; wall_s / events_per_sec are machine-dependent and only warn; metrics newly registered since the baseline warn as additions. Regenerate with: cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR8.json\",\n",
+        "  \"note\": \"Committed quick-mode regression baseline for bench-regress: per-figure event counts, wake-storm diagnostics, the per-failure recovery cost, and the full kacc-metrics snapshot are deterministic and compared exactly; the recovery cost is additionally hard-capped at 40 ms virtual regardless of the baseline; wall_s / events_per_sec are machine-dependent and only warn; metrics newly registered since the baseline warn as additions. Regenerate with: cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR10.json\",\n",
     );
     s.push_str("  \"quick\": true,\n  \"jobs\": 1,\n  \"engines\": {\n");
     for (i, (engine, r)) in refs.iter().enumerate() {
@@ -106,6 +123,10 @@ fn baseline_json(refs: &[(Engine, Reference)]) -> String {
         s.push_str(&format!(
             "      \"wake_storm\": {{\"iterations\": {}, \"events\": {}, \"peak_queue_len\": {}, \"wake_fanout_max\": {}, \"wakes_raw\": {}, \"wakes_coalesced\": {}}},\n",
             w.iterations, w.events, w.peak_queue_len, w.wake_fanout_max, w.wakes_raw, w.wakes_coalesced
+        ));
+        s.push_str(&format!(
+            "      \"recovery\": {{\"per_failure_cost_ns\": {}, \"cap_ns\": {RECOVERY_CAP_NS}}},\n",
+            r.per_failure_cost_ns
         ));
         s.push_str("      \"metrics\": {\n");
         for (j, (name, v)) in r.metrics.iter().enumerate() {
@@ -152,6 +173,19 @@ fn check(base: &Json, fresh: &Reference, wall_tol_pct: f64) -> (Vec<String>, Vec
         &["wake_storm", "wakes_coalesced"],
         fresh.storm.wakes_coalesced,
     );
+    int_field(
+        &["recovery", "per_failure_cost_ns"],
+        fresh.per_failure_cost_ns,
+    );
+    // The absolute cap binds even when the baseline itself drifted: a
+    // refreshed baseline must never quietly bless a recovery cost that
+    // gives back the gen-2 adaptive-deadline win.
+    if fresh.per_failure_cost_ns > RECOVERY_CAP_NS {
+        hard.push(format!(
+            "recovery.per_failure_cost_ns: {} exceeds the absolute {RECOVERY_CAP_NS} ns cap",
+            fresh.per_failure_cost_ns
+        ));
+    }
 
     // Figures: exact event counts, and the artifact set itself must not
     // drift silently in either direction.
@@ -267,7 +301,7 @@ fn verdict_json(baseline: &str, results: &[(&str, Vec<String>, Vec<String>)]) ->
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut baseline = String::from("BENCH_PR8.json");
+    let mut baseline = String::from("BENCH_PR10.json");
     let mut engines = vec![Engine::Threads, Engine::Polled];
     let mut out: Option<String> = None;
     let mut write_baseline: Option<String> = None;

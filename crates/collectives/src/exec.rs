@@ -387,6 +387,10 @@ fn coll_handles() -> &'static CollHandles {
     })
 }
 
+/// Quantile (parts-per-million) of the per-step latency distribution
+/// reported as [`ScheduleReport::step_p99_ns`].
+pub(crate) const P99_PPM: u64 = 990_000;
+
 /// The single recording path: every executed step flows through
 /// [`Recorder::add`], which updates the [`ScheduleReport`] *and* emits the
 /// trace span from the same measurements — counts and bytes can never
@@ -440,12 +444,18 @@ impl<'t> Recorder<'t> {
             .span(self.track, name, t0, dt as f64, bytes as u64, self.class);
     }
 
-    /// Close out one schedule execution: stamp `total_ns`, record the
-    /// end-to-end latency into the global and per-class histograms, and
-    /// fold the recovery counters into the metric registry. Called by
-    /// both engines' executors so the metrics cannot drift between them.
+    /// Close out one schedule execution: stamp `total_ns` and the
+    /// observed per-step p99, record the end-to-end latency into the
+    /// global and per-class histograms, and fold the recovery counters
+    /// into the metric registry. Called by both engines' executors so
+    /// the metrics cannot drift between them.
     pub(crate) fn finish(&mut self, total_ns: u64) {
         self.report.total_ns = total_ns;
+        let mut all = kacc_metrics::LocalHist::default();
+        for local in &self.step_lats {
+            all.merge(local);
+        }
+        self.report.step_p99_ns = all.quantile_bound(P99_PPM);
         let h = coll_handles();
         for (kind, local) in h.steps.iter().zip(&self.step_lats) {
             kind.merge_local(local);
@@ -496,6 +506,16 @@ pub struct ScheduleReport {
     pub reduce: StepStats,
     /// Steps executed in total.
     pub steps: u64,
+    /// Watermark: index of the first IR step this execution did *not*
+    /// complete — equal to the schedule length on success. A torn
+    /// execution's watermark tells the membership layer where a resume
+    /// attempt may pick up instead of re-running completed exchanges.
+    pub completed_steps: u64,
+    /// Conservative p99 bound of this execution's per-step latencies
+    /// (0 when no step completed). This is the *observed* half of the
+    /// membership layer's adaptive liveness deadline; the other half is
+    /// the analytic plan-cost estimate.
+    pub step_p99_ns: u64,
     /// End-to-end time from first step to last, in `time_ns` units.
     pub total_ns: u64,
     /// What the recovery machinery did (all-zero on a fault-free run).
@@ -538,6 +558,7 @@ impl ScheduleReport {
         let mut report = ScheduleReport::default();
         let mut first_start: Option<u64> = None;
         let mut last_end: u64 = 0;
+        let mut lats = kacc_metrics::LocalHist::default();
         for ev in events {
             let EventKind::Span { ts, dur } = ev.kind else {
                 continue;
@@ -554,9 +575,16 @@ impl ScheduleReport {
             };
             report.stat_mut(kind).add(ev.bytes as usize, dt);
             report.steps += 1;
+            lats.record(dt);
             first_start = Some(first_start.map_or(ts, |f| f.min(ts)));
             last_end = last_end.max(ts + dt);
         }
+        // A span exists exactly for each completed step, so the rebuilt
+        // watermark and latency quantile mirror the live recorder's
+        // (resume attempts and tolerant skips are internal to the
+        // membership layer and never round-trip through events).
+        report.completed_steps = report.steps;
+        report.step_p99_ns = lats.quantile_bound(P99_PPM);
         report.total_ns = first_start.map_or(0, |f| last_end.saturating_sub(f));
         report
     }
@@ -761,22 +789,148 @@ pub fn execute_with_policy<C: Comm + ?Sized>(
         )));
     }
 
-    let mut ctx = Ctx {
-        bind,
-        temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
-        regs: vec![None; sched.token_regs],
+    let mut resume = None;
+    let (result, report) = execute_resumable(comm, sched, bind, tracer, policy, &mut resume);
+    // Public entry points never resume: abandon any torn-execution
+    // state so scratch is freed exactly as it always was.
+    if let Some(state) = resume {
+        state.abandon(comm);
+    }
+    result.map(|()| report)
+}
+
+/// Execution state that survives a torn schedule run so a later attempt
+/// can resume from the watermark instead of starting over: scratch
+/// buffers hold staged data (e.g. Bruck rotations), token registers hold
+/// the peers' exposures already collected by completed control steps.
+pub(crate) struct ResumeState {
+    temps: Vec<BufId>,
+    regs: Vec<Option<RemoteToken>>,
+    /// Index of the first IR step the next attempt must run.
+    next_step: usize,
+}
+
+impl ResumeState {
+    pub(crate) fn new(
+        temps: Vec<BufId>,
+        regs: Vec<Option<RemoteToken>>,
+        next_step: usize,
+    ) -> ResumeState {
+        ResumeState {
+            temps,
+            regs,
+            next_step,
+        }
+    }
+
+    /// Index of the first IR step the next attempt must run.
+    pub(crate) fn next_step(&self) -> usize {
+        self.next_step
+    }
+
+    /// Whether this state's shape matches `sched` — the guard against
+    /// resuming into a different plan.
+    pub(crate) fn matches(&self, sched: &Schedule) -> bool {
+        self.temps.len() == sched.temps.len() && self.regs.len() == sched.token_regs
+    }
+
+    /// Tear the state apart for reuse (or for freeing by an engine whose
+    /// endpoint does not implement [`Comm`], i.e. the polled engine).
+    pub(crate) fn into_parts(self) -> (Vec<BufId>, Vec<Option<RemoteToken>>) {
+        (self.temps, self.regs)
+    }
+
+    /// Give up on resuming: free the preserved scratch buffers.
+    pub(crate) fn abandon<C: Comm + ?Sized>(self, comm: &mut C) {
+        for t in self.temps {
+            let _ = comm.free(t);
+        }
+    }
+}
+
+/// [`execute_with_policy`] with partial-progress resume: the membership
+/// layer's crate-internal entry point.
+///
+/// Always returns the execution's [`ScheduleReport`], even when a step
+/// failed — a torn run's report carries the watermark
+/// ([`ScheduleReport::completed_steps`]) and the observed step-latency
+/// p99 the adaptive liveness deadline feeds on.
+///
+/// On entry, `resume` carries the state of a previous torn attempt of
+/// the *same* schedule (or `None` for a fresh run). On a torn exit the
+/// state is stored back with an updated watermark and scratch is *not*
+/// freed; on success (or a non-resumable error shape) the state is
+/// consumed and scratch is freed. A caller that decides not to resume
+/// must call [`ResumeState::abandon`].
+pub(crate) fn execute_resumable<C: Comm + ?Sized>(
+    comm: &mut C,
+    sched: &Schedule,
+    bind: &Bindings,
+    tracer: &Tracer,
+    policy: &RecoveryPolicy,
+    resume: &mut Option<ResumeState>,
+) -> (Result<()>, ScheduleReport) {
+    if sched.rank != comm.rank() || sched.p != comm.size() {
+        let e = proto(format!(
+            "schedule compiled for rank {}/{} executed on rank {}/{}",
+            sched.rank,
+            sched.p,
+            comm.rank(),
+            comm.size()
+        ));
+        return (Err(e), ScheduleReport::default());
+    }
+
+    let (mut ctx, start) = match resume.take() {
+        Some(st) if st.matches(sched) => {
+            let start = st.next_step.min(sched.steps.len());
+            let (temps, regs) = st.into_parts();
+            (Ctx { bind, temps, regs }, start)
+        }
+        Some(st) => {
+            // Shape drifted under the caller (different plan): resuming
+            // would corrupt state. Start over.
+            st.abandon(comm);
+            (
+                Ctx {
+                    bind,
+                    temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
+                    regs: vec![None; sched.token_regs],
+                },
+                0,
+            )
+        }
+        None => (
+            Ctx {
+                bind,
+                temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
+                regs: vec![None; sched.token_regs],
+            },
+            0,
+        ),
     };
     let mut rec = Recorder::new(tracer, Track::Rank(comm.rank()), sched.class);
 
-    let start = comm.time_ns();
-    let result = run_steps(comm, sched, &mut ctx, &mut rec, policy);
-    rec.finish(comm.time_ns().saturating_sub(start));
+    let t_start = comm.time_ns();
+    let result = run_steps(comm, sched, &mut ctx, &mut rec, policy, start);
+    rec.finish(comm.time_ns().saturating_sub(t_start));
 
-    // Free scratch even when a step failed mid-run.
-    for t in ctx.temps.drain(..) {
-        let _ = comm.free(t);
+    match result {
+        Ok(()) => {
+            for t in ctx.temps.drain(..) {
+                let _ = comm.free(t);
+            }
+            (Ok(()), rec.report)
+        }
+        Err(e) => {
+            *resume = Some(ResumeState::new(
+                std::mem::take(&mut ctx.temps),
+                std::mem::take(&mut ctx.regs),
+                rec.report.completed_steps as usize,
+            ));
+            (Err(e), rec.report)
+        }
     }
-    result.map(|()| rec.report)
 }
 
 /// `errno` for "no such process": the peer died. Named locally to keep
@@ -1109,15 +1263,38 @@ fn run_steps<C: Comm + ?Sized>(
     ctx: &mut Ctx<'_>,
     rec: &mut Recorder<'_>,
     policy: &RecoveryPolicy,
+    start: usize,
 ) -> Result<()> {
-    for step in &sched.steps {
+    rec.report.completed_steps = start as u64;
+    let mut suspects: Vec<usize> = Vec::new();
+    for step in &sched.steps[start..] {
         let t0 = comm.time_ns();
+        let m = &policy.membership;
+        if m.watch && m.tolerant {
+            if let Some(peer) = step_peer(step, ctx) {
+                if suspects.contains(&peer) {
+                    // A peer that already missed one deadline in this
+                    // run will not answer later steps either; skipping
+                    // immediately bounds a rank's detection lateness to
+                    // one timeout chain instead of one per torn
+                    // exchange, which keeps stragglers inside the
+                    // agreement's refutation window.
+                    rec.recovery("membership:suspect", peer, t0, t0);
+                    rec.report.completed_steps += 1;
+                    continue;
+                }
+            }
+        }
         if let Err(e) = run_one_step(comm, step, ctx, rec, policy, t0) {
             let m = &policy.membership;
             if m.watch && is_suspect_error(&e) {
                 if let Some(peer) = step_peer(step, ctx) {
                     rec.recovery("membership:suspect", peer, t0, comm.time_ns());
                     if m.tolerant {
+                        // A tolerated failure still moves the watermark:
+                        // the executor is past this step for good.
+                        suspects.push(peer);
+                        rec.report.completed_steps += 1;
                         continue;
                     }
                     return Err(CommError::PeerDead(peer));
@@ -1125,6 +1302,7 @@ fn run_steps<C: Comm + ?Sized>(
             }
             return Err(e);
         }
+        rec.report.completed_steps += 1;
     }
     Ok(())
 }

@@ -4,28 +4,48 @@
 //! [`run_survivable`] wraps any of the six bulk collectives in a
 //! membership loop:
 //!
-//! 1. **Detect** — the data plan executes with the liveness watchdog
-//!    armed ([`MembershipPolicy`]), so a silent peer death surfaces as
-//!    the typed [`CommError::PeerDead`] instead of a hang.
-//! 2. **Agree** — all members of the current epoch run a fixed
-//!    two-round agreement collective ([`crate::schedule::compile_agree`])
-//!    that unions everyone's suspected-dead masks; the rounds execute
-//!    under a *tolerant* watchdog with generous deadlines, so the
-//!    agreement itself completes over the survivors no matter who died.
-//!    Two refinements keep it honest: a member that responds within a
-//!    round is *refuted* from the mask (a rank that abandoned its data
-//!    plan behind a dead peer looks dead to its own waiters, but it is
-//!    not — this stops timeout cascades from exiling live ranks), and a
-//!    failed data plan raises a [`REDO`] flag above the rank bits so the
-//!    whole membership re-executes together even when the suspicion
-//!    that caused the failure was refuted.
-//! 3. **Shrink and re-execute** — survivors advance the membership
-//!    epoch, recompile the collective for the survivor subgroup
-//!    (remapped onto parent ranks and re-tagged into the epoch's
-//!    namespace by [`crate::schedule::remap_for_members`]), invalidate
-//!    stale-epoch plans from the [`PlanCache`], back off briefly, and
-//!    re-execute. Survivor `i` of the sorted member list contributes
-//!    and receives block `i`, so parent-sized buffers always suffice.
+//! 1. **Detect (adaptive)** — the data plan executes with the liveness
+//!    watchdog armed ([`MembershipPolicy`]), so a silent peer death
+//!    surfaces as the typed [`CommError::PeerDead`] instead of a hang.
+//!    The deadline is no longer a fixed constant: it is derived per
+//!    epoch from the analytic plan-cost estimate
+//!    ([`Tuner::cost_schedule`] over the endpoint's topology) and the
+//!    step-latency p99 observed by earlier attempts of the same call,
+//!    clamped to a window whose floor is the policy constant.
+//! 2. **Agree** — all members of the current epoch run a two-round
+//!    agreement collective ([`crate::schedule::compile_agree`]) that
+//!    unions everyone's suspected-dead [`MemberMask`]s — multi-word
+//!    wire payloads, so the membership is unbounded (p = 128, 256, …
+//!    all work; the old single-`u64` scheme capped at 63 ranks). The
+//!    rounds execute under a *tolerant* watchdog with adaptive
+//!    deadlines, so the agreement itself completes over the survivors
+//!    no matter who died; non-responders are detected *by content* (a
+//!    well-formed mask has a nonzero magic header, so an all-zero slot
+//!    means "never wrote"). Two refinements keep it honest: a member
+//!    that responds within a round is *refuted* from the mask (a rank
+//!    that abandoned its data plan behind a dead peer looks dead to its
+//!    own waiters, but it is not — this stops timeout cascades from
+//!    exiling live ranks), and a failed data plan raises the
+//!    [`FLAG_REDO`] header flag so the whole membership re-executes
+//!    together even when the suspicion that caused the failure was
+//!    refuted. A peer dying *inside* an agreement folds into the
+//!    suspect set and restarts the agreement under fresh tags
+//!    (kill-anywhere recovery), bounded by [`MAX_AGREE_ATTEMPTS`].
+//! 3. **Resume or shrink-and-re-execute** — when the agreed mask names
+//!    no new dead rank but carries [`FLAG_REDO`] (somebody's plan tore
+//!    on a refuted suspicion), survivors *resume*: ranks that completed
+//!    keep their result and skip the transport entirely (mailbox
+//!    deposits persist and CMA is one-sided, so their outbound work is
+//!    already visible), while torn ranks re-enter their plan at the
+//!    per-rank watermark ([`ScheduleReport::completed_steps`]) under
+//!    the same epoch and tags. When the membership *did* change,
+//!    survivors advance the epoch, recompile the collective for the
+//!    survivor subgroup (remapped onto parent ranks and re-tagged into
+//!    the epoch's namespace by
+//!    [`crate::schedule::remap_for_members`]), invalidate stale-epoch
+//!    plans from the [`PlanCache`], back off briefly, and re-execute.
+//!    Survivor `i` of the sorted member list contributes and receives
+//!    block `i`, so parent-sized buffers always suffice.
 //!
 //! Everything is deterministic under simulation: the same seed produces
 //! the same suspicions, the same agreed masks, the same shrink sequence,
@@ -40,18 +60,23 @@
 
 use std::sync::{Arc, OnceLock};
 
-use kacc_comm::{BufId, Comm, CommError, Result};
+use kacc_comm::mask::{FLAG_NORESUME, FLAG_REDO};
+use kacc_comm::{BufId, Comm, CommError, MemberMask, Result, Topology};
 use kacc_machine::PolledComm;
+use kacc_model::ArchProfile;
 use kacc_trace::{Tracer, Track};
 
 use crate::exec::{
-    execute_with_policy, proto, Bindings, MembershipPolicy, RecoveryPolicy, ScheduleReport,
+    execute_resumable, execute_with_policy, proto, Bindings, MembershipPolicy, RecoveryPolicy,
+    ResumeState, ScheduleReport,
 };
-use crate::polled::execute_polled_with_policy;
+use crate::polled::{abandon_polled, execute_polled_with_policy, execute_resumable_polled};
 use crate::schedule::{
-    compile_agree, compile_allgather, compile_alltoall, compile_bcast, compile_gather,
-    compile_reduce, compile_scatter, remap_for_members, PlanCache, PlanKey, Schedule,
+    compile_agree, compile_agree_split, compile_allgather, compile_alltoall, compile_bcast,
+    compile_gather, compile_reduce, compile_scatter, remap_for_members, PlanCache, PlanKey,
+    Schedule,
 };
+use crate::tuner::Tuner;
 use crate::{
     class, AllgatherAlgo, AlltoallAlgo, BcastAlgo, Dtype, GatherAlgo, ReduceAlgo, ReduceOp,
     ScatterAlgo,
@@ -165,17 +190,29 @@ pub struct MembershipReport {
     pub agreements: u32,
     /// Data-plan re-executions after a shrink.
     pub reexecs: u32,
-    /// Bitmask of parent ranks agreed dead (bit `rank`).
+    /// Partial-progress resumes taken instead of full re-executions.
+    pub resumes: u32,
+    /// Low 64 bits of the agreed dead set (bit `rank`; diagnostic —
+    /// ranks ≥ 64 are reported via [`SurvivableOutcome::members`]).
     pub dead_mask: u64,
+    /// Virtual time spent in torn data-plan executions before the
+    /// failure surfaced (the *detect* phase of each recovery).
+    pub detect_ns: u64,
+    /// Virtual time spent in agreement collectives (including the final
+    /// clean rendezvous).
+    pub agree_ns: u64,
+    /// Virtual time spent re-executing (or resuming) the data plan
+    /// after the first attempt.
+    pub reexec_ns: u64,
 }
 
 impl MembershipReport {
     /// True when no failure was detected anywhere: no shrink, no
-    /// re-execution, nobody dead.
+    /// re-execution, no resume, nobody dead.
     pub fn is_clean(&self) -> bool {
         // One agreement always runs (the epilogue rendezvous), so it
         // does not count against cleanliness.
-        self.epochs == 0 && self.reexecs == 0 && self.dead_mask == 0
+        self.epochs == 0 && self.reexecs == 0 && self.resumes == 0 && self.dead_mask == 0
     }
 }
 
@@ -195,6 +232,10 @@ struct MemberHandles {
     agreements: kacc_metrics::Counter,
     shrinks: kacc_metrics::Counter,
     reexecs: kacc_metrics::Counter,
+    resumes: kacc_metrics::Counter,
+    detect_ns: kacc_metrics::Hist,
+    agree_ns: kacc_metrics::Hist,
+    reexec_ns: kacc_metrics::Hist,
 }
 
 fn member_handles() -> &'static MemberHandles {
@@ -203,22 +244,66 @@ fn member_handles() -> &'static MemberHandles {
         agreements: kacc_metrics::counter("coll.membership.agreements"),
         shrinks: kacc_metrics::counter("coll.membership.shrinks"),
         reexecs: kacc_metrics::counter("coll.membership.reexecs"),
+        resumes: kacc_metrics::counter("coll.membership.resumes"),
+        detect_ns: kacc_metrics::hist("coll.membership.detect_ns"),
+        agree_ns: kacc_metrics::hist("coll.membership.agree_ns"),
+        reexec_ns: kacc_metrics::hist("coll.membership.reexec_ns"),
     })
 }
 
-/// Flag bit carried in the agreement mask (alongside the per-rank dead
-/// bits): some member's data-plan execution failed, so every member
-/// must re-execute even if the membership itself did not change. Rank
-/// bits occupy 0..=62, which is why survivable collectives cap the
-/// communicator at 63 ranks.
-const REDO: u64 = 1 << 63;
-
-/// The rank-bits portion of an agreement mask.
-const RANKS: u64 = REDO - 1;
+/// Agreement restarts tolerated per membership iteration before the
+/// call gives up with a typed error. A peer dying *inside* an agreement
+/// round folds into the suspect set and restarts the agreement under
+/// fresh tags; four attempts bound the tag namespace while covering
+/// every kill the chaos corpus can schedule into one iteration.
+const MAX_AGREE_ATTEMPTS: u32 = 4;
 
 /// The sorted list of parent ranks not marked dead.
-fn survivor_list(dead: u64, p: usize) -> Vec<usize> {
-    (0..p).filter(|&r| dead & (1 << r) == 0).collect()
+fn survivor_list(dead: &MemberMask, p: usize) -> Vec<usize> {
+    (0..p).filter(|&r| !dead.get(r)).collect()
+}
+
+/// Map the endpoint's [`Topology`] onto the closest known
+/// [`ArchProfile`] so the membership layer can price plans with
+/// [`Tuner::cost_schedule`]. An exact preset match (KNL, Broadwell,
+/// POWER8) uses that preset's calibrated constants; anything else takes
+/// the Broadwell constants with the topology's shape substituted in.
+/// Purely a function of the topology, so deterministic per simulation.
+fn arch_for(topo: &Topology) -> ArchProfile {
+    for preset in [
+        ArchProfile::knl(),
+        ArchProfile::broadwell(),
+        ArchProfile::power8(),
+    ] {
+        if preset.sockets == topo.sockets
+            && preset.cores_per_socket == topo.cores_per_socket
+            && preset.page_size == topo.page_size
+        {
+            return preset;
+        }
+    }
+    let mut arch = ArchProfile::broadwell();
+    arch.sockets = topo.sockets;
+    arch.cores_per_socket = topo.cores_per_socket;
+    arch.threads_per_core = topo.threads_per_core;
+    arch.page_size = topo.page_size;
+    arch
+}
+
+/// The adaptive liveness deadline for one data-plan execution: four
+/// times the larger of the analytic whole-plan cost estimate and twice
+/// the observed per-step p99 from earlier attempts of this same call,
+/// clamped to `[policy floor, 64 × policy floor]`. The policy constant
+/// ([`MembershipPolicy::survivable`]'s 200 µs) is no longer the
+/// deadline itself — it is the floor of a window that scales with the
+/// plan, so big communicators and big payloads stop tripping false
+/// suspicions while small plans keep PR 8's exact detection latency.
+fn adaptive_liveness(m: &MembershipPolicy, plan_cost_ns: u64, obs_p99_ns: u64) -> u64 {
+    let predicted = plan_cost_ns.max(obs_p99_ns.saturating_mul(2));
+    predicted.saturating_mul(4).clamp(
+        m.liveness_timeout_ns,
+        m.liveness_timeout_ns.saturating_mul(64),
+    )
 }
 
 /// Up-front validation shared by both engines: communicator bounds,
@@ -235,11 +320,6 @@ fn validate(
         return Err(proto(
             "survivable collectives require at least 2 ranks".into(),
         ));
-    }
-    if p > 63 {
-        return Err(proto(format!(
-            "survivable collectives support at most 63 ranks, got {p}"
-        )));
     }
     if op.count() == 0 {
         return Err(proto(
@@ -548,64 +628,154 @@ fn agree_policy(m: &MembershipPolicy, timeout: u64) -> RecoveryPolicy {
     }
 }
 
-/// Per-round agreement timeout: round 0 must cover a member still
-/// finishing (or timing out of) its data plan — a dead-peer wait there
-/// costs `(1 + max_retries)` liveness timeouts per step, and a timeout
-/// chain can run the length of the plan — while round 1 additionally
-/// covers a member still draining its round-0 receives (up to `l`
-/// waits of the round-0 deadline each).
-fn agree_timeout(m: &MembershipPolicy, retries: u32, p: usize, l: usize, round: u32) -> u64 {
-    let base = m.liveness_timeout_ns * u64::from(retries + 1) * (2 * p as u64 + 4);
-    if round == 0 {
-        base
-    } else {
-        base * (l as u64 + 1)
-    }
-}
-
 /// Fold one agreement round's results into the suspected mask.
 ///
-/// Members whose mask never arrived within the round's deadline are
-/// suspected; members who responded have their masks unioned in and are
-/// then *refuted* — a responsive member is alive by construction, so
-/// any suspicion of it (including one we carried in) is dropped. This
-/// is what stops timeout cascades from exiling live ranks: a rank that
+/// Non-responders are detected *by content*: every well-formed
+/// [`MemberMask`] wire image carries a nonzero magic header, and each
+/// receive slot is zeroed before the round, so a slot that still fails
+/// to decode after the round's deadline means that member never wrote —
+/// no side-channel suspect bookkeeping (which used to wrap ranks at
+/// `& 63`) is involved, and the scheme works at any communicator size.
+///
+/// Members who responded have their masks unioned in and are then
+/// *refuted* — a responsive member is alive by construction, so any
+/// suspicion of it (including one we carried in) is dropped. This is
+/// what stops timeout cascades from exiling live ranks: a rank that
 /// abandoned its data plan because a *dead* peer timed out looks dead
 /// to its own waiters, but it shows up here and is cleared. The
 /// genuinely dead never deposit, so true suspicions always survive.
-/// The [`REDO`] flag is above the rank bits and is never refuted.
-fn fold_round(cur: u64, members: &[usize], me: usize, suspect_mask: u64, recv_bytes: &[u8]) -> u64 {
-    let mut union = cur;
-    let mut responders = 1u64 << me;
-    for (i, &m) in members.iter().enumerate() {
-        if m == me {
+/// Header flags ([`FLAG_REDO`], [`FLAG_NORESUME`]) ride above the rank
+/// bits and are never refuted — [`MemberMask::subtract`] leaves them
+/// alone.
+fn fold_round(
+    cur: &MemberMask,
+    members: &[usize],
+    me: usize,
+    recv_bytes: &[u8],
+    width: usize,
+    p: usize,
+) -> MemberMask {
+    let mut union = cur.clone();
+    let mut responders = MemberMask::new(p);
+    responders.set(me);
+    for (i, &peer) in members.iter().enumerate() {
+        if peer == me {
             continue;
         }
-        if suspect_mask & (1u64 << (m & 63)) != 0 {
-            union |= 1u64 << m;
-        } else {
-            let mut word = [0u8; 8];
-            word.copy_from_slice(&recv_bytes[8 * i..8 * i + 8]);
-            union |= u64::from_le_bytes(word);
-            responders |= 1u64 << m;
+        match MemberMask::from_bytes(p, &recv_bytes[width * i..width * (i + 1)]) {
+            Some(mask) => {
+                union.union(&mask);
+                responders.set(peer);
+            }
+            None => union.set(peer),
         }
     }
-    union & !responders
+    union.subtract(&responders);
+    union
 }
 
-/// Two-round suspected-dead agreement over `members` (threads engine).
-/// Returns the union of every responsive member's suspicions plus the
-/// members that failed to respond. Never blocks forever: every receive
-/// is bounded and failures are tolerated.
+/// Fold the final *ballot* round: a pure union of every mask that
+/// arrived, with **no** new suspicion and **no** refutation.
+///
+/// This asymmetry is what makes the agreement partition-proof against a
+/// member dying *mid-round-1 sweep*. Round-1 delivery of a dying rank
+/// is inherently partial — some members get its deposit, some do not —
+/// so any per-recipient bookkeeping (suspecting its silence, or
+/// refuting suspicions because it responded) would hand different
+/// members different answers: the group would split-brain and the
+/// partitions would exile each other. A union of ballots cannot split
+/// that way:
+///
+/// - a rank alive at the *start* of round 1 finished its round-0 sweep,
+///   so everything it uniquely knew is already in every live member's
+///   round-0 fold, and its partial round-1 deposits add nothing new;
+/// - a rank that died *before* round 1 is suspected in someone's
+///   round-0 fold (a partial round-0 sweep reaches some members, whose
+///   ballots spread the bit; an empty one reaches none, and everyone
+///   suspects it by content), so its bit rides the ballots regardless
+///   of who hears from it in round 1.
+///
+/// Hence the agreed mask equals the union of live members' ballots —
+/// identical everywhere as long as live round-1 deposits all land
+/// (which the measured round-1 deadline is sized for).
+fn fold_ballots(
+    cur: &MemberMask,
+    members: &[usize],
+    me: usize,
+    recv_bytes: &[u8],
+    width: usize,
+    p: usize,
+) -> MemberMask {
+    let mut union = cur.clone();
+    for (i, &peer) in members.iter().enumerate() {
+        if peer == me {
+            continue;
+        }
+        if let Some(mask) = MemberMask::from_bytes(p, &recv_bytes[width * i..width * (i + 1)]) {
+            union.union(&mask);
+        }
+    }
+    union
+}
+
+/// Three-round suspected-dead agreement over `members` (threads
+/// engine): two gossip-and-refute rounds ([`fold_round`]) followed by a
+/// pure ballot round ([`fold_ballots`]). Returns the union of every
+/// member's final ballot. Never blocks forever: every receive is
+/// bounded and failures are tolerated.
+///
+/// Why three rounds: round 0 collects suspicions across detection skew;
+/// round 1 lets a member that entered late (and was therefore suspected
+/// by content in someone's round 0) refute that suspicion with its own
+/// deposit before anything is final; round 2 freezes the answer as a
+/// union of ballots, which no mid-death partial delivery can split (see
+/// [`fold_ballots`]). Dropping either middle-round refutation or the
+/// final pure round reintroduces a real failure: the former exiles
+/// slow-but-live ranks, the latter lets a rank dying mid-final-sweep
+/// partition the group into halves that exile each other.
+///
+/// Waits are *adaptive*, which is where gen 2 recovers its ~4×
+/// per-failure cost over the fixed formula this replaced. The binding
+/// quantity is the per-slot wait `a0 = (retries + 3) × liveness`:
+/// timers at every stalled rank run concurrently (an aborting rank
+/// never *resets* its waiters' timers, it merely stops feeding them),
+/// so a live member reaches the agreement at most one
+/// `(1 + retries) × liveness` retry chain past the plan's natural end —
+/// entry skew does not multiply with `p` the way the old `(2p + 4)`
+/// worst case assumed, and `liveness` is already cost-scaled to the
+/// wider of the data plan and the agreement sweep. Only *dead* slots
+/// ever pay `a0`; live deposits resolve at their arrival time, so the
+/// per-failure price is `O(rounds × dead × a0)` instead of the old
+/// `× (l + 1)` deadline blow-up that charged every failure over a
+/// hundred milliseconds at p = 16.
+///
+/// `base_round` namespaces this attempt's tags (three rounds per
+/// attempt), letting a restarted agreement never collide with deposits
+/// from the attempt a peer death tore down.
+///
+/// `w0_floor` widens round 0's live window beyond `a0`: a peer dying
+/// *mid-agreement* after a partial fan-out leaves the un-served ranks
+/// burning the full grown window of that round, so they exit the
+/// agreement up to one final-window late — and enter the *next*
+/// epoch's agreement with the same skew. The caller threads the exit
+/// deadline returned by one agreement (capped at `16·a0` to stop
+/// cross-epoch compounding) into the next one's floor, so round 0
+/// still hears those stragglers instead of exiling them into quorum
+/// loss. The floor only burns time when a slot is genuinely silent
+/// that long, so the steady-state failure cost is unchanged.
+#[allow(clippy::too_many_arguments)]
 fn agree<C: Comm + ?Sized>(
     comm: &mut C,
     members: &[usize],
     epoch: u32,
-    suspected: u64,
+    base_round: u32,
+    suspected: &MemberMask,
     m: &MembershipPolicy,
     retries: u32,
+    liveness: u64,
+    w0_floor: u64,
     tracer: &Tracer,
-) -> Result<u64> {
+) -> Result<(MemberMask, u64)> {
     let p = comm.size();
     let me = comm.rank();
     let l = members.len();
@@ -613,41 +783,65 @@ fn agree<C: Comm + ?Sized>(
         .iter()
         .position(|&x| x == me)
         .ok_or_else(|| proto("caller is not a surviving member".into()))?;
-    let send = comm.alloc(8);
-    let recv = comm.alloc(8 * l);
-    let mut cur = suspected;
-    let mut out: Result<u64> = Ok(0);
-    for round in 0..2u32 {
+    let width = MemberMask::wire_len(p);
+    let send = comm.alloc(width);
+    let recv = comm.alloc(width * l);
+    let mut cur = suspected.clone();
+    let mut out: Result<MemberMask> = Ok(cur.clone());
+    // `a0` bounds how late a *live* member can be at round 0: up to
+    // `(1 + retries)` liveness-timeout chains in its data plan plus
+    // slack, with `liveness` itself already cost-scaled to the wider
+    // of the data plan and the agreement's own all-to-all sweep. Each
+    // round runs in two parts: live slots wait the wide adaptive
+    // window, while already-suspected slots are polled afterwards
+    // under a flat cap — a queued refutation is still taken
+    // instantly, so the cap only bounds how long a genuinely dead slot
+    // can burn. The cap is `2·a0` in the gossip and refute rounds,
+    // where a live straggler's deposit can still clear it, and `a0`
+    // in the ballot round, where refutation is impossible and a dead
+    // slot is pure burn. The wide window for the next round is the measured
+    // round time plus the current window plus `2·a0`: a peer dying
+    // *mid-round* splits the group into ranks that decoded it and
+    // ranks that burned the full window, so next-round skew can reach
+    // one whole window — and since only not-yet-suspected slots ever
+    // pay it, growing the window is free once the suspect is known.
+    let a0 = liveness.saturating_mul(u64::from(retries) + 3);
+    let mut deadline = a0.max(w0_floor);
+    for r in 0..3u32 {
+        let t_round = comm.time_ns();
         let step = (|| {
-            comm.write_local(send, 0, &cur.to_le_bytes())?;
-            comm.write_local(recv, 0, &vec![0u8; 8 * l])?;
-            comm.write_local(recv, 8 * my_idx, &cur.to_le_bytes())?;
-            let plan = compile_agree(p, me, members, epoch, round);
-            let pol = agree_policy(m, agree_timeout(m, retries, p, l, round));
-            let report = execute_with_policy(
-                comm,
-                &plan,
-                &Bindings {
-                    send: Some(send),
-                    recv: Some(recv),
-                },
-                tracer,
-                &pol,
-            )?;
-            let mut bytes = vec![0u8; 8 * l];
+            let wire = cur.to_bytes();
+            comm.write_local(send, 0, &wire)?;
+            comm.write_local(recv, 0, &vec![0u8; width * l])?;
+            comm.write_local(recv, width * my_idx, &wire)?;
+            let (live_plan, susp_plan) =
+                compile_agree_split(p, me, members, epoch, base_round + r, width, &cur);
+            let bind = Bindings {
+                send: Some(send),
+                recv: Some(recv),
+            };
+            execute_with_policy(comm, &live_plan, &bind, tracer, &agree_policy(m, deadline))?;
+            if !susp_plan.steps.is_empty() {
+                let cap = if r < 2 { a0.saturating_mul(2) } else { a0 };
+                execute_with_policy(comm, &susp_plan, &bind, tracer, &agree_policy(m, cap))?;
+            }
+            let mut bytes = vec![0u8; width * l];
             comm.read_local(recv, 0, &mut bytes)?;
-            Ok(fold_round(
-                cur,
-                members,
-                me,
-                report.recovery.suspect_mask,
-                &bytes,
-            ))
+            Ok(if r < 2 {
+                fold_round(&cur, members, me, &bytes, width, p)
+            } else {
+                fold_ballots(&cur, members, me, &bytes, width, p)
+            })
         })();
         match step {
             Ok(next) => {
+                deadline = comm
+                    .time_ns()
+                    .saturating_sub(t_round)
+                    .saturating_add(deadline)
+                    .saturating_add(a0.saturating_mul(2));
                 cur = next;
-                out = Ok(cur);
+                out = Ok(cur.clone());
             }
             Err(e) => {
                 out = Err(e);
@@ -657,20 +851,25 @@ fn agree<C: Comm + ?Sized>(
     }
     let _ = comm.free(send);
     let _ = comm.free(recv);
-    out
+    out.map(|mask| (mask, deadline.min(a0.saturating_mul(16))))
 }
 
-/// Two-round suspected-dead agreement over `members` — the polled twin
-/// of [`agree`].
+/// Three-round suspected-dead agreement over `members` — the polled
+/// twin of [`agree`], transliterated operation for operation (same
+/// adaptive deadlines, same tag namespace, same folds).
+#[allow(clippy::too_many_arguments)]
 async fn agree_polled(
     comm: &mut PolledComm,
     members: &[usize],
     epoch: u32,
-    suspected: u64,
+    base_round: u32,
+    suspected: &MemberMask,
     m: &MembershipPolicy,
     retries: u32,
+    liveness: u64,
+    w0_floor: u64,
     tracer: &Tracer,
-) -> Result<u64> {
+) -> Result<(MemberMask, u64)> {
     let p = comm.size();
     let me = comm.rank();
     let l = members.len();
@@ -678,45 +877,66 @@ async fn agree_polled(
         .iter()
         .position(|&x| x == me)
         .ok_or_else(|| proto("caller is not a surviving member".into()))?;
-    let send = comm.alloc(8);
-    let recv = comm.alloc(8 * l);
-    let mut cur = suspected;
-    let mut out: Result<u64> = Ok(0);
-    for round in 0..2u32 {
-        let step: Result<u64> = {
+    let width = MemberMask::wire_len(p);
+    let send = comm.alloc(width);
+    let recv = comm.alloc(width * l);
+    let mut cur = suspected.clone();
+    let mut out: Result<MemberMask> = Ok(cur.clone());
+    // Same two-part rounds (wide window for live slots, round-shaped
+    // flat cap for suspected slots), window growth, and skew-hint floor
+    // as the threads twin (see [`agree`] for the sizing argument).
+    let a0 = liveness.saturating_mul(u64::from(retries) + 3);
+    let mut deadline = a0.max(w0_floor);
+    for r in 0..3u32 {
+        let t_round = comm.time_ns();
+        let step: Result<MemberMask> = {
+            let wire = cur.to_bytes();
             let setup = comm
-                .write_local(send, 0, &cur.to_le_bytes())
-                .and_then(|()| comm.write_local(recv, 0, &vec![0u8; 8 * l]))
-                .and_then(|()| comm.write_local(recv, 8 * my_idx, &cur.to_le_bytes()));
+                .write_local(send, 0, &wire)
+                .and_then(|()| comm.write_local(recv, 0, &vec![0u8; width * l]))
+                .and_then(|()| comm.write_local(recv, width * my_idx, &wire));
             match setup {
                 Err(e) => Err(e),
                 Ok(()) => {
-                    let plan = compile_agree(p, me, members, epoch, round);
-                    let pol = agree_policy(m, agree_timeout(m, retries, p, l, round));
-                    match execute_polled_with_policy(
-                        comm,
-                        &plan,
-                        &Bindings {
-                            send: Some(send),
-                            recv: Some(recv),
-                        },
-                        tracer,
-                        &pol,
-                    )
-                    .await
-                    {
+                    let (live_plan, susp_plan) =
+                        compile_agree_split(p, me, members, epoch, base_round + r, width, &cur);
+                    let bind = Bindings {
+                        send: Some(send),
+                        recv: Some(recv),
+                    };
+                    let run = async {
+                        execute_polled_with_policy(
+                            comm,
+                            &live_plan,
+                            &bind,
+                            tracer,
+                            &agree_policy(m, deadline),
+                        )
+                        .await?;
+                        if !susp_plan.steps.is_empty() {
+                            let cap = if r < 2 { a0.saturating_mul(2) } else { a0 };
+                            execute_polled_with_policy(
+                                comm,
+                                &susp_plan,
+                                &bind,
+                                tracer,
+                                &agree_policy(m, cap),
+                            )
+                            .await?;
+                        }
+                        Ok(())
+                    };
+                    match run.await {
                         Err(e) => Err(e),
-                        Ok(report) => {
-                            let mut bytes = vec![0u8; 8 * l];
+                        Ok(()) => {
+                            let mut bytes = vec![0u8; width * l];
                             match comm.read_local(recv, 0, &mut bytes) {
                                 Err(e) => Err(e),
-                                Ok(()) => Ok(fold_round(
-                                    cur,
-                                    members,
-                                    me,
-                                    report.recovery.suspect_mask,
-                                    &bytes,
-                                )),
+                                Ok(()) => Ok(if r < 2 {
+                                    fold_round(&cur, members, me, &bytes, width, p)
+                                } else {
+                                    fold_ballots(&cur, members, me, &bytes, width, p)
+                                }),
                             }
                         }
                     }
@@ -725,8 +945,13 @@ async fn agree_polled(
         };
         match step {
             Ok(next) => {
+                deadline = comm
+                    .time_ns()
+                    .saturating_sub(t_round)
+                    .saturating_add(deadline)
+                    .saturating_add(a0.saturating_mul(2));
                 cur = next;
-                out = Ok(cur);
+                out = Ok(cur.clone());
             }
             Err(e) => {
                 out = Err(e);
@@ -736,14 +961,17 @@ async fn agree_polled(
     }
     let _ = comm.free(send);
     let _ = comm.free(recv);
-    out
+    out.map(|mask| (mask, deadline.min(a0.saturating_mul(16))))
 }
 
 /// Run `op` survivably on the threads/blocking engine: detect peer
-/// death, agree on the survivors, shrink, and re-execute until the
-/// collective completes over a stable membership or a typed error
-/// (exile, dead root, quorum loss, shrink budget) surfaces. Never
-/// hangs: every wait the loop takes is deadline-bounded.
+/// death, agree on the survivors, then either *resume* the torn plan
+/// from each rank's watermark (membership unchanged) or shrink and
+/// re-execute, until the collective completes over a stable membership
+/// or a typed error (exile, dead root, quorum loss, shrink budget)
+/// surfaces. Never hangs: every wait the loop takes is
+/// deadline-bounded, and a peer dying *inside* the agreement folds into
+/// the suspect set and restarts the agreement under fresh tags.
 pub fn run_survivable<C: Comm + ?Sized>(
     comm: &mut C,
     op: &SurvivableOp,
@@ -757,84 +985,220 @@ pub fn run_survivable<C: Comm + ?Sized>(
     let m = effective_membership(policy);
     let bind = bindings_for(op, send, recv);
     let tracer = comm.tracer();
-    let mut dead = 0u64;
+    let tuner = Tuner::new(&arch_for(&comm.topology()));
+    let resume_cap = m.max_shrinks.min(15);
+    let mut dead = MemberMask::new(p);
     let mut epoch = 0u32;
+    // `iter` counts loop iterations (for cost attribution); `aiter`
+    // counts agreement iterations *within the current epoch* and
+    // namespaces agreement tags together with the epoch nibble: it
+    // advances on resume (same epoch, new agreement) and resets on
+    // shrink (the epoch bump re-namespaces). Bounded by resume_cap
+    // (≤ 15), so `aiter*12 + attempt*3 + round` stays inside the tag's
+    // 8-bit round field: ≤ 15·12 + 3·3 + 2 = 191.
+    let mut iter = 0u32;
+    let mut aiter = 0u32;
+    let mut resumes = 0u32;
+    let mut obs_p99 = 0u64;
+    // Exit-skew hint threaded between successive agreements: a rank can
+    // leave an agreement up to one final window late when a peer died
+    // mid-fan-out, and the next agreement's round 0 must still hear it.
+    let mut skew_hint = 0u64;
+    let mut resume_state: Option<ResumeState> = None;
+    // A rank whose execution already succeeded carries its report here
+    // across resume iterations and skips re-execution entirely — its
+    // deposits persist and its inbound needs were already met, so only
+    // the torn ranks touch the transport again.
+    let mut done: Option<ScheduleReport> = None;
     let mut mrep = MembershipReport::default();
+    macro_rules! bail {
+        ($e:expr) => {{
+            if let Some(st) = resume_state.take() {
+                st.abandon(comm);
+            }
+            return Err($e);
+        }};
+    }
     loop {
-        if dead & (1 << me) != 0 {
+        if dead.get(me) {
             // Exile: the membership agreed *we* are dead (false
             // suspicion). Diverging silently would wedge the others.
-            return Err(CommError::PeerDead(me));
+            bail!(CommError::PeerDead(me));
         }
         if let Some(r) = op.root() {
-            if dead & (1 << r) != 0 {
-                return Err(CommError::PeerDead(r));
+            if dead.get(r) {
+                bail!(CommError::PeerDead(r));
             }
         }
-        let members = survivor_list(dead, p);
+        let members = survivor_list(&dead, p);
         if members.len() * 2 <= p {
-            return Err(proto(format!(
+            bail!(proto(format!(
                 "membership lost quorum: {}/{p} survivors",
                 members.len()
             )));
         }
-        let plan = member_plan(op, p, me, &members, epoch, send.is_some(), recv.is_some())?;
+        let l = members.len();
+        let plan = match member_plan(op, p, me, &members, epoch, send.is_some(), recv.is_some()) {
+            Ok(plan) => plan,
+            Err(e) => bail!(e),
+        };
+        // Adaptive detection: deadline from the analytic plan cost and
+        // the step latencies this call has already observed.
+        let liveness = adaptive_liveness(&m, tuner.cost_schedule(&plan, l) as u64, obs_p99);
+        // The agreement's own all-to-all fan-out grows with l even when
+        // the data plan's cost does not, so its deadlines are derived
+        // from the agreement plan's modeled cost (identical on every
+        // member: the schedule is symmetric).
+        let agree_liveness = adaptive_liveness(
+            &m,
+            tuner.cost_schedule(
+                &compile_agree(p, me, &members, epoch, 0, MemberMask::wire_len(p)),
+                l,
+            ) as u64,
+            obs_p99,
+        )
+        .max(liveness);
         let mut pol = *policy;
         pol.membership = MembershipPolicy {
             watch: true,
             tolerant: false,
+            liveness_timeout_ns: liveness,
             ..m
         };
-        let exec = execute_with_policy(comm, &plan, &bind, &tracer, &pol);
-        let suspected = match &exec {
-            Ok(_) => 0u64,
-            Err(CommError::PeerDead(q)) => (1u64 << (q & 63)) | REDO,
-            Err(e) => return Err(e.clone()),
+        let t_exec = comm.time_ns();
+        let exec: Result<ScheduleReport> = if let Some(report) = done {
+            Ok(report)
+        } else {
+            let (res, report) =
+                execute_resumable(comm, &plan, &bind, &tracer, &pol, &mut resume_state);
+            obs_p99 = obs_p99.max(report.step_p99_ns);
+            res.map(|()| report)
         };
+        let exec_ns = comm.time_ns().saturating_sub(t_exec);
+        let mut own = dead.clone();
+        match &exec {
+            Ok(_) => {
+                if iter > 0 {
+                    mrep.reexec_ns += exec_ns;
+                }
+            }
+            Err(CommError::PeerDead(q)) => {
+                mrep.detect_ns += exec_ns;
+                if *q < p {
+                    own.set(*q);
+                }
+                own.set_flag(FLAG_REDO);
+                if resumes >= resume_cap {
+                    own.set_flag(FLAG_NORESUME);
+                }
+            }
+            Err(e) => bail!(e.clone()),
+        }
         // Rendezvous: union everyone's suspicions so all survivors see
         // the same dead set — even ranks whose own execution was clean.
-        // A failed execution raises REDO so the whole membership
+        // A failed execution raises FLAG_REDO so the whole membership
         // re-executes together even if the suspicion itself is refuted.
+        // A peer dying mid-agreement folds in and restarts the
+        // agreement (kill-anywhere recovery), bounded by the attempt
+        // budget.
         let t0 = comm.time_ns();
-        let agreed = agree(
-            comm,
-            &members,
-            epoch,
-            dead | suspected,
-            &m,
-            pol.max_retries,
-            &tracer,
-        )?;
+        let mut agreed: Option<MemberMask> = None;
+        for attempt in 0..MAX_AGREE_ATTEMPTS {
+            let base_round = aiter * 12 + attempt * 3;
+            match agree(
+                comm,
+                &members,
+                epoch,
+                base_round,
+                &own,
+                &m,
+                policy.max_retries,
+                agree_liveness,
+                skew_hint,
+                &tracer,
+            ) {
+                Ok((mask, hint)) => {
+                    skew_hint = hint;
+                    agreed = Some(mask);
+                    break;
+                }
+                Err(CommError::PeerDead(q)) => {
+                    if q < p {
+                        own.set(q);
+                    }
+                    own.set_flag(FLAG_REDO);
+                }
+                Err(e) => bail!(e),
+            }
+        }
+        let Some(agreed) = agreed else {
+            bail!(proto(format!(
+                "membership agreement failed after {MAX_AGREE_ATTEMPTS} attempts"
+            )));
+        };
+        let agree_ns = comm.time_ns().saturating_sub(t0);
         mrep.agreements += 1;
+        mrep.agree_ns += agree_ns;
         member_handles().agreements.add(1);
         tracer.span(
             Track::Rank(me),
             "membership:agree",
             t0,
-            comm.time_ns().saturating_sub(t0) as f64,
-            agreed,
+            agree_ns as f64,
+            agreed.low64(),
             Some(class::MEMBERSHIP),
         );
-        let newly = (agreed & RANKS) & !dead;
-        if newly == 0 && agreed & REDO == 0 {
-            let report = exec
-                .unwrap_or_else(|_| unreachable!("a failed execution always raises the redo flag"));
-            mrep.dead_mask = dead;
+        let mut newly = agreed.clone();
+        newly.subtract(&dead);
+        if newly.is_empty() && !agreed.has_flag(FLAG_REDO) {
+            let report = match exec {
+                Ok(report) => report,
+                Err(_) => unreachable!("a failed execution always raises the redo flag"),
+            };
+            mrep.dead_mask = dead.low64();
+            let h = member_handles();
+            h.detect_ns.record(mrep.detect_ns);
+            h.agree_ns.record(mrep.agree_ns);
+            h.reexec_ns.record(mrep.reexec_ns);
             return Ok(SurvivableOutcome {
                 report,
                 membership: mrep,
                 members,
             });
         }
+        if newly.is_empty() && !agreed.has_flag(FLAG_NORESUME) && resumes < resume_cap {
+            // Partial-progress resume: somebody's plan tore but the
+            // membership did not change, so every remaining step still
+            // touches only survivors. Completed ranks skip re-execution
+            // (their deposits persist); torn ranks pick up at their
+            // watermark under the same epoch, plan, and data tags.
+            resumes += 1;
+            mrep.resumes += 1;
+            member_handles().resumes.add(1);
+            done = exec.ok();
+            tracer.span(
+                Track::Rank(me),
+                "membership:resume",
+                comm.time_ns(),
+                0.0,
+                u64::from(resumes),
+                Some(class::MEMBERSHIP),
+            );
+            iter += 1;
+            aiter += 1;
+            continue;
+        }
         // Shrink: adopt the agreed dead set, advance the epoch (even
-        // when only REDO fired — re-execution needs fresh tags), drop
-        // stale-membership plans, back off, and go around again.
-        dead = agreed & RANKS;
+        // when only FLAG_REDO fired — full re-execution needs fresh
+        // tags), drop stale-membership plans, back off, and go around.
+        dead = agreed.clone();
+        dead.clear_flag(FLAG_REDO);
+        dead.clear_flag(FLAG_NORESUME);
         epoch += 1;
         mrep.epochs = epoch;
-        mrep.dead_mask = dead;
+        mrep.dead_mask = dead.low64();
         if epoch > m.max_shrinks.min(15) {
-            return Err(proto(format!(
+            bail!(proto(format!(
                 "membership exceeded {} shrinks",
                 m.max_shrinks.min(15)
             )));
@@ -848,7 +1212,7 @@ pub fn run_survivable<C: Comm + ?Sized>(
             "membership:shrink",
             t0,
             comm.time_ns().saturating_sub(t0) as f64,
-            dead,
+            dead.low64(),
             Some(class::MEMBERSHIP),
         );
         mrep.reexecs += 1;
@@ -861,6 +1225,14 @@ pub fn run_survivable<C: Comm + ?Sized>(
             u64::from(epoch),
             Some(class::MEMBERSHIP),
         );
+        // The shrunken plan is a different schedule: the old watermark
+        // is meaningless, and completed ranks must re-execute too.
+        if let Some(st) = resume_state.take() {
+            st.abandon(comm);
+        }
+        done = None;
+        iter += 1;
+        aiter = 0;
     }
 }
 
@@ -881,76 +1253,189 @@ pub async fn run_survivable_polled(
     let m = effective_membership(policy);
     let bind = bindings_for(op, send, recv);
     let tracer = comm.tracer();
-    let mut dead = 0u64;
+    let tuner = Tuner::new(&arch_for(&comm.topology()));
+    let resume_cap = m.max_shrinks.min(15);
+    let mut dead = MemberMask::new(p);
     let mut epoch = 0u32;
+    let mut iter = 0u32;
+    let mut aiter = 0u32;
+    let mut resumes = 0u32;
+    let mut obs_p99 = 0u64;
+    // Exit-skew hint threaded between successive agreements: a rank can
+    // leave an agreement up to one final window late when a peer died
+    // mid-fan-out, and the next agreement's round 0 must still hear it.
+    let mut skew_hint = 0u64;
+    let mut resume_state: Option<ResumeState> = None;
+    let mut done: Option<ScheduleReport> = None;
     let mut mrep = MembershipReport::default();
+    macro_rules! bail {
+        ($e:expr) => {{
+            if let Some(st) = resume_state.take() {
+                abandon_polled(comm, st);
+            }
+            return Err($e);
+        }};
+    }
     loop {
-        if dead & (1 << me) != 0 {
-            return Err(CommError::PeerDead(me));
+        if dead.get(me) {
+            bail!(CommError::PeerDead(me));
         }
         if let Some(r) = op.root() {
-            if dead & (1 << r) != 0 {
-                return Err(CommError::PeerDead(r));
+            if dead.get(r) {
+                bail!(CommError::PeerDead(r));
             }
         }
-        let members = survivor_list(dead, p);
+        let members = survivor_list(&dead, p);
         if members.len() * 2 <= p {
-            return Err(proto(format!(
+            bail!(proto(format!(
                 "membership lost quorum: {}/{p} survivors",
                 members.len()
             )));
         }
-        let plan = member_plan(op, p, me, &members, epoch, send.is_some(), recv.is_some())?;
+        let l = members.len();
+        let plan = match member_plan(op, p, me, &members, epoch, send.is_some(), recv.is_some()) {
+            Ok(plan) => plan,
+            Err(e) => bail!(e),
+        };
+        let liveness = adaptive_liveness(&m, tuner.cost_schedule(&plan, l) as u64, obs_p99);
+        let agree_liveness = adaptive_liveness(
+            &m,
+            tuner.cost_schedule(
+                &compile_agree(p, me, &members, epoch, 0, MemberMask::wire_len(p)),
+                l,
+            ) as u64,
+            obs_p99,
+        )
+        .max(liveness);
         let mut pol = *policy;
         pol.membership = MembershipPolicy {
             watch: true,
             tolerant: false,
+            liveness_timeout_ns: liveness,
             ..m
         };
-        let exec = execute_polled_with_policy(comm, &plan, &bind, &tracer, &pol).await;
-        let suspected = match &exec {
-            Ok(_) => 0u64,
-            Err(CommError::PeerDead(q)) => (1u64 << (q & 63)) | REDO,
-            Err(e) => return Err(e.clone()),
+        let t_exec = comm.time_ns();
+        let exec: Result<ScheduleReport> = if let Some(report) = done {
+            Ok(report)
+        } else {
+            let (res, report) =
+                execute_resumable_polled(comm, &plan, &bind, &tracer, &pol, &mut resume_state)
+                    .await;
+            obs_p99 = obs_p99.max(report.step_p99_ns);
+            res.map(|()| report)
         };
+        let exec_ns = comm.time_ns().saturating_sub(t_exec);
+        let mut own = dead.clone();
+        match &exec {
+            Ok(_) => {
+                if iter > 0 {
+                    mrep.reexec_ns += exec_ns;
+                }
+            }
+            Err(CommError::PeerDead(q)) => {
+                mrep.detect_ns += exec_ns;
+                if *q < p {
+                    own.set(*q);
+                }
+                own.set_flag(FLAG_REDO);
+                if resumes >= resume_cap {
+                    own.set_flag(FLAG_NORESUME);
+                }
+            }
+            Err(e) => bail!(e.clone()),
+        }
         let t0 = comm.time_ns();
-        let agreed = agree_polled(
-            comm,
-            &members,
-            epoch,
-            dead | suspected,
-            &m,
-            pol.max_retries,
-            &tracer,
-        )
-        .await?;
+        let mut agreed: Option<MemberMask> = None;
+        for attempt in 0..MAX_AGREE_ATTEMPTS {
+            let base_round = aiter * 12 + attempt * 3;
+            match agree_polled(
+                comm,
+                &members,
+                epoch,
+                base_round,
+                &own,
+                &m,
+                policy.max_retries,
+                agree_liveness,
+                skew_hint,
+                &tracer,
+            )
+            .await
+            {
+                Ok((mask, hint)) => {
+                    skew_hint = hint;
+                    agreed = Some(mask);
+                    break;
+                }
+                Err(CommError::PeerDead(q)) => {
+                    if q < p {
+                        own.set(q);
+                    }
+                    own.set_flag(FLAG_REDO);
+                }
+                Err(e) => bail!(e),
+            }
+        }
+        let Some(agreed) = agreed else {
+            bail!(proto(format!(
+                "membership agreement failed after {MAX_AGREE_ATTEMPTS} attempts"
+            )));
+        };
+        let agree_ns = comm.time_ns().saturating_sub(t0);
         mrep.agreements += 1;
+        mrep.agree_ns += agree_ns;
         member_handles().agreements.add(1);
         tracer.span(
             Track::Rank(me),
             "membership:agree",
             t0,
-            comm.time_ns().saturating_sub(t0) as f64,
-            agreed,
+            agree_ns as f64,
+            agreed.low64(),
             Some(class::MEMBERSHIP),
         );
-        let newly = (agreed & RANKS) & !dead;
-        if newly == 0 && agreed & REDO == 0 {
-            let report = exec
-                .unwrap_or_else(|_| unreachable!("a failed execution always raises the redo flag"));
-            mrep.dead_mask = dead;
+        let mut newly = agreed.clone();
+        newly.subtract(&dead);
+        if newly.is_empty() && !agreed.has_flag(FLAG_REDO) {
+            let report = match exec {
+                Ok(report) => report,
+                Err(_) => unreachable!("a failed execution always raises the redo flag"),
+            };
+            mrep.dead_mask = dead.low64();
+            let h = member_handles();
+            h.detect_ns.record(mrep.detect_ns);
+            h.agree_ns.record(mrep.agree_ns);
+            h.reexec_ns.record(mrep.reexec_ns);
             return Ok(SurvivableOutcome {
                 report,
                 membership: mrep,
                 members,
             });
         }
-        dead = agreed & RANKS;
+        if newly.is_empty() && !agreed.has_flag(FLAG_NORESUME) && resumes < resume_cap {
+            resumes += 1;
+            mrep.resumes += 1;
+            member_handles().resumes.add(1);
+            done = exec.ok();
+            tracer.span(
+                Track::Rank(me),
+                "membership:resume",
+                comm.time_ns(),
+                0.0,
+                u64::from(resumes),
+                Some(class::MEMBERSHIP),
+            );
+            iter += 1;
+            aiter += 1;
+            continue;
+        }
+        dead = agreed.clone();
+        dead.clear_flag(FLAG_REDO);
+        dead.clear_flag(FLAG_NORESUME);
         epoch += 1;
         mrep.epochs = epoch;
-        mrep.dead_mask = dead;
+        mrep.dead_mask = dead.low64();
         if epoch > m.max_shrinks.min(15) {
-            return Err(proto(format!(
+            bail!(proto(format!(
                 "membership exceeded {} shrinks",
                 m.max_shrinks.min(15)
             )));
@@ -964,7 +1449,7 @@ pub async fn run_survivable_polled(
             "membership:shrink",
             t0,
             comm.time_ns().saturating_sub(t0) as f64,
-            dead,
+            dead.low64(),
             Some(class::MEMBERSHIP),
         );
         mrep.reexecs += 1;
@@ -977,6 +1462,12 @@ pub async fn run_survivable_polled(
             u64::from(epoch),
             Some(class::MEMBERSHIP),
         );
+        if let Some(st) = resume_state.take() {
+            abandon_polled(comm, st);
+        }
+        done = None;
+        iter += 1;
+        aiter = 0;
     }
 }
 
@@ -987,36 +1478,133 @@ mod tests {
 
     #[test]
     fn survivor_list_skips_dead_bits() {
-        assert_eq!(survivor_list(0, 4), vec![0, 1, 2, 3]);
-        assert_eq!(survivor_list(0b0101, 4), vec![1, 3]);
+        assert_eq!(survivor_list(&MemberMask::new(4), 4), vec![0, 1, 2, 3]);
+        let mut dead = MemberMask::new(4);
+        dead.set(0);
+        dead.set(2);
+        assert_eq!(survivor_list(&dead, 4), vec![1, 3]);
     }
 
     #[test]
     fn fold_round_unions_suspects_and_refutes_responders() {
+        let p = 8;
+        let width = MemberMask::wire_len(p);
         let members = [0usize, 2, 5, 7];
-        // Rank 5 never responded; rank 0 responded accusing {7}; rank 7
-        // responded clean. We are rank 2 with no prior suspicion. Rank 7
-        // answered this very round, so rank 0's accusation is refuted;
-        // the unresponsive rank 5 stays suspected.
-        let mut recv = vec![0u8; 32];
-        recv[0..8].copy_from_slice(&(1u64 << 7).to_le_bytes());
-        let got = fold_round(0, &members, 2, 1 << 5, &recv);
-        assert_eq!(got, 1 << 5);
+        // We are rank 2. Rank 5 never wrote (its slot is still zero —
+        // content-based detection); rank 0 responded accusing {7}; rank
+        // 7 responded clean. Rank 7 answered this very round, so rank
+        // 0's accusation is refuted; the silent rank 5 stays suspected.
+        let mut recv = vec![0u8; width * members.len()];
+        let mut accuse7 = MemberMask::new(p);
+        accuse7.set(7);
+        recv[..width].copy_from_slice(&accuse7.to_bytes());
+        recv[width * 3..width * 4].copy_from_slice(&MemberMask::new(p).to_bytes());
+        let got = fold_round(&MemberMask::new(p), &members, 2, &recv, width, p);
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(got.flags(), 0);
     }
 
     #[test]
-    fn fold_round_preserves_redo_and_own_observations_of_the_dead() {
+    fn fold_round_preserves_flags_and_own_observations_of_the_dead() {
+        let p = 8;
+        let width = MemberMask::wire_len(p);
         let members = [0usize, 1, 2, 3];
-        // We are rank 1, carrying REDO (our data plan failed) and a
-        // suspicion of rank 3, who also fails to respond this round.
-        let recv = vec![0u8; 32];
-        let got = fold_round(REDO | (1 << 3), &members, 1, 1 << 3, &recv);
-        assert_eq!(got, REDO | (1 << 3));
-        // A responsive accused rank is cleared, but REDO never is.
-        let mut recv = vec![0u8; 32];
-        recv[24..32].copy_from_slice(&REDO.to_le_bytes());
-        let got = fold_round(REDO | (1 << 3), &members, 1, 0, &recv);
-        assert_eq!(got, REDO);
+        // We are rank 1, carrying FLAG_REDO (our data plan failed) and a
+        // suspicion of rank 3, who also fails to respond this round;
+        // ranks 0 and 2 respond clean.
+        let mut cur = MemberMask::new(p);
+        cur.set(3);
+        cur.set_flag(FLAG_REDO);
+        let clean = MemberMask::new(p).to_bytes();
+        let mut recv = vec![0u8; width * members.len()];
+        recv[..width].copy_from_slice(&clean);
+        recv[width * 2..width * 3].copy_from_slice(&clean);
+        let got = fold_round(&cur, &members, 1, &recv, width, p);
+        assert!(got.has_flag(FLAG_REDO));
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![3]);
+        // A responsive accused rank is cleared, but flags never are:
+        // rank 3 answers this round (carrying REDO itself).
+        let mut redo = MemberMask::new(p);
+        redo.set_flag(FLAG_REDO);
+        recv[width * 3..width * 4].copy_from_slice(&redo.to_bytes());
+        let got = fold_round(&cur, &members, 1, &recv, width, p);
+        assert!(got.has_flag(FLAG_REDO));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn fold_round_handles_domains_past_64_ranks() {
+        let p = 128;
+        let width = MemberMask::wire_len(p);
+        let members: Vec<usize> = (0..p).collect();
+        // We are rank 0; rank 100 stays silent, everyone else responds.
+        let clean = MemberMask::new(p).to_bytes();
+        let mut recv = vec![0u8; width * p];
+        for (i, &peer) in members.iter().enumerate() {
+            if peer != 0 && peer != 100 {
+                recv[width * i..width * (i + 1)].copy_from_slice(&clean);
+            }
+        }
+        let got = fold_round(&MemberMask::new(p), &members, 0, &recv, width, p);
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![100]);
+    }
+
+    #[test]
+    fn fold_ballots_unions_without_suspecting_or_refuting() {
+        let p = 8;
+        let width = MemberMask::wire_len(p);
+        let members: Vec<usize> = (0..p).collect();
+        // Rank 6 dies mid-round-1 sweep: its ballot reached us but not
+        // others, and rank 7's ballot names 6 dead. Rank 3's slot is
+        // empty (it never wrote). The final fold must union 7's ballot
+        // (6 dead) without refuting 6 for having responded and without
+        // suspecting 3 for staying silent — either would give different
+        // members different answers.
+        let mut carried = MemberMask::new(p);
+        carried.set_flag(FLAG_REDO);
+        let mut from7 = MemberMask::new(p);
+        from7.set(6);
+        let mut recv = vec![0u8; width * p];
+        recv[width * 6..width * 7].copy_from_slice(&MemberMask::new(p).to_bytes());
+        recv[width * 7..width * 8].copy_from_slice(&from7.to_bytes());
+        let got = fold_ballots(&carried, &members, 0, &recv, width, p);
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![6]);
+        assert!(got.has_flag(FLAG_REDO), "carried flags must survive");
+    }
+
+    #[test]
+    fn arch_for_matches_presets_and_falls_back_on_shape() {
+        let knl = Topology {
+            sockets: 1,
+            cores_per_socket: 68,
+            threads_per_core: 4,
+            page_size: 4096,
+        };
+        assert_eq!(arch_for(&knl).name, ArchProfile::knl().name);
+        let other = Topology {
+            sockets: 2,
+            cores_per_socket: 8,
+            threads_per_core: 1,
+            page_size: 4096,
+        };
+        let arch = arch_for(&other);
+        assert_eq!(arch.name, ArchProfile::broadwell().name);
+        assert_eq!(arch.sockets, 2);
+        assert_eq!(arch.cores_per_socket, 8);
+    }
+
+    #[test]
+    fn adaptive_liveness_clamps_to_policy_window() {
+        let m = MembershipPolicy::survivable();
+        let floor = m.liveness_timeout_ns;
+        // Tiny plans stay at the policy floor (PR 8's exact behavior).
+        assert_eq!(adaptive_liveness(&m, 0, 0), floor);
+        assert_eq!(adaptive_liveness(&m, floor / 8, 0), floor);
+        // Bigger plans scale the deadline; observations can widen it.
+        assert_eq!(adaptive_liveness(&m, floor, 0), 4 * floor);
+        assert_eq!(adaptive_liveness(&m, floor, floor), 8 * floor);
+        // And the ceiling caps runaway estimates.
+        assert_eq!(adaptive_liveness(&m, u64::MAX / 2, 0), 64 * floor);
     }
 
     #[test]
@@ -1049,7 +1637,9 @@ mod tests {
             root: 0,
         };
         assert!(validate(&op, 1, 0, Some(BufId(1)), None).is_err());
-        assert!(validate(&op, 65, 0, Some(BufId(1)), None).is_err());
+        // Gen-2 membership has no rank cap: 65, 128, 256 all validate.
+        assert!(validate(&op, 65, 0, Some(BufId(1)), None).is_ok());
+        assert!(validate(&op, 256, 0, Some(BufId(1)), None).is_ok());
         assert!(validate(&op, 4, 0, None, None).is_err());
         assert!(validate(&op, 4, 0, Some(BufId(1)), None).is_ok());
         let zero = SurvivableOp::Bcast {

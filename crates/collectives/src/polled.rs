@@ -19,7 +19,7 @@
 
 use crate::exec::{
     is_suspect_error, is_transient, proto, recv_deadline_ns, step_peer, Bindings, Ctx, Recorder,
-    RecoveryPolicy, ScheduleReport, StepKind, ESRCH,
+    RecoveryPolicy, ResumeState, ScheduleReport, StepKind, ESRCH,
 };
 use crate::reduce::combine;
 use crate::schedule::{
@@ -64,32 +64,98 @@ pub async fn execute_polled_with_policy(
     tracer: &Tracer,
     policy: &RecoveryPolicy,
 ) -> Result<ScheduleReport> {
+    let mut resume = None;
+    let (result, report) =
+        execute_resumable_polled(comm, sched, bind, tracer, policy, &mut resume).await;
+    // Public entry points never resume: abandon any torn-execution
+    // state so scratch is freed exactly as it always was.
+    if let Some(state) = resume {
+        abandon_polled(comm, state);
+    }
+    result.map(|()| report)
+}
+
+/// Free a torn execution's preserved scratch on a polled endpoint — the
+/// twin of `ResumeState::abandon` (whose `Comm` bound the polled
+/// endpoint does not satisfy).
+pub(crate) fn abandon_polled(comm: &mut PolledComm, state: ResumeState) {
+    let (temps, _) = state.into_parts();
+    for t in temps {
+        let _ = comm.free(t);
+    }
+}
+
+/// [`execute_polled_with_policy`] with partial-progress resume — the
+/// twin of `exec::execute_resumable`, same `ResumeState` handoff.
+pub(crate) async fn execute_resumable_polled(
+    comm: &mut PolledComm,
+    sched: &Schedule,
+    bind: &Bindings,
+    tracer: &Tracer,
+    policy: &RecoveryPolicy,
+    resume: &mut Option<ResumeState>,
+) -> (Result<()>, ScheduleReport) {
     if sched.rank != comm.rank() || sched.p != comm.size() {
-        return Err(proto(format!(
+        let e = proto(format!(
             "schedule compiled for rank {}/{} executed on rank {}/{}",
             sched.rank,
             sched.p,
             comm.rank(),
             comm.size()
-        )));
+        ));
+        return (Err(e), ScheduleReport::default());
     }
 
-    let mut ctx = Ctx {
-        bind,
-        temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
-        regs: vec![None; sched.token_regs],
+    let (mut ctx, start) = match resume.take() {
+        Some(st) if st.matches(sched) => {
+            let start = st.next_step().min(sched.steps.len());
+            let (temps, regs) = st.into_parts();
+            (Ctx { bind, temps, regs }, start)
+        }
+        Some(st) => {
+            // Shape drifted under the caller (different plan): resuming
+            // would corrupt state. Start over.
+            abandon_polled(comm, st);
+            (
+                Ctx {
+                    bind,
+                    temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
+                    regs: vec![None; sched.token_regs],
+                },
+                0,
+            )
+        }
+        None => (
+            Ctx {
+                bind,
+                temps: sched.temps.iter().map(|&len| comm.alloc(len)).collect(),
+                regs: vec![None; sched.token_regs],
+            },
+            0,
+        ),
     };
     let mut rec = Recorder::new(tracer, Track::Rank(comm.rank()), sched.class);
 
-    let start = comm.time_ns();
-    let result = run_steps(comm, sched, &mut ctx, &mut rec, policy).await;
-    rec.finish(comm.time_ns().saturating_sub(start));
+    let t_start = comm.time_ns();
+    let result = run_steps(comm, sched, &mut ctx, &mut rec, policy, start).await;
+    rec.finish(comm.time_ns().saturating_sub(t_start));
 
-    // Free scratch even when a step failed mid-run.
-    for t in ctx.temps.drain(..) {
-        let _ = comm.free(t);
+    match result {
+        Ok(()) => {
+            for t in ctx.temps.drain(..) {
+                let _ = comm.free(t);
+            }
+            (Ok(()), rec.report)
+        }
+        Err(e) => {
+            *resume = Some(ResumeState::new(
+                std::mem::take(&mut ctx.temps),
+                std::mem::take(&mut ctx.regs),
+                rec.report.completed_steps as usize,
+            ));
+            (Err(e), rec.report)
+        }
     }
-    result.map(|()| rec.report)
 }
 
 /// Sleep the policy's exponential backoff for the `attempt`-th
@@ -362,15 +428,38 @@ async fn run_steps(
     ctx: &mut Ctx<'_>,
     rec: &mut Recorder<'_>,
     policy: &RecoveryPolicy,
+    start: usize,
 ) -> Result<()> {
-    for step in &sched.steps {
+    rec.report.completed_steps = start as u64;
+    let mut suspects: Vec<usize> = Vec::new();
+    for step in &sched.steps[start..] {
         let t0 = comm.time_ns();
+        let m = &policy.membership;
+        if m.watch && m.tolerant {
+            if let Some(peer) = step_peer(step, ctx) {
+                if suspects.contains(&peer) {
+                    // A peer that already missed one deadline in this
+                    // run will not answer later steps either; skipping
+                    // immediately bounds a rank's detection lateness to
+                    // one timeout chain instead of one per torn
+                    // exchange, which keeps stragglers inside the
+                    // agreement's refutation window.
+                    rec.recovery("membership:suspect", peer, t0, t0);
+                    rec.report.completed_steps += 1;
+                    continue;
+                }
+            }
+        }
         if let Err(e) = run_one_step(comm, step, ctx, rec, policy, t0).await {
             let m = &policy.membership;
             if m.watch && is_suspect_error(&e) {
                 if let Some(peer) = step_peer(step, ctx) {
                     rec.recovery("membership:suspect", peer, t0, comm.time_ns());
                     if m.tolerant {
+                        // A tolerated failure still moves the watermark:
+                        // the executor is past this step for good.
+                        suspects.push(peer);
+                        rec.report.completed_steps += 1;
                         continue;
                     }
                     return Err(CommError::PeerDead(peer));
@@ -378,6 +467,7 @@ async fn run_steps(
             }
             return Err(e);
         }
+        rec.report.completed_steps += 1;
     }
     Ok(())
 }

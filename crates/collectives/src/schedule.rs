@@ -1574,22 +1574,34 @@ pub(crate) fn agree_tag(epoch: u32, round: u32) -> Tag {
 }
 
 /// Compile one all-survivor agreement round: every member sends its
-/// 8-byte suspected-dead mask to every other member, then receives every
-/// other member's mask. The plan is compiled in the *parent*
-/// communicator's numbering (`p`/`me` are parent values), so it executes
-/// directly on the parent endpoints with no subgroup plumbing.
+/// `width`-byte wire-encoded suspected-dead [`kacc_comm::MemberMask`] to
+/// every other member, then receives every other member's mask. The
+/// plan is compiled in the *parent* communicator's numbering (`p`/`me`
+/// are parent values), so it executes directly on the parent endpoints
+/// with no subgroup plumbing. `width` is
+/// [`kacc_comm::MemberMask::wire_len`]`(p)` — a byte vector, not a
+/// single word, so membership is unbounded.
 ///
 /// All sends are issued before any receive. Mailbox deposits are
 /// non-blocking and persist after a waiter gives up, so a member
 /// arriving late still finds every earlier deposit; a member that died
 /// simply never deposits, and the tolerant watchdog times the receive
-/// out and records the suspicion instead of failing the round.
+/// out — the zero-filled slot then fails the mask's magic check, which
+/// is how the fold identifies the non-responder (by content, with no
+/// side-channel suspect bookkeeping).
 ///
 /// `Slot::Send` holds this rank's mask at offset 0; the mask of the
 /// member at position `i` of the sorted `members` list lands in
-/// `Slot::Recv` at offset `8 * i` (the caller pre-fills its own
+/// `Slot::Recv` at offset `width * i` (the caller pre-fills its own
 /// position, which the plan never touches).
-pub fn compile_agree(p: usize, me: usize, members: &[usize], epoch: u32, round: u32) -> Schedule {
+pub fn compile_agree(
+    p: usize,
+    me: usize,
+    members: &[usize],
+    epoch: u32,
+    round: u32,
+    width: usize,
+) -> Schedule {
     let mut b = Builder::new(p, me, class::MEMBERSHIP);
     let tag = agree_tag(epoch, round);
     for &m in members {
@@ -1599,7 +1611,7 @@ pub fn compile_agree(p: usize, me: usize, members: &[usize], epoch: u32, round: 
                 tag,
                 src: Slot::Send,
                 off: 0,
-                len: 8,
+                len: width,
             });
         }
     }
@@ -1609,12 +1621,65 @@ pub fn compile_agree(p: usize, me: usize, members: &[usize], epoch: u32, round: 
                 from: m,
                 tag,
                 dst: Slot::Recv,
-                off: 8 * i,
-                len: 8,
+                off: width * i,
+                len: width,
             });
         }
     }
     b.finish()
+}
+
+/// Split form of [`compile_agree`] for per-slot receive deadlines: the
+/// first plan sends this rank's mask to every other member and then
+/// receives from the members *not* in `suspects` (live slots, executed
+/// under the wide adaptive window); the second receives only from
+/// suspected members, to be executed under a capped window. Mailbox
+/// deposits queue, so a suspect's refutation that already arrived is
+/// still taken instantly under the cap — the cap only bounds how long
+/// a *genuinely dead* slot can burn, which is what keeps the
+/// per-failure agreement price linear instead of compounding one full
+/// window per dead slot per round. Tags, offsets, and fold semantics
+/// are identical to the unsplit plan.
+pub(crate) fn compile_agree_split(
+    p: usize,
+    me: usize,
+    members: &[usize],
+    epoch: u32,
+    round: u32,
+    width: usize,
+    suspects: &kacc_comm::MemberMask,
+) -> (Schedule, Schedule) {
+    let tag = agree_tag(epoch, round);
+    let mut live = Builder::new(p, me, class::MEMBERSHIP);
+    let mut susp = Builder::new(p, me, class::MEMBERSHIP);
+    for &m in members {
+        if m != me {
+            live.push(Step::ShmSend {
+                to: m,
+                tag,
+                src: Slot::Send,
+                off: 0,
+                len: width,
+            });
+        }
+    }
+    for (i, &m) in members.iter().enumerate() {
+        if m != me {
+            let part = if suspects.get(m) {
+                &mut susp
+            } else {
+                &mut live
+            };
+            part.push(Step::ShmRecv {
+                from: m,
+                tag,
+                dst: Slot::Recv,
+                off: width * i,
+                len: width,
+            });
+        }
+    }
+    (live.finish(), susp.finish())
 }
 
 /// Translate a Pack entry list's subgroup rank labels to parent ranks.
@@ -2111,7 +2176,8 @@ mod tests {
     #[test]
     fn agree_plan_sends_before_receiving_every_member() {
         let members = [0usize, 2, 5, 7];
-        let plan = compile_agree(8, 2, &members, 1, 0);
+        let width = kacc_comm::MemberMask::wire_len(8);
+        let plan = compile_agree(8, 2, &members, 1, 0, width);
         assert_eq!((plan.p, plan.rank), (8, 2));
         assert_eq!(plan.class, Some(class::MEMBERSHIP));
         // 3 sends to the other members, then 3 receives from them, with
@@ -2127,7 +2193,7 @@ mod tests {
                     tag,
                     src: Slot::Send,
                     off: 0,
-                    len: 8
+                    len: width
                 }
             );
         }
@@ -2138,7 +2204,27 @@ mod tests {
                 other => panic!("expected ShmRecv, got {other:?}"),
             })
             .collect();
-        assert_eq!(recvs, vec![(0, 0), (5, 16), (7, 24)]);
+        assert_eq!(recvs, vec![(0, 0), (5, 2 * width), (7, 3 * width)]);
+    }
+
+    #[test]
+    fn agree_plan_width_scales_past_64_ranks() {
+        // p = 128: two rank-bit words plus the header word → 24-byte
+        // slots. The plan must address every member's slot at its full
+        // wire width (the p > 63 cap is gone).
+        let members: Vec<usize> = (0..128).collect();
+        let width = kacc_comm::MemberMask::wire_len(128);
+        assert_eq!(width, 24);
+        let plan = compile_agree(128, 100, &members, 2, 1, width);
+        assert_eq!(plan.steps.len(), 2 * 127);
+        for s in &plan.steps {
+            match s {
+                Step::ShmSend { len, .. } | Step::ShmRecv { len, .. } => {
+                    assert_eq!(*len, width)
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
     }
 
     #[test]

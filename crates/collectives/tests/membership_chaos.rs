@@ -34,7 +34,7 @@ use kacc_collectives::{
 };
 use kacc_collectives::{ReduceAlgo, ReduceOp};
 use kacc_comm::{Comm, CommExt, Tag};
-use kacc_fault::{FaultHook, FaultKind, FaultPlan, FaultRule};
+use kacc_fault::{FaultHook, FaultPlan};
 use kacc_machine::{run_polled_team_faulty, run_team_faulty, PolledComm, SimComm, TeamRun};
 use kacc_model::ArchProfile;
 use kacc_native::run_threads;
@@ -67,11 +67,7 @@ fn seed_corpus() -> Vec<u64> {
 fn silent_kill(seed: u64, dead: &[(usize, u64)]) -> FaultHook {
     let mut plan = FaultPlan::new(seed);
     for &(d, after) in dead {
-        plan = plan.rule(
-            FaultRule::new(FaultKind::Transient { errno: 3 }, 1.0)
-                .ranks_mask(&[d])
-                .after(after),
-        );
+        plan = plan.silent_kill(d, after);
     }
     plan.hook()
 }
@@ -317,8 +313,14 @@ fn assert_dead_typed(msg: &str, ctx: &str) {
     );
 }
 
+/// Low-64 diagnostic mask of a dead set — `MembershipReport::dead_mask`
+/// mirrors only ranks 0..64 (gen-2 membership is unbounded; wider ranks
+/// are visible through the agreed `members` list instead).
 fn mask_of(ranks: &[usize]) -> u64 {
-    ranks.iter().fold(0u64, |m, &r| m | 1u64 << r)
+    ranks
+        .iter()
+        .filter(|&&r| r < 64)
+        .fold(0u64, |m, &r| m | 1u64 << r)
 }
 
 /// Strict postcondition for a kill-k run: every survivor completed over
@@ -378,6 +380,20 @@ fn assert_kill_outcomes(
     }
 }
 
+/// The node profile a group size belongs on: the 16-place
+/// `small_arch` keeps contention realistic for p ≤ 64, while wide
+/// groups run on a KNL-class many-core node (272 hardware places) —
+/// oversubscribing 128 ranks 8-to-1 onto 16 places serializes the
+/// agreement sweep far past anything the analytic deadline model (one
+/// rank per place, like a real MPI pinning) is meant to cover.
+fn arch_for_p(p: usize) -> ArchProfile {
+    if p <= 64 {
+        small_arch()
+    } else {
+        ArchProfile::knl()
+    }
+}
+
 fn run_kill_sim(
     pick: usize,
     p: usize,
@@ -386,7 +402,7 @@ fn run_kill_sim(
     dead: Vec<(usize, u64)>,
     seed: u64,
 ) -> (TeamRun, Vec<RankOutcome>) {
-    let arch = small_arch();
+    let arch = arch_for_p(p);
     run_team_faulty(
         &arch,
         p,
@@ -403,7 +419,7 @@ fn run_kill_polled(
     dead: Vec<(usize, u64)>,
     seed: u64,
 ) -> (TeamRun, Vec<RankOutcome>) {
-    let arch = small_arch();
+    let arch = arch_for_p(p);
     run_polled_team_faulty(&arch, p, silent_kill(seed, &dead), move |rank| async move {
         let mut comm = PolledComm::new(rank);
         survivable_polled(&mut comm, pick, count, root).await
@@ -435,6 +451,147 @@ fn check_kill_both_engines(
         "{} seed={seed} dead={deadset:?}: engines disagree on per-rank outcomes",
         PICK_NAMES[pick]
     );
+}
+
+/// Relaxed postcondition for kills landing at *arbitrary* virtual
+/// times — possibly inside the membership agreement itself, inside a
+/// shrink re-execution, or even after the victim's last own operation
+/// (in which case nobody observes the death and the run stays clean).
+///
+/// Pinned here, for any kill point:
+///  * every completing rank reports the *same* agreed membership — no
+///    split-brain;
+///  * a failing rank is either genuinely killed or *consistently
+///    exiled*: unanimously dropped from every completer's agreed group
+///    and handed a typed membership error itself. A kill landing
+///    mid-agreement can cost a live straggler both refutation windows
+///    (it is burning dead-slot timeouts while everyone else votes);
+///    ULFM semantics permit that exile as long as it is unanimous and
+///    typed — what is *never* permitted is a rank completing while the
+///    group thinks it left, or two survivors disagreeing on the group;
+///  * a killed rank may complete only by staying in the agreed group
+///    (it died strictly after its last own operation);
+///  * every completing rank's payload is exactly the collective's
+///    result over the agreed group — never torn, never stale.
+///
+/// Returns the observed-dead set so sweeps can check which recovery
+/// window a kill point actually landed in.
+#[allow(clippy::too_many_arguments)]
+fn assert_anywhere_outcomes(
+    pick: usize,
+    p: usize,
+    count: usize,
+    root: usize,
+    deadset: &[usize],
+    seed: u64,
+    results: &[RankOutcome],
+    engine: &str,
+) -> Vec<usize> {
+    let ctx_of = |r: usize| {
+        format!(
+            "{engine} {} seed={seed} p={p} count={count} root={root} dead={deadset:?} rank {r}",
+            PICK_NAMES[pick]
+        )
+    };
+    let mut agreed: Option<&Vec<usize>> = None;
+    for (r, res) in results.iter().enumerate() {
+        if let Ok((members, ..)) = res {
+            match agreed {
+                None => agreed = Some(members),
+                Some(m) => assert_eq!(members, m, "{}: membership split-brain", ctx_of(r)),
+            }
+        }
+    }
+    let members = agreed.expect("the live ranks must complete");
+    let observed_dead: Vec<usize> = (0..p).filter(|r| !members.contains(r)).collect();
+    for (r, res) in results.iter().enumerate() {
+        if let Err(msg) = res {
+            // A failing rank was either killed or consistently exiled:
+            // out of *every* completer's agreed group AND handed a
+            // typed error. A failure outside both sets would be a live
+            // rank dying for no agreed reason.
+            assert!(
+                deadset.contains(&r) || observed_dead.contains(&r),
+                "{}: live rank failed without being exiled: {msg}",
+                ctx_of(r)
+            );
+            assert_dead_typed(msg, &ctx_of(r));
+        }
+    }
+    for &d in &observed_dead {
+        // Dropped ranks were killed, or (false suspicion under extreme
+        // skew) live but failed with a typed error — never silently
+        // dropped while appearing to succeed.
+        assert!(
+            deadset.contains(&d) || results[d].is_err(),
+            "rank {d} dropped from the group but completed as if live"
+        );
+    }
+    for (r, res) in results.iter().enumerate() {
+        if let Ok((ms, mrep, _, payload)) = res {
+            let ctx = ctx_of(r);
+            assert!(
+                ms.contains(&r),
+                "{ctx}: completed while outside the agreed group"
+            );
+            assert_eq!(
+                mrep.dead_mask,
+                mask_of(&observed_dead),
+                "{ctx}: wrong agreed dead mask"
+            );
+            if observed_dead.is_empty() {
+                assert!(
+                    mrep.is_clean(),
+                    "{ctx}: nobody observed a death, yet the run is dirty: {mrep:?}"
+                );
+            } else {
+                assert!(
+                    mrep.epochs >= 1 && mrep.reexecs >= 1,
+                    "{ctx}: an observed death must shrink and re-execute, got {mrep:?}"
+                );
+            }
+            let idx = ms.iter().position(|&m| m == r).expect("rank in members");
+            let want = expected_survivor(pick, idx, ms, p, count, root);
+            assert!(
+                payload.len() >= want.len(),
+                "{ctx}: payload shorter than the agreed-group result"
+            );
+            if let Some(d) = diff(&payload[..want.len()], &want) {
+                panic!("{ctx}: {d}");
+            }
+        }
+    }
+    observed_dead
+}
+
+/// Kill-anywhere on both engines: relaxed per-rank verification plus
+/// the bitwise engine-equivalence check, returning the observed-dead
+/// set (identical between engines by the equivalence assert).
+fn check_anywhere_both_engines(
+    pick: usize,
+    p: usize,
+    count: usize,
+    root: usize,
+    dead: &[(usize, u64)],
+    seed: u64,
+) -> Vec<usize> {
+    let deadset: Vec<usize> = dead.iter().map(|d| d.0).collect();
+    let (trun, tres) = run_kill_sim(pick, p, count, root, dead.to_vec(), seed);
+    let observed =
+        assert_anywhere_outcomes(pick, p, count, root, &deadset, seed, &tres, "sim-threads");
+    let (prun, pres) = run_kill_polled(pick, p, count, root, dead.to_vec(), seed);
+    assert_anywhere_outcomes(pick, p, count, root, &deadset, seed, &pres, "sim-polled");
+    assert_eq!(
+        trun.end_ns, prun.end_ns,
+        "{} seed={seed} dead={dead:?}: engines disagree on the recovery end time",
+        PICK_NAMES[pick]
+    );
+    assert_eq!(
+        tres, pres,
+        "{} seed={seed} dead={dead:?}: engines disagree on per-rank outcomes",
+        PICK_NAMES[pick]
+    );
+    observed
 }
 
 // ---- 1. Kill-k completes over the survivors (both engines) ----------------
@@ -645,6 +802,88 @@ proptest! {
         let dead = deadsel; // 1..8: never the root
         let (_, res) = run_kill_sim(pick, p, 256, root, vec![(dead, after)], seed);
         assert_kill_outcomes(pick, p, 256, root, &[dead], seed, &res, "sim-threads");
+    }
+}
+
+// ---- 5b. Kill-anywhere: agreement and shrink re-exec windows --------------
+
+/// Rank 5 dies early (forcing detection and a membership agreement),
+/// then rank 6's kill point is swept across the op-index band where
+/// that agreement runs — the second failure lands inside the protocol
+/// trying to agree on the first, exercising the fold-in-and-restart
+/// path. Across the sweep at least one kill point must be observed
+/// (both ranks dropped), proving the band reaches past the data plan.
+#[test]
+fn membership_kill_during_agreement_both_engines() {
+    for &seed in &seed_corpus() {
+        let mut saw_second = false;
+        for after in [7u64, 9, 11, 14, 18] {
+            let observed = check_anywhere_both_engines(3, 8, 256, 0, &[(5, 2), (6, after)], seed);
+            assert!(
+                observed.contains(&5),
+                "seed={seed} after={after}: first kill unobserved"
+            );
+            saw_second |= observed.contains(&6);
+        }
+        assert!(
+            saw_second,
+            "seed={seed}: no kill point in the agreement band was ever observed"
+        );
+    }
+}
+
+/// Same shape, but rank 6 survives the first agreement and dies in the
+/// band where the shrunken plan re-executes — a second failure during
+/// recovery's re-execution must trigger a nested detect → agree →
+/// shrink round, never a hang and never a torn payload.
+#[test]
+fn membership_kill_during_shrink_reexec_both_engines() {
+    for &seed in &seed_corpus() {
+        let mut saw_second = false;
+        for after in [24u64, 30, 36, 44, 52] {
+            let observed = check_anywhere_both_engines(3, 8, 256, 0, &[(5, 2), (6, after)], seed);
+            assert!(
+                observed.contains(&5),
+                "seed={seed} after={after}: first kill unobserved"
+            );
+            saw_second |= observed.contains(&6);
+        }
+        assert!(
+            saw_second,
+            "seed={seed}: no kill point in the re-exec band was ever observed"
+        );
+    }
+}
+
+// ---- 5c. Wide groups: past the old 64-rank mask ceiling -------------------
+
+/// p = 128 exercises the multi-word `MemberMask` end to end: rank 100
+/// (past the old single-word ceiling) dies mid-plan, and recovery must
+/// agree, shrink, and re-execute bitwise-identically on both engines.
+#[test]
+fn membership_kill_wide_group_both_engines() {
+    for pick in [2usize, 3] {
+        check_kill_both_engines(pick, 128, 64, 0, &[(100, 3)], 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// At p = 128, killing any non-root rank at any virtual time never
+    /// hangs the group and never yields a wrong payload: every
+    /// completing rank agrees on one membership and carries that
+    /// membership's exact bytes (threads engine; the fixed wide-group
+    /// test above pins engine equivalence).
+    #[test]
+    fn membership_wide_group_any_kill_point_terminates(
+        seed in any::<u64>(),
+        dead in 1usize..128,
+        after in 0u64..80,
+        pick in 2usize..4,
+    ) {
+        let (_, res) = run_kill_sim(pick, 128, 64, 0, vec![(dead, after)], seed);
+        assert_anywhere_outcomes(pick, 128, 64, 0, &[dead], seed, &res, "sim-threads");
     }
 }
 

@@ -26,6 +26,7 @@
 pub mod buffer;
 pub mod error;
 pub mod group;
+pub mod mask;
 pub mod smcoll;
 pub mod tagclass;
 pub mod topology;
@@ -33,6 +34,7 @@ pub mod topology;
 pub use buffer::{BufId, RemoteToken};
 pub use error::{CommError, Result};
 pub use group::{validate_members, SubComm};
+pub use mask::MemberMask;
 pub use topology::Topology;
 
 /// Message tag for control-plane matching. Matching is FIFO per

@@ -424,6 +424,22 @@ impl FaultPlan {
         self
     }
 
+    /// Append a *silent kill* of `rank` at op index `after` (builder
+    /// style): every transport operation the rank initiates from its
+    /// `after`-th onward fails with `ESRCH`, which is exactly what a
+    /// peer observes of a process that died without a goodbye. Because
+    /// `after` counts the victim's own operations, the kill can be
+    /// scheduled into any phase of a survivable collective — the data
+    /// plan, the membership agreement, or a shrink re-execution — which
+    /// is what the kill-anywhere chaos corpus uses it for.
+    pub fn silent_kill(self, rank: usize, after: u64) -> Self {
+        self.rule(
+            FaultRule::new(FaultKind::Transient { errno: 3 }, 1.0)
+                .ranks_mask(&[rank])
+                .after(after),
+        )
+    }
+
     /// Wrap this plan in a transport hook.
     pub fn hook(self) -> FaultHook {
         FaultHook::new(Arc::new(self))

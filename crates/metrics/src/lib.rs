@@ -262,6 +262,28 @@ impl LocalHist {
     pub fn buckets(&self) -> &[u64; BUCKETS] {
         &self.buckets
     }
+
+    /// Upper bound of the bucket containing the `q`-quantile (q in
+    /// parts-per-million, e.g. 990_000 for p99), capped at [`Self::max`]
+    /// so an outlier-free distribution never over-reports. Returns 0
+    /// when empty. Bucket resolution (powers of two) makes this a
+    /// conservative estimate, which is exactly what a liveness deadline
+    /// wants: never below the true quantile, at most 2x above it.
+    pub fn quantile_bound(&self, q_ppm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Smallest bucket whose cumulative count covers the quantile.
+        let need = (self.count.saturating_mul(q_ppm)).div_ceil(1_000_000);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= need {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -592,5 +614,26 @@ mod tests {
         let prom = snap.to_prometheus();
         assert!(prom.contains("kacc_test_render_aaa_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("kacc_test_render_aaa_sum 303"));
+    }
+
+    #[test]
+    fn quantile_bound_is_conservative_and_max_capped() {
+        let mut h = LocalHist::default();
+        assert_eq!(h.quantile_bound(990_000), 0);
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 127]
+        }
+        h.record(1000); // bucket [512, 1023]
+                        // p50 lands in the 100s bucket; bound >= 100 and <= 127.
+        let p50 = h.quantile_bound(500_000);
+        assert!((100..=127).contains(&p50), "p50 bound {p50}");
+        // p99 still inside the 100s bucket (99 of 100 samples).
+        assert!(h.quantile_bound(990_000) <= 127);
+        // p100 hits the outlier but is capped at the true max.
+        assert_eq!(h.quantile_bound(1_000_000), 1000);
+        // A single sample: every quantile is that sample's bound.
+        let mut one = LocalHist::default();
+        one.record(7);
+        assert_eq!(one.quantile_bound(990_000), 7);
     }
 }

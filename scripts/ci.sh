@@ -74,12 +74,12 @@ cargo test -q --release -p kacc-bench --test metrics_determinism
 
 echo "== perf-regression gate (bench-regress vs committed baseline) =="
 # Hard-fails (exit 1) on any event-count or metric drift from the
-# committed BENCH_PR8.json; brand-new metric keys only warn (additions,
+# committed BENCH_PR10.json; brand-new metric keys only warn (additions,
 # not regressions); wall-clock drift only warns (machines vary).
 # Refresh the baseline after an intentional behavior change via
-#   cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR8.json
+#   cargo run --release -p kacc-bench --bin bench-regress -- --write-baseline BENCH_PR10.json
 cargo run --release -q -p kacc-bench --bin bench-regress -- \
-  --baseline BENCH_PR8.json --out /tmp/bench-regress-verdict.json
+  --baseline BENCH_PR10.json --out /tmp/bench-regress-verdict.json
 cat /tmp/bench-regress-verdict.json
 
 echo "== bench metrics snapshot (both engines) =="
